@@ -1,0 +1,303 @@
+package mdcc
+
+// One testing.B benchmark per figure of the paper's evaluation, plus
+// the ablation benches DESIGN.md calls out. Each iteration runs a
+// compressed experiment on the discrete-event simulator and reports
+// *virtual-time* protocol metrics (p50_ms, vtps) alongside Go's
+// wall-clock numbers: the virtual metrics are the reproduction
+// results, the wall numbers just measure the simulator.
+//
+// Full-scale runs (paper parameters) live in cmd/mdcc-bench.
+
+import (
+	"testing"
+	"time"
+
+	"mdcc/internal/bench"
+	"mdcc/internal/microbench"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/tpcw"
+)
+
+// benchScale is small enough for tight bench loops.
+func benchScale() bench.Scale {
+	return bench.Scale{Clients: 10, Items: 1000, NodesPerDC: 2,
+		Warmup: 2 * time.Second, Measure: 10 * time.Second}
+}
+
+func reportRun(b *testing.B, res *bench.Result) {
+	b.Helper()
+	b.ReportMetric(res.WriteLat.Median(), "p50_ms")
+	b.ReportMetric(res.WriteLat.Percentile(99), "p99_ms")
+	b.ReportMetric(res.WriteTPS, "vtps")
+	if res.Commits+res.Aborts > 0 {
+		b.ReportMetric(float64(res.Aborts)/float64(res.Commits+res.Aborts), "abort_frac")
+	}
+}
+
+func tpcwRun(b *testing.B, proto bench.Protocol) {
+	sc := benchScale()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		clientDC := -1
+		if proto == bench.ProtoMegastore {
+			clientDC = int(topology.USWest)
+		}
+		w := bench.NewWorld(bench.Options{
+			Protocol:    proto,
+			NodesPerDC:  sc.NodesPerDC,
+			Clients:     sc.Clients,
+			ClientDC:    clientDC,
+			Seed:        int64(i + 1),
+			Constraints: []record.Constraint{tpcw.Constraint()},
+		})
+		last = bench.Run(w, tpcw.New(tpcw.Options{Items: sc.Items}),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	reportRun(b, last)
+}
+
+// ---- Figure 3: TPC-W response-time CDF, one bench per protocol ----
+
+func BenchmarkFig3TPCW_QW3(b *testing.B)       { tpcwRun(b, bench.ProtoQW3) }
+func BenchmarkFig3TPCW_QW4(b *testing.B)       { tpcwRun(b, bench.ProtoQW4) }
+func BenchmarkFig3TPCW_MDCC(b *testing.B)      { tpcwRun(b, bench.ProtoMDCC) }
+func BenchmarkFig3TPCW_2PC(b *testing.B)       { tpcwRun(b, bench.Proto2PC) }
+func BenchmarkFig3TPCW_Megastore(b *testing.B) { tpcwRun(b, bench.ProtoMegastore) }
+
+// ---- Figure 4: TPC-W scale-out ----
+
+func BenchmarkFig4Scaling(b *testing.B) {
+	var lastHigh *bench.Result
+	for i := 0; i < b.N; i++ {
+		pts := bench.Figure4(int64(i+1), []int{10, 20}, 2*time.Second, 10*time.Second)
+		low := pts[0].Results[bench.ProtoMDCC]
+		high := pts[1].Results[bench.ProtoMDCC]
+		b.ReportMetric(high.WriteTPS/low.WriteTPS, "scaleup_2x")
+		lastHigh = high
+	}
+	reportRun(b, lastHigh)
+}
+
+// ---- Figure 5: micro-benchmark CDF, one bench per configuration ----
+
+func microRunB(b *testing.B, proto bench.Protocol, mut func(*microbench.Options)) {
+	sc := benchScale()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		w := bench.NewWorld(bench.Options{
+			Protocol:    proto,
+			NodesPerDC:  2,
+			Clients:     sc.Clients,
+			ClientDC:    -1,
+			Seed:        int64(i + 1),
+			Constraints: []record.Constraint{microbench.Constraint()},
+		})
+		opts := microbench.Defaults()
+		opts.Items = sc.Items
+		if mut != nil {
+			mut(&opts)
+		}
+		last = bench.Run(w, microbench.New(opts),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	reportRun(b, last)
+}
+
+func BenchmarkFig5Micro_MDCC(b *testing.B)  { microRunB(b, bench.ProtoMDCC, nil) }
+func BenchmarkFig5Micro_Fast(b *testing.B)  { microRunB(b, bench.ProtoFast, nil) }
+func BenchmarkFig5Micro_Multi(b *testing.B) { microRunB(b, bench.ProtoMulti, nil) }
+func BenchmarkFig5Micro_2PC(b *testing.B)   { microRunB(b, bench.Proto2PC, nil) }
+
+// ---- Figure 6: conflict-rate sweep (one hot and one cold point) ----
+
+func BenchmarkFig6Conflict(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts := bench.Figure6(int64(i+1), sc, []int{2, 90})
+		hot := pts[0].Results[bench.ProtoMDCC]
+		cold := pts[1].Results[bench.ProtoMDCC]
+		b.ReportMetric(float64(hot.Commits), "hot_commits")
+		b.ReportMetric(float64(hot.Aborts), "hot_aborts")
+		b.ReportMetric(float64(cold.Commits), "cold_commits")
+	}
+}
+
+// ---- Figure 7: master locality ----
+
+func BenchmarkFig7Locality(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts := bench.Figure7(int64(i+1), sc, []int{100, 20})
+		b.ReportMetric(pts[0].Results[bench.ProtoMulti].WriteLat.Median(), "multi_local_p50")
+		b.ReportMetric(pts[1].Results[bench.ProtoMulti].WriteLat.Median(), "multi_remote_p50")
+		b.ReportMetric(pts[1].Results[bench.ProtoMDCC].WriteLat.Median(), "mdcc_remote_p50")
+	}
+}
+
+// ---- Figure 8: data-center failure ----
+
+func BenchmarkFig8Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fr := bench.Figure8(int64(i+1), 10, 15*time.Second, 35*time.Second)
+		b.ReportMetric(fr.PreMean, "pre_ms")
+		b.ReportMetric(fr.PostMean, "post_ms")
+		b.ReportMetric(float64(fr.PostCount), "post_commits")
+	}
+}
+
+// ---- Ablations (design choices from DESIGN.md) ----
+
+// AblationCommutative: MDCC vs Fast on a contended commutative
+// workload — the value of Generalized Paxos commutativity.
+func BenchmarkAblationCommutative_MDCC(b *testing.B) {
+	microRunB(b, bench.ProtoMDCC, func(o *microbench.Options) {
+		o.HotspotFrac = 0.05
+		o.InitialStockMin, o.InitialStockMax = 1_000_000, 1_000_000
+	})
+}
+
+// BenchmarkAblationCommutative_Fast is the same workload without
+// commutative support (physical read-modify-writes conflict).
+func BenchmarkAblationCommutative_Fast(b *testing.B) {
+	microRunB(b, bench.ProtoFast, func(o *microbench.Options) {
+		o.HotspotFrac = 0.05
+		o.InitialStockMin, o.InitialStockMax = 1_000_000, 1_000_000
+	})
+}
+
+// AblationFastVsClassic: identical uncontended workload on fast
+// ballots vs classic (Multi) — the value of master bypass.
+func BenchmarkAblationFastVsClassic_Fast(b *testing.B) {
+	microRunB(b, bench.ProtoFast, nil)
+}
+
+// BenchmarkAblationFastVsClassic_Classic is the classic-ballot side.
+func BenchmarkAblationFastVsClassic_Classic(b *testing.B) {
+	microRunB(b, bench.ProtoMulti, nil)
+}
+
+// AblationDemarcation: depleting stock under the quorum demarcation
+// limit vs plentiful stock — the cost of the safety margin.
+func BenchmarkAblationDemarcation_Tight(b *testing.B) {
+	microRunB(b, bench.ProtoMDCC, func(o *microbench.Options) {
+		o.HotspotFrac = 0.02
+		o.InitialStockMin, o.InitialStockMax = 40, 80 // deplete fast
+	})
+}
+
+// BenchmarkAblationDemarcation_Loose never approaches the limit.
+func BenchmarkAblationDemarcation_Loose(b *testing.B) {
+	microRunB(b, bench.ProtoMDCC, func(o *microbench.Options) {
+		o.HotspotFrac = 0.02
+		o.InitialStockMin, o.InitialStockMax = 1_000_000, 1_000_000
+	})
+}
+
+// AblationGamma: the fast-policy window length after collisions.
+func benchGamma(b *testing.B, gamma int) {
+	sc := benchScale()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		w := bench.NewWorld(bench.Options{
+			Protocol:    bench.ProtoMDCC,
+			NodesPerDC:  2,
+			Clients:     sc.Clients,
+			ClientDC:    -1,
+			Seed:        int64(i + 1),
+			Constraints: []record.Constraint{microbench.Constraint()},
+			Gamma:       gamma,
+		})
+		opts := microbench.Defaults()
+		opts.Items = sc.Items
+		opts.HotspotFrac = 0.05
+		opts.InitialStockMin, opts.InitialStockMax = 60, 120
+		last = bench.Run(w, microbench.New(opts),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	reportRun(b, last)
+}
+
+func BenchmarkAblationGamma_10(b *testing.B)  { benchGamma(b, 10) }
+func BenchmarkAblationGamma_100(b *testing.B) { benchGamma(b, 100) }
+func BenchmarkAblationGamma_500(b *testing.B) { benchGamma(b, 500) }
+
+// AblationQuorumSize: QW-3 vs QW-4 isolates the pure cost of waiting
+// for the fourth-closest data center (what MDCC's fast quorum pays
+// over an eventually-consistent majority write).
+func BenchmarkAblationQuorumWait_3(b *testing.B) {
+	sc := benchScale()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		w := bench.NewWorld(bench.Options{Protocol: bench.ProtoQW3, NodesPerDC: 2,
+			Clients: sc.Clients, ClientDC: -1, Seed: int64(i + 1)})
+		last = bench.Run(w, microbench.New(microbench.Defaults()),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	reportRun(b, last)
+}
+
+// BenchmarkAblationQuorumWait_4 waits for the fast-quorum-sized set.
+func BenchmarkAblationQuorumWait_4(b *testing.B) {
+	sc := benchScale()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		w := bench.NewWorld(bench.Options{Protocol: bench.ProtoQW4, NodesPerDC: 2,
+			Clients: sc.Clients, ClientDC: -1, Seed: int64(i + 1)})
+		last = bench.Run(w, microbench.New(microbench.Defaults()),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+	}
+	reportRun(b, last)
+}
+
+// ---- Library-level commit path (wall-clock) ----
+
+// BenchmarkSessionCommit measures the real-time public API on an
+// in-process cluster with compressed latencies (wall-clock ns/op).
+func BenchmarkSessionCommit(b *testing.B) {
+	c, err := StartCluster(ClusterConfig{LatencyScale: 0.001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Session(USWest)
+	if ok, err := s.Commit(Insert("b/1", Value{Attrs: map[string]int64{"n": 0}})); err != nil || !ok {
+		b.Fatalf("setup: %v %v", ok, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Commit(Commutative("b/1", map[string]int64{"n": 1})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationBatching: the §7 batching optimization — proposals and
+// visibility grouped per destination node. The signal is messages per
+// committed transaction.
+func benchBatching(b *testing.B, disable bool) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		w := bench.NewWorld(bench.Options{
+			Protocol:        bench.ProtoMDCC,
+			NodesPerDC:      2,
+			Clients:         sc.Clients,
+			ClientDC:        -1,
+			Seed:            int64(i + 1),
+			Constraints:     []record.Constraint{microbench.Constraint()},
+			DisableBatching: disable,
+		})
+		opts := microbench.Defaults()
+		opts.Items = sc.Items
+		res := bench.Run(w, microbench.New(opts),
+			bench.RunConfig{Warmup: sc.Warmup, Measure: sc.Measure})
+		if res.Commits > 0 {
+			b.ReportMetric(float64(w.Net.Stats().Delivered)/float64(res.Commits), "msgs_per_txn")
+		}
+		b.ReportMetric(res.WriteLat.Median(), "p50_ms")
+	}
+}
+
+func BenchmarkAblationBatching_On(b *testing.B)  { benchBatching(b, false) }
+func BenchmarkAblationBatching_Off(b *testing.B) { benchBatching(b, true) }

@@ -1,0 +1,165 @@
+package mdcc
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// ClusterConfig shapes an in-process cluster.
+type ClusterConfig struct {
+	// Mode selects the protocol variant (default ModeMDCC).
+	Mode Mode
+	// NodesPerDC is the number of storage nodes (shards) per data
+	// center (default 1).
+	NodesPerDC int
+	// Constraints are enforced on commutative updates cluster-wide.
+	Constraints []Constraint
+	// LatencyScale multiplies the realistic inter-DC latencies
+	// (hundreds of ms). 1.0 feels like the real WAN; 0.02 makes
+	// examples snappy while preserving relative geometry. Default 0.05.
+	LatencyScale float64
+	// DataDir, when set, gives every storage node a WAL-backed
+	// durable store under DataDir/<node>; empty means in-memory.
+	DataDir string
+	// Gamma overrides the fast-policy window (default 100).
+	Gamma int
+	// SyncInterval enables background anti-entropy between replicas
+	// (catch-up after outages); zero disables.
+	SyncInterval time.Duration
+	// Seed randomizes latency jitter.
+	Seed int64
+}
+
+// Cluster is an in-process five-data-center MDCC deployment running
+// on the real-time transport.
+type Cluster struct {
+	cfg     ClusterConfig
+	net     *transport.Local
+	cl      *topology.Cluster
+	nodes   []*core.StorageNode
+	stores  []*kv.Store
+	mu      sync.Mutex
+	nextCli atomic.Int64
+	closed  bool
+}
+
+// StartCluster builds and starts an in-process cluster.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NodesPerDC < 1 {
+		cfg.NodesPerDC = 1
+	}
+	if cfg.LatencyScale <= 0 {
+		cfg.LatencyScale = 0.05
+	}
+	cl := topology.NewCluster(topology.Layout{NodesPerDC: cfg.NodesPerDC, Clients: 0, ClientDC: -1})
+
+	base := cl.Latency()
+	scale := cfg.LatencyScale
+	scaled := func(from, to transport.NodeID) time.Duration {
+		return time.Duration(float64(base(from, to)) * scale)
+	}
+	lat := transport.UniformJitter(scaled, 0.1, rand.New(rand.NewSource(cfg.Seed)))
+	net := transport.NewLocal(lat)
+
+	coreCfg := clusterCoreConfig(cfg)
+
+	c := &Cluster{cfg: cfg, net: net, cl: cl}
+	for _, n := range cl.Storage {
+		var store *kv.Store
+		if cfg.DataDir != "" {
+			dir := filepath.Join(cfg.DataDir, string(n.ID))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				net.Close()
+				return nil, fmt.Errorf("mdcc: %w", err)
+			}
+			s, err := kv.Open(dir, false)
+			if err != nil {
+				net.Close()
+				return nil, err
+			}
+			store = s
+		} else {
+			store = kv.NewMemory()
+		}
+		c.stores = append(c.stores, store)
+		c.nodes = append(c.nodes, core.NewStorageNode(n.ID, n.DC, net, cl, coreCfg, store))
+	}
+	return c, nil
+}
+
+// clusterCoreConfig derives the protocol configuration, scaling the
+// timeouts with the latency scale so compressed clusters stay snappy.
+func clusterCoreConfig(cfg ClusterConfig) core.Config {
+	coreCfg := core.Defaults(cfg.Mode)
+	coreCfg.Constraints = cfg.Constraints
+	coreCfg.SyncInterval = cfg.SyncInterval
+	if cfg.Gamma > 0 {
+		coreCfg.Gamma = cfg.Gamma
+	}
+	s := cfg.LatencyScale
+	if s < 1 {
+		floor := func(d, min time.Duration) time.Duration {
+			d = time.Duration(float64(d) * s)
+			if d < min {
+				return min
+			}
+			return d
+		}
+		coreCfg.OptionTimeout = floor(coreCfg.OptionTimeout, 100*time.Millisecond)
+		coreCfg.RecoveryRetry = floor(coreCfg.RecoveryRetry, 80*time.Millisecond)
+		coreCfg.PendingTimeout = floor(coreCfg.PendingTimeout, 500*time.Millisecond)
+		coreCfg.ReadTimeout = floor(coreCfg.ReadTimeout, 60*time.Millisecond)
+	}
+	return coreCfg
+}
+
+// Session opens a client session homed in the given data center.
+func (c *Cluster) Session(dc DC) *Session {
+	id := transport.NodeID(fmt.Sprintf("session%d", c.nextCli.Add(1)))
+	coreCfg := clusterCoreConfig(c.cfg)
+	coord := core.NewCoordinator(id, dc, c.net, c.cl, coreCfg)
+	return newSession(id, c.net, coord, coreCfg)
+}
+
+// FailDC simulates a data-center outage: every storage node in dc
+// stops sending and receiving until RecoverDC.
+func (c *Cluster) FailDC(dc DC) {
+	for _, n := range c.cl.Storage {
+		if n.DC == dc {
+			c.net.Fail(n.ID)
+		}
+	}
+}
+
+// RecoverDC ends a simulated outage.
+func (c *Cluster) RecoverDC(dc DC) {
+	for _, n := range c.cl.Storage {
+		if n.DC == dc {
+			c.net.Recover(n.ID)
+		}
+	}
+}
+
+// Close shuts the cluster down and closes durable stores.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.net.Close()
+	for _, s := range c.stores {
+		_ = s.Close()
+	}
+}

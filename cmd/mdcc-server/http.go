@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/topology"
+)
+
+// serveHTTP exposes operational endpoints:
+//
+//	GET /healthz  — liveness probe
+//	GET /metrics  — per-shard protocol counters and store sizes (JSON)
+func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []*kv.Store) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		type shard struct {
+			Node    string       `json:"node"`
+			Keys    int          `json:"keys"`
+			Puts    int64        `json:"puts"`
+			Metrics core.Metrics `json:"protocol"`
+		}
+		out := struct {
+			DC     string  `json:"dc"`
+			Shards []shard `json:"shards"`
+		}{DC: dc.String()}
+		for i, n := range nodes {
+			out.Shards = append(out.Shards, shard{
+				Node:    string(n.ID()),
+				Keys:    stores[i].Len(),
+				Puts:    stores[i].Puts(),
+				Metrics: n.Metrics(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	log.Printf("http endpoints on %s (/healthz, /metrics)", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("http: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// mdcc-server hosts one data center's MDCC storage nodes over TCP.
+// Run one per data center with the same topology file:
+//
+//	mdcc-server -topology cluster.json -dc us-west -listen :7420 -data /var/lib/mdcc
+//
+// The topology file maps data centers to addresses (see
+// mdcc.RemoteTopology). Each server hosts every shard of its data
+// center, with WAL-backed durable stores when -data is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"mdcc"
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+var (
+	topoPath = flag.String("topology", "cluster.json", "topology JSON file")
+	dcName   = flag.String("dc", "", "this server's data center (us-west, us-east, eu-ie, ap-sg, ap-tk)")
+	listen   = flag.String("listen", "", "listen address (default: this DC's address from the topology)")
+	dataDir  = flag.String("data", "", "durable store directory (empty = in-memory)")
+	httpAddr = flag.String("http", "", "optional HTTP endpoint serving /metrics and /healthz")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("mdcc-server: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	topo, err := mdcc.LoadRemoteTopology(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc, err := mdcc.ParseDC(*dcName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode, err := topo.ModeValue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := *listen
+	if addr == "" {
+		addr = topo.Addrs[dc.String()]
+	}
+	if addr == "" {
+		log.Fatalf("no listen address for %s in %s", dc, *topoPath)
+	}
+
+	// Routes to the other data centers' servers.
+	routes := make(map[transport.NodeID]string)
+	for name, a := range topo.Addrs {
+		peer, err := mdcc.ParseDC(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if peer == dc {
+			continue
+		}
+		for i := 0; i < topo.NodesPerDC; i++ {
+			routes[topology.StorageID(peer, i)] = a
+		}
+	}
+	net := transport.NewTCP(routes)
+	net.Logf = log.Printf
+	bound, err := net.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.Defaults(mode)
+	cfg.Constraints = topo.ConstraintList()
+	cl := topology.NewCluster(topology.Layout{NodesPerDC: topo.NodesPerDC, Clients: 0, ClientDC: -1})
+
+	var stores []*kv.Store
+	var nodes []*core.StorageNode
+	for i := 0; i < topo.NodesPerDC; i++ {
+		id := topology.StorageID(dc, i)
+		var store *kv.Store
+		if *dataDir != "" {
+			dir := filepath.Join(*dataDir, fmt.Sprintf("shard%d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			store, err = kv.Open(dir, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			store = kv.NewMemory()
+		}
+		stores = append(stores, store)
+		nodes = append(nodes, core.NewStorageNode(id, dc, net, cl, cfg, store))
+		log.Printf("storage node %s up (shard %d/%d, mode %s)", id, i+1, topo.NodesPerDC, mode)
+	}
+	log.Printf("%s serving on %s", dc, bound)
+	if *httpAddr != "" {
+		go serveHTTP(*httpAddr, dc, nodes, stores)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	net.Close()
+	for _, s := range stores {
+		_ = s.Close()
+	}
+}

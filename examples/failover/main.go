@@ -1,0 +1,90 @@
+// Failover: the figure-8 scenario interactively — writes flow from
+// US-West while the US-East data center (the closest remote replica)
+// is killed mid-run. MDCC keeps committing without interruption
+// because fast quorums (4 of 5) and classic quorums (3 of 5) both
+// survive a single-DC outage; latency rises because the next-nearest
+// data center is farther away.
+//
+// Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mdcc"
+)
+
+func main() {
+	cluster, err := mdcc.StartCluster(mdcc.ClusterConfig{
+		Mode:         mdcc.ModeMDCC,
+		LatencyScale: 0.05, // 1 virtual WAN ms = 50µs
+		Constraints:  []mdcc.Constraint{mdcc.MinBound("stock", 0)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	sess := cluster.Session(mdcc.USWest)
+	if ok, err := sess.Commit(mdcc.Insert("item/1",
+		mdcc.Value{Attrs: map[string]int64{"stock": 1 << 30}})); err != nil || !ok {
+		log.Fatalf("setup: ok=%v err=%v", ok, err)
+	}
+
+	const rounds = 60
+	failAt, recoverAt := 20, 40
+	var pre, during, post []time.Duration
+
+	for i := 0; i < rounds; i++ {
+		switch i {
+		case failAt:
+			fmt.Println("!! killing us-east (closest remote data center)")
+			cluster.FailDC(mdcc.USEast)
+		case recoverAt:
+			fmt.Println("!! us-east recovers")
+			cluster.RecoverDC(mdcc.USEast)
+		}
+		start := time.Now()
+		ok, err := sess.Commit(mdcc.Commutative("item/1", map[string]int64{"stock": -1}))
+		lat := time.Since(start)
+		if err != nil {
+			log.Fatalf("round %d: %v", i, err)
+		}
+		if !ok {
+			fmt.Printf("round %2d: ABORTED after %v\n", i, lat)
+			continue
+		}
+		switch {
+		case i < failAt:
+			pre = append(pre, lat)
+		case i < recoverAt:
+			during = append(during, lat)
+		default:
+			post = append(post, lat)
+		}
+	}
+
+	fmt.Printf("\ncommitted every round across the outage:\n")
+	fmt.Printf("  before failure: avg %v over %d commits\n", avg(pre), len(pre))
+	fmt.Printf("  during outage:  avg %v over %d commits (waits for a farther DC)\n", avg(during), len(during))
+	fmt.Printf("  after recovery: avg %v over %d commits\n", avg(post), len(post))
+	if len(pre) == 0 || len(during) == 0 || len(post) == 0 {
+		log.Fatal("some phase recorded no commits — failover was not seamless")
+	}
+	fmt.Println("\nMDCC tolerated the data-center outage without losing a single commit.")
+}
+
+func avg(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}

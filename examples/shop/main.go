@@ -1,0 +1,149 @@
+// Shop: a miniature TPC-W-style storefront on the public API — the
+// workload the paper's introduction motivates. Geo-distributed
+// shoppers browse products, fill carts and buy; the buy decrements
+// item stock under a stock >= 0 constraint (the one TPC-W transaction
+// that benefits from commutativity, per §5.2) and inserts an order
+// atomically with it.
+//
+// Run with:
+//
+//	go run ./examples/shop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mdcc"
+)
+
+const (
+	products = 50
+	shoppers = 8
+	visits   = 12 // browse/buy rounds per shopper
+)
+
+func itemKey(i int) mdcc.Key { return mdcc.Key(fmt.Sprintf("item/%04d", i)) }
+
+func orderKey(shopper, n int) mdcc.Key {
+	return mdcc.Key(fmt.Sprintf("order/%d-%d", shopper, n))
+}
+
+func main() {
+	cluster, err := mdcc.StartCluster(mdcc.ClusterConfig{
+		Mode:         mdcc.ModeMDCC,
+		NodesPerDC:   2,
+		LatencyScale: 0.02,
+		Constraints:  []mdcc.Constraint{mdcc.MinBound("stock", 0)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Load the catalogue.
+	admin := cluster.Session(mdcc.USWest)
+	var ups []mdcc.Update
+	totalStock := int64(0)
+	for i := 0; i < products; i++ {
+		stock := int64(5 + i%7)
+		totalStock += stock
+		ups = append(ups, mdcc.Insert(itemKey(i), mdcc.Value{
+			Attrs: map[string]int64{"stock": stock, "price": int64(199 + 50*i)},
+			Blob:  []byte(fmt.Sprintf("The Art of Distributed Systems, volume %d", i)),
+		}))
+	}
+	if ok, err := admin.Commit(ups...); err != nil || !ok {
+		log.Fatalf("catalogue load: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("catalogue: %d products, %d units of stock\n", products, totalStock)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	bought := int64(0)
+	orders := 0
+	soldOut := 0
+	for sh := 0; sh < shoppers; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			sess := cluster.Session(mdcc.DC(sh % 5))
+			rng := rand.New(rand.NewSource(int64(sh) + 42))
+			for v := 0; v < visits; v++ {
+				// Browse: read a few product pages (local reads).
+				basket := map[int]int64{}
+				for b := 0; b < 1+rng.Intn(3); b++ {
+					p := rng.Intn(products)
+					val, _, ok, err := sess.Read(itemKey(p))
+					if err != nil || !ok {
+						continue
+					}
+					if val.Attr("stock") > 0 {
+						basket[p] = 1 + rng.Int63n(2)
+					}
+				}
+				if len(basket) == 0 {
+					continue
+				}
+				// Buy: one atomic transaction — stock decrements
+				// (commutative, constraint-checked) plus the order row.
+				var buy []mdcc.Update
+				var qty int64
+				for p, q := range basket {
+					buy = append(buy, mdcc.Commutative(itemKey(p), map[string]int64{"stock": -q}))
+					qty += q
+				}
+				buy = append(buy, mdcc.Insert(orderKey(sh, v),
+					mdcc.Value{Attrs: map[string]int64{"qty": qty}}))
+				ok, err := sess.Commit(buy...)
+				if err != nil {
+					log.Printf("shopper %d: %v", sh, err)
+					continue
+				}
+				mu.Lock()
+				if ok {
+					bought += qty
+					orders++
+				} else {
+					soldOut++
+				}
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	fmt.Printf("orders placed: %d (%d units); %d buys rejected (stock protection)\n",
+		orders, bought, soldOut)
+
+	// Reconcile: remaining stock + sold units == initial stock, and
+	// every committed order exists.
+	audit := cluster.Session(mdcc.APSingapore)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		remaining := int64(0)
+		for i := 0; i < products; i++ {
+			v, _, ok, err := audit.Read(itemKey(i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				if v.Attr("stock") < 0 {
+					log.Fatal("INVARIANT VIOLATED: negative stock")
+				}
+				remaining += v.Attr("stock")
+			}
+		}
+		if remaining+bought == totalStock {
+			fmt.Printf("audit OK: %d units remaining + %d sold = %d initial\n",
+				remaining, bought, totalStock)
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("stock mismatch: %d remaining + %d sold != %d", remaining, bought, totalStock)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

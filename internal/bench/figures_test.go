@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"mdcc/internal/topology"
+)
+
+func TestFigure3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure test skipped in -short")
+	}
+	res := Figure3(1, QuickScale())
+	if len(res) != 5 {
+		t.Fatalf("figure 3 covers %d protocols, want 5", len(res))
+	}
+	med := func(p Protocol) float64 { return res[p].WriteLat.Median() }
+	for p, r := range res {
+		if r.Commits == 0 {
+			t.Fatalf("%s: no commits", p)
+		}
+		t.Logf("%-10s median %6.0fms tps %6.1f commits %d", p, med(p), r.WriteTPS, r.Commits)
+	}
+	// Paper ordering: QW-3 < QW-4 ≈ MDCC < 2PC << Megastore*.
+	if !(med(ProtoQW3) < med(ProtoQW4)) {
+		t.Errorf("QW-3 (%.0f) should beat QW-4 (%.0f)", med(ProtoQW3), med(ProtoQW4))
+	}
+	if !(med(ProtoMDCC) < med(Proto2PC)) {
+		t.Errorf("MDCC (%.0f) should beat 2PC (%.0f)", med(ProtoMDCC), med(Proto2PC))
+	}
+	if !(med(Proto2PC) < med(ProtoMegastore)) {
+		t.Errorf("2PC (%.0f) should beat Megastore* (%.0f)", med(Proto2PC), med(ProtoMegastore))
+	}
+	// MDCC within 2x of the eventually-consistent floor.
+	if med(ProtoMDCC) > 2*med(ProtoQW4) {
+		t.Errorf("MDCC (%.0f) too far above QW-4 (%.0f)", med(ProtoMDCC), med(ProtoQW4))
+	}
+}
+
+func TestFigure6DepletionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure test skipped in -short")
+	}
+	sc := QuickScale()
+	pts := Figure6(2, sc, []int{2, 90})
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	hot, cold := pts[0], pts[1]
+	for _, proto := range []Protocol{ProtoMDCC, ProtoFast, ProtoMulti, Proto2PC} {
+		h, c := hot.Results[proto], cold.Results[proto]
+		t.Logf("%-6s hot2%%: %d/%d  cold90%%: %d/%d",
+			proto, h.Commits, h.Aborts, c.Commits, c.Aborts)
+		if c.Commits == 0 {
+			t.Errorf("%s: no commits at 90%% hotspot", proto)
+		}
+		// Contention must hurt: more aborts (relatively) at 2%.
+		hRate := float64(h.Aborts) / float64(h.Commits+h.Aborts+1)
+		cRate := float64(c.Aborts) / float64(c.Commits+c.Aborts+1)
+		if proto != ProtoMDCC && hRate < cRate {
+			t.Errorf("%s: abort rate did not increase with conflict (%.3f vs %.3f)", proto, hRate, cRate)
+		}
+	}
+}
+
+func TestFigure7LocalityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure test skipped in -short")
+	}
+	sc := QuickScale()
+	pts := Figure7(3, sc, []int{100, 20})
+	multi100 := pts[0].Results[ProtoMulti].WriteLat.Median()
+	multi20 := pts[1].Results[ProtoMulti].WriteLat.Median()
+	mdcc100 := pts[0].Results[ProtoMDCC].WriteLat.Median()
+	mdcc20 := pts[1].Results[ProtoMDCC].WriteLat.Median()
+	t.Logf("Multi: 100%%=%.0fms 20%%=%.0fms   MDCC: 100%%=%.0fms 20%%=%.0fms",
+		multi100, multi20, mdcc100, mdcc20)
+	// Multi's latency degrades as masters become remote; MDCC stays flat.
+	if !(multi20 > multi100*1.3) {
+		t.Errorf("Multi should degrade with remote masters: %.0f -> %.0f", multi100, multi20)
+	}
+	spread := mdcc20 - mdcc100
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread > mdcc100*0.35 {
+		t.Errorf("MDCC should be locality-insensitive: %.0f vs %.0f", mdcc100, mdcc20)
+	}
+	// At full locality Multi beats (or matches) MDCC; at 20% MDCC wins.
+	if !(mdcc20 < multi20) {
+		t.Errorf("MDCC (%.0f) should beat Multi (%.0f) at 20%% locality", mdcc20, multi20)
+	}
+}
+
+func TestFigure8FailureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure test skipped in -short")
+	}
+	fr := Figure8(4, 20, 30*time.Second, 60*time.Second)
+	if fr.PreCount == 0 || fr.PostCount == 0 {
+		t.Fatalf("no samples around the outage: pre=%d post=%d", fr.PreCount, fr.PostCount)
+	}
+	t.Logf("pre-failure mean %.1fms (n=%d), post %.1fms (n=%d)",
+		fr.PreMean, fr.PreCount, fr.PostMean, fr.PostCount)
+	// Commits continue; latency rises (us-east was the nearest DC).
+	if fr.PostMean <= fr.PreMean {
+		t.Errorf("latency should rise after losing the closest DC: %.1f -> %.1f", fr.PreMean, fr.PostMean)
+	}
+	// Seamless: the post-outage window must keep committing steadily.
+	if float64(fr.PostCount) < 0.3*float64(fr.PreCount) {
+		t.Errorf("commit rate collapsed after the outage: %d vs %d", fr.PostCount, fr.PreCount)
+	}
+	_ = topology.USEast
+}
+
+func TestFigure4QuickScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure test skipped in -short")
+	}
+	pts := Figure4(5, []int{10, 20}, 5*time.Second, 20*time.Second)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		for proto, r := range p.Results {
+			t.Logf("clients=%d %-10s tps=%.1f", p.Clients, proto, r.WriteTPS)
+			if proto != ProtoMegastore && r.WriteTPS <= 0 {
+				t.Errorf("%s at %d clients: no throughput", proto, p.Clients)
+			}
+		}
+	}
+	// Scalable protocols roughly double; Megastore* must not.
+	for _, proto := range []Protocol{ProtoQW3, ProtoMDCC} {
+		t0 := pts[0].Results[proto].WriteTPS
+		t1 := pts[1].Results[proto].WriteTPS
+		if t1 < t0*1.4 {
+			t.Errorf("%s did not scale: %.1f -> %.1f tps", proto, t0, t1)
+		}
+	}
+	ms0 := pts[0].Results[ProtoMegastore].WriteTPS
+	ms1 := pts[1].Results[ProtoMegastore].WriteTPS
+	if ms1 > ms0*1.4 {
+		t.Errorf("Megastore* should not scale with clients: %.1f -> %.1f tps", ms0, ms1)
+	}
+}

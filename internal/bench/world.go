@@ -1,0 +1,320 @@
+// Package bench is the experiment harness: it builds a full simulated
+// deployment (storage nodes, clients, WAN) for any of the compared
+// protocols, drives workloads through the uniform mtx.Client
+// interface in closed loops, injects failures on schedule, and
+// collects the latency distributions, throughput numbers and time
+// series that regenerate the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/megastore"
+	"mdcc/internal/mtx"
+	"mdcc/internal/qw"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+	"mdcc/internal/twopc"
+)
+
+// Protocol selects the system under test.
+type Protocol string
+
+// The seven configurations of the paper's evaluation.
+const (
+	ProtoMDCC      Protocol = "MDCC"       // fast + commutative
+	ProtoFast      Protocol = "Fast"       // fast, no commutative
+	ProtoMulti     Protocol = "Multi"      // classic ballots, stable masters
+	Proto2PC       Protocol = "2PC"        // two-phase commit
+	ProtoQW3       Protocol = "QW-3"       // quorum writes, W=3
+	ProtoQW4       Protocol = "QW-4"       // quorum writes, W=4
+	ProtoMegastore Protocol = "Megastore*" // entity-group log
+)
+
+// AllProtocols lists every configuration (figure 3/4 order).
+func AllProtocols() []Protocol {
+	return []Protocol{ProtoQW3, ProtoQW4, ProtoMDCC, Proto2PC, ProtoMegastore}
+}
+
+// Options configures a World.
+type Options struct {
+	Protocol    Protocol
+	NodesPerDC  int
+	Clients     int
+	ClientDC    int // -1 = geo-distributed round-robin
+	Seed        int64
+	ServiceTime time.Duration // per-message node busy time
+	JitterFrac  float64
+	Constraints []record.Constraint
+	MasterDC    func(record.Key) topology.DC // core protocols only
+	Gamma       int                          // 0 = paper default (100)
+	// DisableBatching turns off the §7 message-batching optimization
+	// (core protocols; used by the batching ablation).
+	DisableBatching bool
+	// DropProb uniformly drops messages (chaos tests).
+	DropProb float64
+	// SyncInterval enables core anti-entropy (chaos tests).
+	SyncInterval time.Duration
+}
+
+// World is a ready-to-run deployment.
+type World struct {
+	Opts    Options
+	Net     *simnet.Net
+	Cluster *topology.Cluster
+	Clients []mtx.Client
+
+	coreNodes  []*core.StorageNode
+	coreCoords []*core.Coordinator
+	qwNodes    []*qw.StorageNode
+	twopcParts []*twopc.Participant
+	twopcCos   []*twopc.Coordinator
+	msReplicas []*megastore.Replica
+	msMaster   *megastore.Master
+	stores     []*kv.Store // all storage-node stores, for preloading
+}
+
+// coreClient adapts core.Coordinator to mtx.Client.
+type coreClient struct {
+	c    *core.Coordinator
+	comm bool
+}
+
+func (cc coreClient) Read(key record.Key, cb mtx.ReadFunc) { cc.c.Read(key, cb) }
+func (cc coreClient) Commit(updates []record.Update, done func(bool)) {
+	cc.c.Commit(updates, func(r core.CommitResult) { done(r.Committed) })
+}
+func (cc coreClient) SupportsCommutative() bool { return cc.comm }
+
+// NewWorld builds the deployment for opts.
+func NewWorld(opts Options) *World {
+	if opts.NodesPerDC < 1 {
+		opts.NodesPerDC = 1
+	}
+	if opts.ServiceTime == 0 {
+		// ~4k messages/second per storage node (m1.large-era boxes).
+		// Higher values saturate the 2-node-per-DC micro-benchmark
+		// deployments at 100 clients and drown protocol latency in
+		// queueing delay.
+		opts.ServiceTime = 250 * time.Microsecond
+	}
+	if opts.JitterFrac == 0 {
+		opts.JitterFrac = 0.10
+	}
+	cl := topology.NewCluster(topology.Layout{
+		NodesPerDC: opts.NodesPerDC,
+		Clients:    opts.Clients,
+		ClientDC:   opts.ClientDC,
+	})
+	extra := map[transport.NodeID]topology.DC{}
+	if opts.Protocol == ProtoMegastore {
+		for _, dc := range topology.AllDCs() {
+			extra[megastore.ReplicaIDFor(dc)] = dc
+		}
+	}
+	net := simnet.New(simnet.Options{
+		Latency:     cl.LatencyWith(extra),
+		JitterFrac:  opts.JitterFrac,
+		ServiceTime: opts.ServiceTime,
+		DropProb:    opts.DropProb,
+		Seed:        opts.Seed,
+	})
+	w := &World{Opts: opts, Net: net, Cluster: cl}
+
+	switch opts.Protocol {
+	case ProtoMDCC, ProtoFast, ProtoMulti:
+		w.buildCore(opts, cl, net)
+	case Proto2PC:
+		w.build2PC(opts, cl, net)
+	case ProtoQW3:
+		w.buildQW(cl, net, 3)
+	case ProtoQW4:
+		w.buildQW(cl, net, 4)
+	case ProtoMegastore:
+		w.buildMegastore(cl, net)
+	default:
+		panic(fmt.Sprintf("bench: unknown protocol %q", opts.Protocol))
+	}
+	return w
+}
+
+func (w *World) buildCore(opts Options, cl *topology.Cluster, net *simnet.Net) {
+	var mode core.Mode
+	switch opts.Protocol {
+	case ProtoFast:
+		mode = core.ModeFast
+	case ProtoMulti:
+		mode = core.ModeMulti
+	default:
+		mode = core.ModeMDCC
+	}
+	cfg := core.Defaults(mode)
+	cfg.Constraints = opts.Constraints
+	cfg.MasterDC = opts.MasterDC
+	cfg.DisableBatching = opts.DisableBatching
+	cfg.SyncInterval = opts.SyncInterval
+	if opts.Gamma > 0 {
+		cfg.Gamma = opts.Gamma
+	}
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		w.stores = append(w.stores, store)
+		w.coreNodes = append(w.coreNodes, core.NewStorageNode(n.ID, n.DC, net, cl, cfg, store))
+	}
+	for _, c := range cl.Clients {
+		co := core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
+		w.coreCoords = append(w.coreCoords, co)
+		w.Clients = append(w.Clients, coreClient{c: co, comm: mode == core.ModeMDCC})
+	}
+}
+
+func (w *World) build2PC(opts Options, cl *topology.Cluster, net *simnet.Net) {
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		w.stores = append(w.stores, store)
+		w.twopcParts = append(w.twopcParts,
+			twopc.NewParticipant(n.ID, net, store, opts.Constraints, 10*time.Second))
+	}
+	for _, c := range cl.Clients {
+		co := twopc.NewCoordinator(c.ID, c.DC, net, cl, 5*time.Second)
+		w.twopcCos = append(w.twopcCos, co)
+		w.Clients = append(w.Clients, co)
+	}
+}
+
+func (w *World) buildQW(cl *topology.Cluster, net *simnet.Net, quorum int) {
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		w.stores = append(w.stores, store)
+		w.qwNodes = append(w.qwNodes, qw.NewStorageNode(n.ID, net, store))
+	}
+	for _, c := range cl.Clients {
+		w.Clients = append(w.Clients, qw.NewClient(c.ID, c.DC, net, cl, quorum))
+	}
+}
+
+func (w *World) buildMegastore(cl *topology.Cluster, net *simnet.Net) {
+	var west *megastore.Replica
+	for _, dc := range topology.AllDCs() {
+		store := kv.NewMemory()
+		w.stores = append(w.stores, store)
+		r := megastore.NewReplica(megastore.ReplicaIDFor(dc), net, store)
+		w.msReplicas = append(w.msReplicas, r)
+		if dc == topology.USWest {
+			west = r
+		}
+	}
+	w.msMaster = megastore.NewMaster(net, cl, west)
+	for _, c := range cl.Clients {
+		w.Clients = append(w.Clients, megastore.NewClient(c.ID, c.DC, net, cl))
+	}
+}
+
+// ClientDC returns the data center client i runs in.
+func (w *World) ClientDC(i int) topology.DC {
+	return w.Cluster.Clients[i].DC
+}
+
+// Preload writes initial records directly into every replica's store
+// (bulk load happens before the measured run, as on a real testbed).
+func (w *World) Preload(entries []kv.Entry) {
+	if w.Opts.Protocol == ProtoMegastore {
+		// One full copy per DC replica.
+		for _, s := range w.stores {
+			for _, e := range entries {
+				_ = s.Put(e.Key, e.Value, e.Version)
+			}
+		}
+		return
+	}
+	// Range-partitioned: each storage node holds its shard.
+	for _, e := range entries {
+		shard := w.Cluster.Shard(e.Key)
+		for i, n := range w.Cluster.Storage {
+			if n.Index == shard {
+				_ = w.stores[i].Put(e.Key, e.Value, e.Version)
+			}
+		}
+	}
+}
+
+// FailDC fails every storage node of a data center (figure 8's
+// simulated outage: the DC stops receiving messages).
+func (w *World) FailDC(dc topology.DC) {
+	for _, n := range w.Cluster.Storage {
+		if n.DC == dc {
+			w.Net.Fail(n.ID)
+		}
+	}
+	if w.Opts.Protocol == ProtoMegastore {
+		w.Net.Fail(megastore.ReplicaIDFor(dc))
+	}
+}
+
+// RecoverDC brings a failed data center back.
+func (w *World) RecoverDC(dc topology.DC) {
+	for _, n := range w.Cluster.Storage {
+		if n.DC == dc {
+			w.Net.Recover(n.ID)
+		}
+	}
+	if w.Opts.Protocol == ProtoMegastore {
+		w.Net.Recover(megastore.ReplicaIDFor(dc))
+	}
+}
+
+// CoreMetrics sums storage-node metrics (zero for non-core protocols).
+func (w *World) CoreMetrics() core.Metrics {
+	var total core.Metrics
+	for _, n := range w.coreNodes {
+		m := n.Metrics()
+		total.VotesAccept += m.VotesAccept
+		total.VotesReject += m.VotesReject
+		total.Forwarded += m.Forwarded
+		total.Executed += m.Executed
+		total.Discarded += m.Discarded
+		total.Phase1 += m.Phase1
+		total.Phase2 += m.Phase2
+		total.EnableFast += m.EnableFast
+		total.DemarcationRejects += m.DemarcationRejects
+		total.Sweeps += m.Sweeps
+	}
+	return total
+}
+
+// CoordMetrics sums coordinator metrics (zero for non-core protocols).
+func (w *World) CoordMetrics() core.CoordMetrics {
+	var total core.CoordMetrics
+	for _, c := range w.coreCoords {
+		m := c.Metrics()
+		total.Commits += m.Commits
+		total.Aborts += m.Aborts
+		total.FastLearns += m.FastLearns
+		total.LeaderLearns += m.LeaderLearns
+		total.Recoveries += m.Recoveries
+		total.Collisions += m.Collisions
+		total.ReadRetries += m.ReadRetries
+		total.ReadFails += m.ReadFails
+	}
+	return total
+}
+
+// StoreOf returns the committed state of key at its replica in the
+// data center with index dc (validation hooks for tests).
+func (w *World) StoreOf(key record.Key, dc int) (record.Value, record.Version, bool) {
+	if w.Opts.Protocol == ProtoMegastore {
+		return w.stores[dc].Get(key)
+	}
+	shard := w.Cluster.Shard(key)
+	for i, n := range w.Cluster.Storage {
+		if int(n.DC) == dc && n.Index == shard {
+			return w.stores[i].Get(key)
+		}
+	}
+	return record.Value{}, 0, false
+}

@@ -1,0 +1,232 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree found a key")
+	}
+	if tr.Delete("x") {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	if !tr.Put("a", 1) {
+		t.Fatal("first Put not reported as insert")
+	}
+	if tr.Put("a", 2) {
+		t.Fatal("second Put of same key reported as insert")
+	}
+	v, ok := tr.Get("a")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = %v,%v want 2,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDegree(1) should panic")
+		}
+	}()
+	NewDegree(1)
+}
+
+func TestManyInsertsOrdered(t *testing.T) {
+	for _, deg := range []int{2, 3, 8, 32} {
+		tr := NewDegree(deg)
+		const n = 2000
+		for i := 0; i < n; i++ {
+			tr.Put(fmt.Sprintf("k%06d", i), i)
+		}
+		tr.checkInvariants()
+		if tr.Len() != n {
+			t.Fatalf("deg %d: Len = %d, want %d", deg, tr.Len(), n)
+		}
+		keys := tr.Keys()
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("deg %d: keys not sorted", deg)
+		}
+		mn, _ := tr.Min()
+		mx, _ := tr.Max()
+		if mn != "k000000" || mx != fmt.Sprintf("k%06d", n-1) {
+			t.Fatalf("deg %d: Min/Max = %q/%q", deg, mn, mx)
+		}
+	}
+}
+
+func TestRandomInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, deg := range []int{2, 3, 5, 16} {
+		tr := NewDegree(deg)
+		ref := map[string]int{}
+		for step := 0; step < 8000; step++ {
+			k := fmt.Sprintf("k%04d", r.Intn(500))
+			switch r.Intn(3) {
+			case 0, 1:
+				tr.Put(k, step)
+				ref[k] = step
+			case 2:
+				got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("deg %d step %d: Delete(%q) = %v, want %v", deg, step, k, got, want)
+				}
+				delete(ref, k)
+			}
+			if step%500 == 0 {
+				tr.checkInvariants()
+			}
+		}
+		tr.checkInvariants()
+		if tr.Len() != len(ref) {
+			t.Fatalf("deg %d: Len = %d, ref = %d", deg, tr.Len(), len(ref))
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got.(int) != v {
+				t.Fatalf("deg %d: Get(%q) = %v,%v want %v,true", deg, k, got, ok, v)
+			}
+		}
+		// Drain completely.
+		for k := range ref {
+			if !tr.Delete(k) {
+				t.Fatalf("deg %d: drain Delete(%q) failed", deg, k)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("deg %d: tree not empty after drain: %d", deg, tr.Len())
+		}
+		tr.checkInvariants()
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("k%03d", i), i)
+	}
+	var got []string
+	tr.AscendRange("k010", "k020", func(k string, _ interface{}) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != "k010" || got[9] != "k019" {
+		t.Fatalf("AscendRange = %v", got)
+	}
+	// Open upper bound.
+	got = nil
+	tr.AscendRange("k095", "", func(k string, _ interface{}) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 {
+		t.Fatalf("open-ended AscendRange returned %d keys, want 5", len(got))
+	}
+	// Early stop.
+	count := 0
+	tr.Ascend(func(string, interface{}) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early-stop Ascend visited %d, want 7", count)
+	}
+}
+
+func TestAscendRangeEmptyWindow(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put(fmt.Sprintf("k%d", i), i)
+	}
+	called := false
+	tr.AscendRange("z", "zz", func(string, interface{}) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Fatal("AscendRange outside key space visited keys")
+	}
+}
+
+// Property: for random operation sequences the tree agrees with a map
+// and iteration order is sorted.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := NewDegree(3)
+		ref := map[string]int{}
+		for i, op := range ops {
+			k := fmt.Sprintf("%03d", op%200)
+			if op%3 == 0 {
+				tr.Delete(k)
+				delete(ref, k)
+			} else {
+				tr.Put(k, i)
+				ref[k] = i
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := tr.Keys()
+		if !sort.StringsAreSorted(keys) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got.(int) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%08d", i)
+		tr.Put(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}

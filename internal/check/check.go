@@ -1,0 +1,202 @@
+// Package check validates consistency invariants over recorded
+// transaction histories: wrap every client of a run in a History
+// recorder, then Validate the final database state against what the
+// committed operations permit. It machine-checks the guarantees
+// DESIGN.md §5 claims — no lost updates, atomic durability,
+// constraint safety, conservation of commutative deltas — and is used
+// by integration and property tests.
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"mdcc/internal/mtx"
+	"mdcc/internal/record"
+)
+
+// Op is one recorded transaction.
+type Op struct {
+	Seq       int64
+	Client    int
+	Updates   []record.Update
+	Committed bool
+}
+
+// History collects operations from all wrapped clients of a run.
+// Safe for concurrent use.
+type History struct {
+	mu  sync.Mutex
+	ops []Op
+	seq int64
+}
+
+// New returns an empty history.
+func New() *History { return &History{} }
+
+// Ops returns a copy of the recorded operations.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Op(nil), h.ops...)
+}
+
+// Client wraps a client so its commits are recorded.
+func (h *History) Client(id int, inner mtx.Client) mtx.Client {
+	return &recordingClient{h: h, id: id, inner: inner}
+}
+
+type recordingClient struct {
+	h     *History
+	id    int
+	inner mtx.Client
+}
+
+func (rc *recordingClient) Read(key record.Key, cb func(record.Value, record.Version, bool)) {
+	rc.inner.Read(key, cb)
+}
+
+func (rc *recordingClient) Commit(updates []record.Update, done func(bool)) {
+	ups := append([]record.Update(nil), updates...)
+	rc.inner.Commit(updates, func(ok bool) {
+		rc.h.mu.Lock()
+		rc.h.seq++
+		rc.h.ops = append(rc.h.ops, Op{
+			Seq: rc.h.seq, Client: rc.id, Updates: ups, Committed: ok,
+		})
+		rc.h.mu.Unlock()
+		done(ok)
+	})
+}
+
+func (rc *recordingClient) SupportsCommutative() bool { return mtx.Commutative(rc.inner) }
+
+// FinalState reads the authoritative end-of-run state of a key
+// (typically from a storage replica after quiescence).
+type FinalState func(key record.Key) (val record.Value, ver record.Version, exists bool)
+
+// Validate checks the history against the final state. initial maps
+// preloaded keys to their starting values (version 1); keys created
+// during the run start absent. Returned errors describe every
+// violated invariant (empty slice = clean).
+//
+// Checked invariants:
+//
+//  1. No lost updates: committed physical writes to a key have
+//     pairwise distinct read versions (two commits with the same
+//     vread would mean one overwrote the other blindly).
+//  2. Version accounting: the final version of a key equals its
+//     initial version plus the number of committed non-read-check
+//     updates to it.
+//  3. Conservation: for keys touched only by commutative updates,
+//     final = initial + Σ committed deltas.
+//  4. Constraint safety: the final value satisfies every declared
+//     constraint.
+func (h *History) Validate(initial map[record.Key]record.Value, final FinalState, cons []record.Constraint) []error {
+	ops := h.Ops()
+	var errs []error
+
+	type keyStats struct {
+		physVreads    map[record.Version]int
+		committed     int // committed writes (physical+commutative)
+		deltas        map[string]int64
+		sawPhysical   bool
+		sawComm       bool
+		lastTombstone bool
+	}
+	stats := make(map[record.Key]*keyStats)
+	ks := func(k record.Key) *keyStats {
+		s, ok := stats[k]
+		if !ok {
+			s = &keyStats{physVreads: make(map[record.Version]int), deltas: make(map[string]int64)}
+			stats[k] = s
+		}
+		return s
+	}
+	for _, op := range ops {
+		if !op.Committed {
+			continue
+		}
+		for _, up := range op.Updates {
+			s := ks(up.Key)
+			switch up.Kind {
+			case record.KindPhysical:
+				s.physVreads[up.ReadVersion]++
+				s.committed++
+				s.sawPhysical = true
+				s.lastTombstone = up.NewValue.Tombstone
+			case record.KindCommutative:
+				s.committed++
+				s.sawComm = true
+				for attr, d := range up.Deltas {
+					s.deltas[attr] += d
+				}
+			case record.KindReadCheck:
+				// validation only — no state change
+			}
+		}
+	}
+
+	for key, s := range stats {
+		// 1. No lost updates.
+		for vread, n := range s.physVreads {
+			if n > 1 {
+				errs = append(errs, fmt.Errorf(
+					"check: %s: %d committed physical writes share read version %d (lost update)", key, n, vread))
+			}
+		}
+		val, ver, exists := final(key)
+		init, preloaded := initial[key]
+		initVer := record.Version(0)
+		if preloaded {
+			initVer = 1
+		}
+		// 2. Version accounting.
+		if want := initVer + record.Version(s.committed); ver != want {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: final version %d, want %d (initial %d + %d committed writes)",
+				key, ver, want, initVer, s.committed))
+		}
+		// 3. Conservation for purely commutative keys.
+		if s.sawComm && !s.sawPhysical {
+			if !exists && preloaded {
+				errs = append(errs, fmt.Errorf("check: %s: commutative-only key vanished", key))
+			} else {
+				for attr, delta := range s.deltas {
+					want := init.Attr(attr) + delta
+					if got := val.Attr(attr); got != want {
+						errs = append(errs, fmt.Errorf(
+							"check: %s.%s: final %d, want %d (initial %d + Σdeltas %d)",
+							key, attr, got, want, init.Attr(attr), delta))
+					}
+				}
+			}
+		}
+		// 4. Constraints.
+		if exists {
+			for _, con := range cons {
+				if x, ok := val.Attrs[con.Attr]; ok && !con.Satisfied(x) {
+					errs = append(errs, fmt.Errorf(
+						"check: %s: constraint %s violated (value %d)", key, con, x))
+				}
+			}
+		}
+		// Tombstone bookkeeping consistency.
+		if s.sawPhysical && s.lastTombstone && exists && !s.sawComm {
+			errs = append(errs, fmt.Errorf("check: %s: last committed write was a delete but the record exists", key))
+		}
+	}
+	return errs
+}
+
+// Summary returns commit/abort counts for reporting.
+func (h *History) Summary() (commits, aborts int) {
+	for _, op := range h.Ops() {
+		if op.Committed {
+			commits++
+		} else {
+			aborts++
+		}
+	}
+	return commits, aborts
+}

@@ -1,0 +1,138 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := time.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := NewReal()
+	done := make(chan struct{})
+	c.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestRealAfterStop(t *testing.T) {
+	c := NewReal()
+	var fired atomic.Bool
+	tm := c.After(50*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop reported already-fired for a fresh timer")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired anyway")
+	}
+}
+
+func TestManualNowAdvances(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManual(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	if got, want := c.Now(), start.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestManualFiresInOrder(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	var order []int
+	c.After(30*time.Millisecond, func() { order = append(order, 3) })
+	c.After(10*time.Millisecond, func() { order = append(order, 1) })
+	c.After(20*time.Millisecond, func() { order = append(order, 2) })
+	c.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestManualSameDeadlineFIFO(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-deadline timers fired out of registration order: %v", order)
+		}
+	}
+}
+
+func TestManualPartialAdvance(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	fired := 0
+	c.After(10*time.Millisecond, func() { fired++ })
+	c.After(20*time.Millisecond, func() { fired++ })
+	c.Advance(15 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d after partial advance, want 1", fired)
+	}
+	c.Advance(5 * time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d after full advance, want 2", fired)
+	}
+}
+
+func TestManualStop(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	fired := false
+	tm := c.After(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should return true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped manual timer fired")
+	}
+}
+
+func TestManualTimerSchedulesTimer(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	var hits []time.Time
+	c.After(10*time.Millisecond, func() {
+		hits = append(hits, c.Now())
+		c.After(10*time.Millisecond, func() {
+			hits = append(hits, c.Now())
+		})
+	})
+	c.Advance(time.Second)
+	if len(hits) != 2 {
+		t.Fatalf("nested timer chain fired %d times, want 2", len(hits))
+	}
+	if d := hits[1].Sub(hits[0]); d != 10*time.Millisecond {
+		t.Fatalf("nested timer delta = %v, want 10ms", d)
+	}
+}
+
+func TestManualNegativeDelayFiresImmediately(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	fired := false
+	c.After(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if !fired {
+		t.Fatal("negative-delay timer did not fire on Advance(0)")
+	}
+}

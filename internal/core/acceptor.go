@@ -1,0 +1,558 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"mdcc/internal/kv"
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// StorageNode is one replica: the Paxos acceptor for every record it
+// stores, plus the leader role for records mastered in its data
+// center (masters are placed on storage nodes, §3.1.1). All methods
+// run in transport handler context.
+type StorageNode struct {
+	id    transport.NodeID
+	dc    topology.DC
+	net   transport.Network
+	cl    *topology.Cluster
+	cfg   Config
+	q     paxos.Quorum
+	store *kv.Store
+	recs  map[record.Key]*recState
+	ldrs  map[record.Key]*leaderRec
+
+	reqSeq     uint64
+	recoveries map[uint64]*txRecovery
+	syncCursor record.Key
+	nSynced    int64
+
+	// Counters (read via Metrics).
+	nVotesAccept, nVotesReject int64
+	nForwarded                 int64
+	nExecuted, nDiscarded      int64
+	nPhase1, nPhase2           int64
+	nEnableFast                int64
+	nDemarcationRejects        int64
+	nSweeps                    int64
+}
+
+// recState is the acceptor's per-record Paxos state: the promised and
+// accepted ballots, the unresolved votes of the current ballot (the
+// cstruct), and recently decided options for idempotence/recovery.
+type recState struct {
+	promised paxos.Ballot
+	accepted paxos.Ballot
+	votes    []VotedOption
+	decided  *decidedLog
+	// votedAt remembers when each unresolved vote was cast, for the
+	// dangling-transaction sweep.
+	votedAt map[OptionID]time.Time
+}
+
+// NewStorageNode builds a storage node bound to id and registers its
+// handler on the network.
+func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
+	cl *topology.Cluster, cfg Config, store *kv.Store) *StorageNode {
+	n := &StorageNode{
+		id:         id,
+		dc:         dc,
+		net:        net,
+		cl:         cl,
+		cfg:        cfg,
+		q:          paxos.NewQuorum(cl.ReplicationFactor()),
+		store:      store,
+		recs:       make(map[record.Key]*recState),
+		ldrs:       make(map[record.Key]*leaderRec),
+		recoveries: make(map[uint64]*txRecovery),
+	}
+	net.Register(id, n.handle)
+	if cfg.PendingTimeout > 0 {
+		n.scheduleSweep()
+	}
+	if cfg.SyncInterval > 0 {
+		n.scheduleAntiEntropy(rand.New(rand.NewSource(int64(fnvID(string(id))))))
+	}
+	return n
+}
+
+// ID returns the node's transport identity.
+func (n *StorageNode) ID() transport.NodeID { return n.id }
+
+// Store exposes the committed-state store (reads, tests, tools).
+func (n *StorageNode) Store() *kv.Store { return n.store }
+
+// handle dispatches every message addressed to this node.
+func (n *StorageNode) handle(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case MsgRead:
+		n.onRead(env.From, m)
+	case MsgProposeFast:
+		n.onProposeFast(m)
+	case MsgProposeBatch:
+		n.onProposeBatch(m)
+	case MsgVisibility:
+		n.onVisibility(m)
+	case MsgVisibilityBatch:
+		for _, item := range m.Items {
+			n.onVisibility(item)
+		}
+	case MsgPhase1a:
+		n.onPhase1a(env.From, m)
+	case MsgPhase2a:
+		n.onPhase2a(env.From, m)
+	case MsgEnableFast:
+		n.onEnableFast(m)
+	// Leader-role messages.
+	case MsgProposeLeader:
+		n.leaderPropose(m.Opt, false)
+	case MsgStartRecovery:
+		n.onStartRecovery(m)
+	case MsgPhase1b:
+		n.onPhase1b(env.From, m)
+	case MsgPhase2b:
+		n.onPhase2b(env.From, m)
+	// Dangling-transaction recovery.
+	case MsgRecoverOpt:
+		n.onRecoverOpt(env.From, m)
+	case MsgOptDecided:
+		n.onOptDecided(m)
+	// Anti-entropy catch-up.
+	case MsgSyncReq:
+		n.onSyncReq(env.From, m)
+	case MsgSyncReply:
+		n.onSyncReply(m)
+	}
+}
+
+// rs returns (creating lazily) the record's acceptor state. Records
+// start in the implicit fast ballot, except in Multi mode where every
+// record starts owned by its stable master at classic ballot 1
+// (the Multi-Paxos mastership reservation over all instances).
+func (n *StorageNode) rs(key record.Key) *recState {
+	r, ok := n.recs[key]
+	if !ok {
+		r = &recState{
+			promised: n.initialBallot(key),
+			decided:  newDecidedLog(0),
+			votedAt:  make(map[OptionID]time.Time),
+		}
+		r.accepted = r.promised
+		n.recs[key] = r
+	}
+	return r
+}
+
+func (n *StorageNode) initialBallot(key record.Key) paxos.Ballot {
+	if n.cfg.Mode == ModeMulti {
+		return paxos.Classic(1, string(n.leaderFor(key)))
+	}
+	return paxos.DefaultFast
+}
+
+// leaderFor returns the record's master: the replica of the key in
+// its master data center.
+func (n *StorageNode) leaderFor(key record.Key) transport.NodeID {
+	return n.cl.ReplicaIn(key, n.cfg.masterDC(key))
+}
+
+// onRead serves committed state only (read committed, §4.1).
+func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
+	val, ver, ok := n.store.Get(m.Key)
+	exists := ok && !val.Tombstone
+	n.net.Send(n.id, from, MsgReadReply{
+		ReqID: m.ReqID, Key: m.Key, Value: val, Version: ver, Exists: exists,
+	})
+}
+
+// onProposeFast handles a master-bypassing proposal (§3.3). In a fast
+// ballot the acceptor votes immediately; in a classic window it
+// forwards to the record's leader and tells the coordinator where it
+// went.
+func (n *StorageNode) onProposeFast(m MsgProposeFast) {
+	n.net.Send(n.id, m.Opt.Coord, n.proposeVote(m.Opt))
+}
+
+// onProposeBatch votes on every option of a transaction destined for
+// this node and answers with a single vote batch (§7 batching).
+func (n *StorageNode) onProposeBatch(m MsgProposeBatch) {
+	if len(m.Opts) == 0 {
+		return
+	}
+	batch := MsgVoteBatch{Votes: make([]MsgVote, 0, len(m.Opts))}
+	for _, opt := range m.Opts {
+		batch.Votes = append(batch.Votes, n.proposeVote(opt))
+	}
+	n.net.Send(n.id, m.Opts[0].Coord, batch)
+}
+
+// proposeVote computes this acceptor's Phase2b answer for one
+// proposed option (voting, resending, or forwarding to the leader).
+func (n *StorageNode) proposeVote(opt Option) MsgVote {
+	key := opt.Update.Key
+	r := n.rs(key)
+	id := opt.ID()
+
+	// Idempotence: final decisions and existing votes are resent.
+	if d, ok := r.decided.get(id); ok {
+		return MsgVote{OptID: id, Ballot: r.promised, Decision: d}
+	}
+	for _, v := range r.votes {
+		if v.Opt.ID() == id {
+			return MsgVote{OptID: id, Ballot: r.accepted, Decision: v.Decision}
+		}
+	}
+
+	if !r.promised.Fast {
+		// Classic window: the record's current leader must order this
+		// option. That is whoever owns the promised ballot — after a
+		// master-DC failure this is a fallback leader in a live DC,
+		// not the static master.
+		leader := transport.NodeID(r.promised.Leader)
+		if leader == "" {
+			leader = n.leaderFor(key)
+		}
+		n.nForwarded++
+		n.net.Send(n.id, leader, MsgProposeLeader{Opt: opt})
+		return MsgVote{OptID: id, Ballot: r.promised, Forwarded: true, Leader: leader}
+	}
+
+	dec := n.evalOption(r.votes, opt, true)
+	n.castVote(r, opt, dec)
+	return MsgVote{OptID: id, Ballot: r.promised, Decision: dec}
+}
+
+// castVote appends a vote to the record's cstruct.
+func (n *StorageNode) castVote(r *recState, opt Option, dec Decision) {
+	r.votes = append(r.votes, VotedOption{Opt: opt, Decision: dec})
+	r.votedAt[opt.ID()] = n.net.Now()
+	if dec == DecAccept {
+		n.nVotesAccept++
+	} else {
+		n.nVotesReject++
+	}
+}
+
+// evalOption is the paper's SetCompatible (algorithm 3, lines 83-99):
+// an active accept/reject judgment of one option against the record's
+// committed state and the outstanding options in `pending`. fast
+// selects the quorum demarcation limits instead of the raw bounds for
+// commutative updates. The same code runs on acceptors against their
+// own votes (fast ballots) and on the leader against its cstruct
+// (classic ballots) — classic decisions are consistent across
+// replicas because they adopt the leader's cstruct verbatim.
+func (n *StorageNode) evalOption(pending []VotedOption, opt Option, fast bool) Decision {
+	switch opt.Update.Kind {
+	case record.KindPhysical:
+		return n.evalPhysical(pending, opt)
+	case record.KindCommutative:
+		return n.evalCommutative(pending, opt, fast)
+	case record.KindReadCheck:
+		// Read-set validation (§4.4): the record must still be at the
+		// version the transaction read, and no outstanding write may
+		// be about to change it (a pending accepted write is a
+		// read-write conflict that could commit; rejecting here is
+		// what makes the validation conflict-serializable rather than
+		// merely version-checked). Read checks commute with each
+		// other.
+		_, ver, _ := n.store.Get(opt.Update.Key)
+		if opt.Update.ReadVersion != ver {
+			return DecReject
+		}
+		for _, v := range pending {
+			if v.Decision == DecAccept && v.Opt.Update.Kind != record.KindReadCheck {
+				return DecReject
+			}
+		}
+		return DecAccept
+	default:
+		return DecReject
+	}
+}
+
+func (n *StorageNode) evalPhysical(pending []VotedOption, opt Option) Decision {
+	key := opt.Update.Key
+	_, ver, _ := n.store.Get(key)
+	// validRead: vread must match the current version; an insert
+	// (ReadVersion 0) requires the record to be new (§3.2.1).
+	if opt.Update.ReadVersion != ver {
+		return DecReject
+	}
+	// validSingle: only one outstanding option per record — this is
+	// also the pessimistic deadlock-avoidance policy (§3.2.2): a
+	// concurrent option is rejected, never queued, so waits-for
+	// cycles cannot form. Outstanding read checks block writes too
+	// (the write-read conflict side of §4.4's serializability
+	// extension); they only exist when an application asks for
+	// serializable transactions.
+	for _, v := range pending {
+		if v.Decision == DecAccept {
+			return DecReject
+		}
+	}
+	// Value constraints hold trivially under version serialization;
+	// still enforce them so "Fast"-mode read-modify-writes abort
+	// instead of violating stock >= 0.
+	for _, con := range n.cfg.Constraints {
+		if x, ok := opt.Update.NewValue.Attrs[con.Attr]; ok && !con.Satisfied(x) {
+			return DecReject
+		}
+	}
+	return DecAccept
+}
+
+func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bool) Decision {
+	if n.cfg.Mode == ModeFast || n.cfg.Mode == ModeMulti {
+		// Commutative support is the MDCC configuration's feature.
+		// Fast/Multi callers should have converted to physical
+		// updates; reject rather than guess.
+		return DecReject
+	}
+	// Commutative options do not commute with an outstanding
+	// physical rewrite of the same record, nor with an outstanding
+	// read check (whose transaction's validity depends on the record
+	// not changing).
+	for _, v := range pending {
+		if v.Decision == DecAccept && v.Opt.Update.Kind != record.KindCommutative {
+			return DecReject
+		}
+	}
+	val, _, _ := n.store.Get(opt.Update.Key)
+	for attr, delta := range opt.Update.Deltas {
+		con, ok := n.cfg.constraintFor(attr)
+		if !ok {
+			continue // unconstrained attributes always commute
+		}
+		if !n.deltaSafe(pending, val, attr, delta, con, fast) {
+			if fast {
+				n.nDemarcationRejects++
+			}
+			return DecReject
+		}
+	}
+	return DecAccept
+}
+
+// deltaSafe decides whether accepting one more delta on attr keeps
+// the constraint safe under every commit/abort permutation of the
+// outstanding options (escrow, §3.4.2). In fast ballots the bound is
+// tightened to the quorum demarcation limit
+//
+//	L = min + (N-Q_F)/N · (X - min)
+//
+// because each storage node only sees its own copy of the X "resources"
+// and a fast quorum consumes Q_F of the N·X total per committed unit;
+// the (N-Q_F)/N headroom can be stranded on other replicas. Classic
+// ballots are serialized by the leader, so the raw bound applies.
+func (n *StorageNode) deltaSafe(pending []VotedOption, val record.Value, attr string, delta int64, con record.Constraint, fast bool) bool {
+	base := val.Attrs[attr]
+	// Worst-case pending movement: for the lower bound, every
+	// outstanding decrement commits and every increment aborts;
+	// symmetric for the upper bound.
+	var pendDown, pendUp int64
+	for _, v := range pending {
+		if v.Decision != DecAccept || v.Opt.Update.Kind != record.KindCommutative {
+			continue
+		}
+		d := v.Opt.Update.Deltas[attr]
+		if d < 0 {
+			pendDown += d
+		} else {
+			pendUp += d
+		}
+	}
+	if delta < 0 {
+		pendDown += delta
+	} else {
+		pendUp += delta
+	}
+	if con.Min != nil {
+		lim := *con.Min
+		if fast {
+			lim = demarcationLow(*con.Min, base, n.q)
+		}
+		if base+pendDown < lim {
+			return false
+		}
+	}
+	if con.Max != nil {
+		lim := *con.Max
+		if fast {
+			lim = demarcationHigh(*con.Max, base, n.q)
+		}
+		if base+pendUp > lim {
+			return false
+		}
+	}
+	return true
+}
+
+// demarcationLow computes the lower demarcation limit. With min = 0
+// this is the paper's L = (N-Q_F)/N · X, rounded up (conservative).
+func demarcationLow(min, base int64, q paxos.Quorum) int64 {
+	head := base - min
+	if head <= 0 {
+		return min
+	}
+	slack := int64(q.N - q.Fast)
+	return min + ceilDiv(head*slack, int64(q.N))
+}
+
+// demarcationHigh mirrors demarcationLow for upper bounds.
+func demarcationHigh(max, base int64, q paxos.Quorum) int64 {
+	head := max - base
+	if head <= 0 {
+		return max
+	}
+	slack := int64(q.N - q.Fast)
+	return max - ceilDiv(head*slack, int64(q.N))
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// onVisibility executes or discards an option (§3.2.1 "Learned"
+// messages). Commit applies the update and bumps the version; abort
+// discards. Both record the outcome for idempotence and recovery.
+func (n *StorageNode) onVisibility(m MsgVisibility) {
+	key := m.Opt.Update.Key
+	r := n.rs(key)
+	id := m.Opt.ID()
+	if _, ok := r.decided.get(id); ok {
+		return // already executed or discarded
+	}
+	if m.Commit {
+		r.decided.record(id, DecAccept, m.Opt, true)
+		n.applyUpdate(m.Opt.Update)
+		n.nExecuted++
+	} else {
+		r.decided.record(id, DecReject, m.Opt, true)
+		n.nDiscarded++
+	}
+	n.pruneVote(r, id)
+	n.leaderObserveVisibility(key, id)
+}
+
+// applyUpdate makes a committed update visible in the store.
+func (n *StorageNode) applyUpdate(up record.Update) {
+	if up.Kind == record.KindReadCheck {
+		return // validation only
+	}
+	cur, ver, _ := n.store.Get(up.Key)
+	switch up.Kind {
+	case record.KindPhysical:
+		newVer := up.ReadVersion + 1
+		if newVer <= ver {
+			return // already superseded by a later committed write
+		}
+		_ = n.store.Put(up.Key, up.NewValue, newVer)
+	case record.KindCommutative:
+		_ = n.store.Put(up.Key, up.Apply(cur), ver+1)
+	}
+}
+
+// pruneVote drops an unresolved vote once its option is settled.
+func (n *StorageNode) pruneVote(r *recState, id OptionID) {
+	delete(r.votedAt, id)
+	for i, v := range r.votes {
+		if v.Opt.ID() == id {
+			r.votes = append(r.votes[:i], r.votes[i+1:]...)
+			return
+		}
+	}
+}
+
+// onPhase1a promises a classic ballot and reports state (§3.1.1).
+func (n *StorageNode) onPhase1a(from transport.NodeID, m MsgPhase1a) {
+	r := n.rs(m.Key)
+	if r.promised.Less(m.Ballot) {
+		r.promised = m.Ballot
+	}
+	val, ver, ok := n.store.Get(m.Key)
+	decided := make([]DecidedOption, 0, len(r.decided.order))
+	for _, id := range r.decided.order {
+		decided = append(decided, DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
+	}
+	n.nPhase1++
+	n.net.Send(n.id, from, MsgPhase1b{
+		Key:     m.Key,
+		Ballot:  r.promised, // echoes m.Ballot, or a higher promise (nack)
+		Bal:     r.accepted,
+		Votes:   append([]VotedOption(nil), r.votes...),
+		Version: ver,
+		Value:   val,
+		Exists:  ok && !val.Tombstone,
+		Decided: decided,
+	})
+}
+
+// onPhase2a adopts the leader's cstruct (classic Phase2b, algorithm 3
+// lines 72-77). Decisions were fixed by the leader, so all replicas
+// store identical votes. A fresher committed base piggybacked by the
+// leader catches up lagging replicas.
+func (n *StorageNode) onPhase2a(from transport.NodeID, m MsgPhase2a) {
+	r := n.rs(m.Key)
+	if m.Ballot.Less(r.promised) {
+		n.net.Send(n.id, from, MsgPhase2b{
+			Key: m.Key, Ballot: m.Ballot, Seq: m.Seq, OK: false, Promised: r.promised,
+		})
+		return
+	}
+	r.promised = m.Ballot
+	r.accepted = m.Ballot
+	if m.HasBase {
+		_, ver, _ := n.store.Get(m.Key)
+		if m.BaseVersion > ver {
+			_ = n.store.Put(m.Key, m.BaseValue, m.BaseVersion)
+			// The adopted base already contains these options'
+			// effects; mark them decided so late visibility
+			// notifications do not double-apply them.
+			for _, d := range m.BaseDecided {
+				r.decided.record(d.ID, d.Decision, Option{}, false)
+			}
+		}
+	}
+	now := n.net.Now()
+	r.votes = r.votes[:0]
+	for k := range r.votedAt {
+		delete(r.votedAt, k)
+	}
+	for _, v := range m.CStruct {
+		if _, ok := r.decided.get(v.Opt.ID()); ok {
+			continue // already settled locally (e.g. visibility raced ahead)
+		}
+		r.votes = append(r.votes, v)
+		r.votedAt[v.Opt.ID()] = now
+	}
+	n.nPhase2++
+	n.net.Send(n.id, from, MsgPhase2b{Key: m.Key, Ballot: m.Ballot, Seq: m.Seq, OK: true})
+}
+
+// onEnableFast re-opens the record for master-bypassing proposals.
+func (n *StorageNode) onEnableFast(m MsgEnableFast) {
+	r := n.rs(m.Key)
+	if r.promised.Less(m.Ballot) {
+		r.promised = m.Ballot
+		r.accepted = m.Ballot
+		n.nEnableFast++
+	}
+}
+
+// fnvID hashes a node id into an anti-entropy RNG seed so each node
+// walks a different peer order deterministically.
+func fnvID(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+
+	"mdcc/internal/kv"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// Anti-entropy: §3.2.3 notes that after a data-center outage "only
+// records which have been updated during the failure would still be
+// impacted by the increased latency until the next update or a
+// background process brought them up-to-date", and suggests bulk-copy
+// techniques as future work. This is that background process: each
+// storage node periodically walks its key space in chunks and
+// exchanges committed state with the same shard's replica in another
+// data center, adopting anything newer. A replica that slept through
+// a failure converges without waiting for fresh writes to each record.
+
+// MsgSyncReq asks a peer for its committed state in a key range.
+type MsgSyncReq struct {
+	ReqID uint64
+	From  record.Key // inclusive cursor ("" = start)
+	Limit int
+}
+
+// SyncEntry is one record's committed state plus the decided options
+// whose effects it contains (so the adopter stays idempotent against
+// late visibility messages, exactly like Phase2a base adoption).
+type SyncEntry struct {
+	Key     record.Key
+	Value   record.Value
+	Version record.Version
+	Decided []DecidedOption
+}
+
+// MsgSyncReply answers MsgSyncReq. Next is the cursor for the
+// following chunk; empty means the key space is exhausted.
+type MsgSyncReply struct {
+	ReqID   uint64
+	Entries []SyncEntry
+	Next    record.Key
+}
+
+func init() {
+	transport.RegisterMessage(MsgSyncReq{})
+	transport.RegisterMessage(MsgSyncReply{})
+}
+
+// syncChunkSize bounds one anti-entropy exchange.
+const syncChunkSize = 128
+
+// scheduleAntiEntropy arms the periodic sync. Called from the
+// constructor when cfg.SyncInterval > 0.
+func (n *StorageNode) scheduleAntiEntropy(rng *rand.Rand) {
+	n.net.After(n.id, n.cfg.SyncInterval, func() {
+		n.syncStep(rng)
+		n.scheduleAntiEntropy(rng)
+	})
+}
+
+// syncStep requests one chunk from a random peer replica.
+func (n *StorageNode) syncStep(rng *rand.Rand) {
+	peerDC := topology.DC(rng.Intn(topology.NumDCs))
+	if peerDC == n.dc {
+		peerDC = topology.DC((int(peerDC) + 1) % topology.NumDCs)
+	}
+	peer := topology.StorageID(peerDC, n.shardIndex())
+	n.reqSeq++
+	n.net.Send(n.id, peer, MsgSyncReq{ReqID: n.reqSeq, From: n.syncCursor, Limit: syncChunkSize})
+}
+
+// shardIndex parses this node's shard from its catalogue entry.
+func (n *StorageNode) shardIndex() int {
+	for _, node := range n.cl.Storage {
+		if node.ID == n.id {
+			return node.Index
+		}
+	}
+	return 0
+}
+
+// onSyncReq streams one chunk of committed state to the requester.
+func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
+	limit := m.Limit
+	if limit <= 0 || limit > 4*syncChunkSize {
+		limit = syncChunkSize
+	}
+	reply := MsgSyncReply{ReqID: m.ReqID}
+	count := 0
+	n.store.Scan(m.From, "", func(e kv.Entry) bool {
+		if count >= limit {
+			// One more key exists: it becomes the next cursor.
+			reply.Next = e.Key
+			return false
+		}
+		count++
+		entry := SyncEntry{Key: e.Key, Value: e.Value, Version: e.Version}
+		if r, ok := n.recs[e.Key]; ok {
+			for _, id := range r.decided.order {
+				entry.Decided = append(entry.Decided,
+					DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
+			}
+		}
+		reply.Entries = append(reply.Entries, entry)
+		return true
+	})
+	n.net.Send(n.id, from, reply)
+}
+
+// onSyncReply adopts anything newer than local state.
+func (n *StorageNode) onSyncReply(m MsgSyncReply) {
+	for _, e := range m.Entries {
+		_, ver, _ := n.store.Get(e.Key)
+		if e.Version <= ver {
+			continue
+		}
+		r := n.rs(e.Key)
+		_ = n.store.Put(e.Key, e.Value, e.Version)
+		for _, d := range e.Decided {
+			r.decided.record(d.ID, d.Decision, Option{}, false)
+		}
+		n.nSynced++
+	}
+	n.syncCursor = m.Next
+}

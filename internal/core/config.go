@@ -1,0 +1,130 @@
+package core
+
+import (
+	"time"
+
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+)
+
+// Mode selects which protocol variant runs — the configurations
+// compared in the paper's §5.3 ("MDCC", "Fast", "Multi").
+type Mode int
+
+// Protocol variants.
+const (
+	// ModeMDCC is the full protocol: fast ballots plus commutative
+	// updates with quorum demarcation.
+	ModeMDCC Mode = iota
+	// ModeFast uses fast ballots but no commutative support;
+	// workloads express deltas as physical read-modify-writes.
+	ModeFast
+	// ModeMulti runs everything through classic ballots with stable
+	// per-record masters (Multi-Paxos; Phase 1 skipped).
+	ModeMulti
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeMDCC:
+		return "MDCC"
+	case ModeFast:
+		return "Fast"
+	case ModeMulti:
+		return "Multi"
+	default:
+		return "mode?"
+	}
+}
+
+// Config parameterizes coordinators and storage nodes. The zero value
+// is not usable; call Defaults or fill every field.
+type Config struct {
+	Mode Mode
+
+	// Gamma is the number of instances forced classic after a
+	// collision before fast ballots are retried (paper default 100).
+	Gamma int
+
+	// MasterDC maps a record to the data center whose replica acts
+	// as the record's master (leader). Nil means uniform by key hash.
+	MasterDC func(record.Key) topology.DC
+
+	// Constraints are the value constraints acceptors enforce
+	// (matched to attributes by name across all records).
+	Constraints []record.Constraint
+
+	// OptionTimeout is how long a coordinator waits for an option to
+	// be learned before asking the record's leader to recover.
+	OptionTimeout time.Duration
+
+	// RecoveryRetry is the spacing of repeated recovery attempts
+	// (also switching to fallback leaders in other DCs).
+	RecoveryRetry time.Duration
+
+	// PendingTimeout is how old an unresolved option must be before
+	// a storage node starts dangling-transaction recovery (§3.2.3).
+	// Zero disables the sweep.
+	PendingTimeout time.Duration
+
+	// ReadTimeout bounds local reads before retrying another DC.
+	ReadTimeout time.Duration
+
+	// DisableBatching turns off the §7 batching optimization
+	// (grouping a transaction's proposals and visibility messages per
+	// destination node); used by the batching ablation bench.
+	DisableBatching bool
+
+	// SyncInterval is the anti-entropy period: how often a storage
+	// node exchanges a chunk of committed state with a random peer
+	// replica to catch up after outages (§3.2.3's background
+	// bulk-copy). Zero disables.
+	SyncInterval time.Duration
+}
+
+// Defaults returns a Config tuned for the simulated 5-DC WAN: option
+// timeouts comfortably above the worst round trip (~540 ms).
+func Defaults(mode Mode) Config {
+	return Config{
+		Mode:           mode,
+		Gamma:          100,
+		OptionTimeout:  1200 * time.Millisecond,
+		RecoveryRetry:  800 * time.Millisecond,
+		PendingTimeout: 5 * time.Second,
+		ReadTimeout:    600 * time.Millisecond,
+	}
+}
+
+// masterDC resolves the master data center for a key.
+func (c Config) masterDC(key record.Key) topology.DC {
+	if c.MasterDC != nil {
+		return c.MasterDC(key)
+	}
+	return DefaultMasterDC(key)
+}
+
+// DefaultMasterDC distributes masters uniformly across data centers
+// by key hash (the paper's Multi experiments use uniformly
+// distributed masters).
+func DefaultMasterDC(key record.Key) topology.DC {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return topology.DC(int(h % uint32(topology.NumDCs)))
+}
+
+// constraintFor returns the constraint on an attribute name, if any.
+func (c Config) constraintFor(attr string) (record.Constraint, bool) {
+	for _, con := range c.Constraints {
+		if con.Attr == attr {
+			return con, true
+		}
+	}
+	return record.Constraint{}, false
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mdcc/internal/clock"
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// hintTTL bounds how long a coordinator keeps routing proposals for a
+// record through its leader after learning the record is in a classic
+// window; afterwards it probes the fast path again (complements the
+// leader-side γ policy).
+const hintTTL = 2 * time.Second
+
+// CommitResult reports a transaction outcome to the application.
+type CommitResult struct {
+	Tx        TxID
+	Committed bool
+}
+
+// Coordinator is the stateless DB-library side of MDCC: it executes
+// reads against the nearest replica, proposes options for the
+// write-set at commit, learns their decisions (acting as the Paxos
+// learner on the fast path), derives the transaction outcome, and
+// broadcasts visibility. One Coordinator serves one app-server node;
+// all methods must be called from that node's handler context (or
+// before the network starts).
+type Coordinator struct {
+	id  transport.NodeID
+	dc  topology.DC
+	net transport.Network
+	cl  *topology.Cluster
+	cfg Config
+	q   paxos.Quorum
+
+	txSeq  uint64
+	reqSeq uint64
+	reads  map[uint64]*readCtx
+	txs    map[TxID]*txCtx
+	hints  map[record.Key]leaderHint
+
+	// Counters (see CoordMetrics).
+	nCommits, nAborts       int64
+	nFastLearns             int64
+	nLeaderLearns           int64
+	nRecoveries             int64
+	nCollisions             int64
+	nReadRetries, nReadFail int64
+}
+
+type leaderHint struct {
+	leader transport.NodeID
+	expiry time.Time
+}
+
+type readCtx struct {
+	key     record.Key
+	cb      func(record.Value, record.Version, bool)
+	attempt int
+	timer   clock.Timer
+
+	// Quorum-read state (§4.2 up-to-date reads): nil for local reads.
+	quorum  int
+	replies map[transport.NodeID]MsgReadReply
+	best    *MsgReadReply
+}
+
+type txCtx struct {
+	id        TxID
+	opts      map[OptionID]*optCtx
+	remaining int
+	done      func(CommitResult)
+}
+
+type optCtx struct {
+	opt      Option
+	votes    map[transport.NodeID]Decision
+	accepts  int
+	rejects  int
+	learned  Decision
+	timer    clock.Timer
+	attempts int
+}
+
+// NewCoordinator builds a coordinator on node id (located in dc) and
+// registers its handler.
+func NewCoordinator(id transport.NodeID, dc topology.DC, net transport.Network,
+	cl *topology.Cluster, cfg Config) *Coordinator {
+	c := &Coordinator{
+		id:    id,
+		dc:    dc,
+		net:   net,
+		cl:    cl,
+		cfg:   cfg,
+		q:     paxos.NewQuorum(cl.ReplicationFactor()),
+		reads: make(map[uint64]*readCtx),
+		txs:   make(map[TxID]*txCtx),
+		hints: make(map[record.Key]leaderHint),
+	}
+	net.Register(id, c.handle)
+	return c
+}
+
+// ID returns the coordinator's node identity.
+func (c *Coordinator) ID() transport.NodeID { return c.id }
+
+func (c *Coordinator) handle(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case MsgReadReply:
+		c.onReadReply(env.From, m)
+	case MsgVote:
+		c.onVote(env.From, m)
+	case MsgVoteBatch:
+		for _, v := range m.Votes {
+			c.onVote(env.From, v)
+		}
+	case MsgLearned:
+		c.onLearned(m)
+	}
+}
+
+// Read fetches committed state from the nearest replica (read
+// committed, §4.1: uncommitted options are never visible). On
+// timeout it retries the next data center; after a full rotation the
+// callback reports absence.
+func (c *Coordinator) Read(key record.Key, cb func(val record.Value, ver record.Version, exists bool)) {
+	c.reqSeq++
+	req := c.reqSeq
+	rc := &readCtx{key: key, cb: cb}
+	c.reads[req] = rc
+	c.sendRead(req, rc)
+}
+
+func (c *Coordinator) sendRead(req uint64, rc *readCtx) {
+	dc := topology.DC((int(c.dc) + rc.attempt) % topology.NumDCs)
+	c.net.Send(c.id, c.cl.ReplicaIn(rc.key, dc), MsgRead{ReqID: req, Key: rc.key})
+	rc.timer = c.net.After(c.id, c.cfg.ReadTimeout, func() {
+		cur, ok := c.reads[req]
+		if !ok || cur != rc {
+			return
+		}
+		rc.attempt++
+		if rc.attempt >= topology.NumDCs {
+			delete(c.reads, req)
+			c.nReadFail++
+			rc.cb(record.Value{}, 0, false)
+			return
+		}
+		c.nReadRetries++
+		c.sendRead(req, rc)
+	})
+}
+
+func (c *Coordinator) onReadReply(from transport.NodeID, m MsgReadReply) {
+	rc, ok := c.reads[m.ReqID]
+	if !ok {
+		return
+	}
+	if rc.quorum > 0 {
+		if _, dup := rc.replies[from]; dup {
+			return
+		}
+		rc.replies[from] = m
+		if rc.best == nil || m.Version > rc.best.Version {
+			cp := m
+			rc.best = &cp
+		}
+		if len(rc.replies) < rc.quorum {
+			return
+		}
+		delete(c.reads, m.ReqID)
+		if rc.timer != nil {
+			rc.timer.Stop()
+		}
+		rc.cb(rc.best.Value, rc.best.Version, rc.best.Exists)
+		return
+	}
+	delete(c.reads, m.ReqID)
+	if rc.timer != nil {
+		rc.timer.Stop()
+	}
+	rc.cb(m.Value, m.Version, m.Exists)
+}
+
+// ReadQuorum performs an up-to-date read (§4.2): it contacts every
+// replica, waits for a majority, and returns the freshest committed
+// state among them. Any committed version is newer-or-equal to what a
+// majority read can miss, because visibility reaches a majority
+// before a later version can be chosen by a classic quorum — and a
+// fast-quorum commit intersects every majority.
+func (c *Coordinator) ReadQuorum(key record.Key, cb func(val record.Value, ver record.Version, exists bool)) {
+	c.reqSeq++
+	req := c.reqSeq
+	rc := &readCtx{
+		key: key, cb: cb,
+		quorum:  c.q.Classic,
+		replies: make(map[transport.NodeID]MsgReadReply, c.q.N),
+	}
+	c.reads[req] = rc
+	for _, rep := range c.cl.Replicas(key) {
+		c.net.Send(c.id, rep, MsgRead{ReqID: req, Key: key})
+	}
+	// One generous deadline: answer with the best seen, or absent.
+	rc.timer = c.net.After(c.id, 4*c.cfg.ReadTimeout, func() {
+		cur, ok := c.reads[req]
+		if !ok || cur != rc {
+			return
+		}
+		delete(c.reads, req)
+		c.nReadFail++
+		if rc.best != nil {
+			rc.cb(rc.best.Value, rc.best.Version, rc.best.Exists)
+			return
+		}
+		rc.cb(record.Value{}, 0, false)
+	})
+}
+
+// Commit runs the MDCC commit protocol over a write-set (§3.2.1):
+// propose an option per update, learn them all, commit iff every
+// option is accepted, then make the outcome visible asynchronously.
+// The transaction cannot be aborted unilaterally once proposed — the
+// outcome is a deterministic function of the learned options.
+func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
+	c.txSeq++
+	tx := TxID(fmt.Sprintf("%s#%d", c.id, c.txSeq))
+	if len(updates) == 0 {
+		c.nCommits++
+		done(CommitResult{Tx: tx, Committed: true})
+		return
+	}
+	writeSet := make([]record.Key, 0, len(updates))
+	for _, up := range updates {
+		writeSet = append(writeSet, up.Key)
+	}
+	t := &txCtx{
+		id:        tx,
+		opts:      make(map[OptionID]*optCtx, len(updates)),
+		remaining: len(updates),
+		done:      done,
+	}
+	c.txs[tx] = t
+	// Fast-path proposals for the whole write-set are grouped per
+	// destination node (§7's batching optimization) unless disabled.
+	var fastByNode map[transport.NodeID][]Option
+	for _, up := range updates {
+		opt := Option{Tx: tx, Coord: c.id, Update: up, WriteSet: writeSet}
+		oc := &optCtx{opt: opt, votes: make(map[transport.NodeID]Decision)}
+		t.opts[opt.ID()] = oc
+		if dest, viaLeader := c.route(opt.Update.Key); viaLeader {
+			c.net.Send(c.id, dest, MsgProposeLeader{Opt: opt})
+		} else if c.cfg.DisableBatching {
+			for _, rep := range c.cl.Replicas(opt.Update.Key) {
+				c.net.Send(c.id, rep, MsgProposeFast{Opt: opt})
+			}
+		} else {
+			if fastByNode == nil {
+				fastByNode = make(map[transport.NodeID][]Option)
+			}
+			for _, rep := range c.cl.Replicas(opt.Update.Key) {
+				fastByNode[rep] = append(fastByNode[rep], opt)
+			}
+		}
+		c.armOptionTimer(t, oc)
+	}
+	// Deterministic send order for the simulator.
+	for _, up := range updates {
+		for _, rep := range c.cl.Replicas(up.Key) {
+			if opts, ok := fastByNode[rep]; ok {
+				delete(fastByNode, rep)
+				c.net.Send(c.id, rep, MsgProposeBatch{Opts: opts})
+			}
+		}
+	}
+}
+
+// route decides where a key's proposal goes: (leader, true) for the
+// master path (Multi mode or a fresh classic-window hint), or
+// (_, false) for the fast path.
+func (c *Coordinator) route(key record.Key) (transport.NodeID, bool) {
+	if c.cfg.Mode == ModeMulti {
+		return c.leaderFor(key), true
+	}
+	if h, ok := c.hints[key]; ok && c.net.Now().Before(h.expiry) {
+		return h.leader, true
+	}
+	return "", false
+}
+
+func (c *Coordinator) leaderFor(key record.Key) transport.NodeID {
+	return c.cl.ReplicaIn(key, c.cfg.masterDC(key))
+}
+
+// armOptionTimer schedules recovery if the option is not learned in
+// time. Repeated attempts rotate the leader DC so a failed master
+// data center cannot stall the transaction.
+func (c *Coordinator) armOptionTimer(t *txCtx, oc *optCtx) {
+	delay := c.cfg.OptionTimeout
+	if oc.attempts > 0 {
+		delay = c.cfg.RecoveryRetry
+	}
+	oc.timer = c.net.After(c.id, delay, func() {
+		cur, ok := c.txs[t.id]
+		if !ok || cur != t || oc.learned != DecUnknown {
+			return
+		}
+		c.startRecovery(t, oc)
+	})
+}
+
+func (c *Coordinator) startRecovery(t *txCtx, oc *optCtx) {
+	key := oc.opt.Update.Key
+	masterDC := c.cfg.masterDC(key)
+	dc := topology.DC((int(masterDC) + oc.attempts) % topology.NumDCs)
+	oc.attempts++
+	c.nRecoveries++
+	c.net.Send(c.id, c.cl.ReplicaIn(key, dc), MsgStartRecovery{Key: key, Opt: oc.opt, HasOpt: true})
+	c.armOptionTimer(t, oc)
+}
+
+// onVote tallies fast-path Phase2b votes. An option is learned
+// accepted/rejected at a fast quorum of identical votes; if every
+// replica has voted and neither decision can reach the fast quorum,
+// that is a collision and the master must resolve it classically.
+func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
+	t, ok := c.txs[m.OptID.Tx]
+	if !ok {
+		return
+	}
+	oc, ok := t.opts[m.OptID]
+	if !ok || oc.learned != DecUnknown {
+		return
+	}
+	if m.Forwarded {
+		// Record is in a classic window; remember its leader so the
+		// next transactions skip the wasted fast round.
+		c.hints[m.OptID.Key] = leaderHint{leader: m.Leader, expiry: c.net.Now().Add(hintTTL)}
+		return
+	}
+	if _, dup := oc.votes[from]; dup {
+		return
+	}
+	oc.votes[from] = m.Decision
+	if m.Decision == DecAccept {
+		oc.accepts++
+	} else {
+		oc.rejects++
+	}
+	switch {
+	case c.q.FastLearned(oc.accepts):
+		c.nFastLearns++
+		c.learn(t, oc, DecAccept)
+	case c.q.FastLearned(oc.rejects):
+		c.nFastLearns++
+		// Algorithm 1 lines 24-26: a commutative option rejected in a
+		// fast ballot signals the quorum demarcation limit was hit, so
+		// the master must run a classic round to write a fresh base
+		// value (and recalculate the limit). The transaction still
+		// aborts; the recovery is for the record's sake.
+		if oc.opt.Update.Kind == record.KindCommutative {
+			key := oc.opt.Update.Key
+			c.net.Send(c.id, c.leaderFor(key), MsgStartRecovery{Key: key})
+		}
+		c.learn(t, oc, DecReject)
+	case len(oc.votes) == c.q.N:
+		// Collision: no fast quorum is possible in this ballot.
+		c.nCollisions++
+		c.startRecovery(t, oc)
+	}
+}
+
+// onLearned applies a leader's authoritative decision.
+func (c *Coordinator) onLearned(m MsgLearned) {
+	t, ok := c.txs[m.OptID.Tx]
+	if !ok {
+		return
+	}
+	oc, ok := t.opts[m.OptID]
+	if !ok || oc.learned != DecUnknown {
+		return
+	}
+	c.nLeaderLearns++
+	c.learn(t, oc, m.Decision)
+}
+
+// learn finalizes one option and, once the outcome is determined,
+// the transaction: commit iff all options accepted (just as in 2PC's
+// decision rule, but evaluated over quorum-learned options).
+func (c *Coordinator) learn(t *txCtx, oc *optCtx, d Decision) {
+	oc.learned = d
+	if oc.timer != nil {
+		oc.timer.Stop()
+	}
+	t.remaining--
+	if d == DecReject {
+		c.finish(t, false)
+		return
+	}
+	if t.remaining == 0 {
+		c.finish(t, true)
+	}
+}
+
+// finish settles the transaction: visibility to every replica of
+// every written record (asynchronous — it does not gate the commit
+// response, §3.2.1), then the application callback. Visibility for
+// the whole write-set is batched per destination node unless
+// batching is disabled.
+func (c *Coordinator) finish(t *txCtx, commit bool) {
+	delete(c.txs, t.id)
+	// Deterministic option order (map iteration would randomize the
+	// simulator's jitter stream).
+	ids := make([]OptionID, 0, len(t.opts))
+	for id := range t.opts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Key < ids[j].Key })
+	byNode := make(map[transport.NodeID][]MsgVisibility)
+	var order []transport.NodeID
+	for _, id := range ids {
+		oc := t.opts[id]
+		if oc.timer != nil {
+			oc.timer.Stop()
+		}
+		vis := MsgVisibility{Opt: oc.opt, Commit: commit}
+		for _, rep := range c.cl.Replicas(oc.opt.Update.Key) {
+			if c.cfg.DisableBatching {
+				c.net.Send(c.id, rep, vis)
+				continue
+			}
+			if _, seen := byNode[rep]; !seen {
+				order = append(order, rep)
+			}
+			byNode[rep] = append(byNode[rep], vis)
+		}
+	}
+	for _, rep := range order {
+		items := byNode[rep]
+		if len(items) == 1 {
+			c.net.Send(c.id, rep, items[0])
+			continue
+		}
+		c.net.Send(c.id, rep, MsgVisibilityBatch{Items: items})
+	}
+	if commit {
+		c.nCommits++
+	} else {
+		c.nAborts++
+	}
+	t.done(CommitResult{Tx: t.id, Committed: commit})
+}
+
+// CoordMetrics reports coordinator-side counters.
+type CoordMetrics struct {
+	Commits, Aborts        int64
+	FastLearns             int64
+	LeaderLearns           int64
+	Recoveries, Collisions int64
+	ReadRetries, ReadFails int64
+}
+
+// Metrics returns a snapshot of this coordinator's counters.
+func (c *Coordinator) Metrics() CoordMetrics {
+	return CoordMetrics{
+		Commits:      c.nCommits,
+		Aborts:       c.nAborts,
+		FastLearns:   c.nFastLearns,
+		LeaderLearns: c.nLeaderLearns,
+		Recoveries:   c.nRecoveries,
+		Collisions:   c.nCollisions,
+		ReadRetries:  c.nReadRetries,
+		ReadFails:    c.nReadFail,
+	}
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// leaderRec is the master-role state for one record on the node that
+// acts (or is asked to act) as its leader. In Multi mode the
+// designated master owns classic ballot 1 implicitly — the
+// Multi-Paxos mastership reservation over all instances (§3.1.2) —
+// and skips Phase 1. Otherwise leadership is acquired on demand for
+// collision/timeout recovery (§3.3.1).
+type leaderRec struct {
+	ballot paxos.Ballot
+	owned  bool
+	phase1 *phase1Ctx
+
+	seq   uint64
+	props map[uint64]*proposalCtx
+
+	// cstruct mirrors the unresolved options of the owned ballot;
+	// every Phase2a ships the full cstruct so replicas stay identical.
+	cstruct []VotedOption
+
+	// learned records Paxos decisions this leader made (distinct from
+	// the acceptor's decided log, which records execution outcomes).
+	learned *decidedLog
+
+	// classicLeft counts learned instances until fast ballots are
+	// re-enabled (the γ fast-policy, §3.3.2). -1 means "classic
+	// forever" (Multi mode).
+	classicLeft int
+
+	queue   []Option
+	waiters map[OptionID][]optWaiter
+}
+
+type phase1Ctx struct {
+	ballot  paxos.Ballot
+	replies map[transport.NodeID]MsgPhase1b
+}
+
+type proposalCtx struct {
+	ballot   paxos.Ballot
+	snapshot []VotedOption
+	acks     map[transport.NodeID]bool
+	done     bool
+}
+
+// optWaiter is a dangling-transaction recovery request awaiting this
+// leader's decision on one option.
+type optWaiter struct {
+	reqID uint64
+	from  transport.NodeID
+}
+
+// lr returns (creating lazily) the leader state for a key.
+func (n *StorageNode) lr(key record.Key) *leaderRec {
+	l, ok := n.ldrs[key]
+	if !ok {
+		l = &leaderRec{
+			props:       make(map[uint64]*proposalCtx),
+			learned:     newDecidedLog(0),
+			waiters:     make(map[OptionID][]optWaiter),
+			classicLeft: n.cfg.Gamma,
+		}
+		if n.cfg.Mode == ModeMulti {
+			if n.leaderFor(key) == n.id {
+				l.owned = true
+				l.ballot = paxos.Classic(1, string(n.id))
+			}
+			l.classicLeft = -1
+		}
+		n.ldrs[key] = l
+	}
+	return l
+}
+
+// onStartRecovery handles a coordinator's collision/timeout recovery
+// request: take (or retake) leadership classically and force every
+// unresolved option — including the requester's, which it attaches so
+// the option cannot be lost even if no acceptor remembers it.
+func (n *StorageNode) onStartRecovery(m MsgStartRecovery) {
+	if m.HasOpt {
+		n.leaderPropose(m.Opt, true)
+		return
+	}
+	l := n.lr(m.Key)
+	l.resetGamma(n.cfg)
+	if !l.owned && l.phase1 == nil {
+		n.startPhase1(m.Key, l)
+	}
+}
+
+// leaderPropose runs an option through a classic ballot this node
+// leads. recovery marks collision recovery, which (re)opens the γ
+// classic window.
+func (n *StorageNode) leaderPropose(opt Option, recovery bool) {
+	key := opt.Update.Key
+	id := opt.ID()
+	r := n.rs(key)
+	l := n.lr(key)
+
+	if recovery {
+		l.resetGamma(n.cfg)
+	}
+
+	// Already settled? Answer immediately.
+	if d, ok := r.decided.get(id); ok {
+		n.notifyLearned(opt.Coord, id, d)
+		n.resolveWaiters(l, id, d)
+		return
+	}
+	if d, ok := l.learned.get(id); ok {
+		n.notifyLearned(opt.Coord, id, d)
+		n.resolveWaiters(l, id, d)
+		return
+	}
+	// Already in flight (duplicate propose / concurrent recovery)?
+	for _, v := range l.cstruct {
+		if v.Opt.ID() == id {
+			return
+		}
+	}
+	for _, q := range l.queue {
+		if q.ID() == id {
+			return
+		}
+	}
+
+	if !l.owned {
+		l.queue = append(l.queue, opt)
+		if l.phase1 == nil {
+			n.startPhase1(key, l)
+		}
+		return
+	}
+
+	dec := n.evalOption(l.cstruct, opt, false)
+	l.cstruct = append(l.cstruct, VotedOption{Opt: opt, Decision: dec})
+	n.sendPhase2a(key, l)
+}
+
+// resetGamma (re)opens the classic window after a collision.
+func (l *leaderRec) resetGamma(cfg Config) {
+	if cfg.Mode == ModeMulti {
+		return // always classic anyway
+	}
+	if g := cfg.Gamma; l.classicLeft < g {
+		l.classicLeft = g
+	}
+}
+
+// startPhase1 opens a new classic ballot above everything this node
+// has seen for the record.
+func (n *StorageNode) startPhase1(key record.Key, l *leaderRec) {
+	r := n.rs(key)
+	base := l.ballot
+	if base.Less(r.promised) {
+		base = r.promised
+	}
+	ballot := base.Next(string(n.id))
+	l.phase1 = &phase1Ctx{ballot: ballot, replies: make(map[transport.NodeID]MsgPhase1b)}
+	for _, rep := range n.cl.Replicas(key) {
+		n.net.Send(n.id, rep, MsgPhase1a{Key: key, Ballot: ballot})
+	}
+}
+
+// onPhase1b collects promises. A higher promise in the reply means
+// another leader outranks us: back off briefly and retry higher.
+func (n *StorageNode) onPhase1b(from transport.NodeID, m MsgPhase1b) {
+	l := n.lr(m.Key)
+	p1 := l.phase1
+	if p1 == nil {
+		return
+	}
+	if p1.ballot.Less(m.Ballot) {
+		// Preempted. Retry above the observed ballot after a beat.
+		l.phase1 = nil
+		key := m.Key
+		seen := m.Ballot
+		n.net.After(n.id, 50*time.Millisecond, func() {
+			l2 := n.lr(key)
+			if l2.owned || l2.phase1 != nil {
+				return
+			}
+			r := n.rs(key)
+			if r.promised.Less(seen) {
+				r.promised = seen
+			}
+			if len(l2.queue) > 0 || len(l2.waiters) > 0 {
+				n.startPhase1(key, l2)
+			}
+		})
+		return
+	}
+	if m.Ballot.Cmp(p1.ballot) != 0 {
+		return // stale reply for an older attempt
+	}
+	p1.replies[from] = m
+	if len(p1.replies) < n.q.Classic {
+		return
+	}
+	n.finishPhase1(m.Key, l, p1)
+}
+
+// finishPhase1 is the Generalized Paxos ProvedSafe step (algorithm 2
+// lines 49-57), adapted to options: adopt the freshest committed
+// base, carry forward every decision that may already have been
+// chosen by a fast quorum, re-evaluate the rest deterministically,
+// and propose the combined cstruct in the new ballot.
+func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) {
+	l.phase1 = nil
+	l.owned = true
+	l.ballot = p1.ballot
+
+	// Adopt the freshest committed state among the quorum (a lagging
+	// leader must not re-evaluate against stale data; Phase2a then
+	// pushes this base to lagging replicas). Only the single freshest
+	// reply is adopted, together with its decided log: the base
+	// already contains exactly those options' effects, so marking
+	// them decided keeps later visibility application idempotent.
+	r := n.rs(key)
+	_, localVer, _ := n.store.Get(key)
+	var freshest *MsgPhase1b
+	for _, rep := range p1.replies {
+		rep := rep
+		if rep.Version > localVer && (freshest == nil || rep.Version > freshest.Version) {
+			freshest = &rep
+		}
+	}
+	if freshest != nil {
+		_ = n.store.Put(key, freshest.Value, freshest.Version)
+		for _, d := range freshest.Decided {
+			r.decided.record(d.ID, d.Decision, Option{}, false)
+		}
+	}
+
+	// Gather votes and known decisions.
+	type tally struct {
+		opt      Option
+		accepts  int
+		rejects  int
+		decision Decision // from decided logs, if any
+		decided  bool
+	}
+	tallies := make(map[OptionID]*tally)
+	get := func(opt Option) *tally {
+		t, ok := tallies[opt.ID()]
+		if !ok {
+			t = &tally{opt: opt}
+			tallies[opt.ID()] = t
+		}
+		return t
+	}
+	responded := len(p1.replies)
+	for _, rep := range p1.replies {
+		for _, v := range rep.Votes {
+			t := get(v.Opt)
+			if v.Decision == DecAccept {
+				t.accepts++
+			} else {
+				t.rejects++
+			}
+		}
+		for _, d := range rep.Decided {
+			if t, ok := tallies[d.ID]; ok {
+				t.decided, t.decision = true, d.Decision
+			} else {
+				tallies[d.ID] = &tally{decided: true, decision: d.Decision}
+			}
+		}
+	}
+
+	// Deterministic processing order.
+	ids := make([]OptionID, 0, len(tallies))
+	for id := range tallies {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Tx != ids[j].Tx {
+			return ids[i].Tx < ids[j].Tx
+		}
+		return ids[i].Key < ids[j].Key
+	})
+
+	// First pass: carry possibly-chosen decisions (they may already
+	// be learned by some coordinator and must survive).
+	newCStruct := make([]VotedOption, 0, len(tallies))
+	var free []Option
+	for _, id := range ids {
+		t := tallies[id]
+		if t.decided {
+			// Fully settled (executed/discarded): nothing to carry;
+			// make sure recovery requesters hear the outcome.
+			n.resolveWaiters(l, id, t.decision)
+			l.learned.record(id, t.decision, t.opt, t.accepts+t.rejects > 0)
+			continue
+		}
+		switch {
+		case n.q.PossiblyChosen(t.accepts, responded):
+			newCStruct = append(newCStruct, VotedOption{Opt: t.opt, Decision: DecAccept})
+		case n.q.PossiblyChosen(t.rejects, responded):
+			newCStruct = append(newCStruct, VotedOption{Opt: t.opt, Decision: DecReject})
+		default:
+			free = append(free, t.opt)
+		}
+	}
+	// Queued proposals that surfaced nowhere else are free options.
+	for _, q := range l.queue {
+		if _, ok := tallies[q.ID()]; !ok {
+			if _, done := r.decided.get(q.ID()); done {
+				continue
+			}
+			if _, done := l.learned.get(q.ID()); done {
+				continue
+			}
+			free = append(free, q)
+		}
+	}
+	l.queue = nil
+
+	// Second pass: evaluate free options in order against the carried
+	// set — deterministic, so every replica adopting this cstruct
+	// agrees (the paper's requirement that all storage nodes make the
+	// same decision).
+	sort.Slice(free, func(i, j int) bool {
+		if free[i].Tx != free[j].Tx {
+			return free[i].Tx < free[j].Tx
+		}
+		return free[i].Update.Key < free[j].Update.Key
+	})
+	for _, opt := range free {
+		dec := n.evalOption(newCStruct, opt, false)
+		newCStruct = append(newCStruct, VotedOption{Opt: opt, Decision: dec})
+	}
+
+	l.cstruct = newCStruct
+	// Recovery requests for options that vanished entirely: nobody
+	// voted for them and the requester had no copy — they can never
+	// be chosen in this or a later ballot (we own the record now),
+	// so they are rejected by fiat.
+	for id, ws := range l.waiters {
+		if _, ok := tallies[id]; ok {
+			continue
+		}
+		inC := false
+		for _, v := range l.cstruct {
+			if v.Opt.ID() == id {
+				inC = true
+				break
+			}
+		}
+		if inC {
+			continue
+		}
+		l.learned.record(id, DecReject, Option{}, false)
+		for _, w := range ws {
+			n.net.Send(n.id, w.from, MsgOptDecided{
+				ReqID: w.reqID, Tx: id.Tx, Key: id.Key, Decision: DecReject,
+			})
+		}
+		delete(l.waiters, id)
+	}
+
+	if len(l.cstruct) > 0 {
+		n.sendPhase2a(key, l)
+	} else {
+		n.maybeEnableFast(key, l)
+	}
+}
+
+// sendPhase2a broadcasts the full current cstruct with the leader's
+// committed base piggybacked.
+func (n *StorageNode) sendPhase2a(key record.Key, l *leaderRec) {
+	l.seq++
+	snap := append([]VotedOption(nil), l.cstruct...)
+	l.props[l.seq] = &proposalCtx{
+		ballot:   l.ballot,
+		snapshot: snap,
+		acks:     make(map[transport.NodeID]bool),
+	}
+	val, ver, ok := n.store.Get(key)
+	// Snapshot the leader's decided log together with its base: the
+	// base contains exactly these options' effects (same handler
+	// context, so store and log are mutually consistent).
+	r := n.rs(key)
+	decided := make([]DecidedOption, 0, len(r.decided.order))
+	for _, id := range r.decided.order {
+		decided = append(decided, DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
+	}
+	msg := MsgPhase2a{
+		Key: key, Ballot: l.ballot, Seq: l.seq, CStruct: snap,
+		HasBase: true, BaseVersion: ver, BaseValue: val, BaseExists: ok && !val.Tombstone,
+		BaseDecided: decided,
+	}
+	for _, rep := range n.cl.Replicas(key) {
+		n.net.Send(n.id, rep, msg)
+	}
+}
+
+// onPhase2b counts acknowledgements; a classic quorum learns every
+// option in the acknowledged snapshot.
+func (n *StorageNode) onPhase2b(from transport.NodeID, m MsgPhase2b) {
+	l := n.lr(m.Key)
+	prop, ok := l.props[m.Seq]
+	if !ok || prop.done {
+		return
+	}
+	if !m.OK {
+		// Preempted by a higher ballot: drop ownership and retry.
+		delete(l.props, m.Seq)
+		n.abandonLeadership(m.Key, l, m.Promised)
+		return
+	}
+	if m.Ballot.Cmp(prop.ballot) != 0 {
+		return
+	}
+	prop.acks[from] = true
+	if len(prop.acks) < n.q.Classic {
+		return
+	}
+	prop.done = true
+	delete(l.props, m.Seq)
+	for _, v := range prop.snapshot {
+		id := v.Opt.ID()
+		if _, done := l.learned.get(id); done {
+			continue
+		}
+		r := n.rs(m.Key)
+		if _, done := r.decided.get(id); done {
+			continue
+		}
+		l.learned.record(id, v.Decision, v.Opt, true)
+		n.notifyLearned(v.Opt.Coord, id, v.Decision)
+		n.resolveWaiters(l, id, v.Decision)
+		if v.Decision == DecReject {
+			// Rejected options never execute; drop them from the
+			// leader's cstruct now (acceptors prune on the abort
+			// visibility from the coordinator).
+			n.dropFromCStruct(l, id)
+		}
+		if l.classicLeft > 0 {
+			l.classicLeft--
+		}
+	}
+	n.maybeEnableFast(m.Key, l)
+}
+
+// abandonLeadership reacts to preemption: requeue unresolved options
+// and retry Phase 1 above the observed ballot.
+func (n *StorageNode) abandonLeadership(key record.Key, l *leaderRec, seen paxos.Ballot) {
+	l.owned = false
+	for _, v := range l.cstruct {
+		l.queue = append(l.queue, v.Opt)
+	}
+	l.cstruct = nil
+	for s := range l.props {
+		delete(l.props, s)
+	}
+	r := n.rs(key)
+	if r.promised.Less(seen) {
+		r.promised = seen
+	}
+	if l.phase1 == nil && (len(l.queue) > 0 || len(l.waiters) > 0) {
+		n.net.After(n.id, 50*time.Millisecond, func() {
+			l2 := n.lr(key)
+			if !l2.owned && l2.phase1 == nil && (len(l2.queue) > 0 || len(l2.waiters) > 0) {
+				n.startPhase1(key, l2)
+			}
+		})
+	}
+}
+
+// maybeEnableFast re-opens fast ballots once the γ classic window has
+// drained and nothing is unresolved (the fast-policy probe, §3.3.2).
+func (n *StorageNode) maybeEnableFast(key record.Key, l *leaderRec) {
+	if n.cfg.Mode == ModeMulti || !l.owned || l.classicLeft != 0 {
+		return
+	}
+	for _, v := range l.cstruct {
+		if _, done := l.learned.get(v.Opt.ID()); !done {
+			return // proposals still in flight
+		}
+	}
+	if len(l.props) > 0 {
+		return
+	}
+	fast := l.ballot.NextFast()
+	for _, rep := range n.cl.Replicas(key) {
+		n.net.Send(n.id, rep, MsgEnableFast{Key: key, Ballot: fast})
+	}
+	l.owned = false
+	l.ballot = fast
+	l.classicLeft = n.cfg.Gamma // next collision re-enters classic with a full window
+	n.nEnableFast++
+}
+
+// dropFromCStruct removes a settled option from the leader mirror.
+func (n *StorageNode) dropFromCStruct(l *leaderRec, id OptionID) {
+	for i, v := range l.cstruct {
+		if v.Opt.ID() == id {
+			l.cstruct = append(l.cstruct[:i], l.cstruct[i+1:]...)
+			return
+		}
+	}
+}
+
+// leaderObserveVisibility prunes leader state when an option
+// executes or aborts on this node.
+func (n *StorageNode) leaderObserveVisibility(key record.Key, id OptionID) {
+	l, ok := n.ldrs[key]
+	if !ok {
+		return
+	}
+	n.dropFromCStruct(l, id)
+	if d, known := n.rs(key).decided.get(id); known {
+		n.resolveWaiters(l, id, d)
+	}
+	n.maybeEnableFast(key, l)
+}
+
+// notifyLearned tells a coordinator an option's decision.
+func (n *StorageNode) notifyLearned(coord transport.NodeID, id OptionID, d Decision) {
+	if coord == "" {
+		return
+	}
+	n.net.Send(n.id, coord, MsgLearned{OptID: id, Decision: d})
+}
+
+// resolveWaiters answers dangling-recovery requests for an option.
+func (n *StorageNode) resolveWaiters(l *leaderRec, id OptionID, d Decision) {
+	ws, ok := l.waiters[id]
+	if !ok {
+		return
+	}
+	delete(l.waiters, id)
+	opt, hasOpt := Option{}, false
+	if e, found := l.learned.entry(id); found && e.HasOpt {
+		opt, hasOpt = e.Opt, true
+	}
+	for _, w := range ws {
+		n.net.Send(n.id, w.from, MsgOptDecided{
+			ReqID: w.reqID, Tx: id.Tx, Key: id.Key, Decision: d, Opt: opt, HasOpt: hasOpt,
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// ---- Client/coordinator ⇄ storage node messages ----
+
+// MsgRead asks a replica for its committed state of a key (read
+// committed: pending options are never visible).
+type MsgRead struct {
+	ReqID uint64
+	Key   record.Key
+}
+
+// MsgReadReply answers MsgRead.
+type MsgReadReply struct {
+	ReqID   uint64
+	Key     record.Key
+	Value   record.Value
+	Version record.Version
+	Exists  bool
+}
+
+// MsgProposeFast proposes an option directly to an acceptor in a fast
+// ballot (master-bypassing path, §3.3).
+type MsgProposeFast struct {
+	Opt Option
+}
+
+// MsgVote is an acceptor's Phase2b to the coordinator-as-learner for
+// the fast path: its decision on one option.
+type MsgVote struct {
+	OptID    OptionID
+	Ballot   paxos.Ballot
+	Decision Decision
+	// Forwarded reports the acceptor forwarded the proposal to the
+	// record's leader instead of voting (record in a classic window);
+	// Decision is DecUnknown then and the leader will answer with
+	// MsgLearned.
+	Forwarded bool
+	Leader    transport.NodeID
+}
+
+// MsgLearned tells the coordinator an option's final decision
+// (from the leader on classic paths and recoveries).
+type MsgLearned struct {
+	OptID    OptionID
+	Decision Decision
+}
+
+// MsgVisibility is the coordinator's (or recovery node's) "Learned/
+// execute the option" notification (§3.2.1): commit makes the update
+// visible, abort discards the option. Opt carries the full option so
+// replicas that never saw the proposal can still apply it.
+type MsgVisibility struct {
+	Opt    Option
+	Commit bool
+}
+
+// ---- Batched variants (the paper's §7 batching optimization) ----
+
+// MsgProposeBatch carries every option a transaction proposes to one
+// storage node in a single message (different records of the
+// write-set often share replicas).
+type MsgProposeBatch struct {
+	Opts []Option
+}
+
+// MsgVoteBatch answers a propose batch with one vote per option.
+type MsgVoteBatch struct {
+	Votes []MsgVote
+}
+
+// MsgVisibilityBatch delivers a transaction's visibility for all its
+// options on one node at once.
+type MsgVisibilityBatch struct {
+	Items []MsgVisibility
+}
+
+// ---- Coordinator/acceptor ⇄ leader messages ----
+
+// MsgProposeLeader routes an option through the record's master for
+// classic ballots (Multi mode, or fast proposals made during a
+// classic window and forwarded by acceptors).
+type MsgProposeLeader struct {
+	Opt Option
+}
+
+// MsgStartRecovery asks a leader to run collision/timeout recovery
+// for a record. Opt carries the stuck option (if the requester has
+// it) so it cannot be lost even if every acceptor dropped it.
+type MsgStartRecovery struct {
+	Key    record.Key
+	Opt    Option
+	HasOpt bool
+}
+
+// ---- Paxos phase messages (leader ⇄ acceptors) ----
+
+// MsgPhase1a opens a classic ballot for one record.
+type MsgPhase1a struct {
+	Key    record.Key
+	Ballot paxos.Ballot
+}
+
+// MsgPhase1b is an acceptor's promise plus everything the leader
+// needs to choose safely: its accepted ballot and votes, its
+// committed state, and recently decided options.
+type MsgPhase1b struct {
+	Key     record.Key
+	Ballot  paxos.Ballot // the promised ballot (echo of Phase1a)
+	Bal     paxos.Ballot // ballot of the reported votes
+	Votes   []VotedOption
+	Version record.Version
+	Value   record.Value
+	Exists  bool
+	Decided []DecidedOption
+}
+
+// DecidedOption reports a known final decision.
+type DecidedOption struct {
+	ID       OptionID
+	Decision Decision
+}
+
+// MsgPhase2a proposes the leader's cstruct (votes with decisions) in
+// a classic ballot. Seq identifies this proposal for acknowledgement
+// counting. When HasBase is set, acceptors behind BaseVersion adopt
+// the leader's committed base (this is also how a classic round
+// "writes a new base value" for demarcation, §3.4.2). BaseDecided
+// lists the options whose effects the base already contains, so an
+// adopting replica does not re-apply them when their (still in
+// flight) visibility notifications arrive later.
+type MsgPhase2a struct {
+	Key         record.Key
+	Ballot      paxos.Ballot
+	Seq         uint64
+	CStruct     []VotedOption
+	HasBase     bool
+	BaseVersion record.Version
+	BaseValue   record.Value
+	BaseExists  bool
+	BaseDecided []DecidedOption
+}
+
+// MsgPhase2b acknowledges a Phase2a proposal (or reports a higher
+// promised ballot, sending the leader back to Phase 1).
+type MsgPhase2b struct {
+	Key      record.Key
+	Ballot   paxos.Ballot
+	Seq      uint64
+	OK       bool
+	Promised paxos.Ballot // set when OK is false
+}
+
+// MsgEnableFast re-opens fast ballots after γ classic instances
+// (the fast-policy probe, §3.3.2).
+type MsgEnableFast struct {
+	Key    record.Key
+	Ballot paxos.Ballot // a fast ballot outranking the classic one
+}
+
+// ---- Dangling-transaction recovery (§3.2.3) ----
+
+// MsgRecoverOpt asks the leader of one key to force a decision for a
+// transaction's option on that key (used by the pending-option sweep
+// when an app-server died before sending visibility).
+type MsgRecoverOpt struct {
+	ReqID  uint64
+	Tx     TxID
+	Key    record.Key
+	Opt    Option // the requester's copy, if it has one
+	HasOpt bool
+}
+
+// MsgOptDecided answers MsgRecoverOpt with the final decision and,
+// when accepted, the option contents needed to apply visibility.
+type MsgOptDecided struct {
+	ReqID    uint64
+	Tx       TxID
+	Key      record.Key
+	Decision Decision
+	Opt      Option
+	HasOpt   bool
+}
+
+func init() {
+	transport.RegisterMessage(MsgRead{})
+	transport.RegisterMessage(MsgReadReply{})
+	transport.RegisterMessage(MsgProposeFast{})
+	transport.RegisterMessage(MsgProposeBatch{})
+	transport.RegisterMessage(MsgVote{})
+	transport.RegisterMessage(MsgVoteBatch{})
+	transport.RegisterMessage(MsgVisibilityBatch{})
+	transport.RegisterMessage(MsgLearned{})
+	transport.RegisterMessage(MsgVisibility{})
+	transport.RegisterMessage(MsgProposeLeader{})
+	transport.RegisterMessage(MsgStartRecovery{})
+	transport.RegisterMessage(MsgPhase1a{})
+	transport.RegisterMessage(MsgPhase1b{})
+	transport.RegisterMessage(MsgPhase2a{})
+	transport.RegisterMessage(MsgPhase2b{})
+	transport.RegisterMessage(MsgEnableFast{})
+	transport.RegisterMessage(MsgRecoverOpt{})
+	transport.RegisterMessage(MsgOptDecided{})
+}

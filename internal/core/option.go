@@ -1,0 +1,139 @@
+// Package core implements the MDCC commit protocol (Kraska et al.,
+// EuroSys 2013): per-record Generalized/Fast/Multi-Paxos instances
+// that accept *options to execute updates*, an app-server-side
+// coordinator that learns options and derives the transaction outcome
+// deterministically (no unilateral aborts), quorum demarcation for
+// value constraints on commutative updates, the pessimistic
+// deadlock-avoidance policy, the fast⇄classic ballot policy (γ), and
+// recovery of dangling transactions left by failed app-servers.
+//
+// Roles and message flow (defaults; §3 of the paper):
+//
+//	Coordinator (app-server DB library)
+//	  ├─ fast path:   Propose ─→ all storage nodes ─ Vote ─→ coordinator
+//	  ├─ classic path: Propose ─→ record leader ─ Phase2a ─→ nodes ─→ leader ─ Learned ─→ coordinator
+//	  └─ after learning all options: Visibility ─→ storage nodes (async)
+//
+// Everything runs in transport handler context: one goroutine per
+// node, no internal locking (see internal/transport).
+package core
+
+import (
+	"fmt"
+
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// TxID uniquely identifies a transaction. Coordinators mint them from
+// their node ID plus a sequence number (the paper suggests UUIDs; a
+// node-scoped sequence is equally unique and deterministic in the
+// simulator).
+type TxID string
+
+// Decision is an acceptor's or learner's judgment of an option.
+type Decision uint8
+
+// Decision values.
+const (
+	DecUnknown Decision = iota
+	DecAccept           // the paper's ω(up, ✓)
+	DecReject           // the paper's ω(up, ✗)
+)
+
+// String renders the decision.
+func (d Decision) String() string {
+	switch d {
+	case DecAccept:
+		return "accept"
+	case DecReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// OptionID identifies one option: a transaction writes each record at
+// most once, so (transaction, key) is unique.
+type OptionID struct {
+	Tx  TxID
+	Key record.Key
+}
+
+// String renders "tx@key".
+func (id OptionID) String() string { return fmt.Sprintf("%s@%s", id.Tx, id.Key) }
+
+// Option is a proposed right to execute one update of a transaction.
+// Per §3.2.3 it carries the transaction id and the full write-set key
+// list so any node can reconstruct and finish the transaction if the
+// app-server dies.
+type Option struct {
+	Tx       TxID
+	Coord    transport.NodeID // coordinator to notify when learned
+	Update   record.Update
+	WriteSet []record.Key // primary keys of the whole write-set
+}
+
+// ID returns the option's identity.
+func (o Option) ID() OptionID { return OptionID{Tx: o.Tx, Key: o.Update.Key} }
+
+// VotedOption is an option plus a decision — one element of the
+// cstructs acceptors vote on.
+type VotedOption struct {
+	Opt      Option
+	Decision Decision
+}
+
+// decidedEntry is one settled option: its final decision plus, when
+// known, the option contents (so recovery can re-broadcast visibility
+// for transactions whose coordinator died).
+type decidedEntry struct {
+	Decision Decision
+	Opt      Option
+	HasOpt   bool
+}
+
+// decidedLog remembers recently decided options per record so votes,
+// visibility and recovery are idempotent. Bounded FIFO.
+type decidedLog struct {
+	order []OptionID
+	byID  map[OptionID]decidedEntry
+	limit int
+}
+
+func newDecidedLog(limit int) *decidedLog {
+	if limit <= 0 {
+		limit = 512
+	}
+	// Maps grow on demand: most records settle only a handful of
+	// options, so no capacity hint (pre-sizing 512 slots per record
+	// dominated simulator CPU).
+	return &decidedLog{byID: make(map[OptionID]decidedEntry), limit: limit}
+}
+
+// record stores a final decision (first write wins: decisions are
+// immutable once made).
+func (l *decidedLog) record(id OptionID, d Decision, opt Option, hasOpt bool) {
+	if _, ok := l.byID[id]; ok {
+		return
+	}
+	if len(l.order) >= l.limit {
+		oldest := l.order[0]
+		l.order = l.order[1:]
+		delete(l.byID, oldest)
+	}
+	l.order = append(l.order, id)
+	l.byID[id] = decidedEntry{Decision: d, Opt: opt, HasOpt: hasOpt}
+}
+
+// get looks up a decision.
+func (l *decidedLog) get(id OptionID) (Decision, bool) {
+	e, ok := l.byID[id]
+	return e.Decision, ok
+}
+
+// entry looks up the full settled entry.
+func (l *decidedLog) entry(id OptionID) (decidedEntry, bool) {
+	e, ok := l.byID[id]
+	return e, ok
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"time"
+
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// Dangling-transaction recovery (§3.2.3). An app-server can die after
+// its options were accepted but before sending visibility, leaving
+// outstanding options that block the records forever. Every option
+// carries its transaction id and the full write-set key list, so any
+// storage node can reconstruct the transaction: it asks the leader of
+// every written key for the final decision of that transaction's
+// option on that key (forcing a classic round if undecided), then
+// commits iff every option was accepted, broadcasting the visibility
+// the dead coordinator never sent.
+
+// txRecovery tracks one in-flight reconstruction.
+type txRecovery struct {
+	tx        TxID
+	keys      []record.Key
+	decisions map[record.Key]Decision
+	opts      map[record.Key]Option
+	hasOpt    map[record.Key]bool
+	deadline  time.Time
+}
+
+// scheduleSweep arms the periodic stale-option scan.
+func (n *StorageNode) scheduleSweep() {
+	period := n.cfg.PendingTimeout / 2
+	if period <= 0 {
+		period = n.cfg.PendingTimeout
+	}
+	n.net.After(n.id, period, func() {
+		n.sweepPending()
+		n.scheduleSweep()
+	})
+}
+
+// sweepPending starts recovery for every accepted option that has
+// been outstanding longer than PendingTimeout.
+func (n *StorageNode) sweepPending() {
+	now := n.net.Now()
+	n.nSweeps++
+	var stale []Option
+	for _, r := range n.recs {
+		for _, v := range r.votes {
+			if v.Decision != DecAccept {
+				continue
+			}
+			at, ok := r.votedAt[v.Opt.ID()]
+			if !ok || now.Sub(at) < n.cfg.PendingTimeout {
+				continue
+			}
+			stale = append(stale, v.Opt)
+		}
+	}
+	started := make(map[TxID]bool)
+	for _, opt := range stale {
+		if started[opt.Tx] || n.txRecoveryInFlight(opt.Tx) {
+			continue
+		}
+		started[opt.Tx] = true
+		n.startTxRecovery(opt)
+	}
+}
+
+func (n *StorageNode) txRecoveryInFlight(tx TxID) bool {
+	for _, rec := range n.recoveries {
+		if rec.tx == tx {
+			return true
+		}
+	}
+	return false
+}
+
+// startTxRecovery reconstructs the transaction that owns opt.
+func (n *StorageNode) startTxRecovery(opt Option) {
+	keys := opt.WriteSet
+	if len(keys) == 0 {
+		keys = []record.Key{opt.Update.Key}
+	}
+	n.reqSeq++
+	reqID := n.reqSeq
+	rec := &txRecovery{
+		tx:        opt.Tx,
+		keys:      keys,
+		decisions: make(map[record.Key]Decision, len(keys)),
+		opts:      make(map[record.Key]Option, len(keys)),
+		hasOpt:    make(map[record.Key]bool, len(keys)),
+		deadline:  n.net.Now().Add(n.cfg.OptionTimeout),
+	}
+	n.recoveries[reqID] = rec
+	for _, k := range keys {
+		m := MsgRecoverOpt{ReqID: reqID, Tx: opt.Tx, Key: k}
+		if k == opt.Update.Key {
+			m.Opt, m.HasOpt = opt, true
+		}
+		n.net.Send(n.id, n.leaderFor(k), m)
+	}
+	// Garbage-collect if the leaders never all answer; the sweep will
+	// retry on the next pass.
+	n.net.After(n.id, n.cfg.OptionTimeout, func() {
+		delete(n.recoveries, reqID)
+	})
+}
+
+// onRecoverOpt (leader side) forces and reports the decision for one
+// transaction's option on one of this leader's records.
+func (n *StorageNode) onRecoverOpt(from transport.NodeID, m MsgRecoverOpt) {
+	id := OptionID{Tx: m.Tx, Key: m.Key}
+	r := n.rs(m.Key)
+	l := n.lr(m.Key)
+	if e, ok := r.decided.entry(id); ok {
+		n.net.Send(n.id, from, MsgOptDecided{
+			ReqID: m.ReqID, Tx: m.Tx, Key: m.Key,
+			Decision: e.Decision, Opt: e.Opt, HasOpt: e.HasOpt,
+		})
+		return
+	}
+	if e, ok := l.learned.entry(id); ok {
+		n.net.Send(n.id, from, MsgOptDecided{
+			ReqID: m.ReqID, Tx: m.Tx, Key: m.Key,
+			Decision: e.Decision, Opt: e.Opt, HasOpt: e.HasOpt,
+		})
+		return
+	}
+	l.waiters[id] = append(l.waiters[id], optWaiter{reqID: m.ReqID, from: from})
+	if m.HasOpt {
+		n.leaderPropose(m.Opt, true)
+		return
+	}
+	// No copy of the option: run recovery; Phase 1 either surfaces it
+	// from other replicas or proves it unchosen (then rejected by fiat
+	// in finishPhase1).
+	l.resetGamma(n.cfg)
+	if !l.owned && l.phase1 == nil {
+		n.startPhase1(m.Key, l)
+		return
+	}
+	if l.owned {
+		// We already lead the record and the option is nowhere in our
+		// cstruct: it cannot be chosen anymore.
+		l.learned.record(id, DecReject, Option{}, false)
+		n.resolveWaiters(l, id, DecReject)
+	}
+}
+
+// onOptDecided (recovering node side) collects per-key decisions and,
+// once complete, finishes the transaction exactly as its coordinator
+// would have.
+func (n *StorageNode) onOptDecided(m MsgOptDecided) {
+	rec, ok := n.recoveries[m.ReqID]
+	if !ok || rec.tx != m.Tx {
+		return
+	}
+	if _, dup := rec.decisions[m.Key]; dup {
+		return
+	}
+	rec.decisions[m.Key] = m.Decision
+	if m.HasOpt {
+		rec.opts[m.Key], rec.hasOpt[m.Key] = m.Opt, true
+	}
+	if len(rec.decisions) < len(rec.keys) {
+		return
+	}
+	delete(n.recoveries, m.ReqID)
+	commit := true
+	for _, k := range rec.keys {
+		if rec.decisions[k] != DecAccept {
+			commit = false
+			break
+		}
+	}
+	for _, k := range rec.keys {
+		opt, has := rec.opts[k], rec.hasOpt[k]
+		if !has {
+			if commit {
+				// Cannot apply an update we do not know; this cannot
+				// happen for commits (an accepted decision always
+				// carries its option), but guard anyway.
+				continue
+			}
+			opt = Option{Tx: rec.tx, Update: record.Update{Key: k}}
+		}
+		vis := MsgVisibility{Opt: opt, Commit: commit}
+		for _, rep := range n.cl.Replicas(k) {
+			n.net.Send(n.id, rep, vis)
+		}
+	}
+}
+
+// Metrics reports protocol counters for benchmarks and ablations.
+type Metrics struct {
+	VotesAccept, VotesReject int64
+	Forwarded                int64
+	Executed, Discarded      int64
+	Phase1, Phase2           int64
+	EnableFast               int64
+	DemarcationRejects       int64
+	Sweeps                   int64
+	Synced                   int64
+}
+
+// Metrics returns a snapshot of this node's counters.
+func (n *StorageNode) Metrics() Metrics {
+	return Metrics{
+		VotesAccept:        n.nVotesAccept,
+		VotesReject:        n.nVotesReject,
+		Forwarded:          n.nForwarded,
+		Executed:           n.nExecuted,
+		Discarded:          n.nDiscarded,
+		Phase1:             n.nPhase1,
+		Phase2:             n.nPhase2,
+		EnableFast:         n.nEnableFast,
+		DemarcationRejects: n.nDemarcationRejects,
+		Sweeps:             n.nSweeps,
+		Synced:             n.nSynced,
+	}
+}

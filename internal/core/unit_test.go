@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mdcc/internal/kv"
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+func TestDecidedLogFirstWriteWins(t *testing.T) {
+	l := newDecidedLog(4)
+	id := OptionID{Tx: "t1", Key: "k"}
+	l.record(id, DecAccept, Option{}, false)
+	l.record(id, DecReject, Option{}, false) // ignored
+	if d, ok := l.get(id); !ok || d != DecAccept {
+		t.Fatalf("decision overwritten: %v %v", d, ok)
+	}
+}
+
+func TestDecidedLogEviction(t *testing.T) {
+	l := newDecidedLog(3)
+	for i := 0; i < 5; i++ {
+		l.record(OptionID{Tx: TxID(fmt.Sprintf("t%d", i)), Key: "k"}, DecAccept, Option{}, false)
+	}
+	if len(l.byID) != 3 || len(l.order) != 3 {
+		t.Fatalf("log grew past limit: %d/%d", len(l.byID), len(l.order))
+	}
+	if _, ok := l.get(OptionID{Tx: "t0", Key: "k"}); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := l.get(OptionID{Tx: "t4", Key: "k"}); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestDecidedLogEntryKeepsOption(t *testing.T) {
+	l := newDecidedLog(4)
+	opt := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"x": -1})}
+	l.record(opt.ID(), DecAccept, opt, true)
+	e, ok := l.entry(opt.ID())
+	if !ok || !e.HasOpt || e.Opt.Update.Deltas["x"] != -1 {
+		t.Fatalf("entry = %+v %v", e, ok)
+	}
+}
+
+func TestDemarcationLimits(t *testing.T) {
+	q := paxos.NewQuorum(5) // slack = (N-QF)/N = 1/5
+	cases := []struct {
+		min, base, want int64
+	}{
+		{0, 100, 20},  // paper's L = (N-QF)/N * X
+		{0, 0, 0},     // no headroom
+		{0, 4, 1},     // ceil(4/5) = 1
+		{10, 110, 30}, // shifted lower bound
+		{0, 1, 1},     // ceil(1/5)
+		{5, 3, 5},     // base below bound: limit pins to the bound
+	}
+	for _, c := range cases {
+		if got := demarcationLow(c.min, c.base, q); got != c.want {
+			t.Errorf("demarcationLow(%d,%d) = %d, want %d", c.min, c.base, got, c.want)
+		}
+	}
+	// Upper mirror.
+	if got := demarcationHigh(100, 0, q); got != 80 {
+		t.Errorf("demarcationHigh(100,0) = %d, want 80", got)
+	}
+	if got := demarcationHigh(100, 100, q); got != 100 {
+		t.Errorf("demarcationHigh at the bound = %d, want 100", got)
+	}
+}
+
+// The demarcation limit must never be looser than the true bound and
+// never exceed the base (else nothing could ever be accepted).
+func TestDemarcationLimitSafeRange(t *testing.T) {
+	q := paxos.NewQuorum(5)
+	f := func(min int16, head uint16) bool {
+		m := int64(min)
+		base := m + int64(head)
+		l := demarcationLow(m, base, q)
+		return l >= m && l <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// unitNode builds a single storage node with a null network for
+// direct handler-level tests.
+func unitNode(t *testing.T, mode Mode, cons []record.Constraint) (*StorageNode, *simnet.Net) {
+	t.Helper()
+	cl := topology.NewCluster(topology.Layout{NodesPerDC: 1, Clients: 1, ClientDC: -1})
+	net := simnet.New(simnet.Options{Latency: cl.Latency(), Seed: 9})
+	cfg := Defaults(mode)
+	cfg.PendingTimeout = 0
+	cfg.Constraints = cons
+	n := NewStorageNode(topology.StorageID(topology.USWest, 0), topology.USWest, net, cl, cfg, kv.NewMemory())
+	return n, net
+}
+
+func TestEvalPhysicalValidRead(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"x": 1}}, 3)
+	ok := n.evalPhysical(nil, Option{Update: record.Physical("k", 3, record.Value{})})
+	if ok != DecAccept {
+		t.Fatal("matching vread rejected")
+	}
+	stale := n.evalPhysical(nil, Option{Update: record.Physical("k", 2, record.Value{})})
+	if stale != DecReject {
+		t.Fatal("stale vread accepted")
+	}
+	future := n.evalPhysical(nil, Option{Update: record.Physical("k", 9, record.Value{})})
+	if future != DecReject {
+		t.Fatal("future vread accepted")
+	}
+}
+
+func TestEvalPhysicalValidSingle(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	_ = n.store.Put("k", record.Value{}, 1)
+	pending := []VotedOption{{
+		Opt:      Option{Tx: "other", Update: record.Physical("k", 1, record.Value{})},
+		Decision: DecAccept,
+	}}
+	if d := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecReject {
+		t.Fatal("option accepted despite outstanding option (deadlock-avoidance violated)")
+	}
+	// A rejected pending option does not block.
+	pending[0].Decision = DecReject
+	if d := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecAccept {
+		t.Fatal("rejected pending option blocked a new option")
+	}
+}
+
+func TestEvalPhysicalConstraint(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, []record.Constraint{record.MinBound("stock", 0)})
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"stock": 5}}, 1)
+	bad := Option{Update: record.Physical("k", 1, record.Value{Attrs: map[string]int64{"stock": -1}})}
+	if d := n.evalPhysical(nil, bad); d != DecReject {
+		t.Fatal("constraint-violating physical write accepted")
+	}
+}
+
+func TestEvalCommutativeModes(t *testing.T) {
+	for _, mode := range []Mode{ModeFast, ModeMulti} {
+		n, _ := unitNode(t, mode, nil)
+		opt := Option{Update: record.Commutative("k", map[string]int64{"x": -1})}
+		if d := n.evalCommutative(nil, opt, true); d != DecReject {
+			t.Fatalf("mode %v accepted a commutative update", mode)
+		}
+	}
+}
+
+func TestEvalCommutativeBlockedByPhysical(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	pending := []VotedOption{{
+		Opt:      Option{Tx: "p", Update: record.Physical("k", 0, record.Value{})},
+		Decision: DecAccept,
+	}}
+	opt := Option{Update: record.Commutative("k", map[string]int64{"x": -1})}
+	if d := n.evalCommutative(pending, opt, true); d != DecReject {
+		t.Fatal("commutative accepted over an outstanding physical rewrite")
+	}
+}
+
+func TestEvalCommutativeDemarcationFastVsClassic(t *testing.T) {
+	cons := []record.Constraint{record.MinBound("stock", 0)}
+	n, _ := unitNode(t, ModeMDCC, cons)
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"stock": 10}}, 1)
+	// Fast limit: L = ceil(10/5) = 2, so only 8 units available per
+	// node; classic can use all 10.
+	big := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"stock": -9})}
+	if d := n.evalCommutative(nil, big, true); d != DecReject {
+		t.Fatal("fast ballot accepted a delta beyond the demarcation limit")
+	}
+	if d := n.evalCommutative(nil, big, false); d != DecAccept {
+		t.Fatal("classic ballot rejected a delta within the true bound")
+	}
+	over := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"stock": -11})}
+	if d := n.evalCommutative(nil, over, false); d != DecReject {
+		t.Fatal("classic ballot accepted a constraint-violating delta")
+	}
+}
+
+func TestEvalCommutativeCountsPending(t *testing.T) {
+	cons := []record.Constraint{record.MinBound("stock", 0)}
+	n, _ := unitNode(t, ModeMDCC, cons)
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"stock": 10}}, 1)
+	pending := []VotedOption{{
+		Opt:      Option{Tx: "p", Update: record.Commutative("k", map[string]int64{"stock": -5})},
+		Decision: DecAccept,
+	}}
+	// 10 - 5 pending - 4 = 1 < L=2 → reject in fast.
+	next := Option{Tx: "q", Update: record.Commutative("k", map[string]int64{"stock": -4})}
+	if d := n.evalCommutative(pending, next, true); d != DecReject {
+		t.Fatal("fast ballot ignored pending decrements")
+	}
+	// But -3 leaves 2 = L → accept.
+	ok := Option{Tx: "q", Update: record.Commutative("k", map[string]int64{"stock": -3})}
+	if d := n.evalCommutative(pending, ok, true); d != DecAccept {
+		t.Fatal("fast ballot over-rejected within the limit")
+	}
+	// Increments don't consume lower-bound headroom.
+	inc := Option{Tx: "r", Update: record.Commutative("k", map[string]int64{"stock": +100})}
+	if d := n.evalCommutative(pending, inc, true); d != DecAccept {
+		t.Fatal("increment rejected under a lower bound")
+	}
+}
+
+func TestAcceptorPhase1aPromise(t *testing.T) {
+	n, net := unitNode(t, ModeMDCC, nil)
+	var got []MsgPhase1b
+	net.Register("probe", func(e transport.Envelope) {
+		if m, ok := e.Msg.(MsgPhase1b); ok {
+			got = append(got, m)
+		}
+	})
+	b1 := paxos.Classic(1, "probe")
+	n.onPhase1a("probe", MsgPhase1a{Key: "k", Ballot: b1})
+	net.Run()
+	if len(got) != 1 || got[0].Ballot.Cmp(b1) != 0 {
+		t.Fatalf("phase1b = %+v", got)
+	}
+	// A lower ballot gets the higher promise back (nack).
+	b0 := paxos.Classic(0, "loser")
+	n.onPhase1a("probe", MsgPhase1a{Key: "k", Ballot: b0})
+	net.Run()
+	if len(got) != 2 || got[1].Ballot.Cmp(b1) != 0 {
+		t.Fatalf("nack should echo the promised ballot: %+v", got[1])
+	}
+}
+
+func TestAcceptorPhase2aRespectsPromise(t *testing.T) {
+	n, net := unitNode(t, ModeMDCC, nil)
+	var got []MsgPhase2b
+	net.Register("ldr", func(e transport.Envelope) {
+		if m, ok := e.Msg.(MsgPhase2b); ok {
+			got = append(got, m)
+		}
+	})
+	high := paxos.Classic(5, "other")
+	n.onPhase1a("ldr", MsgPhase1a{Key: "k", Ballot: high})
+	low := paxos.Classic(2, "ldr")
+	n.onPhase2a("ldr", MsgPhase2a{Key: "k", Ballot: low, Seq: 1})
+	net.Run()
+	var p2 *MsgPhase2b
+	for i := range got {
+		p2 = &got[i]
+	}
+	if p2 == nil || p2.OK {
+		t.Fatalf("phase2a under a higher promise must be refused: %+v", p2)
+	}
+	if p2.Promised.Cmp(high) != 0 {
+		t.Fatalf("refusal should report the promised ballot, got %v", p2.Promised)
+	}
+}
+
+func TestVisibilityIdempotent(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	opt := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"x": -1})}
+	vis := MsgVisibility{Opt: opt, Commit: true}
+	n.onVisibility(vis)
+	n.onVisibility(vis)
+	n.onVisibility(vis)
+	v, ver, _ := n.store.Get("k")
+	if v.Attr("x") != -1 || ver != 1 {
+		t.Fatalf("triple visibility applied %d times (x=%d v%d)", ver, v.Attr("x"), ver)
+	}
+}
+
+func TestVisibilityAbortDiscards(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"x": 5}}, 1)
+	opt := Option{Tx: "t", Update: record.Physical("k", 1, record.Value{Attrs: map[string]int64{"x": 99}})}
+	n.onVisibility(MsgVisibility{Opt: opt, Commit: false})
+	v, ver, _ := n.store.Get("k")
+	if v.Attr("x") != 5 || ver != 1 {
+		t.Fatalf("abort visibility mutated the store: %v v%d", v, ver)
+	}
+	// A later commit for the same option is ignored (decision final).
+	n.onVisibility(MsgVisibility{Opt: opt, Commit: true})
+	if v, _, _ := n.store.Get("k"); v.Attr("x") != 5 {
+		t.Fatal("post-abort commit applied")
+	}
+}
+
+func TestPhysicalVisibilitySupersededSkipped(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"x": 3}}, 3)
+	// A late visibility for version 2 (read version 1) must not roll back.
+	old := Option{Tx: "old", Update: record.Physical("k", 1, record.Value{Attrs: map[string]int64{"x": 1}})}
+	n.onVisibility(MsgVisibility{Opt: old, Commit: true})
+	v, ver, _ := n.store.Get("k")
+	if ver != 3 || v.Attr("x") != 3 {
+		t.Fatalf("stale visibility rolled back the record: %v v%d", v, ver)
+	}
+}
+
+func TestInitialBallotByMode(t *testing.T) {
+	n, _ := unitNode(t, ModeMDCC, nil)
+	if b := n.initialBallot("k"); !b.Fast || b.N != 0 {
+		t.Fatalf("MDCC initial ballot = %v, want fast:0", b)
+	}
+	nm, _ := unitNode(t, ModeMulti, nil)
+	if b := nm.initialBallot("k"); b.Fast || b.N != 1 {
+		t.Fatalf("Multi initial ballot = %v, want classic:1", b)
+	}
+}
+
+func TestDefaultMasterDCUniform(t *testing.T) {
+	counts := make([]int, topology.NumDCs)
+	for i := 0; i < 5000; i++ {
+		dc := DefaultMasterDC(record.Key(fmt.Sprintf("item/%06d", i)))
+		counts[dc]++
+	}
+	for dc, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("master distribution skewed: dc%d has %d of 5000", dc, c)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeMDCC.String() != "MDCC" || ModeFast.String() != "Fast" || ModeMulti.String() != "Multi" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(99).String() != "mode?" {
+		t.Fatal("unknown mode name")
+	}
+	if DecAccept.String() != "accept" || DecReject.String() != "reject" || DecUnknown.String() != "unknown" {
+		t.Fatal("decision names wrong")
+	}
+}

@@ -1,0 +1,145 @@
+// Package kv is the node-local versioned record store each storage
+// node runs (the role BDB JE plays in the paper's prototype). It maps
+// record keys to (value, version) pairs in an ordered B-tree, with an
+// optional write-ahead log so a restarted node recovers its committed
+// state. Protocol state (pending options, ballots) lives above this
+// layer in internal/core; only *committed* data enters the store.
+package kv
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"mdcc/internal/btree"
+	"mdcc/internal/record"
+	"mdcc/internal/wal"
+)
+
+// Entry is a committed record state.
+type Entry struct {
+	Key     record.Key
+	Value   record.Value
+	Version record.Version
+}
+
+// Store is a versioned key/value store. Safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	tree *btree.Tree
+	log  *wal.Log // nil for memory-only stores
+	puts int64
+}
+
+// NewMemory returns a store without durability (the simulator's
+// storage nodes: durability there is modeled, not real).
+func NewMemory() *Store {
+	return &Store{tree: btree.New()}
+}
+
+// Open returns a durable store backed by a WAL in dir, replaying any
+// existing log into memory.
+func Open(dir string, noSync bool) (*Store, error) {
+	log, err := wal.Open(dir, wal.Options{NoSync: noSync})
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{tree: btree.New(), log: log}
+	err = log.Replay(func(payload []byte) error {
+		var e Entry
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); derr != nil {
+			return fmt.Errorf("kv: replay: %w", derr)
+		}
+		s.tree.Put(string(e.Key), e)
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Get returns the committed value and version for key. ok is false if
+// the key has never been written. Tombstoned records are returned
+// with ok=true (callers decide how to treat deletes); Exists reports
+// presence net of tombstones.
+func (s *Store) Get(key record.Key) (record.Value, record.Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tree.Get(string(key))
+	if !ok {
+		return record.Value{}, 0, false
+	}
+	e := v.(Entry)
+	return e.Value.Clone(), e.Version, true
+}
+
+// Exists reports whether key holds a live (non-tombstoned) record.
+func (s *Store) Exists(key record.Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tree.Get(string(key))
+	if !ok {
+		return false
+	}
+	return !v.(Entry).Value.Tombstone
+}
+
+// Put replaces the committed state of key.
+func (s *Store) Put(key record.Key, value record.Value, version record.Version) error {
+	e := Entry{Key: key, Value: value.Clone(), Version: version}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+			return fmt.Errorf("kv: encode: %w", err)
+		}
+		if err := s.log.Append(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	s.tree.Put(string(key), e)
+	s.puts++
+	return nil
+}
+
+// Scan calls fn for every live entry with from <= key < to (to == ""
+// means unbounded) in key order, stopping early if fn returns false.
+func (s *Store) Scan(from, to record.Key, fn func(Entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendRange(string(from), string(to), func(k string, v interface{}) bool {
+		e := v.(Entry)
+		if e.Value.Tombstone {
+			return true
+		}
+		return fn(Entry{Key: e.Key, Value: e.Value.Clone(), Version: e.Version})
+	})
+}
+
+// Len returns the number of keys ever written (including tombstones).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Puts returns the number of Put calls served (monitoring).
+func (s *Store) Puts() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts
+}
+
+// Close releases the WAL, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,42 @@
+// Package mtx defines the uniform transactional client interface the
+// benchmark harness and workloads drive, so TPC-W and the
+// micro-benchmark run unchanged over MDCC and every baseline protocol
+// (2PC, quorum writes, Megastore*).
+package mtx
+
+import "mdcc/internal/record"
+
+// ReadFunc receives a read result: committed value, version, and
+// whether the record exists. (Interface methods use the unnamed
+// signature so implementations need not import this package.)
+type ReadFunc = func(val record.Value, ver record.Version, exists bool)
+
+// Client is a transactional (or, for quorum writes, merely replicated)
+// database client. Implementations are callback-based and must be
+// driven from their node's transport handler context.
+type Client interface {
+	// Read fetches one record, read-committed, usually from the
+	// nearest replica.
+	Read(key record.Key, cb func(val record.Value, ver record.Version, exists bool))
+
+	// Commit applies a write-set atomically (protocols without
+	// atomicity, like quorum writes, apply best-effort) and reports
+	// whether the transaction committed.
+	Commit(updates []record.Update, done func(committed bool))
+}
+
+// SupportsCommutative reports whether a client executes commutative
+// updates natively; workloads convert deltas to read-modify-writes
+// for clients that do not.
+type SupportsCommutative interface {
+	SupportsCommutative() bool
+}
+
+// Commutative returns whether c natively handles record.Commutative
+// updates.
+func Commutative(c Client) bool {
+	if s, ok := c.(SupportsCommutative); ok {
+		return s.SupportsCommutative()
+	}
+	return false
+}

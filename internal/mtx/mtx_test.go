@@ -1,0 +1,31 @@
+package mtx
+
+import (
+	"testing"
+
+	"mdcc/internal/record"
+)
+
+type plainClient struct{}
+
+func (plainClient) Read(record.Key, func(record.Value, record.Version, bool)) {}
+func (plainClient) Commit([]record.Update, func(bool))                        {}
+
+type commClient struct {
+	plainClient
+	comm bool
+}
+
+func (c commClient) SupportsCommutative() bool { return c.comm }
+
+func TestCommutativeDetection(t *testing.T) {
+	if Commutative(plainClient{}) {
+		t.Fatal("client without the marker reported commutative")
+	}
+	if !Commutative(commClient{comm: true}) {
+		t.Fatal("commutative client not detected")
+	}
+	if Commutative(commClient{comm: false}) {
+		t.Fatal("explicitly non-commutative client misdetected")
+	}
+}

@@ -1,0 +1,303 @@
+// Package simnet is a deterministic discrete-event network simulator
+// implementing transport.Network on a virtual clock. It stands in for
+// the paper's five-data-center EC2 deployment (netem-style WAN
+// emulation): messages experience a configurable one-way latency
+// matrix with seeded jitter, nodes process messages serially with a
+// per-message service time (so queueing effects emerge naturally),
+// and whole nodes or data centers can be failed and recovered at
+// chosen virtual times.
+//
+// Concurrency contract: the simulator is single-threaded. Everything
+// — handlers, timer callbacks, workload logic — runs on the event
+// loop via Run*/Step. Calling Send/After from inside handlers is the
+// intended usage; calling them from other goroutines while the loop
+// runs is a data race.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"mdcc/internal/clock"
+	"mdcc/internal/transport"
+)
+
+// Options configures a simulated network.
+type Options struct {
+	// Latency returns the base one-way delay between nodes
+	// (typically topology.Cluster.Latency()). Nil means 1ms uniform.
+	Latency transport.LatencyFunc
+	// JitterFrac adds ±frac multiplicative uniform jitter to each
+	// message's latency (paper-world WAN variance). 0 disables.
+	JitterFrac float64
+	// ServiceTime is how long a node is busy per handled message
+	// (models storage-node CPU; creates queueing under load).
+	ServiceTime time.Duration
+	// DropProb uniformly drops messages (0 disables).
+	DropProb float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Start is the virtual epoch; zero means Unix epoch.
+	Start time.Time
+}
+
+// Stats counts network-level events.
+type Stats struct {
+	Delivered int64
+	Dropped   int64 // by DropProb or failed endpoint
+	Timers    int64
+}
+
+// Net is the simulated network.
+type Net struct {
+	opts     Options
+	now      time.Time
+	events   eventHeap
+	seq      int64
+	handlers map[transport.NodeID]transport.Handler
+	freeAt   map[transport.NodeID]time.Time
+	failed   map[transport.NodeID]bool
+	rng      *rand.Rand
+	stats    Stats
+	stopped  bool
+}
+
+type event struct {
+	at     time.Time
+	seq    int64
+	node   transport.NodeID
+	run    func()
+	cancel *bool // non-nil for timers
+	// serialize: message/timer events occupy the node's service
+	// slot; pure scheduler events (failures) do not.
+	serialize bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// New builds a simulated network.
+func New(opts Options) *Net {
+	if opts.Latency == nil {
+		opts.Latency = func(from, to transport.NodeID) time.Duration { return time.Millisecond }
+	}
+	if opts.Start.IsZero() {
+		opts.Start = time.Unix(0, 0)
+	}
+	return &Net{
+		opts:     opts,
+		now:      opts.Start,
+		handlers: make(map[transport.NodeID]transport.Handler),
+		freeAt:   make(map[transport.NodeID]time.Time),
+		failed:   make(map[transport.NodeID]bool),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Register installs a node handler.
+func (n *Net) Register(id transport.NodeID, h transport.Handler) {
+	n.handlers[id] = h
+}
+
+// Rand exposes the simulator's seeded RNG so workloads share the
+// deterministic stream.
+func (n *Net) Rand() *rand.Rand { return n.rng }
+
+// Now returns current virtual time.
+func (n *Net) Now() time.Time { return n.now }
+
+// Stats returns delivery counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Send schedules delivery of msg after matrix latency + jitter.
+// Messages from or to failed nodes are dropped; so are random drops.
+func (n *Net) Send(from, to transport.NodeID, msg transport.Message) {
+	if n.failed[from] {
+		n.stats.Dropped++
+		return
+	}
+	d := n.opts.Latency(from, to)
+	if n.opts.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + n.opts.JitterFrac*(2*n.rng.Float64()-1)))
+	}
+	if n.opts.DropProb > 0 && n.rng.Float64() < n.opts.DropProb {
+		n.stats.Dropped++
+		return
+	}
+	e := transport.Envelope{From: from, To: to, Msg: msg}
+	n.push(&event{
+		at:        n.now.Add(d),
+		node:      to,
+		serialize: true,
+		run: func() {
+			if n.failed[to] {
+				n.stats.Dropped++
+				return
+			}
+			h, ok := n.handlers[to]
+			if !ok {
+				n.stats.Dropped++
+				return
+			}
+			n.stats.Delivered++
+			h(e)
+		},
+	})
+}
+
+// After schedules f on node `on` after d of virtual time, serialized
+// with its handler. Timers keep firing on failed nodes: Fail models a
+// network partition (the paper's outage "prevented the data center
+// from receiving any messages"), not a crash — the isolated node's
+// local processing continues but everything it sends is dropped.
+func (n *Net) After(on transport.NodeID, d time.Duration, f func()) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	cancelled := false
+	ev := &event{
+		at:        n.now.Add(d),
+		node:      on,
+		cancel:    &cancelled,
+		serialize: true,
+		run: func() {
+			n.stats.Timers++
+			f()
+		},
+	}
+	n.push(ev)
+	return simTimer{&cancelled}
+}
+
+type simTimer struct{ cancelled *bool }
+
+func (t simTimer) Stop() bool {
+	if *t.cancelled {
+		return false
+	}
+	*t.cancelled = true
+	return true
+}
+
+// At schedules a scheduler-level callback (failure injection, workload
+// phase changes) at an absolute offset from the epoch, not serialized
+// with any node.
+func (n *Net) At(offset time.Duration, f func()) {
+	at := n.opts.Start.Add(offset)
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.push(&event{at: at, run: f})
+}
+
+// Fail makes a node unreachable: messages from and to it are dropped
+// and its timers are suppressed until Recover.
+func (n *Net) Fail(id transport.NodeID) { n.failed[id] = true }
+
+// Recover brings a failed node back (its state is whatever it was;
+// storage recovery is the protocol's job).
+func (n *Net) Recover(id transport.NodeID) { delete(n.failed, id) }
+
+// Failed reports whether a node is currently failed.
+func (n *Net) Failed(id transport.NodeID) bool { return n.failed[id] }
+
+// Stop makes the current Run call return after the in-flight event.
+func (n *Net) Stop() { n.stopped = true }
+
+func (n *Net) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, e)
+}
+
+// Step executes the next event; it reports false when no events
+// remain. Service-time serialization: if the event's node is still
+// busy, the event is re-queued for when the node frees up.
+func (n *Net) Step() bool {
+	for n.events.Len() > 0 {
+		e := heap.Pop(&n.events).(*event)
+		if e.cancel != nil && *e.cancel {
+			continue
+		}
+		if e.serialize && n.opts.ServiceTime > 0 {
+			if free, ok := n.freeAt[e.node]; ok && free.After(e.at) {
+				e.at = free
+				heap.Push(&n.events, e)
+				continue
+			}
+		}
+		if e.at.After(n.now) {
+			n.now = e.at
+		}
+		if e.serialize && n.opts.ServiceTime > 0 {
+			n.freeAt[e.node] = n.now.Add(n.opts.ServiceTime)
+		}
+		e.run()
+		return true
+	}
+	return false
+}
+
+// RunFor processes events until `d` of virtual time has elapsed from
+// the current instant (or the event queue drains, or Stop is called).
+func (n *Net) RunFor(d time.Duration) {
+	deadline := n.now.Add(d)
+	n.stopped = false
+	for !n.stopped && n.events.Len() > 0 {
+		next := n.events[0]
+		if next.at.After(deadline) {
+			break
+		}
+		n.Step()
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+}
+
+// Run processes events until the queue drains or Stop is called.
+func (n *Net) Run() {
+	n.stopped = false
+	for !n.stopped && n.Step() {
+	}
+}
+
+// RunUntil steps until cond() is true, giving up after maxVirtual.
+// It reports whether the condition was met.
+func (n *Net) RunUntil(cond func() bool, maxVirtual time.Duration) bool {
+	deadline := n.now.Add(maxVirtual)
+	n.stopped = false
+	for !n.stopped {
+		if cond() {
+			return true
+		}
+		if n.events.Len() == 0 {
+			return cond()
+		}
+		if n.events[0].at.After(deadline) {
+			return false
+		}
+		n.Step()
+	}
+	return cond()
+}

@@ -1,0 +1,266 @@
+// Package topology describes the geo-distributed deployment: the five
+// EC2 regions of the paper's evaluation, a one-way latency matrix
+// between them, and the cluster layout (storage nodes per data
+// center, range partitions, replica groups, quorum sizes).
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// DC identifies a data center.
+type DC int
+
+// The paper's five Amazon EC2 regions.
+const (
+	USWest DC = iota // N. California
+	USEast           // Virginia
+	EUIreland
+	APSingapore
+	APTokyo
+	numDCs
+)
+
+// NumDCs is the replica count N used throughout the paper (every data
+// center holds a full replica).
+const NumDCs = int(numDCs)
+
+// String returns the region short name.
+func (d DC) String() string {
+	switch d {
+	case USWest:
+		return "us-west"
+	case USEast:
+		return "us-east"
+	case EUIreland:
+		return "eu-ie"
+	case APSingapore:
+		return "ap-sg"
+	case APTokyo:
+		return "ap-tk"
+	default:
+		return fmt.Sprintf("dc%d", int(d))
+	}
+}
+
+// AllDCs lists every data center.
+func AllDCs() []DC {
+	out := make([]DC, NumDCs)
+	for i := range out {
+		out[i] = DC(i)
+	}
+	return out
+}
+
+// oneWayMS is the one-way inter-DC latency matrix in milliseconds,
+// modeled on published EC2 inter-region RTTs circa 2012 (see
+// DESIGN.md §6). Intra-DC hops cost 0.5 ms.
+var oneWayMS = [NumDCs][NumDCs]float64{
+	//          W     E     EU    SG    TK
+	USWest:      {0.5, 40, 85, 90, 60},
+	USEast:      {40, 0.5, 45, 130, 85},
+	EUIreland:   {85, 45, 0.5, 135, 120},
+	APSingapore: {90, 130, 135, 0.5, 45},
+	APTokyo:     {60, 85, 120, 45, 0.5},
+}
+
+// OneWay returns the base one-way latency between two data centers.
+func OneWay(a, b DC) time.Duration {
+	return time.Duration(oneWayMS[a][b] * float64(time.Millisecond))
+}
+
+// RTT returns the base round-trip latency between two data centers.
+func RTT(a, b DC) time.Duration { return OneWay(a, b) + OneWay(b, a) }
+
+// Quorums returns the classic and fast quorum sizes for n replicas
+// per the Fast Paxos requirements used in the paper (§3.3.1): classic
+// = majority, fast = ceil(3n/4) — for n=5 that is 3 and 4, the
+// "typical setting" the paper uses.
+func Quorums(n int) (classic, fast int) {
+	classic = n/2 + 1
+	fast = (3*n + 3) / 4 // ceil(3n/4)
+	if fast > n {
+		fast = n
+	}
+	return classic, fast
+}
+
+// NodeKind distinguishes the roles a simulated host can play.
+type NodeKind int
+
+// Host roles.
+const (
+	KindStorage NodeKind = iota
+	KindClient
+)
+
+// Node describes one simulated host.
+type Node struct {
+	ID   transport.NodeID
+	DC   DC
+	Kind NodeKind
+	// Index is the per-DC storage node index (partition shard) or
+	// the global client index.
+	Index int
+}
+
+// Cluster is a full deployment: per-DC storage nodes plus clients.
+type Cluster struct {
+	StorageDCs    []DC // usually all 5
+	NodesPerDC    int  // storage nodes (partition shards) per DC
+	Storage       []Node
+	Clients       []Node
+	Constraints   []record.Constraint
+	classicQuorum int
+	fastQuorum    int
+}
+
+// Layout describes how to build a Cluster.
+type Layout struct {
+	NodesPerDC int // storage nodes per data center (≥1)
+	Clients    int // total clients, assigned round-robin across DCs
+	// ClientDC pins all clients to one DC (used by the figure-8
+	// failure experiment and Megastore*'s in-paper favor). Negative
+	// means geo-distributed round-robin.
+	ClientDC int
+}
+
+// NewCluster builds the node catalogue for a layout.
+func NewCluster(l Layout) *Cluster {
+	if l.NodesPerDC < 1 {
+		l.NodesPerDC = 1
+	}
+	c := &Cluster{StorageDCs: AllDCs(), NodesPerDC: l.NodesPerDC}
+	for _, dc := range c.StorageDCs {
+		for i := 0; i < l.NodesPerDC; i++ {
+			c.Storage = append(c.Storage, Node{
+				ID:    StorageID(dc, i),
+				DC:    dc,
+				Kind:  KindStorage,
+				Index: i,
+			})
+		}
+	}
+	for i := 0; i < l.Clients; i++ {
+		dc := DC(i % NumDCs)
+		if l.ClientDC >= 0 {
+			dc = DC(l.ClientDC)
+		}
+		c.Clients = append(c.Clients, Node{
+			ID:    ClientID(i),
+			DC:    dc,
+			Kind:  KindClient,
+			Index: i,
+		})
+	}
+	c.classicQuorum, c.fastQuorum = Quorums(NumDCs)
+	return c
+}
+
+// StorageID names a storage node.
+func StorageID(dc DC, index int) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("%s/store%d", dc, index))
+}
+
+// ClientID names a client (app-server running the DB library).
+func ClientID(i int) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("client%d", i))
+}
+
+// ClassicQuorum returns the majority quorum size (3 of 5).
+func (c *Cluster) ClassicQuorum() int { return c.classicQuorum }
+
+// FastQuorum returns the fast quorum size (4 of 5).
+func (c *Cluster) FastQuorum() int { return c.fastQuorum }
+
+// ReplicationFactor returns N (one replica per DC).
+func (c *Cluster) ReplicationFactor() int { return len(c.StorageDCs) }
+
+// Shard maps a record key to its per-DC storage node index by range
+// partitioning over a fowler-noll-vo hash of the key (uniform range
+// partitions of the hash space, stable across DCs).
+func (c *Cluster) Shard(key record.Key) int {
+	return int(fnv32(string(key)) % uint32(c.NodesPerDC))
+}
+
+// Replicas returns the storage node IDs (one per DC) responsible for
+// a key — the Paxos acceptors for that record.
+func (c *Cluster) Replicas(key record.Key) []transport.NodeID {
+	shard := c.Shard(key)
+	out := make([]transport.NodeID, 0, len(c.StorageDCs))
+	for _, dc := range c.StorageDCs {
+		out = append(out, StorageID(dc, shard))
+	}
+	return out
+}
+
+// ReplicaIn returns the key's storage node in one specific DC (the
+// "local replica" for reads).
+func (c *Cluster) ReplicaIn(key record.Key, dc DC) transport.NodeID {
+	return StorageID(dc, c.Shard(key))
+}
+
+// NodeDC looks up the DC a node belongs to; ok is false for unknown
+// IDs.
+func (c *Cluster) NodeDC(id transport.NodeID) (DC, bool) {
+	for _, n := range c.Storage {
+		if n.ID == id {
+			return n.DC, true
+		}
+	}
+	for _, n := range c.Clients {
+		if n.ID == id {
+			return n.DC, true
+		}
+	}
+	return 0, false
+}
+
+// Latency builds the base (jitter-free) latency function between
+// nodes of this cluster for use by transports.
+func (c *Cluster) Latency() transport.LatencyFunc {
+	return c.LatencyWith(nil)
+}
+
+// LatencyWith builds the latency function with additional nodes that
+// are not part of the regular storage/client catalogue (e.g. the
+// Megastore* entity-group replicas).
+func (c *Cluster) LatencyWith(extra map[transport.NodeID]DC) transport.LatencyFunc {
+	dcOf := make(map[transport.NodeID]DC, len(c.Storage)+len(c.Clients)+len(extra))
+	for _, n := range c.Storage {
+		dcOf[n.ID] = n.DC
+	}
+	for _, n := range c.Clients {
+		dcOf[n.ID] = n.DC
+	}
+	for id, dc := range extra {
+		dcOf[id] = dc
+	}
+	return func(from, to transport.NodeID) time.Duration {
+		return OneWay(dcOf[from], dcOf[to])
+	}
+}
+
+func fnv32(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	// Final avalanche (murmur3 fmix32): FNV's low bits correlate for
+	// short structured keys, and Shard uses h mod small numbers.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mdcc/internal/clock"
+)
+
+// LatencyFunc returns the one-way delay for a message between two
+// nodes. It may consult a topology matrix and add jitter.
+type LatencyFunc func(from, to NodeID) time.Duration
+
+// Local is a real-time in-process Network: every node gets a mailbox
+// goroutine that executes its handler and timer callbacks serially.
+// An optional LatencyFunc injects wide-area delays (used by examples
+// to demo geo-behaviour at compressed time scales).
+type Local struct {
+	mu      sync.RWMutex
+	nodes   map[NodeID]*mailbox
+	failed  map[NodeID]bool
+	latency LatencyFunc
+	clk     clock.Clock
+	closed  bool
+}
+
+// mailbox serializes all work (message handling and timer callbacks)
+// for one node on a single goroutine.
+type mailbox struct {
+	ch   chan func(Handler)
+	done chan struct{}
+}
+
+// NewLocal returns a Local network. latency may be nil for immediate
+// delivery.
+func NewLocal(latency LatencyFunc) *Local {
+	return &Local{
+		nodes:   make(map[NodeID]*mailbox),
+		failed:  make(map[NodeID]bool),
+		latency: latency,
+		clk:     clock.NewReal(),
+	}
+}
+
+// Fail makes a node unreachable (messages to and from it are
+// dropped) until Recover — used to demonstrate data-center outages
+// on the real-time transport.
+func (l *Local) Fail(id NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failed[id] = true
+}
+
+// Recover reverses Fail.
+func (l *Local) Recover(id NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.failed, id)
+}
+
+// Register installs the node's handler and starts its mailbox loop.
+func (l *Local) Register(id NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mb, ok := l.nodes[id]; ok {
+		close(mb.done)
+	}
+	mb := &mailbox{ch: make(chan func(Handler), 4096), done: make(chan struct{})}
+	l.nodes[id] = mb
+	go func() {
+		for {
+			select {
+			case f := <-mb.ch:
+				f(h)
+			case <-mb.done:
+				return
+			}
+		}
+	}()
+}
+
+func (l *Local) enqueue(to NodeID, f func(Handler)) {
+	l.mu.RLock()
+	mb, ok := l.nodes[to]
+	closed := l.closed
+	l.mu.RUnlock()
+	if !ok || closed {
+		return // unroutable: drop, like a dead host
+	}
+	select {
+	case mb.ch <- f:
+	case <-mb.done:
+	}
+}
+
+// Send routes the message after the configured latency.
+func (l *Local) Send(from, to NodeID, msg Message) {
+	l.mu.RLock()
+	fromFailed := l.failed[from]
+	l.mu.RUnlock()
+	if fromFailed {
+		return
+	}
+	e := Envelope{From: from, To: to, Msg: msg}
+	deliver := func() {
+		l.mu.RLock()
+		toFailed := l.failed[to]
+		l.mu.RUnlock()
+		if toFailed {
+			return
+		}
+		l.enqueue(to, func(h Handler) { h(e) })
+	}
+	var d time.Duration
+	if l.latency != nil {
+		d = l.latency(from, to)
+	}
+	if d <= 0 {
+		go deliver()
+		return
+	}
+	l.clk.After(d, deliver)
+}
+
+// After schedules f serialized with node on's handler.
+func (l *Local) After(on NodeID, d time.Duration, f func()) clock.Timer {
+	return l.clk.After(d, func() {
+		l.enqueue(on, func(Handler) { f() })
+	})
+}
+
+// Now returns wall-clock time.
+func (l *Local) Now() time.Time { return l.clk.Now() }
+
+// Close stops all mailbox loops; subsequent sends are dropped.
+func (l *Local) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for _, mb := range l.nodes {
+		close(mb.done)
+	}
+	l.nodes = make(map[NodeID]*mailbox)
+}
+
+// UniformJitter wraps a base latency function with ±frac multiplicative
+// uniform jitter drawn from r (guarded by an internal mutex so the
+// result is safe for concurrent use).
+func UniformJitter(base LatencyFunc, frac float64, r *rand.Rand) LatencyFunc {
+	if base == nil || frac <= 0 {
+		return base
+	}
+	var mu sync.Mutex
+	return func(from, to NodeID) time.Duration {
+		d := base(from, to)
+		mu.Lock()
+		j := 1 + frac*(2*r.Float64()-1)
+		mu.Unlock()
+		return time.Duration(float64(d) * j)
+	}
+}

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mdcc/internal/clock"
+)
+
+// RegisterMessage registers a concrete message type for the gob wire
+// codec. Every protocol package registers its message types in init so
+// they can cross TCP transports.
+func RegisterMessage(m Message) { gob.Register(m) }
+
+// helloMsg announces a dialing peer's node and reachable address so
+// the receiver can route replies back (clients are not in the static
+// routing table servers start with).
+type helloMsg struct {
+	ID   NodeID
+	Addr string
+}
+
+func init() { gob.Register(helloMsg{}) }
+
+// TCP is a Network whose nodes may live in different processes.
+// Locally registered nodes receive messages directly; remote nodes
+// are reached via persistent gob-encoded TCP connections using a
+// static NodeID→address routing table.
+//
+// Delivery is best-effort: connection failures drop messages, exactly
+// as the protocol layers expect from a WAN.
+type TCP struct {
+	mu     sync.RWMutex
+	local  map[NodeID]*mailbox
+	routes map[NodeID]string // node → "host:port"
+	conns  map[string]*tcpConn
+	ln     net.Listener
+	clk    clock.Clock
+	closed bool
+
+	// Logf, if set, receives connection diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCP returns a TCP network with the given routing table (may be
+// extended later with AddRoute).
+func NewTCP(routes map[NodeID]string) *TCP {
+	t := &TCP{
+		local:  make(map[NodeID]*mailbox),
+		routes: make(map[NodeID]string),
+		conns:  make(map[string]*tcpConn),
+		clk:    clock.NewReal(),
+	}
+	for id, addr := range routes {
+		t.routes[id] = addr
+	}
+	return t
+}
+
+// AddRoute maps a node to a remote address.
+func (t *TCP) AddRoute(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes[id] = addr
+}
+
+// Listen starts accepting peer connections on addr and returns the
+// bound address (useful with ":0").
+func (t *TCP) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				t.logf("transport: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		t.deliverLocal(e)
+	}
+}
+
+func (t *TCP) deliverLocal(e Envelope) {
+	if h, ok := e.Msg.(helloMsg); ok {
+		t.AddRoute(h.ID, h.Addr)
+		return
+	}
+	t.mu.RLock()
+	mb, ok := t.local[e.To]
+	t.mu.RUnlock()
+	if !ok {
+		t.logf("transport: no local node %s, dropping %T", e.To, e.Msg)
+		return
+	}
+	select {
+	case mb.ch <- func(h Handler) { h(e) }:
+	case <-mb.done:
+	}
+}
+
+// Register installs a handler for a node hosted in this process.
+func (t *TCP) Register(id NodeID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if mb, ok := t.local[id]; ok {
+		close(mb.done)
+	}
+	mb := &mailbox{ch: make(chan func(Handler), 4096), done: make(chan struct{})}
+	t.local[id] = mb
+	go func() {
+		for {
+			select {
+			case f := <-mb.ch:
+				f(h)
+			case <-mb.done:
+				return
+			}
+		}
+	}()
+}
+
+// Send routes msg to a local mailbox or over TCP.
+func (t *TCP) Send(from, to NodeID, msg Message) {
+	e := Envelope{From: from, To: to, Msg: msg}
+	t.mu.RLock()
+	_, isLocal := t.local[to]
+	addr, hasRoute := t.routes[to]
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return
+	}
+	if isLocal {
+		t.deliverLocal(e)
+		return
+	}
+	if !hasRoute {
+		t.logf("transport: no route to %s, dropping %T", to, msg)
+		return
+	}
+	go t.sendRemote(addr, e)
+}
+
+func (t *TCP) sendRemote(addr string, e Envelope) {
+	c, err := t.connTo(addr)
+	if err != nil {
+		t.logf("transport: dial %s: %v", addr, err)
+		return
+	}
+	c.mu.Lock()
+	err = c.enc.Encode(&e)
+	c.mu.Unlock()
+	if err != nil {
+		t.logf("transport: send to %s: %v", addr, err)
+		t.dropConn(addr, c)
+	}
+}
+
+func (t *TCP) connTo(addr string) (*tcpConn, error) {
+	t.mu.RLock()
+	c, ok := t.conns[addr]
+	t.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.mu.Lock()
+	if exist, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return exist, nil
+	}
+	t.conns[addr] = c
+	t.mu.Unlock()
+	// Responses flow over separately dialed connections from the
+	// peer; this connection is send-only, but drain it so the peer
+	// closing is noticed promptly.
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				t.dropConn(addr, c)
+				return
+			}
+		}
+	}()
+	return c, nil
+}
+
+func (t *TCP) dropConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+// Hello announces a locally hosted node's listen address to a remote
+// peer so the peer can route replies back. Call after Listen, before
+// sending requests.
+func (t *TCP) Hello(peerAddr string, self NodeID, selfAddr string) {
+	t.sendRemote(peerAddr, Envelope{From: self, Msg: helloMsg{ID: self, Addr: selfAddr}})
+}
+
+// After schedules f serialized with node on's mailbox.
+func (t *TCP) After(on NodeID, d time.Duration, f func()) clock.Timer {
+	return t.clk.After(d, func() {
+		t.mu.RLock()
+		mb, ok := t.local[on]
+		t.mu.RUnlock()
+		if !ok {
+			return
+		}
+		select {
+		case mb.ch <- func(Handler) { f() }:
+		case <-mb.done:
+		}
+	})
+}
+
+// Now returns wall-clock time.
+func (t *TCP) Now() time.Time { return t.clk.Now() }
+
+// Close shuts the listener, connections and mailboxes.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range t.conns {
+		c.conn.Close()
+	}
+	for _, mb := range t.local {
+		close(mb.done)
+	}
+	t.local = make(map[NodeID]*mailbox)
+	t.conns = make(map[string]*tcpConn)
+}
+
+// logf reports a diagnostic if the owner installed a logger; the
+// default is silence because message drops are expected behaviour.
+func (t *TCP) logf(format string, args ...interface{}) {
+	if t.Logf != nil {
+		t.Logf(format, args...)
+	}
+}

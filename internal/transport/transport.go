@@ -1,0 +1,55 @@
+// Package transport defines how protocol nodes exchange messages and
+// schedule timers, independent of whether the network is the
+// discrete-event simulator (internal/simnet), in-process channels with
+// injected latency (this package's Local), or real TCP sockets
+// (this package's tcp.go).
+//
+// Concurrency contract: each node's handler and its After callbacks
+// are invoked serially, so node state needs no internal locking as
+// long as it is only touched from handlers/timers. This matches the
+// single-threaded simulator and is enforced with per-node run loops
+// in the real-time transports.
+package transport
+
+import (
+	"time"
+
+	"mdcc/internal/clock"
+)
+
+// NodeID names an endpoint ("dc1/store0", "client17", ...).
+type NodeID string
+
+// Message is a protocol payload. Concrete message types used over TCP
+// must be registered with RegisterMessage.
+type Message interface{}
+
+// Envelope is a routed message.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Msg  Message
+}
+
+// Handler consumes messages delivered to one node.
+type Handler func(env Envelope)
+
+// Network routes messages between registered nodes and schedules
+// timers serialized with a node's handler.
+type Network interface {
+	// Register installs the handler for a node. Must be called before
+	// messages are sent to it. Re-registering replaces the handler.
+	Register(id NodeID, h Handler)
+
+	// Send routes msg from one node to another. Delivery is
+	// asynchronous, unordered across pairs, and may silently drop
+	// (simnet failure injection; closed TCP peers).
+	Send(from, to NodeID, msg Message)
+
+	// After schedules f to run on node `on` after d, serialized with
+	// that node's handler.
+	After(on NodeID, d time.Duration, f func()) clock.Timer
+
+	// Now returns the network's current (possibly virtual) time.
+	Now() time.Time
+}

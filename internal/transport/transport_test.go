@@ -1,0 +1,294 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type ping struct{ Seq int }
+type pong struct{ Seq int }
+
+func init() {
+	RegisterMessage(ping{})
+	RegisterMessage(pong{})
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	done := make(chan int, 1)
+	n.Register("b", func(e Envelope) {
+		p := e.Msg.(ping)
+		n.Send("b", e.From, pong{Seq: p.Seq})
+	})
+	n.Register("a", func(e Envelope) {
+		done <- e.Msg.(pong).Seq
+	})
+	n.Send("a", "b", ping{Seq: 7})
+	select {
+	case seq := <-done:
+		if seq != 7 {
+			t.Fatalf("round trip seq = %d, want 7", seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("round trip timed out")
+	}
+}
+
+func TestLocalSerializesPerNode(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	var inHandler atomic.Int32
+	var overlapped atomic.Bool
+	var count atomic.Int32
+	done := make(chan struct{})
+	n.Register("sink", func(e Envelope) {
+		if inHandler.Add(1) > 1 {
+			overlapped.Store(true)
+		}
+		time.Sleep(time.Microsecond)
+		inHandler.Add(-1)
+		if count.Add(1) == 100 {
+			close(done)
+		}
+	})
+	for i := 0; i < 100; i++ {
+		n.Send("src", "sink", ping{Seq: i})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("messages not delivered")
+	}
+	if overlapped.Load() {
+		t.Fatal("handler invocations overlapped for one node")
+	}
+}
+
+func TestLocalLatency(t *testing.T) {
+	n := NewLocal(func(from, to NodeID) time.Duration { return 30 * time.Millisecond })
+	defer n.Close()
+	got := make(chan time.Time, 1)
+	n.Register("b", func(e Envelope) { got <- time.Now() })
+	start := time.Now()
+	n.Send("a", "b", ping{})
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d < 25*time.Millisecond {
+			t.Fatalf("delivered after %v, want >= ~30ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestLocalSendToUnknownDropped(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	n.Send("a", "ghost", ping{}) // must not panic or block
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestLocalAfterSerialized(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{})
+	n.Register("a", func(e Envelope) {
+		mu.Lock()
+		order = append(order, "msg")
+		mu.Unlock()
+	})
+	n.After("a", 20*time.Millisecond, func() {
+		mu.Lock()
+		order = append(order, "timer")
+		mu.Unlock()
+		close(done)
+	})
+	n.Send("x", "a", ping{})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "msg" || order[1] != "timer" {
+		t.Fatalf("order = %v, want [msg timer]", order)
+	}
+}
+
+func TestLocalAfterStop(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	n.Register("a", func(Envelope) {})
+	var fired atomic.Bool
+	tm := n.After("a", 30*time.Millisecond, func() { fired.Store(true) })
+	tm.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestUniformJitter(t *testing.T) {
+	base := func(from, to NodeID) time.Duration { return 100 * time.Millisecond }
+	j := UniformJitter(base, 0.1, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		d := j("a", "b")
+		if d < 90*time.Millisecond || d > 110*time.Millisecond {
+			t.Fatalf("jittered latency %v outside ±10%%", d)
+		}
+	}
+	if UniformJitter(nil, 0.1, nil) != nil {
+		t.Fatal("nil base should pass through")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	// Two "processes": server hosts node srv, client hosts node cli.
+	srvNet := NewTCP(nil)
+	defer srvNet.Close()
+	srvAddr, err := srvNet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cliNet := NewTCP(map[NodeID]string{"srv": srvAddr})
+	defer cliNet.Close()
+	cliAddr, err := cliNet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvNet.AddRoute("cli", cliAddr)
+
+	srvNet.Register("srv", func(e Envelope) {
+		srvNet.Send("srv", e.From, pong{Seq: e.Msg.(ping).Seq * 2})
+	})
+	done := make(chan int, 1)
+	cliNet.Register("cli", func(e Envelope) { done <- e.Msg.(pong).Seq })
+
+	cliNet.Send("cli", "srv", ping{Seq: 21})
+	select {
+	case seq := <-done:
+		if seq != 42 {
+			t.Fatalf("TCP round trip = %d, want 42", seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TCP round trip timed out")
+	}
+}
+
+func TestTCPNoRouteDropped(t *testing.T) {
+	n := NewTCP(nil)
+	defer n.Close()
+	dropped := make(chan string, 1)
+	n.Logf = func(format string, args ...interface{}) {
+		select {
+		case dropped <- format:
+		default:
+		}
+	}
+	n.Send("a", "nowhere", ping{})
+	select {
+	case <-dropped:
+	case <-time.After(time.Second):
+		t.Fatal("expected a drop diagnostic")
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	srvNet := NewTCP(nil)
+	defer srvNet.Close()
+	srvAddr, err := srvNet.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliNet := NewTCP(map[NodeID]string{"srv": srvAddr})
+	defer cliNet.Close()
+
+	const total = 500
+	var got atomic.Int32
+	done := make(chan struct{})
+	srvNet.Register("srv", func(e Envelope) {
+		if got.Add(1) == total {
+			close(done)
+		}
+	})
+	for i := 0; i < total; i++ {
+		cliNet.Send("cli", "srv", ping{Seq: i})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("received %d of %d messages", got.Load(), total)
+	}
+}
+
+func TestTCPHelloRegistersRoute(t *testing.T) {
+	// A server with no static route back to the client can still
+	// reply after the client's hello announces its address.
+	srv := NewTCP(nil)
+	defer srv.Close()
+	srvAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Register("srv", func(e Envelope) {
+		srv.Send("srv", e.From, pong{Seq: e.Msg.(ping).Seq + 1})
+	})
+
+	cli := NewTCP(map[NodeID]string{"srv": srvAddr})
+	defer cli.Close()
+	cliAddr, err := cli.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	cli.Register("dynamic-client", func(e Envelope) { done <- e.Msg.(pong).Seq })
+
+	cli.Hello(srvAddr, "dynamic-client", cliAddr)
+	cli.Send("dynamic-client", "srv", ping{Seq: 41})
+	select {
+	case seq := <-done:
+		if seq != 42 {
+			t.Fatalf("round trip after hello = %d", seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server could not route a reply despite hello")
+	}
+}
+
+func TestLocalFailRecover(t *testing.T) {
+	n := NewLocal(nil)
+	defer n.Close()
+	var got atomic.Int32
+	n.Register("b", func(Envelope) { got.Add(1) })
+
+	n.Fail("b")
+	n.Send("a", "b", ping{})
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("failed node received a message")
+	}
+	n.Recover("b")
+	n.Send("a", "b", ping{})
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+	// Failed senders drop too.
+	n.Fail("a")
+	n.Send("a", "b", ping{})
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Fatal("failed sender's message delivered")
+	}
+}

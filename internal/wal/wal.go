@@ -1,0 +1,316 @@
+// Package wal implements a write-ahead log: an append-only sequence of
+// length-prefixed, CRC32-checksummed records in segment files. Storage
+// nodes log learned options and executed updates through it so a node
+// restart replays to the pre-crash state (the durability role BDB's
+// own log plays in the paper's prototype).
+//
+// Record framing:
+//
+//	uint32 length | uint32 crc32(payload) | payload bytes
+//
+// Torn tails (partial final record after a crash) are detected by
+// length/CRC mismatch and truncated on open.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	headerSize = 8
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt is returned when a record fails its CRC in the middle of
+// a segment (a torn tail is silently truncated instead).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Options configures a Log.
+type Options struct {
+	// SegmentSize is the byte threshold after which appends roll over
+	// to a new segment file. Zero means 4 MiB.
+	SegmentSize int64
+	// NoSync disables fsync after append (used by tests and by the
+	// simulator harness where durability is modeled, not real).
+	NoSync bool
+}
+
+// Log is an append-only segmented log. Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	seg     *os.File
+	segIdx  int
+	segSize int64
+	closed  bool
+	appends int64
+}
+
+// Open opens (creating if necessary) a log in dir and truncates any
+// torn tail in the newest segment.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := l.rollLocked(0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	last := segs[len(segs)-1]
+	valid, err := validPrefixLen(filepath.Join(dir, segName(last)))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(last)), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.seg = f
+	l.segIdx = last
+	l.segSize = valid
+	return l, nil
+}
+
+// Append writes one record and (unless NoSync) syncs it to disk.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.segSize >= l.opts.SegmentSize {
+		if err := l.rollLocked(l.segIdx + 1); err != nil {
+			return err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.seg.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := l.seg.Write(payload); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	l.segSize += int64(headerSize + len(payload))
+	l.appends++
+	if !l.opts.NoSync {
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Appends returns the number of records appended through this handle.
+func (l *Log) Appends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Replay calls fn for every record in log order. It must not be
+// called concurrently with Append.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	dir := l.dir
+	l.mu.Unlock()
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if err := replaySegment(filepath.Join(dir, segName(idx)), idx == segs[len(segs)-1], fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate discards all log contents (after a checkpoint).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.seg != nil {
+		l.seg.Close()
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return l.rollLocked(0)
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.seg == nil {
+		return nil
+	}
+	if !l.opts.NoSync {
+		if err := l.seg.Sync(); err != nil {
+			l.seg.Close()
+			return err
+		}
+	}
+	return l.seg.Close()
+}
+
+func (l *Log) rollLocked(idx int) error {
+	if l.seg != nil {
+		if !l.opts.NoSync {
+			if err := l.seg.Sync(); err != nil {
+				return fmt.Errorf("wal: roll sync: %w", err)
+			}
+		}
+		l.seg.Close()
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(idx)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: roll: %w", err)
+	}
+	l.seg = f
+	l.segIdx = idx
+	l.segSize = 0
+	return nil
+}
+
+func segName(idx int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix)
+}
+
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// validPrefixLen scans a segment and returns the byte length of the
+// longest valid record prefix.
+func validPrefixLen(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var off int64
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != want {
+			return off, nil // corrupt tail
+		}
+		off += int64(headerSize) + int64(length)
+	}
+}
+
+// replaySegment streams records of one segment into fn. For the final
+// (active) segment a torn tail is tolerated; for older segments any
+// corruption is an error.
+func replaySegment(path string, tolerateTail bool, fn func([]byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if tolerateTail {
+				return nil
+			}
+			return fmt.Errorf("%w: torn header in %s", ErrCorrupt, path)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			if tolerateTail {
+				return nil
+			}
+			return fmt.Errorf("%w: torn payload in %s", ErrCorrupt, path)
+		}
+		if crc32.ChecksumIEEE(buf) != want {
+			if tolerateTail {
+				return nil
+			}
+			return fmt.Errorf("%w: bad crc in %s", ErrCorrupt, path)
+		}
+		if err := fn(buf); err != nil {
+			return err
+		}
+	}
+}

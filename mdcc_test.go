@@ -1,0 +1,489 @@
+package mdcc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.LatencyScale == 0 {
+		cfg.LatencyScale = 0.002 // ~0.3ms max one-way: fast tests
+	}
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSessionInsertReadUpdate(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	// Read-your-writes so the post-commit reads cannot race the
+	// asynchronous visibility notifications.
+	s.EnableSessionGuarantees()
+
+	ok, err := s.Commit(Insert("item/1", Value{Attrs: map[string]int64{"stock": 10}}))
+	if err != nil || !ok {
+		t.Fatalf("insert: ok=%v err=%v", ok, err)
+	}
+	val, ver, exists, err := s.Read("item/1")
+	if err != nil || !exists || ver != 1 || val.Attr("stock") != 10 {
+		t.Fatalf("read: %v v%d %v %v", val, ver, exists, err)
+	}
+	ok, err = s.Commit(Physical("item/1", ver, val.WithAttr("stock", 9)))
+	if err != nil || !ok {
+		t.Fatalf("update: ok=%v err=%v", ok, err)
+	}
+	val, ver, _, _ = s.Read("item/1")
+	if ver != 2 || val.Attr("stock") != 9 {
+		t.Fatalf("after update: %v v%d", val, ver)
+	}
+}
+
+func TestSessionsFromDifferentDCs(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	west := c.Session(USWest)
+	tokyo := c.Session(APTokyo)
+
+	if ok, err := west.Commit(Insert("geo/1", Value{Attrs: map[string]int64{"x": 1}})); err != nil || !ok {
+		t.Fatalf("west insert: %v %v", ok, err)
+	}
+	// Tokyo's local replica converges once visibility lands.
+	var val Value
+	var exists bool
+	for i := 0; i < 50; i++ {
+		var err error
+		val, _, exists, err = tokyo.Read("geo/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exists {
+			break
+		}
+	}
+	if !exists || val.Attr("x") != 1 {
+		t.Fatalf("tokyo read: %v %v", val, exists)
+	}
+}
+
+func TestConflictDetectedAcrossSessions(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	a := c.Session(USWest)
+	b := c.Session(USEast)
+	if ok, _ := a.Commit(Insert("c/1", Value{Attrs: map[string]int64{"x": 0}})); !ok {
+		t.Fatal("insert failed")
+	}
+	_, verA, _, _ := a.Read("c/1")
+	if ok, _ := b.Commit(Physical("c/1", verA, Value{Attrs: map[string]int64{"x": 5}})); !ok {
+		t.Fatal("b's update failed")
+	}
+	// a's stale write must abort.
+	if ok, _ := a.Commit(Physical("c/1", verA, Value{Attrs: map[string]int64{"x": 9}})); ok {
+		t.Fatal("stale write committed (lost update)")
+	}
+}
+
+func TestCommutativeWithConstraint(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{
+		Constraints: []Constraint{MinBound("stock", 0)},
+	})
+	s := c.Session(EUIreland)
+	if ok, _ := s.Commit(Insert("inv/1", Value{Attrs: map[string]int64{"stock": 3}})); !ok {
+		t.Fatal("insert failed")
+	}
+	committed := 0
+	for i := 0; i < 6; i++ {
+		if ok, err := s.Commit(Commutative("inv/1", map[string]int64{"stock": -1})); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			committed++
+		}
+	}
+	if committed > 3 {
+		t.Fatalf("%d decrements committed against stock 3", committed)
+	}
+	val, _, _, _ := s.Read("inv/1")
+	if val.Attr("stock") < 0 {
+		t.Fatalf("constraint violated: %d", val.Attr("stock"))
+	}
+}
+
+func TestTransactRetryLoop(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("t/1", Value{Attrs: map[string]int64{"n": 0}})); !ok {
+		t.Fatal("insert failed")
+	}
+	ok, err := s.Transact(3, func(tx *TxView) error {
+		v, ver, _ := tx.Read("t/1")
+		tx.Write("t/1", ver, v.WithAttr("n", v.Attr("n")+1))
+		return nil
+	})
+	if err != nil || !ok {
+		t.Fatalf("transact: %v %v", ok, err)
+	}
+	v, _, _, _ := s.Read("t/1")
+	if v.Attr("n") != 1 {
+		t.Fatalf("n = %d", v.Attr("n"))
+	}
+}
+
+func TestTransactUserError(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	wantErr := fmt.Errorf("business rule")
+	ok, err := s.Transact(3, func(tx *TxView) error { return wantErr })
+	if ok || err != wantErr {
+		t.Fatalf("Transact = %v, %v", ok, err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("cc/1", Value{Attrs: map[string]int64{"n": 0}})); !ok {
+		t.Fatal("insert failed")
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		dc := DC(g % 5)
+		go func() {
+			defer wg.Done()
+			sess := c.Session(dc)
+			ok, err := sess.Transact(10, func(tx *TxView) error {
+				v, ver, _ := tx.Read("cc/1")
+				tx.Write("cc/1", ver, v.WithAttr("n", v.Attr("n")+1))
+				return nil
+			})
+			if err != nil {
+				t.Errorf("transact: %v", err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				commits++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	var final int64
+	for i := 0; i < 100; i++ {
+		v, _, _, err := s.Read("cc/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = v.Attr("n")
+		if final == int64(commits) {
+			break
+		}
+	}
+	if final != int64(commits) {
+		t.Fatalf("counter %d != %d commits (lost update)", final, commits)
+	}
+}
+
+func TestReadMany(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(APSingapore)
+	var ups []Update
+	for i := 0; i < 5; i++ {
+		ups = append(ups, Insert(Key(fmt.Sprintf("m/%d", i)), Value{Attrs: map[string]int64{"i": int64(i)}}))
+	}
+	if ok, _ := s.Commit(ups...); !ok {
+		t.Fatal("bulk insert failed")
+	}
+	keys := []Key{"m/0", "m/1", "m/2", "m/3", "m/4", "m/none"}
+	// Visibility is asynchronous: the local replica may lag the
+	// commit acknowledgement briefly (read committed, not
+	// read-your-writes). Retry until it converges.
+	var vals []Value
+	var exist []bool
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		vals, _, exist, err = s.ReadMany(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := true
+		for i := 0; i < 5; i++ {
+			if !exist[i] {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !exist[i] || vals[i].Attr("i") != int64(i) {
+			t.Fatalf("m/%d = %v %v", i, vals[i], exist[i])
+		}
+	}
+	if exist[5] {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestDeleteAndReinsert(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USEast)
+	if ok, _ := s.Commit(Insert("d/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	// Wait for the insert's asynchronous visibility to reach the
+	// local replica (read committed, not read-your-writes).
+	for i := 0; i < 100; i++ {
+		if _, _, exists, _ := s.Read("d/1"); exists {
+			break
+		}
+	}
+	// A write racing the previous commit's visibility can
+	// legitimately abort; the standard OCC retry loop absorbs it.
+	ok, err := s.Transact(20, func(tx *TxView) error {
+		_, ver, exists := tx.Read("d/1")
+		if !exists {
+			t.Fatal("record vanished before delete")
+		}
+		tx.Delete("d/1", ver)
+		return nil
+	})
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	var ver2 Version
+	for i := 0; i < 100; i++ {
+		var exists bool
+		_, ver2, exists, _ = s.Read("d/1")
+		if !exists && ver2 >= 2 {
+			break
+		}
+	}
+	if _, _, exists, _ := s.Read("d/1"); exists {
+		t.Fatal("deleted record still exists")
+	}
+	// Re-insert on top of the tombstone version.
+	ok, err = s.Transact(20, func(tx *TxView) error {
+		_, ver, _ := tx.Read("d/1")
+		tx.Write("d/1", ver, Value{Attrs: map[string]int64{"x": 2}})
+		return nil
+	})
+	if err != nil || !ok {
+		t.Fatalf("re-insert: %v %v", ok, err)
+	}
+	var v Value
+	var exists bool
+	for i := 0; i < 100; i++ {
+		v, _, exists, _ = s.Read("d/1")
+		if exists {
+			break
+		}
+	}
+	if !exists || v.Attr("x") != 2 {
+		t.Fatalf("after re-insert: %v %v", v, exists)
+	}
+}
+
+func TestFailDCContinues(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("f/1", Value{Attrs: map[string]int64{"x": 0}})); !ok {
+		t.Fatal("insert failed")
+	}
+	c.FailDC(USEast)
+	defer c.RecoverDC(USEast)
+	_, ver, _, _ := s.Read("f/1")
+	ok, err := s.Commit(Physical("f/1", ver, Value{Attrs: map[string]int64{"x": 1}}))
+	if err != nil || !ok {
+		t.Fatalf("commit during outage: %v %v", ok, err)
+	}
+}
+
+func TestDurableCluster(t *testing.T) {
+	dir := t.TempDir()
+	c := startTestCluster(t, ClusterConfig{DataDir: dir})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("dur/1", Value{Attrs: map[string]int64{"x": 7}})); !ok {
+		t.Fatal("insert failed")
+	}
+	// Give visibility a moment, then restart the whole cluster from disk.
+	for i := 0; i < 50; i++ {
+		if v, _, ok, _ := s.Read("dur/1"); ok && v.Attr("x") == 7 {
+			break
+		}
+	}
+	c.Close()
+
+	c2, err := StartCluster(ClusterConfig{DataDir: dir, LatencyScale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, _, exists, err := c2.Session(USWest).Read("dur/1")
+	if err != nil || !exists || v.Attr("x") != 7 {
+		t.Fatalf("after restart: %v %v %v", v, exists, err)
+	}
+}
+
+func TestModeVariants(t *testing.T) {
+	for _, mode := range []Mode{ModeMDCC, ModeFast, ModeMulti} {
+		c := startTestCluster(t, ClusterConfig{Mode: mode})
+		s := c.Session(USWest)
+		if ok, err := s.Commit(Insert("mv/1", Value{Attrs: map[string]int64{"x": 1}})); err != nil || !ok {
+			t.Fatalf("mode %v: insert ok=%v err=%v", mode, ok, err)
+		}
+		v, _, exists, _ := s.Read("mv/1")
+		if !exists || v.Attr("x") != 1 {
+			t.Fatalf("mode %v: read %v %v", mode, v, exists)
+		}
+		c.Close()
+	}
+}
+
+func TestReadLatestSeesFresh(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("rl/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	// A quorum read right after commit must observe the committed
+	// write: the commit reached a fast quorum (4/5), which intersects
+	// every majority (3/5) in at least 2 replicas, at least one of
+	// which has applied visibility once it lands. Retry briefly for
+	// the visibility race, but require far fewer retries than the
+	// local-replica path might need after a failure.
+	var ver Version
+	var exists bool
+	for i := 0; i < 100; i++ {
+		var err error
+		_, ver, exists, err = s.ReadLatest("rl/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exists && ver == 1 {
+			return
+		}
+	}
+	t.Fatalf("quorum read never observed the commit: v%d exists=%v", ver, exists)
+}
+
+func TestReadLatestSurvivesLocalDCFailure(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("rl/2", Value{Attrs: map[string]int64{"x": 7}})); !ok {
+		t.Fatal("insert failed")
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, ok, _ := s.Read("rl/2"); ok {
+			break
+		}
+	}
+	// Kill the local DC: plain Read falls back to other DCs after a
+	// timeout; ReadLatest keeps working because it only needs any
+	// majority.
+	c.FailDC(USWest)
+	defer c.RecoverDC(USWest)
+	v, _, exists, err := s.ReadLatest("rl/2")
+	if err != nil || !exists || v.Attr("x") != 7 {
+		t.Fatalf("quorum read during local outage: %v %v %v", v, exists, err)
+	}
+}
+
+func TestClusterAntiEntropyCatchUp(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{SyncInterval: 30 * time.Millisecond})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("sync/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, ok, _ := s.Read("sync/1"); ok {
+			break
+		}
+	}
+	// Partition Tokyo, update, recover, and read from Tokyo: the
+	// anti-entropy background sync must deliver the new value without
+	// further writes.
+	c.FailDC(APTokyo)
+	_, ver, _, _ := s.Read("sync/1")
+	if ok, _ := s.Commit(Physical("sync/1", ver, Value{Attrs: map[string]int64{"x": 2}})); !ok {
+		t.Fatal("update during partition failed")
+	}
+	c.RecoverDC(APTokyo)
+	tokyo := c.Session(APTokyo)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v, _, ok, err := tokyo.Read("sync/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && v.Attr("x") == 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("tokyo replica never caught up via anti-entropy")
+}
+
+func TestSessionGuaranteesReadYourWrites(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	s.EnableSessionGuarantees()
+	if ok, _ := s.Commit(Insert("ryw/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	// The very next read must observe the insert — no retry loop.
+	v, ver, exists, err := s.Read("ryw/1")
+	if err != nil || !exists || ver < 1 || v.Attr("x") != 1 {
+		t.Fatalf("read-your-writes violated: %v v%d %v %v", v, ver, exists, err)
+	}
+	// Update and read again.
+	ok, err := s.Transact(10, func(tx *TxView) error {
+		val, vr, _ := tx.Read("ryw/1")
+		tx.Write("ryw/1", vr, val.WithAttr("x", 2))
+		return nil
+	})
+	if err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	v, _, _, _ = s.Read("ryw/1")
+	if v.Attr("x") != 2 {
+		t.Fatalf("own update not visible: %v", v)
+	}
+}
+
+func TestSessionGuaranteesMonotonic(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	writer := c.Session(USEast)
+	reader := c.Session(USWest)
+	reader.EnableSessionGuarantees()
+	if ok, _ := writer.Commit(Insert("mono/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	// Reader observes some version; subsequent reads must never
+	// return an older one even across many reads racing visibility.
+	var maxSeen Version
+	for i := 0; i < 50; i++ {
+		_, ver, _, err := reader.Read("mono/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver < maxSeen {
+			t.Fatalf("monotonic reads violated: saw v%d after v%d", ver, maxSeen)
+		}
+		if ver > maxSeen {
+			maxSeen = ver
+		}
+		if i == 20 {
+			val, wver, _, _ := writer.Read("mono/1")
+			writer.Commit(Physical("mono/1", wver, val.WithAttr("x", 9)))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package mdcc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mdcc/internal/core"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// RemoteTopology describes a real TCP deployment: the address of each
+// data center's server process. It is shared by cmd/mdcc-server and
+// cmd/mdcc-client, typically loaded from a JSON file:
+//
+//	{
+//	  "nodesPerDC": 1,
+//	  "mode": "mdcc",
+//	  "addrs": {
+//	    "us-west": "10.0.1.5:7420",
+//	    "us-east": "10.0.2.5:7420",
+//	    "eu-ie":   "10.0.3.5:7420",
+//	    "ap-sg":   "10.0.4.5:7420",
+//	    "ap-tk":   "10.0.5.5:7420"
+//	  }
+//	}
+type RemoteTopology struct {
+	NodesPerDC  int               `json:"nodesPerDC"`
+	Mode        string            `json:"mode"` // "mdcc" | "fast" | "multi"
+	Addrs       map[string]string `json:"addrs"`
+	Constraints []struct {
+		Attr string `json:"attr"`
+		Min  *int64 `json:"min"`
+		Max  *int64 `json:"max"`
+	} `json:"constraints"`
+}
+
+// LoadRemoteTopology reads a topology JSON file.
+func LoadRemoteTopology(path string) (*RemoteTopology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mdcc: topology: %w", err)
+	}
+	var t RemoteTopology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("mdcc: topology: %w", err)
+	}
+	if t.NodesPerDC < 1 {
+		t.NodesPerDC = 1
+	}
+	return &t, nil
+}
+
+// ParseMode maps a topology mode string to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "mdcc":
+		return ModeMDCC, nil
+	case "fast":
+		return ModeFast, nil
+	case "multi":
+		return ModeMulti, nil
+	default:
+		return ModeMDCC, fmt.Errorf("mdcc: unknown mode %q", s)
+	}
+}
+
+// ParseDC maps a data center short name ("us-west", …) to its DC.
+func ParseDC(s string) (DC, error) {
+	for _, dc := range topology.AllDCs() {
+		if dc.String() == s {
+			return dc, nil
+		}
+	}
+	return 0, fmt.Errorf("mdcc: unknown data center %q (want one of us-west, us-east, eu-ie, ap-sg, ap-tk)", s)
+}
+
+// Mode returns the parsed protocol mode.
+func (t *RemoteTopology) ModeValue() (Mode, error) { return ParseMode(t.Mode) }
+
+// ConstraintList converts the JSON constraints.
+func (t *RemoteTopology) ConstraintList() []Constraint {
+	out := make([]Constraint, 0, len(t.Constraints))
+	for _, c := range t.Constraints {
+		out = append(out, Constraint{Attr: c.Attr, Min: c.Min, Max: c.Max})
+	}
+	return out
+}
+
+// routes builds the storage-node routing table for the topology.
+func (t *RemoteTopology) routes() (map[transport.NodeID]string, error) {
+	routes := make(map[transport.NodeID]string)
+	for name, addr := range t.Addrs {
+		dc, err := ParseDC(name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < t.NodesPerDC; i++ {
+			routes[topology.StorageID(dc, i)] = addr
+		}
+	}
+	return routes, nil
+}
+
+// cluster builds the logical cluster layout for the topology.
+func (t *RemoteTopology) cluster() *topology.Cluster {
+	return topology.NewCluster(topology.Layout{NodesPerDC: t.NodesPerDC, Clients: 0, ClientDC: -1})
+}
+
+// RemoteSession is a Session plus the transport it owns.
+type RemoteSession struct {
+	*Session
+	net *transport.TCP
+}
+
+// Close shuts the session's transport down.
+func (r *RemoteSession) Close() { r.net.Close() }
+
+// Dial connects a client session (homed in dc) to a TCP deployment.
+// clientID must be unique among concurrently connected clients;
+// listen is the local address for replies ("127.0.0.1:0" for any
+// port).
+func Dial(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteSession, error) {
+	mode, err := topo.ModeValue()
+	if err != nil {
+		return nil, err
+	}
+	routes, err := topo.routes()
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewTCP(routes)
+	addr, err := net.Listen(listen)
+	if err != nil {
+		return nil, err
+	}
+	id := transport.NodeID("client/" + clientID)
+	// Tell every server where replies to this client go.
+	for _, serverAddr := range topo.Addrs {
+		net.Hello(serverAddr, id, addr)
+	}
+	cfg := core.Defaults(mode)
+	cfg.Constraints = topo.ConstraintList()
+	coord := core.NewCoordinator(id, dc, net, topo.cluster(), cfg)
+	return &RemoteSession{Session: newSession(id, net, coord, cfg), net: net}, nil
+}

@@ -1,0 +1,178 @@
+package mdcc
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// startTCPDeployment boots a real five-data-center deployment over
+// loopback TCP (one transport per DC, as cmd/mdcc-server does) and
+// returns its topology.
+func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint) *RemoteTopology {
+	t.Helper()
+	// First pass: bind listeners so we know every address.
+	nets := make(map[DC]*transport.TCP)
+	addrs := make(map[string]string)
+	for _, dc := range topology.AllDCs() {
+		net := transport.NewTCP(nil)
+		addr, err := net.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[dc] = net
+		addrs[dc.String()] = addr
+		t.Cleanup(net.Close)
+	}
+	// Second pass: install routes and storage nodes.
+	cl := topology.NewCluster(topology.Layout{NodesPerDC: 1, Clients: 0, ClientDC: -1})
+	for _, dc := range topology.AllDCs() {
+		net := nets[dc]
+		for _, peer := range topology.AllDCs() {
+			if peer != dc {
+				net.AddRoute(topology.StorageID(peer, 0), addrs[peer.String()])
+			}
+		}
+		cfg := core.Defaults(mode)
+		cfg.Constraints = cons
+		// Loopback "WAN": tighten timeouts so recovery paths stay fast.
+		cfg.OptionTimeout = 300 * time.Millisecond
+		cfg.RecoveryRetry = 200 * time.Millisecond
+		core.NewStorageNode(topology.StorageID(dc, 0), dc, net, cl, cfg, kv.NewMemory())
+	}
+	modeName := map[Mode]string{ModeMDCC: "mdcc", ModeFast: "fast", ModeMulti: "multi"}[mode]
+	topo := &RemoteTopology{NodesPerDC: 1, Mode: modeName, Addrs: addrs}
+	return topo
+}
+
+func TestTCPDeploymentEndToEnd(t *testing.T) {
+	topo := startTCPDeployment(t, ModeMDCC, []Constraint{MinBound("stock", 0)})
+	sess, err := Dial(topo, USWest, "t1", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	ok, err := sess.Commit(Insert("tcp/1", Value{Attrs: map[string]int64{"stock": 5}}))
+	if err != nil || !ok {
+		t.Fatalf("insert over TCP: ok=%v err=%v", ok, err)
+	}
+	var val Value
+	var exists bool
+	for i := 0; i < 100 && !exists; i++ {
+		val, _, exists, err = sess.Read("tcp/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exists {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !exists || val.Attr("stock") != 5 {
+		t.Fatalf("read over TCP: %v %v", val, exists)
+	}
+
+	// Commutative decrement from a second client in another DC.
+	sess2, err := Dial(topo, APTokyo, "t2", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	ok, err = sess2.Commit(Commutative("tcp/1", map[string]int64{"stock": -2}))
+	if err != nil || !ok {
+		t.Fatalf("decrement over TCP: ok=%v err=%v", ok, err)
+	}
+	for i := 0; i < 100; i++ {
+		val, _, _, err = sess.Read("tcp/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val.Attr("stock") == 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("stock never converged to 3: %v", val)
+}
+
+func TestTCPConflictDetection(t *testing.T) {
+	topo := startTCPDeployment(t, ModeMDCC, nil)
+	a, err := Dial(topo, USWest, "a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(topo, USEast, "b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if ok, err := a.Commit(Insert("tcp/c", Value{Attrs: map[string]int64{"x": 0}})); err != nil || !ok {
+		t.Fatalf("insert: %v %v", ok, err)
+	}
+	var ver Version
+	for i := 0; i < 100; i++ {
+		var exists bool
+		_, ver, exists, _ = a.Read("tcp/c")
+		if exists {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	okA, _ := a.Commit(Physical("tcp/c", ver, Value{Attrs: map[string]int64{"x": 1}}))
+	okB, _ := b.Commit(Physical("tcp/c", ver, Value{Attrs: map[string]int64{"x": 2}}))
+	if okA && okB {
+		t.Fatal("both conflicting writers committed over TCP")
+	}
+}
+
+func TestRemoteTopologyParsing(t *testing.T) {
+	path := t.TempDir() + "/topo.json"
+	blob := `{
+	  "nodesPerDC": 2,
+	  "mode": "multi",
+	  "addrs": {"us-west": "a:1", "us-east": "b:2", "eu-ie": "c:3", "ap-sg": "d:4", "ap-tk": "e:5"},
+	  "constraints": [{"attr": "stock", "min": 0}]
+	}`
+	if err := writeFile(path, blob); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadRemoteTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodesPerDC != 2 {
+		t.Fatalf("nodesPerDC = %d", topo.NodesPerDC)
+	}
+	mode, err := topo.ModeValue()
+	if err != nil || mode != ModeMulti {
+		t.Fatalf("mode = %v %v", mode, err)
+	}
+	cons := topo.ConstraintList()
+	if len(cons) != 1 || cons[0].Attr != "stock" || *cons[0].Min != 0 {
+		t.Fatalf("constraints = %+v", cons)
+	}
+	routes, err := topo.routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 10 {
+		t.Fatalf("routes = %d entries, want 10", len(routes))
+	}
+	if _, err := ParseDC("mars"); err == nil {
+		t.Fatal("ParseDC accepted nonsense")
+	}
+	if _, err := ParseMode("nonsense"); err == nil {
+		t.Fatal("ParseMode accepted nonsense")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,153 @@
+package mdcc
+
+import (
+	"sync"
+	"testing"
+)
+
+// The classic write-skew anomaly: two doctors are on call; each
+// transaction reads both records and, if the other is still on call,
+// takes itself off. Under read committed both can commit (leaving
+// nobody on call); with read-set validation (§4.4) at most one may.
+func TestWriteSkewPreventedBySerializable(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := startTestCluster(t, ClusterConfig{Seed: seed})
+		s := c.Session(USWest)
+		ok, err := s.Commit(
+			Insert("oncall/alice", Value{Attrs: map[string]int64{"oncall": 1}}),
+			Insert("oncall/bob", Value{Attrs: map[string]int64{"oncall": 1}}),
+		)
+		if err != nil || !ok {
+			t.Fatalf("setup: %v %v", ok, err)
+		}
+		waitOnCall := func(sess *Session) {
+			for i := 0; i < 200; i++ {
+				a, _, okA, _ := sess.Read("oncall/alice")
+				b, _, okB, _ := sess.Read("oncall/bob")
+				if okA && okB && a.Attr("oncall") == 1 && b.Attr("oncall") == 1 {
+					return
+				}
+			}
+			t.Fatal("setup never became visible")
+		}
+		waitOnCall(s)
+
+		goOffCall := func(sess *Session, self, other Key) bool {
+			ok, err := sess.TransactSerializable(1, func(tx *TxView) error {
+				me, myVer, _ := tx.Read(self)
+				peer, _, _ := tx.Read(other)
+				if peer.Attr("oncall") == 1 {
+					tx.Write(self, myVer, me.WithAttr("oncall", 0))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ok
+		}
+
+		var wg sync.WaitGroup
+		var okAlice, okBob bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			okAlice = goOffCall(c.Session(USWest), "oncall/alice", "oncall/bob")
+		}()
+		go func() {
+			defer wg.Done()
+			okBob = goOffCall(c.Session(APTokyo), "oncall/bob", "oncall/alice")
+		}()
+		wg.Wait()
+
+		if okAlice && okBob {
+			t.Fatalf("seed %d: write skew — both doctors went off call", seed)
+		}
+		c.Close()
+	}
+}
+
+// Read checks commit when nothing changed and abort when the read-set
+// was invalidated.
+func TestReadCheckSemantics(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USWest)
+	if ok, _ := s.Commit(Insert("rc/1", Value{Attrs: map[string]int64{"x": 1}})); !ok {
+		t.Fatal("insert failed")
+	}
+	var ver Version
+	for i := 0; i < 200; i++ {
+		var exists bool
+		_, ver, exists, _ = s.Read("rc/1")
+		if exists {
+			break
+		}
+	}
+	// Valid read check commits (and does not bump the version).
+	if ok, err := s.Commit(ReadCheck("rc/1", ver)); err != nil || !ok {
+		t.Fatalf("valid read check: %v %v", ok, err)
+	}
+	_, ver2, _, _ := s.Read("rc/1")
+	if ver2 != ver {
+		t.Fatalf("read check bumped version %d -> %d", ver, ver2)
+	}
+	// Invalidate and recheck.
+	v, _, _, _ := s.Read("rc/1")
+	if ok, _ := s.Commit(Physical("rc/1", ver, v.WithAttr("x", 2))); !ok {
+		t.Fatal("update failed")
+	}
+	for i := 0; i < 200; i++ {
+		if _, nv, _, _ := s.Read("rc/1"); nv > ver {
+			break
+		}
+	}
+	if ok, _ := s.Commit(ReadCheck("rc/1", ver)); ok {
+		t.Fatal("stale read check committed")
+	}
+}
+
+// A transaction mixing a read check with a write is atomic: the write
+// must not apply when the check fails.
+func TestReadCheckGuardsWrites(t *testing.T) {
+	c := startTestCluster(t, ClusterConfig{})
+	s := c.Session(USEast)
+	if ok, _ := s.Commit(
+		Insert("g/data", Value{Attrs: map[string]int64{"x": 1}}),
+		Insert("g/out", Value{Attrs: map[string]int64{"sum": 0}}),
+	); !ok {
+		t.Fatal("setup failed")
+	}
+	var dataVer, outVer Version
+	for i := 0; i < 200; i++ {
+		var ok1, ok2 bool
+		_, dataVer, ok1, _ = s.Read("g/data")
+		_, outVer, ok2, _ = s.Read("g/out")
+		if ok1 && ok2 {
+			break
+		}
+	}
+	// Invalidate g/data.
+	v, _, _, _ := s.Read("g/data")
+	if ok, _ := s.Commit(Physical("g/data", dataVer, v.WithAttr("x", 2))); !ok {
+		t.Fatal("invalidation failed")
+	}
+	for i := 0; i < 200; i++ {
+		if _, nv, _, _ := s.Read("g/data"); nv > dataVer {
+			break
+		}
+	}
+	// Now try to write g/out guarded by the stale read of g/data.
+	out, _, _, _ := s.Read("g/out")
+	ok, _ := s.Commit(
+		ReadCheck("g/data", dataVer),
+		Physical("g/out", outVer, out.WithAttr("sum", 99)),
+	)
+	if ok {
+		t.Fatal("transaction with a failed read check committed")
+	}
+	for i := 0; i < 50; i++ {
+		if o, _, _, _ := s.Read("g/out"); o.Attr("sum") == 99 {
+			t.Fatal("guarded write leaked despite failed read check")
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package mdcc
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// ErrTimeout is returned when a blocking call outlives its deadline.
+var ErrTimeout = errors.New("mdcc: operation timed out")
+
+// ErrClosed is returned on sessions whose cluster has shut down.
+var ErrClosed = errors.New("mdcc: session closed")
+
+// Session is a blocking client facade over the callback-based
+// coordinator (the paper's app-server DB library). Sessions are safe
+// for concurrent use: every call is funneled through the session
+// node's serialized executor.
+type Session struct {
+	id      transport.NodeID
+	net     transport.Network
+	coord   *core.Coordinator
+	timeout time.Duration
+
+	// Session guarantees (§4.2): when enabled, reads never go
+	// backwards within the session (monotonic reads) and observe the
+	// session's own committed physical writes (read-your-writes),
+	// implemented by tracking a per-key version floor and escalating
+	// to quorum reads when the local replica lags it.
+	gmu       sync.Mutex
+	guarantee bool
+	seen      map[Key]Version
+}
+
+func newSession(id transport.NodeID, net transport.Network, coord *core.Coordinator, cfg core.Config) *Session {
+	// A blocking call can legitimately span several recoveries.
+	timeout := 4*cfg.OptionTimeout + 4*cfg.RecoveryRetry
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	return &Session{id: id, net: net, coord: coord, timeout: timeout}
+}
+
+// do runs f in the session node's handler context.
+func (s *Session) do(f func()) { s.net.After(s.id, 0, f) }
+
+// EnableSessionGuarantees turns on monotonic reads and
+// read-your-writes for this session (§4.2). Reads that would go
+// backwards (a lagging or recovered local replica) transparently
+// escalate to quorum reads and wait for the session's floor version.
+func (s *Session) EnableSessionGuarantees() {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	s.guarantee = true
+	if s.seen == nil {
+		s.seen = make(map[Key]Version)
+	}
+}
+
+// floor returns the minimum version this session may observe for key.
+func (s *Session) floor(key Key) (Version, bool) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if !s.guarantee {
+		return 0, false
+	}
+	return s.seen[key], true
+}
+
+// raiseFloor records an observed or self-written version.
+func (s *Session) raiseFloor(key Key, ver Version) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if !s.guarantee {
+		return
+	}
+	if ver > s.seen[key] {
+		s.seen[key] = ver
+	}
+}
+
+// Read returns the committed value and version of key from the
+// nearest replica (read committed: never an uncommitted option).
+// exists is false for absent or deleted records. With session
+// guarantees enabled the result never regresses below versions this
+// session has already observed or committed.
+func (s *Session) Read(key Key) (val Value, ver Version, exists bool, err error) {
+	val, ver, exists, err = s.readLocal(key)
+	if err != nil {
+		return val, ver, exists, err
+	}
+	if min, on := s.floor(key); on && ver < min {
+		// The local replica lags this session: escalate to quorum
+		// reads until the floor is met (visibility is asynchronous, so
+		// right after a commit even a quorum can briefly lag).
+		deadline := time.Now().Add(s.timeout)
+		for ver < min {
+			val, ver, exists, err = s.ReadLatest(key)
+			if err != nil {
+				return val, ver, exists, err
+			}
+			if ver >= min || time.Now().After(deadline) {
+				break
+			}
+		}
+	}
+	s.raiseFloor(key, ver)
+	return val, ver, exists, err
+}
+
+// readLocal is the plain nearest-replica read.
+func (s *Session) readLocal(key Key) (val Value, ver Version, exists bool, err error) {
+	type res struct {
+		val record.Value
+		ver record.Version
+		ok  bool
+	}
+	ch := make(chan res, 1)
+	s.do(func() {
+		s.coord.Read(key, func(v record.Value, vr record.Version, ok bool) {
+			ch <- res{v, vr, ok}
+		})
+	})
+	select {
+	case r := <-ch:
+		return r.val, r.ver, r.ok, nil
+	case <-time.After(s.timeout):
+		return Value{}, 0, false, ErrTimeout
+	}
+}
+
+// ReadLatest performs an up-to-date quorum read (§4.2): it waits for
+// a majority of replicas and returns the freshest committed state —
+// strictly fresher than a local read after outages or message loss,
+// at the cost of a wide-area quorum round trip.
+func (s *Session) ReadLatest(key Key) (val Value, ver Version, exists bool, err error) {
+	type res struct {
+		val record.Value
+		ver record.Version
+		ok  bool
+	}
+	ch := make(chan res, 1)
+	s.do(func() {
+		s.coord.ReadQuorum(key, func(v record.Value, vr record.Version, ok bool) {
+			ch <- res{v, vr, ok}
+		})
+	})
+	select {
+	case r := <-ch:
+		return r.val, r.ver, r.ok, nil
+	case <-time.After(s.timeout):
+		return Value{}, 0, false, ErrTimeout
+	}
+}
+
+// ReadMany reads several keys concurrently.
+func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bool, err error) {
+	vals = make([]Value, len(keys))
+	vers = make([]Version, len(keys))
+	exist = make([]bool, len(keys))
+	done := make(chan int, len(keys))
+	s.do(func() {
+		for i, k := range keys {
+			i := i
+			s.coord.Read(k, func(v record.Value, vr record.Version, ok bool) {
+				vals[i], vers[i], exist[i] = v, vr, ok
+				done <- i
+			})
+		}
+	})
+	for range keys {
+		select {
+		case <-done:
+		case <-time.After(s.timeout):
+			return nil, nil, nil, ErrTimeout
+		}
+	}
+	return vals, vers, exist, nil
+}
+
+// Commit atomically applies the write-set: either every update
+// becomes durable or none does. committed is false when a write-write
+// conflict or constraint violation rejected an option.
+func (s *Session) Commit(updates ...Update) (committed bool, err error) {
+	ch := make(chan bool, 1)
+	s.do(func() {
+		s.coord.Commit(updates, func(r core.CommitResult) { ch <- r.Committed })
+	})
+	select {
+	case ok := <-ch:
+		if ok {
+			// Read-your-writes: physical updates produce a known new
+			// version (vread+1); commutative deltas do not, so they
+			// are not tracked.
+			for _, up := range updates {
+				if up.Kind == record.KindPhysical {
+					s.raiseFloor(up.Key, up.ReadVersion+1)
+				}
+			}
+		}
+		return ok, nil
+	case <-time.After(s.timeout):
+		return false, ErrTimeout
+	}
+}
+
+// Transact runs fn as an optimistic read-modify-write transaction:
+// fn assembles a write-set via the TxView, and Commit validates it.
+// On conflict it retries up to attempts times (classic OCC loop).
+func (s *Session) Transact(attempts int, fn func(tx *TxView) error) (bool, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		tx := &TxView{s: s}
+		if err := tx.err; err != nil {
+			return false, err
+		}
+		if err := fn(tx); err != nil {
+			return false, err
+		}
+		if tx.err != nil {
+			return false, tx.err
+		}
+		ok, err := s.Commit(tx.updates...)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TransactSerializable is Transact with read-set validation (§4.4):
+// every record fn read and did not write gets a ReadCheck, so the
+// transaction aborts if anything it based its decisions on changed —
+// full optimistic concurrency control, preventing anomalies such as
+// write skew that read committed allows.
+func (s *Session) TransactSerializable(attempts int, fn func(tx *TxView) error) (bool, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		tx := &TxView{s: s, reads: make(map[Key]Version)}
+		if err := fn(tx); err != nil {
+			return false, err
+		}
+		if tx.err != nil {
+			return false, tx.err
+		}
+		written := make(map[Key]bool, len(tx.updates))
+		for _, u := range tx.updates {
+			written[u.Key] = true
+		}
+		updates := tx.updates
+		for key, ver := range tx.reads {
+			if !written[key] {
+				updates = append(updates, ReadCheck(key, ver))
+			}
+		}
+		ok, err := s.Commit(updates...)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TxView accumulates a write-set with reads tracked for validation.
+type TxView struct {
+	s       *Session
+	updates []Update
+	reads   map[Key]Version
+	err     error
+}
+
+// Read fetches a record inside the transaction.
+func (t *TxView) Read(key Key) (Value, Version, bool) {
+	v, ver, ok, err := t.s.Read(key)
+	if err != nil {
+		t.err = err
+	}
+	if t.reads != nil {
+		t.reads[key] = ver
+	}
+	return v, ver, ok
+}
+
+// Write stages a physical update against the version read.
+func (t *TxView) Write(key Key, readVersion Version, val Value) {
+	t.updates = append(t.updates, Physical(key, readVersion, val))
+}
+
+// Insert stages an insert.
+func (t *TxView) Insert(key Key, val Value) {
+	t.updates = append(t.updates, Insert(key, val))
+}
+
+// Delete stages a delete.
+func (t *TxView) Delete(key Key, readVersion Version) {
+	t.updates = append(t.updates, Delete(key, readVersion))
+}
+
+// Add stages a commutative delta.
+func (t *TxView) Add(key Key, deltas map[string]int64) {
+	t.updates = append(t.updates, Commutative(key, deltas))
+}
+
+// Metrics exposes the session coordinator's protocol counters.
+func (s *Session) Metrics() core.CoordMetrics { return s.coord.Metrics() }
