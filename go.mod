@@ -1,0 +1,3 @@
+module mdcc
+
+go 1.21

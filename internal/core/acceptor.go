@@ -9,6 +9,7 @@ import (
 	"mdcc/internal/record"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
+	"mdcc/internal/wal"
 )
 
 // StorageNode is one replica: the Paxos acceptor for every record it
@@ -30,6 +31,8 @@ type StorageNode struct {
 	recoveries map[uint64]*txRecovery
 	syncCursor record.Key
 	nSynced    int64
+	oplog      *wal.Log // non-nil for durable nodes (see restart.go)
+	halted     bool
 
 	// Counters (read via Metrics).
 	nVotesAccept, nVotesReject int64
@@ -52,6 +55,10 @@ type recState struct {
 	// votedAt remembers when each unresolved vote was cast, for the
 	// dangling-transaction sweep.
 	votedAt map[OptionID]time.Time
+	// p2aSeq is the highest proposal sequence adopted in the accepted
+	// ballot, so duplicated or reordered Phase2a messages cannot
+	// regress the cstruct to an older snapshot.
+	p2aSeq uint64
 }
 
 // NewStorageNode builds a storage node bound to id and registers its
@@ -88,6 +95,9 @@ func (n *StorageNode) Store() *kv.Store { return n.store }
 
 // handle dispatches every message addressed to this node.
 func (n *StorageNode) handle(env transport.Envelope) {
+	if n.halted {
+		return
+	}
 	switch m := env.Msg.(type) {
 	case MsgRead:
 		n.onRead(env.From, m)
@@ -228,6 +238,9 @@ func (n *StorageNode) proposeVote(opt Option) MsgVote {
 
 // castVote appends a vote to the record's cstruct.
 func (n *StorageNode) castVote(r *recState, opt Option, dec Decision) {
+	if traceOn(opt.Update.Key) {
+		tracef("%v %s vote tx=%s dec=%v", n.net.Now().Unix(), n.id, opt.Tx, dec)
+	}
 	r.votes = append(r.votes, VotedOption{Opt: opt, Decision: dec})
 	r.votedAt[opt.ID()] = n.net.Now()
 	if dec == DecAccept {
@@ -429,16 +442,121 @@ func (n *StorageNode) onVisibility(m MsgVisibility) {
 	if _, ok := r.decided.get(id); ok {
 		return // already executed or discarded
 	}
+	if traceOn(key) {
+		_, ver, _ := n.store.Get(key)
+		_, dup := r.decided.get(id)
+		tracef("%v %s visibility tx=%s commit=%v ver=%d up=%s dup=%v", n.net.Now().Unix(), n.id, m.Opt.Tx, m.Commit, ver, m.Opt.Update, dup)
+	}
 	if m.Commit {
-		r.decided.record(id, DecAccept, m.Opt, true)
+		r.decided.record(id, DecAccept, m.Opt, true, n.net.Now())
+		n.logDecision(id, DecAccept, m.Opt, true)
 		n.applyUpdate(m.Opt.Update)
 		n.nExecuted++
 	} else {
-		r.decided.record(id, DecReject, m.Opt, true)
+		r.decided.record(id, DecReject, m.Opt, true, n.net.Now())
+		n.logDecision(id, DecReject, m.Opt, true)
 		n.nDiscarded++
 	}
 	n.pruneVote(r, id)
 	n.leaderObserveVisibility(key, id)
+}
+
+// adoptBase reconciles a fresher (or equal-version but possibly
+// diverged) committed base for key received from a peer — via
+// anti-entropy, a Phase2a base, or a Phase1b reply. Commutative
+// records can fork: replicas apply the same committed deltas in
+// different orders, so two replicas at the same version may each hold
+// deltas the other lacks, and blind version-max overwrite silently
+// destroys the overwritten branch's unique applies (the scenario
+// harness's conservation check catches exactly this as a lost
+// acknowledged commit). The base therefore carries its lineage — the
+// decided options whose effects it contains — and adoption re-applies
+// on top of it every commutative delta this replica executed that the
+// base's lineage is missing. Reported decisions are recorded (and
+// persisted) so late visibility stays idempotent. Returns whether
+// local state changed.
+func (n *StorageNode) adoptBase(key record.Key, base record.Value, baseVer record.Version,
+	baseDecided []DecidedOption, via string) bool {
+	cur, localVer, ok := n.store.Get(key)
+	if baseVer < localVer {
+		return false
+	}
+	r := n.rs(key)
+	has := make(map[OptionID]bool, len(baseDecided))
+	for _, d := range baseDecided {
+		has[d.ID] = true
+	}
+	val, ver := base, baseVer
+	merged := 0
+	for _, id := range r.decided.order {
+		e, _ := r.decided.entry(id)
+		if !e.HasOpt || e.Decision != DecAccept || has[id] {
+			continue
+		}
+		if e.Opt.Update.Kind != record.KindCommutative {
+			// Only deltas are re-applied: physical lineages cannot fork
+			// (vread serialization), so for keys written exclusively
+			// physically a missing physical update is already superseded
+			// by the fresher base. NOTE: keys mixing physical AND
+			// commutative writes are outside this merge's safety
+			// envelope — a commutative-heavy branch can outrank a
+			// physical write by version count alone (DESIGN.md §5);
+			// workloads keep key classes kind-disjoint.
+			continue
+		}
+		val = e.Opt.Update.Apply(val)
+		ver++
+		merged++
+	}
+	if ver == localVer && merged == 0 && ok && cur.Equal(val) {
+		// Possibly converged — but equal version and value alone do
+		// NOT prove it: two forked lineages can coincidentally sum to
+		// the same value at the same count. Skip the state rewrite
+		// (and its WAL append) only when every reported decision is
+		// already known here, so there is provably nothing to learn;
+		// an unknown reported id falls through to a full adoption,
+		// which installs the peer's base together with its lineage
+		// markers and our grafted extras.
+		allKnown := true
+		for _, d := range baseDecided {
+			if _, known := r.decided.get(d.ID); !known {
+				allKnown = false
+				break
+			}
+		}
+		if allKnown {
+			return false
+		}
+	}
+	if traceOn(key) {
+		tracef("%v %s adopt-%s ver=%d->%d merged=%d val=%s decided=%d",
+			n.net.Now().Unix(), n.id, via, localVer, ver, merged, val, len(baseDecided))
+	}
+	_ = n.store.Put(key, val, ver)
+	for _, d := range baseDecided {
+		if r.decided.record(d.ID, d.Decision, d.Opt, d.HasOpt, n.net.Now()) {
+			n.logDecision(d.ID, d.Decision, d.Opt, d.HasOpt)
+		}
+	}
+	return true
+}
+
+// decidedList snapshots a record's decided log for shipping alongside
+// a committed base (Phase1b, Phase2a, anti-entropy). Contents travel
+// only where a merging peer can use them — commutative accepts — so
+// the lists stay light: rejects have no effect to graft and physical
+// updates cannot be re-applied onto a fresher base (see adoptBase).
+func decidedList(l *decidedLog) []DecidedOption {
+	out := make([]DecidedOption, 0, len(l.order))
+	for _, id := range l.order {
+		e := l.byID[id]
+		d := DecidedOption{ID: id, Decision: e.Decision}
+		if e.HasOpt && e.Decision == DecAccept && e.Opt.Update.Kind == record.KindCommutative {
+			d.Opt, d.HasOpt = e.Opt, true
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // applyUpdate makes a committed update visible in the store.
@@ -477,10 +595,7 @@ func (n *StorageNode) onPhase1a(from transport.NodeID, m MsgPhase1a) {
 		r.promised = m.Ballot
 	}
 	val, ver, ok := n.store.Get(m.Key)
-	decided := make([]DecidedOption, 0, len(r.decided.order))
-	for _, id := range r.decided.order {
-		decided = append(decided, DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
-	}
+	decided := decidedList(r.decided)
 	n.nPhase1++
 	n.net.Send(n.id, from, MsgPhase1b{
 		Key:     m.Key,
@@ -506,31 +621,46 @@ func (n *StorageNode) onPhase2a(from transport.NodeID, m MsgPhase2a) {
 		})
 		return
 	}
+	if m.Ballot.Cmp(r.accepted) == 0 && m.Seq <= r.p2aSeq {
+		// Duplicated or reordered proposal of the current ballot: this
+		// snapshot (or a newer one) was already adopted. Re-ack without
+		// touching state — re-adopting an older cstruct would silently
+		// drop votes the leader has since added.
+		n.net.Send(n.id, from, MsgPhase2b{Key: m.Key, Ballot: m.Ballot, Seq: m.Seq, OK: true})
+		return
+	}
+	if m.Ballot.Cmp(r.accepted) != 0 {
+		r.p2aSeq = 0 // new ballot: its proposal sequence starts over
+	}
 	r.promised = m.Ballot
 	r.accepted = m.Ballot
+	r.p2aSeq = m.Seq
 	if m.HasBase {
-		_, ver, _ := n.store.Get(m.Key)
-		if m.BaseVersion > ver {
-			_ = n.store.Put(m.Key, m.BaseValue, m.BaseVersion)
-			// The adopted base already contains these options'
-			// effects; mark them decided so late visibility
-			// notifications do not double-apply them.
-			for _, d := range m.BaseDecided {
-				r.decided.record(d.ID, d.Decision, Option{}, false)
-			}
-		}
+		// A fresher committed base piggybacked by the leader catches up
+		// (and merges with) lagging replicas.
+		n.adoptBase(m.Key, m.BaseValue, m.BaseVersion, m.BaseDecided, "phase2a")
 	}
 	now := n.net.Now()
 	r.votes = r.votes[:0]
-	for k := range r.votedAt {
-		delete(r.votedAt, k)
-	}
+	prevVotedAt := r.votedAt
+	r.votedAt = make(map[OptionID]time.Time, len(m.CStruct))
 	for _, v := range m.CStruct {
 		if _, ok := r.decided.get(v.Opt.ID()); ok {
 			continue // already settled locally (e.g. visibility raced ahead)
 		}
 		r.votes = append(r.votes, v)
-		r.votedAt[v.Opt.ID()] = now
+		// votedAt measures how long the option has been unresolved, so
+		// a re-adopted vote keeps its original timestamp. Resetting it
+		// here would let a hot record's steady classic traffic refresh
+		// the clock faster than PendingTimeout elapses, permanently
+		// disarming the dangling-option sweep for an option whose
+		// coordinator has already moved on — its visibility would
+		// never be recovered.
+		if at, ok := prevVotedAt[v.Opt.ID()]; ok {
+			r.votedAt[v.Opt.ID()] = at
+		} else {
+			r.votedAt[v.Opt.ID()] = now
+		}
 	}
 	n.nPhase2++
 	n.net.Send(n.id, from, MsgPhase2b{Key: m.Key, Ballot: m.Ballot, Seq: m.Seq, OK: true})

@@ -56,6 +56,9 @@ const syncChunkSize = 128
 // constructor when cfg.SyncInterval > 0.
 func (n *StorageNode) scheduleAntiEntropy(rng *rand.Rand) {
 	n.net.After(n.id, n.cfg.SyncInterval, func() {
+		if n.halted {
+			return
+		}
 		n.syncStep(rng)
 		n.scheduleAntiEntropy(rng)
 	})
@@ -99,10 +102,7 @@ func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
 		count++
 		entry := SyncEntry{Key: e.Key, Value: e.Value, Version: e.Version}
 		if r, ok := n.recs[e.Key]; ok {
-			for _, id := range r.decided.order {
-				entry.Decided = append(entry.Decided,
-					DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
-			}
+			entry.Decided = decidedList(r.decided)
 		}
 		reply.Entries = append(reply.Entries, entry)
 		return true
@@ -110,19 +110,17 @@ func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
 	n.net.Send(n.id, from, reply)
 }
 
-// onSyncReply adopts anything newer than local state.
+// onSyncReply merges anything at least as new as local state (equal
+// versions can hide diverged lineages; adoptBase reconciles them).
 func (n *StorageNode) onSyncReply(m MsgSyncReply) {
 	for _, e := range m.Entries {
 		_, ver, _ := n.store.Get(e.Key)
-		if e.Version <= ver {
+		if e.Version < ver {
 			continue
 		}
-		r := n.rs(e.Key)
-		_ = n.store.Put(e.Key, e.Value, e.Version)
-		for _, d := range e.Decided {
-			r.decided.record(d.ID, d.Decision, Option{}, false)
+		if n.adoptBase(e.Key, e.Value, e.Version, e.Decided, "sync") {
+			n.nSynced++
 		}
-		n.nSynced++
 	}
 	n.syncCursor = m.Next
 }

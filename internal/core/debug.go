@@ -1,0 +1,24 @@
+package core
+
+import "mdcc/internal/record"
+
+// Record-level tracing, a debugging aid for the scenario harness:
+// when TraceKey and Tracef are set (normally from a test), storage
+// nodes log every state transition of that one record — votes,
+// visibility application, base adoptions, anti-entropy — with enough
+// context to reconstruct where a divergence came from. Zero overhead
+// when unset beyond one nil check per traced site.
+var (
+	// TraceKey selects the record to trace ("" disables).
+	TraceKey record.Key
+	// Tracef receives the trace lines (e.g. testing.T.Logf).
+	Tracef func(format string, args ...interface{})
+)
+
+func traceOn(key record.Key) bool {
+	return TraceKey != "" && key == TraceKey && Tracef != nil
+}
+
+func tracef(format string, args ...interface{}) {
+	Tracef(format, args...)
+}

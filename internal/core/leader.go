@@ -185,6 +185,9 @@ func (n *StorageNode) onPhase1b(from transport.NodeID, m MsgPhase1b) {
 		key := m.Key
 		seen := m.Ballot
 		n.net.After(n.id, 50*time.Millisecond, func() {
+			if n.halted {
+				return
+			}
 			l2 := n.lr(key)
 			if l2.owned || l2.phase1 != nil {
 				return
@@ -227,27 +230,34 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	// them decided keeps later visibility application idempotent.
 	r := n.rs(key)
 	_, localVer, _ := n.store.Get(key)
+	// Deterministic reply order (ties on Version must not depend on
+	// map iteration).
+	froms := make([]transport.NodeID, 0, len(p1.replies))
+	for from := range p1.replies {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
 	var freshest *MsgPhase1b
-	for _, rep := range p1.replies {
-		rep := rep
+	for _, from := range froms {
+		rep := p1.replies[from]
 		if rep.Version > localVer && (freshest == nil || rep.Version > freshest.Version) {
 			freshest = &rep
 		}
 	}
 	if freshest != nil {
-		_ = n.store.Put(key, freshest.Value, freshest.Version)
-		for _, d := range freshest.Decided {
-			r.decided.record(d.ID, d.Decision, Option{}, false)
-		}
+		n.adoptBase(key, freshest.Value, freshest.Version, freshest.Decided, "phase1")
 	}
 
 	// Gather votes and known decisions.
 	type tally struct {
-		opt      Option
-		accepts  int
-		rejects  int
-		decision Decision // from decided logs, if any
-		decided  bool
+		opt        Option
+		accepts    int      // fast-ballot accept votes
+		rejects    int      // fast-ballot reject votes
+		carried    bool     // present in the highest classic cstruct
+		carriedDec Decision // its decision there
+		stale      bool     // seen only in a superseded classic cstruct
+		decision   Decision // from decided logs, if any
+		decided    bool
 	}
 	tallies := make(map[OptionID]*tally)
 	get := func(opt Option) *tally {
@@ -255,17 +265,53 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 		if !ok {
 			t = &tally{opt: opt}
 			tallies[opt.ID()] = t
+		} else if t.opt.Update.Kind == 0 {
+			// Entry was created from a decided log (no contents); a
+			// vote carries the full option — backfill so downstream
+			// consumers see the contents regardless of reply order.
+			t.opt = opt
 		}
 		return t
 	}
 	responded := len(p1.replies)
-	for _, rep := range p1.replies {
+	// Classic Paxos value selection: votes accepted in a classic
+	// ballot are a leader-built cstruct replicated verbatim, so the
+	// cstruct at the HIGHEST accepted classic ballot among the replies
+	// must be adopted as-is — even if only one responder reports it (a
+	// competing leader's Phase2a may have reached just one member of
+	// our quorum, yet completed a full quorum elsewhere and been
+	// learned). Counting classic votes against the fast-quorum
+	// threshold instead lets two overlapping classic rounds decide
+	// conflicting options — observed as two acknowledged commits
+	// sharing one read version. Fast-ballot votes keep the Fast Paxos
+	// possibly-chosen analysis below.
+	var maxClassic paxos.Ballot
+	haveClassic := false
+	for _, from := range froms {
+		rep := p1.replies[from]
+		if !rep.Bal.Fast && (!haveClassic || maxClassic.Less(rep.Bal)) {
+			maxClassic, haveClassic = rep.Bal, true
+		}
+	}
+	for _, from := range froms {
+		rep := p1.replies[from]
+		atMax := haveClassic && !rep.Bal.Fast && rep.Bal.Cmp(maxClassic) == 0
 		for _, v := range rep.Votes {
 			t := get(v.Opt)
-			if v.Decision == DecAccept {
-				t.accepts++
-			} else {
-				t.rejects++
+			switch {
+			case atMax:
+				t.carried, t.carriedDec = true, v.Decision
+			case rep.Bal.Fast:
+				if v.Decision == DecAccept {
+					t.accepts++
+				} else {
+					t.rejects++
+				}
+			default:
+				// Superseded lower classic ballot: its decisions were
+				// never (and can no longer be) chosen; re-evaluate the
+				// option freshly so it is not silently lost.
+				t.stale = true
 			}
 		}
 		for _, d := range rep.Decided {
@@ -295,14 +341,35 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	var free []Option
 	for _, id := range ids {
 		t := tallies[id]
+		if traceOn(id.Key) {
+			tracef("%v %s phase1-tally tx=%s acc=%d rej=%d carried=%v/%v stale=%v responded=%d decided=%v/%v",
+				n.net.Now().Unix(), n.id, id.Tx, t.accepts, t.rejects, t.carried, t.carriedDec, t.stale, responded, t.decided, t.decision)
+		}
 		if t.decided {
-			// Fully settled (executed/discarded): nothing to carry;
-			// make sure recovery requesters hear the outcome.
+			// Settled (executed/discarded) at some replica: nothing to
+			// carry; make sure recovery requesters hear the outcome.
 			n.resolveWaiters(l, id, t.decision)
-			l.learned.record(id, t.decision, t.opt, t.accepts+t.rejects > 0)
+			l.learned.record(id, t.decision, t.opt, t.opt.Update.Kind != 0, n.net.Now())
+			if t.opt.Update.Kind != 0 {
+				// Some replica still holds an unresolved vote for this
+				// settled option — its visibility was lost (e.g. dropped
+				// crossing a partition). Re-broadcast it: replicas that
+				// executed it skip idempotently, the rest apply/discard.
+				// Without this, the Phase2a below wipes those votes and
+				// with them the sweep trigger that would eventually have
+				// recovered the update, and an acknowledged commit whose
+				// effect lives only on soon-to-be-overwritten stale
+				// replicas is lost for good.
+				vis := MsgVisibility{Opt: t.opt, Commit: t.decision == DecAccept}
+				for _, rep := range n.cl.Replicas(key) {
+					n.net.Send(n.id, rep, vis)
+				}
+			}
 			continue
 		}
 		switch {
+		case t.carried:
+			newCStruct = append(newCStruct, VotedOption{Opt: t.opt, Decision: t.carriedDec})
 		case n.q.PossiblyChosen(t.accepts, responded):
 			newCStruct = append(newCStruct, VotedOption{Opt: t.opt, Decision: DecAccept})
 		case n.q.PossiblyChosen(t.rejects, responded):
@@ -337,15 +404,30 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	})
 	for _, opt := range free {
 		dec := n.evalOption(newCStruct, opt, false)
+		if traceOn(opt.Update.Key) {
+			tracef("%v %s phase1-free tx=%s dec=%v", n.net.Now().Unix(), n.id, opt.Tx, dec)
+		}
 		newCStruct = append(newCStruct, VotedOption{Opt: opt, Decision: dec})
 	}
 
 	l.cstruct = newCStruct
 	// Recovery requests for options that vanished entirely: nobody
-	// voted for them and the requester had no copy — they can never
-	// be chosen in this or a later ballot (we own the record now),
-	// so they are rejected by fiat.
-	for id, ws := range l.waiters {
+	// voted for them and the requester had no copy — not chosen up to
+	// this ballot. Answering "rejected" out-of-band would be unsafe
+	// (a later fast ballot could still choose them; see onRecoverOpt),
+	// so the rejection is settled through this round's cstruct and the
+	// waiters are answered when it learns. Sorted for determinism.
+	wids := make([]OptionID, 0, len(l.waiters))
+	for id := range l.waiters {
+		wids = append(wids, id)
+	}
+	sort.Slice(wids, func(i, j int) bool {
+		if wids[i].Tx != wids[j].Tx {
+			return wids[i].Tx < wids[j].Tx
+		}
+		return wids[i].Key < wids[j].Key
+	})
+	for _, id := range wids {
 		if _, ok := tallies[id]; ok {
 			continue
 		}
@@ -359,13 +441,9 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 		if inC {
 			continue
 		}
-		l.learned.record(id, DecReject, Option{}, false)
-		for _, w := range ws {
-			n.net.Send(n.id, w.from, MsgOptDecided{
-				ReqID: w.reqID, Tx: id.Tx, Key: id.Key, Decision: DecReject,
-			})
-		}
-		delete(l.waiters, id)
+		l.cstruct = append(l.cstruct, VotedOption{
+			Opt: Option{Tx: id.Tx, Update: record.Update{Key: id.Key}}, Decision: DecReject,
+		})
 	}
 
 	if len(l.cstruct) > 0 {
@@ -390,10 +468,7 @@ func (n *StorageNode) sendPhase2a(key record.Key, l *leaderRec) {
 	// base contains exactly these options' effects (same handler
 	// context, so store and log are mutually consistent).
 	r := n.rs(key)
-	decided := make([]DecidedOption, 0, len(r.decided.order))
-	for _, id := range r.decided.order {
-		decided = append(decided, DecidedOption{ID: id, Decision: r.decided.byID[id].Decision})
-	}
+	decided := decidedList(r.decided)
 	msg := MsgPhase2a{
 		Key: key, Ballot: l.ballot, Seq: l.seq, CStruct: snap,
 		HasBase: true, BaseVersion: ver, BaseValue: val, BaseExists: ok && !val.Tombstone,
@@ -436,7 +511,7 @@ func (n *StorageNode) onPhase2b(from transport.NodeID, m MsgPhase2b) {
 		if _, done := r.decided.get(id); done {
 			continue
 		}
-		l.learned.record(id, v.Decision, v.Opt, true)
+		l.learned.record(id, v.Decision, v.Opt, true, n.net.Now())
 		n.notifyLearned(v.Opt.Coord, id, v.Decision)
 		n.resolveWaiters(l, id, v.Decision)
 		if v.Decision == DecReject {
@@ -469,6 +544,9 @@ func (n *StorageNode) abandonLeadership(key record.Key, l *leaderRec, seen paxos
 	}
 	if l.phase1 == nil && (len(l.queue) > 0 || len(l.waiters) > 0) {
 		n.net.After(n.id, 50*time.Millisecond, func() {
+			if n.halted {
+				return
+			}
 			l2 := n.lr(key)
 			if !l2.owned && l2.phase1 == nil && (len(l2.queue) > 0 || len(l2.waiters) > 0) {
 				n.startPhase1(key, l2)

@@ -120,10 +120,15 @@ type MsgPhase1b struct {
 	Decided []DecidedOption
 }
 
-// DecidedOption reports a known final decision.
+// DecidedOption reports a known final decision. When the reporter
+// executed the option itself it attaches the contents (HasOpt), so a
+// replica merging a diverged branch can re-apply commutative deltas
+// the reported lineage is missing (see StorageNode.adoptBase).
 type DecidedOption struct {
 	ID       OptionID
 	Decision Decision
+	Opt      Option
+	HasOpt   bool
 }
 
 // MsgPhase2a proposes the leader's cstruct (votes with decisions) in

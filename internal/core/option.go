@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"mdcc/internal/record"
 	"mdcc/internal/transport"
@@ -88,42 +89,66 @@ type VotedOption struct {
 // known, the option contents (so recovery can re-broadcast visibility
 // for transactions whose coordinator died).
 type decidedEntry struct {
-	Decision Decision
-	Opt      Option
-	HasOpt   bool
+	Decision  Decision
+	Opt       Option
+	HasOpt    bool
+	settledAt time.Time
 }
 
 // decidedLog remembers recently decided options per record so votes,
-// visibility and recovery are idempotent. Bounded FIFO.
+// visibility and recovery are idempotent. Eviction is count-capped
+// AND age-gated: an entry leaves only once the log is over its count
+// limit and the entry is older than the retention horizon. A purely
+// count-bounded FIFO is wrong on hot records — at tens of settles per
+// second 512 entries cover mere seconds, while recovery after a long
+// outage legitimately re-delivers visibility tens of seconds late,
+// and a forgotten commutative option would be applied twice (caught
+// by the scenario harness's conservation check).
 type decidedLog struct {
-	order []OptionID
-	byID  map[OptionID]decidedEntry
-	limit int
+	order     []OptionID
+	byID      map[OptionID]decidedEntry
+	limit     int
+	retention time.Duration
 }
+
+const (
+	defaultDecidedLimit     = 512
+	defaultDecidedRetention = 2 * time.Minute
+)
 
 func newDecidedLog(limit int) *decidedLog {
 	if limit <= 0 {
-		limit = 512
+		limit = defaultDecidedLimit
 	}
 	// Maps grow on demand: most records settle only a handful of
 	// options, so no capacity hint (pre-sizing 512 slots per record
 	// dominated simulator CPU).
-	return &decidedLog{byID: make(map[OptionID]decidedEntry), limit: limit}
+	return &decidedLog{
+		byID:      make(map[OptionID]decidedEntry),
+		limit:     limit,
+		retention: defaultDecidedRetention,
+	}
 }
 
 // record stores a final decision (first write wins: decisions are
-// immutable once made).
-func (l *decidedLog) record(id OptionID, d Decision, opt Option, hasOpt bool) {
+// immutable once made) settled at time now. It reports whether the
+// entry was newly inserted (false for already-known decisions), so
+// callers can persist each decision exactly once.
+func (l *decidedLog) record(id OptionID, d Decision, opt Option, hasOpt bool, now time.Time) bool {
 	if _, ok := l.byID[id]; ok {
-		return
+		return false
 	}
-	if len(l.order) >= l.limit {
+	for len(l.order) >= l.limit {
 		oldest := l.order[0]
+		if now.Sub(l.byID[oldest].settledAt) < l.retention {
+			break // still inside the re-delivery horizon: keep growing
+		}
 		l.order = l.order[1:]
 		delete(l.byID, oldest)
 	}
 	l.order = append(l.order, id)
-	l.byID[id] = decidedEntry{Decision: d, Opt: opt, HasOpt: hasOpt}
+	l.byID[id] = decidedEntry{Decision: d, Opt: opt, HasOpt: hasOpt, settledAt: now}
+	return true
 }
 
 // get looks up a decision.

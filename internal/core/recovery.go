@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"mdcc/internal/record"
@@ -34,6 +35,9 @@ func (n *StorageNode) scheduleSweep() {
 		period = n.cfg.PendingTimeout
 	}
 	n.net.After(n.id, period, func() {
+		if n.halted {
+			return
+		}
 		n.sweepPending()
 		n.scheduleSweep()
 	})
@@ -44,8 +48,16 @@ func (n *StorageNode) scheduleSweep() {
 func (n *StorageNode) sweepPending() {
 	now := n.net.Now()
 	n.nSweeps++
+	// Deterministic scan order (map iteration would reorder recovery
+	// sends between same-seed runs).
+	keys := make([]record.Key, 0, len(n.recs))
+	for k := range n.recs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var stale []Option
-	for _, r := range n.recs {
+	for _, k := range keys {
+		r := n.recs[k]
 		for _, v := range r.votes {
 			if v.Decision != DecAccept {
 				continue
@@ -140,11 +152,25 @@ func (n *StorageNode) onRecoverOpt(from transport.NodeID, m MsgRecoverOpt) {
 		n.startPhase1(m.Key, l)
 		return
 	}
+	for _, v := range l.cstruct {
+		if v.Opt.ID() == id {
+			return // already being settled by an in-flight round
+		}
+	}
 	if l.owned {
-		// We already lead the record and the option is nowhere in our
-		// cstruct: it cannot be chosen anymore.
-		l.learned.record(id, DecReject, Option{}, false)
-		n.resolveWaiters(l, id, DecReject)
+		// We lead the record and the option is nowhere in our cstruct:
+		// it is not chosen in this ballot — but "rejected by fiat"
+		// answered out-of-band is unsafe, because once the γ window
+		// drains EnableFast reopens fast ballots and a late re-propose
+		// could still assemble a fast quorum, leaving the recoverer
+		// discarding an option whose coordinator learns it accepted.
+		// Settle the rejection through the classic round itself: every
+		// acceptor adopts the reject vote before fast proposals can
+		// reopen, and the waiter is answered when the round learns.
+		l.cstruct = append(l.cstruct, VotedOption{
+			Opt: Option{Tx: m.Tx, Update: record.Update{Key: m.Key}}, Decision: DecReject,
+		})
+		n.sendPhase2a(m.Key, l)
 	}
 }
 

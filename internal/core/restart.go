@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+
+	"mdcc/internal/kv"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+	"mdcc/internal/wal"
+)
+
+// Crash/restart support. A storage node's durable footprint is two
+// WALs under one directory: the committed record store (what BDB
+// persists in the paper's prototype) and the decision log — the final
+// accept/reject outcome of every option whose effect entered the
+// store. Replaying both on restart makes the new incarnation
+// idempotent against late or duplicated visibility messages for
+// options it executed before the crash; without the decision log a
+// replayed commutative delta would be applied twice.
+//
+// Paxos promises and unresolved votes are deliberately volatile, as
+// in the rest of this codebase's durability model: a restarted
+// acceptor rejoins with an empty cstruct and catches up through
+// Phase 1, the dangling-option sweep, and anti-entropy.
+
+// oplogEntry is one persisted decision. Up/HasUp carry the executed
+// update's contents when known, so a restarted node can still serve
+// as a merge source for diverged peers (see adoptBase).
+type oplogEntry struct {
+	Key      record.Key
+	Tx       TxID
+	Decision Decision
+	Up       record.Update
+	HasUp    bool
+}
+
+// DurableState is a storage node's on-disk state, opened before the
+// node (re)starts and handed to NewDurableStorageNode.
+type DurableState struct {
+	// Store is the WAL-backed committed record store.
+	Store *kv.Store
+
+	oplog   *wal.Log
+	decided []oplogEntry
+}
+
+// OpenDurable opens (creating on first boot, replaying after a crash)
+// the durable state rooted at dir. noSync skips fsync (simulation
+// harnesses model durability; they do not need it to be real).
+func OpenDurable(dir string, noSync bool) (*DurableState, error) {
+	store, err := kv.Open(filepath.Join(dir, "store"), noSync)
+	if err != nil {
+		return nil, err
+	}
+	oplog, err := wal.Open(filepath.Join(dir, "oplog"), wal.Options{NoSync: noSync})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	ds := &DurableState{Store: store, oplog: oplog}
+	err = oplog.Replay(func(payload []byte) error {
+		var e oplogEntry
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); derr != nil {
+			return fmt.Errorf("core: oplog replay: %w", derr)
+		}
+		ds.decided = append(ds.decided, e)
+		return nil
+	})
+	if err != nil {
+		oplog.Close()
+		store.Close()
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Close releases both logs (call when the node crashes or shuts down).
+func (ds *DurableState) Close() error {
+	err := ds.oplog.Close()
+	if serr := ds.Store.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// NewDurableStorageNode builds a storage node whose committed store
+// and decision log live in ds, seeding the per-record decided logs
+// from the replayed decisions. Registering the handler replaces any
+// previous incarnation's registration on the network.
+func NewDurableStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
+	cl *topology.Cluster, cfg Config, ds *DurableState) *StorageNode {
+	n := NewStorageNode(id, dc, net, cl, cfg, ds.Store)
+	n.oplog = ds.oplog
+	for _, e := range ds.decided {
+		opt, hasOpt := Option{}, false
+		if e.HasUp {
+			opt = Option{Tx: e.Tx, Update: e.Up}
+			hasOpt = true
+		}
+		n.rs(e.Key).decided.record(OptionID{Tx: e.Tx, Key: e.Key}, e.Decision, opt, hasOpt, net.Now())
+	}
+	return n
+}
+
+// Halt makes this incarnation inert: its handler ignores every
+// message and its periodic timers stop rescheduling. Used when a node
+// is crashed so the dead instance cannot race a restarted one (the
+// simulator also purges its queued events; Halt is the
+// transport-independent guarantee).
+func (n *StorageNode) Halt() { n.halted = true }
+
+// logDecision persists a settled option's outcome (with contents when
+// known), if this node is durable. Append errors are swallowed like
+// store-put errors: the simulation's durability is modeled, and a
+// lost decision record only costs idempotence after a crash, which
+// recovery tolerates.
+func (n *StorageNode) logDecision(id OptionID, d Decision, opt Option, hasOpt bool) {
+	if n.oplog == nil {
+		return
+	}
+	e := oplogEntry{Key: id.Key, Tx: id.Tx, Decision: d}
+	if hasOpt {
+		e.Up, e.HasUp = opt.Update, true
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return
+	}
+	_ = n.oplog.Append(buf.Bytes())
+}

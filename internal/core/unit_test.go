@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mdcc/internal/kv"
 	"mdcc/internal/paxos"
@@ -15,9 +16,10 @@ import (
 
 func TestDecidedLogFirstWriteWins(t *testing.T) {
 	l := newDecidedLog(4)
+	now := time.Unix(0, 0)
 	id := OptionID{Tx: "t1", Key: "k"}
-	l.record(id, DecAccept, Option{}, false)
-	l.record(id, DecReject, Option{}, false) // ignored
+	l.record(id, DecAccept, Option{}, false, now)
+	l.record(id, DecReject, Option{}, false, now) // ignored
 	if d, ok := l.get(id); !ok || d != DecAccept {
 		t.Fatalf("decision overwritten: %v %v", d, ok)
 	}
@@ -25,16 +27,27 @@ func TestDecidedLogFirstWriteWins(t *testing.T) {
 
 func TestDecidedLogEviction(t *testing.T) {
 	l := newDecidedLog(3)
+	start := time.Unix(0, 0)
+	// Over the count limit but inside the retention horizon: nothing
+	// may be forgotten (late visibility could still be re-delivered).
 	for i := 0; i < 5; i++ {
-		l.record(OptionID{Tx: TxID(fmt.Sprintf("t%d", i)), Key: "k"}, DecAccept, Option{}, false)
+		l.record(OptionID{Tx: TxID(fmt.Sprintf("t%d", i)), Key: "k"}, DecAccept, Option{}, false,
+			start.Add(time.Duration(i)*time.Second))
 	}
-	if len(l.byID) != 3 || len(l.order) != 3 {
-		t.Fatalf("log grew past limit: %d/%d", len(l.byID), len(l.order))
+	if len(l.byID) != 5 || len(l.order) != 5 {
+		t.Fatalf("entries inside the retention horizon evicted: %d/%d", len(l.byID), len(l.order))
+	}
+	// Once the oldest entries age past retention, the count limit
+	// evicts them.
+	late := start.Add(l.retention + 10*time.Second)
+	l.record(OptionID{Tx: "t5", Key: "k"}, DecAccept, Option{}, false, late)
+	if len(l.order) != 3 {
+		t.Fatalf("aged-out entries not evicted down to limit: %d", len(l.order))
 	}
 	if _, ok := l.get(OptionID{Tx: "t0", Key: "k"}); ok {
-		t.Fatal("oldest entry not evicted")
+		t.Fatal("oldest aged-out entry not evicted")
 	}
-	if _, ok := l.get(OptionID{Tx: "t4", Key: "k"}); !ok {
+	if _, ok := l.get(OptionID{Tx: "t5", Key: "k"}); !ok {
 		t.Fatal("newest entry missing")
 	}
 }
@@ -42,7 +55,7 @@ func TestDecidedLogEviction(t *testing.T) {
 func TestDecidedLogEntryKeepsOption(t *testing.T) {
 	l := newDecidedLog(4)
 	opt := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"x": -1})}
-	l.record(opt.ID(), DecAccept, opt, true)
+	l.record(opt.ID(), DecAccept, opt, true, time.Unix(0, 0))
 	e, ok := l.entry(opt.ID())
 	if !ok || !e.HasOpt || e.Opt.Update.Deltas["x"] != -1 {
 		t.Fatalf("entry = %+v %v", e, ok)

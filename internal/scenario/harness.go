@@ -1,0 +1,523 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mdcc/internal/check"
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/mtx"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/stats"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// Epilogue pacing: after the traffic window the harness heals every
+// fault, waits for in-flight transactions to settle, then lets the
+// dangling-option sweep and anti-entropy converge the replicas before
+// validating.
+const (
+	drainBudget   = 4 * time.Minute
+	convergeAfter = 30 * time.Second
+	sweepTimeout  = 3 * time.Second
+	syncInterval  = 750 * time.Millisecond
+)
+
+// Run is one scenario execution. Nemesis functions receive it to
+// schedule fault events; everything else is driven by Scenario.Run.
+type Run struct {
+	Opts    Options
+	Net     *simnet.Net
+	Cluster *topology.Cluster
+	Cfg     core.Config
+
+	scn      *Scenario
+	nodes    []*core.StorageNode // parallel to Cluster.Storage
+	durables []*core.DurableState
+	dirs     []string
+	downDC   map[topology.DC]bool // Fail-style outages to undo at heal
+	crashed  map[int]bool         // storage index -> awaiting restart
+	coords   []*core.Coordinator
+	clients  []mtx.Client
+	hist     *check.History
+	initial  map[record.Key]record.Value
+	cons     []record.Constraint
+
+	trafficEnd time.Time
+	inflight   int
+	readFails  int
+	lat        *stats.Sample
+	events     []string
+	tmp        bool // Dir was created by us
+}
+
+// Run executes the scenario and returns its validated result.
+func (s *Scenario) Run(o Options) (*Result, error) {
+	if o.Clients <= 0 {
+		o.Clients = s.Clients
+	}
+	if o.Clients <= 0 {
+		o.Clients = 50
+	}
+	if o.NodesPerDC <= 0 {
+		o.NodesPerDC = s.NodesPerDC
+	}
+	if o.NodesPerDC <= 0 {
+		o.NodesPerDC = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = s.Duration
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	r, err := build(s, o)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	return r.run()
+}
+
+func build(s *Scenario, o Options) (*Run, error) {
+	cl := topology.NewCluster(topology.Layout{
+		NodesPerDC: o.NodesPerDC,
+		Clients:    o.Clients,
+		ClientDC:   -1,
+	})
+	net := simnet.New(simnet.Options{
+		Latency:     cl.Latency(),
+		JitterFrac:  0.10,
+		ServiceTime: 250 * time.Microsecond,
+		Seed:        o.Seed,
+	})
+	cons := []record.Constraint{
+		record.MinBound("bal", 0),
+		record.MinBound("units", 0),
+	}
+	cfg := core.Defaults(core.ModeMDCC)
+	cfg.Constraints = cons
+	cfg.PendingTimeout = sweepTimeout
+	cfg.SyncInterval = syncInterval
+	if s.Gamma > 0 {
+		cfg.Gamma = s.Gamma
+	}
+	cfg.MasterDC = s.MasterDC
+
+	r := &Run{
+		Opts:    o,
+		Net:     net,
+		Cluster: cl,
+		Cfg:     cfg,
+		scn:     s,
+		downDC:  make(map[topology.DC]bool),
+		crashed: make(map[int]bool),
+		hist:    check.New(),
+		cons:    cons,
+		lat:     stats.NewSample(4096),
+	}
+	if r.Opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "mdcc-scenario-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		r.Opts.Dir = dir
+		r.tmp = true
+	}
+	for i, n := range cl.Storage {
+		dir := filepath.Join(r.Opts.Dir, string(n.ID))
+		ds, err := core.OpenDurable(dir, true)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.dirs = append(r.dirs, dir)
+		r.durables = append(r.durables, ds)
+		r.nodes = append(r.nodes, core.NewDurableStorageNode(n.ID, n.DC, net, cl, cfg, ds))
+		_ = i
+	}
+	for _, c := range cl.Clients {
+		co := core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
+		r.coords = append(r.coords, co)
+		r.clients = append(r.clients, r.hist.Client(c.Index, coreClient{co}))
+	}
+	r.preload()
+	return r, nil
+}
+
+// coreClient adapts core.Coordinator to mtx.Client.
+type coreClient struct{ c *core.Coordinator }
+
+func (cc coreClient) Read(key record.Key, cb mtx.ReadFunc) { cc.c.Read(key, cb) }
+func (cc coreClient) Commit(updates []record.Update, done func(bool)) {
+	cc.c.Commit(updates, func(res core.CommitResult) { done(res.Committed) })
+}
+func (cc coreClient) SupportsCommutative() bool { return true }
+
+// preload bulk-loads the initial database into every replica's store
+// (version 1, as internal/check expects for preloaded keys).
+func (r *Run) preload() {
+	r.initial = make(map[record.Key]record.Value)
+	w := r.scn.Workload
+	var entries []kv.Entry
+	add := func(key record.Key, val record.Value) {
+		entries = append(entries, kv.Entry{Key: key, Value: val, Version: 1})
+		r.initial[key] = val
+	}
+	for i := 0; i < w.Accounts; i++ {
+		add(acctKey(i), record.Value{Attrs: map[string]int64{"bal": w.InitialBalance}})
+	}
+	for i := 0; i < w.StockKeys; i++ {
+		add(stockKey(i), record.Value{Attrs: map[string]int64{"units": w.InitialStock}})
+	}
+	for i := 0; i < w.Items; i++ {
+		add(itemKey(i), record.Value{Attrs: map[string]int64{"v": 0}})
+	}
+	for _, e := range entries {
+		shard := r.Cluster.Shard(e.Key)
+		for i, n := range r.Cluster.Storage {
+			if n.Index == shard {
+				_ = r.durables[i].Store.Put(e.Key, e.Value, e.Version)
+			}
+		}
+	}
+}
+
+func acctKey(i int) record.Key  { return record.Key(fmt.Sprintf("acct/%04d", i)) }
+func stockKey(i int) record.Key { return record.Key(fmt.Sprintf("stock/%02d", i)) }
+func itemKey(i int) record.Key  { return record.Key(fmt.Sprintf("item/%03d", i)) }
+
+func (r *Run) run() (*Result, error) {
+	start := r.Net.Now()
+	r.trafficEnd = start.Add(r.Opts.Duration)
+	if r.Opts.Faults && r.scn.Nemesis != nil {
+		r.scn.Nemesis(r)
+	}
+	for ci := range r.clients {
+		ci := ci
+		r.Net.At(0, func() { r.clientLoop(ci) })
+	}
+	r.Opts.Logf("[%s] traffic window %s, %d clients, seed %d",
+		r.scn.Name, r.Opts.Duration, len(r.clients), r.Opts.Seed)
+	r.Net.RunFor(r.Opts.Duration)
+
+	// Epilogue 1: heal the world. Every fault the nemesis injected is
+	// undone so liveness can be demanded below.
+	r.heal()
+	// Epilogue 2: drain. Every issued transaction must settle once the
+	// network is whole — coordinators keep re-running recovery, so a
+	// transaction that cannot settle inside the budget is a liveness
+	// violation.
+	drained := r.Net.RunUntil(func() bool { return r.inflight == 0 }, drainBudget)
+	// Epilogue 3: converge. Visibility stragglers, the dangling-option
+	// sweep and anti-entropy bring all replicas to the same committed
+	// state before validation reads it.
+	r.Net.RunFor(convergeAfter)
+
+	res := &Result{
+		Scenario:  r.scn.Name,
+		Seed:      r.Opts.Seed,
+		Clients:   len(r.clients),
+		Duration:  r.Opts.Duration,
+		ReadFails: r.readFails,
+		WriteLat:  r.lat,
+		Net:       r.Net.Stats(),
+		Events:    r.events,
+	}
+	if !drained {
+		res.Unresolved = r.inflight
+	}
+	res.Commits, res.Aborts = r.hist.Summary()
+	for _, c := range r.coords {
+		m := c.Metrics()
+		res.Coord.Commits += m.Commits
+		res.Coord.Aborts += m.Aborts
+		res.Coord.FastLearns += m.FastLearns
+		res.Coord.LeaderLearns += m.LeaderLearns
+		res.Coord.Recoveries += m.Recoveries
+		res.Coord.Collisions += m.Collisions
+		res.Coord.ReadRetries += m.ReadRetries
+		res.Coord.ReadFails += m.ReadFails
+	}
+	for _, n := range r.nodes {
+		m := n.Metrics()
+		res.Nodes.VotesAccept += m.VotesAccept
+		res.Nodes.VotesReject += m.VotesReject
+		res.Nodes.Forwarded += m.Forwarded
+		res.Nodes.Executed += m.Executed
+		res.Nodes.Discarded += m.Discarded
+		res.Nodes.Phase1 += m.Phase1
+		res.Nodes.Phase2 += m.Phase2
+		res.Nodes.EnableFast += m.EnableFast
+		res.Nodes.DemarcationRejects += m.DemarcationRejects
+		res.Nodes.Sweeps += m.Sweeps
+		res.Nodes.Synced += m.Synced
+	}
+	for _, err := range r.hist.Validate(r.initial, r.finalState, r.cons) {
+		res.Violations = append(res.Violations, err.Error())
+	}
+	sort.Strings(res.Violations)
+	r.Opts.Logf("[%s] done: %d commits, %d aborts, %d violations",
+		r.scn.Name, res.Commits, res.Aborts, len(res.Violations))
+	return res, nil
+}
+
+// finalState reads the authoritative end-of-run state of a key: the
+// freshest committed version among its replicas (committed state is
+// monotone in version, and after convergence all replicas agree).
+func (r *Run) finalState(key record.Key) (record.Value, record.Version, bool) {
+	shard := r.Cluster.Shard(key)
+	var bestVal record.Value
+	var bestVer record.Version
+	found := false
+	for i, n := range r.Cluster.Storage {
+		if n.Index != shard {
+			continue
+		}
+		val, ver, ok := r.durables[i].Store.Get(key)
+		if ok && (!found || ver > bestVer) {
+			bestVal, bestVer, found = val, ver, true
+		}
+	}
+	if !found || bestVal.Tombstone {
+		return record.Value{}, bestVer, false
+	}
+	return bestVal, bestVer, true
+}
+
+// clientLoop issues one transaction and reschedules itself until the
+// traffic window closes. Closed loop, no think time, as in the
+// paper's evaluation setup.
+func (r *Run) clientLoop(ci int) {
+	if !r.Net.Now().Before(r.trafficEnd) {
+		return
+	}
+	rng := r.Net.Rand()
+	c := r.clients[ci]
+	w := r.scn.Workload
+	began := r.Net.Now()
+	r.inflight++
+	settle := func(committed bool) {
+		r.inflight--
+		if committed {
+			r.lat.Add(float64(r.Net.Now().Sub(began)) / float64(time.Millisecond))
+		}
+		r.clientLoop(ci)
+	}
+	p := rng.Float64()
+	switch {
+	case p < w.TransferFrac && w.Accounts >= 2:
+		from := rng.Intn(w.Accounts)
+		to := rng.Intn(w.Accounts - 1)
+		if to >= from {
+			to++
+		}
+		amt := 1 + rng.Int63n(5)
+		c.Commit([]record.Update{
+			record.Commutative(acctKey(from), map[string]int64{"bal": -amt}),
+			record.Commutative(acctKey(to), map[string]int64{"bal": amt}),
+		}, settle)
+	case p < w.TransferFrac+w.StockFrac && w.StockKeys > 0:
+		c.Commit([]record.Update{
+			record.Commutative(stockKey(rng.Intn(w.StockKeys)), map[string]int64{"units": -1}),
+		}, settle)
+	case w.Items > 0:
+		key := itemKey(rng.Intn(w.Items))
+		c.Read(key, func(val record.Value, ver record.Version, exists bool) {
+			if !exists {
+				r.readFails++
+				settle(false)
+				return
+			}
+			c.Commit([]record.Update{
+				record.Physical(key, ver, val.WithAttr("v", val.Attr("v")+1)),
+			}, settle)
+		})
+	default:
+		// Degenerate workload shape; idle briefly instead of spinning.
+		r.inflight--
+		r.Net.After(r.Cluster.Clients[ci].ID, 100*time.Millisecond, func() { r.clientLoop(ci) })
+	}
+}
+
+// close releases WALs and the temporary directory.
+func (r *Run) close() {
+	for _, ds := range r.durables {
+		_ = ds.Close()
+	}
+	if r.tmp {
+		_ = os.RemoveAll(r.Opts.Dir)
+	}
+}
+
+// --- nemesis surface -------------------------------------------------
+
+// At schedules a nemesis action at an offset from the run start and
+// records it on the result timeline.
+func (r *Run) At(offset time.Duration, what string, f func()) {
+	r.events = append(r.events, fmt.Sprintf("t=%-6s %s", offset, what))
+	r.Net.At(offset, func() {
+		r.Opts.Logf("[%s] t=%s nemesis: %s", r.scn.Name, offset, what)
+		f()
+	})
+}
+
+// StorageIDs returns the IDs of all storage nodes in dc.
+func (r *Run) StorageIDs(dc topology.DC) []transport.NodeID {
+	var out []transport.NodeID
+	for _, n := range r.Cluster.Storage {
+		if n.DC == dc {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SideIDs returns every node ID (storage and clients) inside the
+// given data centers — one side of a partition cut.
+func (r *Run) SideIDs(dcs ...topology.DC) []transport.NodeID {
+	in := make(map[topology.DC]bool, len(dcs))
+	for _, dc := range dcs {
+		in[dc] = true
+	}
+	var out []transport.NodeID
+	for _, n := range r.Cluster.Storage {
+		if in[n.DC] {
+			out = append(out, n.ID)
+		}
+	}
+	for _, n := range r.Cluster.Clients {
+		if in[n.DC] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// OtherSideIDs returns every node ID outside the given data centers.
+func (r *Run) OtherSideIDs(dcs ...topology.DC) []transport.NodeID {
+	in := make(map[topology.DC]bool, len(dcs))
+	for _, dc := range dcs {
+		in[dc] = true
+	}
+	var out []transport.NodeID
+	for _, n := range r.Cluster.Storage {
+		if !in[n.DC] {
+			out = append(out, n.ID)
+		}
+	}
+	for _, n := range r.Cluster.Clients {
+		if !in[n.DC] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// FailDC makes a whole data center unreachable without killing its
+// processes (the paper's §5.4 outage: the DC "stops receiving any
+// messages"). Undone by RecoverDC or the epilogue heal.
+func (r *Run) FailDC(dc topology.DC) {
+	for _, id := range r.StorageIDs(dc) {
+		r.Net.Fail(id)
+	}
+	r.downDC[dc] = true
+}
+
+// RecoverDC brings a failed data center back.
+func (r *Run) RecoverDC(dc topology.DC) {
+	for _, id := range r.StorageIDs(dc) {
+		r.Net.Recover(id)
+	}
+	delete(r.downDC, dc)
+}
+
+// CrashStorage kills storage node i (index into Cluster.Storage): its
+// queued events die, its volatile Paxos state is lost, and its WALs
+// are closed as a crashed process would leave them.
+func (r *Run) CrashStorage(i int) {
+	id := r.Cluster.Storage[i].ID
+	r.Net.Crash(id)
+	r.nodes[i].Halt()
+	_ = r.durables[i].Close()
+	r.crashed[i] = true
+}
+
+// RestartStorage reboots a crashed storage node: reopen its WALs,
+// replay committed state and decisions, and register the fresh
+// incarnation.
+func (r *Run) RestartStorage(i int) {
+	if !r.crashed[i] {
+		return
+	}
+	ds, err := core.OpenDurable(r.dirs[i], true)
+	if err != nil {
+		// Surfaced as a validation failure: the replica's state is
+		// simply gone, so version accounting will flag it.
+		r.events = append(r.events, fmt.Sprintf("restart %s failed: %v", r.Cluster.Storage[i].ID, err))
+		return
+	}
+	n := r.Cluster.Storage[i]
+	r.durables[i] = ds
+	r.Net.Recover(n.ID)
+	r.nodes[i] = core.NewDurableStorageNode(n.ID, n.DC, r.Net, r.Cluster, r.Cfg, ds)
+	delete(r.crashed, i)
+}
+
+// CrashDC crashes every storage node of a data center.
+func (r *Run) CrashDC(dc topology.DC) {
+	for i, n := range r.Cluster.Storage {
+		if n.DC == dc {
+			r.CrashStorage(i)
+		}
+	}
+}
+
+// RestartDC restarts every crashed storage node of a data center.
+func (r *Run) RestartDC(dc topology.DC) {
+	for i, n := range r.Cluster.Storage {
+		if n.DC == dc {
+			r.RestartStorage(i)
+		}
+	}
+}
+
+// heal undoes every outstanding fault: partitions, outages, crashed
+// nodes, chaos probabilities, latency distortions and clock drift.
+func (r *Run) heal() {
+	r.Net.HealAll()
+	for dc := range r.downDC {
+		for _, id := range r.StorageIDs(dc) {
+			r.Net.Recover(id)
+		}
+	}
+	r.downDC = make(map[topology.DC]bool)
+	idxs := make([]int, 0, len(r.crashed))
+	for i := range r.crashed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		r.RestartStorage(i)
+	}
+	r.Net.SetDropProb(0)
+	r.Net.SetDupProb(0)
+	r.Net.SetReorder(0, 0)
+	r.Net.ScaleLatency(1)
+	for _, n := range r.Cluster.Storage {
+		r.Net.SetDrift(n.ID, 0)
+	}
+	for _, n := range r.Cluster.Clients {
+		r.Net.SetDrift(n.ID, 0)
+	}
+	r.Opts.Logf("[%s] healed all faults", r.scn.Name)
+}

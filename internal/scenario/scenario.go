@@ -1,0 +1,210 @@
+// Package scenario is a deterministic whole-cluster fault-injection
+// harness: it runs the real MDCC stack — coordinators, acceptors,
+// leader election, dangling-transaction recovery, WAL-backed storage
+// — on simnet's virtual clock while a scripted nemesis schedule
+// injects the failures of the paper's evaluation and beyond (full
+// data-center outages §5.4, master crashes with WAL-replay restarts,
+// partitions, duplicated and reordered messages, latency spikes,
+// clock drift). Concurrent simulated clients issue physical and
+// commutative transactions whose full history is recorded and, after
+// a heal-and-quiesce epilogue, machine-checked against the committed
+// state by internal/check.
+//
+// Runs are reproducible: the same scenario, seed and sizing produce
+// identical commit/abort counts and identical histories. Use the
+// scenario tests for CI smoke coverage and cmd/mdcc-sim to run any
+// scenario at scale.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/stats"
+	"mdcc/internal/topology"
+)
+
+// Options sizes one scenario run. The zero value is filled with the
+// scenario's defaults by Run.
+type Options struct {
+	// Seed drives every random choice of the run (network jitter,
+	// drops, workload key picks). Same seed, same run.
+	Seed int64
+	// Clients is the number of simulated app-servers (geo-distributed
+	// round-robin across the five data centers).
+	Clients int
+	// NodesPerDC is the number of storage nodes (partition shards)
+	// per data center.
+	NodesPerDC int
+	// Duration is the virtual-time traffic window. The nemesis
+	// schedule is scaled to it; healing, drain and anti-entropy
+	// convergence run after it.
+	Duration time.Duration
+	// Faults disables the nemesis schedule when false (smoke runs
+	// validate the happy path only).
+	Faults bool
+	// Dir is where storage-node WALs live; empty means a fresh
+	// temporary directory, removed when the run finishes.
+	Dir string
+	// Logf, when set, receives progress lines (the CLI's -v).
+	Logf func(format string, args ...interface{})
+}
+
+// Workload shapes the client traffic of a scenario. Key spaces are
+// disjoint by kind so internal/check's conservation invariant applies
+// cleanly: accounts and stock see only commutative deltas, items only
+// physical read-modify-writes.
+type Workload struct {
+	// Accounts is the number of balance records (commutative
+	// transfers move units between two of them).
+	Accounts int
+	// InitialBalance preloads each account's "bal" (constraint
+	// bal >= 0).
+	InitialBalance int64
+	// StockKeys is the number of stock records hammered by blind
+	// commutative decrements against units >= 0 (quorum demarcation
+	// pressure).
+	StockKeys int
+	// InitialStock preloads each stock record's "units".
+	InitialStock int64
+	// Items is the number of physical read-modify-write records; few
+	// items and many clients is the collision storm.
+	Items int
+	// TransferFrac and StockFrac split traffic: a client draw below
+	// TransferFrac is a transfer, below TransferFrac+StockFrac a
+	// stock decrement, the rest are item read-modify-writes.
+	TransferFrac float64
+	StockFrac    float64
+}
+
+// Scenario is one named fault schedule plus the workload and protocol
+// tuning it runs under.
+type Scenario struct {
+	// Name is the CLI/flag identifier, e.g. "dc-outage".
+	Name string
+	// Description is one line for listings.
+	Description string
+	// Workload shapes client traffic.
+	Workload Workload
+	// Clients/NodesPerDC/Duration are the scenario's default sizing,
+	// used where Options leaves them zero.
+	Clients    int
+	NodesPerDC int
+	Duration   time.Duration
+	// Gamma overrides the paper's γ=100 when > 0 (how many classic
+	// instances follow a collision).
+	Gamma int
+	// MasterDC overrides master placement (nil = uniform by hash).
+	MasterDC func(record.Key) topology.DC
+	// Nemesis schedules the fault events on the run; nil or
+	// Options.Faults=false runs fault-free.
+	Nemesis func(r *Run)
+}
+
+// Result is one run's harvest: outcome counts, latency, network
+// counters and the validated invariants.
+type Result struct {
+	Scenario string
+	Seed     int64
+	Clients  int
+	Duration time.Duration
+
+	// Commits and Aborts count acknowledged transactions (from the
+	// recorded history). ReadFails are transactions abandoned because
+	// their read found no replica. Unresolved counts transactions
+	// still unacknowledged after the drain epilogue — always a
+	// failure: MDCC transactions must settle once the network heals.
+	Commits    int
+	Aborts     int
+	ReadFails  int
+	Unresolved int
+
+	// WriteLat samples committed-transaction response times (ms).
+	WriteLat *stats.Sample
+
+	Net   simnet.Stats
+	Coord core.CoordMetrics
+	Nodes core.Metrics
+
+	// Events is the human-readable nemesis timeline that actually ran.
+	Events []string
+	// Violations are the failed internal/check invariants (empty =
+	// all invariants hold).
+	Violations []string
+}
+
+// Passed reports whether every invariant held and every transaction
+// settled.
+func (r *Result) Passed() bool {
+	return len(r.Violations) == 0 && r.Unresolved == 0
+}
+
+// Report renders the pass/fail invariant report the CLI prints.
+func (r *Result) Report() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %-22s seed=%-4d clients=%-4d duration=%s  %s\n",
+		r.Scenario, r.Seed, r.Clients, r.Duration, status)
+	fmt.Fprintf(&b, "  txns: %d committed, %d aborted, %d read-failed, %d unresolved\n",
+		r.Commits, r.Aborts, r.ReadFails, r.Unresolved)
+	if r.WriteLat.N() > 0 {
+		fmt.Fprintf(&b, "  commit latency ms: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
+			r.WriteLat.Percentile(50), r.WriteLat.Percentile(95),
+			r.WriteLat.Percentile(99), r.WriteLat.Max())
+	}
+	fmt.Fprintf(&b, "  net: %d delivered, %d dropped (%d prob, %d endpoint, %d partition), %d dup, %d reordered\n",
+		r.Net.Delivered, r.Net.Dropped, r.Net.DroppedProb, r.Net.DroppedEndpoint,
+		r.Net.DroppedPartition, r.Net.Duplicated, r.Net.Reordered)
+	fmt.Fprintf(&b, "  protocol: %d fast learns, %d leader learns, %d collisions, %d recoveries, %d demarcation rejects, %d phase1\n",
+		r.Coord.FastLearns, r.Coord.LeaderLearns, r.Coord.Collisions,
+		r.Coord.Recoveries, r.Nodes.DemarcationRejects, r.Nodes.Phase1)
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "  nemesis: %s\n", ev)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(&b, "  invariants: no lost updates ok, version accounting ok, delta conservation ok, constraints ok\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
+	}
+	if r.Unresolved > 0 {
+		fmt.Fprintf(&b, "  VIOLATION: %d transactions never settled after heal\n", r.Unresolved)
+	}
+	return b.String()
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []*Scenario {
+	out := append([]*Scenario(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find looks a scenario up by name.
+func Find(name string) (*Scenario, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists registered scenario names, sorted.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"time"
+
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+)
+
+// The scenario library. Each scenario pins a workload shape and a
+// nemesis schedule expressed as fractions of the traffic window, so
+// the same script runs in CI smoke mode (seconds of virtual time) and
+// at cmd/mdcc-sim scale (minutes, hundreds of clients).
+
+// frac returns the offset at fraction f of the run's traffic window.
+func frac(r *Run, f float64) time.Duration {
+	return time.Duration(f * float64(r.Opts.Duration))
+}
+
+var mixedWorkload = Workload{
+	Accounts:       40,
+	InitialBalance: 1000,
+	StockKeys:      5,
+	InitialStock:   200,
+	Items:          10,
+	TransferFrac:   0.5,
+	StockFrac:      0.2,
+}
+
+var registry = []*Scenario{
+	{
+		// §5.4 / figure 8: a full data center becomes unreachable
+		// mid-run and later returns. MDCC must keep committing (one DC
+		// down still leaves a fast quorum of 4 and classic quorums of
+		// 3) and the returning replicas must converge.
+		Name:        "dc-outage",
+		Description: "full data-center outage and return (§5.4); commits must continue throughout",
+		Workload:    mixedWorkload,
+		Clients:     100,
+		Duration:    time.Minute,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.25), "fail all storage in us-east", func() { r.FailDC(topology.USEast) })
+			r.At(frac(r, 0.60), "recover us-east", func() { r.RecoverDC(topology.USEast) })
+		},
+	},
+	{
+		// Every record is mastered in us-west; the whole master DC
+		// crashes (volatile Paxos state lost) and later restarts from
+		// its WALs. Classic rounds must fail over to fallback leaders
+		// in other DCs, and the restarted replicas must replay and
+		// catch up without double-applying anything.
+		Name:        "master-failover",
+		Description: "crash the DC mastering every record; fallback leaders take over, WAL restart rejoins",
+		Workload:    mixedWorkload,
+		Clients:     60,
+		Duration:    time.Minute,
+		MasterDC:    func(record.Key) topology.DC { return topology.USWest },
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.25), "crash all storage in us-west (master DC)", func() { r.CrashDC(topology.USWest) })
+			r.At(frac(r, 0.60), "restart us-west from WAL", func() { r.RestartDC(topology.USWest) })
+		},
+	},
+	{
+		// Many clients hammering three physical records: fast-path
+		// collisions force classic windows, and a small γ makes records
+		// cycle fast→classic→fast continuously. A mid-run latency
+		// brown-out widens the race windows.
+		Name:        "collision-storm",
+		Description: "hot physical keys under small γ; fast/classic ballot churn with a latency brown-out",
+		Workload: Workload{
+			Items: 3,
+		},
+		Clients:  80,
+		Duration: 45 * time.Second,
+		Gamma:    5,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.35), "3x WAN latency", func() { r.Net.ScaleLatency(3) })
+			r.At(frac(r, 0.65), "latency back to normal", func() { r.Net.ScaleLatency(1) })
+		},
+	},
+	{
+		// A 2-DC minority (storage and the clients living there) is cut
+		// off mid-traffic. The majority side keeps committing; minority
+		// transactions stall and must all settle after the heal with no
+		// split-brain in the final state.
+		Name:        "partition-during-commit",
+		Description: "2|3 WAN partition with traffic on both sides; stalled commits settle after heal",
+		Workload:    mixedWorkload,
+		Clients:     75,
+		Duration:    time.Minute,
+		Nemesis: func(r *Run) {
+			minority := []topology.DC{topology.APSingapore, topology.APTokyo}
+			r.At(frac(r, 0.30), "partition ap-sg+ap-tk from the rest", func() {
+				r.Net.Partition(r.SideIDs(minority...), r.OtherSideIDs(minority...))
+			})
+			r.At(frac(r, 0.65), "heal partition", func() { r.Net.HealAll() })
+		},
+	},
+	{
+		// Nearly all traffic is blind commutative decrements against
+		// units >= 0 with scarce initial stock: the quorum demarcation
+		// limit must reject over-draws on the fast path while light
+		// packet loss stresses option recovery. Conservation of deltas
+		// and the constraint are the invariants under test.
+		Name:        "demarcation-stress",
+		Description: "commutative decrements exhaust scarce stock under packet loss; units>=0 must hold",
+		Workload: Workload{
+			StockKeys:    4,
+			InitialStock: 60,
+			Items:        2,
+			StockFrac:    0.9,
+		},
+		Clients:  100,
+		Duration: 45 * time.Second,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.20), "5% packet loss", func() { r.Net.SetDropProb(0.05) })
+			r.At(frac(r, 0.80), "packet loss off", func() { r.Net.SetDropProb(0) })
+		},
+	},
+	{
+		// Crash and WAL-restart every storage node in turn while
+		// traffic continues: a rolling upgrade. No acknowledged commit
+		// may be lost across any restart.
+		Name:        "rolling-restarts",
+		Description: "crash/WAL-restart every storage node in sequence under load",
+		Workload:    mixedWorkload,
+		Clients:     60,
+		Duration:    75 * time.Second,
+		Nemesis: func(r *Run) {
+			n := len(r.Cluster.Storage)
+			for i := 0; i < n; i++ {
+				i := i
+				down := 0.10 + 0.80*float64(i)/float64(n)
+				up := down + 0.40/float64(n)
+				id := r.Cluster.Storage[i].ID
+				r.At(frac(r, down), "crash "+string(id), func() { r.CrashStorage(i) })
+				r.At(frac(r, up), "restart "+string(id), func() { r.RestartStorage(i) })
+			}
+		},
+	},
+	{
+		// Everything at once: sustained loss, duplication and
+		// reordering, clock drift on two replicas, a latency spike, a
+		// short partition and one crash/restart. The kitchen-sink
+		// regression net for protocol idempotence.
+		Name:        "chaos-mix",
+		Description: "drops+dups+reorder+drift+spike+partition+crash combined",
+		Workload:    mixedWorkload,
+		Clients:     60,
+		Duration:    time.Minute,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.10), "8% loss, 8% dup, 15% reorder", func() {
+				r.Net.SetDropProb(0.08)
+				r.Net.SetDupProb(0.08)
+				r.Net.SetReorder(0.15, 100*time.Millisecond)
+			})
+			r.At(frac(r, 0.15), "clock drift +30%/-30% on two replicas", func() {
+				r.Net.SetDrift(r.Cluster.Storage[0].ID, 0.3)
+				r.Net.SetDrift(r.Cluster.Storage[len(r.Cluster.Storage)-1].ID, -0.3)
+			})
+			r.At(frac(r, 0.30), "2x WAN latency", func() { r.Net.ScaleLatency(2) })
+			r.At(frac(r, 0.40), "partition eu-ie from the rest", func() {
+				r.Net.Partition(r.SideIDs(topology.EUIreland), r.OtherSideIDs(topology.EUIreland))
+			})
+			r.At(frac(r, 0.50), "heal partition, latency normal", func() {
+				r.Net.HealAll()
+				r.Net.ScaleLatency(1)
+			})
+			r.At(frac(r, 0.55), "crash one ap-tk replica", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.APTokyo {
+						r.CrashStorage(i)
+						break
+					}
+				}
+			})
+			r.At(frac(r, 0.75), "restart ap-tk replica, chaos off", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.APTokyo {
+						r.RestartStorage(i)
+						break
+					}
+				}
+				r.Net.SetDropProb(0)
+				r.Net.SetDupProb(0)
+				r.Net.SetReorder(0, 0)
+			})
+		},
+	},
+}

@@ -36,6 +36,16 @@ type Options struct {
 	ServiceTime time.Duration
 	// DropProb uniformly drops messages (0 disables).
 	DropProb float64
+	// DupProb delivers a message a second time after an extra
+	// ReorderWindow-bounded delay (0 disables). Models retransmitting
+	// WANs; protocols must stay idempotent.
+	DupProb float64
+	// ReorderProb holds a message back by a uniform extra delay in
+	// (0, ReorderWindow], letting later sends overtake it (0 disables).
+	ReorderProb float64
+	// ReorderWindow bounds the extra delay of duplicated and reordered
+	// deliveries. Zero means 50ms.
+	ReorderWindow time.Duration
 	// Seed makes runs reproducible.
 	Seed int64
 	// Start is the virtual epoch; zero means Unix epoch.
@@ -45,9 +55,21 @@ type Options struct {
 // Stats counts network-level events.
 type Stats struct {
 	Delivered int64
-	Dropped   int64 // by DropProb or failed endpoint
-	Timers    int64
+	Dropped   int64 // total of the three drop causes below
+	// DroppedProb counts uniform DropProb losses, DroppedEndpoint
+	// drops at failed/crashed/unregistered endpoints, and
+	// DroppedPartition drops on partitioned links — kept separate so
+	// chaos tests can assert on the cause, not just the count.
+	DroppedProb      int64
+	DroppedEndpoint  int64
+	DroppedPartition int64
+	Duplicated       int64
+	Reordered        int64
+	Timers           int64
 }
+
+// linkKey identifies one directed link.
+type linkKey struct{ from, to transport.NodeID }
 
 // Net is the simulated network.
 type Net struct {
@@ -58,6 +80,11 @@ type Net struct {
 	handlers map[transport.NodeID]transport.Handler
 	freeAt   map[transport.NodeID]time.Time
 	failed   map[transport.NodeID]bool
+	epoch    map[transport.NodeID]int64
+	blocked  map[linkKey]int // refcount: overlapping cuts may share links
+	linkLat  map[linkKey]time.Duration
+	latScale float64
+	drift    map[transport.NodeID]float64
 	rng      *rand.Rand
 	stats    Stats
 	stopped  bool
@@ -72,6 +99,13 @@ type event struct {
 	// serialize: message/timer events occupy the node's service
 	// slot; pure scheduler events (failures) do not.
 	serialize bool
+	// epoch pins the event to the target node's incarnation; Crash
+	// bumps the incarnation so everything queued for the old process
+	// (in-flight deliveries, its timers) silently dies with it.
+	epoch int64
+	// msg marks message deliveries (for drop accounting when an
+	// incarnation dies with deliveries queued).
+	msg bool
 }
 
 type eventHeap []*event
@@ -104,12 +138,20 @@ func New(opts Options) *Net {
 	if opts.Start.IsZero() {
 		opts.Start = time.Unix(0, 0)
 	}
+	if opts.ReorderWindow <= 0 {
+		opts.ReorderWindow = 50 * time.Millisecond
+	}
 	return &Net{
 		opts:     opts,
 		now:      opts.Start,
 		handlers: make(map[transport.NodeID]transport.Handler),
 		freeAt:   make(map[transport.NodeID]time.Time),
 		failed:   make(map[transport.NodeID]bool),
+		epoch:    make(map[transport.NodeID]int64),
+		blocked:  make(map[linkKey]int),
+		linkLat:  make(map[linkKey]time.Duration),
+		latScale: 1,
+		drift:    make(map[transport.NodeID]float64),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
 }
@@ -130,33 +172,66 @@ func (n *Net) Now() time.Time { return n.now }
 func (n *Net) Stats() Stats { return n.stats }
 
 // Send schedules delivery of msg after matrix latency + jitter.
-// Messages from or to failed nodes are dropped; so are random drops.
+// Messages from or to failed nodes are dropped; so are random drops,
+// and messages crossing a partitioned link.
 func (n *Net) Send(from, to transport.NodeID, msg transport.Message) {
 	if n.failed[from] {
-		n.stats.Dropped++
+		n.dropEndpoint()
 		return
 	}
-	d := n.opts.Latency(from, to)
+	if n.blocked[linkKey{from, to}] > 0 {
+		n.stats.Dropped++
+		n.stats.DroppedPartition++
+		return
+	}
+	d, ok := n.linkLat[linkKey{from, to}]
+	if !ok {
+		d = n.opts.Latency(from, to)
+	}
+	if n.latScale != 1 {
+		d = time.Duration(float64(d) * n.latScale)
+	}
 	if n.opts.JitterFrac > 0 {
 		d = time.Duration(float64(d) * (1 + n.opts.JitterFrac*(2*n.rng.Float64()-1)))
 	}
 	if n.opts.DropProb > 0 && n.rng.Float64() < n.opts.DropProb {
 		n.stats.Dropped++
+		n.stats.DroppedProb++
 		return
 	}
+	if n.opts.ReorderProb > 0 && n.rng.Float64() < n.opts.ReorderProb {
+		n.stats.Reordered++
+		d += time.Duration(n.rng.Int63n(int64(n.opts.ReorderWindow))) + 1
+	}
+	n.deliverAfter(from, to, msg, d)
+	if n.opts.DupProb > 0 && n.rng.Float64() < n.opts.DupProb {
+		n.stats.Duplicated++
+		extra := time.Duration(n.rng.Int63n(int64(n.opts.ReorderWindow))) + 1
+		n.deliverAfter(from, to, msg, d+extra)
+	}
+}
+
+func (n *Net) dropEndpoint() {
+	n.stats.Dropped++
+	n.stats.DroppedEndpoint++
+}
+
+func (n *Net) deliverAfter(from, to transport.NodeID, msg transport.Message, d time.Duration) {
 	e := transport.Envelope{From: from, To: to, Msg: msg}
 	n.push(&event{
 		at:        n.now.Add(d),
 		node:      to,
 		serialize: true,
+		epoch:     n.epoch[to],
+		msg:       true,
 		run: func() {
 			if n.failed[to] {
-				n.stats.Dropped++
+				n.dropEndpoint()
 				return
 			}
 			h, ok := n.handlers[to]
 			if !ok {
-				n.stats.Dropped++
+				n.dropEndpoint()
 				return
 			}
 			n.stats.Delivered++
@@ -174,12 +249,19 @@ func (n *Net) After(on transport.NodeID, d time.Duration, f func()) clock.Timer 
 	if d < 0 {
 		d = 0
 	}
+	if drift, ok := n.drift[on]; ok {
+		d = time.Duration(float64(d) * (1 + drift))
+		if d < 0 {
+			d = 0
+		}
+	}
 	cancelled := false
 	ev := &event{
 		at:        n.now.Add(d),
 		node:      on,
 		cancel:    &cancelled,
 		serialize: true,
+		epoch:     n.epoch[on],
 		run: func() {
 			n.stats.Timers++
 			f()
@@ -221,6 +303,100 @@ func (n *Net) Recover(id transport.NodeID) { delete(n.failed, id) }
 // Failed reports whether a node is currently failed.
 func (n *Net) Failed(id transport.NodeID) bool { return n.failed[id] }
 
+// Crash kills a node's process: unlike Fail (a partition — the node
+// keeps computing), Crash discards every queued event bound to the
+// node, in-flight deliveries and its own timers alike, by bumping the
+// node's incarnation. The node stays unreachable until Recover; a
+// restarted incarnation must Register a fresh handler and re-arm its
+// own timers (internal/core's restart hooks do both).
+func (n *Net) Crash(id transport.NodeID) {
+	n.epoch[id]++
+	n.failed[id] = true
+}
+
+// Partition cuts every link between the two node sets, both
+// directions (the paper's data-center outage "prevented the data
+// center from receiving any messages"). Nodes keep running; messages
+// crossing the cut are dropped and counted as DroppedPartition.
+// Links are reference-counted, so overlapping cuts compose: a link
+// stays blocked until every cut covering it is healed.
+func (n *Net) Partition(a, b []transport.NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[linkKey{x, y}]++
+			n.blocked[linkKey{y, x}]++
+		}
+	}
+}
+
+// Heal removes one cut between two node sets installed by Partition;
+// links still covered by another overlapping cut remain blocked.
+func (n *Net) Heal(a, b []transport.NodeID) {
+	unblock := func(k linkKey) {
+		if c := n.blocked[k]; c > 1 {
+			n.blocked[k] = c - 1
+		} else {
+			delete(n.blocked, k)
+		}
+	}
+	for _, x := range a {
+		for _, y := range b {
+			unblock(linkKey{x, y})
+			unblock(linkKey{y, x})
+		}
+	}
+}
+
+// HealAll removes every partition.
+func (n *Net) HealAll() { n.blocked = make(map[linkKey]int) }
+
+// SetLinkLatency overrides the base one-way latency of one directed
+// link (latency spikes, asymmetric degradation). A non-positive d
+// clears the override.
+func (n *Net) SetLinkLatency(from, to transport.NodeID, d time.Duration) {
+	if d <= 0 {
+		delete(n.linkLat, linkKey{from, to})
+		return
+	}
+	n.linkLat[linkKey{from, to}] = d
+}
+
+// ScaleLatency multiplies every link's base latency by f (a global
+// WAN brown-out when f > 1). f <= 0 resets to 1.
+func (n *Net) ScaleLatency(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	n.latScale = f
+}
+
+// SetDrift skews a node's local clock rate: its timers fire after
+// d·(1+frac) instead of d (frac -0.5 halves every timeout, +1 doubles
+// them). Only timers armed after the call are affected.
+func (n *Net) SetDrift(id transport.NodeID, frac float64) {
+	if frac == 0 {
+		delete(n.drift, id)
+		return
+	}
+	n.drift[id] = frac
+}
+
+// SetDropProb replaces the uniform drop probability at runtime
+// (nemesis schedules ramp chaos up and down mid-run).
+func (n *Net) SetDropProb(p float64) { n.opts.DropProb = p }
+
+// SetDupProb replaces the duplication probability at runtime.
+func (n *Net) SetDupProb(p float64) { n.opts.DupProb = p }
+
+// SetReorder replaces the reorder probability (and window, when
+// w > 0) at runtime.
+func (n *Net) SetReorder(p float64, w time.Duration) {
+	n.opts.ReorderProb = p
+	if w > 0 {
+		n.opts.ReorderWindow = w
+	}
+}
+
 // Stop makes the current Run call return after the in-flight event.
 func (n *Net) Stop() { n.stopped = true }
 
@@ -237,6 +413,13 @@ func (n *Net) Step() bool {
 	for n.events.Len() > 0 {
 		e := heap.Pop(&n.events).(*event)
 		if e.cancel != nil && *e.cancel {
+			continue
+		}
+		if e.node != "" && e.epoch != n.epoch[e.node] {
+			// Addressed to a crashed incarnation.
+			if e.msg {
+				n.dropEndpoint()
+			}
 			continue
 		}
 		if e.serialize && n.opts.ServiceTime > 0 {
