@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
@@ -38,17 +39,22 @@ type ClusterConfig struct {
 	SyncInterval time.Duration
 	// Seed randomizes latency jitter.
 	Seed int64
+	// Gateway tunes the per-DC gateway tier created by
+	// Cluster.Gateway (zero value = defaults).
+	Gateway GatewayTuning
 }
 
 // Cluster is an in-process five-data-center MDCC deployment running
 // on the real-time transport.
 type Cluster struct {
 	cfg     ClusterConfig
+	coreCfg core.Config
 	net     *transport.Local
 	cl      *topology.Cluster
 	nodes   []*core.StorageNode
 	stores  []*kv.Store
 	mu      sync.Mutex
+	gws     map[DC]*Gateway
 	nextCli atomic.Int64
 	closed  bool
 }
@@ -63,7 +69,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl := topology.NewCluster(topology.Layout{NodesPerDC: cfg.NodesPerDC, Clients: 0, ClientDC: -1})
 
-	base := cl.Latency()
+	// Gateway nodes (one gateway + coordinator pool per DC) live in
+	// their data center for latency purposes, whether or not a gateway
+	// is ever created.
+	extra := make(map[transport.NodeID]topology.DC)
+	for _, dc := range topology.AllDCs() {
+		for _, id := range gateway.NodeIDs(dc, cfg.Gateway) {
+			extra[id] = dc
+		}
+	}
+	base := cl.LatencyWith(extra)
 	scale := cfg.LatencyScale
 	scaled := func(from, to transport.NodeID) time.Duration {
 		return time.Duration(float64(base(from, to)) * scale)
@@ -71,9 +86,11 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	lat := transport.UniformJitter(scaled, 0.1, rand.New(rand.NewSource(cfg.Seed)))
 	net := transport.NewLocal(lat)
 
+	// The core protocol configuration is derived exactly once and
+	// shared by storage nodes, sessions and gateways.
 	coreCfg := clusterCoreConfig(cfg)
 
-	c := &Cluster{cfg: cfg, net: net, cl: cl}
+	c := &Cluster{cfg: cfg, coreCfg: coreCfg, net: net, cl: cl, gws: make(map[DC]*Gateway)}
 	for _, n := range cl.Storage {
 		var store *kv.Store
 		if cfg.DataDir != "" {
@@ -123,12 +140,29 @@ func clusterCoreConfig(cfg ClusterConfig) core.Config {
 	return coreCfg
 }
 
-// Session opens a client session homed in the given data center.
+// Session opens a client session homed in the given data center, with
+// a private coordinator (the paper's app-server library model). For
+// high-fan-in deployments prefer Gateway(dc).Session().
 func (c *Cluster) Session(dc DC) *Session {
 	id := transport.NodeID(fmt.Sprintf("session%d", c.nextCli.Add(1)))
-	coreCfg := clusterCoreConfig(c.cfg)
-	coord := core.NewCoordinator(id, dc, c.net, c.cl, coreCfg)
-	return newSession(id, c.net, coord, coreCfg)
+	coord := core.NewCoordinator(id, dc, c.net, c.cl, c.coreCfg)
+	return newSession(coordBackend{id: id, net: c.net, coord: coord}, c.coreCfg)
+}
+
+// Gateway returns the data center's shared transaction gateway,
+// creating it on first use. All sessions obtained from it multiplex
+// over one bounded coordinator pool with cross-transaction batching
+// and hot-key delta coalescing.
+func (c *Cluster) Gateway(dc DC) *Gateway {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.gws[dc]; ok {
+		return g
+	}
+	gw := gateway.New(dc, c.net, c.cl, c.coreCfg, c.cfg.Gateway)
+	g := &Gateway{dc: dc, gw: gw, cfg: c.coreCfg}
+	c.gws[dc] = g
+	return g
 }
 
 // FailDC simulates a data-center outage: every storage node in dc
@@ -150,6 +184,10 @@ func (c *Cluster) RecoverDC(dc DC) {
 	}
 }
 
+// TransportStats snapshots the in-process transport's counters
+// (messages, batch envelopes).
+func (c *Cluster) TransportStats() transport.Stats { return c.net.Stats() }
+
 // Close shuts the cluster down and closes durable stores.
 func (c *Cluster) Close() {
 	c.mu.Lock()
@@ -158,6 +196,9 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	for _, g := range c.gws {
+		g.gw.Close()
+	}
 	c.net.Close()
 	for _, s := range c.stores {
 		_ = s.Close()

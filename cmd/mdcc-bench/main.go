@@ -1,15 +1,18 @@
 // mdcc-bench regenerates every figure of the MDCC paper's evaluation
 // (§5) on the simulated five-data-center WAN, printing the same rows
-// and series the paper plots.
+// and series the paper plots, plus the repo's own perf-trajectory
+// benchmarks (the gateway saturation comparison).
 //
 // Usage:
 //
-//	mdcc-bench [flags] fig3|fig4|fig5|fig6|fig7|fig8|all
+//	mdcc-bench [flags] fig3|fig4|fig5|fig6|fig7|fig8|gateway|all
 //
 // Flags:
 //
 //	-quick     run at ~1/10 scale (fast; shapes approximate)
 //	-seed N    simulation seed (default 1)
+//	-out F     JSON output path for the gateway benchmark
+//	           (default BENCH_gateway.json)
 //
 // Absolute numbers depend on the latency matrix and service-time
 // model (DESIGN.md §6); the claims to check are the *shapes*: who
@@ -18,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,14 +32,15 @@ import (
 )
 
 var (
-	quick  = flag.Bool("quick", false, "run at reduced scale")
-	seed   = flag.Int64("seed", 1, "simulation seed")
-	csvDir = flag.String("csv", "", "also write raw series as CSV files into this directory")
+	quick   = flag.Bool("quick", false, "run at reduced scale")
+	seed    = flag.Int64("seed", 1, "simulation seed")
+	csvDir  = flag.String("csv", "", "also write raw series as CSV files into this directory")
+	jsonOut = flag.String("out", "BENCH_gateway.json", "JSON output path for the gateway benchmark")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +61,8 @@ func main() {
 		fig7()
 	case "fig8":
 		fig8()
+	case "gateway":
+		gatewayBench()
 	case "all":
 		fig3()
 		fig4()
@@ -63,10 +70,50 @@ func main() {
 		fig6()
 		fig7()
 		fig8()
+		gatewayBench()
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// gatewayBench runs the gateway saturation comparison — per-session
+// coordinators vs the DC-local gateway tier on a hot-key commutative
+// stampede — and writes BENCH_gateway.json (the start of the repo's
+// perf trajectory).
+func gatewayBench() {
+	sc := bench.GatewayPaperScale()
+	if *quick {
+		sc = bench.GatewayQuickScale()
+	}
+	header(
+		fmt.Sprintf("Gateway saturation — %d closed-loop sessions on %d hot keys (%s measure)",
+			sc.Sessions, sc.HotKeys, sc.Measure),
+		"gateway tier >= 2x committed tx/s with a counter-verified acceptor-message reduction")
+	cmp := bench.GatewaySaturation(*seed, sc)
+	cmp.Quick = *quick
+	row := func(r bench.GatewayRun) {
+		fmt.Printf("%-26s %9.1f tx/s  %9d commits %7d aborts  %8.1f acceptor msgs/commit  (batch env %d carrying %d)\n",
+			r.Mode, r.TPS, r.Commits, r.Aborts, r.AcceptorMsgsPerCommit,
+			r.AcceptorBatchEnvelopes, r.AcceptorBatchItems)
+	}
+	row(cmp.Baseline)
+	row(cmp.Gateway)
+	if g := cmp.Gateway.Gateway; g != nil {
+		fmt.Printf("gateway internals: %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f\n",
+			g.MergedOptions, g.MergedUpdates, g.CoalesceRatio, g.MergeSplits, g.AdmissionRejects, g.BatchFanIn)
+	}
+	fmt.Printf("speedup: %.2fx committed tx/s; acceptor msgs/commit reduced %.1fx\n", cmp.Speedup, cmp.MsgDrop)
+	blob, err := json.MarshalIndent(cmp, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *jsonOut)
 }
 
 func scale() bench.Scale {

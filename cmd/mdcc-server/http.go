@@ -1,3 +1,49 @@
+// HTTP operational endpoints.
+//
+//	GET /healthz  — liveness probe ("ok")
+//	GET /metrics  — JSON snapshot of this server's counters
+//
+// /metrics schema (fields are stable; additions are
+// backwards-compatible):
+//
+//	{
+//	  "dc": "us-west",                    // this server's data center
+//	  "shards": [{                        // one entry per hosted shard
+//	    "node": "us-west/store0",         // storage node ID
+//	    "keys": 123,                      // records in the committed store
+//	    "puts": 456,                      // store writes since boot
+//	    "protocol": { ... }               // core.Metrics: votes, Phase1/2,
+//	                                      // executed/discarded options,
+//	                                      // demarcation rejects, sweeps,
+//	                                      // BatchEnvelopes/BatchItems
+//	                                      // (gateway batch fan-in)
+//	  }],
+//	  "transport": {                      // transport.Stats, whole process
+//	    "msgsSent": 0, "msgsReceived": 0, // envelopes in/out (TCP+local)
+//	    "batchesSent": 0,                 // batch envelopes sent
+//	    "batchesReceived": 0,
+//	    "batchedSent": 0,                 // messages carried inside them
+//	    "batchedReceived": 0,
+//	    "bytesSent": 0,                   // wire bytes (gob-encoded)
+//	    "bytesReceived": 0
+//	  },
+//	  "gateway": {                        // present only with -gateway:
+//	    "commits": 0, "aborts": 0,        // settled client transactions
+//	    "submitted": 0,                   // transactions entering the tier
+//	    "passthrough": 0,                 // dispatched unmodified
+//	    "coalesced": 0,                   // updates that joined a window
+//	    "mergedOptions": 0,               // merged proposals issued
+//	    "mergedUpdates": 0,               // client updates inside them
+//	    "mergeSplits": 0,                 // rejected merges re-run singly
+//	    "coalesceRatio": 0.0,             // mergedUpdates / submitted
+//	    "admissionRejects": 0,            // shed with ErrOverloaded
+//	    "inflight": 0, "queueDepth": 0,   // current admission state
+//	    "queuePeak": 0,
+//	    "batchEnvelopes": 0,              // outbound cross-txn batching
+//	    "batchedMsgs": 0, "batchSingles": 0,
+//	    "batchFanIn": 0.0                 // batchedMsgs / batchEnvelopes
+//	  }
+//	}
 package main
 
 import (
@@ -6,15 +52,15 @@ import (
 	"net/http"
 
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
+	"mdcc/internal/transport"
 )
 
-// serveHTTP exposes operational endpoints:
-//
-//	GET /healthz  — liveness probe
-//	GET /metrics  — per-shard protocol counters and store sizes (JSON)
-func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []*kv.Store) {
+// serveHTTP exposes the operational endpoints documented above.
+func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []*kv.Store,
+	net *transport.TCP, gw *gateway.Gateway) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -28,9 +74,11 @@ func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []
 			Metrics core.Metrics `json:"protocol"`
 		}
 		out := struct {
-			DC     string  `json:"dc"`
-			Shards []shard `json:"shards"`
-		}{DC: dc.String()}
+			DC        string           `json:"dc"`
+			Shards    []shard          `json:"shards"`
+			Transport transport.Stats  `json:"transport"`
+			Gateway   *gateway.Metrics `json:"gateway,omitempty"`
+		}{DC: dc.String(), Transport: net.Stats()}
 		for i, n := range nodes {
 			out.Shards = append(out.Shards, shard{
 				Node:    string(n.ID()),
@@ -38,6 +86,10 @@ func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []
 				Puts:    stores[i].Puts(),
 				Metrics: n.Metrics(),
 			})
+		}
+		if gw != nil {
+			m := gw.Metrics()
+			out.Gateway = &m
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

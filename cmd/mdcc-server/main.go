@@ -6,6 +6,12 @@
 // The topology file maps data centers to addresses (see
 // mdcc.RemoteTopology). Each server hosts every shard of its data
 // center, with WAL-backed durable stores when -data is set.
+//
+// With -gateway the server additionally hosts the data center's
+// transaction gateway tier on the same listener: thin clients
+// (mdcc.DialGateway) submit transactions as RPCs and the gateway
+// pools coordinators, batches outbound messages across transactions,
+// and coalesces hot-key commutative updates into merged options.
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"mdcc"
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
@@ -30,6 +38,12 @@ var (
 	listen   = flag.String("listen", "", "listen address (default: this DC's address from the topology)")
 	dataDir  = flag.String("data", "", "durable store directory (empty = in-memory)")
 	httpAddr = flag.String("http", "", "optional HTTP endpoint serving /metrics and /healthz")
+
+	gwMode     = flag.Bool("gateway", false, "host this DC's transaction gateway tier (mdcc.DialGateway clients)")
+	gwPool     = flag.Int("gateway-pool", 0, "pooled coordinators in the gateway (0 = default)")
+	gwBatch    = flag.Duration("gateway-batch-window", 0, "outbound cross-transaction batching window (0 = default)")
+	gwCoalesce = flag.Duration("gateway-coalesce-window", 0, "hot-key delta coalescing window (0 = default)")
+	gwInflight = flag.Int("gateway-max-inflight", 0, "admission: max in-flight transactions (0 = default)")
 )
 
 func main() {
@@ -57,7 +71,14 @@ func main() {
 		log.Fatalf("no listen address for %s in %s", dc, *topoPath)
 	}
 
-	// Routes to the other data centers' servers.
+	if *gwPool > gateway.MaxRoutedPool {
+		log.Fatalf("-gateway-pool %d exceeds the cross-server routing cap of %d", *gwPool, gateway.MaxRoutedPool)
+	}
+
+	// Routes to the other data centers' servers: their storage nodes
+	// and — in case a peer hosts a gateway tier — its gateway nodes
+	// (votes, learned decisions and read replies flow directly back to
+	// the pooled coordinators living on that peer).
 	routes := make(map[transport.NodeID]string)
 	for name, a := range topo.Addrs {
 		peer, err := mdcc.ParseDC(name)
@@ -69,6 +90,9 @@ func main() {
 		}
 		for i := 0; i < topo.NodesPerDC; i++ {
 			routes[topology.StorageID(peer, i)] = a
+		}
+		for _, id := range gateway.RouteIDs(peer) {
+			routes[id] = a
 		}
 	}
 	net := transport.NewTCP(routes)
@@ -103,17 +127,47 @@ func main() {
 		nodes = append(nodes, core.NewStorageNode(id, dc, net, cl, cfg, store))
 		log.Printf("storage node %s up (shard %d/%d, mode %s)", id, i+1, topo.NodesPerDC, mode)
 	}
+	var gw *gateway.Gateway
+	if *gwMode {
+		tun := mdcc.GatewayTuning{
+			Pool:           *gwPool,
+			BatchWindow:    *gwBatch,
+			CoalesceWindow: *gwCoalesce,
+			MaxInflight:    *gwInflight,
+		}
+		gw = gateway.New(dc, net, cl, cfg, tun)
+		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s)",
+			gw.ID(), orDefault(*gwPool, 4), orDefaultDur(*gwBatch, 2*time.Millisecond),
+			orDefaultDur(*gwCoalesce, 5*time.Millisecond))
+	}
 	log.Printf("%s serving on %s", dc, bound)
 	if *httpAddr != "" {
-		go serveHTTP(*httpAddr, dc, nodes, stores)
+		go serveHTTP(*httpAddr, dc, nodes, stores, net, gw)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	if gw != nil {
+		gw.Close()
+	}
 	net.Close()
 	for _, s := range stores {
 		_ = s.Close()
 	}
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func orDefaultDur(v, def time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return def
 }

@@ -5,6 +5,14 @@
 // that benefits from commutativity, per §5.2) and inserts an order
 // atomically with it.
 //
+// Shoppers attach to their data center's *gateway tier*
+// (Cluster.Gateway) instead of owning private coordinators: browsing
+// and buying multiplex over a bounded coordinator pool with
+// cross-transaction batching. The finale is a flash sale — every
+// shopper hammers one hot item with single-decrement buys, the shape
+// the gateway's hot-key delta coalescing turns from O(buyers) into
+// O(windows) Paxos options.
+//
 // Run with:
 //
 //	go run ./examples/shop
@@ -44,8 +52,15 @@ func main() {
 	}
 	defer cluster.Close()
 
+	// One gateway per data center; every shopper session attaches to
+	// its local one.
+	gws := make(map[mdcc.DC]*mdcc.Gateway)
+	for _, dc := range mdcc.AllDCs() {
+		gws[dc] = cluster.Gateway(dc)
+	}
+
 	// Load the catalogue.
-	admin := cluster.Session(mdcc.USWest)
+	admin := gws[mdcc.USWest].Session()
 	var ups []mdcc.Update
 	totalStock := int64(0)
 	for i := 0; i < products; i++ {
@@ -56,10 +71,18 @@ func main() {
 			Blob:  []byte(fmt.Sprintf("The Art of Distributed Systems, volume %d", i)),
 		}))
 	}
+	// The flash-sale item: deep stock, one hot record.
+	const flashItem = products
+	const flashStock = int64(500)
+	ups = append(ups, mdcc.Insert(itemKey(flashItem), mdcc.Value{
+		Attrs: map[string]int64{"stock": flashStock, "price": 99},
+		Blob:  []byte("The Art of Distributed Systems, collector's edition"),
+	}))
 	if ok, err := admin.Commit(ups...); err != nil || !ok {
 		log.Fatalf("catalogue load: ok=%v err=%v", ok, err)
 	}
-	fmt.Printf("catalogue: %d products, %d units of stock\n", products, totalStock)
+	fmt.Printf("catalogue: %d products, %d units of stock (+%d flash-sale units)\n",
+		products, totalStock, flashStock)
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -70,7 +93,7 @@ func main() {
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			sess := cluster.Session(mdcc.DC(sh % 5))
+			sess := gws[mdcc.DC(sh%5)].Session()
 			rng := rand.New(rand.NewSource(int64(sh) + 42))
 			for v := 0; v < visits; v++ {
 				// Browse: read a few product pages (local reads).
@@ -90,6 +113,8 @@ func main() {
 				}
 				// Buy: one atomic transaction — stock decrements
 				// (commutative, constraint-checked) plus the order row.
+				// Multi-update transactions pass through the gateway
+				// unmerged; atomicity is untouched.
 				var buy []mdcc.Update
 				var qty int64
 				for p, q := range basket {
@@ -118,13 +143,49 @@ func main() {
 	fmt.Printf("orders placed: %d (%d units); %d buys rejected (stock protection)\n",
 		orders, bought, soldOut)
 
+	// Flash sale: every shopper fires a burst of single-unit buys at
+	// the hot item concurrently. Single-update commutative buys are
+	// exactly what the gateway coalesces into merged options.
+	const flashBuyers = 40
+	const buysEach = 6
+	flashSold := int64(0)
+	var fwg sync.WaitGroup
+	for b := 0; b < flashBuyers; b++ {
+		fwg.Add(1)
+		go func(b int) {
+			defer fwg.Done()
+			sess := gws[mdcc.DC(b%5)].Session()
+			for i := 0; i < buysEach; i++ {
+				ok, err := sess.Commit(mdcc.Commutative(itemKey(flashItem), map[string]int64{"stock": -1}))
+				if err != nil {
+					log.Printf("flash buyer %d: %v", b, err)
+					return
+				}
+				if ok {
+					mu.Lock()
+					flashSold++
+					mu.Unlock()
+				}
+			}
+		}(b)
+	}
+	fwg.Wait()
+	fmt.Printf("flash sale: %d units sold by %d buyers\n", flashSold, flashBuyers)
+	for _, dc := range mdcc.AllDCs() {
+		m := gws[dc].Metrics()
+		if m.MergedOptions > 0 {
+			fmt.Printf("  gateway %-8s coalesced %d buys into %d Paxos options (ratio %.2f), batch fan-in %.1f\n",
+				dc, m.MergedUpdates, m.MergedOptions, m.CoalesceRatio, m.BatchFanIn)
+		}
+	}
+
 	// Reconcile: remaining stock + sold units == initial stock, and
 	// every committed order exists.
-	audit := cluster.Session(mdcc.APSingapore)
+	audit := gws[mdcc.APSingapore].Session()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		remaining := int64(0)
-		for i := 0; i < products; i++ {
+		for i := 0; i <= products; i++ {
 			v, _, ok, err := audit.Read(itemKey(i))
 			if err != nil {
 				log.Fatal(err)
@@ -136,13 +197,15 @@ func main() {
 				remaining += v.Attr("stock")
 			}
 		}
-		if remaining+bought == totalStock {
+		sold := bought + flashSold
+		initial := totalStock + flashStock
+		if remaining+sold == initial {
 			fmt.Printf("audit OK: %d units remaining + %d sold = %d initial\n",
-				remaining, bought, totalStock)
+				remaining, sold, initial)
 			return
 		}
 		if time.Now().After(deadline) {
-			log.Fatalf("stock mismatch: %d remaining + %d sold != %d", remaining, bought, totalStock)
+			log.Fatalf("stock mismatch: %d remaining + %d sold != %d", remaining, sold, initial)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -1,0 +1,186 @@
+package mdcc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGatewaySessionsCoalesceHotKey attaches many sessions to one
+// DC's gateway, stampedes a hot stock key with commutative
+// decrements, and verifies conservation, version accounting and that
+// the stampede was actually merged into few Paxos options.
+func TestGatewaySessionsCoalesceHotKey(t *testing.T) {
+	c, err := StartCluster(ClusterConfig{
+		LatencyScale: 0.02,
+		Constraints:  []Constraint{MinBound("units", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	admin := c.Session(USWest)
+	const initial = int64(100000)
+	keys := []Key{"stock/a", "stock/b"}
+	for _, k := range keys {
+		if ok, err := admin.Commit(Insert(k, Value{Attrs: map[string]int64{"units": initial}})); err != nil || !ok {
+			t.Fatalf("preload %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+
+	// One concurrent burst: every transaction in flight at once, the
+	// shape a flash sale produces. Two hot keys make two merge windows
+	// flush concurrently, so their options share batch envelopes.
+	gw := c.Gateway(USWest)
+	const burst = 128
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits := 0
+	for i := 0; i < burst; i++ {
+		key := keys[i%len(keys)]
+		sess := gw.Session()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, err := sess.Commit(Commutative(key, map[string]int64{"units": -1}))
+			if err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				commits++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if commits != burst {
+		t.Fatalf("%d of %d stampede transactions committed", commits, burst)
+	}
+	// Conservation and per-client-update version accounting, read
+	// fresh (visibility is asynchronous).
+	perKey := int64(burst / len(keys))
+	for _, k := range keys {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			val, ver, ok, err := admin.ReadLatest(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok && val.Attr("units") == initial-perKey && ver == Version(1+perKey) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: units=%d ver=%d, want units=%d ver=%d",
+					k, val.Attr("units"), ver, initial-perKey, 1+perKey)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	m := gw.Metrics()
+	if m.Commits != int64(commits) {
+		t.Errorf("gateway commits=%d, want %d", m.Commits, commits)
+	}
+	if m.MergedOptions == 0 {
+		t.Errorf("expected merged options, metrics: %+v", m)
+	}
+	if s, ok := gw.Session().GatewayMetrics(); !ok || s.Submitted == 0 {
+		t.Errorf("Session.GatewayMetrics not surfaced: ok=%v %+v", ok, s)
+	}
+	if ts := c.TransportStats(); ts.BatchesSent == 0 || ts.BatchedSent < 2*ts.BatchesSent {
+		t.Errorf("expected cross-transaction batch envelopes on the transport: %+v", ts)
+	}
+}
+
+// TestGatewaySessionMixedTransactions checks that multi-update
+// (non-coalescible) transactions pass through the gateway unchanged:
+// atomicity and read-your-writes behave as with private coordinators.
+func TestGatewaySessionMixedTransactions(t *testing.T) {
+	c, err := StartCluster(ClusterConfig{
+		LatencyScale: 0.02,
+		Constraints:  []Constraint{MinBound("stock", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sess := c.Gateway(APTokyo).Session()
+	if ok, err := sess.Commit(
+		Insert("item/1", Value{Attrs: map[string]int64{"stock": 5, "price": 100}}),
+		Insert("order/1", Value{Attrs: map[string]int64{"qty": 0}}),
+	); err != nil || !ok {
+		t.Fatalf("insert: ok=%v err=%v", ok, err)
+	}
+	// Atomic buy: decrement + order row.
+	if ok, err := sess.Commit(
+		Commutative("item/1", map[string]int64{"stock": -2}),
+		Insert("order/2", Value{Attrs: map[string]int64{"qty": 2}}),
+	); err != nil || !ok {
+		t.Fatalf("buy: ok=%v err=%v", ok, err)
+	}
+	val, _, ok, err := sess.ReadLatest("item/1")
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if val.Attr("stock") != 3 {
+		t.Errorf("stock=%d, want 3", val.Attr("stock"))
+	}
+	// Overdraw must abort atomically (no order row).
+	ok, err = sess.Commit(
+		Commutative("item/1", map[string]int64{"stock": -10}),
+		Insert("order/3", Value{Attrs: map[string]int64{"qty": 10}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("overdraw committed")
+	}
+	if _, _, exists, _ := sess.ReadLatest("order/3"); exists {
+		t.Error("aborted transaction leaked its order row")
+	}
+}
+
+// TestDialGatewayRoundTrip runs a server-side gateway and a thin RPC
+// client in-process over real TCP sockets.
+func TestDialGatewayRoundTrip(t *testing.T) {
+	topo := startTCPDeployment(t, ModeMDCC, nil, true)
+
+	sess, err := DialGateway(topo, USWest, "gwcli1", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if ok, err := sess.Commit(Insert("k/1", Value{Attrs: map[string]int64{"v": 7}})); err != nil || !ok {
+		t.Fatalf("commit via gateway RPC: ok=%v err=%v", ok, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		val, _, ok, err := sess.Read("k/1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && val.Attr("v") == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read after commit: ok=%v val=%v", ok, val)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// A second client shares the same gateway tier.
+	sess2, err := DialGateway(topo, USEast, "gwcli2", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	if ok, err := sess2.Commit(Commutative("k/1", map[string]int64{"v": 3})); err != nil || !ok {
+		t.Fatalf("commutative via gateway: ok=%v err=%v", ok, err)
+	}
+}

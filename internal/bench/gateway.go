@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/gateway"
+	"mdcc/internal/kv"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// Gateway saturation benchmark: the same hot-key commutative workload
+// (a stock-decrement stampede, the paper's motivating TPC-W buy) is
+// driven twice — once in the paper's deployment model (one private
+// coordinator per client session) and once through per-DC gateways
+// (coordinator pooling + cross-transaction batching + hot-key delta
+// coalescing). The acceptors carry a per-message service time, so the
+// baseline's per-transaction message load saturates them and the
+// comparison measures exactly what the gateway tier buys: committed
+// transactions per second and acceptor messages per committed
+// transaction.
+
+// GatewayScale sizes the saturation experiment.
+type GatewayScale struct {
+	// Sessions is the number of concurrent closed-loop client
+	// sessions (the saturation bench runs >= 1000 at full scale).
+	Sessions int
+	// HotKeys is how many hot stock records absorb the stampede.
+	HotKeys int
+	// InitialStock preloads each hot key ("units" >= 0 constrained)
+	// high enough that demarcation never starves the run.
+	InitialStock int64
+	// NodesPerDC is storage shards per data center.
+	NodesPerDC int
+	// ServiceTime models acceptor CPU per message — the resource the
+	// baseline melts.
+	ServiceTime time.Duration
+	Warmup      time.Duration
+	Measure     time.Duration
+}
+
+// GatewayPaperScale is the full saturation setting: 1000 sessions.
+func GatewayPaperScale() GatewayScale {
+	return GatewayScale{
+		Sessions:     1000,
+		HotKeys:      4,
+		InitialStock: 50_000_000,
+		NodesPerDC:   2,
+		ServiceTime:  time.Millisecond,
+		Warmup:       10 * time.Second,
+		Measure:      60 * time.Second,
+	}
+}
+
+// GatewayQuickScale shrinks the run for CI smoke (~1/5 scale).
+func GatewayQuickScale() GatewayScale {
+	return GatewayScale{
+		Sessions:     200,
+		HotKeys:      4,
+		InitialStock: 10_000_000,
+		NodesPerDC:   2,
+		ServiceTime:  time.Millisecond,
+		Warmup:       5 * time.Second,
+		Measure:      20 * time.Second,
+	}
+}
+
+// GatewayRun is one arm's harvest.
+type GatewayRun struct {
+	Mode     string  `json:"mode"` // "per-session-coordinators" | "gateway"
+	Sessions int     `json:"sessions"`
+	Commits  int64   `json:"commits"`
+	Aborts   int64   `json:"aborts"`
+	TPS      float64 `json:"tps"` // committed transactions / measure second
+
+	// AcceptorMsgs counts physical envelopes delivered to storage
+	// nodes during the whole run; AcceptorMsgsPerCommit normalizes.
+	AcceptorMsgs          int64   `json:"acceptorMsgs"`
+	AcceptorMsgsPerCommit float64 `json:"acceptorMsgsPerCommit"`
+	// Acceptor-side counter verification of cross-transaction
+	// batching: envelopes unpacked and the messages inside them.
+	AcceptorBatchEnvelopes int64 `json:"acceptorBatchEnvelopes"`
+	AcceptorBatchItems     int64 `json:"acceptorBatchItems"`
+
+	// Gateway-side metrics (gateway arm only).
+	Gateway *gateway.Metrics `json:"gateway,omitempty"`
+}
+
+// GatewayComparison is the saturation benchmark result
+// (BENCH_gateway.json).
+type GatewayComparison struct {
+	Seed     int64      `json:"seed"`
+	Sessions int        `json:"sessions"`
+	HotKeys  int        `json:"hotKeys"`
+	Measure  string     `json:"measure"`
+	Baseline GatewayRun `json:"baseline"`
+	Gateway  GatewayRun `json:"gateway"`
+	Speedup  float64    `json:"speedupTPS"`           // gateway.TPS / baseline.TPS
+	MsgDrop  float64    `json:"acceptorMsgReduction"` // baseline msgs/commit ÷ gateway msgs/commit
+	Quick    bool       `json:"quick,omitempty"`
+}
+
+// GatewaySaturation runs both arms and compares.
+func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
+	base := runGatewayArm(seed, sc, false)
+	gw := runGatewayArm(seed, sc, true)
+	cmp := &GatewayComparison{
+		Seed:     seed,
+		Sessions: sc.Sessions,
+		HotKeys:  sc.HotKeys,
+		Measure:  sc.Measure.String(),
+		Baseline: base,
+		Gateway:  gw,
+	}
+	if base.TPS > 0 {
+		cmp.Speedup = gw.TPS / base.TPS
+	}
+	if gw.AcceptorMsgsPerCommit > 0 {
+		cmp.MsgDrop = base.AcceptorMsgsPerCommit / gw.AcceptorMsgsPerCommit
+	}
+	return cmp
+}
+
+func hotKey(i int) record.Key {
+	return record.Key("stock/hot" + string(rune('0'+i%10)))
+}
+
+func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
+	cl := topology.NewCluster(topology.Layout{
+		NodesPerDC: sc.NodesPerDC,
+		Clients:    sc.Sessions,
+		ClientDC:   -1,
+	})
+	tun := gateway.Tuning{MaxInflight: 1 << 16, MaxQueue: 1 << 16}
+	extra := map[transport.NodeID]topology.DC{}
+	if useGateway {
+		for _, dc := range topology.AllDCs() {
+			for _, id := range gateway.NodeIDs(dc, tun) {
+				extra[id] = dc
+			}
+		}
+	}
+	net := simnet.New(simnet.Options{
+		Latency:     cl.LatencyWith(extra),
+		JitterFrac:  0.10,
+		ServiceTime: sc.ServiceTime,
+		Seed:        seed,
+	})
+	cfg := core.Defaults(core.ModeMDCC)
+	cfg.Constraints = []record.Constraint{record.MinBound("units", 0)}
+	// Saturation pushes commit latency past the WAN-tuned defaults;
+	// widen the recovery timeouts (identically for both arms) so the
+	// comparison measures queueing, not recovery-storm amplification.
+	cfg.OptionTimeout = 10 * time.Second
+	cfg.RecoveryRetry = 5 * time.Second
+	cfg.PendingTimeout = 30 * time.Second
+
+	stores := make([]*kv.Store, 0, len(cl.Storage))
+	nodes := make([]*core.StorageNode, 0, len(cl.Storage))
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		stores = append(stores, store)
+		nodes = append(nodes, core.NewStorageNode(n.ID, n.DC, net, cl, cfg, store))
+	}
+	// Preload the hot keys on their replicas.
+	for i := 0; i < sc.HotKeys; i++ {
+		key := hotKey(i)
+		shard := cl.Shard(key)
+		for j, n := range cl.Storage {
+			if n.Index == shard {
+				_ = stores[j].Put(key, record.Value{Attrs: map[string]int64{"units": sc.InitialStock}}, 1)
+			}
+		}
+	}
+
+	// Commit entry point per client: a private coordinator (baseline)
+	// or the client DC's shared gateway.
+	commit := make([]func([]record.Update, func(bool)), sc.Sessions)
+	var gws map[topology.DC]*gateway.Gateway
+	if useGateway {
+		gws = make(map[topology.DC]*gateway.Gateway)
+		for _, dc := range topology.AllDCs() {
+			gws[dc] = gateway.New(dc, net, cl, cfg, tun)
+		}
+		for i, c := range cl.Clients {
+			g := gws[c.DC]
+			commit[i] = func(ups []record.Update, done func(bool)) {
+				g.Commit(ups, func(ok bool, err error) { done(ok && err == nil) })
+			}
+		}
+	} else {
+		for i, c := range cl.Clients {
+			co := core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
+			commit[i] = func(ups []record.Update, done func(bool)) {
+				co.Commit(ups, func(r core.CommitResult) { done(r.Committed) })
+			}
+		}
+	}
+
+	res := GatewayRun{Mode: "per-session-coordinators", Sessions: sc.Sessions}
+	if useGateway {
+		res.Mode = "gateway"
+	}
+	rng := net.Rand()
+	start := net.Now()
+	measureFrom := start.Add(sc.Warmup)
+	measureTo := measureFrom.Add(sc.Measure)
+
+	// Closed loop: each session decrements a random hot key, waits
+	// for the outcome, repeats — the flash-sale stampede.
+	for ci := range commit {
+		ci := ci
+		var loop func()
+		loop = func() {
+			now := net.Now()
+			if !now.Before(measureTo) {
+				return
+			}
+			key := hotKey(rng.Intn(sc.HotKeys))
+			commit[ci]([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(ok bool) {
+					end := net.Now()
+					if !end.Before(measureFrom) && end.Before(measureTo) {
+						if ok {
+							res.Commits++
+						} else {
+							res.Aborts++
+						}
+					}
+					loop()
+				})
+		}
+		net.At(0, loop)
+	}
+	net.RunFor(sc.Warmup + sc.Measure + 10*time.Second)
+
+	if secs := sc.Measure.Seconds(); secs > 0 {
+		res.TPS = float64(res.Commits) / secs
+	}
+	for _, n := range cl.Storage {
+		res.AcceptorMsgs += net.DeliveredTo(n.ID)
+	}
+	if res.Commits > 0 {
+		res.AcceptorMsgsPerCommit = float64(res.AcceptorMsgs) / float64(res.Commits)
+	}
+	for _, n := range nodes {
+		m := n.Metrics()
+		res.AcceptorBatchEnvelopes += m.BatchEnvelopes
+		res.AcceptorBatchItems += m.BatchItems
+	}
+	if useGateway {
+		var agg gateway.Metrics
+		for _, dc := range topology.AllDCs() {
+			agg.Add(gws[dc].Metrics())
+		}
+		agg.Finalize()
+		res.Gateway = &agg
+	}
+	return res
+}

@@ -42,6 +42,8 @@ type StorageNode struct {
 	nEnableFast                int64
 	nDemarcationRejects        int64
 	nSweeps                    int64
+	nBatchEnvelopes            int64
+	nBatchItems                int64
 }
 
 // recState is the acceptor's per-record Paxos state: the promised and
@@ -99,6 +101,15 @@ func (n *StorageNode) handle(env transport.Envelope) {
 		return
 	}
 	switch m := env.Msg.(type) {
+	case transport.Batch:
+		// A gateway-coalesced envelope: unpack and dispatch each item
+		// with its original sender (cross-transaction batching; the
+		// items preserve send order).
+		n.nBatchEnvelopes++
+		n.nBatchItems += int64(len(m.Items))
+		for _, item := range m.Items {
+			n.handle(item)
+		}
 	case MsgRead:
 		n.onRead(env.From, m)
 	case MsgProposeFast:
@@ -505,7 +516,7 @@ func (n *StorageNode) adoptBase(key record.Key, base record.Value, baseVer recor
 			continue
 		}
 		val = e.Opt.Update.Apply(val)
-		ver++
+		ver += e.Opt.Update.Span()
 		merged++
 	}
 	if ver == localVer && merged == 0 && ok && cur.Equal(val) {
@@ -573,7 +584,10 @@ func (n *StorageNode) applyUpdate(up record.Update) {
 		}
 		_ = n.store.Put(up.Key, up.NewValue, newVer)
 	case record.KindCommutative:
-		_ = n.store.Put(up.Key, up.Apply(cur), ver+1)
+		// Merged (gateway-coalesced) updates advance the version by the
+		// number of client updates they carry, keeping per-client-update
+		// version accounting exact.
+		_ = n.store.Put(up.Key, up.Apply(cur), ver+up.Span())
 	}
 }
 

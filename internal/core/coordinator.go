@@ -112,6 +112,10 @@ func (c *Coordinator) ID() transport.NodeID { return c.id }
 
 func (c *Coordinator) handle(env transport.Envelope) {
 	switch m := env.Msg.(type) {
+	case transport.Batch:
+		for _, item := range m.Items {
+			c.handle(item)
+		}
 	case MsgReadReply:
 		c.onReadReply(env.From, m)
 	case MsgVote:
@@ -468,6 +472,19 @@ type CoordMetrics struct {
 	LeaderLearns           int64
 	Recoveries, Collisions int64
 	ReadRetries, ReadFails int64
+}
+
+// Add accumulates another snapshot into m (harnesses sum many
+// coordinators into one report).
+func (m *CoordMetrics) Add(o CoordMetrics) {
+	m.Commits += o.Commits
+	m.Aborts += o.Aborts
+	m.FastLearns += o.FastLearns
+	m.LeaderLearns += o.LeaderLearns
+	m.Recoveries += o.Recoveries
+	m.Collisions += o.Collisions
+	m.ReadRetries += o.ReadRetries
+	m.ReadFails += o.ReadFails
 }
 
 // Metrics returns a snapshot of this coordinator's counters.

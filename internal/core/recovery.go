@@ -228,6 +228,11 @@ type Metrics struct {
 	DemarcationRejects       int64
 	Sweeps                   int64
 	Synced                   int64
+	// BatchEnvelopes counts gateway-coalesced transport.Batch
+	// envelopes received, BatchItems the messages inside them (the
+	// cross-transaction batching fan-in is BatchItems/BatchEnvelopes).
+	BatchEnvelopes int64
+	BatchItems     int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -244,5 +249,7 @@ func (n *StorageNode) Metrics() Metrics {
 		DemarcationRejects: n.nDemarcationRejects,
 		Sweeps:             n.nSweeps,
 		Synced:             n.nSynced,
+		BatchEnvelopes:     n.nBatchEnvelopes,
+		BatchItems:         n.nBatchItems,
 	}
 }

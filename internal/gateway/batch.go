@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdcc/internal/clock"
+	"mdcc/internal/transport"
+)
+
+// batcher is a transport.Network decorator that coalesces outbound
+// messages bound for the same destination node within a small
+// time/size window into one transport.Batch envelope. The pooled
+// coordinators send through it, so proposals, visibility and recovery
+// messages of *different* transactions (and different coordinators)
+// destined for the same acceptor share a wire message — the paper's
+// §7 per-transaction batching generalized across transactions.
+//
+// Per-destination buffers are FIFO, so messages of one (from, to)
+// pair keep their send order through coalescing: they end up either
+// in the same envelope (items preserve order) or in consecutive ones.
+type batcher struct {
+	inner  transport.Network
+	on     transport.NodeID // timer anchor (the gateway's node)
+	window time.Duration
+	max    int
+
+	mu  sync.Mutex
+	buf map[transport.NodeID][]transport.Envelope
+
+	// Counters (read via the gateway's Metrics).
+	envelopes atomic.Int64 // batch envelopes sent (fan-in >= 2)
+	batched   atomic.Int64 // messages carried inside those envelopes
+	singles   atomic.Int64 // messages that found no window partner
+}
+
+func newBatcher(inner transport.Network, on transport.NodeID, window time.Duration, max int) *batcher {
+	if max < 2 {
+		max = 2
+	}
+	return &batcher{
+		inner:  inner,
+		on:     on,
+		window: window,
+		max:    max,
+		buf:    make(map[transport.NodeID][]transport.Envelope),
+	}
+}
+
+// Register, After and Now pass through to the wrapped network.
+func (b *batcher) Register(id transport.NodeID, h transport.Handler) { b.inner.Register(id, h) }
+func (b *batcher) After(on transport.NodeID, d time.Duration, f func()) clock.Timer {
+	return b.inner.After(on, d, f)
+}
+func (b *batcher) Now() time.Time { return b.inner.Now() }
+
+// Send buffers the message in its destination's window; the window
+// flushes when full or when its timer fires, whichever is first.
+func (b *batcher) Send(from, to transport.NodeID, msg transport.Message) {
+	if b.window <= 0 {
+		b.inner.Send(from, to, msg)
+		return
+	}
+	b.mu.Lock()
+	q := append(b.buf[to], transport.Envelope{From: from, To: to, Msg: msg})
+	b.buf[to] = q
+	if len(q) >= b.max {
+		b.flushLocked(to)
+		b.mu.Unlock()
+		return
+	}
+	first := len(q) == 1
+	b.mu.Unlock()
+	if first {
+		// First message of a fresh window: arm its flush timer. A
+		// size-triggered flush may leave this timer to fire on a
+		// younger window — that only shortens that window, never loses
+		// or reorders messages.
+		b.inner.After(b.on, b.window, func() { b.flush(to) })
+	}
+}
+
+func (b *batcher) flush(to transport.NodeID) {
+	b.mu.Lock()
+	b.flushLocked(to)
+	b.mu.Unlock()
+}
+
+func (b *batcher) flushLocked(to transport.NodeID) {
+	items := b.buf[to]
+	if len(items) == 0 {
+		return
+	}
+	delete(b.buf, to)
+	if len(items) == 1 {
+		b.singles.Add(1)
+		b.inner.Send(items[0].From, to, items[0].Msg)
+		return
+	}
+	b.envelopes.Add(1)
+	b.batched.Add(int64(len(items)))
+	// The envelope's outer From is the gateway node; receivers dispatch
+	// each item under its own original From.
+	b.inner.Send(b.on, to, transport.Batch{Items: items})
+}
+
+// flushAll drains every pending window (shutdown).
+func (b *batcher) flushAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for to := range b.buf {
+		b.flushLocked(to)
+	}
+}

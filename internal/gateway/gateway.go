@@ -1,0 +1,701 @@
+// Package gateway implements a data-center-local transaction gateway
+// tier for MDCC. The paper places a coordinator library in every
+// application server; at "millions of users" scale that means a
+// per-session coordinator and per-transaction messages melting the
+// acceptors. A Gateway instead:
+//
+//   - pools a bounded set of core.Coordinators and multiplexes all
+//     attached client sessions across them (sessions are stateless
+//     with respect to the protocol, so any pooled coordinator can
+//     carry any transaction);
+//   - coalesces outbound protocol messages bound for the same
+//     acceptor within a small time/size window into one
+//     transport.Batch envelope (cross-transaction batching — the
+//     §7 optimization generalized beyond one transaction);
+//   - merges *commutative* updates to the same hot key from
+//     concurrent transactions into one merged option per coalescing
+//     window, so a stock-decrement stampede costs O(windows) Paxos
+//     work instead of O(transactions). Each client delta is still
+//     individually accounted: admission into a window is checked
+//     delta-by-delta against the gateway's view of the quorum
+//     demarcation limits, the merged update carries the number of
+//     client updates it represents (record.Update.Merged) so version
+//     accounting stays exact, and a rejected merge is split and
+//     re-run per transaction so over-aggregation can never abort a
+//     transaction that would have committed alone;
+//   - applies admission control: a bounded in-flight window plus a
+//     bounded FIFO backlog, beyond which transactions fail fast with
+//     ErrOverloaded instead of stacking unbounded queues onto the
+//     acceptors.
+//
+// Correctness envelope: coalescing is an optimization only. Merged
+// options travel the unmodified MDCC commit path (fast ballots,
+// demarcation, recovery), acceptors remain the arbiter of every
+// constraint, and the gateway's demarcation accounting merely decides
+// how much to merge. Atomicity is preserved because only
+// single-update commutative transactions are merged; multi-update
+// transactions pass through untouched.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdcc/internal/clock"
+	"mdcc/internal/core"
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// ErrOverloaded is reported when admission control sheds a
+// transaction: the in-flight window and the backlog are both full.
+var ErrOverloaded = errors.New("gateway: overloaded, transaction shed")
+
+// ErrClosed is reported for transactions submitted to (or queued in)
+// a gateway that has shut down.
+var ErrClosed = errors.New("gateway: closed")
+
+// Tuning shapes one gateway. The zero value means defaults.
+type Tuning struct {
+	// Pool is the number of pooled coordinators (default 4).
+	Pool int
+	// BatchWindow is how long an outbound message may wait for
+	// same-destination company; 0 disables cross-transaction batching.
+	// Default 2ms.
+	BatchWindow time.Duration
+	// BatchMax caps messages per batch envelope (default 64).
+	BatchMax int
+	// CoalesceWindow is how long a hot-key commutative update may wait
+	// to be merged with others; 0 disables coalescing. Default 5ms.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps client updates merged into one option
+	// (default 64).
+	CoalesceMax int
+	// MaxInflight bounds concurrently executing transactions
+	// (default 4096).
+	MaxInflight int
+	// MaxQueue bounds the backlog beyond MaxInflight; overflow is shed
+	// with ErrOverloaded (default 16384).
+	MaxQueue int
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.Pool <= 0 {
+		t.Pool = 4
+	}
+	if t.BatchWindow == 0 {
+		t.BatchWindow = 2 * time.Millisecond
+	}
+	if t.BatchMax <= 0 {
+		t.BatchMax = 64
+	}
+	if t.CoalesceWindow == 0 {
+		t.CoalesceWindow = 5 * time.Millisecond
+	}
+	if t.CoalesceMax <= 0 {
+		t.CoalesceMax = 64
+	}
+	if t.MaxInflight <= 0 {
+		t.MaxInflight = 4096
+	}
+	if t.MaxQueue <= 0 {
+		t.MaxQueue = 16384
+	}
+	return t
+}
+
+// estTTL bounds how long a cached hot-key base value steers window
+// admission before it is re-read (other gateways move the value too).
+const estTTL = time.Second
+
+// GatewayID names the gateway node of a data center.
+func GatewayID(dc topology.DC) transport.NodeID {
+	return transport.NodeID("gw/" + dc.String())
+}
+
+func coordID(dc topology.DC, i int) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("gw/%s/c%d", dc, i))
+}
+
+// NodeIDs lists every transport node a gateway for dc will register
+// (the gateway itself plus its pooled coordinators) so deployments
+// can place them in latency maps before the gateway exists.
+func NodeIDs(dc topology.DC, t Tuning) []transport.NodeID {
+	t = t.withDefaults()
+	out := []transport.NodeID{GatewayID(dc)}
+	for i := 0; i < t.Pool; i++ {
+		out = append(out, coordID(dc, i))
+	}
+	return out
+}
+
+// MaxRoutedPool is the largest coordinator pool whose node IDs peer
+// servers pre-install routes for (RouteIDs). Pools are bounded by
+// design — the tier's whole point is a small coordinator set — so a
+// static cap keeps cross-server routing coordination-free.
+const MaxRoutedPool = 64
+
+// RouteIDs lists every transport id a *peer* process must be able to
+// route back to a gateway possibly hosted in dc: acceptor votes,
+// leader decisions and read replies all flow directly to the pooled
+// coordinators, which live on the gateway DC's server. Pool sizes are
+// a local tuning choice, so peers route the maximum.
+func RouteIDs(dc topology.DC) []transport.NodeID {
+	return NodeIDs(dc, Tuning{Pool: MaxRoutedPool})
+}
+
+// Metrics is a gateway's operational snapshot.
+type Metrics struct {
+	// Commits / Aborts count settled client transactions (aborts
+	// include admission sheds).
+	Commits int64 `json:"commits"`
+	Aborts  int64 `json:"aborts"`
+
+	// Submitted counts client transactions entering the gateway;
+	// Passthrough those dispatched unmodified; Coalesced the client
+	// updates that joined a hot-key merge window; CoalesceBypass the
+	// coalescible updates sent individually because the gateway's
+	// demarcation view had no headroom for a merge.
+	Submitted      int64 `json:"submitted"`
+	Passthrough    int64 `json:"passthrough"`
+	Coalesced      int64 `json:"coalesced"`
+	CoalesceBypass int64 `json:"coalesceBypass"`
+	// MergedOptions counts merged proposals issued (windows flushed
+	// with >= 2 waiters), MergedUpdates the client updates inside
+	// them, MergeSplits merged proposals that were rejected and re-run
+	// per transaction.
+	MergedOptions int64 `json:"mergedOptions"`
+	MergedUpdates int64 `json:"mergedUpdates"`
+	MergeSplits   int64 `json:"mergeSplits"`
+	// CoalesceRatio is MergedUpdates / Submitted.
+	CoalesceRatio float64 `json:"coalesceRatio"`
+
+	// Admission control.
+	AdmissionRejects int64 `json:"admissionRejects"`
+	Inflight         int64 `json:"inflight"`
+	QueueDepth       int64 `json:"queueDepth"`
+	QueuePeak        int64 `json:"queuePeak"`
+
+	// Cross-transaction batching (outbound, from the pooled
+	// coordinators). BatchFanIn is BatchedMsgs / BatchEnvelopes.
+	BatchEnvelopes int64   `json:"batchEnvelopes"`
+	BatchedMsgs    int64   `json:"batchedMsgs"`
+	BatchSingles   int64   `json:"batchSingles"`
+	BatchFanIn     float64 `json:"batchFanIn"`
+}
+
+// Add accumulates another gateway's counters into m (QueuePeak takes
+// the max, gauges sum); call Finalize after the last Add to recompute
+// the derived ratios.
+func (m *Metrics) Add(o Metrics) {
+	m.Commits += o.Commits
+	m.Aborts += o.Aborts
+	m.Submitted += o.Submitted
+	m.Passthrough += o.Passthrough
+	m.Coalesced += o.Coalesced
+	m.CoalesceBypass += o.CoalesceBypass
+	m.MergedOptions += o.MergedOptions
+	m.MergedUpdates += o.MergedUpdates
+	m.MergeSplits += o.MergeSplits
+	m.AdmissionRejects += o.AdmissionRejects
+	m.Inflight += o.Inflight
+	m.QueueDepth += o.QueueDepth
+	if o.QueuePeak > m.QueuePeak {
+		m.QueuePeak = o.QueuePeak
+	}
+	m.BatchEnvelopes += o.BatchEnvelopes
+	m.BatchedMsgs += o.BatchedMsgs
+	m.BatchSingles += o.BatchSingles
+}
+
+// Finalize recomputes the derived ratios from the summed counters.
+func (m *Metrics) Finalize() {
+	m.CoalesceRatio = 0
+	if m.Submitted > 0 {
+		m.CoalesceRatio = float64(m.MergedUpdates) / float64(m.Submitted)
+	}
+	m.BatchFanIn = 0
+	if m.BatchEnvelopes > 0 {
+		m.BatchFanIn = float64(m.BatchedMsgs) / float64(m.BatchEnvelopes)
+	}
+}
+
+// waiter is one client transaction parked in a merge window.
+type waiter struct {
+	up   record.Update
+	done func(committed bool, err error)
+}
+
+// mergeWindow accumulates commutative deltas for one hot key.
+type mergeWindow struct {
+	sum     map[string]int64
+	waiters []waiter
+	timer   clock.Timer
+}
+
+// keyState is the gateway's per-hot-key accounting: the current merge
+// window plus the demarcation view (last read base value and the
+// deltas admitted but not yet resolved).
+type keyState struct {
+	win        *mergeWindow
+	est        map[string]int64 // last observed attr values
+	estValid   bool
+	fetched    time.Time
+	refreshing bool
+	out        map[string]int64 // admitted, unresolved deltas
+}
+
+type queuedTx struct {
+	updates []record.Update
+	done    func(bool, error)
+}
+
+// Gateway is one data center's transaction gateway. Entry points
+// (Commit, Read, ReadQuorum, Metrics) are safe to call from any
+// goroutine; completion callbacks fire on pooled-coordinator handler
+// goroutines.
+type Gateway struct {
+	id   transport.NodeID
+	dc   topology.DC
+	net  transport.Network // the raw network (RPC, timers, reads)
+	bnet *batcher          // what the pooled coordinators send through
+	cl   *topology.Cluster
+	cfg  core.Config
+	tun  Tuning
+	q    paxos.Quorum
+
+	mu       sync.Mutex
+	coords   []*core.Coordinator
+	rr       int
+	inflight int
+	queue    []queuedTx
+	keys     map[record.Key]*keyState
+	m        Metrics
+	reqSeq   uint64
+	closed   bool
+}
+
+// New builds a gateway for dc on net and registers its node (and its
+// pooled coordinators') handlers. coreCfg is the same protocol config
+// the deployment's storage nodes run.
+func New(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg core.Config, tun Tuning) *Gateway {
+	tun = tun.withDefaults()
+	g := &Gateway{
+		id:   GatewayID(dc),
+		dc:   dc,
+		net:  net,
+		cl:   cl,
+		cfg:  coreCfg,
+		tun:  tun,
+		q:    paxos.NewQuorum(cl.ReplicationFactor()),
+		keys: make(map[record.Key]*keyState),
+	}
+	g.bnet = newBatcher(net, g.id, tun.BatchWindow, tun.BatchMax)
+	for i := 0; i < tun.Pool; i++ {
+		g.coords = append(g.coords, core.NewCoordinator(coordID(dc, i), dc, g.bnet, cl, coreCfg))
+	}
+	net.Register(g.id, g.handle)
+	return g
+}
+
+// ID returns the gateway's transport node identity.
+func (g *Gateway) ID() transport.NodeID { return g.id }
+
+// DC returns the gateway's data center.
+func (g *Gateway) DC() topology.DC { return g.dc }
+
+// nextCoordLocked round-robins the pool.
+func (g *Gateway) nextCoordLocked() *core.Coordinator {
+	co := g.coords[g.rr%len(g.coords)]
+	g.rr++
+	return co
+}
+
+// Read serves a nearest-replica read through a pooled coordinator.
+// cb may fire on a coordinator goroutine.
+func (g *Gateway) Read(key record.Key, cb func(val record.Value, ver record.Version, exists bool)) {
+	g.mu.Lock()
+	co := g.nextCoordLocked()
+	g.mu.Unlock()
+	g.net.After(co.ID(), 0, func() { co.Read(key, cb) })
+}
+
+// ReadQuorum serves an up-to-date quorum read through a pooled
+// coordinator.
+func (g *Gateway) ReadQuorum(key record.Key, cb func(val record.Value, ver record.Version, exists bool)) {
+	g.mu.Lock()
+	co := g.nextCoordLocked()
+	g.mu.Unlock()
+	g.net.After(co.ID(), 0, func() { co.ReadQuorum(key, cb) })
+}
+
+// Commit submits a client transaction. done fires exactly once:
+// committed reports the protocol outcome; err is non-nil only for
+// gateway-level failures (ErrOverloaded, ErrClosed), never for
+// protocol aborts.
+func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err error)) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		done(false, ErrClosed)
+		return
+	}
+	g.m.Submitted++
+	if g.inflight >= g.tun.MaxInflight {
+		if len(g.queue) >= g.tun.MaxQueue {
+			g.m.AdmissionRejects++
+			g.m.Aborts++
+			g.mu.Unlock()
+			done(false, ErrOverloaded)
+			return
+		}
+		g.queue = append(g.queue, queuedTx{updates: updates, done: done})
+		if d := int64(len(g.queue)); d > g.m.QueuePeak {
+			g.m.QueuePeak = d
+		}
+		g.mu.Unlock()
+		return
+	}
+	g.startLocked(updates, done)
+	g.mu.Unlock()
+}
+
+// startLocked admits one transaction into the in-flight window and
+// routes it (coalescing or passthrough).
+func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
+	g.inflight++
+	if g.coalescible(updates) {
+		g.coalesceLocked(updates[0], done)
+		return
+	}
+	g.m.Passthrough++
+	g.dispatchLocked(updates, func(ok bool) {
+		g.settle(1, ok)
+		done(ok, nil)
+	})
+}
+
+// coalescible: only single-update commutative transactions merge —
+// anything else would break atomicity or read-set semantics.
+func (g *Gateway) coalescible(updates []record.Update) bool {
+	return g.tun.CoalesceWindow > 0 &&
+		len(updates) == 1 &&
+		updates[0].Kind == record.KindCommutative &&
+		updates[0].Merged <= 1
+}
+
+// dispatchLocked hands a write-set to a pooled coordinator in its
+// handler context; done(ok) fires on that coordinator's goroutine
+// without the gateway lock held.
+func (g *Gateway) dispatchLocked(updates []record.Update, done func(ok bool)) {
+	co := g.nextCoordLocked()
+	g.net.After(co.ID(), 0, func() {
+		co.Commit(updates, func(r core.CommitResult) { done(r.Committed) })
+	})
+}
+
+// settle returns n in-flight slots, records outcomes, and drains the
+// backlog into freed slots.
+func (g *Gateway) settle(n int, committed bool) {
+	g.mu.Lock()
+	g.inflight -= n
+	if committed {
+		g.m.Commits += int64(n)
+	} else {
+		g.m.Aborts += int64(n)
+	}
+	for g.inflight < g.tun.MaxInflight && len(g.queue) > 0 {
+		next := g.queue[0]
+		g.queue = g.queue[1:]
+		g.startLocked(next.updates, next.done)
+	}
+	g.m.QueueDepth = int64(len(g.queue))
+	g.mu.Unlock()
+}
+
+// ---- hot-key delta coalescing ----------------------------------------
+
+func (g *Gateway) ks(key record.Key) *keyState {
+	s, ok := g.keys[key]
+	if !ok {
+		s = &keyState{out: make(map[string]int64)}
+		g.keys[key] = s
+	}
+	return s
+}
+
+func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
+	key := up.Key
+	ks := g.ks(key)
+	if ks.win != nil && (len(ks.win.waiters) >= g.tun.CoalesceMax || !g.fitsLocked(ks, up)) {
+		g.flushLocked(key, ks)
+	}
+	if ks.win == nil {
+		if !g.fitsLocked(ks, up) {
+			// Even alone this delta exceeds the gateway's demarcation
+			// view (usually: a burst of unresolved windows already holds
+			// all known headroom). Ship it individually — the acceptors,
+			// not the estimate, decide. Keep refreshing the estimate on
+			// this path too: a restocked key must regain coalescing once
+			// the TTL-aged estimate catches up with reality.
+			g.maybeRefreshLocked(key, ks)
+			g.m.CoalesceBypass++
+			g.m.Passthrough++
+			g.dispatchLocked([]record.Update{up}, func(ok bool) {
+				g.settle(1, ok)
+				done(ok, nil)
+			})
+			return
+		}
+		g.maybeRefreshLocked(key, ks)
+		win := &mergeWindow{sum: make(map[string]int64)}
+		ks.win = win
+		win.timer = g.net.After(g.id, g.tun.CoalesceWindow, func() {
+			g.mu.Lock()
+			if cur, ok := g.keys[key]; ok && cur.win == win {
+				g.flushLocked(key, cur)
+			}
+			g.mu.Unlock()
+		})
+	}
+	g.m.Coalesced++
+	for attr, d := range up.Deltas {
+		ks.win.sum[attr] += d
+		ks.out[attr] += d
+	}
+	ks.win.waiters = append(ks.win.waiters, waiter{up: up, done: done})
+}
+
+// fitsLocked is the individual demarcation accounting: would
+// admitting this one delta, on top of every delta already admitted
+// and unresolved, push the gateway's view of the value past the
+// quorum demarcation limit the acceptors will enforce? With no valid
+// estimate the answer is yes-admit — the acceptors arbitrate and the
+// estimate refresh is already in flight.
+func (g *Gateway) fitsLocked(ks *keyState, up record.Update) bool {
+	if !ks.estValid {
+		return true
+	}
+	for attr, d := range up.Deltas {
+		con, ok := g.constraintFor(attr)
+		if !ok {
+			continue
+		}
+		base := ks.est[attr]
+		projected := base + ks.out[attr] + d
+		if con.Min != nil && d < 0 && projected < demarcationLow(*con.Min, base, g.q) {
+			return false
+		}
+		if con.Max != nil && d > 0 && projected > demarcationHigh(*con.Max, base, g.q) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Gateway) constraintFor(attr string) (record.Constraint, bool) {
+	for _, con := range g.cfg.Constraints {
+		if con.Attr == attr {
+			return con, true
+		}
+	}
+	return record.Constraint{}, false
+}
+
+// demarcationLow / demarcationHigh mirror the acceptor's fast-ballot
+// quorum demarcation limits (L = min + ceil(head·(N−Q_F)/N), §3.4.2):
+// the gateway admits deltas against the same bound the acceptors will
+// apply, so window admission and acceptor judgment agree whenever the
+// estimate is fresh.
+func demarcationLow(min, base int64, q paxos.Quorum) int64 {
+	head := base - min
+	if head <= 0 {
+		return min
+	}
+	slack := int64(q.N - q.Fast)
+	return min + ceilDiv(head*slack, int64(q.N))
+}
+
+func demarcationHigh(max, base int64, q paxos.Quorum) int64 {
+	head := max - base
+	if head <= 0 {
+		return max
+	}
+	slack := int64(q.N - q.Fast)
+	return max - ceilDiv(head*slack, int64(q.N))
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// maybeRefreshLocked keeps the demarcation estimate fresh: one read
+// per key at a time, re-issued when the estimate ages past estTTL.
+func (g *Gateway) maybeRefreshLocked(key record.Key, ks *keyState) {
+	if ks.refreshing {
+		return
+	}
+	if ks.estValid && g.net.Now().Sub(ks.fetched) < estTTL {
+		return
+	}
+	ks.refreshing = true
+	co := g.nextCoordLocked()
+	g.net.After(co.ID(), 0, func() {
+		co.Read(key, func(val record.Value, _ record.Version, exists bool) {
+			g.mu.Lock()
+			cur := g.ks(key)
+			cur.refreshing = false
+			cur.fetched = g.net.Now()
+			cur.estValid = true
+			cur.est = make(map[string]int64, len(val.Attrs))
+			if exists {
+				for a, x := range val.Attrs {
+					cur.est[a] = x
+				}
+			}
+			g.mu.Unlock()
+		})
+	})
+}
+
+// flushLocked closes the key's window and dispatches it: one client
+// update passes through unchanged; several become a single merged
+// option. A rejected merge is split and re-run per transaction, so
+// merging can only ever batch work, never manufacture aborts.
+func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
+	win := ks.win
+	if win == nil {
+		return
+	}
+	ks.win = nil
+	if win.timer != nil {
+		win.timer.Stop()
+	}
+	if len(win.waiters) == 1 {
+		w := win.waiters[0]
+		g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
+			g.resolveDeltas(key, w.up.Deltas, ok)
+			g.settle(1, ok)
+			w.done(ok, nil)
+		})
+		return
+	}
+	waiters := win.waiters
+	sum := win.sum
+	g.m.MergedOptions++
+	g.m.MergedUpdates += int64(len(waiters))
+	merged := record.MergedCommutative(key, sum, len(waiters))
+	g.dispatchLocked([]record.Update{merged}, func(ok bool) {
+		g.resolveDeltas(key, sum, ok)
+		if ok {
+			g.settle(len(waiters), true)
+			for _, w := range waiters {
+				w.done(true, nil)
+			}
+			return
+		}
+		// Merged option rejected (demarcation exhausted, or an
+		// outstanding physical write blocked the key): split and re-run
+		// each client update alone so transactions that fit on their
+		// own still commit. Their in-flight slots are still held.
+		g.mu.Lock()
+		g.m.MergeSplits++
+		cur := g.ks(key)
+		cur.estValid = false // the view that admitted this merge was stale
+		for _, w := range waiters {
+			w := w
+			for attr, d := range w.up.Deltas {
+				cur.out[attr] += d
+			}
+			g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
+				g.resolveDeltas(key, w.up.Deltas, ok)
+				g.settle(1, ok)
+				w.done(ok, nil)
+			})
+		}
+		g.mu.Unlock()
+	})
+}
+
+// resolveDeltas retires admitted deltas from the outstanding account
+// and folds committed ones into the estimate.
+func (g *Gateway) resolveDeltas(key record.Key, deltas map[string]int64, committed bool) {
+	g.mu.Lock()
+	ks := g.ks(key)
+	for attr, d := range deltas {
+		ks.out[attr] -= d
+		if committed && ks.estValid {
+			ks.est[attr] += d
+		}
+	}
+	g.mu.Unlock()
+}
+
+// CoordMetrics sums the pooled coordinators' protocol counters. The
+// counters live on the coordinator goroutines; call this from a
+// quiesced deployment (after a run, or from the simulator's thread).
+func (g *Gateway) CoordMetrics() core.CoordMetrics {
+	var total core.CoordMetrics
+	for _, c := range g.coords {
+		total.Add(c.Metrics())
+	}
+	return total
+}
+
+// Metrics snapshots the gateway's counters.
+func (g *Gateway) Metrics() Metrics {
+	g.mu.Lock()
+	m := g.m
+	m.Inflight = int64(g.inflight)
+	m.QueueDepth = int64(len(g.queue))
+	g.mu.Unlock()
+	m.BatchEnvelopes = g.bnet.envelopes.Load()
+	m.BatchedMsgs = g.bnet.batched.Load()
+	m.BatchSingles = g.bnet.singles.Load()
+	m.Finalize()
+	return m
+}
+
+// Close rejects the backlog and every parked window with ErrClosed
+// and flushes the batcher. Pooled coordinators keep draining what was
+// already dispatched (their lifecycle belongs to the network).
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	queued := g.queue
+	g.queue = nil
+	var parked []waiter
+	for key, ks := range g.keys {
+		if ks.win == nil {
+			continue
+		}
+		if ks.win.timer != nil {
+			ks.win.timer.Stop()
+		}
+		parked = append(parked, ks.win.waiters...)
+		ks.win = nil
+		_ = key
+	}
+	n := len(queued) // queued never held inflight slots
+	g.inflight -= len(parked)
+	g.m.Aborts += int64(n + len(parked))
+	g.mu.Unlock()
+	for _, q := range queued {
+		q.done(false, ErrClosed)
+	}
+	for _, w := range parked {
+		w.done(false, ErrClosed)
+	}
+	g.bnet.flushAll()
+}

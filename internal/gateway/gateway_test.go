@@ -1,0 +1,270 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// testWorld is a five-DC deployment on the deterministic simulator
+// with one gateway in us-west.
+type testWorld struct {
+	net    *simnet.Net
+	cl     *topology.Cluster
+	nodes  []*core.StorageNode
+	stores []*kv.Store
+	gw     *Gateway
+}
+
+func newTestWorld(t *testing.T, tun Tuning, cons []record.Constraint) *testWorld {
+	t.Helper()
+	cl := topology.NewCluster(topology.Layout{NodesPerDC: 1, Clients: 0, ClientDC: -1})
+	extra := map[transport.NodeID]topology.DC{}
+	for _, id := range NodeIDs(topology.USWest, tun) {
+		extra[id] = topology.USWest
+	}
+	net := simnet.New(simnet.Options{
+		Latency:     cl.LatencyWith(extra),
+		JitterFrac:  0.05,
+		ServiceTime: 100 * time.Microsecond,
+		Seed:        1,
+	})
+	cfg := core.Defaults(core.ModeMDCC)
+	cfg.Constraints = cons
+	w := &testWorld{net: net, cl: cl}
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		w.stores = append(w.stores, store)
+		w.nodes = append(w.nodes, core.NewStorageNode(n.ID, n.DC, net, cl, cfg, store))
+	}
+	w.gw = New(topology.USWest, net, cl, cfg, tun)
+	return w
+}
+
+// preload writes a record into every replica of its shard at version 1.
+func (w *testWorld) preload(key record.Key, val record.Value) {
+	shard := w.cl.Shard(key)
+	for i, n := range w.cl.Storage {
+		if n.Index == shard {
+			_ = w.stores[i].Put(key, val, 1)
+		}
+	}
+}
+
+// state reads the freshest committed replica state of key.
+func (w *testWorld) state(key record.Key) (record.Value, record.Version) {
+	shard := w.cl.Shard(key)
+	var bestVal record.Value
+	var bestVer record.Version
+	for i, n := range w.cl.Storage {
+		if n.Index != shard {
+			continue
+		}
+		if val, ver, ok := w.stores[i].Get(key); ok && ver > bestVer {
+			bestVal, bestVer = val, ver
+		}
+	}
+	return bestVal, bestVer
+}
+
+// TestCoalescingMergesHotKeyStampede drives a concurrent decrement
+// stampede against one hot key and verifies (a) every transaction
+// settles committed, (b) the deltas and the per-client-update version
+// accounting are conserved through merged options, and (c) the
+// stampede actually coalesced into far fewer Paxos options.
+func TestCoalescingMergesHotKeyStampede(t *testing.T) {
+	const n = 200
+	key := record.Key("stock/hot")
+	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 1_000_000}})
+
+	commits, aborts, settled := 0, 0, 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(ok bool, err error) {
+					settled++
+					if err != nil {
+						t.Errorf("unexpected gateway error: %v", err)
+					}
+					if ok {
+						commits++
+					} else {
+						aborts++
+					}
+				})
+		}
+	})
+	w.net.RunFor(10 * time.Second)
+
+	if settled != n {
+		t.Fatalf("settled %d of %d transactions", settled, n)
+	}
+	if commits != n {
+		t.Fatalf("commits %d aborts %d, want all %d committed (headroom is huge)", commits, aborts, n)
+	}
+	val, ver := w.state(key)
+	if got := val.Attr("units"); got != 1_000_000-n {
+		t.Errorf("units = %d, want %d (delta conservation through merging)", got, 1_000_000-n)
+	}
+	if want := record.Version(1 + n); ver != want {
+		t.Errorf("version = %d, want %d (merged options must advance by their span)", ver, want)
+	}
+	m := w.gw.Metrics()
+	if m.MergedOptions == 0 || m.MergedUpdates < n/2 {
+		t.Errorf("expected heavy coalescing, got %+v", m)
+	}
+	if m.Commits != n {
+		t.Errorf("gateway commit counter = %d, want %d", m.Commits, n)
+	}
+	// Cross-transaction batching must have produced real envelopes and
+	// the acceptors must have unpacked them.
+	if m.BatchEnvelopes == 0 || m.BatchFanIn < 1.5 {
+		t.Errorf("expected outbound batch envelopes, got %+v", m)
+	}
+	var env, items int64
+	for _, node := range w.nodes {
+		nm := node.Metrics()
+		env += nm.BatchEnvelopes
+		items += nm.BatchItems
+	}
+	if env == 0 || items < env*2 {
+		t.Errorf("acceptors saw %d batch envelopes carrying %d messages, want fan-in >= 2", env, items)
+	}
+}
+
+// TestMergeSplitOnScarceStock exhausts a scarce key: the merged
+// option overdraws and must be split so individually-viable
+// transactions still commit, the constraint holds, and nothing is
+// double-applied.
+func TestMergeSplitOnScarceStock(t *testing.T) {
+	const n = 10
+	key := record.Key("stock/scarce")
+	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 3}})
+
+	commits, settled := 0, 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(ok bool, err error) {
+					settled++
+					if err != nil {
+						t.Errorf("unexpected gateway error: %v", err)
+					}
+					if ok {
+						commits++
+					}
+				})
+		}
+	})
+	w.net.RunFor(30 * time.Second)
+
+	if settled != n {
+		t.Fatalf("settled %d of %d", settled, n)
+	}
+	if commits == 0 {
+		t.Fatalf("no transaction committed; splitting should let some through")
+	}
+	val, _ := w.state(key)
+	units := val.Attr("units")
+	if units < 0 {
+		t.Fatalf("constraint violated: units = %d", units)
+	}
+	if units != 3-int64(commits) {
+		t.Errorf("units = %d with %d commits, want %d (conservation)", units, commits, 3-commits)
+	}
+}
+
+// TestAdmissionBackpressure verifies the bounded in-flight window and
+// backlog: overflow is shed fast with ErrOverloaded and everything
+// admitted still settles.
+func TestAdmissionBackpressure(t *testing.T) {
+	const n = 20
+	tun := Tuning{MaxInflight: 4, MaxQueue: 4, CoalesceWindow: -1} // passthrough only
+	w := newTestWorld(t, tun, nil)
+
+	commits, shed, settled := 0, 0, 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			key := record.Key("item/" + string(rune('a'+i)))
+			w.gw.Commit([]record.Update{record.Insert(key, record.Value{Attrs: map[string]int64{"v": 1}})},
+				func(ok bool, err error) {
+					settled++
+					switch {
+					case err == ErrOverloaded:
+						shed++
+					case err != nil:
+						t.Errorf("unexpected error: %v", err)
+					case ok:
+						commits++
+					}
+				})
+		}
+	})
+	w.net.RunFor(20 * time.Second)
+
+	if settled != n {
+		t.Fatalf("settled %d of %d", settled, n)
+	}
+	if shed != n-8 {
+		t.Errorf("shed %d, want %d (4 in flight + 4 queued admitted)", shed, n-8)
+	}
+	if commits != 8 {
+		t.Errorf("commits = %d, want 8", commits)
+	}
+	m := w.gw.Metrics()
+	if m.AdmissionRejects != int64(n-8) || m.QueuePeak != 4 {
+		t.Errorf("admission metrics %+v", m)
+	}
+}
+
+// TestBatcherPreservesOrder sends interleaved messages from several
+// sources to one destination through the batcher and checks the
+// destination observes every message in per-source send order.
+func TestBatcherPreservesOrder(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	type tag struct {
+		From int
+		Seq  int
+	}
+	var got []tag
+	net.Register("sink", func(env transport.Envelope) {
+		switch m := env.Msg.(type) {
+		case transport.Batch:
+			for _, item := range m.Items {
+				got = append(got, item.Msg.(tag))
+			}
+		case tag:
+			got = append(got, m)
+		}
+	})
+	net.Register("anchor", func(transport.Envelope) {})
+	b := newBatcher(net, "anchor", 2*time.Millisecond, 8)
+	const senders, per = 3, 20
+	net.At(0, func() {
+		for s := 0; s < per; s++ {
+			for f := 0; f < senders; f++ {
+				b.Send(transport.NodeID(rune('a'+f)), "sink", tag{From: f, Seq: s})
+			}
+		}
+	})
+	net.RunFor(time.Second)
+
+	if len(got) != senders*per {
+		t.Fatalf("received %d messages, want %d", len(got), senders*per)
+	}
+	last := map[int]int{0: -1, 1: -1, 2: -1}
+	for _, m := range got {
+		if m.Seq <= last[m.From] {
+			t.Fatalf("reordered: from %d seq %d after %d", m.From, m.Seq, last[m.From])
+		}
+		last[m.From] = m.Seq
+	}
+}

@@ -1,0 +1,83 @@
+package gateway
+
+import (
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// Thin client ⇄ gateway RPC, used when application servers talk to a
+// remote gateway tier (cmd/mdcc-server -gateway) instead of embedding
+// a coordinator: one commit or read request per message, matched to
+// its reply by a client-scoped ReqID. Delivery is best-effort like
+// everything on this transport; clients time requests out and the
+// gateway's outcome for a lost reply is still settled by the normal
+// protocol (the transaction itself is never lost once submitted).
+
+// MsgTx submits a write-set for atomic commit.
+type MsgTx struct {
+	ReqID   uint64
+	Updates []record.Update
+}
+
+// MsgTxReply reports the transaction outcome. Overloaded is set when
+// admission control shed the transaction (it was never submitted).
+type MsgTxReply struct {
+	ReqID      uint64
+	Committed  bool
+	Overloaded bool
+}
+
+// MsgRead asks the gateway for a read; Quorum selects an up-to-date
+// quorum read instead of the nearest replica.
+type MsgRead struct {
+	ReqID  uint64
+	Key    record.Key
+	Quorum bool
+}
+
+// MsgReadReply answers MsgRead.
+type MsgReadReply struct {
+	ReqID   uint64
+	Key     record.Key
+	Value   record.Value
+	Version record.Version
+	Exists  bool
+}
+
+func init() {
+	transport.RegisterMessage(MsgTx{})
+	transport.RegisterMessage(MsgTxReply{})
+	transport.RegisterMessage(MsgRead{})
+	transport.RegisterMessage(MsgReadReply{})
+}
+
+// handle serves the RPC surface on the gateway's node.
+func (g *Gateway) handle(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case transport.Batch:
+		for _, item := range m.Items {
+			g.handle(item)
+		}
+	case MsgTx:
+		from := env.From
+		g.Commit(m.Updates, func(committed bool, err error) {
+			g.net.Send(g.id, from, MsgTxReply{
+				ReqID:      m.ReqID,
+				Committed:  committed && err == nil,
+				Overloaded: err == ErrOverloaded,
+			})
+		})
+	case MsgRead:
+		from := env.From
+		reply := func(val record.Value, ver record.Version, exists bool) {
+			g.net.Send(g.id, from, MsgReadReply{
+				ReqID: m.ReqID, Key: m.Key, Value: val, Version: ver, Exists: exists,
+			})
+		}
+		if m.Quorum {
+			g.ReadQuorum(m.Key, reply)
+		} else {
+			g.Read(m.Key, reply)
+		}
+	}
+}

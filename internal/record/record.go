@@ -143,6 +143,14 @@ type Update struct {
 
 	// Commutative fields: attribute → signed delta.
 	Deltas map[string]int64
+
+	// Merged is the number of client delta updates a gateway coalesced
+	// into this one commutative update (0 and 1 both mean "a single
+	// client update"). A committed merged update advances the record
+	// version by Span, so per-client-update version accounting — and
+	// the invariant "version v = state after v executed client updates"
+	// — stays exact across coalescing.
+	Merged int
 }
 
 // Physical builds a physical update.
@@ -171,6 +179,26 @@ func Commutative(key Key, deltas map[string]int64) Update {
 	return Update{Kind: KindCommutative, Key: key, Deltas: cp}
 }
 
+// MergedCommutative builds a delta update representing merged client
+// updates whose deltas sum to deltas: a gateway coalesces a hot-key
+// stampede into one Paxos option per window this way. The version
+// advances by merged on commit (see Span).
+func MergedCommutative(key Key, deltas map[string]int64, merged int) Update {
+	up := Commutative(key, deltas)
+	up.Merged = merged
+	return up
+}
+
+// Span is how many versions a committed update advances its record:
+// 1, except for merged commutative updates which advance by the
+// number of client updates they carry.
+func (u Update) Span() Version {
+	if u.Kind == KindCommutative && u.Merged > 1 {
+		return Version(u.Merged)
+	}
+	return 1
+}
+
 // ReadCheck builds a read-set validation: the transaction commits
 // only if key is still at readVersion.
 func ReadCheck(key Key, readVersion Version) Update {
@@ -190,6 +218,9 @@ func (u Update) String() string {
 		sort.Strings(names)
 		var b strings.Builder
 		fmt.Fprintf(&b, "comm(%s", u.Key)
+		if u.Merged > 1 {
+			fmt.Fprintf(&b, " x%d", u.Merged)
+		}
 		for _, k := range names {
 			fmt.Fprintf(&b, " %s%+d", k, u.Deltas[k])
 		}

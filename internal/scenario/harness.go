@@ -9,6 +9,7 @@ import (
 
 	"mdcc/internal/check"
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/mtx"
 	"mdcc/internal/record"
@@ -44,6 +45,7 @@ type Run struct {
 	downDC   map[topology.DC]bool // Fail-style outages to undo at heal
 	crashed  map[int]bool         // storage index -> awaiting restart
 	coords   []*core.Coordinator
+	gws      map[topology.DC]*gateway.Gateway // gateway scenarios only
 	clients  []mtx.Client
 	hist     *check.History
 	initial  map[record.Key]record.Value
@@ -94,8 +96,18 @@ func build(s *Scenario, o Options) (*Run, error) {
 		Clients:    o.Clients,
 		ClientDC:   -1,
 	})
+	// Gateway scenarios add the gateway nodes (and their coordinator
+	// pools) to the latency map, homed in their data centers.
+	extra := map[transport.NodeID]topology.DC{}
+	if s.Gateway {
+		for _, dc := range topology.AllDCs() {
+			for _, id := range gateway.NodeIDs(dc, s.GatewayTuning) {
+				extra[id] = dc
+			}
+		}
+	}
 	net := simnet.New(simnet.Options{
-		Latency:     cl.Latency(),
+		Latency:     cl.LatencyWith(extra),
 		JitterFrac:  0.10,
 		ServiceTime: 250 * time.Microsecond,
 		Seed:        o.Seed,
@@ -145,10 +157,22 @@ func build(s *Scenario, o Options) (*Run, error) {
 		r.nodes = append(r.nodes, core.NewDurableStorageNode(n.ID, n.DC, net, cl, cfg, ds))
 		_ = i
 	}
-	for _, c := range cl.Clients {
-		co := core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
-		r.coords = append(r.coords, co)
-		r.clients = append(r.clients, r.hist.Client(c.Index, coreClient{co}))
+	if s.Gateway {
+		// Clients attach to their DC's shared gateway instead of
+		// owning coordinators — the serving-tier deployment model.
+		r.gws = make(map[topology.DC]*gateway.Gateway)
+		for _, dc := range topology.AllDCs() {
+			r.gws[dc] = gateway.New(dc, net, cl, cfg, s.GatewayTuning)
+		}
+		for _, c := range cl.Clients {
+			r.clients = append(r.clients, r.hist.Client(c.Index, gwClient{r.gws[c.DC]}))
+		}
+	} else {
+		for _, c := range cl.Clients {
+			co := core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
+			r.coords = append(r.coords, co)
+			r.clients = append(r.clients, r.hist.Client(c.Index, coreClient{co}))
+		}
 	}
 	r.preload()
 	return r, nil
@@ -162,6 +186,16 @@ func (cc coreClient) Commit(updates []record.Update, done func(bool)) {
 	cc.c.Commit(updates, func(res core.CommitResult) { done(res.Committed) })
 }
 func (cc coreClient) SupportsCommutative() bool { return true }
+
+// gwClient adapts a shared gateway to mtx.Client. Admission sheds
+// (ErrOverloaded) surface as aborts in the recorded history.
+type gwClient struct{ g *gateway.Gateway }
+
+func (gc gwClient) Read(key record.Key, cb mtx.ReadFunc) { gc.g.Read(key, cb) }
+func (gc gwClient) Commit(updates []record.Update, done func(bool)) {
+	gc.g.Commit(updates, func(ok bool, err error) { done(ok && err == nil) })
+}
+func (gc gwClient) SupportsCommutative() bool { return true }
 
 // preload bulk-loads the initial database into every replica's store
 // (version 1, as internal/check expects for preloaded keys).
@@ -238,15 +272,17 @@ func (r *Run) run() (*Result, error) {
 	}
 	res.Commits, res.Aborts = r.hist.Summary()
 	for _, c := range r.coords {
-		m := c.Metrics()
-		res.Coord.Commits += m.Commits
-		res.Coord.Aborts += m.Aborts
-		res.Coord.FastLearns += m.FastLearns
-		res.Coord.LeaderLearns += m.LeaderLearns
-		res.Coord.Recoveries += m.Recoveries
-		res.Coord.Collisions += m.Collisions
-		res.Coord.ReadRetries += m.ReadRetries
-		res.Coord.ReadFails += m.ReadFails
+		res.Coord.Add(c.Metrics())
+	}
+	if r.gws != nil {
+		var agg gateway.Metrics
+		for _, dc := range topology.AllDCs() {
+			g := r.gws[dc]
+			res.Coord.Add(g.CoordMetrics()) // quiesced: the simulator has stopped
+			agg.Add(g.Metrics())
+		}
+		agg.Finalize()
+		res.Gateway = &agg
 	}
 	for _, n := range r.nodes {
 		m := n.Metrics()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/record"
 	"mdcc/internal/simnet"
 	"mdcc/internal/stats"
@@ -101,6 +102,13 @@ type Scenario struct {
 	Gamma int
 	// MasterDC overrides master placement (nil = uniform by hash).
 	MasterDC func(record.Key) topology.DC
+	// Gateway routes every client through its data center's
+	// transaction gateway (coordinator pooling, cross-transaction
+	// batching, hot-key delta coalescing) instead of a private
+	// coordinator, validating the gateway tier under faults.
+	Gateway bool
+	// GatewayTuning overrides the gateway defaults when Gateway is set.
+	GatewayTuning gateway.Tuning
 	// Nemesis schedules the fault events on the run; nil or
 	// Options.Faults=false runs fault-free.
 	Nemesis func(r *Run)
@@ -130,6 +138,10 @@ type Result struct {
 	Net   simnet.Stats
 	Coord core.CoordMetrics
 	Nodes core.Metrics
+
+	// Gateway aggregates the per-DC gateway metrics (gateway
+	// scenarios only; nil otherwise).
+	Gateway *gateway.Metrics
 
 	// Events is the human-readable nemesis timeline that actually ran.
 	Events []string
@@ -166,6 +178,11 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "  protocol: %d fast learns, %d leader learns, %d collisions, %d recoveries, %d demarcation rejects, %d phase1\n",
 		r.Coord.FastLearns, r.Coord.LeaderLearns, r.Coord.Collisions,
 		r.Coord.Recoveries, r.Nodes.DemarcationRejects, r.Nodes.Phase1)
+	if g := r.Gateway; g != nil {
+		fmt.Fprintf(&b, "  gateway: %d submitted, %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f (%d envelopes)\n",
+			g.Submitted, g.MergedOptions, g.MergedUpdates, g.CoalesceRatio,
+			g.MergeSplits, g.AdmissionRejects, g.BatchFanIn, g.BatchEnvelopes)
+	}
 	for _, ev := range r.Events {
 		fmt.Fprintf(&b, "  nemesis: %s\n", ev)
 	}

@@ -139,6 +139,39 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// A flash-sale stampede through the gateway tier: heavy
+		// commutative traffic on a handful of hot stock keys flows
+		// through per-DC gateways (coordinator pooling, cross-
+		// transaction batching, hot-key delta coalescing into merged
+		// options) while a DC outage, packet loss and a latency
+		// brown-out hit the cluster. Invariants under test: delta
+		// conservation and per-client-update version accounting
+		// across merged options, units >= 0 under demarcation, and
+		// settle-everything liveness with the gateway in the path.
+		Name:        "gateway-saturation",
+		Description: "hot-key commutative stampede via per-DC gateways (pooling+batching+coalescing) under outage, loss and latency faults",
+		Gateway:     true,
+		Workload: Workload{
+			Accounts:       20,
+			InitialBalance: 1000,
+			StockKeys:      3,
+			InitialStock:   150000,
+			Items:          4,
+			TransferFrac:   0.15,
+			StockFrac:      0.75,
+		},
+		Clients:  150,
+		Duration: time.Minute,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.15), "5% packet loss", func() { r.Net.SetDropProb(0.05) })
+			r.At(frac(r, 0.30), "fail all storage in eu-ie", func() { r.FailDC(topology.EUIreland) })
+			r.At(frac(r, 0.45), "2x WAN latency", func() { r.Net.ScaleLatency(2) })
+			r.At(frac(r, 0.60), "latency back to normal", func() { r.Net.ScaleLatency(1) })
+			r.At(frac(r, 0.70), "recover eu-ie", func() { r.RecoverDC(topology.EUIreland) })
+			r.At(frac(r, 0.85), "packet loss off", func() { r.Net.SetDropProb(0) })
+		},
+	},
+	{
 		// Everything at once: sustained loss, duplication and
 		// reordering, clock drift on two replicas, a latency spike, a
 		// short partition and one crash/restart. The kitchen-sink

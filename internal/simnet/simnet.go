@@ -87,6 +87,7 @@ type Net struct {
 	drift    map[transport.NodeID]float64
 	rng      *rand.Rand
 	stats    Stats
+	perNode  map[transport.NodeID]int64 // messages delivered per node
 	stopped  bool
 }
 
@@ -153,6 +154,7 @@ func New(opts Options) *Net {
 		latScale: 1,
 		drift:    make(map[transport.NodeID]float64),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+		perNode:  make(map[transport.NodeID]int64),
 	}
 }
 
@@ -235,10 +237,16 @@ func (n *Net) deliverAfter(from, to transport.NodeID, msg transport.Message, d t
 				return
 			}
 			n.stats.Delivered++
+			n.perNode[to]++
 			h(e)
 		},
 	})
 }
+
+// DeliveredTo returns how many messages were delivered to one node —
+// the physical envelope count, so a batch envelope counts once
+// (benchmarks use this to measure per-acceptor message load).
+func (n *Net) DeliveredTo(id transport.NodeID) int64 { return n.perNode[id] }
 
 // After schedules f on node `on` after d of virtual time, serialized
 // with its handler. Timers keep firing on failed nodes: Fail models a

@@ -23,6 +23,7 @@ type Local struct {
 	latency LatencyFunc
 	clk     clock.Clock
 	closed  bool
+	stats   statCounters
 }
 
 // mailbox serializes all work (message handling and timer callbacks)
@@ -102,6 +103,7 @@ func (l *Local) Send(from, to NodeID, msg Message) {
 	if fromFailed {
 		return
 	}
+	l.stats.countSend(msg)
 	e := Envelope{From: from, To: to, Msg: msg}
 	deliver := func() {
 		l.mu.RLock()
@@ -110,6 +112,7 @@ func (l *Local) Send(from, to NodeID, msg Message) {
 		if toFailed {
 			return
 		}
+		l.stats.countReceive(e.Msg)
 		l.enqueue(to, func(h Handler) { h(e) })
 	}
 	var d time.Duration
@@ -132,6 +135,9 @@ func (l *Local) After(on NodeID, d time.Duration, f func()) clock.Timer {
 
 // Now returns wall-clock time.
 func (l *Local) Now() time.Time { return l.clk.Now() }
+
+// Stats snapshots the transport counters.
+func (l *Local) Stats() Stats { return l.stats.snapshot() }
 
 // Close stops all mailbox loops; subsequent sends are dropped.
 func (l *Local) Close() {

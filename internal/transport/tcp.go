@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -24,15 +25,23 @@ type helloMsg struct {
 	Addr string
 }
 
-func init() { gob.Register(helloMsg{}) }
+func init() {
+	gob.Register(helloMsg{})
+	gob.Register(Batch{})
+}
 
 // TCP is a Network whose nodes may live in different processes.
 // Locally registered nodes receive messages directly; remote nodes
 // are reached via persistent gob-encoded TCP connections using a
 // static NodeID→address routing table.
 //
-// Delivery is best-effort: connection failures drop messages, exactly
-// as the protocol layers expect from a WAN.
+// Delivery is best-effort: connection failures and full outbound
+// queues drop messages, exactly as the protocol layers expect from a
+// WAN. What IS guaranteed is per-pair ordering: messages between one
+// (from, to) pair that are delivered arrive in send order — all
+// traffic to one peer address flows through a single FIFO queue and
+// one writer goroutine (batch envelopes additionally preserve the
+// order of their items).
 type TCP struct {
 	mu     sync.RWMutex
 	local  map[NodeID]*mailbox
@@ -41,15 +50,60 @@ type TCP struct {
 	ln     net.Listener
 	clk    clock.Clock
 	closed bool
+	stats  statCounters
 
 	// Logf, if set, receives connection diagnostics.
 	Logf func(format string, args ...interface{})
 }
 
+// outboundDepth bounds each peer's send queue; overflow drops (WAN
+// loss semantics) rather than blocking protocol goroutines.
+const outboundDepth = 8192
+
+// tcpConn is one peer's ordered outbound queue. The writer goroutine
+// dials lazily, then drains the queue over a single connection, which
+// is what preserves per-(from,to) send order.
 type tcpConn struct {
+	addr string
+	ch   chan Envelope
+	done chan struct{}
+	once sync.Once // closes done exactly once
+
 	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	conn net.Conn // set by the writer after dialing (for Close)
+}
+
+func (c *tcpConn) close() {
+	c.once.Do(func() { close(c.done) })
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+// countingWriter / countingReader count wire bytes into the shared
+// transport stats.
+type countingWriter struct {
+	w io.Writer
+	n *statCounters
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.bytesSent.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *statCounters
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.bytesReceived.Add(int64(n))
+	return n, err
 }
 
 // NewTCP returns a TCP network with the given routing table (may be
@@ -100,7 +154,7 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 
 func (t *TCP) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(countingReader{r: conn, n: &t.stats})
 	for {
 		var e Envelope
 		if err := dec.Decode(&e); err != nil {
@@ -125,6 +179,7 @@ func (t *TCP) deliverLocal(e Envelope) {
 		t.logf("transport: no local node %s, dropping %T", e.To, e.Msg)
 		return
 	}
+	t.stats.countReceive(e.Msg)
 	select {
 	case mb.ch <- func(h Handler) { h(e) }:
 	case <-mb.done:
@@ -152,7 +207,9 @@ func (t *TCP) Register(id NodeID, h Handler) {
 	}()
 }
 
-// Send routes msg to a local mailbox or over TCP.
+// Send routes msg to a local mailbox or over TCP. Remote sends to the
+// same destination are FIFO through one per-peer queue, so messages
+// of a (from, to) pair never reorder (they may still drop).
 func (t *TCP) Send(from, to NodeID, msg Message) {
 	e := Envelope{From: from, To: to, Msg: msg}
 	t.mu.RLock()
@@ -163,6 +220,7 @@ func (t *TCP) Send(from, to NodeID, msg Message) {
 	if closed {
 		return
 	}
+	t.stats.countSend(msg)
 	if isLocal {
 		t.deliverLocal(e)
 		return
@@ -171,44 +229,62 @@ func (t *TCP) Send(from, to NodeID, msg Message) {
 		t.logf("transport: no route to %s, dropping %T", to, msg)
 		return
 	}
-	go t.sendRemote(addr, e)
-}
-
-func (t *TCP) sendRemote(addr string, e Envelope) {
-	c, err := t.connTo(addr)
-	if err != nil {
-		t.logf("transport: dial %s: %v", addr, err)
-		return
-	}
-	c.mu.Lock()
-	err = c.enc.Encode(&e)
-	c.mu.Unlock()
-	if err != nil {
-		t.logf("transport: send to %s: %v", addr, err)
-		t.dropConn(addr, c)
+	c := t.connTo(addr)
+	select {
+	case c.ch <- e:
+	case <-c.done:
+		t.logf("transport: conn to %s down, dropping %T", addr, msg)
+	default:
+		t.logf("transport: queue to %s full, dropping %T", addr, msg)
 	}
 }
 
-func (t *TCP) connTo(addr string) (*tcpConn, error) {
+// connTo returns the peer's outbound queue, creating it (and its
+// writer goroutine) on first use. Returns a dead (done-closed) queue
+// when racing Close, so callers simply observe a down connection.
+func (t *TCP) connTo(addr string) *tcpConn {
 	t.mu.RLock()
 	c, ok := t.conns[addr]
 	t.mu.RUnlock()
 	if ok {
-		return c, nil
+		return c
 	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
 	t.mu.Lock()
 	if exist, ok := t.conns[addr]; ok {
 		t.mu.Unlock()
-		conn.Close()
-		return exist, nil
+		return exist
+	}
+	c = &tcpConn{addr: addr, ch: make(chan Envelope, outboundDepth), done: make(chan struct{})}
+	if t.closed {
+		t.mu.Unlock()
+		c.close()
+		return c
 	}
 	t.conns[addr] = c
 	t.mu.Unlock()
+	go t.writeLoop(c)
+	return c
+}
+
+// writeLoop dials the peer and drains its queue in order. Any dial or
+// encode error tears the queue down; queued and future messages drop
+// until a new Send re-creates the connection.
+func (t *TCP) writeLoop(c *tcpConn) {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		t.logf("transport: dial %s: %v", c.addr, err)
+		t.dropConn(c.addr, c)
+		return
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	select {
+	case <-c.done: // closed while dialing
+		conn.Close()
+		return
+	default:
+	}
 	// Responses flow over separately dialed connections from the
 	// peer; this connection is send-only, but drain it so the peer
 	// closing is noticed promptly.
@@ -216,12 +292,24 @@ func (t *TCP) connTo(addr string) (*tcpConn, error) {
 		buf := make([]byte, 1)
 		for {
 			if _, err := conn.Read(buf); err != nil {
-				t.dropConn(addr, c)
+				t.dropConn(c.addr, c)
 				return
 			}
 		}
 	}()
-	return c, nil
+	enc := gob.NewEncoder(countingWriter{w: conn, n: &t.stats})
+	for {
+		select {
+		case e := <-c.ch:
+			if err := enc.Encode(&e); err != nil {
+				t.logf("transport: send to %s: %v", c.addr, err)
+				t.dropConn(c.addr, c)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
 }
 
 func (t *TCP) dropConn(addr string, c *tcpConn) {
@@ -230,14 +318,19 @@ func (t *TCP) dropConn(addr string, c *tcpConn) {
 		delete(t.conns, addr)
 	}
 	t.mu.Unlock()
-	c.conn.Close()
+	c.close()
 }
 
 // Hello announces a locally hosted node's listen address to a remote
 // peer so the peer can route replies back. Call after Listen, before
 // sending requests.
 func (t *TCP) Hello(peerAddr string, self NodeID, selfAddr string) {
-	t.sendRemote(peerAddr, Envelope{From: self, Msg: helloMsg{ID: self, Addr: selfAddr}})
+	c := t.connTo(peerAddr)
+	select {
+	case c.ch <- Envelope{From: self, Msg: helloMsg{ID: self, Addr: selfAddr}}:
+	case <-c.done:
+	default:
+	}
 }
 
 // After schedules f serialized with node on's mailbox.
@@ -259,25 +352,32 @@ func (t *TCP) After(on NodeID, d time.Duration, f func()) clock.Timer {
 // Now returns wall-clock time.
 func (t *TCP) Now() time.Time { return t.clk.Now() }
 
+// Stats snapshots the transport counters (messages, batch envelopes,
+// wire bytes) — served by cmd/mdcc-server /metrics.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
 // Close shuts the listener, connections and mailboxes.
 func (t *TCP) Close() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return
 	}
 	t.closed = true
 	if t.ln != nil {
 		t.ln.Close()
 	}
-	for _, c := range t.conns {
-		c.conn.Close()
-	}
-	for _, mb := range t.local {
-		close(mb.done)
-	}
+	conns := t.conns
+	local := t.local
 	t.local = make(map[NodeID]*mailbox)
 	t.conns = make(map[string]*tcpConn)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	for _, mb := range local {
+		close(mb.done)
+	}
 }
 
 // logf reports a diagnostic if the owner installed a logger; the

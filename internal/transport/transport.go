@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"sync/atomic"
 	"time"
 
 	"mdcc/internal/clock"
@@ -52,4 +53,73 @@ type Network interface {
 
 	// Now returns the network's current (possibly virtual) time.
 	Now() time.Time
+}
+
+// Batch is a coalesced envelope: independent protocol messages —
+// often from different senders and different transactions — bound for
+// the same destination node, shipped as one wire message. The gateway
+// tier's batching layer produces these (generalizing the paper's §7
+// per-transaction batching across transactions); internal/core's
+// message dispatch unpacks them, delivering each item with its own
+// original From. Items preserve send order.
+type Batch struct {
+	Items []Envelope
+}
+
+// Stats counts transport-level activity. The real-time transports
+// (Local, TCP) maintain these; byte counts are TCP-only (Local never
+// serializes).
+type Stats struct {
+	// MsgsSent / MsgsReceived count envelopes handed to Send and
+	// delivered to local handlers (a Batch counts once; its contents
+	// are the Batched* counters).
+	MsgsSent     int64 `json:"msgsSent"`
+	MsgsReceived int64 `json:"msgsReceived"`
+	// BatchesSent / BatchesReceived count Batch envelopes, and
+	// BatchedSent / BatchedReceived the messages carried inside them.
+	BatchesSent     int64 `json:"batchesSent"`
+	BatchesReceived int64 `json:"batchesReceived"`
+	BatchedSent     int64 `json:"batchedSent"`
+	BatchedReceived int64 `json:"batchedReceived"`
+	// BytesSent / BytesReceived count wire bytes (TCP only).
+	BytesSent     int64 `json:"bytesSent"`
+	BytesReceived int64 `json:"bytesReceived"`
+}
+
+// statCounters is the internal atomic mirror of Stats shared by the
+// real-time transports.
+type statCounters struct {
+	msgsSent, msgsReceived       atomic.Int64
+	batchesSent, batchesReceived atomic.Int64
+	batchedSent, batchedReceived atomic.Int64
+	bytesSent, bytesReceived     atomic.Int64
+}
+
+func (c *statCounters) countSend(msg Message) {
+	c.msgsSent.Add(1)
+	if b, ok := msg.(Batch); ok {
+		c.batchesSent.Add(1)
+		c.batchedSent.Add(int64(len(b.Items)))
+	}
+}
+
+func (c *statCounters) countReceive(msg Message) {
+	c.msgsReceived.Add(1)
+	if b, ok := msg.(Batch); ok {
+		c.batchesReceived.Add(1)
+		c.batchedReceived.Add(int64(len(b.Items)))
+	}
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		MsgsSent:        c.msgsSent.Load(),
+		MsgsReceived:    c.msgsReceived.Load(),
+		BatchesSent:     c.batchesSent.Load(),
+		BatchesReceived: c.batchesReceived.Load(),
+		BatchedSent:     c.batchedSent.Load(),
+		BatchedReceived: c.batchedReceived.Load(),
+		BytesSent:       c.bytesSent.Load(),
+		BytesReceived:   c.bytesReceived.Load(),
+	}
 }

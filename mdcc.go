@@ -12,6 +12,15 @@
 //     for experimentation, examples, and tests.
 //   - Dial / cmd/mdcc-server: real TCP servers and clients.
 //
+// In both styles a session either owns a private coordinator (the
+// paper's per-app-server library: Cluster.Session, Dial) or attaches
+// to its data center's shared transaction gateway
+// (Cluster.Gateway(dc).Session(), DialGateway, mdcc-server -gateway),
+// which pools coordinators, batches protocol messages across
+// transactions, coalesces hot-key commutative updates into merged
+// options, and applies admission control — the serving tier for
+// high-fan-in deployments.
+//
 // Transactions follow the paper's model: read whatever you need
 // (read committed), collect a write-set of physical updates
 // (validated against the versions you read — no lost updates) and/or

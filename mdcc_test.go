@@ -340,9 +340,18 @@ func TestModeVariants(t *testing.T) {
 		if ok, err := s.Commit(Insert("mv/1", Value{Attrs: map[string]int64{"x": 1}})); err != nil || !ok {
 			t.Fatalf("mode %v: insert ok=%v err=%v", mode, ok, err)
 		}
-		v, _, exists, _ := s.Read("mv/1")
-		if !exists || v.Attr("x") != 1 {
-			t.Fatalf("mode %v: read %v %v", mode, v, exists)
+		// Visibility is asynchronous: a nearest-replica read can race
+		// the execute message, so poll briefly.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, _, exists, _ := s.Read("mv/1")
+			if exists && v.Attr("x") == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("mode %v: read %v %v", mode, v, exists)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 		c.Close()
 	}

@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
+	"mdcc/internal/record"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
 )
@@ -143,5 +147,147 @@ func Dial(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteSession,
 	cfg := core.Defaults(mode)
 	cfg.Constraints = topo.ConstraintList()
 	coord := core.NewCoordinator(id, dc, net, topo.cluster(), cfg)
-	return &RemoteSession{Session: newSession(id, net, coord, cfg), net: net}, nil
+	return &RemoteSession{Session: newSession(coordBackend{id: id, net: net, coord: coord}, cfg), net: net}, nil
 }
+
+// DialGateway connects a thin client session to the gateway tier of a
+// TCP deployment (a cmd/mdcc-server running with -gateway in dc).
+// Unlike Dial, the client embeds no coordinator: transactions travel
+// as single request/reply RPCs to the gateway, which pools
+// coordinators, batches and coalesces across all attached clients.
+func DialGateway(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteSession, error) {
+	mode, err := topo.ModeValue()
+	if err != nil {
+		return nil, err
+	}
+	addr, ok := topo.Addrs[dc.String()]
+	if !ok {
+		return nil, fmt.Errorf("mdcc: no server address for %s in topology", dc)
+	}
+	net := transport.NewTCP(map[transport.NodeID]string{gateway.GatewayID(dc): addr})
+	selfAddr, err := net.Listen(listen)
+	if err != nil {
+		return nil, err
+	}
+	id := transport.NodeID("client/" + clientID)
+	net.Hello(addr, id, selfAddr)
+	cfg := core.Defaults(mode)
+	cfg.Constraints = topo.ConstraintList()
+	b := &gatewayRPCBackend{id: id, gwID: gateway.GatewayID(dc), net: net}
+	net.Register(id, b.handle)
+	return &RemoteSession{Session: newSession(b, cfg), net: net}, nil
+}
+
+// rpcStaleAfter is how long an unanswered RPC's callback is kept: far
+// beyond any Session timeout, so pruning can never race a live call.
+const rpcStaleAfter = 2 * time.Minute
+
+// gatewayRPCBackend speaks the thin client ⇄ gateway RPC over TCP.
+// Lost replies are abandoned to the Session's timeout; their stale
+// callbacks are pruned as later requests come through (entries older
+// than rpcStaleAfter, swept once the tables grow past a threshold).
+type gatewayRPCBackend struct {
+	id   transport.NodeID
+	gwID transport.NodeID
+	net  *transport.TCP
+
+	mu    sync.Mutex
+	seq   uint64
+	txs   map[uint64]pendingTx
+	reads map[uint64]pendingRead
+}
+
+type pendingTx struct {
+	cb func(bool, error)
+	at time.Time
+}
+
+type pendingRead struct {
+	cb func(record.Value, record.Version, bool)
+	at time.Time
+}
+
+func (b *gatewayRPCBackend) handle(env transport.Envelope) {
+	switch m := env.Msg.(type) {
+	case gateway.MsgTxReply:
+		b.mu.Lock()
+		p, ok := b.txs[m.ReqID]
+		delete(b.txs, m.ReqID)
+		b.mu.Unlock()
+		if ok {
+			if m.Overloaded {
+				p.cb(false, ErrOverloaded)
+			} else {
+				p.cb(m.Committed, nil)
+			}
+		}
+	case gateway.MsgReadReply:
+		b.mu.Lock()
+		p, ok := b.reads[m.ReqID]
+		delete(b.reads, m.ReqID)
+		b.mu.Unlock()
+		if ok {
+			p.cb(m.Value, m.Version, m.Exists)
+		}
+	}
+}
+
+// pruneLocked drops callbacks whose replies are long lost. Swept only
+// when a table has grown past a threshold, so the common case pays
+// nothing.
+func (b *gatewayRPCBackend) pruneLocked(now time.Time) {
+	const sweepAt = 64
+	if len(b.txs) >= sweepAt {
+		for req, p := range b.txs {
+			if now.Sub(p.at) > rpcStaleAfter {
+				delete(b.txs, req)
+			}
+		}
+	}
+	if len(b.reads) >= sweepAt {
+		for req, p := range b.reads {
+			if now.Sub(p.at) > rpcStaleAfter {
+				delete(b.reads, req)
+			}
+		}
+	}
+}
+
+func (b *gatewayRPCBackend) read(key Key, quorum bool, cb func(record.Value, record.Version, bool)) {
+	now := time.Now()
+	b.mu.Lock()
+	b.pruneLocked(now)
+	b.seq++
+	req := b.seq
+	if b.reads == nil {
+		b.reads = make(map[uint64]pendingRead)
+	}
+	b.reads[req] = pendingRead{cb: cb, at: now}
+	b.mu.Unlock()
+	b.net.Send(b.id, b.gwID, gateway.MsgRead{ReqID: req, Key: key, Quorum: quorum})
+}
+
+func (b *gatewayRPCBackend) Read(key Key, cb func(record.Value, record.Version, bool)) {
+	b.read(key, false, cb)
+}
+
+func (b *gatewayRPCBackend) ReadQuorum(key Key, cb func(record.Value, record.Version, bool)) {
+	b.read(key, true, cb)
+}
+
+func (b *gatewayRPCBackend) Commit(updates []Update, done func(bool, error)) {
+	now := time.Now()
+	b.mu.Lock()
+	b.pruneLocked(now)
+	b.seq++
+	req := b.seq
+	if b.txs == nil {
+		b.txs = make(map[uint64]pendingTx)
+	}
+	b.txs[req] = pendingTx{cb: done, at: now}
+	b.mu.Unlock()
+	b.net.Send(b.id, b.gwID, gateway.MsgTx{ReqID: req, Updates: updates})
+}
+
+// Metrics: a thin RPC client holds no protocol counters.
+func (b *gatewayRPCBackend) Metrics() core.CoordMetrics { return core.CoordMetrics{} }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mdcc/internal/core"
+	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
@@ -13,8 +14,9 @@ import (
 
 // startTCPDeployment boots a real five-data-center deployment over
 // loopback TCP (one transport per DC, as cmd/mdcc-server does) and
-// returns its topology.
-func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint) *RemoteTopology {
+// returns its topology. withGateways additionally hosts each DC's
+// gateway tier on its server transport (cmd/mdcc-server -gateway).
+func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint, withGateways bool) *RemoteTopology {
 	t.Helper()
 	// First pass: bind listeners so we know every address.
 	nets := make(map[DC]*transport.TCP)
@@ -29,13 +31,16 @@ func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint) *RemoteTopol
 		addrs[dc.String()] = addr
 		t.Cleanup(net.Close)
 	}
-	// Second pass: install routes and storage nodes.
+	// Second pass: install routes, storage nodes and gateways.
 	cl := topology.NewCluster(topology.Layout{NodesPerDC: 1, Clients: 0, ClientDC: -1})
 	for _, dc := range topology.AllDCs() {
 		net := nets[dc]
 		for _, peer := range topology.AllDCs() {
 			if peer != dc {
 				net.AddRoute(topology.StorageID(peer, 0), addrs[peer.String()])
+				for _, id := range gateway.RouteIDs(peer) {
+					net.AddRoute(id, addrs[peer.String()])
+				}
 			}
 		}
 		cfg := core.Defaults(mode)
@@ -44,6 +49,10 @@ func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint) *RemoteTopol
 		cfg.OptionTimeout = 300 * time.Millisecond
 		cfg.RecoveryRetry = 200 * time.Millisecond
 		core.NewStorageNode(topology.StorageID(dc, 0), dc, net, cl, cfg, kv.NewMemory())
+		if withGateways {
+			gw := gateway.New(dc, net, cl, cfg, GatewayTuning{})
+			t.Cleanup(gw.Close)
+		}
 	}
 	modeName := map[Mode]string{ModeMDCC: "mdcc", ModeFast: "fast", ModeMulti: "multi"}[mode]
 	topo := &RemoteTopology{NodesPerDC: 1, Mode: modeName, Addrs: addrs}
@@ -51,7 +60,7 @@ func startTCPDeployment(t *testing.T, mode Mode, cons []Constraint) *RemoteTopol
 }
 
 func TestTCPDeploymentEndToEnd(t *testing.T) {
-	topo := startTCPDeployment(t, ModeMDCC, []Constraint{MinBound("stock", 0)})
+	topo := startTCPDeployment(t, ModeMDCC, []Constraint{MinBound("stock", 0)}, false)
 	sess, err := Dial(topo, USWest, "t1", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +110,7 @@ func TestTCPDeploymentEndToEnd(t *testing.T) {
 }
 
 func TestTCPConflictDetection(t *testing.T) {
-	topo := startTCPDeployment(t, ModeMDCC, nil)
+	topo := startTCPDeployment(t, ModeMDCC, nil, false)
 	a, err := Dial(topo, USWest, "a", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -16,15 +16,57 @@ var ErrTimeout = errors.New("mdcc: operation timed out")
 // ErrClosed is returned on sessions whose cluster has shut down.
 var ErrClosed = errors.New("mdcc: session closed")
 
-// Session is a blocking client facade over the callback-based
-// coordinator (the paper's app-server DB library). Sessions are safe
-// for concurrent use: every call is funneled through the session
-// node's serialized executor.
+// ErrOverloaded is returned when a gateway's admission control sheds
+// a transaction (bounded in-flight window and backlog both full).
+// The transaction was never submitted; retrying later is safe.
+var ErrOverloaded = errors.New("mdcc: gateway overloaded")
+
+// backend is what a Session drives: either a private coordinator (the
+// paper's per-app-server DB library) or a shared gateway tier. All
+// methods are safe to call from any goroutine; callbacks may fire on
+// transport handler goroutines.
+type backend interface {
+	Read(key Key, cb func(record.Value, record.Version, bool))
+	ReadQuorum(key Key, cb func(record.Value, record.Version, bool))
+	Commit(updates []Update, done func(committed bool, err error))
+	Metrics() core.CoordMetrics
+}
+
+// coordBackend drives a session-private core.Coordinator, funneling
+// every call through the coordinator node's serialized executor.
+type coordBackend struct {
+	id    transport.NodeID
+	net   transport.Network
+	coord *core.Coordinator
+}
+
+func (b coordBackend) Read(key Key, cb func(record.Value, record.Version, bool)) {
+	b.net.After(b.id, 0, func() { b.coord.Read(key, cb) })
+}
+
+func (b coordBackend) ReadQuorum(key Key, cb func(record.Value, record.Version, bool)) {
+	b.net.After(b.id, 0, func() { b.coord.ReadQuorum(key, cb) })
+}
+
+func (b coordBackend) Commit(updates []Update, done func(bool, error)) {
+	b.net.After(b.id, 0, func() {
+		b.coord.Commit(updates, func(r core.CommitResult) { done(r.Committed, nil) })
+	})
+}
+
+func (b coordBackend) Metrics() core.CoordMetrics { return b.coord.Metrics() }
+
+// Session is a blocking client facade over a callback-based backend —
+// a private coordinator (the paper's app-server DB library) or a
+// shared DC-local gateway (see Cluster.Gateway). Sessions are safe
+// for concurrent use.
 type Session struct {
-	id      transport.NodeID
-	net     transport.Network
-	coord   *core.Coordinator
+	b       backend
 	timeout time.Duration
+
+	// gwMetrics, when non-nil, exposes the gateway tier this session
+	// is attached to.
+	gwMetrics func() GatewayMetrics
 
 	// Session guarantees (§4.2): when enabled, reads never go
 	// backwards within the session (monotonic reads) and observe the
@@ -36,17 +78,14 @@ type Session struct {
 	seen      map[Key]Version
 }
 
-func newSession(id transport.NodeID, net transport.Network, coord *core.Coordinator, cfg core.Config) *Session {
+func newSession(b backend, cfg core.Config) *Session {
 	// A blocking call can legitimately span several recoveries.
 	timeout := 4*cfg.OptionTimeout + 4*cfg.RecoveryRetry
 	if timeout < 2*time.Second {
 		timeout = 2 * time.Second
 	}
-	return &Session{id: id, net: net, coord: coord, timeout: timeout}
+	return &Session{b: b, timeout: timeout}
 }
-
-// do runs f in the session node's handler context.
-func (s *Session) do(f func()) { s.net.After(s.id, 0, f) }
 
 // EnableSessionGuarantees turns on monotonic reads and
 // read-your-writes for this session (§4.2). Reads that would go
@@ -112,18 +151,17 @@ func (s *Session) Read(key Key) (val Value, ver Version, exists bool, err error)
 	return val, ver, exists, err
 }
 
+type readRes struct {
+	val record.Value
+	ver record.Version
+	ok  bool
+}
+
 // readLocal is the plain nearest-replica read.
 func (s *Session) readLocal(key Key) (val Value, ver Version, exists bool, err error) {
-	type res struct {
-		val record.Value
-		ver record.Version
-		ok  bool
-	}
-	ch := make(chan res, 1)
-	s.do(func() {
-		s.coord.Read(key, func(v record.Value, vr record.Version, ok bool) {
-			ch <- res{v, vr, ok}
-		})
+	ch := make(chan readRes, 1)
+	s.b.Read(key, func(v record.Value, vr record.Version, ok bool) {
+		ch <- readRes{v, vr, ok}
 	})
 	select {
 	case r := <-ch:
@@ -138,16 +176,9 @@ func (s *Session) readLocal(key Key) (val Value, ver Version, exists bool, err e
 // strictly fresher than a local read after outages or message loss,
 // at the cost of a wide-area quorum round trip.
 func (s *Session) ReadLatest(key Key) (val Value, ver Version, exists bool, err error) {
-	type res struct {
-		val record.Value
-		ver record.Version
-		ok  bool
-	}
-	ch := make(chan res, 1)
-	s.do(func() {
-		s.coord.ReadQuorum(key, func(v record.Value, vr record.Version, ok bool) {
-			ch <- res{v, vr, ok}
-		})
+	ch := make(chan readRes, 1)
+	s.b.ReadQuorum(key, func(v record.Value, vr record.Version, ok bool) {
+		ch <- readRes{v, vr, ok}
 	})
 	select {
 	case r := <-ch:
@@ -163,15 +194,13 @@ func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bo
 	vers = make([]Version, len(keys))
 	exist = make([]bool, len(keys))
 	done := make(chan int, len(keys))
-	s.do(func() {
-		for i, k := range keys {
-			i := i
-			s.coord.Read(k, func(v record.Value, vr record.Version, ok bool) {
-				vals[i], vers[i], exist[i] = v, vr, ok
-				done <- i
-			})
-		}
-	})
+	for i, k := range keys {
+		i := i
+		s.b.Read(k, func(v record.Value, vr record.Version, ok bool) {
+			vals[i], vers[i], exist[i] = v, vr, ok
+			done <- i
+		})
+	}
 	for range keys {
 		select {
 		case <-done:
@@ -184,15 +213,22 @@ func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bo
 
 // Commit atomically applies the write-set: either every update
 // becomes durable or none does. committed is false when a write-write
-// conflict or constraint violation rejected an option.
+// conflict or constraint violation rejected an option — or, for
+// gateway sessions, when admission control shed the transaction
+// (err == ErrOverloaded).
 func (s *Session) Commit(updates ...Update) (committed bool, err error) {
-	ch := make(chan bool, 1)
-	s.do(func() {
-		s.coord.Commit(updates, func(r core.CommitResult) { ch <- r.Committed })
-	})
+	type res struct {
+		ok  bool
+		err error
+	}
+	ch := make(chan res, 1)
+	s.b.Commit(updates, func(ok bool, cerr error) { ch <- res{ok, cerr} })
 	select {
-	case ok := <-ch:
-		if ok {
+	case r := <-ch:
+		if r.err != nil {
+			return false, r.err
+		}
+		if r.ok {
 			// Read-your-writes: physical updates produce a known new
 			// version (vread+1); commutative deltas do not, so they
 			// are not tracked.
@@ -202,7 +238,7 @@ func (s *Session) Commit(updates ...Update) (committed bool, err error) {
 				}
 			}
 		}
-		return ok, nil
+		return r.ok, nil
 	case <-time.After(s.timeout):
 		return false, ErrTimeout
 	}
@@ -315,5 +351,19 @@ func (t *TxView) Add(key Key, deltas map[string]int64) {
 	t.updates = append(t.updates, Commutative(key, deltas))
 }
 
-// Metrics exposes the session coordinator's protocol counters.
-func (s *Session) Metrics() core.CoordMetrics { return s.coord.Metrics() }
+// Metrics exposes the session backend's protocol counters. For
+// gateway sessions, only the outcome counters (Commits, Aborts) are
+// populated live — protocol internals belong to the shared pool; see
+// GatewayMetrics.
+func (s *Session) Metrics() core.CoordMetrics { return s.b.Metrics() }
+
+// GatewayMetrics reports the gateway tier's operational metrics
+// (queue depth, coalesce ratio, batch fan-in) when this session is
+// attached to one; ok is false for sessions with a private
+// coordinator.
+func (s *Session) GatewayMetrics() (m GatewayMetrics, ok bool) {
+	if s.gwMetrics == nil {
+		return GatewayMetrics{}, false
+	}
+	return s.gwMetrics(), true
+}
