@@ -100,10 +100,18 @@ func gatewayBench() {
 	row(cmp.Baseline)
 	row(cmp.Gateway)
 	if g := cmp.Gateway.Gateway; g != nil {
-		fmt.Printf("gateway internals: %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f\n",
-			g.MergedOptions, g.MergedUpdates, g.CoalesceRatio, g.MergeSplits, g.AdmissionRejects, g.BatchFanIn)
+		fmt.Printf("gateway internals: %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f, %d escrow snapshots folded\n",
+			g.MergedOptions, g.MergedUpdates, g.CoalesceRatio, g.MergeSplits, g.AdmissionRejects, g.BatchFanIn, g.EscrowUpdates)
 	}
 	fmt.Printf("speedup: %.2fx committed tx/s; acceptor msgs/commit reduced %.1fx\n", cmp.Speedup, cmp.MsgDrop)
+	if s := cmp.Scarce; s != nil {
+		fmt.Printf("scarce stock arm: %d commits %d aborts, %d demarcation rejects at acceptors", s.Commits, s.Aborts, s.DemarcationRejects)
+		if g := s.Gateway; g != nil {
+			fmt.Printf("; gateway: %d merged options carrying %d updates, %d splits, %d bypassed on exhausted headroom",
+				g.MergedOptions, g.MergedUpdates, g.MergeSplits, g.CoalesceBypass)
+		}
+		fmt.Println()
+	}
 	blob, err := json.MarshalIndent(cmp, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)

@@ -16,7 +16,10 @@
 //	                                      // executed/discarded options,
 //	                                      // demarcation rejects, sweeps,
 //	                                      // BatchEnvelopes/BatchItems
-//	                                      // (gateway batch fan-in)
+//	                                      // (gateway batch fan-in),
+//	                                      // VoteBatchEnvelopes/Items
+//	                                      // (acceptor→coordinator vote
+//	                                      // batching fan-in)
 //	  }],
 //	  "transport": {                      // transport.Stats, whole process
 //	    "msgsSent": 0, "msgsReceived": 0, // envelopes in/out (TCP+local)
@@ -36,6 +39,15 @@
 //	    "mergedUpdates": 0,               // client updates inside them
 //	    "mergeSplits": 0,                 // rejected merges re-run singly
 //	    "coalesceRatio": 0.0,             // mergedUpdates / submitted
+//	    "escrowUpdates": 0,               // piggybacked escrow snapshots
+//	                                      // folded into headroom accounts
+//	    "escrowStale": 0,                 // snapshots dropped as stale
+//	    "trackedKeys": 0,                 // gauge: keys with a live
+//	                                      // headroom account
+//	    "minHeadroom": -1,                // gauge: tightest remaining
+//	                                      // shared demarcation headroom
+//	                                      // (-1 = none tracked; 0 = merge
+//	                                      // admission currently bypassing)
 //	    "admissionRejects": 0,            // shed with ErrOverloaded
 //	    "inflight": 0, "queueDepth": 0,   // current admission state
 //	    "queuePeak": 0,

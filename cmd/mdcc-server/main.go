@@ -22,7 +22,6 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
-	"time"
 
 	"mdcc"
 	"mdcc/internal/core"
@@ -136,9 +135,9 @@ func main() {
 			MaxInflight:    *gwInflight,
 		}
 		gw = gateway.New(dc, net, cl, cfg, tun)
-		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s)",
-			gw.ID(), orDefault(*gwPool, 4), orDefaultDur(*gwBatch, 2*time.Millisecond),
-			orDefaultDur(*gwCoalesce, 5*time.Millisecond))
+		resolved := gw.Tuning()
+		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s, headroom share 1/%d)",
+			gw.ID(), resolved.Pool, resolved.BatchWindow, resolved.CoalesceWindow, resolved.HeadroomShare)
 	}
 	log.Printf("%s serving on %s", dc, bound)
 	if *httpAddr != "" {
@@ -156,18 +155,4 @@ func main() {
 	for _, s := range stores {
 		_ = s.Close()
 	}
-}
-
-func orDefault(v, def int) int {
-	if v > 0 {
-		return v
-	}
-	return def
-}
-
-func orDefaultDur(v, def time.Duration) time.Duration {
-	if v > 0 {
-		return v
-	}
-	return def
 }

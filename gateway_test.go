@@ -33,6 +33,22 @@ func TestGatewaySessionsCoalesceHotKey(t *testing.T) {
 	// shape a flash sale produces. Two hot keys make two merge windows
 	// flush concurrently, so their options share batch envelopes.
 	gw := c.Gateway(USWest)
+	// Warm the gateway's escrow headroom accounts first: admission is
+	// conservative (no merging) until an acceptor-piggybacked snapshot
+	// arrives, and a read reply carries one per key.
+	warm := gw.Session()
+	for _, k := range keys {
+		if _, _, _, err := warm.Read(k); err != nil {
+			t.Fatalf("warm read %s: %v", k, err)
+		}
+	}
+	warmDeadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().TrackedKeys < int64(len(keys)) {
+		if time.Now().After(warmDeadline) {
+			t.Fatalf("escrow snapshots never arrived: %+v", gw.Metrics())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	const burst = 128
 	var wg sync.WaitGroup
 	var mu sync.Mutex

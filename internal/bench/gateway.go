@@ -40,31 +40,42 @@ type GatewayScale struct {
 	ServiceTime time.Duration
 	Warmup      time.Duration
 	Measure     time.Duration
+
+	// ScarceStock and ScarceMeasure size the scarce-stock arm: the
+	// same stampede against stock low enough that the demarcation
+	// bound binds, exercising the exact-headroom admission (merges
+	// only when shared headroom exists; split-and-rerun stays rare).
+	ScarceStock   int64
+	ScarceMeasure time.Duration
 }
 
 // GatewayPaperScale is the full saturation setting: 1000 sessions.
 func GatewayPaperScale() GatewayScale {
 	return GatewayScale{
-		Sessions:     1000,
-		HotKeys:      4,
-		InitialStock: 50_000_000,
-		NodesPerDC:   2,
-		ServiceTime:  time.Millisecond,
-		Warmup:       10 * time.Second,
-		Measure:      60 * time.Second,
+		Sessions:      1000,
+		HotKeys:       4,
+		InitialStock:  50_000_000,
+		NodesPerDC:    2,
+		ServiceTime:   time.Millisecond,
+		Warmup:        10 * time.Second,
+		Measure:       60 * time.Second,
+		ScarceStock:   12_000,
+		ScarceMeasure: 20 * time.Second,
 	}
 }
 
 // GatewayQuickScale shrinks the run for CI smoke (~1/5 scale).
 func GatewayQuickScale() GatewayScale {
 	return GatewayScale{
-		Sessions:     200,
-		HotKeys:      4,
-		InitialStock: 10_000_000,
-		NodesPerDC:   2,
-		ServiceTime:  time.Millisecond,
-		Warmup:       5 * time.Second,
-		Measure:      20 * time.Second,
+		Sessions:      200,
+		HotKeys:       4,
+		InitialStock:  10_000_000,
+		NodesPerDC:    2,
+		ServiceTime:   time.Millisecond,
+		Warmup:        5 * time.Second,
+		Measure:       20 * time.Second,
+		ScarceStock:   1_200,
+		ScarceMeasure: 10 * time.Second,
 	}
 }
 
@@ -84,6 +95,13 @@ type GatewayRun struct {
 	// batching: envelopes unpacked and the messages inside them.
 	AcceptorBatchEnvelopes int64 `json:"acceptorBatchEnvelopes"`
 	AcceptorBatchItems     int64 `json:"acceptorBatchItems"`
+	// Acceptor→coordinator vote batching (the piggyback freshness
+	// channel's wire cost amortization).
+	VoteBatchEnvelopes int64 `json:"voteBatchEnvelopes"`
+	VoteBatchItems     int64 `json:"voteBatchItems"`
+	// DemarcationRejects counts fast-path escrow rejections at the
+	// acceptors (scarce arm: how often admission was arbitrated there).
+	DemarcationRejects int64 `json:"demarcationRejects,omitempty"`
 
 	// Gateway-side metrics (gateway arm only).
 	Gateway *gateway.Metrics `json:"gateway,omitempty"`
@@ -100,10 +118,16 @@ type GatewayComparison struct {
 	Gateway  GatewayRun `json:"gateway"`
 	Speedup  float64    `json:"speedupTPS"`           // gateway.TPS / baseline.TPS
 	MsgDrop  float64    `json:"acceptorMsgReduction"` // baseline msgs/commit ÷ gateway msgs/commit
-	Quick    bool       `json:"quick,omitempty"`
+	// Scarce is the gateway arm re-run at ScarceStock, where the
+	// demarcation bound binds: exact headroom accounting should merge
+	// only inside real shared headroom (low MergeSplits) while the
+	// acceptors arbitrate the rest (CoalesceBypass, DemarcationRejects).
+	Scarce *GatewayRun `json:"scarce,omitempty"`
+	Quick  bool        `json:"quick,omitempty"`
 }
 
-// GatewaySaturation runs both arms and compares.
+// GatewaySaturation runs both arms (plus the scarce-stock gateway
+// arm) and compares.
 func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 	base := runGatewayArm(seed, sc, false)
 	gw := runGatewayArm(seed, sc, true)
@@ -120,6 +144,17 @@ func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 	}
 	if gw.AcceptorMsgsPerCommit > 0 {
 		cmp.MsgDrop = base.AcceptorMsgsPerCommit / gw.AcceptorMsgsPerCommit
+	}
+	if sc.ScarceStock > 0 {
+		scarce := sc
+		scarce.InitialStock = sc.ScarceStock
+		scarce.Warmup = 0 // measure the whole burn-down to exhaustion
+		if sc.ScarceMeasure > 0 {
+			scarce.Measure = sc.ScarceMeasure
+		}
+		run := runGatewayArm(seed, scarce, true)
+		run.Mode = "gateway-scarce"
+		cmp.Scarce = &run
 	}
 	return cmp
 }
@@ -250,6 +285,9 @@ func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
 		m := n.Metrics()
 		res.AcceptorBatchEnvelopes += m.BatchEnvelopes
 		res.AcceptorBatchItems += m.BatchItems
+		res.VoteBatchEnvelopes += m.VoteBatchEnvelopes
+		res.VoteBatchItems += m.VoteBatchItems
+		res.DemarcationRejects += m.DemarcationRejects
 	}
 	if useGateway {
 		var agg gateway.Metrics

@@ -21,6 +21,12 @@ type Op struct {
 	Client    int
 	Updates   []record.Update
 	Committed bool
+	// Unknown marks an op whose outcome was never acknowledged — the
+	// client-side process (e.g. a gateway) died with the ack in flight.
+	// The protocol still settles the transaction (the dangling-option
+	// sweep forces a decision), so the state may or may not contain
+	// its effects; Validate bounds the invariants accordingly.
+	Unknown bool
 }
 
 // History collects operations from all wrapped clients of a run.
@@ -71,6 +77,33 @@ func (rc *recordingClient) Commit(updates []record.Update, done func(bool)) {
 
 func (rc *recordingClient) SupportsCommutative() bool { return mtx.Commutative(rc.inner) }
 
+// Orphan records an op whose outcome will never be acknowledged (the
+// submitting tier died mid-flight). Harnesses call this instead of
+// letting the op vanish from the history, which would make exact
+// version/conservation accounting flag the op's possible effects as
+// corruption.
+func (h *History) Orphan(client int, updates []record.Update) {
+	h.mu.Lock()
+	h.seq++
+	h.ops = append(h.ops, Op{
+		Seq: h.seq, Client: client,
+		Updates: append([]record.Update(nil), updates...),
+		Unknown: true,
+	})
+	h.mu.Unlock()
+}
+
+// Unknowns counts recorded unknown-outcome ops.
+func (h *History) Unknowns() int {
+	n := 0
+	for _, op := range h.Ops() {
+		if op.Unknown {
+			n++
+		}
+	}
+	return n
+}
+
 // FinalState reads the authoritative end-of-run state of a key
 // (typically from a storage replica after quiescence).
 type FinalState func(key record.Key) (val record.Value, ver record.Version, exists bool)
@@ -92,6 +125,13 @@ type FinalState func(key record.Key) (val record.Value, ver record.Version, exis
 //     final = initial + Σ committed deltas.
 //  4. Constraint safety: the final value satisfies every declared
 //     constraint.
+//
+// Unknown-outcome ops (see Op.Unknown) relax the exact checks to
+// bounds: the final version must fall in [committed, committed +
+// unknown writes] and a commutative attribute in [Σ committed +
+// Σ unknown decrements, Σ committed + Σ unknown increments] — any
+// state outside those envelopes is still corruption no crash can
+// explain.
 func (h *History) Validate(initial map[record.Key]record.Value, final FinalState, cons []record.Constraint) []error {
 	ops := h.Ops()
 	var errs []error
@@ -103,17 +143,48 @@ func (h *History) Validate(initial map[record.Key]record.Value, final FinalState
 		sawPhysical   bool
 		sawComm       bool
 		lastTombstone bool
+
+		// Unknown-outcome bounds.
+		unknownWrites int // unknown non-read-check updates touching the key
+		unknownPhys   bool
+		unknownNeg    map[string]int64 // <= 0, worst-case unapplied/applied split
+		unknownPos    map[string]int64 // >= 0
 	}
 	stats := make(map[record.Key]*keyStats)
 	ks := func(k record.Key) *keyStats {
 		s, ok := stats[k]
 		if !ok {
-			s = &keyStats{physVreads: make(map[record.Version]int), deltas: make(map[string]int64)}
+			s = &keyStats{
+				physVreads: make(map[record.Version]int),
+				deltas:     make(map[string]int64),
+				unknownNeg: make(map[string]int64),
+				unknownPos: make(map[string]int64),
+			}
 			stats[k] = s
 		}
 		return s
 	}
 	for _, op := range ops {
+		if op.Unknown {
+			for _, up := range op.Updates {
+				s := ks(up.Key)
+				switch up.Kind {
+				case record.KindPhysical:
+					s.unknownWrites++
+					s.unknownPhys = true
+				case record.KindCommutative:
+					s.unknownWrites++
+					for attr, d := range up.Deltas {
+						if d < 0 {
+							s.unknownNeg[attr] += d
+						} else {
+							s.unknownPos[attr] += d
+						}
+					}
+				}
+			}
+			continue
+		}
 		if !op.Committed {
 			continue
 		}
@@ -151,23 +222,43 @@ func (h *History) Validate(initial map[record.Key]record.Value, final FinalState
 		if preloaded {
 			initVer = 1
 		}
-		// 2. Version accounting.
-		if want := initVer + record.Version(s.committed); ver != want {
-			errs = append(errs, fmt.Errorf(
-				"check: %s: final version %d, want %d (initial %d + %d committed writes)",
-				key, ver, want, initVer, s.committed))
+		// 2. Version accounting: exact, or bounded when unknown-outcome
+		// ops touched the key (each unknown write may or may not have
+		// committed).
+		lo := initVer + record.Version(s.committed)
+		hi := lo + record.Version(s.unknownWrites)
+		if ver < lo || ver > hi {
+			if lo == hi {
+				errs = append(errs, fmt.Errorf(
+					"check: %s: final version %d, want %d (initial %d + %d committed writes)",
+					key, ver, lo, initVer, s.committed))
+			} else {
+				errs = append(errs, fmt.Errorf(
+					"check: %s: final version %d outside [%d, %d] (initial %d + %d committed + up to %d unknown writes)",
+					key, ver, lo, hi, initVer, s.committed, s.unknownWrites))
+			}
 		}
-		// 3. Conservation for purely commutative keys.
-		if s.sawComm && !s.sawPhysical {
+		// 3. Conservation for purely commutative keys (unknown physical
+		// ops void the interval — the key class is no longer delta-only).
+		if s.sawComm && !s.sawPhysical && !s.unknownPhys {
 			if !exists && preloaded {
 				errs = append(errs, fmt.Errorf("check: %s: commutative-only key vanished", key))
 			} else {
 				for attr, delta := range s.deltas {
-					want := init.Attr(attr) + delta
-					if got := val.Attr(attr); got != want {
-						errs = append(errs, fmt.Errorf(
-							"check: %s.%s: final %d, want %d (initial %d + Σdeltas %d)",
-							key, attr, got, want, init.Attr(attr), delta))
+					base := init.Attr(attr) + delta
+					got := val.Attr(attr)
+					aLo := base + s.unknownNeg[attr]
+					aHi := base + s.unknownPos[attr]
+					if got < aLo || got > aHi {
+						if aLo == aHi {
+							errs = append(errs, fmt.Errorf(
+								"check: %s.%s: final %d, want %d (initial %d + Σdeltas %d)",
+								key, attr, got, base, init.Attr(attr), delta))
+						} else {
+							errs = append(errs, fmt.Errorf(
+								"check: %s.%s: final %d outside [%d, %d] (initial %d + Σcommitted %d ± unknown deltas)",
+								key, attr, got, aLo, aHi, init.Attr(attr), delta))
+						}
 					}
 				}
 			}
@@ -181,8 +272,9 @@ func (h *History) Validate(initial map[record.Key]record.Value, final FinalState
 				}
 			}
 		}
-		// Tombstone bookkeeping consistency.
-		if s.sawPhysical && s.lastTombstone && exists && !s.sawComm {
+		// Tombstone bookkeeping consistency (moot when an unknown
+		// physical op may have rewritten the key after the delete).
+		if s.sawPhysical && s.lastTombstone && exists && !s.sawComm && !s.unknownPhys {
 			errs = append(errs, fmt.Errorf("check: %s: last committed write was a delete but the record exists", key))
 		}
 	}
@@ -192,9 +284,12 @@ func (h *History) Validate(initial map[record.Key]record.Value, final FinalState
 // Summary returns commit/abort counts for reporting.
 func (h *History) Summary() (commits, aborts int) {
 	for _, op := range h.Ops() {
-		if op.Committed {
+		switch {
+		case op.Unknown:
+			// neither: outcome unacknowledged (see Unknowns)
+		case op.Committed:
 			commits++
-		} else {
+		default:
 			aborts++
 		}
 	}

@@ -34,6 +34,15 @@ type StorageNode struct {
 	oplog      *wal.Log // non-nil for durable nodes (see restart.go)
 	halted     bool
 
+	// Outbound vote batching: votes produced while dispatching one
+	// inbound envelope are buffered per destination coordinator and
+	// flushed as one transport.Batch when the dispatch finishes (see
+	// handle / sendVote). Zero added latency: nothing is ever held
+	// across dispatches.
+	dispatchDepth int
+	voteBuf       map[transport.NodeID][]transport.Envelope
+	voteOrder     []transport.NodeID
+
 	// Counters (read via Metrics).
 	nVotesAccept, nVotesReject int64
 	nForwarded                 int64
@@ -44,6 +53,8 @@ type StorageNode struct {
 	nSweeps                    int64
 	nBatchEnvelopes            int64
 	nBatchItems                int64
+	nVoteBatchEnvelopes        int64
+	nVoteBatchItems            int64
 }
 
 // recState is the acceptor's per-record Paxos state: the promised and
@@ -78,6 +89,7 @@ func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 		recs:       make(map[record.Key]*recState),
 		ldrs:       make(map[record.Key]*leaderRec),
 		recoveries: make(map[uint64]*txRecovery),
+		voteBuf:    make(map[transport.NodeID][]transport.Envelope),
 	}
 	net.Register(id, n.handle)
 	if cfg.PendingTimeout > 0 {
@@ -95,11 +107,23 @@ func (n *StorageNode) ID() transport.NodeID { return n.id }
 // Store exposes the committed-state store (reads, tests, tools).
 func (n *StorageNode) Store() *kv.Store { return n.store }
 
-// handle dispatches every message addressed to this node.
+// handle dispatches every message addressed to this node. While a
+// top-level dispatch runs, outbound votes are buffered per destination
+// and flushed when it returns (dispatch recurses for Batch items, so
+// the votes of a whole gateway-coalesced envelope share wire messages).
 func (n *StorageNode) handle(env transport.Envelope) {
 	if n.halted {
 		return
 	}
+	n.dispatchDepth++
+	n.dispatch(env)
+	n.dispatchDepth--
+	if n.dispatchDepth == 0 {
+		n.flushVotes()
+	}
+}
+
+func (n *StorageNode) dispatch(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case transport.Batch:
 		// A gateway-coalesced envelope: unpack and dispatch each item
@@ -181,13 +205,94 @@ func (n *StorageNode) leaderFor(key record.Key) transport.NodeID {
 	return n.cl.ReplicaIn(key, n.cfg.masterDC(key))
 }
 
-// onRead serves committed state only (read committed, §4.1).
+// onRead serves committed state only (read committed, §4.1). The
+// reply piggybacks the replica's escrow snapshot so gateways bootstrap
+// exact headroom accounts from any read.
 func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
 	val, ver, ok := n.store.Get(m.Key)
 	exists := ok && !val.Tombstone
 	n.net.Send(n.id, from, MsgReadReply{
 		ReqID: m.ReqID, Key: m.Key, Value: val, Version: ver, Exists: exists,
+		Escrow: n.escrowSnap(m.Key, val, ver),
 	})
+}
+
+// escrowSnap captures the acceptor's demarcation inputs for key: the
+// committed base of every constrained attribute plus the worst-case
+// pending movement of the unresolved accepted votes. Snapshots ride
+// votes and read replies (the piggyback freshness channel); Version
+// lets consumers order snapshots from different replicas.
+func (n *StorageNode) escrowSnap(key record.Key, val record.Value, ver record.Version) EscrowSnap {
+	if len(n.cfg.Constraints) == 0 {
+		return EscrowSnap{}
+	}
+	var pending []VotedOption
+	if r, ok := n.recs[key]; ok {
+		pending = r.votes
+	}
+	snap := EscrowSnap{Valid: true, Version: ver}
+	for _, con := range n.cfg.Constraints {
+		down, up := pendingSums(pending, con.Attr)
+		snap.Attrs = append(snap.Attrs, AttrEscrow{
+			Attr: con.Attr, Base: val.Attrs[con.Attr], PendDown: down, PendUp: up,
+		})
+	}
+	return snap
+}
+
+// pendingSums splits the accepted pending commutative deltas on attr
+// into worst-case downward and upward movement (the escrow pending
+// account of §3.4.2).
+func pendingSums(pending []VotedOption, attr string) (down, up int64) {
+	for _, v := range pending {
+		if v.Decision != DecAccept || v.Opt.Update.Kind != record.KindCommutative {
+			continue
+		}
+		d := v.Opt.Update.Deltas[attr]
+		if d < 0 {
+			down += d
+		} else {
+			up += d
+		}
+	}
+	return down, up
+}
+
+// sendVote routes an acceptor→coordinator vote through the outbound
+// vote buffer: votes produced while one inbound envelope is being
+// dispatched coalesce per destination into one transport.Batch (the
+// §7 batching generalized to the vote direction). With batching
+// disabled (or outside a dispatch) votes are sent directly.
+func (n *StorageNode) sendVote(to transport.NodeID, msg transport.Message) {
+	if n.cfg.DisableBatching || n.dispatchDepth == 0 {
+		n.net.Send(n.id, to, msg)
+		return
+	}
+	if _, ok := n.voteBuf[to]; !ok {
+		n.voteOrder = append(n.voteOrder, to)
+	}
+	n.voteBuf[to] = append(n.voteBuf[to], transport.Envelope{From: n.id, To: to, Msg: msg})
+}
+
+// flushVotes drains the per-destination vote buffers accumulated by
+// the dispatch that just finished (FIFO per destination, so vote
+// order per (acceptor, coordinator) pair is preserved).
+func (n *StorageNode) flushVotes() {
+	if len(n.voteOrder) == 0 {
+		return
+	}
+	for _, to := range n.voteOrder {
+		items := n.voteBuf[to]
+		delete(n.voteBuf, to)
+		if len(items) == 1 {
+			n.net.Send(n.id, to, items[0].Msg)
+			continue
+		}
+		n.nVoteBatchEnvelopes++
+		n.nVoteBatchItems += int64(len(items))
+		n.net.Send(n.id, to, transport.Batch{Items: items})
+	}
+	n.voteOrder = n.voteOrder[:0]
 }
 
 // onProposeFast handles a master-bypassing proposal (§3.3). In a fast
@@ -195,7 +300,7 @@ func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
 // forwards to the record's leader and tells the coordinator where it
 // went.
 func (n *StorageNode) onProposeFast(m MsgProposeFast) {
-	n.net.Send(n.id, m.Opt.Coord, n.proposeVote(m.Opt))
+	n.sendVote(m.Opt.Coord, n.proposeVote(m.Opt))
 }
 
 // onProposeBatch votes on every option of a transaction destined for
@@ -208,12 +313,24 @@ func (n *StorageNode) onProposeBatch(m MsgProposeBatch) {
 	for _, opt := range m.Opts {
 		batch.Votes = append(batch.Votes, n.proposeVote(opt))
 	}
-	n.net.Send(n.id, m.Opts[0].Coord, batch)
+	n.sendVote(m.Opts[0].Coord, batch)
 }
 
 // proposeVote computes this acceptor's Phase2b answer for one
-// proposed option (voting, resending, or forwarding to the leader).
+// proposed option and, for commutative options, piggybacks the
+// record's escrow snapshot (taken after the vote, so it reflects it).
 func (n *StorageNode) proposeVote(opt Option) MsgVote {
+	vote := n.voteFor(opt)
+	if opt.Update.Kind == record.KindCommutative && len(n.cfg.Constraints) > 0 {
+		val, ver, _ := n.store.Get(opt.Update.Key)
+		vote.Escrow = n.escrowSnap(opt.Update.Key, val, ver)
+	}
+	return vote
+}
+
+// voteFor votes on one proposed option (voting, resending, or
+// forwarding to the leader).
+func (n *StorageNode) voteFor(opt Option) MsgVote {
 	key := opt.Update.Key
 	r := n.rs(key)
 	id := opt.ID()
@@ -373,22 +490,20 @@ func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bo
 // the (N-Q_F)/N headroom can be stranded on other replicas. Classic
 // ballots are serialized by the leader, so the raw bound applies.
 func (n *StorageNode) deltaSafe(pending []VotedOption, val record.Value, attr string, delta int64, con record.Constraint, fast bool) bool {
-	base := val.Attrs[attr]
+	pendDown, pendUp := pendingSums(pending, attr)
+	return DeltaSafe(val.Attrs[attr], pendDown, pendUp, delta, con, n.q, fast)
+}
+
+// DeltaSafe is the escrow admission predicate shared by acceptors and
+// their mirrors (the gateway tier's headroom accounting, parity fuzz
+// oracles): would accepting one more delta on top of the worst-case
+// pending movement keep the constraint safe under every commit/abort
+// permutation? fast selects the quorum demarcation limits instead of
+// the raw bounds.
+func DeltaSafe(base, pendDown, pendUp, delta int64, con record.Constraint, q paxos.Quorum, fast bool) bool {
 	// Worst-case pending movement: for the lower bound, every
 	// outstanding decrement commits and every increment aborts;
 	// symmetric for the upper bound.
-	var pendDown, pendUp int64
-	for _, v := range pending {
-		if v.Decision != DecAccept || v.Opt.Update.Kind != record.KindCommutative {
-			continue
-		}
-		d := v.Opt.Update.Deltas[attr]
-		if d < 0 {
-			pendDown += d
-		} else {
-			pendUp += d
-		}
-	}
 	if delta < 0 {
 		pendDown += delta
 	} else {
@@ -397,7 +512,7 @@ func (n *StorageNode) deltaSafe(pending []VotedOption, val record.Value, attr st
 	if con.Min != nil {
 		lim := *con.Min
 		if fast {
-			lim = demarcationLow(*con.Min, base, n.q)
+			lim = DemarcationLow(*con.Min, base, q)
 		}
 		if base+pendDown < lim {
 			return false
@@ -406,7 +521,7 @@ func (n *StorageNode) deltaSafe(pending []VotedOption, val record.Value, attr st
 	if con.Max != nil {
 		lim := *con.Max
 		if fast {
-			lim = demarcationHigh(*con.Max, base, n.q)
+			lim = DemarcationHigh(*con.Max, base, q)
 		}
 		if base+pendUp > lim {
 			return false
@@ -415,9 +530,9 @@ func (n *StorageNode) deltaSafe(pending []VotedOption, val record.Value, attr st
 	return true
 }
 
-// demarcationLow computes the lower demarcation limit. With min = 0
+// DemarcationLow computes the lower demarcation limit. With min = 0
 // this is the paper's L = (N-Q_F)/N · X, rounded up (conservative).
-func demarcationLow(min, base int64, q paxos.Quorum) int64 {
+func DemarcationLow(min, base int64, q paxos.Quorum) int64 {
 	head := base - min
 	if head <= 0 {
 		return min
@@ -426,8 +541,8 @@ func demarcationLow(min, base int64, q paxos.Quorum) int64 {
 	return min + ceilDiv(head*slack, int64(q.N))
 }
 
-// demarcationHigh mirrors demarcationLow for upper bounds.
-func demarcationHigh(max, base int64, q paxos.Quorum) int64 {
+// DemarcationHigh mirrors DemarcationLow for upper bounds.
+func DemarcationHigh(max, base int64, q paxos.Quorum) int64 {
 	head := max - base
 	if head <= 0 {
 		return max

@@ -39,11 +39,16 @@ type Coordinator struct {
 	cfg Config
 	q   paxos.Quorum
 
+	gen    uint64 // incarnation generation (see NewCoordinatorGen)
 	txSeq  uint64
 	reqSeq uint64
 	reads  map[uint64]*readCtx
 	txs    map[TxID]*txCtx
 	hints  map[record.Key]leaderHint
+
+	// escrowObs, when set, receives every escrow snapshot piggybacked
+	// on votes and read replies (the gateway tier's freshness channel).
+	escrowObs func(from transport.NodeID, key record.Key, snap EscrowSnap)
 
 	// Counters (see CoordMetrics).
 	nCommits, nAborts       int64
@@ -92,6 +97,18 @@ type optCtx struct {
 // registers its handler.
 func NewCoordinator(id transport.NodeID, dc topology.DC, net transport.Network,
 	cl *topology.Cluster, cfg Config) *Coordinator {
+	return NewCoordinatorGen(id, dc, net, cl, cfg, 0)
+}
+
+// NewCoordinatorGen builds a coordinator whose transaction and read
+// identifiers embed an incarnation generation. A restarted process
+// that re-registers the same node id MUST pass a fresh generation:
+// otherwise it re-mints its dead predecessor's transaction ids from
+// zero, and stale votes or read replies still in flight would be
+// attributed to the new incarnation's unrelated transactions (a false
+// fast-quorum learn — an acked commit whose update never executes).
+func NewCoordinatorGen(id transport.NodeID, dc topology.DC, net transport.Network,
+	cl *topology.Cluster, cfg Config, gen uint64) *Coordinator {
 	c := &Coordinator{
 		id:    id,
 		dc:    dc,
@@ -99,16 +116,44 @@ func NewCoordinator(id transport.NodeID, dc topology.DC, net transport.Network,
 		cl:    cl,
 		cfg:   cfg,
 		q:     paxos.NewQuorum(cl.ReplicationFactor()),
+		gen:   gen,
 		reads: make(map[uint64]*readCtx),
 		txs:   make(map[TxID]*txCtx),
 		hints: make(map[record.Key]leaderHint),
 	}
+	// Read request ids live in a per-generation namespace.
+	c.reqSeq = gen << 32
 	net.Register(id, c.handle)
 	return c
 }
 
+// txID mints the next transaction id (node-scoped sequence, plus the
+// generation for restarted incarnations).
+func (c *Coordinator) txID() TxID {
+	c.txSeq++
+	if c.gen == 0 {
+		return TxID(fmt.Sprintf("%s#%d", c.id, c.txSeq))
+	}
+	return TxID(fmt.Sprintf("%s~g%d#%d", c.id, c.gen, c.txSeq))
+}
+
 // ID returns the coordinator's node identity.
 func (c *Coordinator) ID() transport.NodeID { return c.id }
+
+// SetEscrowObserver installs a callback for the escrow snapshots
+// acceptors piggyback on votes and read replies. Call before the
+// network starts delivering to this coordinator; the callback fires
+// on the coordinator's handler goroutine for every snapshot, including
+// ones on late or duplicate votes (freshness is the point).
+func (c *Coordinator) SetEscrowObserver(obs func(from transport.NodeID, key record.Key, snap EscrowSnap)) {
+	c.escrowObs = obs
+}
+
+func (c *Coordinator) observeEscrow(from transport.NodeID, key record.Key, snap EscrowSnap) {
+	if c.escrowObs != nil && snap.Valid {
+		c.escrowObs(from, key, snap)
+	}
+}
 
 func (c *Coordinator) handle(env transport.Envelope) {
 	switch m := env.Msg.(type) {
@@ -162,6 +207,7 @@ func (c *Coordinator) sendRead(req uint64, rc *readCtx) {
 }
 
 func (c *Coordinator) onReadReply(from transport.NodeID, m MsgReadReply) {
+	c.observeEscrow(from, m.Key, m.Escrow)
 	rc, ok := c.reads[m.ReqID]
 	if !ok {
 		return
@@ -232,8 +278,7 @@ func (c *Coordinator) ReadQuorum(key record.Key, cb func(val record.Value, ver r
 // The transaction cannot be aborted unilaterally once proposed — the
 // outcome is a deterministic function of the learned options.
 func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
-	c.txSeq++
-	tx := TxID(fmt.Sprintf("%s#%d", c.id, c.txSeq))
+	tx := c.txID()
 	if len(updates) == 0 {
 		c.nCommits++
 		done(CommitResult{Tx: tx, Committed: true})
@@ -333,6 +378,9 @@ func (c *Coordinator) startRecovery(t *txCtx, oc *optCtx) {
 // replica has voted and neither decision can reach the fast quorum,
 // that is a collision and the master must resolve it classically.
 func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
+	// Escrow snapshots are folded in even when the vote itself is late
+	// or duplicated — every vote is a freshness sample.
+	c.observeEscrow(from, m.OptID.Key, m.Escrow)
 	t, ok := c.txs[m.OptID.Tx]
 	if !ok {
 		return

@@ -22,6 +22,10 @@ type MsgReadReply struct {
 	Value   record.Value
 	Version record.Version
 	Exists  bool
+	// Escrow piggybacks the replica's demarcation state for the key
+	// (set when constraints are configured), bootstrapping gateway
+	// headroom accounts without a second read.
+	Escrow EscrowSnap
 }
 
 // MsgProposeFast proposes an option directly to an acceptor in a fast
@@ -42,6 +46,32 @@ type MsgVote struct {
 	// MsgLearned.
 	Forwarded bool
 	Leader    transport.NodeID
+	// Escrow piggybacks the acceptor's demarcation inputs for the
+	// voted record (set for commutative options under constraints), so
+	// learners — and through them the gateway tier — track true
+	// escrow headroom instead of estimating it from stale reads.
+	Escrow EscrowSnap
+}
+
+// AttrEscrow is an acceptor's escrow snapshot for one constrained
+// attribute of one record: the committed base value plus the
+// worst-case pending movement of its unresolved accepted votes
+// (exactly the inputs of the quorum-demarcation check, §3.4.2).
+type AttrEscrow struct {
+	Attr     string
+	Base     int64
+	PendDown int64 // sum of accepted pending decrements (<= 0)
+	PendUp   int64 // sum of accepted pending increments (>= 0)
+}
+
+// EscrowSnap is the demarcation state an acceptor piggybacks on
+// Phase2b votes and read replies. Version is the committed record
+// version the snapshot was taken at, so consumers can order snapshots
+// from different acceptors without extra coordination.
+type EscrowSnap struct {
+	Valid   bool
+	Version record.Version
+	Attrs   []AttrEscrow
 }
 
 // MsgLearned tells the coordinator an option's final decision

@@ -233,6 +233,11 @@ type Metrics struct {
 	// cross-transaction batching fan-in is BatchItems/BatchEnvelopes).
 	BatchEnvelopes int64
 	BatchItems     int64
+	// VoteBatchEnvelopes counts acceptor→coordinator transport.Batch
+	// envelopes sent, VoteBatchItems the vote messages inside them
+	// (the vote-direction batching fan-in).
+	VoteBatchEnvelopes int64
+	VoteBatchItems     int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -251,5 +256,7 @@ func (n *StorageNode) Metrics() Metrics {
 		Synced:             n.nSynced,
 		BatchEnvelopes:     n.nBatchEnvelopes,
 		BatchItems:         n.nBatchItems,
+		VoteBatchEnvelopes: n.nVoteBatchEnvelopes,
+		VoteBatchItems:     n.nVoteBatchItems,
 	}
 }

@@ -75,15 +75,15 @@ func TestDemarcationLimits(t *testing.T) {
 		{5, 3, 5},     // base below bound: limit pins to the bound
 	}
 	for _, c := range cases {
-		if got := demarcationLow(c.min, c.base, q); got != c.want {
-			t.Errorf("demarcationLow(%d,%d) = %d, want %d", c.min, c.base, got, c.want)
+		if got := DemarcationLow(c.min, c.base, q); got != c.want {
+			t.Errorf("DemarcationLow(%d,%d) = %d, want %d", c.min, c.base, got, c.want)
 		}
 	}
 	// Upper mirror.
-	if got := demarcationHigh(100, 0, q); got != 80 {
-		t.Errorf("demarcationHigh(100,0) = %d, want 80", got)
+	if got := DemarcationHigh(100, 0, q); got != 80 {
+		t.Errorf("DemarcationHigh(100,0) = %d, want 80", got)
 	}
-	if got := demarcationHigh(100, 100, q); got != 100 {
+	if got := DemarcationHigh(100, 100, q); got != 100 {
 		t.Errorf("demarcationHigh at the bound = %d, want 100", got)
 	}
 }
@@ -95,7 +95,7 @@ func TestDemarcationLimitSafeRange(t *testing.T) {
 	f := func(min int16, head uint16) bool {
 		m := int64(min)
 		base := m + int64(head)
-		l := demarcationLow(m, base, q)
+		l := DemarcationLow(m, base, q)
 		return l >= m && l <= base
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

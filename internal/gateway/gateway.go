@@ -17,12 +17,21 @@
 //     window, so a stock-decrement stampede costs O(windows) Paxos
 //     work instead of O(transactions). Each client delta is still
 //     individually accounted: admission into a window is checked
-//     delta-by-delta against the gateway's view of the quorum
-//     demarcation limits, the merged update carries the number of
-//     client updates it represents (record.Update.Merged) so version
-//     accounting stays exact, and a rejected merge is split and
-//     re-run per transaction so over-aggregation can never abort a
-//     transaction that would have committed alone;
+//     delta-by-delta against an exact headroom account fed by the
+//     escrow snapshots acceptors piggyback on every vote and read
+//     reply (base value + pending escrow sums per constrained
+//     attribute — the same inputs the acceptor's own demarcation
+//     check uses, so the gateway is never looser than the acceptor).
+//     The merged update carries the number of client updates it
+//     represents (record.Update.Merged) so version accounting stays
+//     exact, and a rejected merge is split and re-run per transaction
+//     so over-aggregation can never abort a transaction that would
+//     have committed alone. Because the piggybacked pending sums
+//     include every gateway's in-flight deltas, the per-DC gateways
+//     share demarcation headroom through the same channel (each
+//     additionally caps its locally-unconfirmed outstanding deltas at
+//     a 1/HeadroomShare slice of the snapshot headroom instead of
+//     assuming the full local slice);
 //   - applies admission control: a bounded in-flight window plus a
 //     bounded FIFO backlog, beyond which transactions fail fast with
 //     ErrOverloaded instead of stacking unbounded queues onto the
@@ -81,6 +90,13 @@ type Tuning struct {
 	// MaxQueue bounds the backlog beyond MaxInflight; overflow is shed
 	// with ErrOverloaded (default 16384).
 	MaxQueue int
+	// HeadroomShare divides the piggybacked demarcation headroom among
+	// the deployment's concurrently-admitting gateways: a gateway only
+	// holds locally-admitted unresolved deltas up to a 1/HeadroomShare
+	// slice of the snapshot headroom, so the per-DC gateways cannot
+	// collectively over-admit between snapshots. Default: one share
+	// per data center; 1 gives a lone gateway the whole slice.
+	HeadroomShare int
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -105,12 +121,17 @@ func (t Tuning) withDefaults() Tuning {
 	if t.MaxQueue <= 0 {
 		t.MaxQueue = 16384
 	}
+	if t.HeadroomShare <= 0 {
+		t.HeadroomShare = topology.NumDCs
+	}
 	return t
 }
 
-// estTTL bounds how long a cached hot-key base value steers window
-// admission before it is re-read (other gateways move the value too).
-const estTTL = time.Second
+// snapTTL bounds how long a headroom account may go without a fresh
+// piggybacked escrow snapshot before a read is issued to refresh it
+// (hot keys refresh for free on every vote; this is the idle-key
+// fallback).
+const snapTTL = time.Second
 
 // GatewayID names the gateway node of a data center.
 func GatewayID(dc topology.DC) transport.NodeID {
@@ -174,6 +195,19 @@ type Metrics struct {
 	// CoalesceRatio is MergedUpdates / Submitted.
 	CoalesceRatio float64 `json:"coalesceRatio"`
 
+	// Exact escrow accounting (acceptor-piggybacked). EscrowUpdates
+	// counts snapshots folded into headroom accounts, EscrowStale
+	// snapshots ignored because a fresher version was already held.
+	EscrowUpdates int64 `json:"escrowUpdates"`
+	EscrowStale   int64 `json:"escrowStale"`
+	// TrackedKeys (gauge) is the number of keys with a live headroom
+	// account; MinHeadroom (gauge) is the tightest remaining shared
+	// demarcation headroom across them (-1 = no constrained key
+	// tracked). MinHeadroom at 0 with traffic flowing means admission
+	// is bypassing merges and letting acceptors arbitrate.
+	TrackedKeys int64 `json:"trackedKeys"`
+	MinHeadroom int64 `json:"minHeadroom"`
+
 	// Admission control.
 	AdmissionRejects int64 `json:"admissionRejects"`
 	Inflight         int64 `json:"inflight"`
@@ -201,6 +235,16 @@ func (m *Metrics) Add(o Metrics) {
 	m.MergedOptions += o.MergedOptions
 	m.MergedUpdates += o.MergedUpdates
 	m.MergeSplits += o.MergeSplits
+	m.EscrowUpdates += o.EscrowUpdates
+	m.EscrowStale += o.EscrowStale
+	switch {
+	case m.TrackedKeys == 0:
+		m.MinHeadroom = o.MinHeadroom // m had no accounts; take o's gauge verbatim
+	case o.TrackedKeys > 0 && o.MinHeadroom >= 0 &&
+		(m.MinHeadroom < 0 || o.MinHeadroom < m.MinHeadroom):
+		m.MinHeadroom = o.MinHeadroom
+	}
+	m.TrackedKeys += o.TrackedKeys
 	m.AdmissionRejects += o.AdmissionRejects
 	m.Inflight += o.Inflight
 	m.QueueDepth += o.QueueDepth
@@ -226,8 +270,9 @@ func (m *Metrics) Finalize() {
 
 // waiter is one client transaction parked in a merge window.
 type waiter struct {
-	up   record.Update
-	done func(committed bool, err error)
+	up    record.Update
+	track []outTrack
+	done  func(committed bool, err error)
 }
 
 // mergeWindow accumulates commutative deltas for one hot key.
@@ -237,16 +282,35 @@ type mergeWindow struct {
 	timer   clock.Timer
 }
 
-// keyState is the gateway's per-hot-key accounting: the current merge
-// window plus the demarcation view (last read base value and the
-// deltas admitted but not yet resolved).
+// attrAccount is the gateway's mirror of one constrained attribute's
+// escrow state at the last adopted snapshot: committed base plus the
+// acceptor-side worst-case pending sums (which include every
+// gateway's in-flight deltas — the shared-headroom channel).
+type attrAccount struct {
+	base     int64
+	pendDown int64 // <= 0
+	pendUp   int64 // >= 0
+}
+
+// keyState is the gateway's per-key accounting: the current merge
+// window plus the exact headroom account — the freshest piggybacked
+// escrow snapshot and the deltas this gateway admitted on top of it
+// that are not yet resolved. Until the first valid snapshot arrives
+// (seen) admission is conservative: no merging, acceptors arbitrate.
 type keyState struct {
 	win        *mergeWindow
-	est        map[string]int64 // last observed attr values
-	estValid   bool
-	fetched    time.Time
+	seen       bool
+	ver        record.Version // version of the adopted snapshot
+	acc        map[string]attrAccount
+	fetched    time.Time // when the snapshot arrived (snapTTL refresh)
+	pendSetAt  time.Time // when the pending sums were last set wholesale
 	refreshing bool
-	out        map[string]int64 // admitted, unresolved deltas
+	// outDown/outUp are this gateway's admitted-but-unresolved deltas,
+	// split by direction (worst-case accounting mirrors the acceptor).
+	// They may double-count deltas already visible in acc's pending
+	// sums — conservative by construction, never loose.
+	outDown map[string]int64 // <= 0
+	outUp   map[string]int64 // >= 0
 }
 
 type queuedTx struct {
@@ -283,6 +347,17 @@ type Gateway struct {
 // pooled coordinators') handlers. coreCfg is the same protocol config
 // the deployment's storage nodes run.
 func New(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg core.Config, tun Tuning) *Gateway {
+	return NewGen(dc, net, cl, coreCfg, tun, 0)
+}
+
+// NewGen builds a gateway with an incarnation generation. A
+// supervisor restarting a crashed gateway MUST pass a fresh
+// generation: the replacement re-registers the dead incarnation's
+// node ids, and without a generation its pooled coordinators would
+// re-mint the same transaction ids from zero — stale votes still in
+// flight for the dead process's transactions would then count toward
+// the new process's unrelated ones (see core.NewCoordinatorGen).
+func NewGen(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg core.Config, tun Tuning, gen uint64) *Gateway {
 	tun = tun.withDefaults()
 	g := &Gateway{
 		id:   GatewayID(dc),
@@ -296,9 +371,15 @@ func New(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg co
 	}
 	g.bnet = newBatcher(net, g.id, tun.BatchWindow, tun.BatchMax)
 	for i := 0; i < tun.Pool; i++ {
-		g.coords = append(g.coords, core.NewCoordinator(coordID(dc, i), dc, g.bnet, cl, coreCfg))
+		co := core.NewCoordinatorGen(coordID(dc, i), dc, g.bnet, cl, coreCfg, gen)
+		// Every pooled coordinator feeds the piggybacked escrow
+		// snapshots on its votes and read replies into the shared
+		// headroom accounts.
+		co.SetEscrowObserver(g.observeEscrow)
+		g.coords = append(g.coords, co)
 	}
 	net.Register(g.id, g.handle)
+	g.scheduleSweep()
 	return g
 }
 
@@ -307,6 +388,10 @@ func (g *Gateway) ID() transport.NodeID { return g.id }
 
 // DC returns the gateway's data center.
 func (g *Gateway) DC() topology.DC { return g.dc }
+
+// Tuning returns the gateway's resolved tuning (defaults applied), so
+// operators log what actually runs instead of re-deriving defaults.
+func (g *Gateway) Tuning() Tuning { return g.tun }
 
 // nextCoordLocked round-robins the pool.
 func (g *Gateway) nextCoordLocked() *core.Coordinator {
@@ -373,10 +458,61 @@ func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 		return
 	}
 	g.m.Passthrough++
+	// Passthrough commutative deltas still consume escrow headroom:
+	// account them so window admission on the same keys stays exact.
+	tracks := g.trackOutLocked(updates)
 	g.dispatchLocked(updates, func(ok bool) {
+		g.resolveTracks(tracks, ok)
 		g.settle(1, ok)
 		done(ok, nil)
 	})
+}
+
+// outTrack is one key's share of a dispatched write-set in the
+// outstanding account, remembering which snapshot the account held
+// when the deltas were admitted (see resolveTracks).
+type outTrack struct {
+	key    record.Key
+	deltas map[string]int64
+	seen   bool
+	ver    record.Version
+}
+
+// trackOutLocked adds every *constrained* commutative delta of a
+// write-set to its key's outstanding account and returns the tracks
+// to resolve with. Unconstrained attributes are skipped — admission
+// never consults them, so accounting them would only churn keyStates
+// and fabricate junk attrAccount entries.
+func (g *Gateway) trackOutLocked(updates []record.Update) []outTrack {
+	var tracks []outTrack
+	for _, up := range updates {
+		if up.Kind != record.KindCommutative {
+			continue
+		}
+		var deltas map[string]int64
+		for attr, d := range up.Deltas {
+			if _, ok := g.constraintFor(attr); !ok {
+				continue
+			}
+			if deltas == nil {
+				deltas = make(map[string]int64, len(up.Deltas))
+			}
+			deltas[attr] = d
+		}
+		if deltas == nil {
+			continue
+		}
+		ks := g.ks(up.Key)
+		for attr, d := range deltas {
+			if d < 0 {
+				ks.outDown[attr] += d
+			} else {
+				ks.outUp[attr] += d
+			}
+		}
+		tracks = append(tracks, outTrack{key: up.Key, deltas: deltas, seen: ks.seen, ver: ks.ver})
+	}
+	return tracks
 }
 
 // coalescible: only single-update commutative transactions merge —
@@ -422,10 +558,70 @@ func (g *Gateway) settle(n int, committed bool) {
 func (g *Gateway) ks(key record.Key) *keyState {
 	s, ok := g.keys[key]
 	if !ok {
-		s = &keyState{out: make(map[string]int64)}
+		s = &keyState{
+			outDown: make(map[string]int64),
+			outUp:   make(map[string]int64),
+		}
 		g.keys[key] = s
 	}
 	return s
+}
+
+// observeEscrow folds a piggybacked acceptor snapshot into the key's
+// headroom account. Snapshots are ordered by committed version: a
+// fresher version replaces the account wholesale; an equal version
+// (two replicas, different vote sets) merges conservatively by
+// widening the pending sums — except that pendings older than snapTTL
+// are replaced instead of widened, since aborts free escrow without
+// bumping the committed version and a widen-only account would hold
+// worst-case pendings forever on a key that stopped committing. An
+// older version is dropped. Fires on pooled coordinator goroutines.
+func (g *Gateway) observeEscrow(_ transport.NodeID, key record.Key, snap core.EscrowSnap) {
+	if !snap.Valid {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ks := g.ks(key)
+	now := g.net.Now()
+	switch {
+	case !ks.seen || snap.Version > ks.ver:
+		ks.acc = make(map[string]attrAccount, len(snap.Attrs))
+		for _, a := range snap.Attrs {
+			ks.acc[a.Attr] = attrAccount{base: a.Base, pendDown: a.PendDown, pendUp: a.PendUp}
+		}
+		ks.seen = true
+		ks.ver = snap.Version
+		ks.fetched = now
+		ks.pendSetAt = now
+		g.m.EscrowUpdates++
+	case snap.Version == ks.ver:
+		replace := now.Sub(ks.pendSetAt) >= snapTTL
+		for _, a := range snap.Attrs {
+			cur := ks.acc[a.Attr]
+			// Same committed version, possibly different vote sets:
+			// keep the held base, and widen the pendings (worst case
+			// wins) while they are fresh, replace them once stale.
+			if replace {
+				cur.pendDown, cur.pendUp = a.PendDown, a.PendUp
+			} else {
+				if a.PendDown < cur.pendDown {
+					cur.pendDown = a.PendDown
+				}
+				if a.PendUp > cur.pendUp {
+					cur.pendUp = a.PendUp
+				}
+			}
+			ks.acc[a.Attr] = cur
+		}
+		if replace {
+			ks.pendSetAt = now
+		}
+		ks.fetched = now
+		g.m.EscrowUpdates++
+	default:
+		g.m.EscrowStale++
+	}
 }
 
 func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
@@ -436,16 +632,17 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 	}
 	if ks.win == nil {
 		if !g.fitsLocked(ks, up) {
-			// Even alone this delta exceeds the gateway's demarcation
-			// view (usually: a burst of unresolved windows already holds
-			// all known headroom). Ship it individually — the acceptors,
-			// not the estimate, decide. Keep refreshing the estimate on
-			// this path too: a restocked key must regain coalescing once
-			// the TTL-aged estimate catches up with reality.
+			// No merge headroom — either no escrow snapshot has arrived
+			// yet (bootstrap: admit conservatively, never merge blind) or
+			// the shared headroom slice is exhausted. Ship individually:
+			// the acceptors, not the account, decide, and the vote's
+			// piggybacked snapshot refreshes the account for free.
 			g.maybeRefreshLocked(key, ks)
 			g.m.CoalesceBypass++
 			g.m.Passthrough++
+			tracks := g.trackOutLocked([]record.Update{up})
 			g.dispatchLocked([]record.Update{up}, func(ok bool) {
+				g.resolveTracks(tracks, ok)
 				g.settle(1, ok)
 				done(ok, nil)
 			})
@@ -465,36 +662,82 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 	g.m.Coalesced++
 	for attr, d := range up.Deltas {
 		ks.win.sum[attr] += d
-		ks.out[attr] += d
 	}
-	ks.win.waiters = append(ks.win.waiters, waiter{up: up, done: done})
+	track := g.trackOutLocked([]record.Update{up})
+	ks.win.waiters = append(ks.win.waiters, waiter{up: up, track: track, done: done})
 }
 
-// fitsLocked is the individual demarcation accounting: would
-// admitting this one delta, on top of every delta already admitted
-// and unresolved, push the gateway's view of the value past the
-// quorum demarcation limit the acceptors will enforce? With no valid
-// estimate the answer is yes-admit — the acceptors arbitrate and the
-// estimate refresh is already in flight.
+// fitsLocked is the exact headroom admission: may this gateway hold
+// one more unresolved delta without ever being looser than the
+// acceptor's demarcation check evaluated on the held snapshot?
+//
+// For a decrement d against min, the snapshot headroom is
+//
+//	H = (base + pendDown) − L,  L = min + ⌈head·(N−Q_F)/N⌉
+//
+// — how much worst-case downward movement the acceptors would still
+// accept on top of everything already pending there (including other
+// gateways' in-flight deltas). This gateway admits unresolved local
+// deltas only up to ⌊H / HeadroomShare⌋, so the per-DC gateways
+// sharing the same key cannot collectively over-admit between
+// snapshots. Before the first snapshot arrives the answer is no —
+// conservative bootstrap, the acceptors arbitrate individual sends.
 func (g *Gateway) fitsLocked(ks *keyState, up record.Update) bool {
-	if !ks.estValid {
-		return true
-	}
+	share := int64(g.tun.HeadroomShare)
 	for attr, d := range up.Deltas {
 		con, ok := g.constraintFor(attr)
 		if !ok {
-			continue
+			continue // unconstrained attributes have no escrow to account
 		}
-		base := ks.est[attr]
-		projected := base + ks.out[attr] + d
-		if con.Min != nil && d < 0 && projected < demarcationLow(*con.Min, base, g.q) {
+		if !ks.seen {
+			return false // constrained delta before the first snapshot
+		}
+		a := ks.acc[attr]
+		// Exact mirror: the acceptor's own predicate, evaluated on the
+		// snapshot pendings plus everything this gateway holds
+		// unresolved. This checks BOTH bounds for every delta — an
+		// acceptor rejects even a decrement while pending increments
+		// overdraw the upper limit — so merge admission can never be
+		// looser than the acceptor on what the gateway knows.
+		if !core.DeltaSafe(a.base,
+			a.pendDown+ks.outDown[attr], a.pendUp+ks.outUp[attr],
+			d, con, g.q, true) {
 			return false
 		}
-		if con.Max != nil && d > 0 && projected > demarcationHigh(*con.Max, base, g.q) {
+		// Shared-headroom cap: of the headroom the snapshot shows, this
+		// gateway may hold at most a 1/share slice in locally-admitted
+		// unresolved deltas, so the per-DC gateways cannot collectively
+		// over-admit between snapshots.
+		low, high := snapHeadroom(a, con, g.q)
+		if d < 0 && low >= 0 && -(ks.outDown[attr]+d) > low/share {
+			return false
+		}
+		if d > 0 && high >= 0 && ks.outUp[attr]+d > high/share {
 			return false
 		}
 	}
 	return true
+}
+
+// snapHeadroom returns the demarcation headroom a snapshot account
+// shows on the Min and Max side of con (clamped at >= 0; -1 for an
+// absent bound). Shared by admission (fitsLocked) and the gauges so
+// the two can never drift apart.
+func snapHeadroom(a attrAccount, con record.Constraint, q paxos.Quorum) (low, high int64) {
+	low, high = -1, -1
+	if con.Min != nil {
+		low = a.base + a.pendDown - core.DemarcationLow(*con.Min, a.base, q)
+		if low < 0 {
+			low = 0
+		}
+	}
+	if con.Max != nil {
+		high = core.DemarcationHigh(*con.Max, a.base, q) - (a.base + a.pendUp)
+		if high < 0 {
+			high = 0
+		}
+	}
+	return low, high
 }
 
 func (g *Gateway) constraintFor(attr string) (record.Constraint, bool) {
@@ -506,60 +749,25 @@ func (g *Gateway) constraintFor(attr string) (record.Constraint, bool) {
 	return record.Constraint{}, false
 }
 
-// demarcationLow / demarcationHigh mirror the acceptor's fast-ballot
-// quorum demarcation limits (L = min + ceil(head·(N−Q_F)/N), §3.4.2):
-// the gateway admits deltas against the same bound the acceptors will
-// apply, so window admission and acceptor judgment agree whenever the
-// estimate is fresh.
-func demarcationLow(min, base int64, q paxos.Quorum) int64 {
-	head := base - min
-	if head <= 0 {
-		return min
-	}
-	slack := int64(q.N - q.Fast)
-	return min + ceilDiv(head*slack, int64(q.N))
-}
-
-func demarcationHigh(max, base int64, q paxos.Quorum) int64 {
-	head := max - base
-	if head <= 0 {
-		return max
-	}
-	slack := int64(q.N - q.Fast)
-	return max - ceilDiv(head*slack, int64(q.N))
-}
-
-func ceilDiv(a, b int64) int64 {
-	if a <= 0 {
-		return 0
-	}
-	return (a + b - 1) / b
-}
-
-// maybeRefreshLocked keeps the demarcation estimate fresh: one read
-// per key at a time, re-issued when the estimate ages past estTTL.
+// maybeRefreshLocked issues a read when the headroom account is
+// missing or its snapshot has aged past snapTTL without vote traffic
+// refreshing it; the read's piggybacked snapshot lands via
+// observeEscrow. One read per key at a time.
 func (g *Gateway) maybeRefreshLocked(key record.Key, ks *keyState) {
 	if ks.refreshing {
 		return
 	}
-	if ks.estValid && g.net.Now().Sub(ks.fetched) < estTTL {
+	if ks.seen && g.net.Now().Sub(ks.fetched) < snapTTL {
 		return
 	}
 	ks.refreshing = true
 	co := g.nextCoordLocked()
 	g.net.After(co.ID(), 0, func() {
-		co.Read(key, func(val record.Value, _ record.Version, exists bool) {
+		co.Read(key, func(record.Value, record.Version, bool) {
+			// The escrow snapshot (if any) already arrived through the
+			// observer; here we only release the refresh slot.
 			g.mu.Lock()
-			cur := g.ks(key)
-			cur.refreshing = false
-			cur.fetched = g.net.Now()
-			cur.estValid = true
-			cur.est = make(map[string]int64, len(val.Attrs))
-			if exists {
-				for a, x := range val.Attrs {
-					cur.est[a] = x
-				}
-			}
+			g.ks(key).refreshing = false
 			g.mu.Unlock()
 		})
 	})
@@ -581,20 +789,25 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 	if len(win.waiters) == 1 {
 		w := win.waiters[0]
 		g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
-			g.resolveDeltas(key, w.up.Deltas, ok)
+			g.resolveTracks(w.track, ok)
 			g.settle(1, ok)
 			w.done(ok, nil)
 		})
 		return
 	}
 	waiters := win.waiters
-	sum := win.sum
 	g.m.MergedOptions++
 	g.m.MergedUpdates += int64(len(waiters))
-	merged := record.MergedCommutative(key, sum, len(waiters))
+	merged := record.MergedCommutative(key, win.sum, len(waiters))
 	g.dispatchLocked([]record.Update{merged}, func(ok bool) {
-		g.resolveDeltas(key, sum, ok)
 		if ok {
+			// Resolve per waiter, not by the window's net sum: the
+			// outstanding account is sign-split, and a mixed window
+			// (restock + purchase) nets to a sum that would leave
+			// phantom residue in both directions forever.
+			for _, w := range waiters {
+				g.resolveTracks(w.track, true)
+			}
 			g.settle(len(waiters), true)
 			for _, w := range waiters {
 				w.done(true, nil)
@@ -604,18 +817,17 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 		// Merged option rejected (demarcation exhausted, or an
 		// outstanding physical write blocked the key): split and re-run
 		// each client update alone so transactions that fit on their
-		// own still commit. Their in-flight slots are still held.
+		// own still commit. Their in-flight slots are still held, and
+		// their deltas stay outstanding across the re-run — each
+		// individual outcome resolves its own. The rejecting votes
+		// carried fresh escrow snapshots, so the account that
+		// over-admitted has already been corrected.
 		g.mu.Lock()
 		g.m.MergeSplits++
-		cur := g.ks(key)
-		cur.estValid = false // the view that admitted this merge was stale
 		for _, w := range waiters {
 			w := w
-			for attr, d := range w.up.Deltas {
-				cur.out[attr] += d
-			}
 			g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
-				g.resolveDeltas(key, w.up.Deltas, ok)
+				g.resolveTracks(w.track, ok)
 				g.settle(1, ok)
 				w.done(ok, nil)
 			})
@@ -624,18 +836,127 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 	})
 }
 
-// resolveDeltas retires admitted deltas from the outstanding account
-// and folds committed ones into the estimate.
-func (g *Gateway) resolveDeltas(key record.Key, deltas map[string]int64, committed bool) {
+// resolveTracks retires settled deltas from the outstanding account.
+// A committed delta is folded into the snapshot base — mirroring the
+// acceptor, which applies the update and prunes the vote on
+// visibility — but ONLY while the account still holds the snapshot it
+// held at admission (same seen/version): any snapshot adopted after
+// the proposal already represents the delta, either in its pending
+// sums (vote not yet pruned) or in its base (visibility executed), so
+// folding again would double-count a committed increment and leave
+// the account looser than the acceptor.
+func (g *Gateway) resolveTracks(tracks []outTrack, committed bool) {
 	g.mu.Lock()
-	ks := g.ks(key)
-	for attr, d := range deltas {
-		ks.out[attr] -= d
-		if committed && ks.estValid {
-			ks.est[attr] += d
+	for _, tr := range tracks {
+		ks := g.ks(tr.key)
+		for attr, d := range tr.deltas {
+			if d < 0 {
+				ks.outDown[attr] -= d
+			} else {
+				ks.outUp[attr] -= d
+			}
+			if committed && ks.seen && tr.seen && ks.ver == tr.ver {
+				a := ks.acc[attr]
+				a.base += d
+				ks.acc[attr] = a
+			}
 		}
+		g.maybeEvictLocked(tr.key, ks)
 	}
 	g.mu.Unlock()
+}
+
+// evictAfter is how long an idle key (no window, nothing outstanding)
+// keeps its headroom account before it is retired; hot keys refresh
+// their snapshot on every vote and never age out.
+const evictAfter = 10 * snapTTL
+
+// idleLocked reports whether a keyState holds nothing live: no open
+// window, no refresh in flight, no outstanding deltas.
+func idleLocked(ks *keyState) bool {
+	if ks.win != nil || ks.refreshing {
+		return false
+	}
+	for _, d := range ks.outDown {
+		if d != 0 {
+			return false
+		}
+	}
+	for _, d := range ks.outUp {
+		if d != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeEvictLocked retires a keyState once it is fully idle and its
+// snapshot has gone stale — without this, g.keys grows by one entry
+// per commutative key ever touched and the Metrics gauge scan walks
+// them all under the gateway lock forever.
+func (g *Gateway) maybeEvictLocked(key record.Key, ks *keyState) {
+	if !idleLocked(ks) {
+		return
+	}
+	if ks.seen && g.net.Now().Sub(ks.fetched) < evictAfter {
+		return
+	}
+	delete(g.keys, key)
+}
+
+// scheduleSweep arms the periodic idle-key sweep. Snapshot-only keys
+// (created by read-reply piggybacks) have no resolve path to evict
+// them, so GC cannot depend on traffic or on anyone polling Metrics.
+func (g *Gateway) scheduleSweep() {
+	g.net.After(g.id, evictAfter, func() {
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		for key, ks := range g.keys {
+			g.maybeEvictLocked(key, ks)
+		}
+		g.mu.Unlock()
+		g.scheduleSweep()
+	})
+}
+
+// headroomGaugesLocked computes the headroom gauges: how many keys
+// have live escrow accounts, and the tightest remaining shared
+// headroom among their constrained attributes after this gateway's
+// outstanding deltas (-1 when no constrained account is tracked).
+func (g *Gateway) headroomGaugesLocked() (tracked, minHeadroom int64) {
+	minHeadroom = -1
+	share := int64(g.tun.HeadroomShare)
+	for _, ks := range g.keys {
+		if !ks.seen {
+			continue
+		}
+		tracked++
+		for _, con := range g.cfg.Constraints {
+			a, ok := ks.acc[con.Attr]
+			if !ok {
+				continue
+			}
+			note := func(rem int64) {
+				if rem < 0 {
+					rem = 0
+				}
+				if minHeadroom < 0 || rem < minHeadroom {
+					minHeadroom = rem
+				}
+			}
+			low, high := snapHeadroom(a, con, g.q)
+			if low >= 0 {
+				note(low/share + ks.outDown[con.Attr]) // outDown <= 0
+			}
+			if high >= 0 {
+				note(high/share - ks.outUp[con.Attr])
+			}
+		}
+	}
+	return tracked, minHeadroom
 }
 
 // CoordMetrics sums the pooled coordinators' protocol counters. The
@@ -655,6 +976,7 @@ func (g *Gateway) Metrics() Metrics {
 	m := g.m
 	m.Inflight = int64(g.inflight)
 	m.QueueDepth = int64(len(g.queue))
+	m.TrackedKeys, m.MinHeadroom = g.headroomGaugesLocked()
 	g.mu.Unlock()
 	m.BatchEnvelopes = g.bnet.envelopes.Load()
 	m.BatchedMsgs = g.bnet.batched.Load()

@@ -84,6 +84,12 @@ func TestCoalescingMergesHotKeyStampede(t *testing.T) {
 	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
 	w.preload(key, record.Value{Attrs: map[string]int64{"units": 1_000_000}})
 
+	// Warm the headroom account: admission is conservative (no
+	// merging) until the first piggybacked escrow snapshot arrives,
+	// and a read reply carries one.
+	w.net.At(0, func() { w.gw.Read(key, func(record.Value, record.Version, bool) {}) })
+	w.net.RunFor(2 * time.Second)
+
 	commits, aborts, settled := 0, 0, 0
 	w.net.At(0, func() {
 		for i := 0; i < n; i++ {
@@ -179,6 +185,139 @@ func TestMergeSplitOnScarceStock(t *testing.T) {
 	}
 	if units != 3-int64(commits) {
 		t.Errorf("units = %d with %d commits, want %d (conservation)", units, commits, 3-commits)
+	}
+}
+
+// TestNoMergeBeforeFirstEscrowSnapshot pins the conservative
+// bootstrap: with no escrow snapshot yet (the old code treated the
+// missing state as unlimited headroom — even when the refresh read
+// had failed), nothing may be merged; every update ships individually
+// and the acceptors arbitrate. Once the first piggybacked snapshot
+// lands (here: via the votes of that first wave), merging starts.
+func TestNoMergeBeforeFirstEscrowSnapshot(t *testing.T) {
+	const n = 50
+	key := record.Key("stock/cold")
+	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 100000}})
+
+	settled := 0
+	burst := func() {
+		for i := 0; i < n; i++ {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(ok bool, err error) {
+					settled++
+					if err != nil || !ok {
+						t.Errorf("unexpected outcome: ok=%v err=%v", ok, err)
+					}
+				})
+		}
+	}
+	// Cold burst: submitted before any snapshot can possibly exist.
+	w.net.At(0, burst)
+	w.net.RunFor(5 * time.Second)
+	m := w.gw.Metrics()
+	if m.MergedOptions != 0 {
+		t.Fatalf("cold burst merged %d options; admission must be conservative before the first snapshot", m.MergedOptions)
+	}
+	if m.CoalesceBypass != n {
+		t.Errorf("cold burst bypassed %d of %d", m.CoalesceBypass, n)
+	}
+	if m.EscrowUpdates == 0 {
+		t.Fatalf("no escrow snapshots piggybacked on the cold burst's votes: %+v", m)
+	}
+	// Warm burst: the first wave's votes delivered snapshots.
+	w.net.At(0, burst)
+	w.net.RunFor(5 * time.Second)
+	if settled != 2*n {
+		t.Fatalf("settled %d of %d", settled, 2*n)
+	}
+	m = w.gw.Metrics()
+	if m.MergedOptions == 0 || m.MergedUpdates < n/2 {
+		t.Errorf("warm burst did not coalesce: %+v", m)
+	}
+	if m.TrackedKeys == 0 || m.MinHeadroom < 0 {
+		t.Errorf("headroom gauges not live: tracked=%d min=%d", m.TrackedKeys, m.MinHeadroom)
+	}
+}
+
+// TestMixedSignWindowResolvesExactly pins per-waiter resolution: a
+// window mixing increments and decrements on one attribute (restock +
+// purchases) must retire the outstanding account to exactly zero —
+// resolving the window's *net* sum against the sign-split account
+// left phantom residue in both directions, monotonically shrinking
+// headroom until coalescing self-disabled on the key.
+func TestMixedSignWindowResolvesExactly(t *testing.T) {
+	key := record.Key("stock/mixed")
+	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 10000}})
+
+	// Warm the headroom account so the mixed burst actually merges.
+	w.net.At(0, func() { w.gw.Read(key, func(record.Value, record.Version, bool) {}) })
+	w.net.RunFor(2 * time.Second)
+
+	settled := 0
+	w.net.At(0, func() {
+		for i := 0; i < 10; i++ {
+			d := int64(-5)
+			if i%2 == 1 {
+				d = 3
+			}
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": d})},
+				func(ok bool, err error) {
+					settled++
+					if err != nil || !ok {
+						t.Errorf("unexpected outcome: ok=%v err=%v", ok, err)
+					}
+				})
+		}
+	})
+	w.net.RunFor(5 * time.Second)
+	if settled != 10 {
+		t.Fatalf("settled %d of 10", settled)
+	}
+	if m := w.gw.Metrics(); m.MergedOptions == 0 {
+		t.Fatalf("mixed burst did not merge: %+v", m)
+	}
+	w.gw.mu.Lock()
+	ks := w.gw.keys[key]
+	down, up := ks.outDown["units"], ks.outUp["units"]
+	w.gw.mu.Unlock()
+	if down != 0 || up != 0 {
+		t.Fatalf("outstanding residue after all ops settled: outDown=%d outUp=%d", down, up)
+	}
+}
+
+// TestUnconstrainedDeltasCoalesceCold pins that the conservative
+// bootstrap applies only to constrained attributes: deltas with no
+// declared constraint have no escrow to account, so they merge from
+// the very first (cold) burst — no snapshot ever exists for them.
+func TestUnconstrainedDeltasCoalesceCold(t *testing.T) {
+	const n = 60
+	key := record.Key("counter/views")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"views": 0}})
+
+	settled := 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"views": 1})},
+				func(ok bool, err error) {
+					settled++
+					if err != nil || !ok {
+						t.Errorf("unexpected outcome: ok=%v err=%v", ok, err)
+					}
+				})
+		}
+	})
+	w.net.RunFor(10 * time.Second)
+	if settled != n {
+		t.Fatalf("settled %d of %d", settled, n)
+	}
+	if m := w.gw.Metrics(); m.MergedOptions == 0 {
+		t.Errorf("cold unconstrained burst did not coalesce: %+v", m)
+	}
+	if val, ver := w.state(key); val.Attr("views") != n || ver != record.Version(1+n) {
+		t.Errorf("views=%d ver=%d, want %d/%d", val.Attr("views"), ver, n, 1+n)
 	}
 }
 

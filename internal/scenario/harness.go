@@ -51,6 +51,13 @@ type Run struct {
 	initial  map[record.Key]record.Value
 	cons     []record.Constraint
 
+	// Gateway fault-injection state (gateway scenarios only).
+	gwDown    map[topology.DC]bool    // crashed, awaiting restart
+	gwGen     map[topology.DC]uint64  // incarnation generation per DC
+	gwRetired []*gateway.Gateway      // dead incarnations (metrics)
+	gwSeq     uint64                  // in-flight op token source
+	gwTokens  map[uint64]*gwPendingOp // ops the gateway tier holds
+
 	trafficEnd time.Time
 	inflight   int
 	readFails  int
@@ -126,16 +133,19 @@ func build(s *Scenario, o Options) (*Run, error) {
 	cfg.MasterDC = s.MasterDC
 
 	r := &Run{
-		Opts:    o,
-		Net:     net,
-		Cluster: cl,
-		Cfg:     cfg,
-		scn:     s,
-		downDC:  make(map[topology.DC]bool),
-		crashed: make(map[int]bool),
-		hist:    check.New(),
-		cons:    cons,
-		lat:     stats.NewSample(4096),
+		Opts:     o,
+		Net:      net,
+		Cluster:  cl,
+		Cfg:      cfg,
+		scn:      s,
+		downDC:   make(map[topology.DC]bool),
+		crashed:  make(map[int]bool),
+		hist:     check.New(),
+		cons:     cons,
+		lat:      stats.NewSample(4096),
+		gwDown:   make(map[topology.DC]bool),
+		gwGen:    make(map[topology.DC]uint64),
+		gwTokens: make(map[uint64]*gwPendingOp),
 	}
 	if r.Opts.Dir == "" {
 		dir, err := os.MkdirTemp("", "mdcc-scenario-")
@@ -159,13 +169,17 @@ func build(s *Scenario, o Options) (*Run, error) {
 	}
 	if s.Gateway {
 		// Clients attach to their DC's shared gateway instead of
-		// owning coordinators — the serving-tier deployment model.
+		// owning coordinators — the serving-tier deployment model. The
+		// crash-aware wrapper sits outside the history recorder so a
+		// gateway crash can orphan an op (outcome unknown) without the
+		// recorder ever logging a wrong outcome.
 		r.gws = make(map[topology.DC]*gateway.Gateway)
 		for _, dc := range topology.AllDCs() {
 			r.gws[dc] = gateway.New(dc, net, cl, cfg, s.GatewayTuning)
 		}
 		for _, c := range cl.Clients {
-			r.clients = append(r.clients, r.hist.Client(c.Index, gwClient{r.gws[c.DC]}))
+			inner := r.hist.Client(c.Index, rawGwClient{r: r, dc: c.DC})
+			r.clients = append(r.clients, gwClient{r: r, dc: c.DC, id: c.Index, inner: inner})
 		}
 	} else {
 		for _, c := range cl.Clients {
@@ -187,15 +201,105 @@ func (cc coreClient) Commit(updates []record.Update, done func(bool)) {
 }
 func (cc coreClient) SupportsCommutative() bool { return true }
 
-// gwClient adapts a shared gateway to mtx.Client. Admission sheds
-// (ErrOverloaded) surface as aborts in the recorded history.
-type gwClient struct{ g *gateway.Gateway }
-
-func (gc gwClient) Read(key record.Key, cb mtx.ReadFunc) { gc.g.Read(key, cb) }
-func (gc gwClient) Commit(updates []record.Update, done func(bool)) {
-	gc.g.Commit(updates, func(ok bool, err error) { done(ok && err == nil) })
+// rawGwClient adapts the DC's *current* gateway incarnation to
+// mtx.Client (the map lookup is late-bound so restarts swap the
+// incarnation under the clients). Admission sheds (ErrOverloaded)
+// surface as aborts in the recorded history.
+type rawGwClient struct {
+	r  *Run
+	dc topology.DC
 }
+
+func (gc rawGwClient) Read(key record.Key, cb mtx.ReadFunc) { gc.r.gws[gc.dc].Read(key, cb) }
+func (gc rawGwClient) Commit(updates []record.Update, done func(bool)) {
+	gc.r.gws[gc.dc].Commit(updates, func(ok bool, err error) { done(ok && err == nil) })
+}
+func (gc rawGwClient) SupportsCommutative() bool { return true }
+
+// gwPendingOp is one client op the gateway tier currently holds; if
+// the gateway crashes first, the op is force-settled (commits become
+// unknown-outcome history entries, reads fail) so the closed loop
+// keeps running and the checker knows what the crash swallowed.
+// Exactly-once settlement is the token map's job: claimGw deletes the
+// token, so whichever of crash and completion runs first wins.
+type gwPendingOp struct {
+	dc      topology.DC
+	client  int
+	updates []record.Update // nil for reads
+	settle  func(bool)      // commit path (clientLoop settle)
+	readCB  mtx.ReadFunc    // read path
+}
+
+// gwClient is the crash-aware outer layer: it tracks every op handed
+// to the gateway tier and fails fast while the DC's gateway is down
+// (connection refused — nothing was submitted, nothing is recorded).
+type gwClient struct {
+	r     *Run
+	dc    topology.DC
+	id    int
+	inner mtx.Client // history recorder over rawGwClient
+}
+
 func (gc gwClient) SupportsCommutative() bool { return true }
+
+// refuse models a connection refused by the dead local gateway: the
+// failure surfaces after a short reconnect backoff, never
+// synchronously (a synchronous failure would let the closed client
+// loop recurse without ever yielding to the simulator).
+func (gc gwClient) refuse(f func()) {
+	gc.r.Net.After(gc.r.Cluster.Clients[gc.id].ID, 100*time.Millisecond, f)
+}
+
+func (gc gwClient) Read(key record.Key, cb mtx.ReadFunc) {
+	if gc.r.gwDown[gc.dc] {
+		gc.refuse(func() { cb(record.Value{}, 0, false) })
+		return
+	}
+	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, readCB: cb})
+	gc.inner.Read(key, func(val record.Value, ver record.Version, ok bool) {
+		if gc.r.claimGw(tok) {
+			cb(val, ver, ok)
+		}
+	})
+}
+
+func (gc gwClient) Commit(updates []record.Update, done func(bool)) {
+	if gc.r.gwDown[gc.dc] {
+		gc.refuse(func() { done(false) }) // never submitted, not recorded
+		return
+	}
+	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, updates: updates, settle: done})
+	sync := true
+	gc.inner.Commit(updates, func(ok bool) {
+		if !gc.r.claimGw(tok) {
+			return
+		}
+		if sync {
+			// Admission shed (ErrOverloaded) fires synchronously from
+			// Gateway.Commit; surfacing it inline would let the closed
+			// client loop recurse without yielding to the simulator —
+			// same hazard refuse() defends against on the gwDown path.
+			gc.refuse(func() { done(ok) })
+			return
+		}
+		done(ok)
+	})
+	sync = false
+}
+
+func (r *Run) trackGw(p *gwPendingOp) uint64 {
+	r.gwSeq++
+	r.gwTokens[r.gwSeq] = p
+	return r.gwSeq
+}
+
+func (r *Run) claimGw(tok uint64) bool {
+	if _, ok := r.gwTokens[tok]; !ok {
+		return false
+	}
+	delete(r.gwTokens, tok)
+	return true
+}
 
 // preload bulk-loads the initial database into every replica's store
 // (version 1, as internal/check expects for preloaded keys).
@@ -271,6 +375,7 @@ func (r *Run) run() (*Result, error) {
 		res.Unresolved = r.inflight
 	}
 	res.Commits, res.Aborts = r.hist.Summary()
+	res.Unknown = r.hist.Unknowns()
 	for _, c := range r.coords {
 		res.Coord.Add(c.Metrics())
 	}
@@ -280,6 +385,16 @@ func (r *Run) run() (*Result, error) {
 			g := r.gws[dc]
 			res.Coord.Add(g.CoordMetrics()) // quiesced: the simulator has stopped
 			agg.Add(g.Metrics())
+		}
+		for _, g := range r.gwRetired { // crashed incarnations' work still counts
+			res.Coord.Add(g.CoordMetrics())
+			m := g.Metrics()
+			// Gauges are point-in-time state of a dead process: its
+			// crash-time inflight was orphaned by the harness and its
+			// headroom accounts died with it — only counters carry over.
+			m.Inflight, m.QueueDepth = 0, 0
+			m.TrackedKeys, m.MinHeadroom = 0, -1
+			agg.Add(m)
 		}
 		agg.Finalize()
 		res.Gateway = &agg
@@ -418,8 +533,9 @@ func (r *Run) StorageIDs(dc topology.DC) []transport.NodeID {
 	return out
 }
 
-// SideIDs returns every node ID (storage and clients) inside the
-// given data centers — one side of a partition cut.
+// SideIDs returns every node ID (storage, clients, and — in gateway
+// runs — the DC's gateway tier) inside the given data centers: one
+// side of a partition cut.
 func (r *Run) SideIDs(dcs ...topology.DC) []transport.NodeID {
 	in := make(map[topology.DC]bool, len(dcs))
 	for _, dc := range dcs {
@@ -435,6 +551,9 @@ func (r *Run) SideIDs(dcs ...topology.DC) []transport.NodeID {
 		if in[n.DC] {
 			out = append(out, n.ID)
 		}
+	}
+	for _, dc := range dcs {
+		out = append(out, r.GatewayIDs(dc)...)
 	}
 	return out
 }
@@ -454,6 +573,11 @@ func (r *Run) OtherSideIDs(dcs ...topology.DC) []transport.NodeID {
 	for _, n := range r.Cluster.Clients {
 		if !in[n.DC] {
 			out = append(out, n.ID)
+		}
+	}
+	for _, dc := range topology.AllDCs() {
+		if !in[dc] {
+			out = append(out, r.GatewayIDs(dc)...)
 		}
 	}
 	return out
@@ -527,6 +651,70 @@ func (r *Run) RestartDC(dc topology.DC) {
 	}
 }
 
+// GatewayIDs returns the transport nodes of a DC's gateway tier (the
+// gateway plus its pooled coordinators); empty for non-gateway runs.
+func (r *Run) GatewayIDs(dc topology.DC) []transport.NodeID {
+	if r.gws == nil {
+		return nil
+	}
+	return gateway.NodeIDs(dc, r.scn.GatewayTuning)
+}
+
+// CrashGateway kills a data center's gateway process: the gateway and
+// its pooled coordinators stop receiving (their queued events and
+// timers die with the incarnation), every op the tier currently holds
+// is orphaned — commits become unknown-outcome history entries (the
+// protocol itself still settles any already-proposed option via the
+// dangling-option sweep), reads fail — and new ops are refused until
+// RestartGateway.
+func (r *Run) CrashGateway(dc topology.DC) {
+	if r.gws == nil || r.gwDown[dc] {
+		return
+	}
+	for _, id := range r.GatewayIDs(dc) {
+		r.Net.Crash(id)
+	}
+	r.gwDown[dc] = true
+	r.gwRetired = append(r.gwRetired, r.gws[dc]) // keep the dead incarnation's counters
+	// Orphan in deterministic token order.
+	toks := make([]uint64, 0, len(r.gwTokens))
+	for tok, p := range r.gwTokens {
+		if p.dc == dc {
+			toks = append(toks, tok)
+		}
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, tok := range toks {
+		p := r.gwTokens[tok]
+		if !r.claimGw(tok) {
+			continue
+		}
+		if p.readCB != nil {
+			p.readCB(record.Value{}, 0, false)
+			continue
+		}
+		r.hist.Orphan(p.client, p.updates)
+		p.settle(false)
+	}
+}
+
+// RestartGateway boots a fresh gateway incarnation for the data
+// center (gateways hold no durable state; the fresh instance re-learns
+// escrow headroom from piggybacked snapshots). The bumped generation
+// keeps the new incarnation's transaction ids disjoint from its dead
+// predecessor's, so stale in-flight votes cannot alias.
+func (r *Run) RestartGateway(dc topology.DC) {
+	if r.gws == nil || !r.gwDown[dc] {
+		return
+	}
+	for _, id := range r.GatewayIDs(dc) {
+		r.Net.Recover(id)
+	}
+	r.gwGen[dc]++
+	r.gws[dc] = gateway.NewGen(dc, r.Net, r.Cluster, r.Cfg, r.scn.GatewayTuning, r.gwGen[dc])
+	delete(r.gwDown, dc)
+}
+
 // heal undoes every outstanding fault: partitions, outages, crashed
 // nodes, chaos probabilities, latency distortions and clock drift.
 func (r *Run) heal() {
@@ -544,6 +732,11 @@ func (r *Run) heal() {
 	sort.Ints(idxs)
 	for _, i := range idxs {
 		r.RestartStorage(i)
+	}
+	for _, dc := range topology.AllDCs() {
+		if r.gwDown[dc] {
+			r.RestartGateway(dc)
+		}
 	}
 	r.Net.SetDropProb(0)
 	r.Net.SetDupProb(0)

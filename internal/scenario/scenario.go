@@ -123,12 +123,16 @@ type Result struct {
 	Duration time.Duration
 
 	// Commits and Aborts count acknowledged transactions (from the
-	// recorded history). ReadFails are transactions abandoned because
-	// their read found no replica. Unresolved counts transactions
-	// still unacknowledged after the drain epilogue — always a
-	// failure: MDCC transactions must settle once the network heals.
+	// recorded history). Unknown counts transactions whose gateway
+	// crashed before acknowledging — the protocol settled them, the
+	// client never learned the outcome; invariants are range-checked
+	// over them. ReadFails are transactions abandoned because their
+	// read found no replica. Unresolved counts transactions still
+	// unacknowledged after the drain epilogue — always a failure:
+	// MDCC transactions must settle once the network heals.
 	Commits    int
 	Aborts     int
+	Unknown    int
 	ReadFails  int
 	Unresolved int
 
@@ -165,8 +169,8 @@ func (r *Result) Report() string {
 	}
 	fmt.Fprintf(&b, "scenario %-22s seed=%-4d clients=%-4d duration=%s  %s\n",
 		r.Scenario, r.Seed, r.Clients, r.Duration, status)
-	fmt.Fprintf(&b, "  txns: %d committed, %d aborted, %d read-failed, %d unresolved\n",
-		r.Commits, r.Aborts, r.ReadFails, r.Unresolved)
+	fmt.Fprintf(&b, "  txns: %d committed, %d aborted, %d unknown (gateway crash), %d read-failed, %d unresolved\n",
+		r.Commits, r.Aborts, r.Unknown, r.ReadFails, r.Unresolved)
 	if r.WriteLat.N() > 0 {
 		fmt.Fprintf(&b, "  commit latency ms: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
 			r.WriteLat.Percentile(50), r.WriteLat.Percentile(95),

@@ -172,6 +172,44 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// The gateway tier itself becomes the fault target: two DCs'
+		// gateways hard-crash (queued events, merge windows and pooled
+		// coordinators die with the process; in-flight client acks are
+		// lost) and restart mid-stampede, while a third DC is
+		// partitioned away entirely — gateway included. Crashed-gateway
+		// transactions become unknown-outcome history entries: the
+		// dangling-option sweep must settle whatever was proposed, and
+		// the final state must stay inside the unknown-op envelope
+		// (version range, conservation interval, constraints). Scarcer
+		// stock than gateway-saturation keeps demarcation headroom live
+		// so the restarted gateways' re-learned escrow accounts are
+		// also under test.
+		Name:        "gateway-partition",
+		Description: "gateway processes crash/restart mid-stampede plus a DC partition; unknown-outcome ops bounded, sweep settles orphans",
+		Gateway:     true,
+		Workload: Workload{
+			Accounts:       20,
+			InitialBalance: 1000,
+			StockKeys:      3,
+			InitialStock:   20000,
+			Items:          4,
+			TransferFrac:   0.15,
+			StockFrac:      0.75,
+		},
+		Clients:  150,
+		Duration: time.Minute,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.15), "crash gateway us-east", func() { r.CrashGateway(topology.USEast) })
+			r.At(frac(r, 0.30), "partition eu-ie (gateway included) from the rest", func() {
+				r.Net.Partition(r.SideIDs(topology.EUIreland), r.OtherSideIDs(topology.EUIreland))
+			})
+			r.At(frac(r, 0.40), "restart gateway us-east", func() { r.RestartGateway(topology.USEast) })
+			r.At(frac(r, 0.50), "crash gateway ap-sg", func() { r.CrashGateway(topology.APSingapore) })
+			r.At(frac(r, 0.60), "heal partition", func() { r.Net.HealAll() })
+			r.At(frac(r, 0.75), "restart gateway ap-sg", func() { r.RestartGateway(topology.APSingapore) })
+		},
+	},
+	{
 		// Everything at once: sustained loss, duplication and
 		// reordering, clock drift on two replicas, a latency spike, a
 		// short partition and one crash/restart. The kitchen-sink

@@ -321,6 +321,21 @@ func (t *TCP) dropConn(addr string, c *tcpConn) {
 	c.close()
 }
 
+// DropPeerConns tears down every open outbound connection; the next
+// Send to an affected peer dials a fresh one. Test hook for
+// reconnect-ordering coverage (per-pair FIFO must survive teardown).
+func (t *TCP) DropPeerConns() {
+	t.mu.Lock()
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		t.dropConn(c.addr, c)
+	}
+}
+
 // Hello announces a locally hosted node's listen address to a remote
 // peer so the peer can route replies back. Call after Listen, before
 // sending requests.

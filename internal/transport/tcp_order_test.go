@@ -165,15 +165,7 @@ func TestTCPOrderingAfterReconnect(t *testing.T) {
 	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 10 })
 
 	// Tear the sender's connection down under it.
-	send.mu.Lock()
-	var conns []*tcpConn
-	for _, c := range send.conns {
-		conns = append(conns, c)
-	}
-	send.mu.Unlock()
-	for _, c := range conns {
-		send.dropConn(c.addr, c)
-	}
+	send.DropPeerConns()
 
 	for i := 10; i < 20; i++ {
 		send.Send("a", "sink", orderMsg{Src: "a", Seq: i})

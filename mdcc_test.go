@@ -79,7 +79,18 @@ func TestConflictDetectedAcrossSessions(t *testing.T) {
 		t.Fatal("insert failed")
 	}
 	_, verA, _, _ := a.Read("c/1")
-	if ok, _ := b.Commit(Physical("c/1", verA, Value{Attrs: map[string]int64{"x": 5}})); !ok {
+	// Visibility of a's insert is asynchronous; under load a replica
+	// quorum can still be at version 0 for a moment. Retry until the
+	// write lands (each attempt is a fresh option, so a rejected try
+	// leaves no state behind).
+	okB := false
+	for attempt := 0; attempt < 20 && !okB; attempt++ {
+		okB, _ = b.Commit(Physical("c/1", verA, Value{Attrs: map[string]int64{"x": 5}}))
+		if !okB {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !okB {
 		t.Fatal("b's update failed")
 	}
 	// a's stale write must abort.
