@@ -104,6 +104,22 @@ func gatewayBench() {
 			g.MergedOptions, g.MergedUpdates, g.CoalesceRatio, g.MergeSplits, g.AdmissionRejects, g.BatchFanIn, g.EscrowUpdates)
 	}
 	fmt.Printf("speedup: %.2fx committed tx/s; acceptor msgs/commit reduced %.1fx\n", cmp.Speedup, cmp.MsgDrop)
+	if rm := cmp.ReadMostly; rm != nil {
+		fmt.Printf("\nread-mostly (%d sessions, %.0f%% reads, %s measure):\n",
+			rm.Sessions, rm.ReadFrac*100, rm.Measure)
+		rrow := func(r bench.ReadRun) {
+			fmt.Printf("%-26s %10.0f reads/s  p50 %6.1fms p99 %6.1fms  %8.1f write tx/s  %0.3f read RPCs/read (%d cross-DC read msgs)\n",
+				r.Mode, r.ReadsPerSec, r.ReadP50Ms, r.ReadP99Ms, r.WriteTPS, r.SteadyReadRPCsPerRead, r.CrossDCReadMsgs)
+		}
+		rrow(rm.Baseline)
+		rrow(rm.Tier)
+		if g := rm.Tier.Gateway; g != nil {
+			fmt.Printf("read tier internals: %d local reads (frac %.3f), %d rpc fills, %d shared flights, %d quorum escalations; feed %d msgs carrying %d items, %d gaps, %d resubs\n",
+				g.LocalReads, g.LocalReadFrac, g.ReadRPCs, g.ReadCoalesced, g.ReadQuorums,
+				g.FeedMsgs, g.FeedItems, g.FeedGaps, g.FeedResubs)
+		}
+		fmt.Printf("read speedup: %.2fx reads/s over per-RPC reads\n", rm.SpeedupRead)
+	}
 	if s := cmp.Scarce; s != nil {
 		fmt.Printf("scarce stock arm: %d commits %d aborts, %d demarcation rejects at acceptors", s.Commits, s.Aborts, s.DemarcationRejects)
 		if g := s.Gateway; g != nil {

@@ -19,7 +19,10 @@
 //	                                      // (gateway batch fan-in),
 //	                                      // VoteBatchEnvelopes/Items
 //	                                      // (acceptor→coordinator vote
-//	                                      // batching fan-in)
+//	                                      // batching fan-in),
+//	                                      // FeedMsgs/FeedItems (visibility
+//	                                      // feed published to the DC's
+//	                                      // gateway read tier)
 //	  }],
 //	  "transport": {                      // transport.Stats, whole process
 //	    "msgsSent": 0, "msgsReceived": 0, // envelopes in/out (TCP+local)
@@ -48,6 +51,32 @@
 //	                                      // shared demarcation headroom
 //	                                      // (-1 = none tracked; 0 = merge
 //	                                      // admission currently bypassing)
+//	    "localReads": 0,                  // read tier: reads served from
+//	                                      // feed-materialized memory
+//	                                      // (zero RPCs)
+//	    "readRPCs": 0,                    // single-flight fallback reads
+//	                                      // (cold keys, dead feeds,
+//	                                      // floor outruns)
+//	    "readCoalesced": 0,               // readers who shared an
+//	                                      // in-flight fallback
+//	    "readQuorums": 0,                 // quorum escalations for
+//	                                      // session floors the local
+//	                                      // replica lagged
+//	    "localReadFrac": 0.0,             // localReads / all reads served
+//	    "feedMsgs": 0, "feedItems": 0,    // consumed in-order visibility
+//	                                      // feed messages / key states
+//	    "feedGaps": 0,                    // sequence holes detected (each
+//	                                      // triggers a catch-up resync)
+//	    "feedDrops": 0,                   // feeds marked dead after
+//	                                      // FeedTTL of silence
+//	    "feedResubs": 0,                  // subscriptions sent (initial
+//	                                      // + resyncs)
+//	    "feedStaleMsgs": 0,               // duplicate / dead-epoch feed
+//	                                      // messages discarded
+//	    "materializedKeys": 0,            // gauge: keys holding a served
+//	                                      // value
+//	    "feedsLive": 0,                   // gauge: local shard streams
+//	                                      // currently bounding staleness
 //	    "admissionRejects": 0,            // shed with ErrOverloaded
 //	    "inflight": 0, "queueDepth": 0,   // current admission state
 //	    "queuePeak": 0,

@@ -43,6 +43,8 @@ var (
 	gwBatch    = flag.Duration("gateway-batch-window", 0, "outbound cross-transaction batching window (0 = default)")
 	gwCoalesce = flag.Duration("gateway-coalesce-window", 0, "hot-key delta coalescing window (0 = default)")
 	gwInflight = flag.Int("gateway-max-inflight", 0, "admission: max in-flight transactions (0 = default)")
+	gwReadTier = flag.Bool("gateway-read-tier", true, "serve gateway reads from the DC-local learned replica (visibility-feed materialized memory); false = one RPC per read")
+	gwFeedTTL  = flag.Duration("gateway-feed-ttl", 0, "read tier: max visibility-feed silence before memory reads fall back to RPC (0 = default 2s)")
 )
 
 func main() {
@@ -129,15 +131,21 @@ func main() {
 	var gw *gateway.Gateway
 	if *gwMode {
 		tun := mdcc.GatewayTuning{
-			Pool:           *gwPool,
-			BatchWindow:    *gwBatch,
-			CoalesceWindow: *gwCoalesce,
-			MaxInflight:    *gwInflight,
+			Pool:            *gwPool,
+			BatchWindow:     *gwBatch,
+			CoalesceWindow:  *gwCoalesce,
+			MaxInflight:     *gwInflight,
+			DisableReadTier: !*gwReadTier,
+			FeedTTL:         *gwFeedTTL,
 		}
 		gw = gateway.New(dc, net, cl, cfg, tun)
 		resolved := gw.Tuning()
-		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s, headroom share 1/%d)",
-			gw.ID(), resolved.Pool, resolved.BatchWindow, resolved.CoalesceWindow, resolved.HeadroomShare)
+		readTier := "off (per-RPC reads)"
+		if !resolved.DisableReadTier {
+			readTier = fmt.Sprintf("on (feed ttl %s)", resolved.FeedTTL)
+		}
+		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s, headroom share 1/%d, read tier %s)",
+			gw.ID(), resolved.Pool, resolved.BatchWindow, resolved.CoalesceWindow, resolved.HeadroomShare, readTier)
 	}
 	log.Printf("%s serving on %s", dc, bound)
 	if *httpAddr != "" {

@@ -47,8 +47,8 @@ type gatewayBackend struct {
 	gw *gateway.Gateway
 }
 
-func (b gatewayBackend) Read(key Key, cb func(record.Value, record.Version, bool)) {
-	b.gw.Read(key, cb)
+func (b gatewayBackend) Read(key Key, floor Version, cb func(record.Value, record.Version, bool)) {
+	b.gw.ReadFloor(key, floor, cb)
 }
 
 func (b gatewayBackend) ReadQuorum(key Key, cb func(record.Value, record.Version, bool)) {

@@ -47,6 +47,14 @@ type GatewayScale struct {
 	// only when shared headroom exists; split-and-rerun stays rare).
 	ScarceStock   int64
 	ScarceMeasure time.Duration
+
+	// ReadFrac/ReadWarmup/ReadMeasure size the read-mostly arms
+	// (see readtier.go): a ReadFrac read mix at Sessions closed-loop
+	// clients, RPC reads vs the learned-replica read tier. ReadFrac 0
+	// skips them.
+	ReadFrac    float64
+	ReadWarmup  time.Duration
+	ReadMeasure time.Duration
 }
 
 // GatewayPaperScale is the full saturation setting: 1000 sessions.
@@ -61,6 +69,9 @@ func GatewayPaperScale() GatewayScale {
 		Measure:       60 * time.Second,
 		ScarceStock:   12_000,
 		ScarceMeasure: 20 * time.Second,
+		ReadFrac:      0.9,
+		ReadWarmup:    5 * time.Second,
+		ReadMeasure:   30 * time.Second,
 	}
 }
 
@@ -76,6 +87,9 @@ func GatewayQuickScale() GatewayScale {
 		Measure:       20 * time.Second,
 		ScarceStock:   1_200,
 		ScarceMeasure: 10 * time.Second,
+		ReadFrac:      0.9,
+		ReadWarmup:    2 * time.Second,
+		ReadMeasure:   10 * time.Second,
 	}
 }
 
@@ -123,7 +137,10 @@ type GatewayComparison struct {
 	// only inside real shared headroom (low MergeSplits) while the
 	// acceptors arbitrate the rest (CoalesceBypass, DemarcationRejects).
 	Scarce *GatewayRun `json:"scarce,omitempty"`
-	Quick  bool        `json:"quick,omitempty"`
+	// ReadMostly compares the 90/10 read mix with per-RPC reads vs
+	// the learned-replica read tier (see readtier.go).
+	ReadMostly *ReadComparison `json:"readMostly,omitempty"`
+	Quick      bool            `json:"quick,omitempty"`
 }
 
 // GatewaySaturation runs both arms (plus the scarce-stock gateway
@@ -155,6 +172,9 @@ func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 		run := runGatewayArm(seed, scarce, true)
 		run.Mode = "gateway-scarce"
 		cmp.Scarce = &run
+	}
+	if sc.ReadFrac > 0 && sc.ReadMeasure > 0 {
+		cmp.ReadMostly = ReadMostly(seed, sc)
 	}
 	return cmp
 }

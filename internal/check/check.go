@@ -9,6 +9,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"mdcc/internal/mtx"
@@ -32,9 +33,10 @@ type Op struct {
 // History collects operations from all wrapped clients of a run.
 // Safe for concurrent use.
 type History struct {
-	mu  sync.Mutex
-	ops []Op
-	seq int64
+	mu    sync.Mutex
+	ops   []Op
+	reads []ReadObs
+	seq   int64
 }
 
 // New returns an empty history.
@@ -91,6 +93,102 @@ func (h *History) Orphan(client int, updates []record.Update) {
 		Unknown: true,
 	})
 	h.mu.Unlock()
+}
+
+// ReadObs is one observed read in a session-guaranteed client's
+// history (recorded only for clients that request floored reads —
+// plain read-committed reads have no ordering obligation to check).
+type ReadObs struct {
+	Seq     int64
+	Client  int
+	Key     record.Key
+	Version record.Version
+	Exists  bool
+}
+
+// ObserveRead records a successful floored read. The shared sequence
+// counter interleaves reads with the client's commits, so per-client
+// program order is recoverable for the session-guarantee checks.
+func (h *History) ObserveRead(client int, key record.Key, ver record.Version, exists bool) {
+	h.mu.Lock()
+	h.seq++
+	h.reads = append(h.reads, ReadObs{Seq: h.seq, Client: client, Key: key, Version: ver, Exists: exists})
+	h.mu.Unlock()
+}
+
+// Reads returns a copy of the recorded read observations.
+func (h *History) Reads() []ReadObs {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ReadObs(nil), h.reads...)
+}
+
+// ValidateSessionReads checks the §4.2 session guarantees over the
+// recorded reads, per client in program order (clients are closed
+// loops, so the shared sequence numbers order each client's ops):
+//
+//   - Monotonic reads: a client's successive reads of a key never
+//     observe a version lower than one it already observed.
+//   - Read-your-writes: after a client's acknowledged committed
+//     physical write of a key at read-version v (producing v+1), its
+//     later reads of that key observe version >= v+1.
+//
+// Unacknowledged (unknown-outcome) writes impose no floor — the
+// client never learned they committed — and commutative deltas
+// produce no client-known version, so neither raises expectations.
+// These guarantees are exactly what the gateway read tier must
+// preserve through feed lag, gaps, and gateway crashes: a violation
+// means a stale materialized value was served past a session floor.
+func (h *History) ValidateSessionReads() []error {
+	type ev struct {
+		seq  int64
+		read bool
+		ver  record.Version // read: observed; write: floor (vread+1)
+		key  record.Key
+	}
+	byClient := make(map[int][]ev)
+	for _, op := range h.Ops() {
+		if !op.Committed || op.Unknown {
+			continue
+		}
+		for _, up := range op.Updates {
+			if up.Kind == record.KindPhysical {
+				byClient[op.Client] = append(byClient[op.Client],
+					ev{seq: op.Seq, key: up.Key, ver: up.ReadVersion + 1})
+			}
+		}
+	}
+	for _, r := range h.Reads() {
+		if !r.Exists {
+			continue // failed/absent reads carry no version to order
+		}
+		byClient[r.Client] = append(byClient[r.Client],
+			ev{seq: r.Seq, read: true, key: r.Key, ver: r.Version})
+	}
+	clients := make([]int, 0, len(byClient))
+	for c := range byClient {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	var errs []error
+	for _, c := range clients {
+		evs := byClient[c]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+		floor := make(map[record.Key]record.Version)
+		for _, e := range evs {
+			if e.read {
+				if e.ver < floor[e.key] {
+					errs = append(errs, fmt.Errorf(
+						"check: client %d read %s at version %d after observing/writing version %d (session guarantee violated)",
+						c, e.key, e.ver, floor[e.key]))
+				}
+			}
+			if e.ver > floor[e.key] {
+				floor[e.key] = e.ver
+			}
+		}
+	}
+	return errs
 }
 
 // Unknowns counts recorded unknown-outcome ops.

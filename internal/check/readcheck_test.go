@@ -1,0 +1,73 @@
+package check
+
+import (
+	"testing"
+
+	"mdcc/internal/record"
+)
+
+// Unit tests for the session-guarantee read validator
+// (ValidateSessionReads): monotonic reads and read-your-writes per
+// client, recomputed purely from the recorded history.
+
+func TestSessionReadsMonotonicViolation(t *testing.T) {
+	h := New()
+	h.ObserveRead(0, "k", 5, true)
+	h.ObserveRead(0, "k", 3, true) // went backwards
+	errs := h.ValidateSessionReads()
+	if len(errs) != 1 || !containsStr(errs[0].Error(), "session guarantee violated") {
+		t.Fatalf("monotonic violation not detected: %v", errs)
+	}
+}
+
+func TestSessionReadsMonotonicPerClientAndKey(t *testing.T) {
+	h := New()
+	// Different clients may observe different orders; different keys
+	// are independent floors.
+	h.ObserveRead(0, "k", 5, true)
+	h.ObserveRead(1, "k", 3, true)
+	h.ObserveRead(0, "other", 1, true)
+	h.ObserveRead(0, "k", 5, true)
+	h.ObserveRead(1, "k", 4, true)
+	if errs := h.ValidateSessionReads(); len(errs) != 0 {
+		t.Fatalf("clean cross-client history flagged: %v", errs)
+	}
+}
+
+func TestSessionReadsReadYourWrites(t *testing.T) {
+	h := New()
+	c := h.Client(0, fakeClient{commit: true})
+	h.ObserveRead(0, "k", 1, true)
+	// Committed physical write at vread 1 -> produced version 2.
+	c.Commit([]record.Update{record.Physical("k", 1, record.Value{Attrs: map[string]int64{"x": 1}})}, func(bool) {})
+	h.ObserveRead(0, "k", 1, true) // must have seen >= 2
+	errs := h.ValidateSessionReads()
+	if len(errs) != 1 || !containsStr(errs[0].Error(), "after observing/writing version 2") {
+		t.Fatalf("read-your-writes violation not detected: %v", errs)
+	}
+}
+
+func TestSessionReadsUnknownAndAbortedWritesImposeNoFloor(t *testing.T) {
+	h := New()
+	aborted := h.Client(0, fakeClient{commit: false})
+	h.ObserveRead(0, "k", 1, true)
+	// An aborted write and an unacknowledged (orphaned) write: the
+	// client never learned either committed, so reads at the old
+	// version stay legal.
+	aborted.Commit([]record.Update{record.Physical("k", 1, record.Value{Attrs: map[string]int64{"x": 1}})}, func(bool) {})
+	h.Orphan(0, []record.Update{record.Physical("k", 1, record.Value{Attrs: map[string]int64{"x": 2}})})
+	h.ObserveRead(0, "k", 1, true)
+	if errs := h.ValidateSessionReads(); len(errs) != 0 {
+		t.Fatalf("aborted/unknown writes raised a floor: %v", errs)
+	}
+}
+
+func TestSessionReadsFailedReadsCarryNoVersion(t *testing.T) {
+	h := New()
+	h.ObserveRead(0, "k", 7, true)
+	h.ObserveRead(0, "k", 0, false) // failed read: no ordering obligation
+	h.ObserveRead(0, "k", 7, true)
+	if errs := h.ValidateSessionReads(); len(errs) != 0 {
+		t.Fatalf("failed read flagged: %v", errs)
+	}
+}

@@ -43,6 +43,18 @@ type StorageNode struct {
 	voteBuf       map[transport.NodeID][]transport.Envelope
 	voteOrder     []transport.NodeID
 
+	// Committed-visibility feed (see feed.go): per-subscriber stream
+	// state and the keys dirtied by the dispatch in progress, flushed
+	// alongside the vote buffers.
+	feedSubs           map[transport.NodeID]*feedSub
+	feedSubOrder       []transport.NodeID
+	feedDirty          []record.Key
+	feedDirtySet       map[record.Key]bool
+	feedKeepAliveArmed bool
+	feedFlushArmed     bool
+	feedLastFlush      time.Time
+	feedBoot           uint64 // publisher incarnation id (see MsgVisibilityFeed.Boot)
+
 	// Counters (read via Metrics).
 	nVotesAccept, nVotesReject int64
 	nForwarded                 int64
@@ -55,6 +67,8 @@ type StorageNode struct {
 	nBatchItems                int64
 	nVoteBatchEnvelopes        int64
 	nVoteBatchItems            int64
+	nFeedMsgs                  int64
+	nFeedItems                 int64
 }
 
 // recState is the acceptor's per-record Paxos state: the promised and
@@ -79,18 +93,27 @@ type recState struct {
 func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 	cl *topology.Cluster, cfg Config, store *kv.Store) *StorageNode {
 	n := &StorageNode{
-		id:         id,
-		dc:         dc,
-		net:        net,
-		cl:         cl,
-		cfg:        cfg,
-		q:          paxos.NewQuorum(cl.ReplicationFactor()),
-		store:      store,
-		recs:       make(map[record.Key]*recState),
-		ldrs:       make(map[record.Key]*leaderRec),
-		recoveries: make(map[uint64]*txRecovery),
-		voteBuf:    make(map[transport.NodeID][]transport.Envelope),
+		id:           id,
+		dc:           dc,
+		net:          net,
+		cl:           cl,
+		cfg:          cfg,
+		q:            paxos.NewQuorum(cl.ReplicationFactor()),
+		store:        store,
+		recs:         make(map[record.Key]*recState),
+		ldrs:         make(map[record.Key]*leaderRec),
+		recoveries:   make(map[uint64]*txRecovery),
+		voteBuf:      make(map[transport.NodeID][]transport.Envelope),
+		feedSubs:     make(map[transport.NodeID]*feedSub),
+		feedDirtySet: make(map[record.Key]bool),
 	}
+	// The feed boot id distinguishes this incarnation's stream from a
+	// dead predecessor's: construction time is strictly later than any
+	// prior incarnation's (restarts happen after crashes, on the real
+	// clock and the virtual one), so the id changes across restarts
+	// without durable state. +1 keeps it nonzero even at the simulated
+	// clock's epoch (consumers use 0 as "no stream consumed yet").
+	n.feedBoot = uint64(net.Now().UnixNano()) + 1
 	net.Register(id, n.handle)
 	if cfg.PendingTimeout > 0 {
 		n.scheduleSweep()
@@ -120,6 +143,7 @@ func (n *StorageNode) handle(env transport.Envelope) {
 	n.dispatchDepth--
 	if n.dispatchDepth == 0 {
 		n.flushVotes()
+		n.flushFeeds()
 	}
 }
 
@@ -166,6 +190,9 @@ func (n *StorageNode) dispatch(env transport.Envelope) {
 		n.onRecoverOpt(env.From, m)
 	case MsgOptDecided:
 		n.onOptDecided(m)
+	// Committed-visibility feed (gateway read tier).
+	case MsgVisibilitySub:
+		n.onVisibilitySub(env.From, m)
 	// Anti-entropy catch-up.
 	case MsgSyncReq:
 		n.onSyncReq(env.From, m)
@@ -583,7 +610,11 @@ func (n *StorageNode) onVisibility(m MsgVisibility) {
 		n.logDecision(id, DecReject, m.Opt, true)
 		n.nDiscarded++
 	}
+	// Both outcomes feed the visibility stream: a commit changed the
+	// committed value, and even an abort freed pending escrow (the
+	// post-pruneVote snapshot reflects it).
 	n.pruneVote(r, id)
+	n.markFeedDirty(key)
 	n.leaderObserveVisibility(key, id)
 }
 
@@ -664,6 +695,7 @@ func (n *StorageNode) adoptBase(key record.Key, base record.Value, baseVer recor
 			n.logDecision(d.ID, d.Decision, d.Opt, d.HasOpt)
 		}
 	}
+	n.markFeedDirty(key)
 	return true
 }
 

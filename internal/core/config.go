@@ -81,6 +81,28 @@ type Config struct {
 	// replica to catch up after outages (§3.2.3's background
 	// bulk-copy). Zero disables.
 	SyncInterval time.Duration
+
+	// FeedKeepAlive is how often a storage node proves its
+	// committed-visibility feed alive to quiet subscribers (see
+	// feed.go); it is the node-side half of the gateway read tier's
+	// staleness bound. Zero means the 500ms default.
+	FeedKeepAlive time.Duration
+
+	// FeedFlushInterval rate-limits visibility-feed flushes: at most
+	// one feed message per subscriber per interval under sustained
+	// write load (the first flush after quiet goes immediately), so
+	// the feed cannot tax a saturated write path. It is the feed's
+	// steady-state staleness bound under load. Zero means the 10ms
+	// default.
+	FeedFlushInterval time.Duration
+}
+
+// feedKeepAlive resolves the keepalive interval.
+func (c Config) feedKeepAlive() time.Duration {
+	if c.FeedKeepAlive > 0 {
+		return c.FeedKeepAlive
+	}
+	return 500 * time.Millisecond
 }
 
 // Defaults returns a Config tuned for the simulated 5-DC WAN: option

@@ -429,6 +429,9 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 
 // onLearned applies a leader's authoritative decision.
 func (c *Coordinator) onLearned(m MsgLearned) {
+	// Classic-path learns carry the leader replica's escrow snapshot —
+	// the only freshness channel for records inside a γ window.
+	c.observeEscrow("", m.OptID.Key, m.Escrow)
 	t, ok := c.txs[m.OptID.Tx]
 	if !ok {
 		return

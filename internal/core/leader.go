@@ -110,14 +110,15 @@ func (n *StorageNode) leaderPropose(opt Option, recovery bool) {
 		l.resetGamma(n.cfg)
 	}
 
+	comm := opt.Update.Kind == record.KindCommutative
 	// Already settled? Answer immediately.
 	if d, ok := r.decided.get(id); ok {
-		n.notifyLearned(opt.Coord, id, d)
+		n.notifyLearned(opt.Coord, id, d, comm)
 		n.resolveWaiters(l, id, d)
 		return
 	}
 	if d, ok := l.learned.get(id); ok {
-		n.notifyLearned(opt.Coord, id, d)
+		n.notifyLearned(opt.Coord, id, d, comm)
 		n.resolveWaiters(l, id, d)
 		return
 	}
@@ -512,7 +513,8 @@ func (n *StorageNode) onPhase2b(from transport.NodeID, m MsgPhase2b) {
 			continue
 		}
 		l.learned.record(id, v.Decision, v.Opt, true, n.net.Now())
-		n.notifyLearned(v.Opt.Coord, id, v.Decision)
+		n.notifyLearned(v.Opt.Coord, id, v.Decision,
+			v.Opt.Update.Kind == record.KindCommutative)
 		n.resolveWaiters(l, id, v.Decision)
 		if v.Decision == DecReject {
 			// Rejected options never execute; drop them from the
@@ -604,11 +606,20 @@ func (n *StorageNode) leaderObserveVisibility(key record.Key, id OptionID) {
 }
 
 // notifyLearned tells a coordinator an option's decision.
-func (n *StorageNode) notifyLearned(coord transport.NodeID, id OptionID, d Decision) {
+// commutative selects the escrow piggyback: classic-path learns are
+// the only freshness channel a record inside a γ window has (it
+// produces no fast-path votes), so the leader attaches its own
+// demarcation snapshot exactly as acceptors do on Phase2b votes.
+func (n *StorageNode) notifyLearned(coord transport.NodeID, id OptionID, d Decision, commutative bool) {
 	if coord == "" {
 		return
 	}
-	n.net.Send(n.id, coord, MsgLearned{OptID: id, Decision: d})
+	msg := MsgLearned{OptID: id, Decision: d}
+	if commutative && len(n.cfg.Constraints) > 0 {
+		val, ver, _ := n.store.Get(id.Key)
+		msg.Escrow = n.escrowSnap(id.Key, val, ver)
+	}
+	n.net.Send(n.id, coord, msg)
 }
 
 // resolveWaiters answers dangling-recovery requests for an option.

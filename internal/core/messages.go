@@ -79,6 +79,12 @@ type EscrowSnap struct {
 type MsgLearned struct {
 	OptID    OptionID
 	Decision Decision
+	// Escrow piggybacks the leader replica's demarcation state for the
+	// decided record (set for commutative options under constraints).
+	// Classic-path decisions never produce fast-path votes, so without
+	// this the gateway tier's headroom accounts would starve on
+	// classic-heavy workloads (every record in a γ window).
+	Escrow EscrowSnap
 }
 
 // MsgVisibility is the coordinator's (or recovery node's) "Learned/

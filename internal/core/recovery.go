@@ -238,6 +238,10 @@ type Metrics struct {
 	// (the vote-direction batching fan-in).
 	VoteBatchEnvelopes int64
 	VoteBatchItems     int64
+	// FeedMsgs counts committed-visibility feed messages sent
+	// (including keepalives), FeedItems the key states inside them.
+	FeedMsgs  int64
+	FeedItems int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -258,5 +262,7 @@ func (n *StorageNode) Metrics() Metrics {
 		BatchItems:         n.nBatchItems,
 		VoteBatchEnvelopes: n.nVoteBatchEnvelopes,
 		VoteBatchItems:     n.nVoteBatchItems,
+		FeedMsgs:           n.nFeedMsgs,
+		FeedItems:          n.nFeedItems,
 	}
 }

@@ -97,6 +97,16 @@ type Tuning struct {
 	// collectively over-admit between snapshots. Default: one share
 	// per data center; 1 gives a lone gateway the whole slice.
 	HeadroomShare int
+	// DisableReadTier turns the learned-replica read tier off: reads
+	// go through a pooled coordinator as one RPC each (the pre-tier
+	// behavior; also the read benchmark's baseline arm).
+	DisableReadTier bool
+	// FeedTTL is how long a shard's visibility feed may go silent
+	// before its materialized state stops being served and the
+	// subscription is renewed — the tier's worst-case staleness bound
+	// across failures (default 2s; steady-state staleness is one
+	// dispatch flush, see internal/core/feed.go).
+	FeedTTL time.Duration
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -123,6 +133,9 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.HeadroomShare <= 0 {
 		t.HeadroomShare = topology.NumDCs
+	}
+	if t.FeedTTL <= 0 {
+		t.FeedTTL = feedTTLDefault
 	}
 	return t
 }
@@ -208,6 +221,35 @@ type Metrics struct {
 	TrackedKeys int64 `json:"trackedKeys"`
 	MinHeadroom int64 `json:"minHeadroom"`
 
+	// Learned-replica read tier. LocalReads counts reads served from
+	// the materialized store with zero RPCs; ReadRPCs single-flight
+	// fallback reads dispatched (cold keys, dead feeds, floor
+	// outruns); ReadCoalesced callers who shared an already-in-flight
+	// fallback; ReadQuorums quorum escalations for floors the local
+	// replica could not meet. LocalReadFrac is LocalReads over all
+	// reads served.
+	LocalReads    int64   `json:"localReads"`
+	ReadRPCs      int64   `json:"readRPCs"`
+	ReadCoalesced int64   `json:"readCoalesced"`
+	ReadQuorums   int64   `json:"readQuorums"`
+	LocalReadFrac float64 `json:"localReadFrac"`
+	// Feed stream health. FeedMsgs/FeedItems count consumed in-order
+	// feed messages and the key states inside them; FeedGaps sequence
+	// holes detected (each triggers a resync); FeedDrops feeds marked
+	// dead after FeedTTL of silence; FeedResubs subscriptions sent
+	// (initial + resyncs); FeedStaleMsgs duplicates and dead-epoch
+	// messages discarded. MaterializedKeys (gauge) is how many keys
+	// hold a served value; FeedsLive (gauge) how many local shard
+	// streams currently bound staleness.
+	FeedMsgs         int64 `json:"feedMsgs"`
+	FeedItems        int64 `json:"feedItems"`
+	FeedGaps         int64 `json:"feedGaps"`
+	FeedDrops        int64 `json:"feedDrops"`
+	FeedResubs       int64 `json:"feedResubs"`
+	FeedStaleMsgs    int64 `json:"feedStaleMsgs"`
+	MaterializedKeys int64 `json:"materializedKeys"`
+	FeedsLive        int64 `json:"feedsLive"`
+
 	// Admission control.
 	AdmissionRejects int64 `json:"admissionRejects"`
 	Inflight         int64 `json:"inflight"`
@@ -245,6 +287,18 @@ func (m *Metrics) Add(o Metrics) {
 		m.MinHeadroom = o.MinHeadroom
 	}
 	m.TrackedKeys += o.TrackedKeys
+	m.LocalReads += o.LocalReads
+	m.ReadRPCs += o.ReadRPCs
+	m.ReadCoalesced += o.ReadCoalesced
+	m.ReadQuorums += o.ReadQuorums
+	m.FeedMsgs += o.FeedMsgs
+	m.FeedItems += o.FeedItems
+	m.FeedGaps += o.FeedGaps
+	m.FeedDrops += o.FeedDrops
+	m.FeedResubs += o.FeedResubs
+	m.FeedStaleMsgs += o.FeedStaleMsgs
+	m.MaterializedKeys += o.MaterializedKeys
+	m.FeedsLive += o.FeedsLive
 	m.AdmissionRejects += o.AdmissionRejects
 	m.Inflight += o.Inflight
 	m.QueueDepth += o.QueueDepth
@@ -265,6 +319,10 @@ func (m *Metrics) Finalize() {
 	m.BatchFanIn = 0
 	if m.BatchEnvelopes > 0 {
 		m.BatchFanIn = float64(m.BatchedMsgs) / float64(m.BatchEnvelopes)
+	}
+	m.LocalReadFrac = 0
+	if served := m.LocalReads + m.ReadRPCs + m.ReadCoalesced; served > 0 {
+		m.LocalReadFrac = float64(m.LocalReads) / float64(served)
 	}
 }
 
@@ -305,6 +363,24 @@ type keyState struct {
 	fetched    time.Time // when the snapshot arrived (snapTTL refresh)
 	pendSetAt  time.Time // when the pending sums were last set wholesale
 	refreshing bool
+	// Materialized committed state (the learned-replica read tier):
+	// the freshest (value, version) observed for the key via the
+	// visibility feed or fallback read replies, unified with the
+	// escrow account so value and headroom freshness ride the same
+	// stream and the same GC. confirmed reports the key is registered
+	// in the shard's interest set — proven by the stream echoing the
+	// key back — which is what licenses serving it from memory: an
+	// RPC-installed value whose interest-add was lost would otherwise
+	// go stale silently under a live feed that simply never carries
+	// the key.
+	hasVal    bool
+	confirmed bool
+	val       record.Value
+	valVer    record.Version
+	valExists bool
+	readAt    time.Time // last served read (the eviction clock)
+	askedAt   time.Time // last interest-add sent (resend throttle)
+	askTries  int       // unanswered interest-adds (backoff exponent)
 	// outDown/outUp are this gateway's admitted-but-unresolved deltas,
 	// split by direction (worst-case accounting mirrors the acceptor).
 	// They may double-count deltas already visible in acc's pending
@@ -341,6 +417,12 @@ type Gateway struct {
 	m        Metrics
 	reqSeq   uint64
 	closed   bool
+
+	// Learned-replica read tier (see readtier.go).
+	shards   []transport.NodeID // this DC's storage nodes
+	feeds    map[transport.NodeID]*feedState
+	flights  map[record.Key]*readFlight
+	subEpoch uint64
 }
 
 // New builds a gateway for dc on net and registers its node (and its
@@ -380,6 +462,29 @@ func NewGen(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg
 	}
 	net.Register(g.id, g.handle)
 	g.scheduleSweep()
+	if !tun.DisableReadTier {
+		// Subscribe to every local shard's committed-visibility feed.
+		// Epochs must outrank every epoch a dead predecessor left in
+		// the shards' subscriber tables — otherwise the stale-epoch
+		// guard drops the fresh incarnation's subscriptions until its
+		// counter catches up. Deriving the base from construction time
+		// guarantees that without generation plumbing (restarts are
+		// strictly later, on the real clock and the virtual one), the
+		// same trick the publisher side's Boot id uses.
+		g.subEpoch = uint64(net.Now().UnixNano())
+		g.feeds = make(map[transport.NodeID]*feedState)
+		g.flights = make(map[record.Key]*readFlight)
+		for _, n := range cl.Storage {
+			if n.DC == dc {
+				g.shards = append(g.shards, n.ID)
+				g.feeds[n.ID] = &feedState{}
+			}
+		}
+		g.mu.Lock()
+		g.subscribeFeedsLocked()
+		g.mu.Unlock()
+		g.scheduleFeedCheck()
+	}
 	return g
 }
 
@@ -400,9 +505,15 @@ func (g *Gateway) nextCoordLocked() *core.Coordinator {
 	return co
 }
 
-// Read serves a nearest-replica read through a pooled coordinator.
-// cb may fire on a coordinator goroutine.
+// Read serves a committed read with no version floor: from the
+// materialized read tier when live (zero RPCs), else through a pooled
+// coordinator. cb may fire synchronously (memory hit) or on a
+// coordinator goroutine. See ReadFloor for floor-aware reads.
 func (g *Gateway) Read(key record.Key, cb func(val record.Value, ver record.Version, exists bool)) {
+	if !g.tun.DisableReadTier {
+		g.ReadFloor(key, 0, cb)
+		return
+	}
 	g.mu.Lock()
 	co := g.nextCoordLocked()
 	g.mu.Unlock()
@@ -582,8 +693,16 @@ func (g *Gateway) observeEscrow(_ transport.NodeID, key record.Key, snap core.Es
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	ks := g.ks(key)
-	now := g.net.Now()
+	g.foldEscrowLocked(g.ks(key), snap, g.net.Now())
+}
+
+// foldEscrowLocked merges one escrow snapshot into a headroom account
+// (shared by the vote/read-reply observer and the visibility feed, so
+// escrow freshness rides whichever channel is fresher).
+func (g *Gateway) foldEscrowLocked(ks *keyState, snap core.EscrowSnap, now time.Time) {
+	if !snap.Valid {
+		return
+	}
 	switch {
 	case !ks.seen || snap.Version > ks.ver:
 		ks.acc = make(map[string]attrAccount, len(snap.Attrs))
@@ -890,15 +1009,22 @@ func idleLocked(ks *keyState) bool {
 	return true
 }
 
-// maybeEvictLocked retires a keyState once it is fully idle and its
-// snapshot has gone stale — without this, g.keys grows by one entry
-// per commutative key ever touched and the Metrics gauge scan walks
-// them all under the gateway lock forever.
+// maybeEvictLocked retires a keyState once it is fully idle, its
+// snapshot has gone stale, and nobody has read its materialized value
+// lately — without this, g.keys grows by one entry per key ever
+// touched and the Metrics gauge scan walks them all under the gateway
+// lock forever. Eviction also bounds the read tier's memory: feed
+// items refresh only tracked keys, so an evicted key stays gone until
+// a read re-materializes it.
 func (g *Gateway) maybeEvictLocked(key record.Key, ks *keyState) {
 	if !idleLocked(ks) {
 		return
 	}
-	if ks.seen && g.net.Now().Sub(ks.fetched) < evictAfter {
+	now := g.net.Now()
+	if ks.seen && now.Sub(ks.fetched) < evictAfter {
+		return
+	}
+	if ks.hasVal && now.Sub(ks.readAt) < evictAfter {
 		return
 	}
 	delete(g.keys, key)
@@ -977,6 +1103,9 @@ func (g *Gateway) Metrics() Metrics {
 	m.Inflight = int64(g.inflight)
 	m.QueueDepth = int64(len(g.queue))
 	m.TrackedKeys, m.MinHeadroom = g.headroomGaugesLocked()
+	if !g.tun.DisableReadTier {
+		m.MaterializedKeys, m.FeedsLive = g.readTierGaugesLocked()
+	}
 	g.mu.Unlock()
 	m.BatchEnvelopes = g.bnet.envelopes.Load()
 	m.BatchedMsgs = g.bnet.batched.Load()

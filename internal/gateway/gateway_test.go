@@ -17,6 +17,7 @@ import (
 type testWorld struct {
 	net    *simnet.Net
 	cl     *topology.Cluster
+	cfg    core.Config
 	nodes  []*core.StorageNode
 	stores []*kv.Store
 	gw     *Gateway
@@ -37,7 +38,7 @@ func newTestWorld(t *testing.T, tun Tuning, cons []record.Constraint) *testWorld
 	})
 	cfg := core.Defaults(core.ModeMDCC)
 	cfg.Constraints = cons
-	w := &testWorld{net: net, cl: cl}
+	w := &testWorld{net: net, cl: cl, cfg: cfg}
 	for _, n := range cl.Storage {
 		store := kv.NewMemory()
 		w.stores = append(w.stores, store)

@@ -1,0 +1,323 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/record"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// readOnce drives one ReadFloor to completion on the simulated net.
+func readOnce(w *testWorld, key record.Key, floor record.Version) (val record.Value, ver record.Version, exists bool, served bool) {
+	w.net.At(0, func() {
+		w.gw.ReadFloor(key, floor, func(v record.Value, vr record.Version, ok bool) {
+			val, ver, exists, served = v, vr, ok, true
+		})
+	})
+	w.net.RunFor(5 * time.Second)
+	return
+}
+
+// TestReadTierServesFromMemory pins the tentpole behavior: after one
+// cold-miss RPC fill, steady-state reads are served from the
+// gateway's feed-materialized memory with zero additional RPCs, and
+// a committed write becomes visible to those memory reads through the
+// visibility feed alone.
+func TestReadTierServesFromMemory(t *testing.T) {
+	key := record.Key("stock/read")
+	w := newTestWorld(t, Tuning{}, []record.Constraint{record.MinBound("units", 0)})
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 100}})
+	w.net.RunFor(3 * time.Second) // feeds subscribe, hellos land
+
+	if _, ver, exists, served := readOnce(w, key, 0); !served || !exists || ver != 1 {
+		t.Fatalf("cold read: served=%v exists=%v ver=%d", served, exists, ver)
+	}
+	m := w.gw.Metrics()
+	if m.ReadRPCs != 1 {
+		t.Fatalf("cold read should cost exactly one RPC fill, got %+v", m)
+	}
+
+	// Steady state: every further read is a memory hit.
+	const n = 50
+	hits := 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.ReadFloor(key, 0, func(_ record.Value, ver record.Version, ok bool) {
+				if ok && ver == 1 {
+					hits++
+				}
+			})
+		}
+	})
+	w.net.RunFor(time.Second)
+	if hits != n {
+		t.Fatalf("served %d of %d steady-state reads", hits, n)
+	}
+	m = w.gw.Metrics()
+	if m.ReadRPCs != 1 || m.LocalReads < n {
+		t.Fatalf("steady-state reads still cost RPCs: %+v", m)
+	}
+	if m.FeedsLive == 0 || m.MaterializedKeys == 0 {
+		t.Fatalf("gauges claim a dead tier under a live feed: %+v", m)
+	}
+
+	// A committed write must reach memory readers via the feed alone.
+	w.net.At(0, func() {
+		w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -5})},
+			func(ok bool, err error) {
+				if !ok || err != nil {
+					t.Errorf("commit: ok=%v err=%v", ok, err)
+				}
+			})
+	})
+	w.net.RunFor(5 * time.Second)
+	rpcsBefore := w.gw.Metrics().ReadRPCs
+	val, ver, exists, served := readOnce(w, key, 0)
+	if !served || !exists || ver != 2 || val.Attr("units") != 95 {
+		t.Fatalf("post-write read: served=%v exists=%v ver=%d units=%d", served, exists, ver, val.Attr("units"))
+	}
+	if w.gw.Metrics().ReadRPCs != rpcsBefore {
+		t.Fatalf("post-write read paid an RPC despite the feed")
+	}
+}
+
+// TestReadTierSingleFlightCoalescing pins the cold-miss stampede:
+// concurrent reads of one unmaterialized key share a single MsgRead.
+func TestReadTierSingleFlightCoalescing(t *testing.T) {
+	const n = 40
+	key := record.Key("stock/coal")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 7}})
+	w.net.RunFor(3 * time.Second)
+
+	served := 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.ReadFloor(key, 0, func(_ record.Value, ver record.Version, ok bool) {
+				if ok && ver == 1 {
+					served++
+				}
+			})
+		}
+	})
+	w.net.RunFor(5 * time.Second)
+	if served != n {
+		t.Fatalf("served %d of %d stampede reads", served, n)
+	}
+	m := w.gw.Metrics()
+	if m.ReadRPCs != 1 || m.ReadCoalesced != n-1 {
+		t.Fatalf("stampede cost %d RPCs (%d coalesced), want 1 (%d)", m.ReadRPCs, m.ReadCoalesced, n-1)
+	}
+}
+
+// TestReadTierFloorEscalation pins the fallback ladder's quorum rung:
+// a floor above everything the local replica has must escalate to a
+// quorum read rather than serve below the floor.
+func TestReadTierFloorEscalation(t *testing.T) {
+	key := record.Key("stock/floor")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 1}})
+	w.net.RunFor(3 * time.Second)
+
+	// Warm the memory copy (version 1).
+	readOnce(w, key, 0)
+	// A floor of 99 can be met by nobody; the ladder must walk memory
+	// -> RPC -> quorum and return the best available rather than the
+	// (equally stale) memory copy without trying.
+	_, ver, exists, served := readOnce(w, key, 99)
+	if !served || !exists || ver != 1 {
+		t.Fatalf("floored read: served=%v exists=%v ver=%d", served, exists, ver)
+	}
+	m := w.gw.Metrics()
+	if m.ReadQuorums != 1 {
+		t.Fatalf("floor outrun did not escalate to a quorum read: %+v", m)
+	}
+	// The memory path must never have served it (floor > memory ver).
+	if m.LocalReads != 0 {
+		t.Fatalf("memory served a read below its floor: %+v", m)
+	}
+}
+
+// TestReadTierFeedGapResync forces a sequence hole — the gateway node
+// is partitioned from its local shard for less than FeedTTL while
+// commits keep dirtying the key, so messages are lost but no
+// resubscription happens in between — and requires the gap to be
+// detected on the first post-heal message and resynced with catch-up,
+// after which memory reads serve the post-partition state with no
+// extra RPC.
+func TestReadTierFeedGapResync(t *testing.T) {
+	key := record.Key("stock/gap")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 50}})
+	w.net.RunFor(3 * time.Second)
+	readOnce(w, key, 0) // materialize
+
+	// Cut ONLY the gateway node off from the key's local shard: the
+	// pooled coordinators still commit (all five replicas vote), the
+	// shard still executes visibility and streams it — onto the floor.
+	shard := w.cl.ReplicaIn(key, topology.USWest)
+	cut := func() {
+		w.net.Partition([]transport.NodeID{w.gw.ID()}, []transport.NodeID{shard})
+	}
+	commit := func(delta int64) {
+		w.net.At(0, func() {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": delta})},
+				func(ok bool, err error) {
+					if !ok || err != nil {
+						t.Errorf("commit: ok=%v err=%v", ok, err)
+					}
+				})
+		})
+	}
+	w.net.At(0, cut)
+	commit(-1)
+	commit(-1)
+	// 1s < FeedTTL (2s): keepalives and the two feed updates are
+	// lost, but the liveness probe does not resubscribe yet — the hole
+	// must be found by sequence numbers, not by the silence timer.
+	w.net.RunFor(1000 * time.Millisecond)
+	w.net.HealAll()
+	commit(-1)
+	w.net.RunFor(5 * time.Second)
+
+	m := w.gw.Metrics()
+	if m.FeedGaps == 0 {
+		t.Fatalf("lost feed messages went undetected: %+v", m)
+	}
+	rpcs := m.ReadRPCs
+	val, ver, exists, served := readOnce(w, key, 0)
+	if !served || !exists || ver != 4 || val.Attr("units") != 47 {
+		t.Fatalf("post-resync read: served=%v exists=%v ver=%d units=%d", served, exists, ver, val.Attr("units"))
+	}
+	if got := w.gw.Metrics().ReadRPCs; got != rpcs {
+		t.Fatalf("post-resync read paid an RPC (%d -> %d); catch-up did not rematerialize", rpcs, got)
+	}
+}
+
+// TestReadTierSubscriberRestart models a gateway restart: a fresh
+// incarnation (same node ids, bumped generation) starts with an empty
+// store, must resubscribe under a fresh epoch, and must not consume
+// the dead incarnation's stream state.
+func TestReadTierSubscriberRestart(t *testing.T) {
+	key := record.Key("stock/restart")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 9}})
+	w.net.RunFor(3 * time.Second)
+	readOnce(w, key, 0)
+
+	// Stop the old incarnation (its timers must die with it — the
+	// hard-crash variant is covered by the read-storm scenario's
+	// CrashGateway nemesis) and boot a replacement under a fresh
+	// generation on the same node ids.
+	w.gw.Close()
+	w.gw = NewGen(topology.USWest, w.net, w.cl, w.cfg, Tuning{}, 1)
+	w.net.RunFor(3 * time.Second) // hellos under the new epoch land
+
+	m := w.gw.Metrics()
+	if m.FeedsLive == 0 {
+		t.Fatalf("restarted gateway never re-established its feeds: %+v", m)
+	}
+	// Cold store: first read pays one RPC fill, then memory serves.
+	if _, ver, exists, served := readOnce(w, key, 0); !served || !exists || ver != 1 {
+		t.Fatalf("post-restart read: served=%v exists=%v ver=%d", served, exists, ver)
+	}
+	if _, _, _, served := readOnce(w, key, 0); !served {
+		t.Fatal("second post-restart read not served")
+	}
+	m = w.gw.Metrics()
+	if m.ReadRPCs != 1 || m.LocalReads == 0 {
+		t.Fatalf("restarted tier not serving from memory after one fill: %+v", m)
+	}
+}
+
+// TestReadTierPublisherRestartDetected pins the sequence-aliasing
+// hazard: a restarted storage node loses its subscriber table, and a
+// same-epoch re-registration restarts its stream at Seq 1 — whose low
+// numbers alias the gateway's already-consumed ones and would be
+// discarded as duplicates, silently losing the fresh incarnation's
+// messages. The publisher boot id must turn that into a detected gap
+// and a resync.
+func TestReadTierPublisherRestartDetected(t *testing.T) {
+	key := record.Key("stock/boot")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 3}})
+	w.net.RunFor(3 * time.Second)
+	readOnce(w, key, 0) // stream consumed: boot pinned
+
+	shard := w.cl.ReplicaIn(key, topology.USWest)
+	w.gw.mu.Lock()
+	fs := w.gw.feeds[shard]
+	epoch, seq, boot := fs.epoch, fs.expect, fs.boot
+	w.gw.mu.Unlock()
+	if boot == 0 {
+		t.Fatal("no boot id pinned after consuming the stream")
+	}
+	gaps := w.gw.Metrics().FeedGaps
+	// A "restarted publisher": same epoch, a perfectly in-order
+	// sequence number, different boot. Without the boot check this is
+	// consumed as contiguous — with it, it must resync.
+	w.net.At(0, func() {
+		w.net.Send(shard, w.gw.ID(), core.MsgVisibilityFeed{Epoch: epoch, Seq: seq, Boot: boot + 1})
+	})
+	w.net.RunFor(3 * time.Second)
+	m := w.gw.Metrics()
+	if m.FeedGaps == gaps {
+		t.Fatalf("publisher restart not detected as a gap: %+v", m)
+	}
+	if m.FeedsLive == 0 {
+		t.Fatalf("stream did not recover after the resync: %+v", m)
+	}
+}
+
+// TestReadTierSurvivesDupReorder runs the feed under heavy message
+// duplication and reordering: duplicates must be discarded by
+// sequence (never applied twice, never mistaken for gaps that wedge
+// the stream), reorder-induced holes must resync, and the tier must
+// end live and correct.
+func TestReadTierSurvivesDupReorder(t *testing.T) {
+	key := record.Key("stock/dup")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 1000}})
+	w.net.RunFor(3 * time.Second)
+	readOnce(w, key, 0)
+
+	w.net.SetDupProb(0.25)
+	w.net.SetReorder(0.25, 80*time.Millisecond)
+	const n = 30
+	committed := 0
+	w.net.At(0, func() {
+		for i := 0; i < n; i++ {
+			w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(ok bool, err error) {
+					if ok && err == nil {
+						committed++
+					}
+				})
+		}
+	})
+	w.net.RunFor(20 * time.Second)
+	w.net.SetDupProb(0)
+	w.net.SetReorder(0, 0)
+	w.net.RunFor(5 * time.Second) // stream settles, keepalives resume
+
+	val, ver, exists, served := readOnce(w, key, 0)
+	if !served || !exists {
+		t.Fatal("read not served after chaos")
+	}
+	if want := int64(1000 - committed); val.Attr("units") != want {
+		t.Fatalf("units = %d, want %d (%d committed)", val.Attr("units"), want, committed)
+	}
+	if want := record.Version(1 + committed); ver != want {
+		t.Fatalf("version = %d, want %d", ver, want)
+	}
+	m := w.gw.Metrics()
+	if m.FeedStaleMsgs == 0 && m.FeedGaps == 0 {
+		t.Fatalf("chaos produced neither discarded duplicates nor resynced gaps: %+v", m)
+	}
+	if m.FeedsLive == 0 {
+		t.Fatalf("stream wedged after chaos: %+v", m)
+	}
+}

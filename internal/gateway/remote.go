@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"mdcc/internal/core"
 	"mdcc/internal/record"
 	"mdcc/internal/transport"
 )
@@ -28,11 +29,16 @@ type MsgTxReply struct {
 }
 
 // MsgRead asks the gateway for a read; Quorum selects an up-to-date
-// quorum read instead of the nearest replica.
+// quorum read instead of the nearest replica. Floor, when non-zero,
+// is the client session's version floor (monotonic reads /
+// read-your-writes): the gateway never serves its materialized copy
+// below it, walking the fallback ladder instead (see
+// Gateway.ReadFloor).
 type MsgRead struct {
 	ReqID  uint64
 	Key    record.Key
 	Quorum bool
+	Floor  record.Version
 }
 
 // MsgReadReply answers MsgRead.
@@ -77,7 +83,9 @@ func (g *Gateway) handle(env transport.Envelope) {
 		if m.Quorum {
 			g.ReadQuorum(m.Key, reply)
 		} else {
-			g.Read(m.Key, reply)
+			g.ReadFloor(m.Key, m.Floor, reply)
 		}
+	case core.MsgVisibilityFeed:
+		g.onFeed(env.From, m)
 	}
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -57,6 +58,13 @@ type Run struct {
 	gwRetired []*gateway.Gateway      // dead incarnations (metrics)
 	gwSeq     uint64                  // in-flight op token source
 	gwTokens  map[uint64]*gwPendingOp // ops the gateway tier holds
+
+	// Session-guarantee floors, one map per client (read workloads
+	// only): the minimum version each client may observe per key,
+	// raised by floored reads and acknowledged physical writes —
+	// mirroring Session.EnableSessionGuarantees, and recomputed
+	// independently by check.ValidateSessionReads from the history.
+	floors []map[record.Key]record.Version
 
 	trafficEnd time.Time
 	inflight   int
@@ -180,6 +188,7 @@ func build(s *Scenario, o Options) (*Run, error) {
 		for _, c := range cl.Clients {
 			inner := r.hist.Client(c.Index, rawGwClient{r: r, dc: c.DC})
 			r.clients = append(r.clients, gwClient{r: r, dc: c.DC, id: c.Index, inner: inner})
+			r.floors = append(r.floors, make(map[record.Key]record.Version))
 		}
 	} else {
 		for _, c := range cl.Clients {
@@ -257,6 +266,38 @@ func (gc gwClient) Read(key record.Key, cb mtx.ReadFunc) {
 	}
 	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, readCB: cb})
 	gc.inner.Read(key, func(val record.Value, ver record.Version, ok bool) {
+		if gc.r.claimGw(tok) {
+			cb(val, ver, ok)
+		}
+	})
+}
+
+// ReadFloor is the session-guaranteed read entry: it must never
+// return a version below floor that the harness then records (the
+// clientLoop ladder escalates through ReadLatest when the gateway's
+// best effort falls short). Crash-orphaned reads fail, they do not
+// dangle.
+func (gc gwClient) ReadFloor(key record.Key, floor record.Version, cb mtx.ReadFunc) {
+	if gc.r.gwDown[gc.dc] {
+		gc.refuse(func() { cb(record.Value{}, 0, false) })
+		return
+	}
+	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, readCB: cb})
+	gc.r.gws[gc.dc].ReadFloor(key, floor, func(val record.Value, ver record.Version, ok bool) {
+		if gc.r.claimGw(tok) {
+			cb(val, ver, ok)
+		}
+	})
+}
+
+// ReadLatest is the quorum escalation rung of the floored-read ladder.
+func (gc gwClient) ReadLatest(key record.Key, cb mtx.ReadFunc) {
+	if gc.r.gwDown[gc.dc] {
+		gc.refuse(func() { cb(record.Value{}, 0, false) })
+		return
+	}
+	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, readCB: cb})
+	gc.r.gws[gc.dc].ReadQuorum(key, func(val record.Value, ver record.Version, ok bool) {
 		if gc.r.claimGw(tok) {
 			cb(val, ver, ok)
 		}
@@ -391,9 +432,11 @@ func (r *Run) run() (*Result, error) {
 			m := g.Metrics()
 			// Gauges are point-in-time state of a dead process: its
 			// crash-time inflight was orphaned by the harness and its
-			// headroom accounts died with it — only counters carry over.
+			// headroom accounts and materialized store died with it —
+			// only counters carry over.
 			m.Inflight, m.QueueDepth = 0, 0
 			m.TrackedKeys, m.MinHeadroom = 0, -1
+			m.MaterializedKeys, m.FeedsLive = 0, 0
 			agg.Add(m)
 		}
 		agg.Finalize()
@@ -415,6 +458,26 @@ func (r *Run) run() (*Result, error) {
 	}
 	for _, err := range r.hist.Validate(r.initial, r.finalState, r.cons) {
 		res.Violations = append(res.Violations, err.Error())
+	}
+	res.Reads = len(r.hist.Reads())
+	// Session guarantees over the consumed reads: monotonic reads and
+	// read-your-writes per client (the read tier's contract under feed
+	// lag, gaps, partitions and gateway crashes).
+	for _, err := range r.hist.ValidateSessionReads() {
+		res.Violations = append(res.Violations, err.Error())
+	}
+	// No fabricated futures: every consumed read must be a version the
+	// key actually reached (committed versions are monotone, so the
+	// post-convergence final version bounds them all).
+	for _, ro := range r.hist.Reads() {
+		if !ro.Exists {
+			continue
+		}
+		if _, fv, _ := r.finalState(ro.Key); ro.Version > fv {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"check: client %d read %s at version %d beyond final committed version %d (fabricated state)",
+				ro.Client, ro.Key, ro.Version, fv))
+		}
 	}
 	sort.Strings(res.Violations)
 	r.Opts.Logf("[%s] done: %d commits, %d aborts, %d violations",
@@ -445,6 +508,24 @@ func (r *Run) finalState(key record.Key) (record.Value, record.Version, bool) {
 	return bestVal, bestVer, true
 }
 
+// floorReader is the session-guaranteed read surface of a harness
+// client (gateway runs only): floored reads plus the quorum
+// escalation rung.
+type floorReader interface {
+	ReadFloor(key record.Key, floor record.Version, cb mtx.ReadFunc)
+	ReadLatest(key record.Key, cb mtx.ReadFunc)
+}
+
+// readKeyFor picks a read target across the hot stock keys (the
+// stampede) and the items (read-your-writes after physical updates).
+func readKeyFor(rng *rand.Rand, w Workload) record.Key {
+	i := rng.Intn(w.StockKeys + w.Items)
+	if i < w.StockKeys {
+		return stockKey(i)
+	}
+	return itemKey(i - w.StockKeys)
+}
+
 // clientLoop issues one transaction and reschedules itself until the
 // traffic window closes. Closed loop, no think time, as in the
 // paper's evaluation setup.
@@ -466,7 +547,47 @@ func (r *Run) clientLoop(ci int) {
 	}
 	p := rng.Float64()
 	switch {
-	case p < w.TransferFrac && w.Accounts >= 2:
+	case p < w.ReadFrac && r.floors != nil && w.StockKeys+w.Items > 0:
+		// Session-guaranteed read: the ladder mirrors Session.Read —
+		// take the gateway's floored read, escalate to quorum reads
+		// while the result lags the session floor. Only floor-meeting
+		// results are consumed and recorded for
+		// check.ValidateSessionReads; a read still below the floor
+		// after the retries counts as a failed read, exactly as a
+		// partitioned Session.Read deadlines out — a minority-side
+		// client whose pre-partition write's visibility was cut off can
+		// legitimately find NO reachable replica at its floor, which is
+		// in-contract, not a tier violation. (The tier's own floor
+		// discipline — memory never served below a floor — is pinned by
+		// TestReadTierFloorEscalation and by the recorded reads.)
+		fr := c.(floorReader)
+		key := readKeyFor(rng, w)
+		floor := r.floors[ci][key]
+		attempts := 0
+		var deliver mtx.ReadFunc
+		deliver = func(val record.Value, ver record.Version, exists bool) {
+			if exists && ver < floor && attempts < 6 {
+				attempts++
+				fr.ReadLatest(key, deliver)
+				return
+			}
+			if exists && ver >= floor {
+				r.hist.ObserveRead(ci, key, ver, true)
+				if ver > r.floors[ci][key] {
+					r.floors[ci][key] = ver
+				}
+			} else {
+				r.readFails++
+			}
+			r.inflight--
+			// Pace the loop: a memory-served read completes in zero
+			// virtual time, so reschedule through the event queue
+			// (modeling the client's own request turnaround) instead of
+			// recursing at one instant.
+			r.Net.After(r.Cluster.Clients[ci].ID, time.Millisecond, func() { r.clientLoop(ci) })
+		}
+		fr.ReadFloor(key, floor, deliver)
+	case p < w.ReadFrac+w.TransferFrac && w.Accounts >= 2:
 		from := rng.Intn(w.Accounts)
 		to := rng.Intn(w.Accounts - 1)
 		if to >= from {
@@ -477,7 +598,7 @@ func (r *Run) clientLoop(ci int) {
 			record.Commutative(acctKey(from), map[string]int64{"bal": -amt}),
 			record.Commutative(acctKey(to), map[string]int64{"bal": amt}),
 		}, settle)
-	case p < w.TransferFrac+w.StockFrac && w.StockKeys > 0:
+	case p < w.ReadFrac+w.TransferFrac+w.StockFrac && w.StockKeys > 0:
 		c.Commit([]record.Update{
 			record.Commutative(stockKey(rng.Intn(w.StockKeys)), map[string]int64{"units": -1}),
 		}, settle)
@@ -491,7 +612,17 @@ func (r *Run) clientLoop(ci int) {
 			}
 			c.Commit([]record.Update{
 				record.Physical(key, ver, val.WithAttr("v", val.Attr("v")+1)),
-			}, settle)
+			}, func(ok bool) {
+				if ok && r.floors != nil {
+					// Read-your-writes: the acknowledged physical write
+					// produced version ver+1; later floored reads by this
+					// client must observe it.
+					if ver+1 > r.floors[ci][key] {
+						r.floors[ci][key] = ver + 1
+					}
+				}
+				settle(ok)
+			})
 		})
 	default:
 		// Degenerate workload shape; idle briefly instead of spinning.

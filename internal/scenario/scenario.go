@@ -76,9 +76,13 @@ type Workload struct {
 	// Items is the number of physical read-modify-write records; few
 	// items and many clients is the collision storm.
 	Items int
-	// TransferFrac and StockFrac split traffic: a client draw below
-	// TransferFrac is a transfer, below TransferFrac+StockFrac a
-	// stock decrement, the rest are item read-modify-writes.
+	// ReadFrac, TransferFrac and StockFrac split traffic: a client
+	// draw below ReadFrac is a session-guaranteed floored read (hot
+	// stock keys + items; gateway scenarios only — it exercises the
+	// learned-replica read tier), below ReadFrac+TransferFrac a
+	// transfer, below ReadFrac+TransferFrac+StockFrac a stock
+	// decrement, the rest are item read-modify-writes.
+	ReadFrac     float64
 	TransferFrac float64
 	StockFrac    float64
 }
@@ -135,6 +139,9 @@ type Result struct {
 	Unknown    int
 	ReadFails  int
 	Unresolved int
+	// Reads counts consumed session-guaranteed reads (ReadFrac
+	// workloads), each validated for monotonicity/read-your-writes.
+	Reads int
 
 	// WriteLat samples committed-transaction response times (ms).
 	WriteLat *stats.Sample
@@ -186,6 +193,11 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "  gateway: %d submitted, %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f (%d envelopes)\n",
 			g.Submitted, g.MergedOptions, g.MergedUpdates, g.CoalesceRatio,
 			g.MergeSplits, g.AdmissionRejects, g.BatchFanIn, g.BatchEnvelopes)
+		if r.Reads > 0 || g.LocalReads+g.ReadRPCs > 0 {
+			fmt.Fprintf(&b, "  read tier: %d reads consumed (%d local, %d rpc, %d shared, %d quorum; local frac %.2f), feed %d msgs/%d items, %d gaps, %d resubs\n",
+				r.Reads, g.LocalReads, g.ReadRPCs, g.ReadCoalesced, g.ReadQuorums,
+				g.LocalReadFrac, g.FeedMsgs, g.FeedItems, g.FeedGaps, g.FeedResubs)
+		}
 	}
 	for _, ev := range r.Events {
 		fmt.Fprintf(&b, "  nemesis: %s\n", ev)

@@ -49,6 +49,11 @@ func TestScenarioSmoke(t *testing.T) {
 			if res.Commits == 0 {
 				t.Errorf("scenario %s committed nothing", s.Name)
 			}
+			// Read workloads must actually consume validated reads —
+			// otherwise the session-guarantee invariants pass vacuously.
+			if s.Workload.ReadFrac > 0 && res.Reads == 0 {
+				t.Errorf("scenario %s consumed no session-guaranteed reads", s.Name)
+			}
 		})
 	}
 }

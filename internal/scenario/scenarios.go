@@ -210,6 +210,62 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// A hot-key read stampede through the gateway read tier: 90%
+		// of traffic is session-guaranteed floored reads served from
+		// the gateways' feed-materialized stores, over a write mix
+		// that keeps versions moving (stock decrements + item
+		// read-modify-writes). The nemesis attacks every feed failure
+		// mode: a full-DC partition (gateway included) starves that
+		// DC's feeds and strands its clients' floors; a gateway
+		// crash/restart discards a materialized store mid-stampede
+		// (the fresh incarnation must re-learn from catch-up + RPC
+		// fills without serving anything below a session floor); a
+		// storage-node crash kills a feed publisher (subscriber state
+		// is volatile — the gateway must detect the silence and
+		// resubscribe); and a latency brown-out stretches feed lag.
+		// Invariants: monotonic reads + read-your-writes over every
+		// consumed read (check.ValidateSessionReads), no fabricated
+		// versions, plus the standard conservation/version accounting.
+		Name:        "read-storm",
+		Description: "hot-key floored-read stampede on the gateway read tier under partition, gateway crash and feed-publisher crash",
+		Gateway:     true,
+		Workload: Workload{
+			StockKeys:    4,
+			InitialStock: 50000,
+			Items:        6,
+			ReadFrac:     0.90,
+			StockFrac:    0.05,
+		},
+		Clients:  150,
+		Duration: time.Minute,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.10), "crash one us-west storage node (feed publisher dies)", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.USWest {
+						r.CrashStorage(i)
+						break
+					}
+				}
+			})
+			r.At(frac(r, 0.25), "restart the us-west storage node", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.USWest {
+						r.RestartStorage(i)
+						break
+					}
+				}
+			})
+			r.At(frac(r, 0.30), "partition us-east (gateway included) from the rest", func() {
+				r.Net.Partition(r.SideIDs(topology.USEast), r.OtherSideIDs(topology.USEast))
+			})
+			r.At(frac(r, 0.40), "crash gateway ap-sg mid-stampede", func() { r.CrashGateway(topology.APSingapore) })
+			r.At(frac(r, 0.50), "2x WAN latency (feed lag)", func() { r.Net.ScaleLatency(2) })
+			r.At(frac(r, 0.55), "restart gateway ap-sg", func() { r.RestartGateway(topology.APSingapore) })
+			r.At(frac(r, 0.60), "heal partition", func() { r.Net.HealAll() })
+			r.At(frac(r, 0.75), "latency back to normal", func() { r.Net.ScaleLatency(1) })
+		},
+	},
+	{
 		// Everything at once: sustained loss, duplication and
 		// reordering, clock drift on two replicas, a latency spike, a
 		// short partition and one crash/restart. The kitchen-sink

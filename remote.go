@@ -173,7 +173,16 @@ func DialGateway(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteS
 	net.Hello(addr, id, selfAddr)
 	cfg := core.Defaults(mode)
 	cfg.Constraints = topo.ConstraintList()
-	b := &gatewayRPCBackend{id: id, gwID: gateway.GatewayID(dc), net: net}
+	b := &gatewayRPCBackend{
+		id:   id,
+		gwID: gateway.GatewayID(dc),
+		net:  net,
+		// A commit unacknowledged past this deadline surfaces as a typed
+		// OutcomeUnknownError instead of hanging to the session timeout:
+		// long enough for the protocol to settle through recoveries,
+		// short enough to beat newSession's blocking deadline.
+		unknownAfter: 3*cfg.OptionTimeout + 3*cfg.RecoveryRetry,
+	}
 	net.Register(id, b.handle)
 	return &RemoteSession{Session: newSession(b, cfg), net: net}, nil
 }
@@ -190,6 +199,11 @@ type gatewayRPCBackend struct {
 	id   transport.NodeID
 	gwID transport.NodeID
 	net  *transport.TCP
+	// unknownAfter is the per-commit settle deadline: a submitted
+	// write-set with no reply by then fails fast with a typed
+	// *OutcomeUnknownError (the transaction may still commit — a
+	// crashed gateway's proposed options are settled by the protocol).
+	unknownAfter time.Duration
 
 	mu    sync.Mutex
 	seq   uint64
@@ -253,7 +267,7 @@ func (b *gatewayRPCBackend) pruneLocked(now time.Time) {
 	}
 }
 
-func (b *gatewayRPCBackend) read(key Key, quorum bool, cb func(record.Value, record.Version, bool)) {
+func (b *gatewayRPCBackend) read(key Key, floor Version, quorum bool, cb func(record.Value, record.Version, bool)) {
 	now := time.Now()
 	b.mu.Lock()
 	b.pruneLocked(now)
@@ -264,15 +278,15 @@ func (b *gatewayRPCBackend) read(key Key, quorum bool, cb func(record.Value, rec
 	}
 	b.reads[req] = pendingRead{cb: cb, at: now}
 	b.mu.Unlock()
-	b.net.Send(b.id, b.gwID, gateway.MsgRead{ReqID: req, Key: key, Quorum: quorum})
+	b.net.Send(b.id, b.gwID, gateway.MsgRead{ReqID: req, Key: key, Quorum: quorum, Floor: floor})
 }
 
-func (b *gatewayRPCBackend) Read(key Key, cb func(record.Value, record.Version, bool)) {
-	b.read(key, false, cb)
+func (b *gatewayRPCBackend) Read(key Key, floor Version, cb func(record.Value, record.Version, bool)) {
+	b.read(key, floor, false, cb)
 }
 
 func (b *gatewayRPCBackend) ReadQuorum(key Key, cb func(record.Value, record.Version, bool)) {
-	b.read(key, true, cb)
+	b.read(key, 0, true, cb)
 }
 
 func (b *gatewayRPCBackend) Commit(updates []Update, done func(bool, error)) {
@@ -287,6 +301,22 @@ func (b *gatewayRPCBackend) Commit(updates []Update, done func(bool, error)) {
 	b.txs[req] = pendingTx{cb: done, at: now}
 	b.mu.Unlock()
 	b.net.Send(b.id, b.gwID, gateway.MsgTx{ReqID: req, Updates: updates})
+	if b.unknownAfter > 0 {
+		// Settle deadline: if the acknowledgement never comes back (the
+		// gateway crashed with the transaction in hand, or the reply was
+		// lost for good), fail fast with the typed unknown-outcome error
+		// instead of letting the session block to its generic timeout.
+		// Exactly-once with the reply path via the pending-table claim.
+		b.net.After(b.id, b.unknownAfter, func() {
+			b.mu.Lock()
+			p, ok := b.txs[req]
+			delete(b.txs, req)
+			b.mu.Unlock()
+			if ok {
+				p.cb(false, &OutcomeUnknownError{TxID: fmt.Sprintf("%s/%s#%d", b.gwID, b.id, req)})
+			}
+		})
+	}
 }
 
 // Metrics: a thin RPC client holds no protocol counters.

@@ -1,6 +1,7 @@
 package mdcc
 
 import (
+	"errors"
 	"os"
 	"testing"
 	"time"
@@ -138,6 +139,57 @@ func TestTCPConflictDetection(t *testing.T) {
 	okB, _ := b.Commit(Physical("tcp/c", ver, Value{Attrs: map[string]int64{"x": 2}}))
 	if okA && okB {
 		t.Fatal("both conflicting writers committed over TCP")
+	}
+}
+
+// TestGatewayRPCOutcomeUnknown pins the client-visible unknown-outcome
+// surface: a gateway that accepts a transaction and never acknowledges
+// it (crash, partition, lost reply) must fail the session's Commit
+// with the typed *OutcomeUnknownError — carrying the submission id —
+// after the settle deadline, well before the generic session timeout
+// would fire. Blind retries are unsafe on this error (the transaction
+// may still commit), which is why it is distinct from ErrTimeout.
+func TestGatewayRPCOutcomeUnknown(t *testing.T) {
+	srv := transport.NewTCP(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	gwID := gateway.GatewayID(USWest)
+	// Black-hole gateway: accepts every RPC, replies to none — the
+	// observable behavior of a gateway that crashed with the
+	// transaction in hand.
+	srv.Register(gwID, func(transport.Envelope) {})
+
+	cli := transport.NewTCP(map[transport.NodeID]string{gwID: addr})
+	selfAddr, err := cli.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	id := transport.NodeID("client/unknown-outcome-test")
+	cli.Hello(addr, id, selfAddr)
+
+	cfg := core.Defaults(ModeMDCC)
+	b := &gatewayRPCBackend{id: id, gwID: gwID, net: cli, unknownAfter: 200 * time.Millisecond}
+	cli.Register(id, b.handle)
+	s := newSession(b, cfg)
+
+	start := time.Now()
+	ok, err := s.Commit(Commutative("unk/1", map[string]int64{"x": 1}))
+	if ok {
+		t.Fatal("black-holed commit reported committed")
+	}
+	if !errors.Is(err, ErrOutcomeUnknown) {
+		t.Fatalf("want ErrOutcomeUnknown, got %v", err)
+	}
+	var oe *OutcomeUnknownError
+	if !errors.As(err, &oe) || oe.TxID == "" {
+		t.Fatalf("typed error without a transaction id: %#v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= s.timeout {
+		t.Fatalf("typed error took %v, not faster than the generic session timeout %v", elapsed, s.timeout)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 // takes itself off. Under read committed both can commit (leaving
 // nobody on call); with read-set validation (§4.4) at most one may.
 func TestWriteSkewPreventedBySerializable(t *testing.T) {
+	offCalls := 0 // anti-vacuity: someone must actually go off call
 	for seed := int64(0); seed < 6; seed++ {
 		c := startTestCluster(t, ClusterConfig{Seed: seed})
 		s := c.Session(USWest)
@@ -20,31 +21,44 @@ func TestWriteSkewPreventedBySerializable(t *testing.T) {
 		if err != nil || !ok {
 			t.Fatalf("setup: %v %v", ok, err)
 		}
-		waitOnCall := func(sess *Session) {
-			for i := 0; i < 200; i++ {
-				a, _, okA, _ := sess.Read("oncall/alice")
-				b, _, okB, _ := sess.Read("oncall/bob")
-				if okA && okB && a.Attr("oncall") == 1 && b.Attr("oncall") == 1 {
-					return
-				}
-			}
-			t.Fatal("setup never became visible")
-		}
-		waitOnCall(s)
+		// Event-driven setup wait (a fixed spin count flakes under -race
+		// load when asynchronous visibility takes longer than the spins).
+		waitFor(t, "on-call setup visibility", func() bool {
+			a, _, okA, _ := s.Read("oncall/alice")
+			b, _, okB, _ := s.Read("oncall/bob")
+			return okA && okB && a.Attr("oncall") == 1 && b.Attr("oncall") == 1
+		})
 
+		// goOffCall reports whether the doctor actually went off call:
+		// the transaction committed AND contained the self-write. A
+		// racer that loses the race cleanly — it reads the peer already
+		// off call and declines to write — still commits (a read-check-
+		// only transaction), which is NOT the anomaly; counting bare
+		// commit success here was this test's historic flake: under
+		// -race scheduling the two "racers" often run back to back, the
+		// second legitimately commits empty, and the test cried write
+		// skew with the database in a perfectly legal state.
 		goOffCall := func(sess *Session, self, other Key) bool {
+			wrote := false
 			ok, err := sess.TransactSerializable(1, func(tx *TxView) error {
+				wrote = false
 				me, myVer, _ := tx.Read(self)
 				peer, _, _ := tx.Read(other)
 				if peer.Attr("oncall") == 1 {
 					tx.Write(self, myVer, me.WithAttr("oncall", 0))
+					wrote = true
 				}
 				return nil
 			})
 			if err != nil {
-				t.Fatal(err)
+				// A transient timeout under heavy machine load reports an
+				// unknown outcome, not a committed one; it cannot witness
+				// the write-skew anomaly, so treat it as "did not go off
+				// call" rather than failing the harness.
+				t.Logf("seed %d: transient commit error: %v", seed, err)
+				return false
 			}
-			return ok
+			return ok && wrote
 		}
 
 		var wg sync.WaitGroup
@@ -63,7 +77,36 @@ func TestWriteSkewPreventedBySerializable(t *testing.T) {
 		if okAlice && okBob {
 			t.Fatalf("seed %d: write skew — both doctors went off call", seed)
 		}
+		// Check the database itself too, not just the reported
+		// outcomes: even if a slow commit was reported as a timeout
+		// above, the final state must never show both off call.
+		waitFor(t, "post-run visibility", func() bool {
+			_, verA, okA, _ := s.Read("oncall/alice")
+			_, verB, okB, _ := s.Read("oncall/bob")
+			wantA, wantB := Version(1), Version(1)
+			if okAlice {
+				wantA = 2
+			}
+			if okBob {
+				wantB = 2
+			}
+			return okA && okB && verA >= wantA && verB >= wantB
+		})
+		a, _, _, _ := s.Read("oncall/alice")
+		b, _, _, _ := s.Read("oncall/bob")
+		if a.Attr("oncall") == 0 && b.Attr("oncall") == 0 {
+			t.Fatalf("seed %d: write skew in final state — nobody on call", seed)
+		}
+		if okAlice || okBob {
+			offCalls++
+		}
 		c.Close()
+	}
+	// Tolerating transient commit errors above must not let a
+	// regression that fails EVERY serializable commit pass vacuously:
+	// across six seeds, at least one racer must have actually won.
+	if offCalls == 0 {
+		t.Fatal("no racer ever went off call across all seeds — serializable commits may be failing wholesale")
 	}
 }
 

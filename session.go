@@ -21,12 +21,46 @@ var ErrClosed = errors.New("mdcc: session closed")
 // The transaction was never submitted; retrying later is safe.
 var ErrOverloaded = errors.New("mdcc: gateway overloaded")
 
+// ErrOutcomeUnknown is the sentinel matched (via errors.Is) by
+// OutcomeUnknownError: a submitted transaction whose acknowledgement
+// was lost — typically swallowed by a crashed or unreachable gateway.
+// Unlike ErrOverloaded, the transaction MAY have committed (the
+// protocol settles every proposed option even if the submitter dies);
+// blind retries can double-apply.
+var ErrOutcomeUnknown = errors.New("mdcc: transaction outcome unknown")
+
+// OutcomeUnknownError reports a transaction whose outcome the client
+// never learned: it was handed to a gateway, the settle deadline
+// passed, and no acknowledgement arrived (gateway crash, partition,
+// lost reply). TxID names the submission so operators can correlate
+// it with server-side logs and the unknown-outcome envelope the
+// verification harness checks (internal/check.Op.Unknown).
+type OutcomeUnknownError struct {
+	TxID string
+}
+
+func (e *OutcomeUnknownError) Error() string {
+	return "mdcc: outcome unknown for transaction " + e.TxID + " (gateway unreachable before acknowledgement)"
+}
+
+// Is matches ErrOutcomeUnknown so callers can errors.Is without
+// caring about the id.
+func (e *OutcomeUnknownError) Is(target error) bool { return target == ErrOutcomeUnknown }
+
 // backend is what a Session drives: either a private coordinator (the
 // paper's per-app-server DB library) or a shared gateway tier. All
 // methods are safe to call from any goroutine; callbacks may fire on
-// transport handler goroutines.
+// transport handler goroutines (or synchronously, for gateway reads
+// served from the DC-local materialized store).
+//
+// Read's floor is the session's version floor for the key (0 = none):
+// gateway backends use it to walk the read tier's fallback ladder
+// (materialized store → single-flight RPC → quorum) without serving a
+// stale memory copy; coordinator backends ignore it — a replica RPC
+// read is the pre-tier behavior and the Session's own escalation loop
+// still enforces the floor on the result.
 type backend interface {
-	Read(key Key, cb func(record.Value, record.Version, bool))
+	Read(key Key, floor Version, cb func(record.Value, record.Version, bool))
 	ReadQuorum(key Key, cb func(record.Value, record.Version, bool))
 	Commit(updates []Update, done func(committed bool, err error))
 	Metrics() core.CoordMetrics
@@ -40,7 +74,7 @@ type coordBackend struct {
 	coord *core.Coordinator
 }
 
-func (b coordBackend) Read(key Key, cb func(record.Value, record.Version, bool)) {
+func (b coordBackend) Read(key Key, _ Version, cb func(record.Value, record.Version, bool)) {
 	b.net.After(b.id, 0, func() { b.coord.Read(key, cb) })
 }
 
@@ -128,11 +162,12 @@ func (s *Session) raiseFloor(key Key, ver Version) {
 // guarantees enabled the result never regresses below versions this
 // session has already observed or committed.
 func (s *Session) Read(key Key) (val Value, ver Version, exists bool, err error) {
-	val, ver, exists, err = s.readLocal(key)
+	min, on := s.floor(key)
+	val, ver, exists, err = s.readLocal(key, min)
 	if err != nil {
 		return val, ver, exists, err
 	}
-	if min, on := s.floor(key); on && ver < min {
+	if on && ver < min {
 		// The local replica lags this session: escalate to quorum
 		// reads until the floor is met (visibility is asynchronous, so
 		// right after a commit even a quorum can briefly lag).
@@ -157,10 +192,12 @@ type readRes struct {
 	ok  bool
 }
 
-// readLocal is the plain nearest-replica read.
-func (s *Session) readLocal(key Key) (val Value, ver Version, exists bool, err error) {
+// readLocal is the plain nearest-replica (or gateway-materialized)
+// read, carrying the session's floor so a gateway backend can meet it
+// without a round trip back through the escalation loop.
+func (s *Session) readLocal(key Key, floor Version) (val Value, ver Version, exists bool, err error) {
 	ch := make(chan readRes, 1)
-	s.b.Read(key, func(v record.Value, vr record.Version, ok bool) {
+	s.b.Read(key, floor, func(v record.Value, vr record.Version, ok bool) {
 		ch <- readRes{v, vr, ok}
 	})
 	select {
@@ -188,7 +225,12 @@ func (s *Session) ReadLatest(key Key) (val Value, ver Version, exists bool, err 
 	}
 }
 
-// ReadMany reads several keys concurrently.
+// ReadMany reads several keys concurrently. Session floors are passed
+// to the backend (a gateway meets them through its fallback ladder)
+// and every observed version raises the session's floor, but unlike
+// Read there is no per-key quorum-escalation loop on a result that
+// still lags its floor — callers needing the full monotonic-read
+// deadline semantics per key use Read.
 func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bool, err error) {
 	vals = make([]Value, len(keys))
 	vers = make([]Version, len(keys))
@@ -196,7 +238,8 @@ func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bo
 	done := make(chan int, len(keys))
 	for i, k := range keys {
 		i := i
-		s.b.Read(k, func(v record.Value, vr record.Version, ok bool) {
+		floor, _ := s.floor(k)
+		s.b.Read(k, floor, func(v record.Value, vr record.Version, ok bool) {
 			vals[i], vers[i], exist[i] = v, vr, ok
 			done <- i
 		})
@@ -206,6 +249,11 @@ func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bo
 		case <-done:
 		case <-time.After(s.timeout):
 			return nil, nil, nil, ErrTimeout
+		}
+	}
+	for i, k := range keys {
+		if exist[i] {
+			s.raiseFloor(k, vers[i])
 		}
 	}
 	return vals, vers, exist, nil
