@@ -34,10 +34,15 @@ func main() {
 	west := cluster.Session(mdcc.USWest)
 	tokyo := cluster.Session(mdcc.APTokyo)
 
-	// 1. Insert a product.
+	// 1. Insert the product row and its stock counter. Keys are
+	// kind-disjoint by design: "item/42" lives under physical
+	// read-modify-writes, "stock/42" under commutative deltas (the
+	// acceptors enforce this split — see step 5).
 	start := time.Now()
-	ok, err := west.Commit(mdcc.Insert("item/42",
-		mdcc.Value{Attrs: map[string]int64{"stock": 10, "price": 1999}}))
+	ok, err := west.Commit(
+		mdcc.Insert("item/42", mdcc.Value{Attrs: map[string]int64{"price": 1999}}),
+		mdcc.Insert("stock/42", mdcc.Value{Attrs: map[string]int64{"stock": 10}}),
+	)
 	must(err)
 	fmt.Printf("insert committed=%v in %v (one wide-area round trip)\n", ok, time.Since(start))
 
@@ -57,13 +62,20 @@ func main() {
 	// 4. Commutative decrements commute — no conflict, still one
 	// round trip, constraint enforced by quorum demarcation.
 	start = time.Now()
-	ok1, _ := west.Commit(mdcc.Commutative("item/42", map[string]int64{"stock": -1}))
-	ok2, _ := tokyo.Commit(mdcc.Commutative("item/42", map[string]int64{"stock": -1}))
+	ok1, _ := west.Commit(mdcc.Commutative("stock/42", map[string]int64{"stock": -1}))
+	ok2, _ := tokyo.Commit(mdcc.Commutative("stock/42", map[string]int64{"stock": -1}))
 	fmt.Printf("concurrent decrements: west=%v tokyo=%v in %v\n", ok1, ok2, time.Since(start))
 
-	waitStock(west, "item/42", 8)
-	val, _, _, _ = west.Read("item/42")
-	fmt.Printf("final state: %s\n", val)
+	// 5. The kind-disjoint rule is enforced with a typed error: a
+	// commutative delta on the physically rewritten item row is
+	// rejected by the acceptors (mixing kinds would make replica
+	// forks unmergeable — DESIGN.md §5).
+	ok3, err3 := west.Commit(mdcc.Commutative("item/42", map[string]int64{"price": -100}))
+	fmt.Printf("delta on a physical key: committed=%v err=%v\n", ok3, err3)
+
+	waitStock(west, "stock/42", 8)
+	val, _, _, _ = west.Read("stock/42")
+	fmt.Printf("final stock: %s\n", val)
 }
 
 // waitVisible polls until asynchronous visibility reaches the local

@@ -57,10 +57,15 @@ func (b gatewayBackend) ReadQuorum(key Key, cb func(record.Value, record.Version
 
 func (b gatewayBackend) Commit(updates []Update, done func(bool, error)) {
 	b.gw.Commit(updates, func(ok bool, err error) {
-		if err == gateway.ErrOverloaded {
+		switch err {
+		case gateway.ErrOverloaded:
 			err = ErrOverloaded
-		} else if err == gateway.ErrClosed {
+		case gateway.ErrClosed:
 			err = ErrClosed
+		case gateway.ErrOutcomeUnknown:
+			// In-process analogue of the RPC client's settle deadline:
+			// the gateway was killed with this transaction in flight.
+			err = ErrOutcomeUnknown
 		}
 		done(ok, err)
 	})

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/kv"
+	"mdcc/internal/record"
+	"mdcc/internal/simnet"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// Hot-record lineage-bytes benchmark: how much does a hot commutative
+// record cost on the wire in lineage-bearing messages — anti-entropy
+// sync replies and classic-phase bases (Phase1b/Phase2a)?
+//
+// The pre-summary design shipped the whole decided-log retention
+// window *with option contents* on every such message, so a record
+// settling thousands of options inside the window paid O(history)
+// bytes per exchange (DESIGN.md §5 carried this as a known message
+// cost). Exact lineage summaries replace the lists with a few
+// interval sets — O(lanes) — regardless of history length.
+//
+// Both arms run the identical workload/seed; the baseline arm sets
+// core.Config.ShipFullLineage, which attaches the legacy decided
+// lists alongside the summaries (consumers ignore them), and the
+// meter prices each arm's lineage-bearing messages by gob encoding.
+
+// LineageBytesRun is one arm's wire-cost harvest.
+type LineageBytesRun struct {
+	Mode    string `json:"mode"` // "full-window-lists" | "summaries"
+	Commits int64  `json:"commits"`
+
+	SyncMsgs  int64   `json:"syncMsgs"`
+	SyncBytes int64   `json:"syncBytes"`
+	SyncBPM   float64 `json:"syncBytesPerMsg"`
+
+	PhaseMsgs  int64   `json:"phaseMsgs"`
+	PhaseBytes int64   `json:"phaseBytes"`
+	PhaseBPM   float64 `json:"phaseBytesPerMsg"`
+}
+
+// LineageBytesComparison is the two-arm comparison
+// (BENCH_gateway.json "lineage" section).
+type LineageBytesComparison struct {
+	Seed     int64           `json:"seed"`
+	Sessions int             `json:"sessions"`
+	Measure  string          `json:"measure"`
+	Baseline LineageBytesRun `json:"baseline"`
+	Summary  LineageBytesRun `json:"summary"`
+	// SyncReduction / PhaseReduction are baseline ÷ summary
+	// bytes-per-message for the two lineage-bearing channels.
+	SyncReduction  float64 `json:"syncBytesReduction"`
+	PhaseReduction float64 `json:"phaseBytesReduction"`
+}
+
+// LineageScale sizes the hot-record arm.
+type LineageScale struct {
+	Sessions int
+	Measure  time.Duration
+	// Stock preloads the hot key low enough to exhaust mid-run: the
+	// resulting fast-path demarcation rejects trigger the leader's
+	// classic base-rewrite rounds (algorithm 1 lines 24-26), so the
+	// Phase1b/Phase2a channel carries the hot record's lineage too.
+	Stock int64
+}
+
+// LineageHotRecord runs both arms and compares.
+func LineageHotRecord(seed int64, sc LineageScale) *LineageBytesComparison {
+	base := runLineageArm(seed, sc, true)
+	summ := runLineageArm(seed, sc, false)
+	cmp := &LineageBytesComparison{
+		Seed:     seed,
+		Sessions: sc.Sessions,
+		Measure:  sc.Measure.String(),
+		Baseline: base,
+		Summary:  summ,
+	}
+	if summ.SyncBPM > 0 {
+		cmp.SyncReduction = base.SyncBPM / summ.SyncBPM
+	}
+	if summ.PhaseBPM > 0 {
+		cmp.PhaseReduction = base.PhaseBPM / summ.PhaseBPM
+	}
+	return cmp
+}
+
+func gobSize(v interface{}) int64 {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0
+	}
+	return int64(buf.Len())
+}
+
+func runLineageArm(seed int64, sc LineageScale, fullLists bool) LineageBytesRun {
+	res := LineageBytesRun{Mode: "summaries"}
+	if fullLists {
+		res.Mode = "full-window-lists"
+	}
+	cl := topology.NewCluster(topology.Layout{
+		NodesPerDC: 1,
+		Clients:    sc.Sessions,
+		ClientDC:   -1,
+	})
+	// The baseline arm prices the true PRE-summary wire format: its
+	// messages carry both the summary and the legacy lists
+	// (ShipFullLineage is additive so both arms run identical
+	// protocol flows), so the summary fields are zeroed on a copy
+	// before sizing — otherwise the baseline would be overstated by
+	// the summary bytes and the reduction factor inflated.
+	meter := func(e transport.Envelope) {
+		switch m := e.Msg.(type) {
+		case core.MsgSyncReply:
+			res.SyncMsgs++
+			if fullLists {
+				entries := append([]core.SyncEntry(nil), m.Entries...)
+				for i := range entries {
+					entries[i].Lineage = core.LineageSummary{}
+				}
+				m.Entries = entries
+			}
+			res.SyncBytes += gobSize(&m)
+		case core.MsgPhase1b:
+			res.PhaseMsgs++
+			if fullLists {
+				m.Lineage = core.LineageSummary{}
+			}
+			res.PhaseBytes += gobSize(&m)
+		case core.MsgPhase2a:
+			res.PhaseMsgs++
+			if fullLists {
+				m.BaseLineage = core.LineageSummary{}
+			}
+			res.PhaseBytes += gobSize(&m)
+		}
+	}
+	net := simnet.New(simnet.Options{
+		Latency:     cl.Latency(),
+		JitterFrac:  0.10,
+		ServiceTime: 250 * time.Microsecond,
+		Seed:        seed,
+		OnDeliver:   meter,
+	})
+	cfg := core.Defaults(core.ModeMDCC)
+	cfg.Constraints = []record.Constraint{record.MinBound("units", 0)}
+	cfg.SyncInterval = 500 * time.Millisecond
+	cfg.PendingTimeout = 5 * time.Second
+	// Small γ keeps the record cycling fast→classic→fast, so
+	// Phase1b/Phase2a carry the hot record's lineage regularly (the
+	// per-exchange cost under measurement).
+	cfg.Gamma = 3
+	cfg.ShipFullLineage = fullLists
+
+	key := record.Key("stock/lineage-hot")
+	stock := sc.Stock
+	if stock <= 0 {
+		stock = 1 << 40
+	}
+	stores := make([]*kv.Store, 0, len(cl.Storage))
+	for _, n := range cl.Storage {
+		store := kv.NewMemory()
+		stores = append(stores, store)
+		core.NewStorageNode(n.ID, n.DC, net, cl, cfg, store)
+	}
+	shard := cl.Shard(key)
+	for j, n := range cl.Storage {
+		if n.Index == shard {
+			_ = stores[j].Put(key, record.Value{Attrs: map[string]int64{"units": stock}}, 1)
+		}
+	}
+
+	coords := make([]*core.Coordinator, sc.Sessions)
+	for i, c := range cl.Clients {
+		coords[i] = core.NewCoordinator(c.ID, c.DC, net, cl, cfg)
+	}
+	end := net.Now().Add(sc.Measure)
+	for ci := range coords {
+		ci := ci
+		var loop func()
+		loop = func() {
+			if !net.Now().Before(end) {
+				return
+			}
+			coords[ci].Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
+				func(r core.CommitResult) {
+					if r.Committed {
+						res.Commits++
+					}
+					loop()
+				})
+		}
+		net.At(0, loop)
+	}
+	net.RunFor(sc.Measure + 5*time.Second)
+	if res.SyncMsgs > 0 {
+		res.SyncBPM = float64(res.SyncBytes) / float64(res.SyncMsgs)
+	}
+	if res.PhaseMsgs > 0 {
+		res.PhaseBPM = float64(res.PhaseBytes) / float64(res.PhaseMsgs)
+	}
+	return res
+}

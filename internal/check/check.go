@@ -67,14 +67,23 @@ func (rc *recordingClient) Read(key record.Key, cb func(record.Value, record.Ver
 func (rc *recordingClient) Commit(updates []record.Update, done func(bool)) {
 	ups := append([]record.Update(nil), updates...)
 	rc.inner.Commit(updates, func(ok bool) {
-		rc.h.mu.Lock()
-		rc.h.seq++
-		rc.h.ops = append(rc.h.ops, Op{
-			Seq: rc.h.seq, Client: rc.id, Updates: ups, Committed: ok,
-		})
-		rc.h.mu.Unlock()
+		rc.h.Record(rc.id, ups, ok)
 		done(ok)
 	})
+}
+
+// Record logs one acknowledged transaction outcome directly (for
+// harness clients that cannot route through a recordingClient — e.g.
+// gateway clients that must divert unknown-outcome errors to Orphan).
+func (h *History) Record(client int, updates []record.Update, committed bool) {
+	h.mu.Lock()
+	h.seq++
+	h.ops = append(h.ops, Op{
+		Seq: h.seq, Client: client,
+		Updates:   append([]record.Update(nil), updates...),
+		Committed: committed,
+	})
+	h.mu.Unlock()
 }
 
 func (rc *recordingClient) SupportsCommutative() bool { return mtx.Commutative(rc.inner) }
@@ -374,6 +383,49 @@ func (h *History) Validate(initial map[record.Key]record.Value, final FinalState
 		// physical op may have rewritten the key after the delete).
 		if s.sawPhysical && s.lastTombstone && exists && !s.sawComm && !s.unknownPhys {
 			errs = append(errs, fmt.Errorf("check: %s: last committed write was a delete but the record exists", key))
+		}
+	}
+	return errs
+}
+
+// ReplicaState is one replica's post-quiesce view of a key, used by
+// the exact-convergence invariant. Lineage is the replica's canonical
+// lineage fingerprint for the key (core.LineageSummary.String —
+// passed as an opaque string so this package stays protocol-agnostic).
+type ReplicaState struct {
+	Replica string
+	Lineage string
+	Value   record.Value
+	Version record.Version
+	Exists  bool
+}
+
+// ValidateConvergence checks the exact-convergence invariant for one
+// key: after the network heals and the run quiesces, every replica
+// must hold an identical lineage summary AND identical committed
+// state. This is strictly stronger than final-value equality — two
+// forked branches can coincidentally sum to equal values, and a
+// replica that silently lost a forked apply while another gained an
+// offsetting one passes value checks but cannot pass summary
+// equality. Returned errors name the diverging replicas.
+func ValidateConvergence(key record.Key, states []ReplicaState) []error {
+	if len(states) < 2 {
+		return nil
+	}
+	var errs []error
+	ref := states[0]
+	for _, s := range states[1:] {
+		if s.Lineage != ref.Lineage {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: lineage divergence after quiesce: %s=%s vs %s=%s",
+				key, ref.Replica, ref.Lineage, s.Replica, s.Lineage))
+			continue
+		}
+		if s.Version != ref.Version || s.Exists != ref.Exists || !s.Value.Equal(ref.Value) {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: equal lineages but diverged state after quiesce: %s=%s v%d(exists=%v) vs %s=%s v%d(exists=%v)",
+				key, ref.Replica, ref.Value, ref.Version, ref.Exists,
+				s.Replica, s.Value, s.Version, s.Exists))
 		}
 	}
 	return errs

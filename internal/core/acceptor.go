@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"time"
 
 	"mdcc/internal/kv"
@@ -69,16 +70,37 @@ type StorageNode struct {
 	nVoteBatchItems            int64
 	nFeedMsgs                  int64
 	nFeedItems                 int64
+	nGrafted                   int64
+	nAdoptRefused              int64
+	nDecidedReleased           int64
+	nMixedKindRejects          int64
 }
 
 // recState is the acceptor's per-record Paxos state: the promised and
 // accepted ballots, the unresolved votes of the current ballot (the
-// cstruct), and recently decided options for idempotence/recovery.
+// cstruct), the decided-option log (the idempotence/merge cache), and
+// the record's exact lineage summary.
 type recState struct {
 	promised paxos.Ballot
 	accepted paxos.Ballot
 	votes    []VotedOption
 	decided  *decidedLog
+	// summary is the record's exact applied-option summary: the
+	// settled set whose effects the committed value contains (or, for
+	// physical options, contains-or-supersedes). It is what makes
+	// "does this base already contain apply X?" answerable forever —
+	// see lineage.go.
+	summary LineageSummary
+	// peerLineage is the last summary learned from each peer replica
+	// (anti-entropy replies, Phase1b, Phase2a bases). Content release
+	// from the decided log is gated on every peer containing the entry
+	// (see decidedLog.compact); summaries are monotone per replica, so
+	// a stale observation is only ever conservative.
+	peerLineage map[transport.NodeID]LineageSummary
+	// kind is the record's established update class (the kind-disjoint
+	// rule, DESIGN.md §5): locked by the first non-creating update;
+	// record-creating inserts are class-neutral. 0 = not yet locked.
+	kind record.UpdateKind
 	// votedAt remembers when each unresolved vote was cast, for the
 	// dangling-transaction sweep.
 	votedAt map[OptionID]time.Time
@@ -197,7 +219,7 @@ func (n *StorageNode) dispatch(env transport.Envelope) {
 	case MsgSyncReq:
 		n.onSyncReq(env.From, m)
 	case MsgSyncReply:
-		n.onSyncReply(m)
+		n.onSyncReply(env.From, m)
 	}
 }
 
@@ -210,13 +232,124 @@ func (n *StorageNode) rs(key record.Key) *recState {
 	if !ok {
 		r = &recState{
 			promised: n.initialBallot(key),
-			decided:  newDecidedLog(0),
+			decided:  newDecidedLog(0, n.cfg.DecidedRetention),
 			votedAt:  make(map[OptionID]time.Time),
 		}
 		r.accepted = r.promised
 		n.recs[key] = r
 	}
 	return r
+}
+
+// notePeerLineage records a peer replica's summary for ack-gated
+// content release (summaries are monotone per replica incarnation, so
+// later observations only widen the acked set; a non-durable restart
+// resets a peer's summary, but then every base that peer ever sends
+// is one it adopted from the quorum, which contains everything the
+// acked entries cover — release stays safe).
+func (n *StorageNode) notePeerLineage(r *recState, from transport.NodeID, s LineageSummary) {
+	if from == n.id {
+		return
+	}
+	if r.peerLineage == nil {
+		r.peerLineage = make(map[transport.NodeID]LineageSummary, 4)
+	}
+	prev := r.peerLineage[from]
+	prev.Union(s)
+	r.peerLineage[from] = prev
+}
+
+// compactDecided releases decided-log contents that are provably
+// redundant: aged past the retention cache horizon AND contained in
+// every peer replica's last-known summary (so no future merge can
+// need them; the summary itself keeps their settled knowledge
+// forever). force skips the doubling amortization (the periodic
+// sweep forces over-limit logs so entries that became releasable
+// since the last settle still shrink the log).
+func (n *StorageNode) compactDecided(key record.Key, r *recState, force bool) {
+	if force {
+		if len(r.decided.order) <= r.decided.limit {
+			return
+		}
+	} else if !r.decided.wantsCompact() {
+		return
+	}
+	peers := n.cl.Replicas(key)
+	n.nDecidedReleased += int64(r.decided.compact(n.net.Now(), func(e decidedEntry) bool {
+		for _, p := range peers {
+			if p == n.id {
+				continue
+			}
+			pl, ok := r.peerLineage[p]
+			if !ok || !pl.Contains(e.lane, e.keySeq) {
+				return false
+			}
+		}
+		return true
+	}))
+}
+
+// settleOption records one final decision: decided-log entry, lineage
+// summary, durable decision log, and the record's kind class. Returns
+// whether the decision was new.
+func (n *StorageNode) settleOption(key record.Key, r *recState, id OptionID, d Decision, opt Option, hasOpt bool) bool {
+	if !r.decided.record(id, d, opt, hasOpt, n.net.Now()) {
+		return false
+	}
+	r.noteSettled(id, d, opt, hasOpt)
+	n.logDecision(id, d, opt, hasOpt)
+	n.compactDecided(key, r, false)
+	return true
+}
+
+// noteSettled folds one settled decision into the record's summary
+// and class lock (shared by live settles and WAL replay).
+func (r *recState) noteSettled(id OptionID, d Decision, opt Option, hasOpt bool) {
+	if hasOpt && opt.KeySeq > 0 {
+		applied := d == DecAccept && opt.Update.Kind == record.KindCommutative
+		r.summary.Add(laneOf(id.Tx), opt.KeySeq, d != DecAccept, applied)
+		if d == DecAccept && opt.Update.Kind == record.KindPhysical && opt.Update.ReadVersion > 0 {
+			r.summary.Physical = true
+		}
+	}
+	if hasOpt && d == DecAccept {
+		r.noteKind(opt.Update)
+	}
+}
+
+// noteKind locks the record's update class on the first non-creating
+// accepted update (inserts — ReadVersion 0 — are class-neutral:
+// account/stock records are created physically and then live
+// commutatively, per the paper's own workloads).
+func (r *recState) noteKind(up record.Update) {
+	if r.kind != 0 {
+		return
+	}
+	switch up.Kind {
+	case record.KindCommutative:
+		r.kind = record.KindCommutative
+	case record.KindPhysical:
+		if up.ReadVersion > 0 {
+			r.kind = record.KindPhysical
+		}
+	}
+}
+
+// noteKindFromSummary reconstructs the class lock from the summary's
+// class bits — the only kind information a replica that learned the
+// key wholesale (base adoption, WAL snapshot replay) has. Deltas wins
+// over Physical for pre-enforcement mixed histories: the commutative
+// class is the one whose forks need merge protection.
+func (r *recState) noteKindFromSummary() {
+	if r.kind != 0 {
+		return
+	}
+	switch {
+	case r.summary.Deltas:
+		r.kind = record.KindCommutative
+	case r.summary.Physical:
+		r.kind = record.KindPhysical
+	}
 }
 
 func (n *StorageNode) initialBallot(key record.Key) paxos.Ballot {
@@ -240,7 +373,7 @@ func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
 	exists := ok && !val.Tombstone
 	n.net.Send(n.id, from, MsgReadReply{
 		ReqID: m.ReqID, Key: m.Key, Value: val, Version: ver, Exists: exists,
-		Escrow: n.escrowSnap(m.Key, val, ver),
+		Escrow: n.escrowSnap(m.Key, val, ver, from),
 	})
 }
 
@@ -248,8 +381,11 @@ func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
 // committed base of every constrained attribute plus the worst-case
 // pending movement of the unresolved accepted votes. Snapshots ride
 // votes and read replies (the piggyback freshness channel); Version
-// lets consumers order snapshots from different replicas.
-func (n *StorageNode) escrowSnap(key record.Key, val record.Value, ver record.Version) EscrowSnap {
+// lets consumers order snapshots from different replicas. recipient
+// is the node the snapshot is destined for: its gateway group is
+// counted among the contenders even when it has no pending votes yet,
+// so Contenders==1 always reads as "just you" at the consumer.
+func (n *StorageNode) escrowSnap(key record.Key, val record.Value, ver record.Version, recipient transport.NodeID) EscrowSnap {
 	if len(n.cfg.Constraints) == 0 {
 		return EscrowSnap{}
 	}
@@ -257,7 +393,7 @@ func (n *StorageNode) escrowSnap(key record.Key, val record.Value, ver record.Ve
 	if r, ok := n.recs[key]; ok {
 		pending = r.votes
 	}
-	snap := EscrowSnap{Valid: true, Version: ver}
+	snap := EscrowSnap{Valid: true, Version: ver, Contenders: contenderGroups(pending, recipient)}
 	for _, con := range n.cfg.Constraints {
 		down, up := pendingSums(pending, con.Attr)
 		snap.Attrs = append(snap.Attrs, AttrEscrow{
@@ -265,6 +401,37 @@ func (n *StorageNode) escrowSnap(key record.Key, val record.Value, ver record.Ve
 		})
 	}
 	return snap
+}
+
+// GatewayGroup maps a coordinator node id to its admission-sharing
+// group: pooled gateway coordinators ("gw/<dc>/cN") collapse to their
+// gateway ("gw/<dc>"); private coordinators are their own group.
+func GatewayGroup(id transport.NodeID) string {
+	s := string(id)
+	if strings.HasPrefix(s, "gw/") {
+		if i := strings.LastIndexByte(s, '/'); i > 2 {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// contenderGroups counts the distinct gateway groups holding pending
+// accepted commutative votes, always including the snapshot
+// recipient's own group — the live-contention signal gateways use to
+// adapt their headroom-share divisor. Counting the recipient is what
+// makes the number actionable: without it, a snapshot taken while
+// only the OTHER gateway's votes are pending would read as
+// "one contender" to both sides and let each claim the full slice.
+func contenderGroups(pending []VotedOption, recipient transport.NodeID) int {
+	groups := map[string]bool{GatewayGroup(recipient): true}
+	for _, v := range pending {
+		if v.Decision != DecAccept || v.Opt.Update.Kind != record.KindCommutative {
+			continue
+		}
+		groups[GatewayGroup(v.Opt.Coord)] = true
+	}
+	return len(groups)
 }
 
 // pendingSums splits the accepted pending commutative deltas on attr
@@ -350,7 +517,7 @@ func (n *StorageNode) proposeVote(opt Option) MsgVote {
 	vote := n.voteFor(opt)
 	if opt.Update.Kind == record.KindCommutative && len(n.cfg.Constraints) > 0 {
 		val, ver, _ := n.store.Get(opt.Update.Key)
-		vote.Escrow = n.escrowSnap(opt.Update.Key, val, ver)
+		vote.Escrow = n.escrowSnap(opt.Update.Key, val, ver, opt.Coord)
 	}
 	return vote
 }
@@ -362,13 +529,20 @@ func (n *StorageNode) voteFor(opt Option) MsgVote {
 	r := n.rs(key)
 	id := opt.ID()
 
-	// Idempotence: final decisions and existing votes are resent.
+	// Idempotence: final decisions and existing votes are resent. The
+	// lineage summary answers for settled options whose decided-log
+	// entry was released — exact, forever.
 	if d, ok := r.decided.get(id); ok {
 		return MsgVote{OptID: id, Ballot: r.promised, Decision: d}
 	}
+	if opt.KeySeq > 0 {
+		if d, ok := r.summary.Decision(laneOf(opt.Tx), opt.KeySeq); ok {
+			return MsgVote{OptID: id, Ballot: r.promised, Decision: d}
+		}
+	}
 	for _, v := range r.votes {
 		if v.Opt.ID() == id {
-			return MsgVote{OptID: id, Ballot: r.accepted, Decision: v.Decision}
+			return MsgVote{OptID: id, Ballot: r.accepted, Decision: v.Decision, Reason: v.Reason}
 		}
 	}
 
@@ -386,20 +560,21 @@ func (n *StorageNode) voteFor(opt Option) MsgVote {
 		return MsgVote{OptID: id, Ballot: r.promised, Forwarded: true, Leader: leader}
 	}
 
-	dec := n.evalOption(r.votes, opt, true)
-	n.castVote(r, opt, dec)
-	return MsgVote{OptID: id, Ballot: r.promised, Decision: dec}
+	dec, reason := n.evalOption(r.votes, opt, true)
+	n.castVote(r, opt, dec, reason)
+	return MsgVote{OptID: id, Ballot: r.promised, Decision: dec, Reason: reason}
 }
 
 // castVote appends a vote to the record's cstruct.
-func (n *StorageNode) castVote(r *recState, opt Option, dec Decision) {
+func (n *StorageNode) castVote(r *recState, opt Option, dec Decision, reason RejectReason) {
 	if traceOn(opt.Update.Key) {
 		tracef("%v %s vote tx=%s dec=%v", n.net.Now().Unix(), n.id, opt.Tx, dec)
 	}
-	r.votes = append(r.votes, VotedOption{Opt: opt, Decision: dec})
+	r.votes = append(r.votes, VotedOption{Opt: opt, Decision: dec, Reason: reason})
 	r.votedAt[opt.ID()] = n.net.Now()
 	if dec == DecAccept {
 		n.nVotesAccept++
+		r.noteKind(opt.Update)
 	} else {
 		n.nVotesReject++
 	}
@@ -412,8 +587,10 @@ func (n *StorageNode) castVote(r *recState, opt Option, dec Decision) {
 // commutative updates. The same code runs on acceptors against their
 // own votes (fast ballots) and on the leader against its cstruct
 // (classic ballots) — classic decisions are consistent across
-// replicas because they adopt the leader's cstruct verbatim.
-func (n *StorageNode) evalOption(pending []VotedOption, opt Option, fast bool) Decision {
+// replicas because they adopt the leader's cstruct verbatim. The
+// reject reason types the kind-disjoint rule's rejections so clients
+// see ErrMixedUpdateKinds instead of a silent abort.
+func (n *StorageNode) evalOption(pending []VotedOption, opt Option, fast bool) (Decision, RejectReason) {
 	switch opt.Update.Kind {
 	case record.KindPhysical:
 		return n.evalPhysical(pending, opt)
@@ -429,26 +606,36 @@ func (n *StorageNode) evalOption(pending []VotedOption, opt Option, fast bool) D
 		// other.
 		_, ver, _ := n.store.Get(opt.Update.Key)
 		if opt.Update.ReadVersion != ver {
-			return DecReject
+			return DecReject, ReasonNone
 		}
 		for _, v := range pending {
 			if v.Decision == DecAccept && v.Opt.Update.Kind != record.KindReadCheck {
-				return DecReject
+				return DecReject, ReasonNone
 			}
 		}
-		return DecAccept
+		return DecAccept, ReasonNone
 	default:
-		return DecReject
+		return DecReject, ReasonNone
 	}
 }
 
-func (n *StorageNode) evalPhysical(pending []VotedOption, opt Option) Decision {
+func (n *StorageNode) evalPhysical(pending []VotedOption, opt Option) (Decision, RejectReason) {
 	key := opt.Update.Key
+	// Kind-disjoint rule (DESIGN.md §5): a non-creating physical
+	// rewrite of a key with commutative history is rejected with a
+	// typed reason — a physical rewrite absorbs concurrent deltas'
+	// effects without carrying their lineage identities, which is
+	// exactly what makes mixed-kind forks unmergeable. Inserts
+	// (ReadVersion 0) create the record and are class-neutral.
+	if opt.Update.ReadVersion > 0 && n.rs(key).kind == record.KindCommutative {
+		n.nMixedKindRejects++
+		return DecReject, ReasonMixedKinds
+	}
 	_, ver, _ := n.store.Get(key)
 	// validRead: vread must match the current version; an insert
 	// (ReadVersion 0) requires the record to be new (§3.2.1).
 	if opt.Update.ReadVersion != ver {
-		return DecReject
+		return DecReject, ReasonNone
 	}
 	// validSingle: only one outstanding option per record — this is
 	// also the pessimistic deadlock-avoidance policy (§3.2.2): a
@@ -459,7 +646,7 @@ func (n *StorageNode) evalPhysical(pending []VotedOption, opt Option) Decision {
 	// serializable transactions.
 	for _, v := range pending {
 		if v.Decision == DecAccept {
-			return DecReject
+			return DecReject, ReasonNone
 		}
 	}
 	// Value constraints hold trivially under version serialization;
@@ -467,18 +654,24 @@ func (n *StorageNode) evalPhysical(pending []VotedOption, opt Option) Decision {
 	// instead of violating stock >= 0.
 	for _, con := range n.cfg.Constraints {
 		if x, ok := opt.Update.NewValue.Attrs[con.Attr]; ok && !con.Satisfied(x) {
-			return DecReject
+			return DecReject, ReasonNone
 		}
 	}
-	return DecAccept
+	return DecAccept, ReasonNone
 }
 
-func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bool) Decision {
+func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bool) (Decision, RejectReason) {
 	if n.cfg.Mode == ModeFast || n.cfg.Mode == ModeMulti {
 		// Commutative support is the MDCC configuration's feature.
 		// Fast/Multi callers should have converted to physical
 		// updates; reject rather than guess.
-		return DecReject
+		return DecReject, ReasonNone
+	}
+	// Kind-disjoint rule, other direction: deltas on a physically
+	// rewritten key would fork unmergeably against the next rewrite.
+	if n.rs(opt.Update.Key).kind == record.KindPhysical {
+		n.nMixedKindRejects++
+		return DecReject, ReasonMixedKinds
 	}
 	// Commutative options do not commute with an outstanding
 	// physical rewrite of the same record, nor with an outstanding
@@ -486,7 +679,7 @@ func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bo
 	// not changing).
 	for _, v := range pending {
 		if v.Decision == DecAccept && v.Opt.Update.Kind != record.KindCommutative {
-			return DecReject
+			return DecReject, ReasonNone
 		}
 	}
 	val, _, _ := n.store.Get(opt.Update.Key)
@@ -499,10 +692,10 @@ func (n *StorageNode) evalCommutative(pending []VotedOption, opt Option, fast bo
 			if fast {
 				n.nDemarcationRejects++
 			}
-			return DecReject
+			return DecReject, ReasonNone
 		}
 	}
-	return DecAccept
+	return DecAccept, ReasonNone
 }
 
 // deltaSafe decides whether accepting one more delta on attr keeps
@@ -588,26 +781,34 @@ func ceilDiv(a, b int64) int64 {
 // onVisibility executes or discards an option (§3.2.1 "Learned"
 // messages). Commit applies the update and bumps the version; abort
 // discards. Both record the outcome for idempotence and recovery.
+// The lineage summary keeps idempotence exact forever: a re-delivered
+// visibility for an option whose decided-log entry was long released
+// still skips, because the summary never forgets a settled identity.
 func (n *StorageNode) onVisibility(m MsgVisibility) {
 	key := m.Opt.Update.Key
 	r := n.rs(key)
 	id := m.Opt.ID()
 	if _, ok := r.decided.get(id); ok {
-		return // already executed or discarded
+		// Already executed or discarded; still release any lingering
+		// vote (the settle may have arrived via a base adoption that
+		// never saw the vote).
+		n.pruneVote(r, id)
+		return
+	}
+	if m.Opt.KeySeq > 0 && r.summary.Contains(laneOf(m.Opt.Tx), m.Opt.KeySeq) {
+		n.pruneVote(r, id)
+		return // settled knowledge outlived the decided-log cache
 	}
 	if traceOn(key) {
 		_, ver, _ := n.store.Get(key)
-		_, dup := r.decided.get(id)
-		tracef("%v %s visibility tx=%s commit=%v ver=%d up=%s dup=%v", n.net.Now().Unix(), n.id, m.Opt.Tx, m.Commit, ver, m.Opt.Update, dup)
+		tracef("%v %s visibility tx=%s commit=%v ver=%d up=%s", n.net.Now().Unix(), n.id, m.Opt.Tx, m.Commit, ver, m.Opt.Update)
 	}
 	if m.Commit {
-		r.decided.record(id, DecAccept, m.Opt, true, n.net.Now())
-		n.logDecision(id, DecAccept, m.Opt, true)
+		n.settleOption(key, r, id, DecAccept, m.Opt, true)
 		n.applyUpdate(m.Opt.Update)
 		n.nExecuted++
 	} else {
-		r.decided.record(id, DecReject, m.Opt, true, n.net.Now())
-		n.logDecision(id, DecReject, m.Opt, true)
+		n.settleOption(key, r, id, DecReject, m.Opt, true)
 		n.nDiscarded++
 	}
 	// Both outcomes feed the visibility stream: a commit changed the
@@ -624,86 +825,114 @@ func (n *StorageNode) onVisibility(m MsgVisibility) {
 // records can fork: replicas apply the same committed deltas in
 // different orders, so two replicas at the same version may each hold
 // deltas the other lacks, and blind version-max overwrite silently
-// destroys the overwritten branch's unique applies (the scenario
-// harness's conservation check catches exactly this as a lost
-// acknowledged commit). The base therefore carries its lineage — the
-// decided options whose effects it contains — and adoption re-applies
-// on top of it every commutative delta this replica executed that the
-// base's lineage is missing. Reported decisions are recorded (and
-// persisted) so late visibility stays idempotent. Returns whether
-// local state changed.
+// destroys the overwritten branch's unique applies.
+//
+// The base carries its exact LineageSummary — the options whose
+// outcomes it reflects — and adoption re-applies on top of it every
+// commutative delta this replica executed that the summary is
+// missing. Contents for those grafts are always local (the decided
+// log retains an apply until every peer's summary contains it, and an
+// incoming base can only come from a peer), so no option contents
+// ever cross replicas and the merge is exact regardless of how long
+// ago the fork happened: retention is a cache knob, not a correctness
+// input. The resulting summary is the union of both branches, which
+// is sound because the merged value contains (or, for physical
+// options, supersedes) every settled effect either branch reports.
+//
+// Physical-containment rule: if this replica holds a settled physical
+// apply the incoming summary is missing AND the incoming branch
+// contains commutative applies, adoption is refused — delta-inflated
+// version counts do not prove supersession of a physical write (the
+// insert-vs-early-deltas race), so convergence must flow the other
+// way: the peer adopts our base (grafting its own extras), and we
+// adopt the union later. Pure-physical branches need no such check:
+// a committed physical write's vread proves its value derived through
+// every lower version, so a higher pure-physical base supersedes by
+// construction. Returns whether local state changed.
 func (n *StorageNode) adoptBase(key record.Key, base record.Value, baseVer record.Version,
-	baseDecided []DecidedOption, via string) bool {
+	lineage LineageSummary, via string) bool {
 	cur, localVer, ok := n.store.Get(key)
 	if baseVer < localVer {
 		return false
 	}
 	r := n.rs(key)
-	has := make(map[OptionID]bool, len(baseDecided))
-	for _, d := range baseDecided {
-		has[d.ID] = true
+	if baseVer == localVer && r.summary.ContainsAll(lineage) {
+		// Nothing to learn: the incoming branch is a subset of ours at
+		// the same version (equal sets when the peer is converged).
+		// Equal version and value alone would NOT prove this — two
+		// forks can coincidentally sum equal — but summary containment
+		// does, exactly.
+		return false
+	}
+	if lineage.Deltas {
+		for _, id := range r.decided.order {
+			e, _ := r.decided.entry(id)
+			if e.Decision != DecAccept || e.kind != record.KindPhysical || e.keySeq == 0 {
+				continue
+			}
+			if !lineage.Contains(e.lane, e.keySeq) {
+				n.nAdoptRefused++
+				if traceOn(key) {
+					tracef("%v %s adopt-%s refused: local physical %s not in incoming lineage",
+						n.net.Now().Unix(), n.id, via, id)
+				}
+				return false
+			}
+		}
 	}
 	val, ver := base, baseVer
 	merged := 0
 	for _, id := range r.decided.order {
 		e, _ := r.decided.entry(id)
-		if !e.HasOpt || e.Decision != DecAccept || has[id] {
+		if !e.HasOpt || e.Decision != DecAccept {
 			continue
 		}
 		if e.Opt.Update.Kind != record.KindCommutative {
-			// Only deltas are re-applied: physical lineages cannot fork
-			// (vread serialization), so for keys written exclusively
-			// physically a missing physical update is already superseded
-			// by the fresher base. NOTE: keys mixing physical AND
-			// commutative writes are outside this merge's safety
-			// envelope — a commutative-heavy branch can outrank a
-			// physical write by version count alone (DESIGN.md §5);
-			// workloads keep key classes kind-disjoint.
+			// Physical applies are never grafted: either the incoming
+			// summary contains them, or (pure-physical branch) the
+			// higher base version proves supersession, or the refusal
+			// above already bailed.
+			continue
+		}
+		if e.keySeq == 0 {
+			// No lineage identity (hand-built option): containment is
+			// unprovable, so treat as contained rather than risk a
+			// double apply. Coordinators always mint identities.
+			continue
+		}
+		if lineage.Contains(e.lane, e.keySeq) {
 			continue
 		}
 		val = e.Opt.Update.Apply(val)
 		ver += e.Opt.Update.Span()
 		merged++
 	}
-	if ver == localVer && merged == 0 && ok && cur.Equal(val) {
-		// Possibly converged — but equal version and value alone do
-		// NOT prove it: two forked lineages can coincidentally sum to
-		// the same value at the same count. Skip the state rewrite
-		// (and its WAL append) only when every reported decision is
-		// already known here, so there is provably nothing to learn;
-		// an unknown reported id falls through to a full adoption,
-		// which installs the peer's base together with its lineage
-		// markers and our grafted extras.
-		allKnown := true
-		for _, d := range baseDecided {
-			if _, known := r.decided.get(d.ID); !known {
-				allKnown = false
-				break
-			}
-		}
-		if allKnown {
-			return false
-		}
-	}
+	n.nGrafted += int64(merged)
 	if traceOn(key) {
-		tracef("%v %s adopt-%s ver=%d->%d merged=%d val=%s decided=%d",
-			n.net.Now().Unix(), n.id, via, localVer, ver, merged, val, len(baseDecided))
+		tracef("%v %s adopt-%s ver=%d->%d merged=%d val=%s incoming=%s",
+			n.net.Now().Unix(), n.id, via, localVer, ver, merged, val, lineage)
+	}
+	if ver == localVer && merged == 0 && ok && cur.Equal(val) {
+		// Same value and version, but the incoming summary knows
+		// settles we don't (e.g. rejects, which bump no version):
+		// absorb the knowledge without rewriting the store.
+		r.summary.Union(lineage)
+		r.noteKindFromSummary()
+		n.logLineage(key, r.summary)
+		return true
 	}
 	_ = n.store.Put(key, val, ver)
-	for _, d := range baseDecided {
-		if r.decided.record(d.ID, d.Decision, d.Opt, d.HasOpt, n.net.Now()) {
-			n.logDecision(d.ID, d.Decision, d.Opt, d.HasOpt)
-		}
-	}
+	r.summary.Union(lineage)
+	r.noteKindFromSummary()
+	n.logLineage(key, r.summary)
 	n.markFeedDirty(key)
 	return true
 }
 
-// decidedList snapshots a record's decided log for shipping alongside
-// a committed base (Phase1b, Phase2a, anti-entropy). Contents travel
-// only where a merging peer can use them — commutative accepts — so
-// the lists stay light: rejects have no effect to graft and physical
-// updates cannot be re-applied onto a fresher base (see adoptBase).
+// decidedList snapshots a record's decided log in the pre-summary
+// wire format (contents for commutative accepts). Kept solely as the
+// Config.ShipFullLineage ablation payload, so the lineage-bytes
+// benchmark can price the old format against summaries.
 func decidedList(l *decidedLog) []DecidedOption {
 	out := make([]DecidedOption, 0, len(l.order))
 	for _, id := range l.order {
@@ -756,9 +985,8 @@ func (n *StorageNode) onPhase1a(from transport.NodeID, m MsgPhase1a) {
 		r.promised = m.Ballot
 	}
 	val, ver, ok := n.store.Get(m.Key)
-	decided := decidedList(r.decided)
 	n.nPhase1++
-	n.net.Send(n.id, from, MsgPhase1b{
+	reply := MsgPhase1b{
 		Key:     m.Key,
 		Ballot:  r.promised, // echoes m.Ballot, or a higher promise (nack)
 		Bal:     r.accepted,
@@ -766,8 +994,12 @@ func (n *StorageNode) onPhase1a(from transport.NodeID, m MsgPhase1a) {
 		Version: ver,
 		Value:   val,
 		Exists:  ok && !val.Tombstone,
-		Decided: decided,
-	})
+		Lineage: r.summary.Clone(),
+	}
+	if n.cfg.ShipFullLineage {
+		reply.LegacyDecided = decidedList(r.decided)
+	}
+	n.net.Send(n.id, from, reply)
 }
 
 // onPhase2a adopts the leader's cstruct (classic Phase2b, algorithm 3
@@ -798,8 +1030,10 @@ func (n *StorageNode) onPhase2a(from transport.NodeID, m MsgPhase2a) {
 	r.p2aSeq = m.Seq
 	if m.HasBase {
 		// A fresher committed base piggybacked by the leader catches up
-		// (and merges with) lagging replicas.
-		n.adoptBase(m.Key, m.BaseValue, m.BaseVersion, m.BaseDecided, "phase2a")
+		// (and merges with) lagging replicas. The leader's summary also
+		// feeds the peer-ack ledger gating content release.
+		n.notePeerLineage(r, from, m.BaseLineage)
+		n.adoptBase(m.Key, m.BaseValue, m.BaseVersion, m.BaseLineage, "phase2a")
 	}
 	now := n.net.Now()
 	r.votes = r.votes[:0]
@@ -808,6 +1042,9 @@ func (n *StorageNode) onPhase2a(from transport.NodeID, m MsgPhase2a) {
 	for _, v := range m.CStruct {
 		if _, ok := r.decided.get(v.Opt.ID()); ok {
 			continue // already settled locally (e.g. visibility raced ahead)
+		}
+		if v.Opt.KeySeq > 0 && r.summary.Contains(laneOf(v.Opt.Tx), v.Opt.KeySeq) {
+			continue // settled knowledge outlived the decided-log cache
 		}
 		r.votes = append(r.votes, v)
 		// votedAt measures how long the option has been unresolved, so
@@ -835,6 +1072,27 @@ func (n *StorageNode) onEnableFast(m MsgEnableFast) {
 		r.accepted = m.Ballot
 		n.nEnableFast++
 	}
+}
+
+// Lineage returns a copy of the record's exact applied-option
+// summary (empty for unknown keys). Harnesses use it for the
+// exact-convergence invariant; tools for inspection.
+func (n *StorageNode) Lineage(key record.Key) LineageSummary {
+	if r, ok := n.recs[key]; ok {
+		return r.summary.Clone()
+	}
+	return LineageSummary{}
+}
+
+// LineageFingerprint renders the record's canonical lineage
+// fingerprint (see LineageSummary.String): equal fingerprints mean
+// identical settled sets. Packages that must not import core's types
+// (internal/check) compare these strings.
+func (n *StorageNode) LineageFingerprint(key record.Key) string {
+	if r, ok := n.recs[key]; ok {
+		return r.summary.String()
+	}
+	return LineageSummary{}.String()
 }
 
 // fnvID hashes a node id into an anti-entropy RNG seed so each node

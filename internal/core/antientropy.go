@@ -26,14 +26,22 @@ type MsgSyncReq struct {
 	Limit int
 }
 
-// SyncEntry is one record's committed state plus the decided options
-// whose effects it contains (so the adopter stays idempotent against
-// late visibility messages, exactly like Phase2a base adoption).
+// SyncEntry is one record's committed state plus its exact lineage
+// summary — the compact description of every option outcome the value
+// reflects. The adopter merges via summary diff (StorageNode.adoptBase),
+// grafting only its own retained applies, so anti-entropy never ships
+// option contents: where the old format carried the whole retention
+// window with contents on every exchange of a hot record, the summary
+// costs a few interval sets regardless of history length.
 type SyncEntry struct {
 	Key     record.Key
 	Value   record.Value
 	Version record.Version
-	Decided []DecidedOption
+	Lineage LineageSummary
+	// LegacyDecided: the pre-summary payload, attached only under
+	// Config.ShipFullLineage for the lineage-bytes benchmark; ignored
+	// on receipt.
+	LegacyDecided []DecidedOption `json:",omitempty"`
 }
 
 // MsgSyncReply answers MsgSyncReq. Next is the cursor for the
@@ -102,7 +110,10 @@ func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
 		count++
 		entry := SyncEntry{Key: e.Key, Value: e.Value, Version: e.Version}
 		if r, ok := n.recs[e.Key]; ok {
-			entry.Decided = decidedList(r.decided)
+			entry.Lineage = r.summary.Clone()
+			if n.cfg.ShipFullLineage {
+				entry.LegacyDecided = decidedList(r.decided)
+			}
 		}
 		reply.Entries = append(reply.Entries, entry)
 		return true
@@ -111,14 +122,18 @@ func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
 }
 
 // onSyncReply merges anything at least as new as local state (equal
-// versions can hide diverged lineages; adoptBase reconciles them).
-func (n *StorageNode) onSyncReply(m MsgSyncReply) {
+// versions can hide diverged lineages; adoptBase reconciles them via
+// summary diff). Every entry also teaches us the responder's summary
+// for the key — the ack signal that gates decided-log content
+// release.
+func (n *StorageNode) onSyncReply(from transport.NodeID, m MsgSyncReply) {
 	for _, e := range m.Entries {
 		_, ver, _ := n.store.Get(e.Key)
+		n.notePeerLineage(n.rs(e.Key), from, e.Lineage)
 		if e.Version < ver {
 			continue
 		}
-		if n.adoptBase(e.Key, e.Value, e.Version, e.Decided, "sync") {
+		if n.adoptBase(e.Key, e.Value, e.Version, e.Lineage, "sync") {
 			n.nSynced++
 		}
 	}

@@ -95,6 +95,22 @@ type Config struct {
 	// steady-state staleness bound under load. Zero means the 10ms
 	// default.
 	FeedFlushInterval time.Duration
+
+	// DecidedRetention is how long a settled option's contents stay
+	// cached in the per-record decided log before becoming eligible
+	// for release (zero = 2 min). Since the lineage-summary refactor
+	// this is a pure cache knob: entries with a lineage identity are
+	// additionally held until every peer replica's summary is known to
+	// contain them, so shrinking it can cost a recovery round trip but
+	// can never lose a forked apply (the seed design's §5 limitation).
+	DecidedRetention time.Duration
+
+	// ShipFullLineage additionally attaches the pre-summary decided
+	// lists (with option contents) to anti-entropy and classic-phase
+	// messages. The protocol ignores them on receipt; the flag exists
+	// so the lineage-bytes benchmark can measure the old wire format
+	// against the summary one on identical runs.
+	ShipFullLineage bool
 }
 
 // feedKeepAlive resolves the keepalive interval.

@@ -18,10 +18,14 @@ import (
 // leader-side γ policy).
 const hintTTL = 2 * time.Second
 
-// CommitResult reports a transaction outcome to the application.
+// CommitResult reports a transaction outcome to the application. Err
+// types the cause of a rejection when the protocol knows one (today:
+// ErrMixedUpdateKinds, the kind-disjoint rule); it is nil for plain
+// conflicts/constraint aborts and for commits.
 type CommitResult struct {
 	Tx        TxID
 	Committed bool
+	Err       error
 }
 
 // Coordinator is the stateless DB-library side of MDCC: it executes
@@ -45,6 +49,14 @@ type Coordinator struct {
 	reads  map[uint64]*readCtx
 	txs    map[TxID]*txCtx
 	hints  map[record.Key]leaderHint
+	// keySeqs mints per-key lineage identities: the count of options
+	// this coordinator incarnation has proposed on each key. Together
+	// with the lane (this coordinator's TxID prefix) it names every
+	// option in LineageSummaries, which is what makes per-record
+	// summaries compact — a lane's sequences on one key are contiguous
+	// by construction. Grows by one word per distinct key written by
+	// this incarnation (never evicted: reuse would alias identities).
+	keySeqs map[record.Key]uint64
 
 	// escrowObs, when set, receives every escrow snapshot piggybacked
 	// on votes and read replies (the gateway tier's freshness channel).
@@ -81,6 +93,7 @@ type txCtx struct {
 	opts      map[OptionID]*optCtx
 	remaining int
 	done      func(CommitResult)
+	rejErr    error // typed rejection cause, if any option reported one
 }
 
 type optCtx struct {
@@ -88,6 +101,7 @@ type optCtx struct {
 	votes    map[transport.NodeID]Decision
 	accepts  int
 	rejects  int
+	reason   RejectReason // typed cause from reject votes/learns
 	learned  Decision
 	timer    clock.Timer
 	attempts int
@@ -117,9 +131,10 @@ func NewCoordinatorGen(id transport.NodeID, dc topology.DC, net transport.Networ
 		cfg:   cfg,
 		q:     paxos.NewQuorum(cl.ReplicationFactor()),
 		gen:   gen,
-		reads: make(map[uint64]*readCtx),
-		txs:   make(map[TxID]*txCtx),
-		hints: make(map[record.Key]leaderHint),
+		reads:   make(map[uint64]*readCtx),
+		txs:     make(map[TxID]*txCtx),
+		hints:   make(map[record.Key]leaderHint),
+		keySeqs: make(map[record.Key]uint64),
 	}
 	// Read request ids live in a per-generation namespace.
 	c.reqSeq = gen << 32
@@ -285,8 +300,13 @@ func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
 		return
 	}
 	writeSet := make([]record.Key, 0, len(updates))
+	writeSeqs := make([]uint64, 0, len(updates))
 	for _, up := range updates {
 		writeSet = append(writeSet, up.Key)
+		// Mint the option's lineage identity: the per-(coordinator
+		// incarnation, key) proposal sequence (see LineageSummary).
+		c.keySeqs[up.Key]++
+		writeSeqs = append(writeSeqs, c.keySeqs[up.Key])
 	}
 	t := &txCtx{
 		id:        tx,
@@ -298,8 +318,9 @@ func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
 	// Fast-path proposals for the whole write-set are grouped per
 	// destination node (§7's batching optimization) unless disabled.
 	var fastByNode map[transport.NodeID][]Option
-	for _, up := range updates {
-		opt := Option{Tx: tx, Coord: c.id, Update: up, WriteSet: writeSet}
+	for i, up := range updates {
+		opt := Option{Tx: tx, Coord: c.id, Update: up, WriteSet: writeSet,
+			KeySeq: writeSeqs[i], WriteSeqs: writeSeqs}
 		oc := &optCtx{opt: opt, votes: make(map[transport.NodeID]Decision)}
 		t.opts[opt.ID()] = oc
 		if dest, viaLeader := c.route(opt.Update.Key); viaLeader {
@@ -403,6 +424,9 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 		oc.accepts++
 	} else {
 		oc.rejects++
+		if oc.reason == ReasonNone {
+			oc.reason = m.Reason
+		}
 	}
 	switch {
 	case c.q.FastLearned(oc.accepts):
@@ -440,6 +464,9 @@ func (c *Coordinator) onLearned(m MsgLearned) {
 	if !ok || oc.learned != DecUnknown {
 		return
 	}
+	if m.Decision == DecReject && oc.reason == ReasonNone {
+		oc.reason = m.Reason
+	}
 	c.nLeaderLearns++
 	c.learn(t, oc, m.Decision)
 }
@@ -454,6 +481,9 @@ func (c *Coordinator) learn(t *txCtx, oc *optCtx, d Decision) {
 	}
 	t.remaining--
 	if d == DecReject {
+		if oc.reason == ReasonMixedKinds && t.rejErr == nil {
+			t.rejErr = ErrMixedUpdateKinds
+		}
 		c.finish(t, false)
 		return
 	}
@@ -513,7 +543,11 @@ func (c *Coordinator) finish(t *txCtx, commit bool) {
 	} else {
 		c.nAborts++
 	}
-	t.done(CommitResult{Tx: t.id, Committed: commit})
+	res := CommitResult{Tx: t.id, Committed: commit}
+	if !commit {
+		res.Err = t.rejErr
+	}
+	t.done(res)
 }
 
 // CoordMetrics reports coordinator-side counters.

@@ -159,7 +159,7 @@ func (n *StorageNode) onVisibilitySub(from transport.NodeID, m MsgVisibilitySub)
 			}
 			sub.interest[key] = true
 		}
-		items = append(items, n.feedItem(key))
+		items = append(items, n.feedItem(key, from))
 	}
 	n.sendFeed(from, sub, items)
 	if !n.feedKeepAliveArmed {
@@ -168,15 +168,17 @@ func (n *StorageNode) onVisibilitySub(from transport.NodeID, m MsgVisibilitySub)
 	}
 }
 
-// feedItem snapshots one key's committed state for the feed.
-func (n *StorageNode) feedItem(key record.Key) FeedItem {
+// feedItem snapshots one key's committed state for the feed,
+// addressed to one subscriber (the escrow snapshot's contender count
+// includes the recipient's group; see contenderGroups).
+func (n *StorageNode) feedItem(key record.Key, to transport.NodeID) FeedItem {
 	val, ver, ok := n.store.Get(key)
 	return FeedItem{
 		Key:     key,
 		Value:   val,
 		Version: ver,
 		Exists:  ok && !val.Tombstone,
-		Escrow:  n.escrowSnap(key, val, ver),
+		Escrow:  n.escrowSnap(key, val, ver, to),
 	}
 }
 
@@ -243,9 +245,8 @@ func (n *StorageNode) flushFeedsNow() {
 		return
 	}
 	n.feedLastFlush = n.net.Now()
-	items := make([]FeedItem, 0, len(n.feedDirty))
-	for _, key := range n.feedDirty {
-		items = append(items, n.feedItem(key))
+	dirty := append([]record.Key(nil), n.feedDirty...)
+	for _, key := range dirty {
 		delete(n.feedDirtySet, key)
 	}
 	n.feedDirty = n.feedDirty[:0]
@@ -256,11 +257,14 @@ func (n *StorageNode) flushFeedsNow() {
 		// interest set and flushed (rate-limit deferred) after an epoch
 		// switch replaced it; shipping it then would echo-confirm a key
 		// the new stream does not cover, and the subscriber would serve
-		// its frozen copy forever.
-		send := make([]FeedItem, 0, len(items))
-		for _, it := range items {
-			if sub.interest[it.Key] {
-				send = append(send, it)
+		// its frozen copy forever. Items are built per subscriber so
+		// the escrow snapshot's contender count can include the
+		// recipient (subscriber fan-out is one gateway per DC, so the
+		// duplicate snapshot work is bounded and tiny).
+		send := make([]FeedItem, 0, len(dirty))
+		for _, key := range dirty {
+			if sub.interest[key] {
+				send = append(send, n.feedItem(key, to))
 			}
 		}
 		if len(send) == 0 {

@@ -53,10 +53,13 @@ type proposalCtx struct {
 }
 
 // optWaiter is a dangling-transaction recovery request awaiting this
-// leader's decision on one option.
+// leader's decision on one option. keySeq carries the queried
+// option's lineage identity (when the requester knew it) so the
+// waiter can be answered exactly from a summary.
 type optWaiter struct {
-	reqID uint64
-	from  transport.NodeID
+	reqID  uint64
+	from   transport.NodeID
+	keySeq uint64
 }
 
 // lr returns (creating lazily) the leader state for a key.
@@ -65,7 +68,7 @@ func (n *StorageNode) lr(key record.Key) *leaderRec {
 	if !ok {
 		l = &leaderRec{
 			props:       make(map[uint64]*proposalCtx),
-			learned:     newDecidedLog(0),
+			learned:     newDecidedLog(0, n.cfg.DecidedRetention),
 			waiters:     make(map[OptionID][]optWaiter),
 			classicLeft: n.cfg.Gamma,
 		}
@@ -111,16 +114,24 @@ func (n *StorageNode) leaderPropose(opt Option, recovery bool) {
 	}
 
 	comm := opt.Update.Kind == record.KindCommutative
-	// Already settled? Answer immediately.
+	// Already settled? Answer immediately. The summary answers for
+	// options whose decided-log entry was released.
 	if d, ok := r.decided.get(id); ok {
-		n.notifyLearned(opt.Coord, id, d, comm)
+		n.notifyLearned(opt.Coord, id, d, ReasonNone, comm)
 		n.resolveWaiters(l, id, d)
 		return
 	}
 	if d, ok := l.learned.get(id); ok {
-		n.notifyLearned(opt.Coord, id, d, comm)
+		n.notifyLearned(opt.Coord, id, d, ReasonNone, comm)
 		n.resolveWaiters(l, id, d)
 		return
+	}
+	if opt.KeySeq > 0 {
+		if d, ok := r.summary.Decision(laneOf(opt.Tx), opt.KeySeq); ok {
+			n.notifyLearned(opt.Coord, id, d, ReasonNone, comm)
+			n.resolveWaiters(l, id, d)
+			return
+		}
 	}
 	// Already in flight (duplicate propose / concurrent recovery)?
 	for _, v := range l.cstruct {
@@ -142,8 +153,8 @@ func (n *StorageNode) leaderPropose(opt Option, recovery bool) {
 		return
 	}
 
-	dec := n.evalOption(l.cstruct, opt, false)
-	l.cstruct = append(l.cstruct, VotedOption{Opt: opt, Decision: dec})
+	dec, reason := n.evalOption(l.cstruct, opt, false)
+	l.cstruct = append(l.cstruct, VotedOption{Opt: opt, Decision: dec, Reason: reason})
 	n.sendPhase2a(key, l)
 }
 
@@ -226,9 +237,9 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	// Adopt the freshest committed state among the quorum (a lagging
 	// leader must not re-evaluate against stale data; Phase2a then
 	// pushes this base to lagging replicas). Only the single freshest
-	// reply is adopted, together with its decided log: the base
-	// already contains exactly those options' effects, so marking
-	// them decided keeps later visibility application idempotent.
+	// reply is adopted, with its lineage summary: adoptBase merges via
+	// summary diff, grafting this replica's own applies the incoming
+	// base is missing. Every reply also feeds the peer-ack ledger.
 	r := n.rs(key)
 	_, localVer, _ := n.store.Get(key)
 	// Deterministic reply order (ties on Version must not depend on
@@ -241,12 +252,13 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	var freshest *MsgPhase1b
 	for _, from := range froms {
 		rep := p1.replies[from]
+		n.notePeerLineage(r, from, rep.Lineage)
 		if rep.Version > localVer && (freshest == nil || rep.Version > freshest.Version) {
 			freshest = &rep
 		}
 	}
 	if freshest != nil {
-		n.adoptBase(key, freshest.Value, freshest.Version, freshest.Decided, "phase1")
+		n.adoptBase(key, freshest.Value, freshest.Version, freshest.Lineage, "phase1")
 	}
 
 	// Gather votes and known decisions.
@@ -315,11 +327,29 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 				t.stale = true
 			}
 		}
-		for _, d := range rep.Decided {
-			if t, ok := tallies[d.ID]; ok {
-				t.decided, t.decision = true, d.Decision
-			} else {
-				tallies[d.ID] = &tally{decided: true, decision: d.Decision}
+	}
+	// Settled-option detection: a tallied option may already be
+	// executed or discarded somewhere. The local decided log, the
+	// local summary, and every reply's lineage summary answer exactly
+	// — including for options settled long before any retention
+	// window, which the old decided-list exchange could not see.
+	for id, t := range tallies {
+		if d, ok := r.decided.get(id); ok {
+			t.decided, t.decision = true, d
+			continue
+		}
+		if t.opt.KeySeq == 0 {
+			continue
+		}
+		lane := laneOf(id.Tx)
+		if d, ok := r.summary.Decision(lane, t.opt.KeySeq); ok {
+			t.decided, t.decision = true, d
+			continue
+		}
+		for _, from := range froms {
+			if d, ok := p1.replies[from].Lineage.Decision(lane, t.opt.KeySeq); ok {
+				t.decided, t.decision = true, d
+				break
 			}
 		}
 	}
@@ -404,11 +434,11 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 		return free[i].Update.Key < free[j].Update.Key
 	})
 	for _, opt := range free {
-		dec := n.evalOption(newCStruct, opt, false)
+		dec, reason := n.evalOption(newCStruct, opt, false)
 		if traceOn(opt.Update.Key) {
 			tracef("%v %s phase1-free tx=%s dec=%v", n.net.Now().Unix(), n.id, opt.Tx, dec)
 		}
-		newCStruct = append(newCStruct, VotedOption{Opt: opt, Decision: dec})
+		newCStruct = append(newCStruct, VotedOption{Opt: opt, Decision: dec, Reason: reason})
 	}
 
 	l.cstruct = newCStruct
@@ -442,8 +472,32 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 		if inC {
 			continue
 		}
+		// Settled knowledge first: the local log/summary or any reply's
+		// summary may know the outcome of an option that has no votes
+		// left anywhere (settled and fully pruned). Answering from it
+		// is exact; the fiat-reject below is only for options that
+		// provably never settled up to this ballot.
+		if d, ok := r.decided.get(id); ok {
+			n.resolveWaiters(l, id, d)
+			continue
+		}
+		if d, ok := n.waiterSummaryDecision(r, l, p1, froms, id); ok {
+			n.resolveWaiters(l, id, d)
+			continue
+		}
+		// Stamp the requester's lineage identity onto the fiat reject
+		// (when known) so the settled decision enters summaries and
+		// outlives every cache (see onRecoverOpt).
+		var keySeq uint64
+		for _, w := range l.waiters[id] {
+			if w.keySeq > 0 {
+				keySeq = w.keySeq
+				break
+			}
+		}
 		l.cstruct = append(l.cstruct, VotedOption{
-			Opt: Option{Tx: id.Tx, Update: record.Update{Key: id.Key}}, Decision: DecReject,
+			Opt:      Option{Tx: id.Tx, Update: record.Update{Key: id.Key}, KeySeq: keySeq},
+			Decision: DecReject,
 		})
 	}
 
@@ -452,6 +506,34 @@ func (n *StorageNode) finishPhase1(key record.Key, l *leaderRec, p1 *phase1Ctx) 
 	} else {
 		n.maybeEnableFast(key, l)
 	}
+}
+
+// waiterSummaryDecision answers a recovery waiter's option from exact
+// settled knowledge: the waiter's lineage identity (if the requester
+// knew it) looked up in the local summary and in every Phase1b
+// reply's summary.
+func (n *StorageNode) waiterSummaryDecision(r *recState, l *leaderRec, p1 *phase1Ctx,
+	froms []transport.NodeID, id OptionID) (Decision, bool) {
+	var keySeq uint64
+	for _, w := range l.waiters[id] {
+		if w.keySeq > 0 {
+			keySeq = w.keySeq
+			break
+		}
+	}
+	if keySeq == 0 {
+		return DecUnknown, false
+	}
+	lane := laneOf(id.Tx)
+	if d, ok := r.summary.Decision(lane, keySeq); ok {
+		return d, true
+	}
+	for _, from := range froms {
+		if d, ok := p1.replies[from].Lineage.Decision(lane, keySeq); ok {
+			return d, true
+		}
+	}
+	return DecUnknown, false
 }
 
 // sendPhase2a broadcasts the full current cstruct with the leader's
@@ -465,15 +547,17 @@ func (n *StorageNode) sendPhase2a(key record.Key, l *leaderRec) {
 		acks:     make(map[transport.NodeID]bool),
 	}
 	val, ver, ok := n.store.Get(key)
-	// Snapshot the leader's decided log together with its base: the
-	// base contains exactly these options' effects (same handler
-	// context, so store and log are mutually consistent).
+	// Snapshot the leader's lineage summary together with its base:
+	// the base contains exactly these options' effects (same handler
+	// context, so store and summary are mutually consistent).
 	r := n.rs(key)
-	decided := decidedList(r.decided)
 	msg := MsgPhase2a{
 		Key: key, Ballot: l.ballot, Seq: l.seq, CStruct: snap,
 		HasBase: true, BaseVersion: ver, BaseValue: val, BaseExists: ok && !val.Tombstone,
-		BaseDecided: decided,
+		BaseLineage: r.summary.Clone(),
+	}
+	if n.cfg.ShipFullLineage {
+		msg.LegacyDecided = decidedList(r.decided)
 	}
 	for _, rep := range n.cl.Replicas(key) {
 		n.net.Send(n.id, rep, msg)
@@ -513,7 +597,8 @@ func (n *StorageNode) onPhase2b(from transport.NodeID, m MsgPhase2b) {
 			continue
 		}
 		l.learned.record(id, v.Decision, v.Opt, true, n.net.Now())
-		n.notifyLearned(v.Opt.Coord, id, v.Decision,
+		l.learned.compactLegacy(n.net.Now())
+		n.notifyLearned(v.Opt.Coord, id, v.Decision, v.Reason,
 			v.Opt.Update.Kind == record.KindCommutative)
 		n.resolveWaiters(l, id, v.Decision)
 		if v.Decision == DecReject {
@@ -610,14 +695,14 @@ func (n *StorageNode) leaderObserveVisibility(key record.Key, id OptionID) {
 // the only freshness channel a record inside a γ window has (it
 // produces no fast-path votes), so the leader attaches its own
 // demarcation snapshot exactly as acceptors do on Phase2b votes.
-func (n *StorageNode) notifyLearned(coord transport.NodeID, id OptionID, d Decision, commutative bool) {
+func (n *StorageNode) notifyLearned(coord transport.NodeID, id OptionID, d Decision, reason RejectReason, commutative bool) {
 	if coord == "" {
 		return
 	}
-	msg := MsgLearned{OptID: id, Decision: d}
+	msg := MsgLearned{OptID: id, Decision: d, Reason: reason}
 	if commutative && len(n.cfg.Constraints) > 0 {
 		val, ver, _ := n.store.Get(id.Key)
-		msg.Escrow = n.escrowSnap(id.Key, val, ver)
+		msg.Escrow = n.escrowSnap(id.Key, val, ver, coord)
 	}
 	n.net.Send(n.id, coord, msg)
 }

@@ -40,6 +40,10 @@ type MsgVote struct {
 	OptID    OptionID
 	Ballot   paxos.Ballot
 	Decision Decision
+	// Reason refines reject decisions with a typed cause (e.g. the
+	// kind-disjoint rule), surfaced to the application through the
+	// coordinator.
+	Reason RejectReason
 	// Forwarded reports the acceptor forwarded the proposal to the
 	// record's leader instead of voting (record in a classic window);
 	// Decision is DecUnknown then and the leader will answer with
@@ -72,6 +76,13 @@ type EscrowSnap struct {
 	Valid   bool
 	Version record.Version
 	Attrs   []AttrEscrow
+	// Contenders counts the distinct gateway groups (coordinator-id
+	// prefixes, see GatewayGroup) holding pending accepted commutative
+	// votes on the record when the snapshot was taken — the live
+	// contention signal gateways use to adapt their headroom-share
+	// divisor (0 = nobody pending, which an admitting gateway reads as
+	// "just me").
+	Contenders int
 }
 
 // MsgLearned tells the coordinator an option's final decision
@@ -79,6 +90,8 @@ type EscrowSnap struct {
 type MsgLearned struct {
 	OptID    OptionID
 	Decision Decision
+	// Reason refines reject decisions (see MsgVote.Reason).
+	Reason RejectReason
 	// Escrow piggybacks the leader replica's demarcation state for the
 	// decided record (set for commutative options under constraints).
 	// Classic-path decisions never produce fast-path votes, so without
@@ -144,7 +157,9 @@ type MsgPhase1a struct {
 
 // MsgPhase1b is an acceptor's promise plus everything the leader
 // needs to choose safely: its accepted ballot and votes, its
-// committed state, and recently decided options.
+// committed state, and the record's lineage summary — the exact set
+// of options whose outcomes its base reflects, replacing the old
+// retention-windowed decided list (and its contents) on the wire.
 type MsgPhase1b struct {
 	Key     record.Key
 	Ballot  paxos.Ballot // the promised ballot (echo of Phase1a)
@@ -153,13 +168,20 @@ type MsgPhase1b struct {
 	Version record.Version
 	Value   record.Value
 	Exists  bool
-	Decided []DecidedOption
+	Lineage LineageSummary
+	// LegacyDecided is populated only under Config.ShipFullLineage —
+	// the pre-summary wire format, kept as a measurable ablation
+	// baseline for the lineage-bytes benchmark. Consumers ignore it.
+	LegacyDecided []DecidedOption `json:",omitempty"`
 }
 
-// DecidedOption reports a known final decision. When the reporter
-// executed the option itself it attaches the contents (HasOpt), so a
-// replica merging a diverged branch can re-apply commutative deltas
-// the reported lineage is missing (see StorageNode.adoptBase).
+// DecidedOption is the pre-summary wire form of one known final
+// decision (contents attached for commutative accepts so the old
+// merge path could graft them). It survives only as the
+// ShipFullLineage ablation payload; the protocol itself now ships
+// LineageSummaries and never needs contents to cross replicas (each
+// replica grafts only its own retained applies — see
+// StorageNode.adoptBase and decidedLog).
 type DecidedOption struct {
 	ID       OptionID
 	Decision Decision
@@ -171,10 +193,11 @@ type DecidedOption struct {
 // a classic ballot. Seq identifies this proposal for acknowledgement
 // counting. When HasBase is set, acceptors behind BaseVersion adopt
 // the leader's committed base (this is also how a classic round
-// "writes a new base value" for demarcation, §3.4.2). BaseDecided
-// lists the options whose effects the base already contains, so an
-// adopting replica does not re-apply them when their (still in
-// flight) visibility notifications arrive later.
+// "writes a new base value" for demarcation, §3.4.2). BaseLineage is
+// the summary of options the base already contains, so an adopting
+// replica neither re-applies them when their (still in flight)
+// visibility notifications arrive later nor loses its own applies the
+// base is missing.
 type MsgPhase2a struct {
 	Key         record.Key
 	Ballot      paxos.Ballot
@@ -184,7 +207,9 @@ type MsgPhase2a struct {
 	BaseVersion record.Version
 	BaseValue   record.Value
 	BaseExists  bool
-	BaseDecided []DecidedOption
+	BaseLineage LineageSummary
+	// LegacyDecided: see MsgPhase1b.LegacyDecided.
+	LegacyDecided []DecidedOption `json:",omitempty"`
 }
 
 // MsgPhase2b acknowledges a Phase2a proposal (or reports a higher
@@ -208,11 +233,17 @@ type MsgEnableFast struct {
 
 // MsgRecoverOpt asks the leader of one key to force a decision for a
 // transaction's option on that key (used by the pending-option sweep
-// when an app-server died before sending visibility).
+// when an app-server died before sending visibility). KeySeq is the
+// queried option's lineage identity (from the stuck sibling's
+// WriteSeqs), letting the leader answer exactly from its summary even
+// after the decided-log entry was released — without it an
+// evicted-but-settled option would be re-forced through a classic
+// round and could be fiat-rejected against its true decision.
 type MsgRecoverOpt struct {
 	ReqID  uint64
 	Tx     TxID
 	Key    record.Key
+	KeySeq uint64
 	Opt    Option // the requester's copy, if it has one
 	HasOpt bool
 }

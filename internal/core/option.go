@@ -19,6 +19,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -73,42 +74,103 @@ type Option struct {
 	Coord    transport.NodeID // coordinator to notify when learned
 	Update   record.Update
 	WriteSet []record.Key // primary keys of the whole write-set
+
+	// KeySeq is the option's lineage identity within its coordinator
+	// lane: the per-(coordinator incarnation, key) contiguous proposal
+	// sequence, minted at Commit. Together with the lane (the TxID
+	// prefix, see laneOf) it names this option in LineageSummaries
+	// forever. 0 means "no lineage identity" (recovery-fiat options).
+	KeySeq uint64
+	// WriteSeqs carries the KeySeq of every sibling option of the
+	// transaction, parallel to WriteSet, so dangling-transaction
+	// recovery can ask each key's leader about the sibling by lineage
+	// identity even after the leader's decided-log entry was evicted
+	// (the summary then answers exactly; see onRecoverOpt).
+	WriteSeqs []uint64
 }
 
 // ID returns the option's identity.
 func (o Option) ID() OptionID { return OptionID{Tx: o.Tx, Key: o.Update.Key} }
 
+// RejectReason refines a reject decision with a typed cause that
+// travels back to the application (votes, cstructs, learned
+// messages). Most rejects are plain protocol aborts (version
+// conflicts, demarcation) and carry ReasonNone.
+type RejectReason uint8
+
+// Reject reasons.
+const (
+	ReasonNone RejectReason = iota
+	// ReasonMixedKinds: the option's update kind conflicts with the
+	// record's established class — a physical rewrite of a key with
+	// commutative history, or a commutative delta on a physically
+	// rewritten key (DESIGN.md §5's kind-disjoint rule, enforced at
+	// the acceptor instead of silently voiding the merge envelope).
+	ReasonMixedKinds
+)
+
+// ErrMixedUpdateKinds is the typed error surfaced to clients when an
+// option is rejected with ReasonMixedKinds. Record-creating inserts
+// (ReadVersion 0) are class-neutral; the class locks on the first
+// non-creating update.
+var ErrMixedUpdateKinds = errors.New("mdcc/core: update kind conflicts with the key's established class (kind-disjoint rule)")
+
 // VotedOption is an option plus a decision — one element of the
-// cstructs acceptors vote on.
+// cstructs acceptors vote on. Reason refines reject decisions.
 type VotedOption struct {
 	Opt      Option
 	Decision Decision
+	Reason   RejectReason
 }
 
 // decidedEntry is one settled option: its final decision plus, when
-// known, the option contents (so recovery can re-broadcast visibility
-// for transactions whose coordinator died).
+// known, the option contents (so lineage merges can graft the update
+// onto a diverged base and recovery can re-broadcast visibility for
+// transactions whose coordinator died). lane/keySeq mirror the
+// option's lineage identity so the entry can be cross-checked against
+// summaries even after its contents are released; kind survives
+// content release for adoptBase's physical-containment rule.
 type decidedEntry struct {
 	Decision  Decision
 	Opt       Option
 	HasOpt    bool
 	settledAt time.Time
+	lane      string
+	keySeq    uint64
+	kind      record.UpdateKind
 }
 
-// decidedLog remembers recently decided options per record so votes,
-// visibility and recovery are idempotent. Eviction is count-capped
-// AND age-gated: an entry leaves only once the log is over its count
-// limit and the entry is older than the retention horizon. A purely
-// count-bounded FIFO is wrong on hot records — at tens of settles per
-// second 512 entries cover mere seconds, while recovery after a long
-// outage legitimately re-delivers visibility tens of seconds late,
-// and a forgotten commutative option would be applied twice (caught
-// by the scenario harness's conservation check).
+// decidedLog remembers decided options per record so votes,
+// visibility and recovery are idempotent and diverged lineages can be
+// merged. Two eviction regimes share it:
+//
+//   - Entries WITH a lineage identity (keySeq > 0) are released only
+//     once (a) they are older than the retention horizon AND (b)
+//     every peer replica's last-known LineageSummary contains them
+//     (the acked predicate). The summary carries their settled
+//     knowledge forever, and the all-peer-ack guarantee is what makes
+//     content release safe: an option every replica has settled can
+//     never again be the missing half of a fork, so its contents are
+//     never needed for a graft. Retention is therefore a pure cache
+//     knob — shrinking it can cost a recovery round trip, never a
+//     lost apply (the seed design's §5 limitation, now closed).
+//   - Legacy entries (keySeq == 0: recovery-fiat options) keep the
+//     old count-capped AND age-gated FIFO rule; they carry no effect
+//     to lose.
+//
+// Unacked entries are retained past the count cap — the log grows
+// with the divergence horizon (e.g. a partitioned peer), which is the
+// minimum state any exact merge scheme must keep.
 type decidedLog struct {
 	order     []OptionID
 	byID      map[OptionID]decidedEntry
 	limit     int
 	retention time.Duration
+
+	// lastCompactLen amortizes compaction: a full pass runs only once
+	// the log doubles past max(limit, lastCompactLen), so a log with
+	// nothing evictable costs O(1) amortized per settle, not O(n).
+	lastCompactLen int
 }
 
 const (
@@ -116,9 +178,12 @@ const (
 	defaultDecidedRetention = 2 * time.Minute
 )
 
-func newDecidedLog(limit int) *decidedLog {
+func newDecidedLog(limit int, retention time.Duration) *decidedLog {
 	if limit <= 0 {
 		limit = defaultDecidedLimit
+	}
+	if retention <= 0 {
+		retention = defaultDecidedRetention
 	}
 	// Maps grow on demand: most records settle only a handful of
 	// options, so no capacity hint (pre-sizing 512 slots per record
@@ -126,19 +191,37 @@ func newDecidedLog(limit int) *decidedLog {
 	return &decidedLog{
 		byID:      make(map[OptionID]decidedEntry),
 		limit:     limit,
-		retention: defaultDecidedRetention,
+		retention: retention,
 	}
 }
 
 // record stores a final decision (first write wins: decisions are
 // immutable once made) settled at time now. It reports whether the
 // entry was newly inserted (false for already-known decisions), so
-// callers can persist each decision exactly once.
+// callers can persist each decision exactly once. Eviction is the
+// caller's concern (compactLegacy / StorageNode.compactDecided).
 func (l *decidedLog) record(id OptionID, d Decision, opt Option, hasOpt bool, now time.Time) bool {
 	if _, ok := l.byID[id]; ok {
 		return false
 	}
-	for len(l.order) >= l.limit {
+	e := decidedEntry{
+		Decision: d, Opt: opt, HasOpt: hasOpt, settledAt: now,
+		lane: laneOf(id.Tx),
+	}
+	if hasOpt {
+		e.keySeq = opt.KeySeq
+		e.kind = opt.Update.Kind
+	}
+	l.order = append(l.order, id)
+	l.byID[id] = e
+	return true
+}
+
+// compactLegacy applies the pre-lineage eviction rule (count cap +
+// age gate); used by the leader's learned log, which has no summary
+// backing it.
+func (l *decidedLog) compactLegacy(now time.Time) {
+	for len(l.order) > l.limit {
 		oldest := l.order[0]
 		if now.Sub(l.byID[oldest].settledAt) < l.retention {
 			break // still inside the re-delivery horizon: keep growing
@@ -146,9 +229,40 @@ func (l *decidedLog) record(id OptionID, d Decision, opt Option, hasOpt bool, no
 		l.order = l.order[1:]
 		delete(l.byID, oldest)
 	}
-	l.order = append(l.order, id)
-	l.byID[id] = decidedEntry{Decision: d, Opt: opt, HasOpt: hasOpt, settledAt: now}
-	return true
+}
+
+// wantsCompact reports whether the log has doubled past
+// max(limit, size after the last pass) — the amortization that keeps
+// per-settle compaction O(1) even when nothing is releasable (the
+// periodic sweep additionally forces passes on over-limit logs, so a
+// log whose entries become releasable later still shrinks).
+func (l *decidedLog) wantsCompact() bool {
+	threshold := l.limit
+	if l.lastCompactLen > threshold {
+		threshold = l.lastCompactLen
+	}
+	return len(l.order) >= 2*threshold
+}
+
+// compact releases evictable entries: aged past retention and either
+// legacy (keySeq 0) or acked by every peer summary. Returns how many
+// entries were released.
+func (l *decidedLog) compact(now time.Time, acked func(e decidedEntry) bool) int {
+	keep := l.order[:0]
+	evicted := 0
+	for _, id := range l.order {
+		e := l.byID[id]
+		if now.Sub(e.settledAt) >= l.retention &&
+			(e.keySeq == 0 || acked(e)) {
+			delete(l.byID, id)
+			evicted++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	l.order = keep
+	l.lastCompactLen = len(l.order)
+	return evicted
 }
 
 // get looks up a decision.

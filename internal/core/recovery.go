@@ -22,6 +22,7 @@ import (
 type txRecovery struct {
 	tx        TxID
 	keys      []record.Key
+	seqs      map[record.Key]uint64 // lineage identities from the stuck option's WriteSeqs
 	decisions map[record.Key]Decision
 	opts      map[record.Key]Option
 	hasOpt    map[record.Key]bool
@@ -58,6 +59,22 @@ func (n *StorageNode) sweepPending() {
 	var stale []Option
 	for _, k := range keys {
 		r := n.recs[k]
+		n.compactDecided(k, r, true)
+		// Release votes for options the lineage summary already knows
+		// settled (the settle arrived via a base adoption, so no
+		// visibility message ever pruned them): recovering those would
+		// re-force a decision that is already final.
+		live := r.votes[:0]
+		for _, v := range r.votes {
+			if v.Opt.KeySeq > 0 {
+				if _, ok := r.summary.Decision(laneOf(v.Opt.Tx), v.Opt.KeySeq); ok {
+					delete(r.votedAt, v.Opt.ID())
+					continue
+				}
+			}
+			live = append(live, v)
+		}
+		r.votes = live
 		for _, v := range r.votes {
 			if v.Decision != DecAccept {
 				continue
@@ -99,17 +116,27 @@ func (n *StorageNode) startTxRecovery(opt Option) {
 	rec := &txRecovery{
 		tx:        opt.Tx,
 		keys:      keys,
+		seqs:      make(map[record.Key]uint64, len(keys)),
 		decisions: make(map[record.Key]Decision, len(keys)),
 		opts:      make(map[record.Key]Option, len(keys)),
 		hasOpt:    make(map[record.Key]bool, len(keys)),
 		deadline:  n.net.Now().Add(n.cfg.OptionTimeout),
 	}
 	n.recoveries[reqID] = rec
-	for _, k := range keys {
+	for i, k := range keys {
 		m := MsgRecoverOpt{ReqID: reqID, Tx: opt.Tx, Key: k}
+		// The stuck option carries its siblings' lineage identities
+		// (WriteSeqs, parallel to WriteSet), so every per-key query
+		// names its option exactly — leaders can then answer from
+		// their summaries even after the decided-log entry aged out.
+		if i < len(opt.WriteSeqs) {
+			m.KeySeq = opt.WriteSeqs[i]
+		}
 		if k == opt.Update.Key {
 			m.Opt, m.HasOpt = opt, true
+			m.KeySeq = opt.KeySeq
 		}
+		rec.seqs[k] = m.KeySeq
 		n.net.Send(n.id, n.leaderFor(k), m)
 	}
 	// Garbage-collect if the leaders never all answer; the sweep will
@@ -139,7 +166,22 @@ func (n *StorageNode) onRecoverOpt(from transport.NodeID, m MsgRecoverOpt) {
 		})
 		return
 	}
-	l.waiters[id] = append(l.waiters[id], optWaiter{reqID: m.ReqID, from: from})
+	if m.KeySeq > 0 {
+		// The lineage summary answers exactly, forever — even after
+		// the decided-log entry was released. Contents are only ever
+		// released once every replica settled the option, so an
+		// accept answered without contents needs no re-broadcast
+		// (every replica already applied it); the fiat path below
+		// would instead re-force — and could contradict — a decision
+		// that was already made.
+		if d, ok := r.summary.Decision(laneOf(m.Tx), m.KeySeq); ok {
+			n.net.Send(n.id, from, MsgOptDecided{
+				ReqID: m.ReqID, Tx: m.Tx, Key: m.Key, Decision: d,
+			})
+			return
+		}
+	}
+	l.waiters[id] = append(l.waiters[id], optWaiter{reqID: m.ReqID, from: from, keySeq: m.KeySeq})
 	if m.HasOpt {
 		n.leaderPropose(m.Opt, true)
 		return
@@ -167,8 +209,13 @@ func (n *StorageNode) onRecoverOpt(from transport.NodeID, m MsgRecoverOpt) {
 		// Settle the rejection through the classic round itself: every
 		// acceptor adopts the reject vote before fast proposals can
 		// reopen, and the waiter is answered when the round learns.
+		// The requester's lineage identity rides along so the settled
+		// reject enters summaries and is remembered forever — without
+		// it the decision would age out of the decided logs and a late
+		// re-propose could be answered the opposite way.
 		l.cstruct = append(l.cstruct, VotedOption{
-			Opt: Option{Tx: m.Tx, Update: record.Update{Key: m.Key}}, Decision: DecReject,
+			Opt:      Option{Tx: m.Tx, Update: record.Update{Key: m.Key}, KeySeq: m.KeySeq},
+			Decision: DecReject,
 		})
 		n.sendPhase2a(m.Key, l)
 	}
@@ -204,12 +251,16 @@ func (n *StorageNode) onOptDecided(m MsgOptDecided) {
 		opt, has := rec.opts[k], rec.hasOpt[k]
 		if !has {
 			if commit {
-				// Cannot apply an update we do not know; this cannot
-				// happen for commits (an accepted decision always
-				// carries its option), but guard anyway.
+				// No contents to apply. A summary-answered accept means
+				// the option was released after all-peer ack — every
+				// replica already applied it, so no visibility is
+				// needed (and none could be built).
 				continue
 			}
-			opt = Option{Tx: rec.tx, Update: record.Update{Key: k}}
+			// Abort visibility for a key whose option no replica holds:
+			// carry the lineage identity so the settled reject enters
+			// summaries and is remembered forever.
+			opt = Option{Tx: rec.tx, Update: record.Update{Key: k}, KeySeq: rec.seqs[k]}
 		}
 		vis := MsgVisibility{Opt: opt, Commit: commit}
 		for _, rep := range n.cl.Replicas(k) {
@@ -242,6 +293,17 @@ type Metrics struct {
 	// (including keepalives), FeedItems the key states inside them.
 	FeedMsgs  int64
 	FeedItems int64
+	// Lineage counters. Grafted counts commutative applies re-applied
+	// onto adopted bases (fork merges); AdoptRefused base adoptions
+	// declined because the incoming summary was missing a local
+	// physical apply (convergence then flows the other way);
+	// DecidedReleased decided-log entries released after all-peer
+	// acknowledgement; MixedKindRejects options rejected by the
+	// kind-disjoint rule.
+	Grafted          int64
+	AdoptRefused     int64
+	DecidedReleased  int64
+	MixedKindRejects int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -264,5 +326,9 @@ func (n *StorageNode) Metrics() Metrics {
 		VoteBatchItems:     n.nVoteBatchItems,
 		FeedMsgs:           n.nFeedMsgs,
 		FeedItems:          n.nFeedItems,
+		Grafted:            n.nGrafted,
+		AdoptRefused:       n.nAdoptRefused,
+		DecidedReleased:    n.nDecidedReleased,
+		MixedKindRejects:   n.nMixedKindRejects,
 	}
 }

@@ -27,15 +27,23 @@ import (
 // acceptor rejoins with an empty cstruct and catches up through
 // Phase 1, the dangling-option sweep, and anti-entropy.
 
-// oplogEntry is one persisted decision. Up/HasUp carry the executed
-// update's contents when known, so a restarted node can still serve
-// as a merge source for diverged peers (see adoptBase).
+// oplogEntry is one persisted oplog record: either one decision
+// (Up/HasUp carry the executed update's contents when known, so a
+// restarted node can still graft its own applies onto diverged peers'
+// bases — see adoptBase) or a lineage-summary snapshot (written on
+// every base adoption, whose wholesale summary union has no
+// per-decision records to replay). KeySeq preserves the option's
+// lineage identity so replay rebuilds the record's summary exactly.
 type oplogEntry struct {
 	Key      record.Key
 	Tx       TxID
 	Decision Decision
 	Up       record.Update
 	HasUp    bool
+	KeySeq   uint64
+	// Snapshot, when non-nil, makes this a summary-snapshot record;
+	// the decision fields are unused then.
+	Snapshot *LineageSummary
 }
 
 // DurableState is a storage node's on-disk state, opened before the
@@ -96,12 +104,26 @@ func NewDurableStorageNode(id transport.NodeID, dc topology.DC, net transport.Ne
 	n := NewStorageNode(id, dc, net, cl, cfg, ds.Store)
 	n.oplog = ds.oplog
 	for _, e := range ds.decided {
+		r := n.rs(e.Key)
+		if e.Snapshot != nil {
+			// A base adoption's summary snapshot: union in replay order
+			// (summaries are monotone, so the final union matches the
+			// pre-crash state exactly, in lockstep with the kv WAL's
+			// final value).
+			r.summary.Union(*e.Snapshot)
+			r.noteKindFromSummary()
+			continue
+		}
 		opt, hasOpt := Option{}, false
 		if e.HasUp {
 			opt = Option{Tx: e.Tx, Update: e.Up}
+			opt.KeySeq = e.KeySeq
 			hasOpt = true
 		}
-		n.rs(e.Key).decided.record(OptionID{Tx: e.Tx, Key: e.Key}, e.Decision, opt, hasOpt, net.Now())
+		id := OptionID{Tx: e.Tx, Key: e.Key}
+		if r.decided.record(id, e.Decision, opt, hasOpt, net.Now()) {
+			r.noteSettled(id, e.Decision, opt, hasOpt)
+		}
 	}
 	return n
 }
@@ -125,9 +147,28 @@ func (n *StorageNode) logDecision(id OptionID, d Decision, opt Option, hasOpt bo
 	e := oplogEntry{Key: id.Key, Tx: id.Tx, Decision: d}
 	if hasOpt {
 		e.Up, e.HasUp = opt.Update, true
+		e.KeySeq = opt.KeySeq
 	}
+	n.appendOplog(&e)
+}
+
+// logLineage persists a record's lineage summary snapshot. Written on
+// every base adoption: the adopted union has no per-decision records
+// to replay, so without the snapshot a restarted replica's rebuilt
+// summary would miss everything it learned wholesale from peers —
+// and its value (replayed exactly by the kv WAL) would claim applies
+// its summary could not account for.
+func (n *StorageNode) logLineage(key record.Key, s LineageSummary) {
+	if n.oplog == nil {
+		return
+	}
+	snap := s.Clone()
+	n.appendOplog(&oplogEntry{Key: key, Snapshot: &snap})
+}
+
+func (n *StorageNode) appendOplog(e *oplogEntry) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
 		return
 	}
 	_ = n.oplog.Append(buf.Bytes())

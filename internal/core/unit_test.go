@@ -15,7 +15,7 @@ import (
 )
 
 func TestDecidedLogFirstWriteWins(t *testing.T) {
-	l := newDecidedLog(4)
+	l := newDecidedLog(4, 0)
 	now := time.Unix(0, 0)
 	id := OptionID{Tx: "t1", Key: "k"}
 	l.record(id, DecAccept, Option{}, false, now)
@@ -25,8 +25,8 @@ func TestDecidedLogFirstWriteWins(t *testing.T) {
 	}
 }
 
-func TestDecidedLogEviction(t *testing.T) {
-	l := newDecidedLog(3)
+func TestDecidedLogLegacyEviction(t *testing.T) {
+	l := newDecidedLog(3, 0)
 	start := time.Unix(0, 0)
 	// Over the count limit but inside the retention horizon: nothing
 	// may be forgotten (late visibility could still be re-delivered).
@@ -34,6 +34,7 @@ func TestDecidedLogEviction(t *testing.T) {
 		l.record(OptionID{Tx: TxID(fmt.Sprintf("t%d", i)), Key: "k"}, DecAccept, Option{}, false,
 			start.Add(time.Duration(i)*time.Second))
 	}
+	l.compactLegacy(start.Add(5 * time.Second))
 	if len(l.byID) != 5 || len(l.order) != 5 {
 		t.Fatalf("entries inside the retention horizon evicted: %d/%d", len(l.byID), len(l.order))
 	}
@@ -41,6 +42,7 @@ func TestDecidedLogEviction(t *testing.T) {
 	// evicts them.
 	late := start.Add(l.retention + 10*time.Second)
 	l.record(OptionID{Tx: "t5", Key: "k"}, DecAccept, Option{}, false, late)
+	l.compactLegacy(late)
 	if len(l.order) != 3 {
 		t.Fatalf("aged-out entries not evicted down to limit: %d", len(l.order))
 	}
@@ -52,8 +54,44 @@ func TestDecidedLogEviction(t *testing.T) {
 	}
 }
 
+// compact releases only entries that are BOTH aged past retention and
+// acked by every peer summary; unacked entries survive any age (the
+// retention-is-a-cache-knob contract).
+func TestDecidedLogAckGatedCompaction(t *testing.T) {
+	l := newDecidedLog(2, 0)
+	start := time.Unix(0, 0)
+	for i := 0; i < 6; i++ {
+		opt := Option{
+			Tx:     TxID(fmt.Sprintf("c%d#1", i)),
+			KeySeq: 1,
+			Update: record.Commutative("k", map[string]int64{"x": -1}),
+		}
+		l.record(opt.ID(), DecAccept, opt, true, start)
+	}
+	late := start.Add(l.retention + time.Minute)
+	// Nothing acked: nothing released, regardless of age or count.
+	if got := l.compact(late, func(decidedEntry) bool { return false }); got != 0 {
+		t.Fatalf("released %d unacked entries", got)
+	}
+	if len(l.order) != 6 {
+		t.Fatalf("unacked entries evicted: %d left", len(l.order))
+	}
+	// Ack lanes c0..c3: exactly those become releasable.
+	acked := func(e decidedEntry) bool { return e.lane < "c4" }
+	if got := l.compact(late, acked); got != 4 {
+		t.Fatalf("released %d, want 4", got)
+	}
+	if _, ok := l.get(OptionID{Tx: "c4#1", Key: "k"}); !ok {
+		t.Fatal("unacked entry lost")
+	}
+	// Aged but acked inside retention: still held (cache courtesy).
+	if got := l.compact(start, func(decidedEntry) bool { return true }); got != 0 {
+		t.Fatalf("released %d entries inside retention", got)
+	}
+}
+
 func TestDecidedLogEntryKeepsOption(t *testing.T) {
-	l := newDecidedLog(4)
+	l := newDecidedLog(4, 0)
 	opt := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"x": -1})}
 	l.record(opt.ID(), DecAccept, opt, true, time.Unix(0, 0))
 	e, ok := l.entry(opt.ID())
@@ -119,15 +157,15 @@ func unitNode(t *testing.T, mode Mode, cons []record.Constraint) (*StorageNode, 
 func TestEvalPhysicalValidRead(t *testing.T) {
 	n, _ := unitNode(t, ModeMDCC, nil)
 	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"x": 1}}, 3)
-	ok := n.evalPhysical(nil, Option{Update: record.Physical("k", 3, record.Value{})})
+	ok, _ := n.evalPhysical(nil, Option{Update: record.Physical("k", 3, record.Value{})})
 	if ok != DecAccept {
 		t.Fatal("matching vread rejected")
 	}
-	stale := n.evalPhysical(nil, Option{Update: record.Physical("k", 2, record.Value{})})
+	stale, _ := n.evalPhysical(nil, Option{Update: record.Physical("k", 2, record.Value{})})
 	if stale != DecReject {
 		t.Fatal("stale vread accepted")
 	}
-	future := n.evalPhysical(nil, Option{Update: record.Physical("k", 9, record.Value{})})
+	future, _ := n.evalPhysical(nil, Option{Update: record.Physical("k", 9, record.Value{})})
 	if future != DecReject {
 		t.Fatal("future vread accepted")
 	}
@@ -140,12 +178,12 @@ func TestEvalPhysicalValidSingle(t *testing.T) {
 		Opt:      Option{Tx: "other", Update: record.Physical("k", 1, record.Value{})},
 		Decision: DecAccept,
 	}}
-	if d := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecReject {
+	if d, _ := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecReject {
 		t.Fatal("option accepted despite outstanding option (deadlock-avoidance violated)")
 	}
 	// A rejected pending option does not block.
 	pending[0].Decision = DecReject
-	if d := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecAccept {
+	if d, _ := n.evalPhysical(pending, Option{Tx: "me", Update: record.Physical("k", 1, record.Value{})}); d != DecAccept {
 		t.Fatal("rejected pending option blocked a new option")
 	}
 }
@@ -154,7 +192,7 @@ func TestEvalPhysicalConstraint(t *testing.T) {
 	n, _ := unitNode(t, ModeMDCC, []record.Constraint{record.MinBound("stock", 0)})
 	_ = n.store.Put("k", record.Value{Attrs: map[string]int64{"stock": 5}}, 1)
 	bad := Option{Update: record.Physical("k", 1, record.Value{Attrs: map[string]int64{"stock": -1}})}
-	if d := n.evalPhysical(nil, bad); d != DecReject {
+	if d, _ := n.evalPhysical(nil, bad); d != DecReject {
 		t.Fatal("constraint-violating physical write accepted")
 	}
 }
@@ -163,7 +201,7 @@ func TestEvalCommutativeModes(t *testing.T) {
 	for _, mode := range []Mode{ModeFast, ModeMulti} {
 		n, _ := unitNode(t, mode, nil)
 		opt := Option{Update: record.Commutative("k", map[string]int64{"x": -1})}
-		if d := n.evalCommutative(nil, opt, true); d != DecReject {
+		if d, _ := n.evalCommutative(nil, opt, true); d != DecReject {
 			t.Fatalf("mode %v accepted a commutative update", mode)
 		}
 	}
@@ -176,7 +214,7 @@ func TestEvalCommutativeBlockedByPhysical(t *testing.T) {
 		Decision: DecAccept,
 	}}
 	opt := Option{Update: record.Commutative("k", map[string]int64{"x": -1})}
-	if d := n.evalCommutative(pending, opt, true); d != DecReject {
+	if d, _ := n.evalCommutative(pending, opt, true); d != DecReject {
 		t.Fatal("commutative accepted over an outstanding physical rewrite")
 	}
 }
@@ -188,14 +226,14 @@ func TestEvalCommutativeDemarcationFastVsClassic(t *testing.T) {
 	// Fast limit: L = ceil(10/5) = 2, so only 8 units available per
 	// node; classic can use all 10.
 	big := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"stock": -9})}
-	if d := n.evalCommutative(nil, big, true); d != DecReject {
+	if d, _ := n.evalCommutative(nil, big, true); d != DecReject {
 		t.Fatal("fast ballot accepted a delta beyond the demarcation limit")
 	}
-	if d := n.evalCommutative(nil, big, false); d != DecAccept {
+	if d, _ := n.evalCommutative(nil, big, false); d != DecAccept {
 		t.Fatal("classic ballot rejected a delta within the true bound")
 	}
 	over := Option{Tx: "t", Update: record.Commutative("k", map[string]int64{"stock": -11})}
-	if d := n.evalCommutative(nil, over, false); d != DecReject {
+	if d, _ := n.evalCommutative(nil, over, false); d != DecReject {
 		t.Fatal("classic ballot accepted a constraint-violating delta")
 	}
 }
@@ -210,17 +248,17 @@ func TestEvalCommutativeCountsPending(t *testing.T) {
 	}}
 	// 10 - 5 pending - 4 = 1 < L=2 → reject in fast.
 	next := Option{Tx: "q", Update: record.Commutative("k", map[string]int64{"stock": -4})}
-	if d := n.evalCommutative(pending, next, true); d != DecReject {
+	if d, _ := n.evalCommutative(pending, next, true); d != DecReject {
 		t.Fatal("fast ballot ignored pending decrements")
 	}
 	// But -3 leaves 2 = L → accept.
 	ok := Option{Tx: "q", Update: record.Commutative("k", map[string]int64{"stock": -3})}
-	if d := n.evalCommutative(pending, ok, true); d != DecAccept {
+	if d, _ := n.evalCommutative(pending, ok, true); d != DecAccept {
 		t.Fatal("fast ballot over-rejected within the limit")
 	}
 	// Increments don't consume lower-bound headroom.
 	inc := Option{Tx: "r", Update: record.Commutative("k", map[string]int64{"stock": +100})}
-	if d := n.evalCommutative(pending, inc, true); d != DecAccept {
+	if d, _ := n.evalCommutative(pending, inc, true); d != DecAccept {
 		t.Fatal("increment rejected under a lower bound")
 	}
 }

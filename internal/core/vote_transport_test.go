@@ -18,8 +18,9 @@ func sampleVote(seq int) MsgVote {
 		OptID:    OptionID{Tx: TxID(fmt.Sprintf("tx#%d", seq)), Key: "stock/1"},
 		Decision: DecAccept,
 		Escrow: EscrowSnap{
-			Valid:   true,
-			Version: record.Version(100 + seq),
+			Valid:      true,
+			Version:    record.Version(100 + seq),
+			Contenders: 2 + seq%3,
 			Attrs: []AttrEscrow{
 				{Attr: "units", Base: int64(500 + seq), PendDown: -7, PendUp: 3},
 				{Attr: "bal", Base: 42, PendDown: 0, PendUp: 11},
@@ -35,7 +36,8 @@ func checkVote(t *testing.T, got MsgVote, seq int) {
 		t.Fatalf("vote identity mangled: got %+v want %+v", got, want)
 	}
 	e := got.Escrow
-	if !e.Valid || e.Version != want.Escrow.Version || len(e.Attrs) != 2 {
+	if !e.Valid || e.Version != want.Escrow.Version || len(e.Attrs) != 2 ||
+		e.Contenders != want.Escrow.Contenders {
 		t.Fatalf("escrow snapshot mangled: %+v", e)
 	}
 	for i, a := range want.Escrow.Attrs {

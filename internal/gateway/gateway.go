@@ -49,6 +49,7 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,13 @@ var ErrOverloaded = errors.New("gateway: overloaded, transaction shed")
 // ErrClosed is reported for transactions submitted to (or queued in)
 // a gateway that has shut down.
 var ErrClosed = errors.New("gateway: closed")
+
+// ErrOutcomeUnknown is reported for transactions a killed gateway had
+// already dispatched into the protocol: their options may have been
+// proposed (and may still commit via the dangling-option sweep), but
+// the acknowledgement died with the process. See Kill. Callers map it
+// to the public mdcc.ErrOutcomeUnknown.
+var ErrOutcomeUnknown = errors.New("gateway: transaction outcome unknown (gateway crashed before acknowledgement)")
 
 // Tuning shapes one gateway. The zero value means defaults.
 type Tuning struct {
@@ -363,6 +371,12 @@ type keyState struct {
 	fetched    time.Time // when the snapshot arrived (snapTTL refresh)
 	pendSetAt  time.Time // when the pending sums were last set wholesale
 	refreshing bool
+	// contenders is the freshest observed count of distinct gateway
+	// groups with pending votes on the key (piggybacked on escrow
+	// snapshots). It adapts fitsLocked's headroom-share divisor: a
+	// lone gateway takes the whole slice instead of 1/NumDCs, and the
+	// divisor grows back as contention is observed.
+	contenders int
 	// Materialized committed state (the learned-replica read tier):
 	// the freshest (value, version) observed for the key via the
 	// visibility feed or fallback read replies, unified with the
@@ -418,6 +432,14 @@ type Gateway struct {
 	reqSeq   uint64
 	closed   bool
 
+	// pending registers every admitted transaction's completion
+	// callback until it settles, so Kill can fail them all with
+	// ErrOutcomeUnknown (the in-process analogue of the RPC client's
+	// settle deadline). Exactly-once delivery is the map's job: the
+	// wrapper only fires a callback it can still remove.
+	pendSeq uint64
+	pending map[uint64]func(bool, error)
+
 	// Learned-replica read tier (see readtier.go).
 	shards   []transport.NodeID // this DC's storage nodes
 	feeds    map[transport.NodeID]*feedState
@@ -447,9 +469,10 @@ func NewGen(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg
 		net:  net,
 		cl:   cl,
 		cfg:  coreCfg,
-		tun:  tun,
-		q:    paxos.NewQuorum(cl.ReplicationFactor()),
-		keys: make(map[record.Key]*keyState),
+		tun:     tun,
+		q:       paxos.NewQuorum(cl.ReplicationFactor()),
+		keys:    make(map[record.Key]*keyState),
+		pending: make(map[uint64]func(bool, error)),
 	}
 	g.bnet = newBatcher(net, g.id, tun.BatchWindow, tun.BatchMax)
 	for i := 0; i < tun.Pool; i++ {
@@ -561,9 +584,12 @@ func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err 
 }
 
 // startLocked admits one transaction into the in-flight window and
-// routes it (coalescing or passthrough).
+// routes it (coalescing or passthrough). The client callback is
+// registered in the pending map until it settles, so a Kill can fail
+// every in-flight transaction with ErrOutcomeUnknown.
 func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 	g.inflight++
+	done = g.registerPendingLocked(done)
 	if g.coalescible(updates) {
 		g.coalesceLocked(updates[0], done)
 		return
@@ -572,11 +598,29 @@ func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 	// Passthrough commutative deltas still consume escrow headroom:
 	// account them so window admission on the same keys stays exact.
 	tracks := g.trackOutLocked(updates)
-	g.dispatchLocked(updates, func(ok bool) {
+	g.dispatchLocked(updates, func(ok bool, rerr error) {
 		g.resolveTracks(tracks, ok)
 		g.settle(1, ok)
-		done(ok, nil)
+		done(ok, rerr)
 	})
+}
+
+// registerPendingLocked wraps a client completion callback with
+// exactly-once semantics keyed by the pending map: whichever of
+// normal settlement and Kill claims the entry first delivers.
+func (g *Gateway) registerPendingLocked(done func(bool, error)) func(bool, error) {
+	g.pendSeq++
+	id := g.pendSeq
+	g.pending[id] = done
+	return func(ok bool, err error) {
+		g.mu.Lock()
+		d, live := g.pending[id]
+		delete(g.pending, id)
+		g.mu.Unlock()
+		if live {
+			d(ok, err)
+		}
+	}
 }
 
 // outTrack is one key's share of a dispatched write-set in the
@@ -636,12 +680,14 @@ func (g *Gateway) coalescible(updates []record.Update) bool {
 }
 
 // dispatchLocked hands a write-set to a pooled coordinator in its
-// handler context; done(ok) fires on that coordinator's goroutine
-// without the gateway lock held.
-func (g *Gateway) dispatchLocked(updates []record.Update, done func(ok bool)) {
+// handler context; done(ok, rerr) fires on that coordinator's
+// goroutine without the gateway lock held (rerr is the protocol's
+// typed rejection cause, e.g. core.ErrMixedUpdateKinds, nil for
+// commits and plain aborts).
+func (g *Gateway) dispatchLocked(updates []record.Update, done func(ok bool, rerr error)) {
 	co := g.nextCoordLocked()
 	g.net.After(co.ID(), 0, func() {
-		co.Commit(updates, func(r core.CommitResult) { done(r.Committed) })
+		co.Commit(updates, func(r core.CommitResult) { done(r.Committed, r.Err) })
 	})
 }
 
@@ -713,6 +759,7 @@ func (g *Gateway) foldEscrowLocked(ks *keyState, snap core.EscrowSnap, now time.
 		ks.ver = snap.Version
 		ks.fetched = now
 		ks.pendSetAt = now
+		ks.contenders = snap.Contenders
 		g.m.EscrowUpdates++
 	case snap.Version == ks.ver:
 		replace := now.Sub(ks.pendSetAt) >= snapTTL
@@ -735,6 +782,12 @@ func (g *Gateway) foldEscrowLocked(ks *keyState, snap core.EscrowSnap, now time.
 		}
 		if replace {
 			ks.pendSetAt = now
+			ks.contenders = snap.Contenders
+		} else if snap.Contenders > ks.contenders {
+			// Widen like the pendings: more observed contention wins
+			// while fresh, and the TTL replacement above lets the
+			// divisor relax once contention actually recedes.
+			ks.contenders = snap.Contenders
 		}
 		ks.fetched = now
 		g.m.EscrowUpdates++
@@ -760,10 +813,10 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 			g.m.CoalesceBypass++
 			g.m.Passthrough++
 			tracks := g.trackOutLocked([]record.Update{up})
-			g.dispatchLocked([]record.Update{up}, func(ok bool) {
+			g.dispatchLocked([]record.Update{up}, func(ok bool, rerr error) {
 				g.resolveTracks(tracks, ok)
 				g.settle(1, ok)
-				done(ok, nil)
+				done(ok, rerr)
 			})
 			return
 		}
@@ -797,12 +850,22 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 // — how much worst-case downward movement the acceptors would still
 // accept on top of everything already pending there (including other
 // gateways' in-flight deltas). This gateway admits unresolved local
-// deltas only up to ⌊H / HeadroomShare⌋, so the per-DC gateways
-// sharing the same key cannot collectively over-admit between
-// snapshots. Before the first snapshot arrives the answer is no —
-// conservative bootstrap, the acceptors arbitrate individual sends.
+// deltas only up to ⌊H / share⌋, so gateways sharing the same key
+// cannot collectively over-admit between snapshots. Before the first
+// snapshot arrives the answer is no — conservative bootstrap, the
+// acceptors arbitrate individual sends.
+//
+// The share divisor adapts to observed contention: acceptors
+// piggyback how many distinct gateway groups actually hold pending
+// votes on the key (EscrowSnap.Contenders), so a lone gateway takes
+// the full slice instead of the static 1/HeadroomShare, and the
+// divisor grows back as other gateways' deltas appear. When
+// unobserved, the static divisor applies. Safety never depends on
+// this: the DeltaSafe mirror above the cap is what the parity fuzz
+// pins, and over-admission in the observation lag is arbitrated by
+// the acceptors (split-and-rerun, never a manufactured abort).
 func (g *Gateway) fitsLocked(ks *keyState, up record.Update) bool {
-	share := int64(g.tun.HeadroomShare)
+	share := g.shareLocked(ks)
 	for attr, d := range up.Deltas {
 		con, ok := g.constraintFor(attr)
 		if !ok {
@@ -836,6 +899,26 @@ func (g *Gateway) fitsLocked(ks *keyState, up record.Update) bool {
 		}
 	}
 	return true
+}
+
+// shareLocked resolves the headroom-share divisor for a key: the
+// observed contender count clamped to the static HeadroomShare
+// ceiling, or the static divisor when unobserved. Acceptors count
+// the snapshot RECIPIENT's gateway group among the contenders even
+// before its votes land (core.contenderGroups), so an observation of
+// 1 really means "just you" — without that, two alternating gateways
+// would each read the other's solo snapshot as their own and both
+// take the full slice. Contenders==0 means the snapshot predates the
+// contention signal: fall back to the static divisor.
+func (g *Gateway) shareLocked(ks *keyState) int64 {
+	share := int64(g.tun.HeadroomShare)
+	if !ks.seen || ks.contenders <= 0 {
+		return share
+	}
+	if obs := int64(ks.contenders); obs < share {
+		return obs
+	}
+	return share
 }
 
 // snapHeadroom returns the demarcation headroom a snapshot account
@@ -907,10 +990,10 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 	}
 	if len(win.waiters) == 1 {
 		w := win.waiters[0]
-		g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
+		g.dispatchLocked([]record.Update{w.up}, func(ok bool, rerr error) {
 			g.resolveTracks(w.track, ok)
 			g.settle(1, ok)
-			w.done(ok, nil)
+			w.done(ok, rerr)
 		})
 		return
 	}
@@ -918,7 +1001,7 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 	g.m.MergedOptions++
 	g.m.MergedUpdates += int64(len(waiters))
 	merged := record.MergedCommutative(key, win.sum, len(waiters))
-	g.dispatchLocked([]record.Update{merged}, func(ok bool) {
+	g.dispatchLocked([]record.Update{merged}, func(ok bool, _ error) {
 		if ok {
 			// Resolve per waiter, not by the window's net sum: the
 			// outstanding account is sign-split, and a mixed window
@@ -945,10 +1028,10 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 		g.m.MergeSplits++
 		for _, w := range waiters {
 			w := w
-			g.dispatchLocked([]record.Update{w.up}, func(ok bool) {
+			g.dispatchLocked([]record.Update{w.up}, func(ok bool, rerr error) {
 				g.resolveTracks(w.track, ok)
 				g.settle(1, ok)
-				w.done(ok, nil)
+				w.done(ok, rerr)
 			})
 		}
 		g.mu.Unlock()
@@ -1054,11 +1137,11 @@ func (g *Gateway) scheduleSweep() {
 // outstanding deltas (-1 when no constrained account is tracked).
 func (g *Gateway) headroomGaugesLocked() (tracked, minHeadroom int64) {
 	minHeadroom = -1
-	share := int64(g.tun.HeadroomShare)
 	for _, ks := range g.keys {
 		if !ks.seen {
 			continue
 		}
+		share := g.shareLocked(ks)
 		tracked++
 		for _, con := range g.cfg.Constraints {
 			a, ok := ks.acc[con.Attr]
@@ -1112,6 +1195,58 @@ func (g *Gateway) Metrics() Metrics {
 	m.BatchSingles = g.bnet.singles.Load()
 	m.Finalize()
 	return m
+}
+
+// Kill models a gateway process crash for in-process deployments and
+// harnesses: the backlog (never admitted — outcome known) fails with
+// ErrClosed, while every admitted in-flight transaction fails with
+// ErrOutcomeUnknown — its options may already be proposed and the
+// protocol will still settle them (dangling-option sweep), but the
+// acknowledgement died with the process. Callbacks fire synchronously
+// on the caller's goroutine; pair with crashing the gateway's
+// transport nodes so no late coordinator callback races (stragglers
+// are absorbed by the pending map's exactly-once claim anyway).
+func (g *Gateway) Kill() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	queued := g.queue
+	g.queue = nil
+	for _, ks := range g.keys {
+		if ks.win == nil {
+			continue
+		}
+		if ks.win.timer != nil {
+			ks.win.timer.Stop()
+		}
+		// Window waiters were admitted and registered; they fail with
+		// the in-flight cohort below (outcome-unknown is conservative
+		// for a never-proposed waiter, and matches what the crashed
+		// process's clients could actually know).
+		ks.win = nil
+	}
+	ids := make([]uint64, 0, len(g.pending))
+	for id := range g.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dones := make([]func(bool, error), 0, len(ids))
+	for _, id := range ids {
+		dones = append(dones, g.pending[id])
+		delete(g.pending, id)
+	}
+	g.inflight = 0
+	g.m.Aborts += int64(len(queued) + len(dones))
+	g.mu.Unlock()
+	for _, q := range queued {
+		q.done(false, ErrClosed)
+	}
+	for _, d := range dones {
+		d(false, ErrOutcomeUnknown)
+	}
 }
 
 // Close rejects the backlog and every parked window with ErrClosed

@@ -21,11 +21,15 @@ type MsgTx struct {
 }
 
 // MsgTxReply reports the transaction outcome. Overloaded is set when
-// admission control shed the transaction (it was never submitted).
+// admission control shed the transaction (it was never submitted);
+// MixedKinds when the protocol rejected it under the kind-disjoint
+// rule (core.ErrMixedUpdateKinds — a typed, permanent rejection:
+// retrying the same update kind on the same key cannot succeed).
 type MsgTxReply struct {
 	ReqID      uint64
 	Committed  bool
 	Overloaded bool
+	MixedKinds bool
 }
 
 // MsgRead asks the gateway for a read; Quorum selects an up-to-date
@@ -71,6 +75,7 @@ func (g *Gateway) handle(env transport.Envelope) {
 				ReqID:      m.ReqID,
 				Committed:  committed && err == nil,
 				Overloaded: err == ErrOverloaded,
+				MixedKinds: err == core.ErrMixedUpdateKinds,
 			})
 		})
 	case MsgRead:

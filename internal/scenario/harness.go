@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -53,11 +54,12 @@ type Run struct {
 	cons     []record.Constraint
 
 	// Gateway fault-injection state (gateway scenarios only).
-	gwDown    map[topology.DC]bool    // crashed, awaiting restart
-	gwGen     map[topology.DC]uint64  // incarnation generation per DC
-	gwRetired []*gateway.Gateway      // dead incarnations (metrics)
-	gwSeq     uint64                  // in-flight op token source
-	gwTokens  map[uint64]*gwPendingOp // ops the gateway tier holds
+	gwDown         map[topology.DC]bool    // crashed, awaiting restart
+	gwGen          map[topology.DC]uint64  // incarnation generation per DC
+	gwRetired      []*gateway.Gateway      // dead incarnations (metrics)
+	gwSeq          uint64                  // in-flight op token source
+	gwTokens       map[uint64]*gwPendingOp // ops the gateway tier holds
+	gwUnknownTyped int                     // typed in-process ErrOutcomeUnknown observations
 
 	// Session-guarantee floors, one map per client (read workloads
 	// only): the minimum version each client may observe per key,
@@ -139,6 +141,7 @@ func build(s *Scenario, o Options) (*Run, error) {
 		cfg.Gamma = s.Gamma
 	}
 	cfg.MasterDC = s.MasterDC
+	cfg.DecidedRetention = s.Retention
 
 	r := &Run{
 		Opts:     o,
@@ -178,16 +181,15 @@ func build(s *Scenario, o Options) (*Run, error) {
 	if s.Gateway {
 		// Clients attach to their DC's shared gateway instead of
 		// owning coordinators — the serving-tier deployment model. The
-		// crash-aware wrapper sits outside the history recorder so a
-		// gateway crash can orphan an op (outcome unknown) without the
-		// recorder ever logging a wrong outcome.
+		// crash-aware client records outcomes directly so a killed
+		// gateway's typed ErrOutcomeUnknown becomes an Orphan entry,
+		// never a wrongly recorded abort.
 		r.gws = make(map[topology.DC]*gateway.Gateway)
 		for _, dc := range topology.AllDCs() {
 			r.gws[dc] = gateway.New(dc, net, cl, cfg, s.GatewayTuning)
 		}
 		for _, c := range cl.Clients {
-			inner := r.hist.Client(c.Index, rawGwClient{r: r, dc: c.DC})
-			r.clients = append(r.clients, gwClient{r: r, dc: c.DC, id: c.Index, inner: inner})
+			r.clients = append(r.clients, gwClient{r: r, dc: c.DC, id: c.Index})
 			r.floors = append(r.floors, make(map[record.Key]record.Version))
 		}
 	} else {
@@ -210,27 +212,15 @@ func (cc coreClient) Commit(updates []record.Update, done func(bool)) {
 }
 func (cc coreClient) SupportsCommutative() bool { return true }
 
-// rawGwClient adapts the DC's *current* gateway incarnation to
-// mtx.Client (the map lookup is late-bound so restarts swap the
-// incarnation under the clients). Admission sheds (ErrOverloaded)
-// surface as aborts in the recorded history.
-type rawGwClient struct {
-	r  *Run
-	dc topology.DC
-}
-
-func (gc rawGwClient) Read(key record.Key, cb mtx.ReadFunc) { gc.r.gws[gc.dc].Read(key, cb) }
-func (gc rawGwClient) Commit(updates []record.Update, done func(bool)) {
-	gc.r.gws[gc.dc].Commit(updates, func(ok bool, err error) { done(ok && err == nil) })
-}
-func (gc rawGwClient) SupportsCommutative() bool { return true }
-
 // gwPendingOp is one client op the gateway tier currently holds; if
 // the gateway crashes first, the op is force-settled (commits become
 // unknown-outcome history entries, reads fail) so the closed loop
 // keeps running and the checker knows what the crash swallowed.
 // Exactly-once settlement is the token map's job: claimGw deletes the
-// token, so whichever of crash and completion runs first wins.
+// token, so whichever of crash and completion runs first wins. Since
+// Gateway.Kill, commits are normally settled by the gateway's own
+// typed ErrOutcomeUnknown callback; the token sweep remains the
+// backstop for reads.
 type gwPendingOp struct {
 	dc      topology.DC
 	client  int
@@ -239,14 +229,16 @@ type gwPendingOp struct {
 	readCB  mtx.ReadFunc    // read path
 }
 
-// gwClient is the crash-aware outer layer: it tracks every op handed
-// to the gateway tier and fails fast while the DC's gateway is down
-// (connection refused — nothing was submitted, nothing is recorded).
+// gwClient is the crash-aware client layer: it talks to the DC's
+// *current* gateway incarnation (late-bound map lookup, so restarts
+// swap the incarnation underneath), records commit outcomes into the
+// history, diverts the in-process ErrOutcomeUnknown to Orphan
+// entries, and fails fast while the DC's gateway is down (connection
+// refused — nothing was submitted, nothing is recorded).
 type gwClient struct {
-	r     *Run
-	dc    topology.DC
-	id    int
-	inner mtx.Client // history recorder over rawGwClient
+	r  *Run
+	dc topology.DC
+	id int
 }
 
 func (gc gwClient) SupportsCommutative() bool { return true }
@@ -265,7 +257,7 @@ func (gc gwClient) Read(key record.Key, cb mtx.ReadFunc) {
 		return
 	}
 	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, readCB: cb})
-	gc.inner.Read(key, func(val record.Value, ver record.Version, ok bool) {
+	gc.r.gws[gc.dc].Read(key, func(val record.Value, ver record.Version, ok bool) {
 		if gc.r.claimGw(tok) {
 			cb(val, ver, ok)
 		}
@@ -309,21 +301,34 @@ func (gc gwClient) Commit(updates []record.Update, done func(bool)) {
 		gc.refuse(func() { done(false) }) // never submitted, not recorded
 		return
 	}
-	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, updates: updates, settle: done})
+	ups := append([]record.Update(nil), updates...)
+	tok := gc.r.trackGw(&gwPendingOp{dc: gc.dc, client: gc.id, updates: ups, settle: done})
 	sync := true
-	gc.inner.Commit(updates, func(ok bool) {
+	gc.r.gws[gc.dc].Commit(updates, func(ok bool, err error) {
 		if !gc.r.claimGw(tok) {
 			return
 		}
+		outcome := ok && err == nil
+		if errors.Is(err, gateway.ErrOutcomeUnknown) {
+			// The typed in-process unknown-outcome signal (a killed
+			// gateway): the op's options may still settle either way,
+			// so it enters the history as an Orphan, exactly like the
+			// RPC client's mdcc.ErrOutcomeUnknown contract.
+			gc.r.gwUnknownTyped++
+			gc.r.hist.Orphan(gc.id, ups)
+		} else {
+			gc.r.hist.Record(gc.id, ups, outcome)
+		}
 		if sync {
-			// Admission shed (ErrOverloaded) fires synchronously from
-			// Gateway.Commit; surfacing it inline would let the closed
-			// client loop recurse without yielding to the simulator —
-			// same hazard refuse() defends against on the gwDown path.
-			gc.refuse(func() { done(ok) })
+			// Admission sheds (ErrOverloaded) — and Kill teardowns —
+			// can fire synchronously from Gateway.Commit; surfacing
+			// them inline would let the closed client loop recurse
+			// without yielding to the simulator — same hazard refuse()
+			// defends against on the gwDown path.
+			gc.refuse(func() { done(outcome) })
 			return
 		}
-		done(ok)
+		done(outcome)
 	})
 	sync = false
 }
@@ -417,6 +422,7 @@ func (r *Run) run() (*Result, error) {
 	}
 	res.Commits, res.Aborts = r.hist.Summary()
 	res.Unknown = r.hist.Unknowns()
+	res.UnknownTyped = r.gwUnknownTyped
 	for _, c := range r.coords {
 		res.Coord.Add(c.Metrics())
 	}
@@ -455,9 +461,52 @@ func (r *Run) run() (*Result, error) {
 		res.Nodes.DemarcationRejects += m.DemarcationRejects
 		res.Nodes.Sweeps += m.Sweeps
 		res.Nodes.Synced += m.Synced
+		res.Nodes.Grafted += m.Grafted
+		res.Nodes.AdoptRefused += m.AdoptRefused
+		res.Nodes.DecidedReleased += m.DecidedReleased
+		res.Nodes.MixedKindRejects += m.MixedKindRejects
 	}
 	for _, err := range r.hist.Validate(r.initial, r.finalState, r.cons) {
 		res.Violations = append(res.Violations, err.Error())
+	}
+	// Exact lineage convergence: after heal + quiesce, every replica of
+	// every touched key must hold an identical lineage summary AND
+	// identical committed state — strictly stronger than the
+	// value-accounting checks above (forked branches can coincidentally
+	// sum equal; summary equality cannot be faked).
+	touched := make(map[record.Key]bool, len(r.initial))
+	for k := range r.initial {
+		touched[k] = true
+	}
+	for _, op := range r.hist.Ops() {
+		for _, up := range op.Updates {
+			touched[up.Key] = true
+		}
+	}
+	keys := make([]record.Key, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		shard := r.Cluster.Shard(key)
+		var states []check.ReplicaState
+		for i, nd := range r.Cluster.Storage {
+			if nd.Index != shard {
+				continue
+			}
+			val, ver, ok := r.durables[i].Store.Get(key)
+			states = append(states, check.ReplicaState{
+				Replica: string(nd.ID),
+				Lineage: r.nodes[i].LineageFingerprint(key),
+				Value:   val,
+				Version: ver,
+				Exists:  ok && !val.Tombstone,
+			})
+		}
+		for _, err := range check.ValidateConvergence(key, states) {
+			res.Violations = append(res.Violations, err.Error())
+		}
 	}
 	res.Reads = len(r.hist.Reads())
 	// Session guarantees over the consumed reads: monotonic reads and
@@ -793,11 +842,13 @@ func (r *Run) GatewayIDs(dc topology.DC) []transport.NodeID {
 
 // CrashGateway kills a data center's gateway process: the gateway and
 // its pooled coordinators stop receiving (their queued events and
-// timers die with the incarnation), every op the tier currently holds
-// is orphaned — commits become unknown-outcome history entries (the
-// protocol itself still settles any already-proposed option via the
-// dangling-option sweep), reads fail — and new ops are refused until
-// RestartGateway.
+// timers die with the incarnation), then Gateway.Kill fails every
+// admitted in-flight transaction with the typed in-process
+// ErrOutcomeUnknown — the gwClient records those as unknown-outcome
+// history entries (the protocol itself still settles any
+// already-proposed option via the dangling-option sweep). The token
+// sweep remains the backstop for reads and anything Kill could not
+// reach. New ops are refused until RestartGateway.
 func (r *Run) CrashGateway(dc topology.DC) {
 	if r.gws == nil || r.gwDown[dc] {
 		return
@@ -807,7 +858,13 @@ func (r *Run) CrashGateway(dc topology.DC) {
 	}
 	r.gwDown[dc] = true
 	r.gwRetired = append(r.gwRetired, r.gws[dc]) // keep the dead incarnation's counters
-	// Orphan in deterministic token order.
+	before := r.gwUnknownTyped
+	r.gws[dc].Kill()
+	r.Opts.Logf("[%s] gateway %s killed: %d in-flight commits surfaced typed outcome-unknown",
+		r.scn.Name, dc, r.gwUnknownTyped-before)
+	// Backstop: orphan whatever the Kill callbacks did not settle
+	// (reads, and ops raced past the pending registry), in
+	// deterministic token order.
 	toks := make([]uint64, 0, len(r.gwTokens))
 	for tok, p := range r.gwTokens {
 		if p.dc == dc {

@@ -104,6 +104,11 @@ type Scenario struct {
 	// Gamma overrides the paper's γ=100 when > 0 (how many classic
 	// instances follow a collision).
 	Gamma int
+	// Retention overrides the decided-log content-cache horizon
+	// (core.Config.DecidedRetention) when > 0. The long-outage
+	// scenario shrinks it far below its outage window to prove
+	// retention is a cache knob, never a correctness input.
+	Retention time.Duration
 	// MasterDC overrides master placement (nil = uniform by hash).
 	MasterDC func(record.Key) topology.DC
 	// Gateway routes every client through its data center's
@@ -139,6 +144,10 @@ type Result struct {
 	Unknown    int
 	ReadFails  int
 	Unresolved int
+	// UnknownTyped counts the subset of Unknown that the gateway tier
+	// itself surfaced in-process as typed outcome-unknown errors
+	// (Gateway.Kill), mirroring the RPC client's mdcc.ErrOutcomeUnknown.
+	UnknownTyped int
 	// Reads counts consumed session-guaranteed reads (ReadFrac
 	// workloads), each validated for monotonicity/read-your-writes.
 	Reads int
@@ -176,8 +185,8 @@ func (r *Result) Report() string {
 	}
 	fmt.Fprintf(&b, "scenario %-22s seed=%-4d clients=%-4d duration=%s  %s\n",
 		r.Scenario, r.Seed, r.Clients, r.Duration, status)
-	fmt.Fprintf(&b, "  txns: %d committed, %d aborted, %d unknown (gateway crash), %d read-failed, %d unresolved\n",
-		r.Commits, r.Aborts, r.Unknown, r.ReadFails, r.Unresolved)
+	fmt.Fprintf(&b, "  txns: %d committed, %d aborted, %d unknown (gateway crash; %d typed in-process), %d read-failed, %d unresolved\n",
+		r.Commits, r.Aborts, r.Unknown, r.UnknownTyped, r.ReadFails, r.Unresolved)
 	if r.WriteLat.N() > 0 {
 		fmt.Fprintf(&b, "  commit latency ms: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
 			r.WriteLat.Percentile(50), r.WriteLat.Percentile(95),
@@ -189,6 +198,8 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "  protocol: %d fast learns, %d leader learns, %d collisions, %d recoveries, %d demarcation rejects, %d phase1\n",
 		r.Coord.FastLearns, r.Coord.LeaderLearns, r.Coord.Collisions,
 		r.Coord.Recoveries, r.Nodes.DemarcationRejects, r.Nodes.Phase1)
+	fmt.Fprintf(&b, "  lineage: %d forked applies grafted, %d adoptions refused (physical containment), %d decided entries released post-ack, %d mixed-kind rejects\n",
+		r.Nodes.Grafted, r.Nodes.AdoptRefused, r.Nodes.DecidedReleased, r.Nodes.MixedKindRejects)
 	if g := r.Gateway; g != nil {
 		fmt.Fprintf(&b, "  gateway: %d submitted, %d merged options carrying %d updates (coalesce ratio %.2f), %d splits, %d shed, batch fan-in %.1f (%d envelopes)\n",
 			g.Submitted, g.MergedOptions, g.MergedUpdates, g.CoalesceRatio,
@@ -203,7 +214,7 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "  nemesis: %s\n", ev)
 	}
 	if len(r.Violations) == 0 {
-		fmt.Fprintf(&b, "  invariants: no lost updates ok, version accounting ok, delta conservation ok, constraints ok\n")
+		fmt.Fprintf(&b, "  invariants: no lost updates ok, version accounting ok, delta conservation ok, constraints ok, exact lineage convergence ok\n")
 	} else {
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)

@@ -266,6 +266,54 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// The retention-is-not-a-correctness-input proof. The
+		// decided-log content cache is shrunk to 4s while a full data
+		// center sits partitioned for ~55% of the run — many multiples
+		// of the cache horizon — with packet loss beforehand seeding
+		// forked commutative applies (lost visibility messages). Under
+		// the seed design this is exactly the documented §5 loss mode:
+		// the partitioned replicas' unique applies aged out of the
+		// decided log before the heal, and the merge silently dropped
+		// them. With exact lineage summaries the merge is
+		// retention-free (contents are held until every peer's summary
+		// provably contains them, and summaries answer containment
+		// forever), so the run must pass conservation, version
+		// accounting AND the exact-convergence check (identical
+		// summaries on all replicas of every key). A mid-run WAL
+		// crash/restart in a second DC additionally proves summaries
+		// replay exactly.
+		Name:        "long-outage",
+		Description: "outage + recovery horizon far beyond the decided-log retention; exact lineage summaries must converge all forks",
+		Workload:    mixedWorkload,
+		Clients:     100,
+		Duration:    90 * time.Second,
+		Retention:   4 * time.Second,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.05), "6% packet loss (seed forked applies)", func() { r.Net.SetDropProb(0.06) })
+			r.At(frac(r, 0.15), "partition us-east storage from the rest", func() {
+				r.Net.Partition(r.StorageIDs(topology.USEast), r.OtherSideIDs(topology.USEast))
+			})
+			r.At(frac(r, 0.25), "packet loss off", func() { r.Net.SetDropProb(0) })
+			r.At(frac(r, 0.40), "crash one ap-tk replica (WAL summaries)", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.APTokyo {
+						r.CrashStorage(i)
+						break
+					}
+				}
+			})
+			r.At(frac(r, 0.60), "restart the ap-tk replica from WAL", func() {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == topology.APTokyo {
+						r.RestartStorage(i)
+						break
+					}
+				}
+			})
+			r.At(frac(r, 0.70), "heal the partition", func() { r.Net.HealAll() })
+		},
+	},
+	{
 		// Everything at once: sustained loss, duplication and
 		// reordering, clock drift on two replicas, a latency spike, a
 		// short partition and one crash/restart. The kitchen-sink

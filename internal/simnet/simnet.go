@@ -50,6 +50,12 @@ type Options struct {
 	Seed int64
 	// Start is the virtual epoch; zero means Unix epoch.
 	Start time.Time
+	// OnDeliver, when set, observes every delivered envelope (after
+	// drop/partition filtering, before the handler runs). Pure
+	// observation for benchmarks that meter wire costs (e.g. gob
+	// sizes per message type); it must not mutate the envelope or
+	// touch the simulator.
+	OnDeliver func(e transport.Envelope)
 }
 
 // Stats counts network-level events.
@@ -238,6 +244,9 @@ func (n *Net) deliverAfter(from, to transport.NodeID, msg transport.Message, d t
 			}
 			n.stats.Delivered++
 			n.perNode[to]++
+			if n.opts.OnDeliver != nil {
+				n.opts.OnDeliver(e)
+			}
 			h(e)
 		},
 	})

@@ -229,9 +229,12 @@ func (b *gatewayRPCBackend) handle(env transport.Envelope) {
 		delete(b.txs, m.ReqID)
 		b.mu.Unlock()
 		if ok {
-			if m.Overloaded {
+			switch {
+			case m.Overloaded:
 				p.cb(false, ErrOverloaded)
-			} else {
+			case m.MixedKinds:
+				p.cb(false, ErrMixedUpdateKinds)
+			default:
 				p.cb(m.Committed, nil)
 			}
 		}

@@ -26,8 +26,20 @@ var ErrOverloaded = errors.New("mdcc: gateway overloaded")
 // was lost — typically swallowed by a crashed or unreachable gateway.
 // Unlike ErrOverloaded, the transaction MAY have committed (the
 // protocol settles every proposed option even if the submitter dies);
-// blind retries can double-apply.
+// blind retries can double-apply. Both the RPC client (DialGateway)
+// and the in-process gateway path (a gateway torn down by
+// Gateway.Kill-style crash handling) surface it.
 var ErrOutcomeUnknown = errors.New("mdcc: transaction outcome unknown")
+
+// ErrMixedUpdateKinds reports a transaction rejected by the
+// kind-disjoint rule: a physical rewrite of a key with commutative
+// history, or a commutative delta on a physically rewritten key.
+// Mixing kinds on one key would make replica forks unmergeable
+// (DESIGN.md §5), so acceptors reject it with this typed cause
+// instead of a silent abort. Record-creating inserts are
+// class-neutral; a key's class locks on its first non-creating
+// update. Returned by Session.Commit with committed=false.
+var ErrMixedUpdateKinds = core.ErrMixedUpdateKinds
 
 // OutcomeUnknownError reports a transaction whose outcome the client
 // never learned: it was handed to a gateway, the settle deadline
@@ -84,7 +96,7 @@ func (b coordBackend) ReadQuorum(key Key, cb func(record.Value, record.Version, 
 
 func (b coordBackend) Commit(updates []Update, done func(bool, error)) {
 	b.net.After(b.id, 0, func() {
-		b.coord.Commit(updates, func(r core.CommitResult) { done(r.Committed, nil) })
+		b.coord.Commit(updates, func(r core.CommitResult) { done(r.Committed, r.Err) })
 	})
 }
 
@@ -263,7 +275,9 @@ func (s *Session) ReadMany(keys []Key) (vals []Value, vers []Version, exist []bo
 // becomes durable or none does. committed is false when a write-write
 // conflict or constraint violation rejected an option — or, for
 // gateway sessions, when admission control shed the transaction
-// (err == ErrOverloaded).
+// (err == ErrOverloaded). Typed rejection causes accompany
+// committed=false when the protocol knows one: ErrMixedUpdateKinds
+// for the kind-disjoint rule; plain conflicts keep err nil.
 func (s *Session) Commit(updates ...Update) (committed bool, err error) {
 	type res struct {
 		ok  bool
