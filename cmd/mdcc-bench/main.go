@@ -132,6 +132,13 @@ func gatewayBench() {
 		fmt.Printf("lineage bytes/msg reduction: %.1fx anti-entropy, %.1fx classic-phase\n",
 			l.SyncReduction, l.PhaseReduction)
 	}
+	if mg := cmp.MultiGroup; mg != nil {
+		fmt.Printf("\nmulti-group capacity (%d sessions and %d hot keys per group, %s measure):\n",
+			mg.SessionsPerGroup, mg.HotKeysPerGroup, sc.MultiMeasure)
+		row(mg.Single)
+		row(mg.Multi)
+		fmt.Printf("capacity scaling: %.2fx committed tx/s at %dx replica groups\n", mg.ScalingTPS, mg.Groups)
+	}
 	if s := cmp.Scarce; s != nil {
 		fmt.Printf("scarce stock arm: %d commits %d aborts, %d demarcation rejects at acceptors", s.Commits, s.Aborts, s.DemarcationRejects)
 		if g := s.Gateway; g != nil {

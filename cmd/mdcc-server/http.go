@@ -8,6 +8,9 @@
 //
 //	{
 //	  "dc": "us-west",                    // this server's data center
+//	  "ringEpoch": 1,                     // published shard-ring epoch this
+//	                                      // server routes under (bumps on
+//	                                      // every live shard move)
 //	  "shards": [{                        // one entry per hosted shard
 //	    "node": "us-west/store0",         // storage node ID
 //	    "keys": 123,                      // records in the committed store
@@ -82,7 +85,12 @@
 //	    "queuePeak": 0,
 //	    "batchEnvelopes": 0,              // outbound cross-txn batching
 //	    "batchedMsgs": 0, "batchSingles": 0,
-//	    "batchFanIn": 0.0                 // batchedMsgs / batchEnvelopes
+//	    "batchFanIn": 0.0,                // batchedMsgs / batchEnvelopes
+//	    "wrongShardRetries": 0,           // commits refused with
+//	                                      // ErrWrongShard (stale ring
+//	                                      // epoch or frozen moving shard)
+//	    "ringEpoch": 0                    // gauge: ring epoch the gateway
+//	                                      // last observed
 //	  }
 //	}
 package main
@@ -100,8 +108,8 @@ import (
 )
 
 // serveHTTP exposes the operational endpoints documented above.
-func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []*kv.Store,
-	net *transport.TCP, gw *gateway.Gateway) {
+func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.StorageNode,
+	stores []*kv.Store, net *transport.TCP, gw *gateway.Gateway) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -116,10 +124,11 @@ func serveHTTP(addr string, dc topology.DC, nodes []*core.StorageNode, stores []
 		}
 		out := struct {
 			DC        string           `json:"dc"`
+			RingEpoch uint64           `json:"ringEpoch"`
 			Shards    []shard          `json:"shards"`
 			Transport transport.Stats  `json:"transport"`
 			Gateway   *gateway.Metrics `json:"gateway,omitempty"`
-		}{DC: dc.String(), Transport: net.Stats()}
+		}{DC: dc.String(), RingEpoch: uint64(cl.Ring().Epoch()), Transport: net.Stats()}
 		for i, n := range nodes {
 			out.Shards = append(out.Shards, shard{
 				Node:    string(n.ID()),

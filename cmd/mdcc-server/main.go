@@ -147,9 +147,10 @@ func main() {
 		log.Printf("gateway tier up as %s (pool %d, batch %s, coalesce %s, headroom share 1/%d, read tier %s)",
 			gw.ID(), resolved.Pool, resolved.BatchWindow, resolved.CoalesceWindow, resolved.HeadroomShare, readTier)
 	}
-	log.Printf("%s serving on %s", dc, bound)
+	log.Printf("%s serving on %s (shard ring epoch %d, %d active groups)",
+		dc, bound, cl.Ring().Epoch(), len(cl.Ring().Current().Groups()))
 	if *httpAddr != "" {
-		go serveHTTP(*httpAddr, dc, nodes, stores, net, gw)
+		go serveHTTP(*httpAddr, dc, cl, nodes, stores, net, gw)
 	}
 
 	sig := make(chan os.Signal, 1)

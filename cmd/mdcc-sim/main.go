@@ -29,6 +29,8 @@ var (
 	seed     = flag.Int64("seed", 1, "simulation seed (reproducible)")
 	clients  = flag.Int("clients", 0, "simulated clients (0 = scenario default)")
 	nodes    = flag.Int("nodes-per-dc", 0, "storage nodes per data center (0 = scenario default)")
+	scnNodes = flag.Int("scenario.nodes", 0, "alias for -nodes-per-dc (takes precedence when set)")
+	scnDrop  = flag.Float64("scenario.drop", 0, "ambient uniform message-drop probability for the whole traffic window")
 	duration = flag.Duration("duration", 0, "virtual traffic window (0 = scenario default)")
 	noFaults = flag.Bool("no-faults", false, "skip the nemesis schedule (happy-path run)")
 	list     = flag.Bool("list", false, "list scenarios and exit")
@@ -67,6 +69,10 @@ func main() {
 		NodesPerDC: *nodes,
 		Duration:   *duration,
 		Faults:     !*noFaults,
+		DropProb:   *scnDrop,
+	}
+	if *scnNodes > 0 {
+		opts.NodesPerDC = *scnNodes
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...interface{}) {

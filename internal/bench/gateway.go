@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"mdcc/internal/core"
@@ -65,6 +66,24 @@ type GatewayScale struct {
 	LineageSessions int
 	LineageMeasure  time.Duration
 	LineageStock    int64
+
+	// MultiGroups/MultiSessions/MultiHotKeys/MultiWarmup/MultiMeasure
+	// size the capacity-scaling arm (see multiGroupCapacity): the same
+	// per-group offered load (MultiSessions closed-loop sessions on
+	// MultiHotKeys hot keys per replica group) driven against 1 and
+	// against MultiGroups shard-ring groups per DC. MultiGroups 0
+	// skips the arm.
+	MultiGroups   int
+	MultiSessions int
+	MultiHotKeys  int
+	MultiWarmup   time.Duration
+	MultiMeasure  time.Duration
+
+	// balancePerGroup, when set, replaces the hot-key set with one
+	// holding exactly that many keys per active replica group under
+	// the run's shard ring, so per-group offered load is uniform by
+	// construction (internal to the multi-group arm).
+	balancePerGroup int
 }
 
 // GatewayPaperScale is the full saturation setting: 1000 sessions.
@@ -90,6 +109,11 @@ func GatewayPaperScale() GatewayScale {
 		LineageSessions: 100,
 		LineageMeasure:  20 * time.Second,
 		LineageStock:    5_000,
+		MultiGroups:     4,
+		MultiSessions:   250,
+		MultiHotKeys:    4,
+		MultiWarmup:     5 * time.Second,
+		MultiMeasure:    30 * time.Second,
 	}
 }
 
@@ -111,6 +135,11 @@ func GatewayQuickScale() GatewayScale {
 		LineageSessions: 60,
 		LineageMeasure:  15 * time.Second,
 		LineageStock:    3_000,
+		MultiGroups:     4,
+		MultiSessions:   60,
+		MultiHotKeys:    4,
+		MultiWarmup:     2 * time.Second,
+		MultiMeasure:    10 * time.Second,
 	}
 }
 
@@ -165,7 +194,24 @@ type GatewayComparison struct {
 	// commutative record: the pre-summary full-window decided lists
 	// vs exact lineage summaries (see lineage.go).
 	Lineage *LineageBytesComparison `json:"lineage,omitempty"`
-	Quick   bool                    `json:"quick,omitempty"`
+	// MultiGroup shows committed capacity scaling with shard-ring
+	// group count at fixed per-group offered load (the one-replica-
+	// group capacity ceiling, broken).
+	MultiGroup *MultiGroupResult `json:"multiGroup,omitempty"`
+	Quick      bool              `json:"quick,omitempty"`
+}
+
+// MultiGroupResult is the capacity-scaling arm's harvest: the same
+// per-group stampede at 1 vs Groups replica groups per DC.
+type MultiGroupResult struct {
+	Groups           int        `json:"groups"`
+	SessionsPerGroup int        `json:"sessionsPerGroup"`
+	HotKeysPerGroup  int        `json:"hotKeysPerGroup"`
+	Single           GatewayRun `json:"singleGroup"`
+	Multi            GatewayRun `json:"multiGroup"`
+	// ScalingTPS is Multi.TPS / Single.TPS — ideally ≈ Groups, since
+	// the groups' acceptors are independent service-time pools.
+	ScalingTPS float64 `json:"scalingTPS"`
 }
 
 // GatewaySaturation runs both arms (plus the scarce-stock gateway
@@ -207,11 +253,70 @@ func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 			Stock: sc.LineageStock,
 		})
 	}
+	if sc.MultiGroups > 1 {
+		cmp.MultiGroup = multiGroupCapacity(seed, sc)
+	}
 	return cmp
 }
 
+// multiGroupCapacity drives the same per-group offered load against a
+// single replica group and against sc.MultiGroups groups per DC. Both
+// arms use the gateway tier; sessions and hot keys scale with the
+// group count (the hot-key set is balanced per group under the shard
+// ring) so each group sees an identical stampede, and the acceptors'
+// per-message service time is the bottleneck — committed tx/s then
+// measures capacity, which a single replica group caps and the ring
+// lets grow with groups.
+func multiGroupCapacity(seed int64, sc GatewayScale) *MultiGroupResult {
+	run := func(groups int) GatewayRun {
+		arm := sc
+		arm.NodesPerDC = groups
+		arm.Sessions = sc.MultiSessions * groups
+		arm.HotKeys = sc.MultiHotKeys * groups
+		arm.balancePerGroup = sc.MultiHotKeys
+		arm.Warmup = sc.MultiWarmup
+		arm.Measure = sc.MultiMeasure
+		r := runGatewayArm(seed, arm, true)
+		r.Mode = fmt.Sprintf("gateway-%dgroups", groups)
+		return r
+	}
+	out := &MultiGroupResult{
+		Groups:           sc.MultiGroups,
+		SessionsPerGroup: sc.MultiSessions,
+		HotKeysPerGroup:  sc.MultiHotKeys,
+		Single:           run(1),
+		Multi:            run(sc.MultiGroups),
+	}
+	if out.Single.TPS > 0 {
+		out.ScalingTPS = out.Multi.TPS / out.Single.TPS
+	}
+	return out
+}
+
 func hotKey(i int) record.Key {
-	return record.Key("stock/hot" + string(rune('0'+i%10)))
+	if i < 10 {
+		return record.Key("stock/hot" + string(rune('0'+i)))
+	}
+	return record.Key(fmt.Sprintf("stock/hot%d", i))
+}
+
+// balancedHotKeys picks perGroup hot keys owned by each of the
+// cluster's active replica groups (deterministic: first matches in
+// hotKey index order), so multi-group arms offer uniform per-group
+// load regardless of ring placement skew.
+func balancedHotKeys(cl *topology.Cluster, perGroup int) []record.Key {
+	groups := cl.Ring().Current().Groups()
+	want := perGroup * len(groups)
+	count := make(map[int]int, len(groups))
+	keys := make([]record.Key, 0, want)
+	for i := 0; len(keys) < want && i < 100000; i++ {
+		k := hotKey(i)
+		if g := cl.Shard(k); count[g] < perGroup {
+			count[g]++
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
@@ -252,8 +357,14 @@ func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
 		nodes = append(nodes, core.NewStorageNode(n.ID, n.DC, net, cl, cfg, store))
 	}
 	// Preload the hot keys on their replicas.
-	for i := 0; i < sc.HotKeys; i++ {
-		key := hotKey(i)
+	hot := make([]record.Key, sc.HotKeys)
+	for i := range hot {
+		hot[i] = hotKey(i)
+	}
+	if sc.balancePerGroup > 0 {
+		hot = balancedHotKeys(cl, sc.balancePerGroup)
+	}
+	for _, key := range hot {
 		shard := cl.Shard(key)
 		for j, n := range cl.Storage {
 			if n.Index == shard {
@@ -305,7 +416,7 @@ func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
 			if !now.Before(measureTo) {
 				return
 			}
-			key := hotKey(rng.Intn(sc.HotKeys))
+			key := hot[rng.Intn(len(hot))]
 			commit[ci]([]record.Update{record.Commutative(key, map[string]int64{"units": -1})},
 				func(ok bool) {
 					end := net.Now()

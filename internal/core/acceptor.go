@@ -35,6 +35,13 @@ type StorageNode struct {
 	oplog      *wal.Log // non-nil for durable nodes (see restart.go)
 	halted     bool
 
+	// Shard-move bootstrap (see AdoptShard): the in-flight directed
+	// pull, and the request ids it has issued so a late or duplicated
+	// pull reply can never leak into the background sync path and
+	// clobber its cursor.
+	pull     *shardPull
+	pullReqs map[uint64]bool
+
 	// Outbound vote batching: votes produced while dispatching one
 	// inbound envelope are buffered per destination coordinator and
 	// flushed as one transport.Batch when the dispatch finishes (see
@@ -74,6 +81,15 @@ type StorageNode struct {
 	nAdoptRefused              int64
 	nDecidedReleased           int64
 	nMixedKindRejects          int64
+	nShardMoves                int64
+	nMovedKeys                 int64
+	nWrongGroupRefusals        int64
+
+	// group is this node's replica-group index (its per-DC storage
+	// index), -1 when the node is not in the cluster catalogue. The
+	// ring fence compares it against the published shard ring's owner
+	// for a key (see owns).
+	group int
 }
 
 // recState is the acceptor's per-record Paxos state: the promised and
@@ -128,6 +144,13 @@ func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 		voteBuf:      make(map[transport.NodeID][]transport.Envelope),
 		feedSubs:     make(map[transport.NodeID]*feedSub),
 		feedDirtySet: make(map[record.Key]bool),
+		group:        -1,
+	}
+	for _, sn := range cl.Storage {
+		if sn.ID == id {
+			n.group = sn.Index
+			break
+		}
 	}
 	// The feed boot id distinguishes this incarnation's stream from a
 	// dead predecessor's: construction time is strictly later than any
@@ -148,6 +171,18 @@ func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 
 // ID returns the node's transport identity.
 func (n *StorageNode) ID() transport.NodeID { return n.id }
+
+// owns reports whether this node's replica group owns key under the
+// cluster's currently-published shard ring. After a live shard move
+// publishes, the old group's nodes must stop acting as acceptors and
+// leaders for re-homed keys — a route minted before the move (a stale
+// leader hint, a message in flight across the publish) would otherwise
+// fork decision authority between the old group's copy of the record
+// and the new one. Nodes outside the catalogue (group < 0) are
+// unfenced.
+func (n *StorageNode) owns(key record.Key) bool {
+	return n.group < 0 || n.cl.Shard(key) == n.group
+}
 
 // Store exposes the committed-state store (reads, tests, tools).
 func (n *StorageNode) Store() *kv.Store { return n.store }
@@ -544,6 +579,14 @@ func (n *StorageNode) voteFor(opt Option) MsgVote {
 		if v.Opt.ID() == id {
 			return MsgVote{OptID: id, Ballot: r.accepted, Decision: v.Decision, Reason: v.Reason}
 		}
+	}
+
+	// Ring fence: settled options are answered exactly above, but this
+	// group must not vote on (or forward) anything new for a key it no
+	// longer owns.
+	if !n.owns(key) {
+		n.nWrongGroupRefusals++
+		return MsgVote{OptID: id, Ballot: r.promised, WrongGroup: true}
 	}
 
 	if !r.promised.Fast {

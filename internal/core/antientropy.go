@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"mdcc/internal/kv"
 	"mdcc/internal/record"
@@ -127,6 +128,16 @@ func (n *StorageNode) onSyncReq(from transport.NodeID, m MsgSyncReq) {
 // for the key — the ack signal that gates decided-log content
 // release.
 func (n *StorageNode) onSyncReply(from transport.NodeID, m MsgSyncReply) {
+	if n.pullReqs[m.ReqID] {
+		// A directed shard-move pull reply (possibly late or
+		// duplicated): it must never advance the background sync
+		// cursor or adopt keys outside the moving slice.
+		delete(n.pullReqs, m.ReqID)
+		if p := n.pull; p != nil && m.ReqID == p.reqID {
+			n.onPullReply(from, m)
+		}
+		return
+	}
 	for _, e := range m.Entries {
 		_, ver, _ := n.store.Get(e.Key)
 		n.notePeerLineage(n.rs(e.Key), from, e.Lineage)
@@ -138,4 +149,118 @@ func (n *StorageNode) onSyncReply(from transport.NodeID, m MsgSyncReply) {
 		}
 	}
 	n.syncCursor = m.Next
+}
+
+// Shard-move bootstrap: when a live rebalance re-homes a slice of the
+// keyspace onto this node's replica group, the destination replica
+// adopts the slice from a source-group peer through the same
+// value+version+summary exchange the background sync uses — a directed
+// full-keyspace walk with its own request ids and cursor, filtered to
+// the moving keys on receipt. Because summaries are exact and
+// retention-free (PR 5), a shard bootstraps in O(keys × lanes) bytes
+// with no history shipping, and any residue the source settles after
+// the pull reconciles through ordinary anti-entropy among the new
+// owner group's replicas.
+
+// shardPull is one in-flight directed bootstrap.
+type shardPull struct {
+	src     transport.NodeID
+	accept  func(record.Key) bool
+	done    func(adopted int)
+	reqID   uint64
+	cursor  record.Key
+	adopted int
+}
+
+// AdoptShard walks src's committed keyspace and adopts every entry
+// accept selects (the keys the staged ring re-homes onto this node's
+// group). done fires with the adopted-entry count when the walk
+// completes. Chunks lost to the network are re-requested on a timer,
+// so a pull survives drops and partitions; a pull already in flight
+// makes AdoptShard a no-op (the mover re-invokes on fresh node
+// incarnations after crashes, not on live ones).
+func (n *StorageNode) AdoptShard(src transport.NodeID, accept func(record.Key) bool, done func(adopted int)) {
+	if n.halted || n.pull != nil {
+		return
+	}
+	n.pull = &shardPull{src: src, accept: accept, done: done}
+	n.pullStep()
+}
+
+// pullStep requests the next chunk of the directed walk and arms its
+// retry.
+func (n *StorageNode) pullStep() {
+	p := n.pull
+	if p == nil || n.halted {
+		return
+	}
+	n.reqSeq++
+	p.reqID = n.reqSeq
+	if n.pullReqs == nil {
+		n.pullReqs = make(map[uint64]bool)
+	}
+	n.pullReqs[p.reqID] = true
+	n.net.Send(n.id, p.src, MsgSyncReq{ReqID: p.reqID, From: p.cursor, Limit: syncChunkSize})
+	retry := 2 * n.cfg.SyncInterval
+	if retry <= 0 {
+		retry = 2 * time.Second
+	}
+	reqID := p.reqID
+	n.net.After(n.id, retry, func() {
+		// Still waiting on the same chunk: the request or its reply
+		// was lost — re-issue under a fresh id.
+		if n.halted || n.pull != p || p.reqID != reqID {
+			return
+		}
+		delete(n.pullReqs, reqID)
+		n.pullStep()
+	})
+}
+
+// onPullReply consumes one chunk of a directed bootstrap.
+func (n *StorageNode) onPullReply(from transport.NodeID, m MsgSyncReply) {
+	p := n.pull
+	for _, e := range m.Entries {
+		if !p.accept(e.Key) {
+			continue
+		}
+		_, ver, _ := n.store.Get(e.Key)
+		n.notePeerLineage(n.rs(e.Key), from, e.Lineage)
+		if e.Version >= ver && n.adoptBase(e.Key, e.Value, e.Version, e.Lineage, "move") {
+			n.nSynced++
+		}
+		p.adopted++
+	}
+	if m.Next == "" {
+		n.pull = nil
+		n.pullReqs = nil
+		n.nShardMoves++
+		n.nMovedKeys += int64(p.adopted)
+		if p.done != nil {
+			p.done(p.adopted)
+		}
+		return
+	}
+	p.cursor = m.Next
+	n.pullStep()
+}
+
+// Unsettled counts the accepted-but-undecided option votes this node
+// holds on keys sel selects (nil = all keys) — the shard mover's drain
+// gate: a moving slice is safe to bootstrap only when no live source
+// replica still holds an open option on it, because every decided
+// option's effect has then been applied to the committed state the
+// bootstrap ships.
+func (n *StorageNode) Unsettled(sel func(record.Key) bool) int {
+	if n.halted {
+		return 0
+	}
+	total := 0
+	for key, r := range n.recs {
+		if sel != nil && !sel(key) {
+			continue
+		}
+		total += len(r.votes)
+	}
+	return total
 }

@@ -105,6 +105,13 @@ type Config struct {
 	// can never lose a forked apply (the seed design's §5 limitation).
 	DecidedRetention time.Duration
 
+	// KeySeqWords bounds the coordinator's per-(lane, key) sequence
+	// counter map: when a coordinator has minted sequences for this
+	// many distinct keys it retires the lane (bumping the TxID era) and
+	// starts a fresh counter map, keeping lineage bookkeeping O(live
+	// keys) instead of O(keys ever written). Zero means 4096.
+	KeySeqWords int
+
 	// ShipFullLineage additionally attaches the pre-summary decided
 	// lists (with option contents) to anti-entropy and classic-phase
 	// messages. The protocol ignores them on receipt; the flag exists

@@ -44,18 +44,23 @@ type Coordinator struct {
 	q   paxos.Quorum
 
 	gen    uint64 // incarnation generation (see NewCoordinatorGen)
+	era    uint64 // lane era (see rotateLane)
 	txSeq  uint64
 	reqSeq uint64
 	reads  map[uint64]*readCtx
 	txs    map[TxID]*txCtx
 	hints  map[record.Key]leaderHint
 	// keySeqs mints per-key lineage identities: the count of options
-	// this coordinator incarnation has proposed on each key. Together
-	// with the lane (this coordinator's TxID prefix) it names every
-	// option in LineageSummaries, which is what makes per-record
-	// summaries compact — a lane's sequences on one key are contiguous
-	// by construction. Grows by one word per distinct key written by
-	// this incarnation (never evicted: reuse would alias identities).
+	// this lane (coordinator incarnation + era) has proposed on each
+	// key. Together with the lane (this coordinator's TxID prefix) it
+	// names every option in LineageSummaries, which is what makes
+	// per-record summaries compact — a lane's sequences on one key are
+	// contiguous by construction. A counter word can never be evicted
+	// individually (reuse would alias identities, a gap would fragment
+	// the lane's interval set forever), so the bound works by lane
+	// rotation: once the map holds Config.KeySeqWords words the whole
+	// lane retires and a fresh era starts minting from scratch (see
+	// rotateLane).
 	keySeqs map[record.Key]uint64
 
 	// escrowObs, when set, receives every escrow snapshot piggybacked
@@ -69,6 +74,7 @@ type Coordinator struct {
 	nRecoveries             int64
 	nCollisions             int64
 	nReadRetries, nReadFail int64
+	nWrongGroupReroutes     int64
 }
 
 type leaderHint struct {
@@ -105,6 +111,7 @@ type optCtx struct {
 	learned  Decision
 	timer    clock.Timer
 	attempts int
+	rerouted bool // re-dispatched once after a wrong-group refusal
 }
 
 // NewCoordinator builds a coordinator on node id (located in dc) and
@@ -143,13 +150,43 @@ func NewCoordinatorGen(id transport.NodeID, dc topology.DC, net transport.Networ
 }
 
 // txID mints the next transaction id (node-scoped sequence, plus the
-// generation for restarted incarnations).
+// generation for restarted incarnations and the era for rotated
+// lanes). Everything before the '#' is the lineage lane.
 func (c *Coordinator) txID() TxID {
 	c.txSeq++
-	if c.gen == 0 {
-		return TxID(fmt.Sprintf("%s#%d", c.id, c.txSeq))
+	id := string(c.id)
+	if c.gen != 0 {
+		id = fmt.Sprintf("%s~g%d", id, c.gen)
 	}
-	return TxID(fmt.Sprintf("%s~g%d#%d", c.id, c.gen, c.txSeq))
+	if c.era != 0 {
+		id = fmt.Sprintf("%s~e%d", id, c.era)
+	}
+	return TxID(fmt.Sprintf("%s#%d", id, c.txSeq))
+}
+
+// keySeqWords resolves the counter-map bound (see Config.KeySeqWords).
+func (c *Coordinator) keySeqWords() int {
+	if c.cfg.KeySeqWords > 0 {
+		return c.cfg.KeySeqWords
+	}
+	return 4096
+}
+
+// rotateLane retires the current lineage lane when its counter map is
+// full: the era bumps (changing the TxID prefix, i.e. the lane) and a
+// fresh map starts minting per-key sequences from 1 again. The retired
+// lane never mints again, so its counter words are dead the moment it
+// retires and the whole map is dropped at once — coordinator lineage
+// state is O(keys live in the current lane), not O(keys ever written).
+// Acceptor-side summaries stay exact and compact: each retired lane's
+// intervals are frozen (at quiescence a single [1..W] range per key),
+// and the new lane cannot alias them because its TxID prefix differs.
+func (c *Coordinator) rotateLane() {
+	if len(c.keySeqs) < c.keySeqWords() {
+		return
+	}
+	c.era++
+	c.keySeqs = make(map[record.Key]uint64)
 }
 
 // ID returns the coordinator's node identity.
@@ -293,6 +330,7 @@ func (c *Coordinator) ReadQuorum(key record.Key, cb func(val record.Value, ver r
 // The transaction cannot be aborted unilaterally once proposed — the
 // outcome is a deterministic function of the learned options.
 func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
+	c.rotateLane()
 	tx := c.txID()
 	if len(updates) == 0 {
 		c.nCommits++
@@ -408,6 +446,26 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 	}
 	oc, ok := t.opts[m.OptID]
 	if !ok || oc.learned != DecUnknown {
+		return
+	}
+	if m.WrongGroup {
+		// A shard move re-homed the key: the node we routed to no
+		// longer owns it. Drop the stale leader hint and re-dispatch
+		// the option under the current ring — once; if the refusal
+		// recurs the option timer's recovery path takes over.
+		key := m.OptID.Key
+		delete(c.hints, key)
+		if !oc.rerouted {
+			oc.rerouted = true
+			c.nWrongGroupReroutes++
+			if dest, viaLeader := c.route(key); viaLeader {
+				c.net.Send(c.id, dest, MsgProposeLeader{Opt: oc.opt})
+			} else {
+				for _, rep := range c.cl.Replicas(key) {
+					c.net.Send(c.id, rep, MsgProposeFast{Opt: oc.opt})
+				}
+			}
+		}
 		return
 	}
 	if m.Forwarded {
@@ -557,6 +615,9 @@ type CoordMetrics struct {
 	LeaderLearns           int64
 	Recoveries, Collisions int64
 	ReadRetries, ReadFails int64
+	// WrongGroupReroutes counts proposals re-dispatched after a node
+	// refused them because a shard move re-homed the key.
+	WrongGroupReroutes int64
 }
 
 // Add accumulates another snapshot into m (harnesses sum many
@@ -570,6 +631,7 @@ func (m *CoordMetrics) Add(o CoordMetrics) {
 	m.Collisions += o.Collisions
 	m.ReadRetries += o.ReadRetries
 	m.ReadFails += o.ReadFails
+	m.WrongGroupReroutes += o.WrongGroupReroutes
 }
 
 // Metrics returns a snapshot of this coordinator's counters.
@@ -583,5 +645,7 @@ func (c *Coordinator) Metrics() CoordMetrics {
 		Collisions:   c.nCollisions,
 		ReadRetries:  c.nReadRetries,
 		ReadFails:    c.nReadFail,
+
+		WrongGroupReroutes: c.nWrongGroupReroutes,
 	}
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mdcc/internal/record"
+)
+
+// TestLaneRotationBoundsKeySeqs pins the lineage memory bound and its
+// eviction rule: per-(lane, key) counter words are never evicted
+// individually (a seq gap or reuse would corrupt summary identities);
+// instead, once the map holds KeySeqWords words the whole lane retires
+// — the era bumps, changing the TxID prefix, and a fresh map mints
+// from 1 again. The coordinator's lineage state is therefore O(keys
+// live in the current lane) no matter how many keys it ever wrote.
+func TestLaneRotationBoundsKeySeqs(t *testing.T) {
+	cfg := cfgNoSweep(ModeMDCC)
+	cfg.KeySeqWords = 4
+	w := newWorld(t, cfg, 1, 1, 11)
+	c := w.coords[0]
+
+	// Writing 4 distinct keys fills the lane; no rotation yet (the
+	// rule is "retire when full at the next mint", never mid-lane).
+	for i := 0; i < 4; i++ {
+		key := record.Key(fmt.Sprintf("item/l%d", i))
+		if res := w.commit(0, record.Insert(key, record.Value{Attrs: map[string]int64{"v": 1}})); !res.Committed {
+			t.Fatalf("seed write %d aborted", i)
+		}
+	}
+	if c.era != 0 || len(c.keySeqs) != 4 {
+		t.Fatalf("after 4 distinct keys: era=%d words=%d, want era 0 with 4 words", c.era, len(c.keySeqs))
+	}
+
+	// The 5th distinct key triggers rotation: era 1, fresh map.
+	res := w.commit(0, record.Insert("item/l4", record.Value{Attrs: map[string]int64{"v": 1}}))
+	if !res.Committed {
+		t.Fatal("post-rotation write aborted")
+	}
+	if c.era != 1 {
+		t.Fatalf("era = %d after exceeding KeySeqWords, want 1", c.era)
+	}
+	if len(c.keySeqs) != 1 {
+		t.Fatalf("rotated lane holds %d words, want 1 (only the new write)", len(c.keySeqs))
+	}
+	if !strings.Contains(string(res.Tx), "~e1#") {
+		t.Fatalf("rotated-lane TxID %q does not carry the era", res.Tx)
+	}
+
+	// Re-writing a key from the retired lane must not alias its old
+	// identities: the new option is (new lane, seq 1), not (old lane,
+	// seq 2).
+	res = w.commit(0, record.Physical("item/l0", 1, record.Value{Attrs: map[string]int64{"v": 2}}))
+	if !res.Committed {
+		t.Fatal("re-write of retired-lane key aborted")
+	}
+	if c.keySeqs["item/l0"] != 1 {
+		t.Fatalf("retired-lane key re-minted at seq %d, want 1 in the fresh lane", c.keySeqs["item/l0"])
+	}
+	w.settle()
+
+	// Both lanes' applies settled: every replica executed both options
+	// on item/l0 (v2 at version 2) and their exact lineage summaries
+	// agree — rotation is invisible to convergence.
+	var want string
+	for i, e := range w.storedValues("item/l0") {
+		if e.Version != 2 || e.Value.Attr("v") != 2 {
+			t.Fatalf("replica %d: %v v%d, want v=2 version 2", i, e.Value, e.Version)
+		}
+	}
+	for _, n := range w.nodes {
+		fp := n.LineageFingerprint("item/l0")
+		if want == "" {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("lineage diverged across replicas:\n%s\nvs\n%s", want, fp)
+		}
+	}
+	if !strings.Contains(want, "~e1") {
+		t.Fatalf("settled summary does not mention the rotated lane: %s", want)
+	}
+
+	// The bound holds under churn: many more distinct keys keep the
+	// map at or under the cap, rotating as needed.
+	for i := 0; i < 20; i++ {
+		key := record.Key(fmt.Sprintf("item/churn%d", i))
+		if res := w.commit(0, record.Insert(key, record.Value{Attrs: map[string]int64{"v": 1}})); !res.Committed {
+			t.Fatalf("churn write %d aborted", i)
+		}
+		if len(c.keySeqs) > 4 {
+			t.Fatalf("counter map grew to %d words, cap 4", len(c.keySeqs))
+		}
+	}
+	if c.era < 5 {
+		t.Fatalf("era = %d after 20 churn keys at cap 4, expected several rotations", c.era)
+	}
+}

@@ -133,6 +133,17 @@ func (n *StorageNode) leaderPropose(opt Option, recovery bool) {
 			return
 		}
 	}
+	// Ring fence: a shard move re-homed the key and this node's group
+	// no longer owns it. Leading a classic round here — even one the γ
+	// window says we still "own" — would decide options against a stale
+	// base while the key's new replica group decides independently.
+	// Tell the coordinator to re-route under the current ring.
+	if !n.owns(key) {
+		n.nWrongGroupRefusals++
+		n.net.Send(n.id, opt.Coord, MsgVote{OptID: id, WrongGroup: true})
+		return
+	}
+
 	// Already in flight (duplicate propose / concurrent recovery)?
 	for _, v := range l.cstruct {
 		if v.Opt.ID() == id {
@@ -171,6 +182,13 @@ func (l *leaderRec) resetGamma(cfg Config) {
 // startPhase1 opens a new classic ballot above everything this node
 // has seen for the record.
 func (n *StorageNode) startPhase1(key record.Key, l *leaderRec) {
+	// Ring fence: never campaign for a key this group no longer owns.
+	// Queued options are dropped; their coordinators' option timers
+	// recover them through the key's current replica group.
+	if !n.owns(key) {
+		l.queue = nil
+		return
+	}
 	r := n.rs(key)
 	base := l.ballot
 	if base.Less(r.promised) {
@@ -539,6 +557,14 @@ func (n *StorageNode) waiterSummaryDecision(r *recState, l *leaderRec, p1 *phase
 // sendPhase2a broadcasts the full current cstruct with the leader's
 // committed base piggybacked.
 func (n *StorageNode) sendPhase2a(key record.Key, l *leaderRec) {
+	// Ring fence: a deposed-by-move leader must not push its cstruct at
+	// the key's new replica group (Replicas routes by the current ring,
+	// so the Phase2a would land there and be adopted verbatim).
+	if !n.owns(key) {
+		l.owned = false
+		l.cstruct = nil
+		return
+	}
 	l.seq++
 	snap := append([]VotedOption(nil), l.cstruct...)
 	l.props[l.seq] = &proposalCtx{
@@ -645,7 +671,7 @@ func (n *StorageNode) abandonLeadership(key record.Key, l *leaderRec, seen paxos
 // maybeEnableFast re-opens fast ballots once the γ classic window has
 // drained and nothing is unresolved (the fast-policy probe, §3.3.2).
 func (n *StorageNode) maybeEnableFast(key record.Key, l *leaderRec) {
-	if n.cfg.Mode == ModeMulti || !l.owned || l.classicLeft != 0 {
+	if n.cfg.Mode == ModeMulti || !l.owned || l.classicLeft != 0 || !n.owns(key) {
 		return
 	}
 	for _, v := range l.cstruct {

@@ -50,6 +50,12 @@ type MsgVote struct {
 	// MsgLearned.
 	Forwarded bool
 	Leader    transport.NodeID
+	// WrongGroup reports the node refused to act because its replica
+	// group no longer owns the key under the published shard ring (the
+	// proposal followed a route minted before a shard move). Decision
+	// is DecUnknown; the coordinator drops its stale leader hint and
+	// re-dispatches under the current ring.
+	WrongGroup bool
 	// Escrow piggybacks the acceptor's demarcation inputs for the
 	// voted record (set for commutative options under constraints), so
 	// learners — and through them the gateway tier — track true

@@ -304,6 +304,17 @@ type Metrics struct {
 	AdoptRefused     int64
 	DecidedReleased  int64
 	MixedKindRejects int64
+	// Shard-ring counters. ShardMoves counts completed shard bootstrap
+	// walks this node ran as a move destination (AdoptShard); MovedKeys
+	// the entries those walks adopted; RingEpoch is a gauge — the
+	// cluster ring epoch this node currently routes under (aggregate
+	// with max, not sum).
+	// WrongGroupRefusals counts proposals this node refused to act on
+	// because a shard move re-homed the key away from its group.
+	ShardMoves         int64
+	MovedKeys          int64
+	RingEpoch          int64
+	WrongGroupRefusals int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -330,5 +341,9 @@ func (n *StorageNode) Metrics() Metrics {
 		AdoptRefused:       n.nAdoptRefused,
 		DecidedReleased:    n.nDecidedReleased,
 		MixedKindRejects:   n.nMixedKindRejects,
+		ShardMoves:         n.nShardMoves,
+		MovedKeys:          n.nMovedKeys,
+		RingEpoch:          int64(n.cl.Ring().Epoch()),
+		WrongGroupRefusals: n.nWrongGroupRefusals,
 	}
 }

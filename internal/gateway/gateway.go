@@ -57,6 +57,7 @@ import (
 	"mdcc/internal/core"
 	"mdcc/internal/paxos"
 	"mdcc/internal/record"
+	"mdcc/internal/ring"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
 )
@@ -270,6 +271,14 @@ type Metrics struct {
 	BatchedMsgs    int64   `json:"batchedMsgs"`
 	BatchSingles   int64   `json:"batchSingles"`
 	BatchFanIn     float64 `json:"batchFanIn"`
+
+	// Shard ring. WrongShardRetries counts commits refused with
+	// ring.ErrWrongShard (admission frozen for a live move, or a stale
+	// caller epoch) — each refusal is a client retry, never a
+	// duplicated transaction. RingEpoch (gauge) is the ring epoch this
+	// gateway routes under; Add keeps the max.
+	WrongShardRetries int64 `json:"wrongShardRetries"`
+	RingEpoch         int64 `json:"ringEpoch"`
 }
 
 // Add accumulates another gateway's counters into m (QueuePeak takes
@@ -316,6 +325,10 @@ func (m *Metrics) Add(o Metrics) {
 	m.BatchEnvelopes += o.BatchEnvelopes
 	m.BatchedMsgs += o.BatchedMsgs
 	m.BatchSingles += o.BatchSingles
+	m.WrongShardRetries += o.WrongShardRetries
+	if o.RingEpoch > m.RingEpoch {
+		m.RingEpoch = o.RingEpoch
+	}
 }
 
 // Finalize recomputes the derived ratios from the summed counters.
@@ -433,12 +446,19 @@ type Gateway struct {
 	closed   bool
 
 	// pending registers every admitted transaction's completion
-	// callback until it settles, so Kill can fail them all with
+	// callback (plus its write-set keys, for the shard mover's drain
+	// probe) until it settles, so Kill can fail them all with
 	// ErrOutcomeUnknown (the in-process analogue of the RPC client's
 	// settle deadline). Exactly-once delivery is the map's job: the
 	// wrapper only fires a callback it can still remove.
 	pendSeq uint64
-	pending map[uint64]func(bool, error)
+	pending map[uint64]pendingTx
+
+	// Shard-move admission freeze (see FreezeShards): while a live
+	// move drains, commits touching a moving key are refused with
+	// ring.ErrWrongShard{frozenNext} before admission.
+	frozen     func(record.Key) bool
+	frozenNext ring.Epoch
 
 	// Learned-replica read tier (see readtier.go).
 	shards   []transport.NodeID // this DC's storage nodes
@@ -472,7 +492,7 @@ func NewGen(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg
 		tun:     tun,
 		q:       paxos.NewQuorum(cl.ReplicationFactor()),
 		keys:    make(map[record.Key]*keyState),
-		pending: make(map[uint64]func(bool, error)),
+		pending: make(map[uint64]pendingTx),
 	}
 	g.bnet = newBatcher(net, g.id, tun.BatchWindow, tun.BatchMax)
 	for i := 0; i < tun.Pool; i++ {
@@ -564,6 +584,13 @@ func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err 
 		return
 	}
 	g.m.Submitted++
+	if g.frozen != nil && g.touchesFrozenLocked(updates) {
+		g.m.WrongShardRetries++
+		next := g.frozenNext
+		g.mu.Unlock()
+		done(false, ring.ErrWrongShard{Epoch: next})
+		return
+	}
 	if g.inflight >= g.tun.MaxInflight {
 		if len(g.queue) >= g.tun.MaxQueue {
 			g.m.AdmissionRejects++
@@ -589,7 +616,7 @@ func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err 
 // every in-flight transaction with ErrOutcomeUnknown.
 func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 	g.inflight++
-	done = g.registerPendingLocked(done)
+	done = g.registerPendingLocked(updates, done)
 	if g.coalescible(updates) {
 		g.coalesceLocked(updates[0], done)
 		return
@@ -605,20 +632,32 @@ func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 	})
 }
 
+// pendingTx is one admitted-but-unsettled transaction: its completion
+// callback plus the keys it touches (the shard mover's drain probe
+// scans these).
+type pendingTx struct {
+	keys []record.Key
+	done func(bool, error)
+}
+
 // registerPendingLocked wraps a client completion callback with
 // exactly-once semantics keyed by the pending map: whichever of
 // normal settlement and Kill claims the entry first delivers.
-func (g *Gateway) registerPendingLocked(done func(bool, error)) func(bool, error) {
+func (g *Gateway) registerPendingLocked(updates []record.Update, done func(bool, error)) func(bool, error) {
 	g.pendSeq++
 	id := g.pendSeq
-	g.pending[id] = done
+	keys := make([]record.Key, len(updates))
+	for i, up := range updates {
+		keys[i] = up.Key
+	}
+	g.pending[id] = pendingTx{keys: keys, done: done}
 	return func(ok bool, err error) {
 		g.mu.Lock()
-		d, live := g.pending[id]
+		p, live := g.pending[id]
 		delete(g.pending, id)
 		g.mu.Unlock()
 		if live {
-			d(ok, err)
+			p.done(ok, err)
 		}
 	}
 }
@@ -701,13 +740,27 @@ func (g *Gateway) settle(n int, committed bool) {
 	} else {
 		g.m.Aborts += int64(n)
 	}
+	// Backlog drained after a freeze landed is fenced like fresh
+	// admissions; refusals fire after unlock (the callback may
+	// re-enter Commit).
+	var refused []func(bool, error)
+	var refusedNext ring.Epoch
 	for g.inflight < g.tun.MaxInflight && len(g.queue) > 0 {
 		next := g.queue[0]
 		g.queue = g.queue[1:]
+		if g.frozen != nil && g.touchesFrozenLocked(next.updates) {
+			g.m.WrongShardRetries++
+			refused = append(refused, next.done)
+			refusedNext = g.frozenNext
+			continue
+		}
 		g.startLocked(next.updates, next.done)
 	}
 	g.m.QueueDepth = int64(len(g.queue))
 	g.mu.Unlock()
+	for _, d := range refused {
+		d(false, ring.ErrWrongShard{Epoch: refusedNext})
+	}
 }
 
 // ---- hot-key delta coalescing ----------------------------------------
@@ -1168,6 +1221,92 @@ func (g *Gateway) headroomGaugesLocked() (tracked, minHeadroom int64) {
 	return tracked, minHeadroom
 }
 
+// ---- shard-ring fencing and live moves --------------------------------
+
+// touchesFrozenLocked reports whether any update's key is in the
+// frozen (moving) slice.
+func (g *Gateway) touchesFrozenLocked(updates []record.Update) bool {
+	for _, up := range updates {
+		if g.frozen(up.Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// CommitAt is Commit with an epoch fence: a caller that routed its
+// write-set under ring epoch at is refused with ring.ErrWrongShard
+// carrying the current epoch when its view is stale — before the
+// transaction enters the protocol, so the retry under the fresh epoch
+// can never duplicate work.
+func (g *Gateway) CommitAt(at ring.Epoch, updates []record.Update, done func(committed bool, err error)) {
+	if cur := g.cl.Ring().Epoch(); at != cur {
+		g.mu.Lock()
+		g.m.WrongShardRetries++
+		g.mu.Unlock()
+		done(false, ring.ErrWrongShard{Epoch: cur})
+		return
+	}
+	g.Commit(updates, done)
+}
+
+// FreezeShards fences admission for a pending shard move: while
+// frozen, any commit touching a key moving selects is refused with
+// ring.ErrWrongShard{next}. Idempotent — the mover re-applies the
+// freeze on every poll tick so a restarted gateway incarnation is
+// re-fenced before it can admit a moving-key write mid-bootstrap.
+func (g *Gateway) FreezeShards(moving func(record.Key) bool, next ring.Epoch) {
+	g.mu.Lock()
+	g.frozen = moving
+	g.frozenNext = next
+	g.mu.Unlock()
+}
+
+// InflightMoving counts admitted-but-unsettled transactions touching
+// the frozen slice — the gateway half of the mover's drain gate (the
+// acceptor half is core.StorageNode.Unsettled). Zero with the freeze
+// applied means this gateway can no longer produce new options on
+// moving keys.
+func (g *Gateway) InflightMoving() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.frozen == nil {
+		return 0
+	}
+	count := 0
+	for _, p := range g.pending {
+		for _, k := range p.keys {
+			if g.frozen(k) {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// RingPublished tells the gateway a new ring epoch is live: the
+// admission freeze lifts, and every key whose owner changed drops its
+// interest confirmation so the read tier re-homes it — the next read
+// re-asks interest on the new owner shard's feed instead of trusting
+// the old shard's echo. Headroom accounts, coalescing windows and
+// materialized values are already per-key, so they carry over
+// unchanged; only the feed binding is owner-shaped.
+func (g *Gateway) RingPublished() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.frozen = nil
+	g.frozenNext = 0
+	r := g.cl.Ring()
+	for key, ks := range g.keys {
+		if ks.confirmed && r.Moved(string(key)) {
+			ks.confirmed = false
+			ks.askTries = 0
+			ks.askedAt = time.Time{}
+		}
+	}
+}
+
 // CoordMetrics sums the pooled coordinators' protocol counters. The
 // counters live on the coordinator goroutines; call this from a
 // quiesced deployment (after a run, or from the simulator's thread).
@@ -1185,6 +1324,7 @@ func (g *Gateway) Metrics() Metrics {
 	m := g.m
 	m.Inflight = int64(g.inflight)
 	m.QueueDepth = int64(len(g.queue))
+	m.RingEpoch = int64(g.cl.Ring().Epoch())
 	m.TrackedKeys, m.MinHeadroom = g.headroomGaugesLocked()
 	if !g.tun.DisableReadTier {
 		m.MaterializedKeys, m.FeedsLive = g.readTierGaugesLocked()
@@ -1235,7 +1375,7 @@ func (g *Gateway) Kill() {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	dones := make([]func(bool, error), 0, len(ids))
 	for _, id := range ids {
-		dones = append(dones, g.pending[id])
+		dones = append(dones, g.pending[id].done)
 		delete(g.pending, id)
 	}
 	g.inflight = 0

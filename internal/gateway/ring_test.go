@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mdcc/internal/record"
+	"mdcc/internal/ring"
+)
+
+// TestStaleEpochRefusedWithWrongShard pins the epoch fence: a commit
+// routed under a stale ring epoch is refused with a typed
+// ring.ErrWrongShard carrying the current epoch, before the
+// transaction enters the protocol; the same commit under the fresh
+// epoch proceeds normally.
+func TestStaleEpochRefusedWithWrongShard(t *testing.T) {
+	w := newTestWorld(t, Tuning{}, nil)
+	key := record.Key("item/fence")
+	w.preload(key, record.Value{Attrs: map[string]int64{"v": 1}})
+	cur := w.cl.Ring().Epoch()
+
+	var fenceErr error
+	var settled bool
+	w.net.At(0, func() {
+		w.gw.CommitAt(cur+1, []record.Update{record.Physical(key, 1, record.Value{Attrs: map[string]int64{"v": 2}})},
+			func(ok bool, err error) {
+				settled = true
+				if ok {
+					t.Error("stale-epoch commit reported committed")
+				}
+				fenceErr = err
+			})
+	})
+	w.net.RunFor(time.Second)
+	if !settled {
+		t.Fatal("stale-epoch commit never settled")
+	}
+	var ws ring.ErrWrongShard
+	if !errors.As(fenceErr, &ws) {
+		t.Fatalf("stale-epoch refusal error = %v, want ring.ErrWrongShard", fenceErr)
+	}
+	if ws.Epoch != cur {
+		t.Fatalf("ErrWrongShard carries epoch %d, want current %d", ws.Epoch, cur)
+	}
+	if m := w.gw.Metrics(); m.WrongShardRetries < 1 {
+		t.Fatalf("WrongShardRetries = %d, want >= 1", m.WrongShardRetries)
+	}
+
+	// The same write under the current epoch commits.
+	var ok2 bool
+	w.net.At(0, func() {
+		w.gw.CommitAt(cur, []record.Update{record.Physical(key, 1, record.Value{Attrs: map[string]int64{"v": 2}})},
+			func(ok bool, err error) {
+				if err != nil {
+					t.Errorf("fresh-epoch commit error: %v", err)
+				}
+				ok2 = ok
+			})
+	})
+	w.net.RunFor(10 * time.Second)
+	if !ok2 {
+		t.Fatal("fresh-epoch commit did not commit")
+	}
+}
+
+// TestFreezeShardsFencesAdmission pins the move-time freeze: while a
+// shard slice is frozen, commits touching it are refused with
+// ErrWrongShard naming the next epoch, commits elsewhere proceed, and
+// RingPublished lifts the fence.
+func TestFreezeShardsFencesAdmission(t *testing.T) {
+	w := newTestWorld(t, Tuning{}, nil)
+	hot := record.Key("item/moving")
+	cold := record.Key("item/staying")
+	w.preload(hot, record.Value{Attrs: map[string]int64{"v": 1}})
+	w.preload(cold, record.Value{Attrs: map[string]int64{"v": 1}})
+
+	next := w.cl.Ring().Epoch() + 1
+	w.gw.FreezeShards(func(k record.Key) bool { return k == hot }, next)
+
+	var hotErr error
+	var coldOK bool
+	w.net.At(0, func() {
+		w.gw.Commit([]record.Update{record.Physical(hot, 1, record.Value{Attrs: map[string]int64{"v": 2}})},
+			func(ok bool, err error) { hotErr = err })
+		w.gw.Commit([]record.Update{record.Physical(cold, 1, record.Value{Attrs: map[string]int64{"v": 2}})},
+			func(ok bool, err error) { coldOK = ok })
+	})
+	w.net.RunFor(10 * time.Second)
+	var ws ring.ErrWrongShard
+	if !errors.As(hotErr, &ws) || ws.Epoch != next {
+		t.Fatalf("frozen-key commit error = %v, want ErrWrongShard{%d}", hotErr, next)
+	}
+	if !coldOK {
+		t.Fatal("non-moving key was fenced by the freeze")
+	}
+	if n := w.gw.InflightMoving(); n != 0 {
+		t.Fatalf("InflightMoving = %d after refusal, want 0", n)
+	}
+
+	w.gw.RingPublished()
+	var hotOK bool
+	w.net.At(0, func() {
+		w.gw.Commit([]record.Update{record.Physical(hot, 1, record.Value{Attrs: map[string]int64{"v": 2}})},
+			func(ok bool, err error) { hotOK = ok })
+	})
+	w.net.RunFor(10 * time.Second)
+	if !hotOK {
+		t.Fatal("freeze did not lift after RingPublished")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mdcc/internal/kv"
 	"mdcc/internal/mtx"
 	"mdcc/internal/record"
+	"mdcc/internal/ring"
 	"mdcc/internal/simnet"
 	"mdcc/internal/stats"
 	"mdcc/internal/topology"
@@ -60,6 +61,16 @@ type Run struct {
 	gwSeq          uint64                  // in-flight op token source
 	gwTokens       map[uint64]*gwPendingOp // ops the gateway tier holds
 	gwUnknownTyped int                     // typed in-process ErrOutcomeUnknown observations
+
+	// Live shard-move state (Scenario.Rebalance only); see rebalance.go.
+	mover      *ring.Mover
+	rebMoving  func(record.Key) bool // keys re-homed by the staged epoch
+	rebNext    ring.Epoch            // the staged epoch
+	rebFrozen  bool                  // freeze fence active (freeze..publish)
+	rebIssued  map[int]*core.StorageNode // storage idx -> incarnation a pull chain was issued on
+	rebDone    map[int]bool              // storage idx -> bootstrap chain complete
+	rebAdopted map[int]int               // storage idx -> keys adopted by its chain
+	wrongShard int                       // client commits refused by the fence and retried
 
 	// Session-guarantee floors, one map per client (read workloads
 	// only): the minimum version each client may observe per key,
@@ -110,6 +121,7 @@ func (s *Scenario) Run(o Options) (*Result, error) {
 func build(s *Scenario, o Options) (*Run, error) {
 	cl := topology.NewCluster(topology.Layout{
 		NodesPerDC: o.NodesPerDC,
+		Groups:     s.Groups,
 		Clients:    o.Clients,
 		ClientDC:   -1,
 	})
@@ -127,6 +139,7 @@ func build(s *Scenario, o Options) (*Run, error) {
 		Latency:     cl.LatencyWith(extra),
 		JitterFrac:  0.10,
 		ServiceTime: 250 * time.Microsecond,
+		DropProb:    o.DropProb,
 		Seed:        o.Seed,
 	})
 	cons := []record.Constraint{
@@ -308,6 +321,19 @@ func (gc gwClient) Commit(updates []record.Update, done func(bool)) {
 		if !gc.r.claimGw(tok) {
 			return
 		}
+		var ws ring.ErrWrongShard
+		if errors.As(err, &ws) {
+			// Epoch-fence refusal: the transaction touches a shard slice
+			// that is frozen for a live move (or was routed under a stale
+			// ring epoch). Nothing was admitted, so nothing is recorded —
+			// the client refreshes its ring view and retries after a
+			// backoff, exactly like the RPC client's retry contract. The
+			// retry re-enters Commit, which re-resolves against whatever
+			// ring epoch is current by then.
+			gc.r.wrongShard++
+			gc.refuse(func() { gc.Commit(ups, done) })
+			return
+		}
 		outcome := ok && err == nil
 		if errors.Is(err, gateway.ErrOutcomeUnknown) {
 			// The typed in-process unknown-outcome signal (a killed
@@ -385,6 +411,14 @@ func (r *Run) run() (*Result, error) {
 	r.trafficEnd = start.Add(r.Opts.Duration)
 	if r.Opts.Faults && r.scn.Nemesis != nil {
 		r.scn.Nemesis(r)
+	}
+	if r.scn.Rebalance != nil {
+		// A shard move is an operation, not a fault: it is scheduled
+		// regardless of Options.Faults (the nemesis then fires faults
+		// into its freeze/bootstrap window when enabled).
+		at := time.Duration(float64(r.Opts.Duration) * r.scn.Rebalance.At)
+		r.At(at, fmt.Sprintf("begin live shard move: activate group %d", r.scn.Rebalance.AddGroup),
+			func() { r.startRebalance() })
 	}
 	for ci := range r.clients {
 		ci := ci
@@ -465,7 +499,13 @@ func (r *Run) run() (*Result, error) {
 		res.Nodes.AdoptRefused += m.AdoptRefused
 		res.Nodes.DecidedReleased += m.DecidedReleased
 		res.Nodes.MixedKindRejects += m.MixedKindRejects
+		res.Nodes.ShardMoves += m.ShardMoves
+		res.Nodes.MovedKeys += m.MovedKeys
+		if m.RingEpoch > res.Nodes.RingEpoch { // gauge: aggregate with max
+			res.Nodes.RingEpoch = m.RingEpoch
+		}
 	}
+	res.RingEpoch = uint64(r.Cluster.Ring().Epoch())
 	for _, err := range r.hist.Validate(r.initial, r.finalState, r.cons) {
 		res.Violations = append(res.Violations, err.Error())
 	}
@@ -901,6 +941,13 @@ func (r *Run) RestartGateway(dc topology.DC) {
 	r.gwGen[dc]++
 	r.gws[dc] = gateway.NewGen(dc, r.Net, r.Cluster, r.Cfg, r.scn.GatewayTuning, r.gwGen[dc])
 	delete(r.gwDown, dc)
+	if r.rebFrozen {
+		// A gateway restarted mid-move must not admit transactions onto
+		// the moving slice: re-apply the ambient freeze immediately
+		// (the mover's poll would also re-apply it, but only at its next
+		// tick — this closes the restart window).
+		r.gws[dc].FreezeShards(r.rebMoving, r.rebNext)
+	}
 }
 
 // heal undoes every outstanding fault: partitions, outages, crashed

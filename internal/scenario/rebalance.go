@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/record"
+	"mdcc/internal/ring"
+	"mdcc/internal/topology"
+	"mdcc/internal/transport"
+)
+
+// Live shard move: the harness is the move's control plane. It drives
+// a ring.Mover through freeze → bootstrap → publish with poll loops
+// that survive every fault the nemesis throws at the window — crashed
+// and restarted storage nodes (pull chains re-issue per incarnation),
+// crashed and restarted gateways (the freeze fence re-applies every
+// tick, and RestartGateway re-applies it immediately), partitions and
+// drops (the drain gate simply passes later; pulls retry internally).
+// Control decisions run in-process — an out-of-band operator — but
+// every byte of shard data moves over the simulated network through
+// the same anti-entropy path background sync uses.
+const (
+	rebFreezePoll    = 250 * time.Millisecond
+	rebBootstrapPoll = 500 * time.Millisecond
+)
+
+// ctrl is the node whose event queue carries the mover's poll timers.
+// Clients are never crashed by the nemesis, so the control loop cannot
+// die mid-move.
+func (r *Run) ctrl() transport.NodeID { return r.Cluster.Clients[0].ID }
+
+// startRebalance stages the scenario's move and kicks off the mover.
+// Only add-group moves are supported here — that is the capacity-growth
+// operation the scenario exercises (the ring package itself handles
+// arbitrary remaps).
+func (r *Run) startRebalance() {
+	rb := r.scn.Rebalance
+	if r.gws == nil {
+		r.events = append(r.events, "shard move skipped: rebalance requires the gateway tier")
+		return
+	}
+	if rb.AddGroup <= 0 || rb.AddGroup >= r.Opts.NodesPerDC {
+		r.events = append(r.events, fmt.Sprintf(
+			"shard move skipped: group %d not provisioned (nodes per DC: %d)", rb.AddGroup, r.Opts.NodesPerDC))
+		return
+	}
+	tbl := r.Cluster.Ring()
+	if tbl.Current().Map().Has(rb.AddGroup) {
+		r.events = append(r.events, fmt.Sprintf("shard move skipped: group %d already active", rb.AddGroup))
+		return
+	}
+	next := tbl.Current().Map().WithGroup(rb.AddGroup)
+	r.rebIssued = make(map[int]*core.StorageNode)
+	r.rebDone = make(map[int]bool)
+	r.rebAdopted = make(map[int]int)
+	r.mover = ring.NewMover(tbl, ring.Hooks{
+		Freeze:    r.rebFreeze,
+		Bootstrap: r.rebBootstrap,
+		Publish:   r.rebPublish,
+	})
+	err := r.mover.Move(next, func(st ring.MoveStats) {
+		r.events = append(r.events, fmt.Sprintf(
+			"shard move published: epoch %d, group %d bootstrapped %d keys, %d wrong-shard refusals retried",
+			st.Epoch, rb.AddGroup, st.MovedKeys, r.wrongShard))
+		r.Opts.Logf("[%s] shard move published: epoch %d, %d keys", r.scn.Name, st.Epoch, st.MovedKeys)
+	})
+	if err != nil {
+		r.events = append(r.events, fmt.Sprintf("shard move failed to start: %v", err))
+	}
+}
+
+// rebFreeze fences admission for moving keys at every gateway, then
+// polls the two-part drain gate: no live gateway holds an in-flight
+// transaction touching a moving key, and no live source replica holds
+// an unsettled vote on one. Votes held only by crashed replicas are
+// fine — gate soundness needs every *decided* option applied on the
+// live copies the bootstrap pulls from; a crashed replica's replayed
+// vote re-settles through the sweep and reconciles among the new
+// owners' own anti-entropy after publish.
+func (r *Run) rebFreeze(next *ring.Ring, ready func()) {
+	cur := r.Cluster.Ring().Current()
+	r.rebMoving = func(k record.Key) bool { return next.Owner(string(k)) != cur.Owner(string(k)) }
+	r.rebNext = next.Epoch()
+	r.rebFrozen = true
+	var poll func()
+	poll = func() {
+		if r.mover == nil || r.mover.Phase() != ring.PhaseFreeze {
+			return
+		}
+		// Re-apply every tick: a gateway restarted since the last tick
+		// has a fresh, unfenced incarnation (FreezeShards is idempotent).
+		r.rebApplyFreeze()
+		if r.rebDrained() {
+			ready()
+			return
+		}
+		r.Net.After(r.ctrl(), rebFreezePoll, poll)
+	}
+	poll()
+}
+
+// rebApplyFreeze (re-)fences every live gateway.
+func (r *Run) rebApplyFreeze() {
+	for _, dc := range topology.AllDCs() {
+		if g := r.gws[dc]; g != nil && !r.gwDown[dc] {
+			g.FreezeShards(r.rebMoving, r.rebNext)
+		}
+	}
+}
+
+// rebDrained is the freeze gate.
+func (r *Run) rebDrained() bool {
+	for _, dc := range topology.AllDCs() {
+		if g := r.gws[dc]; g != nil && !r.gwDown[dc] && g.InflightMoving() > 0 {
+			return false
+		}
+	}
+	for i, n := range r.nodes {
+		if r.crashed[i] {
+			continue
+		}
+		if n.Unsettled(r.rebMoving) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rebBootstrap brings every destination replica (the added group's
+// node in each DC) to the moving shards' settled state by pulling a
+// full directed anti-entropy walk — filtered to re-homing keys — from
+// EVERY replica of every source group, across all five DCs. The union
+// matters for soundness: the drain gate proves every live source
+// settled its votes, but a write decided by a 3-of-5 classic quorum
+// leaves up to two non-voting sources stale with no votes to gate on,
+// and partitions/crashes can widen that set. Any committed write is
+// applied on at least a quorum of sources, so the union of all five
+// walks always contains it (adoption takes the max version per key and
+// grafts lineage, so stale walks can never roll a fresher one back).
+// Chains are re-issued from scratch whenever a destination node
+// restarts as a fresh incarnation (adoption is WAL-durable, so a
+// completed chain survives later crashes); pulls to a crashed source
+// simply retry until it returns.
+func (r *Run) rebBootstrap(next *ring.Ring, ready func(moved int)) {
+	add := r.scn.Rebalance.AddGroup
+	cur := r.Cluster.Ring().Current() // still the pre-move ring: Install runs at publish
+	accept := func(k record.Key) bool {
+		return next.Owner(string(k)) == add && cur.Owner(string(k)) != add
+	}
+	var srcGroups []int
+	for _, g := range cur.Groups() {
+		if g != add {
+			srcGroups = append(srcGroups, g)
+		}
+	}
+	var poll func()
+	poll = func() {
+		if r.mover == nil || r.mover.Phase() != ring.PhaseBootstrap {
+			return
+		}
+		r.rebApplyFreeze() // keep restarted gateways fenced through bootstrap
+		allDone := true
+		for i, sn := range r.Cluster.Storage {
+			if sn.Index != add {
+				continue
+			}
+			if r.rebDone[i] {
+				continue
+			}
+			allDone = false
+			if r.crashed[i] || r.rebIssued[i] == r.nodes[i] {
+				continue
+			}
+			r.rebIssued[i] = r.nodes[i]
+			r.rebIssueChain(i, srcGroups, accept)
+		}
+		if allDone {
+			total := 0
+			for _, a := range r.rebAdopted {
+				total += a
+			}
+			ready(total)
+			return
+		}
+		r.Net.After(r.ctrl(), rebBootstrapPoll, poll)
+	}
+	poll()
+}
+
+// rebIssueChain walks destination node i through one AdoptShard pull
+// per source replica (every source group in every DC, own DC first),
+// sequentially. The chain belongs to one storage incarnation: if that
+// incarnation crashes its callbacks die with it (halted nodes process
+// nothing), and the bootstrap poll issues a fresh chain on the
+// restarted node.
+func (r *Run) rebIssueChain(i int, srcGroups []int, accept func(record.Key) bool) {
+	node := r.nodes[i]
+	own := r.Cluster.Storage[i].DC
+	var srcs []transport.NodeID
+	for _, g := range srcGroups {
+		srcs = append(srcs, topology.StorageID(own, g))
+		for _, dc := range topology.AllDCs() {
+			if dc != own {
+				srcs = append(srcs, topology.StorageID(dc, g))
+			}
+		}
+	}
+	var step func(si, total int)
+	step = func(si, total int) {
+		if si >= len(srcs) {
+			r.rebDone[i] = true
+			r.rebAdopted[i] = total
+			return
+		}
+		node.AdoptShard(srcs[si], accept, func(adopted int) { step(si+1, total+adopted) })
+	}
+	step(0, 0)
+}
+
+// rebPublish lifts the freeze and re-homes per-key routing state at
+// every live gateway. The mover has already installed the next map in
+// the shared ring table, so Shard() answers with the new owners from
+// here on; a gateway restarted after publish starts fresh against the
+// new ring and needs nothing.
+func (r *Run) rebPublish(next *ring.Ring) {
+	r.rebFrozen = false
+	for _, dc := range topology.AllDCs() {
+		if g := r.gws[dc]; g != nil && !r.gwDown[dc] {
+			g.RingPublished()
+		}
+	}
+}

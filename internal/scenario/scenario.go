@@ -49,6 +49,11 @@ type Options struct {
 	// Faults disables the nemesis schedule when false (smoke runs
 	// validate the happy path only).
 	Faults bool
+	// DropProb, when > 0, applies an ambient uniform message-drop
+	// probability for the whole traffic window (on top of whatever the
+	// nemesis schedules); the epilogue heal clears it so drain and
+	// convergence run on a whole network.
+	DropProb float64
 	// Dir is where storage-node WALs live; empty means a fresh
 	// temporary directory, removed when the run finishes.
 	Dir string
@@ -118,9 +123,30 @@ type Scenario struct {
 	Gateway bool
 	// GatewayTuning overrides the gateway defaults when Gateway is set.
 	GatewayTuning gateway.Tuning
+	// Groups is the number of replica groups active in the boot-time
+	// shard ring (0 = all NodesPerDC). A scenario that provisions more
+	// storage nodes than active groups can grow live via Rebalance.
+	Groups int
+	// Rebalance schedules a live shard move during the traffic window
+	// (gateway scenarios only): freeze-drain the moving slice,
+	// bootstrap the destination group over anti-entropy, publish the
+	// next ring epoch. The move runs regardless of Options.Faults —
+	// it is an operation, not a fault; the nemesis fires faults into it.
+	Rebalance *Rebalance
 	// Nemesis schedules the fault events on the run; nil or
 	// Options.Faults=false runs fault-free.
 	Nemesis func(r *Run)
+}
+
+// Rebalance describes a scenario's live shard move.
+type Rebalance struct {
+	// At is the fraction of the traffic window at which the move
+	// starts (e.g. 0.3 = 30% in).
+	At float64
+	// AddGroup is the provisioned-but-inactive replica group the move
+	// activates; the ~1/G keyspace slice the ring re-homes onto it is
+	// what drains, bootstraps and re-homes.
+	AddGroup int
 }
 
 // Result is one run's harvest: outcome counts, latency, network
@@ -162,6 +188,11 @@ type Result struct {
 	// Gateway aggregates the per-DC gateway metrics (gateway
 	// scenarios only; nil otherwise).
 	Gateway *gateway.Metrics
+
+	// RingEpoch is the published shard-ring epoch at run end (1 = no
+	// move ever ran); ShardMoves/MovedKeys aggregate the storage-node
+	// shard-bootstrap counters (see core.Metrics).
+	RingEpoch uint64
 
 	// Events is the human-readable nemesis timeline that actually ran.
 	Events []string
@@ -209,6 +240,14 @@ func (r *Result) Report() string {
 				r.Reads, g.LocalReads, g.ReadRPCs, g.ReadCoalesced, g.ReadQuorums,
 				g.LocalReadFrac, g.FeedMsgs, g.FeedItems, g.FeedGaps, g.FeedResubs)
 		}
+	}
+	if r.Nodes.ShardMoves > 0 || r.RingEpoch > 1 {
+		retries := int64(0)
+		if r.Gateway != nil {
+			retries = r.Gateway.WrongShardRetries
+		}
+		fmt.Fprintf(&b, "  ring: epoch %d published, %d shard adoptions moved %d keys, %d wrong-shard refusals\n",
+			r.RingEpoch, r.Nodes.ShardMoves, r.Nodes.MovedKeys, retries)
 	}
 	for _, ev := range r.Events {
 		fmt.Fprintf(&b, "  nemesis: %s\n", ev)

@@ -266,6 +266,72 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// Live capacity growth under fire: the cluster boots with one
+		// active replica group per DC (a second is provisioned idle) and
+		// 30% into the traffic window the ring activates group 1 — a
+		// three-phase shard move (freeze-drain the re-homing ~half of
+		// the keyspace at every gateway, bootstrap the new group's
+		// replicas over the directed anti-entropy pull, publish the new
+		// epoch) while the nemesis throws ambient packet loss, a
+		// source-replica crash/restart, a destination-replica
+		// crash/restart (the pull chain must re-issue on the fresh
+		// incarnation), a DC partition and a gateway crash/restart into
+		// the move window. Invariants: everything the other scenarios
+		// demand — conservation, version accounting, session reads —
+		// plus exact per-shard lineage convergence on the new owners
+		// and zero lost or duplicated applies across the move.
+		Name:        "shard-rebalance",
+		Description: "live shard move onto a new replica group under drops, crashes, a partition and a gateway crash",
+		Gateway:     true,
+		Groups:      1,
+		Rebalance:   &Rebalance{At: 0.30, AddGroup: 1},
+		NodesPerDC:  2,
+		Workload: Workload{
+			Accounts:       30,
+			InitialBalance: 1000,
+			StockKeys:      4,
+			InitialStock:   50000,
+			Items:          8,
+			ReadFrac:       0.20,
+			TransferFrac:   0.35,
+			StockFrac:      0.25,
+		},
+		Clients:  60,
+		Duration: 45 * time.Second,
+		Nemesis: func(r *Run) {
+			crash := func(dc topology.DC, group int) func() {
+				return func() {
+					for i, n := range r.Cluster.Storage {
+						if n.DC == dc && n.Index == group {
+							r.CrashStorage(i)
+						}
+					}
+				}
+			}
+			restart := func(dc topology.DC, group int) func() {
+				return func() {
+					for i, n := range r.Cluster.Storage {
+						if n.DC == dc && n.Index == group {
+							r.RestartStorage(i)
+						}
+					}
+				}
+			}
+			r.At(frac(r, 0.32), "4% packet loss into the move window", func() { r.Net.SetDropProb(0.04) })
+			r.At(frac(r, 0.38), "crash us-west source replica (group 0)", crash(topology.USWest, 0))
+			r.At(frac(r, 0.42), "partition eu-ie (gateway included) from the rest", func() {
+				r.Net.Partition(r.SideIDs(topology.EUIreland), r.OtherSideIDs(topology.EUIreland))
+			})
+			r.At(frac(r, 0.45), "crash ap-tk destination replica (group 1) mid-bootstrap", crash(topology.APTokyo, 1))
+			r.At(frac(r, 0.50), "crash gateway us-east", func() { r.CrashGateway(topology.USEast) })
+			r.At(frac(r, 0.55), "restart us-west source replica", restart(topology.USWest, 0))
+			r.At(frac(r, 0.58), "restart ap-tk destination replica", restart(topology.APTokyo, 1))
+			r.At(frac(r, 0.60), "heal partition", func() { r.Net.HealAll() })
+			r.At(frac(r, 0.62), "restart gateway us-east", func() { r.RestartGateway(topology.USEast) })
+			r.At(frac(r, 0.70), "packet loss off", func() { r.Net.SetDropProb(0) })
+		},
+	},
+	{
 		// The retention-is-not-a-correctness-input proof. The
 		// decided-log content cache is shrunk to 4s while a full data
 		// center sits partitioned for ~55% of the run — many multiples

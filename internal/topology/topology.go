@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mdcc/internal/record"
+	"mdcc/internal/ring"
 	"mdcc/internal/transport"
 )
 
@@ -111,22 +112,32 @@ type Node struct {
 // Cluster is a full deployment: per-DC storage nodes plus clients.
 type Cluster struct {
 	StorageDCs    []DC // usually all 5
-	NodesPerDC    int  // storage nodes (partition shards) per DC
+	NodesPerDC    int  // storage nodes (replica groups) per DC
 	Storage       []Node
 	Clients       []Node
 	Constraints   []record.Constraint
 	classicQuorum int
 	fastQuorum    int
+	// shardRing maps keys to replica groups. Every provisioned group
+	// (0..NodesPerDC-1) is a candidate; the ring's active set says who
+	// owns keys right now, and live moves republish it (see ring.Mover).
+	shardRing *ring.Table
 }
 
 // Layout describes how to build a Cluster.
 type Layout struct {
-	NodesPerDC int // storage nodes per data center (≥1)
+	NodesPerDC int // storage nodes (replica groups) per data center (≥1)
 	Clients    int // total clients, assigned round-robin across DCs
 	// ClientDC pins all clients to one DC (used by the figure-8
 	// failure experiment and Megastore*'s in-paper favor). Negative
 	// means geo-distributed round-robin.
 	ClientDC int
+	// Groups is the number of replica groups active in the initial
+	// shard ring. Zero or out-of-range means all NodesPerDC groups.
+	// A cluster provisioned with more groups than are active can grow
+	// live: a shard move activates a spare group and re-homes its
+	// slice of the keyspace.
+	Groups int
 }
 
 // NewCluster builds the node catalogue for a layout.
@@ -135,6 +146,15 @@ func NewCluster(l Layout) *Cluster {
 		l.NodesPerDC = 1
 	}
 	c := &Cluster{StorageDCs: AllDCs(), NodesPerDC: l.NodesPerDC}
+	active := l.Groups
+	if active <= 0 || active > l.NodesPerDC {
+		active = l.NodesPerDC
+	}
+	groups := make([]int, active)
+	for i := range groups {
+		groups[i] = i
+	}
+	c.shardRing = ring.NewTable(ring.New(groups, ring.DefaultVPoints))
 	for _, dc := range c.StorageDCs {
 		for i := 0; i < l.NodesPerDC; i++ {
 			c.Storage = append(c.Storage, Node{
@@ -180,12 +200,18 @@ func (c *Cluster) FastQuorum() int { return c.fastQuorum }
 // ReplicationFactor returns N (one replica per DC).
 func (c *Cluster) ReplicationFactor() int { return len(c.StorageDCs) }
 
-// Shard maps a record key to its per-DC storage node index by range
-// partitioning over a fowler-noll-vo hash of the key (uniform range
-// partitions of the hash space, stable across DCs).
+// Shard maps a record key to its owning replica group (the per-DC
+// storage node index) under the cluster's current shard ring.
+// Placement is a pure function of the published ring epoch, so every
+// node holding the same epoch routes the key identically; a live move
+// republishing the ring re-homes exactly the moved slice.
 func (c *Cluster) Shard(key record.Key) int {
-	return int(fnv32(string(key)) % uint32(c.NodesPerDC))
+	return c.shardRing.Owner(string(key))
 }
+
+// Ring exposes the cluster's shard ring table: current/staged epochs
+// for routing and fencing, Install for publication by a mover.
+func (c *Cluster) Ring() *ring.Table { return c.shardRing }
 
 // Replicas returns the storage node IDs (one per DC) responsible for
 // a key — the Paxos acceptors for that record.
@@ -243,24 +269,4 @@ func (c *Cluster) LatencyWith(extra map[transport.NodeID]DC) transport.LatencyFu
 	return func(from, to transport.NodeID) time.Duration {
 		return OneWay(dcOf[from], dcOf[to])
 	}
-}
-
-func fnv32(s string) uint32 {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
-	}
-	// Final avalanche (murmur3 fmix32): FNV's low bits correlate for
-	// short structured keys, and Shard uses h mod small numbers.
-	h ^= h >> 16
-	h *= 0x85ebca6b
-	h ^= h >> 13
-	h *= 0xc2b2ae35
-	h ^= h >> 16
-	return h
 }
