@@ -13,6 +13,10 @@
 //	-seed N    simulation seed (default 1)
 //	-out F     JSON output path for the gateway benchmark
 //	           (default BENCH_gateway.json)
+//	-recorder-gate P
+//	           fail if the flight-recorder ablation's committed-tx/s
+//	           delta exceeds P percent in magnitude (CI overhead gate;
+//	           0 disables)
 //
 // Absolute numbers depend on the latency matrix and service-time
 // model (DESIGN.md §6); the claims to check are the *shapes*: who
@@ -36,6 +40,7 @@ var (
 	seed    = flag.Int64("seed", 1, "simulation seed")
 	csvDir  = flag.String("csv", "", "also write raw series as CSV files into this directory")
 	jsonOut = flag.String("out", "BENCH_gateway.json", "JSON output path for the gateway benchmark")
+	recGate = flag.Float64("recorder-gate", 0, "fail (exit 1) if the flight-recorder ablation's |tx/s delta| exceeds this percentage (0 = no gate)")
 )
 
 func main() {
@@ -139,6 +144,26 @@ func gatewayBench() {
 		row(mg.Multi)
 		fmt.Printf("capacity scaling: %.2fx committed tx/s at %dx replica groups\n", mg.ScalingTPS, mg.Groups)
 	}
+	gateFailed := false
+	if a := cmp.Recorder; a != nil {
+		fmt.Printf("\nflight-recorder ablation (headline gateway arm, recorder off vs on):\n")
+		row(a.Off)
+		row(a.On)
+		fmt.Printf("recorder overhead: %+.3f%% committed tx/s (virtual), wall %s -> %s (%+.1f%%), %d events recorded\n",
+			a.TPSDeltaPct, a.WallOff, a.WallOn, a.WallOverheadPct, a.RecorderEvents)
+		if *recGate > 0 {
+			delta := a.TPSDeltaPct
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > *recGate {
+				fmt.Fprintf(os.Stderr, "mdcc-bench: recorder overhead gate FAILED: |%.3f%%| > %.3f%%\n", a.TPSDeltaPct, *recGate)
+				gateFailed = true
+			} else {
+				fmt.Printf("recorder overhead gate passed: |%.3f%%| <= %.3f%%\n", a.TPSDeltaPct, *recGate)
+			}
+		}
+	}
 	if s := cmp.Scarce; s != nil {
 		fmt.Printf("scarce stock arm: %d commits %d aborts, %d demarcation rejects at acceptors", s.Commits, s.Aborts, s.DemarcationRejects)
 		if g := s.Gateway; g != nil {
@@ -157,6 +182,9 @@ func gatewayBench() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *jsonOut)
+	if gateFailed {
+		os.Exit(1)
+	}
 }
 
 func scale() bench.Scale {

@@ -8,6 +8,11 @@
 // set and del perform an optimistic read-modify-write (retried on
 // conflict); inc issues a commutative delta that commits in one
 // wide-area round trip.
+//
+// -timing prints each operation's end-to-end latency; -n repeats a
+// get or inc and summarizes the latency distribution (log-bucketed
+// p50/p99/max) — the client-side end of the server's /trace and
+// /metrics phase histograms when chasing a slow deployment.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"mdcc"
+	"mdcc/internal/stats"
 )
 
 var (
@@ -28,6 +34,8 @@ var (
 	clientID = flag.String("id", fmt.Sprintf("cli-%d", os.Getpid()), "unique client id")
 	listen   = flag.String("listen", "127.0.0.1:0", "local reply address")
 	retries  = flag.Int("retries", 5, "optimistic retry attempts for set/del")
+	timing   = flag.Bool("timing", false, "print each operation's end-to-end latency")
+	repeat   = flag.Int("n", 1, "repeat a get or inc N times and print a latency summary (p50/p99/max)")
 )
 
 func main() {
@@ -59,15 +67,31 @@ func main() {
 	cmd, key := flag.Arg(0), mdcc.Key(flag.Arg(1))
 	switch cmd {
 	case "get":
-		val, ver, exists, err := sess.Read(key)
-		if err != nil {
-			log.Fatal(err)
+		var hist *stats.Histogram
+		if *repeat > 1 {
+			hist = stats.NewHistogram(0)
 		}
-		if !exists {
-			fmt.Printf("%s: not found (version %d)\n", key, ver)
-			os.Exit(1)
+		for i := 0; i < *repeat; i++ {
+			t0 := time.Now()
+			val, ver, exists, err := sess.Read(key)
+			took := time.Since(t0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if hist != nil {
+				hist.Add(int64(took))
+				continue
+			}
+			if *timing {
+				log.Printf("read took %s", took.Round(time.Microsecond))
+			}
+			if !exists {
+				fmt.Printf("%s: not found (version %d)\n", key, ver)
+				os.Exit(1)
+			}
+			fmt.Printf("%s = %s (version %d)\n", key, val, ver)
 		}
-		fmt.Printf("%s = %s (version %d)\n", key, val, ver)
+		summarize("read", hist)
 
 	case "set":
 		attrs, err := parseAttrs(flag.Args()[2:])
@@ -97,7 +121,30 @@ func main() {
 		if len(deltas) == 0 {
 			log.Fatal("inc needs at least one attr=delta")
 		}
-		ok, err := sess.Commit(mdcc.Commutative(key, deltas))
+		var hist *stats.Histogram
+		if *repeat > 1 {
+			hist = stats.NewHistogram(0)
+		}
+		var ok bool
+		for i := 0; i < *repeat; i++ {
+			t0 := time.Now()
+			ok, err = sess.Commit(mdcc.Commutative(key, deltas))
+			took := time.Since(t0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if hist != nil {
+				if !ok {
+					log.Fatalf("inc %d/%d ABORTED; stopping the latency run", i+1, *repeat)
+				}
+				hist.Add(int64(took))
+				continue
+			}
+			if *timing {
+				log.Printf("commit took %s", took.Round(time.Microsecond))
+			}
+		}
+		summarize("commit", hist)
 		report(ok, err)
 
 	case "del":
@@ -131,6 +178,18 @@ func parseAttrs(args []string) (map[string]int64, error) {
 		out[name] = v
 	}
 	return out, nil
+}
+
+// summarize prints the -n latency run's distribution. Nil hist (a
+// single-shot invocation) is a no-op.
+func summarize(op string, hist *stats.Histogram) {
+	if hist == nil {
+		return
+	}
+	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	fmt.Printf("%s latency over %d ops: p50=%.1fms p99=%.1fms max=%.1fms mean=%.1fms\n",
+		op, hist.N, ms(hist.Quantile(0.50)), ms(hist.Quantile(0.99)), ms(hist.Max),
+		hist.Mean()/float64(time.Millisecond))
 }
 
 func report(ok bool, err error) {

@@ -2,6 +2,18 @@
 //
 //	GET /healthz  — liveness probe ("ok")
 //	GET /metrics  — JSON snapshot of this server's counters
+//	GET /trace    — flight-recorder diagnosis bundle (with -trace):
+//	                recent retained transaction traces, slowest first,
+//	                one Compact timeline per line; ?full=1 switches to
+//	                the multi-line per-event rendering
+//	GET /debug/pprof/*  — standard Go profiling endpoints (with
+//	                -profile): profile, heap, goroutine, block, mutex,
+//	                cmdline, symbol, trace. Block and mutex profiling
+//	                rates are enabled by the flag.
+//
+// Once shutdown begins every endpoint answers 503 instead of racing
+// the closing stores (a request in flight when SIGTERM landed used to
+// read half-closed state and emit partial JSON).
 //
 // /metrics schema (fields are stable; additions are
 // backwards-compatible):
@@ -91,43 +103,109 @@
 //	                                      // epoch or frozen moving shard)
 //	    "ringEpoch": 0                    // gauge: ring epoch the gateway
 //	                                      // last observed
-//	  }
+//	  },
+//	  "phases": [{                        // present only with -trace:
+//	    "phase": "vote[dc2]",             // pipeline phase, split per DC
+//	                                      // where meaningful (gateway-
+//	                                      // queue, quorum, vote,
+//	                                      // visibility, end-to-end)
+//	    "n": 0,                           // samples
+//	    "p50Ms": 0.0, "p99Ms": 0.0,       // log-bucketed quantiles
+//	    "maxMs": 0.0, "meanMs": 0.0
+//	  }],
+//	  "traceEvents": 0,                   // flight-recorder events since
+//	                                      // boot (with -trace)
+//	  "traceRetained": 0                  // assembled timelines held for
+//	                                      // /trace (with -trace)
 //	}
 package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
 
 	"mdcc/internal/core"
 	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
-// serveHTTP exposes the operational endpoints documented above.
+// opsState gates the operational endpoints across shutdown. Handlers
+// hold the read lock for their whole body, so Close() — taken before
+// main tears down the stores, transport and gateway — both flips the
+// flag and waits out any request already reading them.
+type opsState struct {
+	mu     sync.RWMutex
+	closed bool
+}
+
+// Close marks the server as shutting down and waits for in-flight
+// handlers to drain. Safe to call on a nil receiver (no -http).
+func (s *opsState) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// guard wraps a handler with the shutdown gate: after Close(), the
+// endpoint answers 503 instead of racing the closing stores.
+func (s *opsState) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.closed {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// serveHTTP starts the operational endpoints documented above on their
+// own goroutine and returns the shutdown gate.
 func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.StorageNode,
-	stores []*kv.Store, net *transport.TCP, gw *gateway.Gateway) {
+	stores []*kv.Store, net *transport.TCP, gw *gateway.Gateway,
+	rec *trace.Recorder, profile bool) *opsState {
+	state := &opsState{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", state.guard(func(w http.ResponseWriter, r *http.Request) {
 		type shard struct {
 			Node    string       `json:"node"`
 			Keys    int          `json:"keys"`
 			Puts    int64        `json:"puts"`
 			Metrics core.Metrics `json:"protocol"`
 		}
+		type phaseOut struct {
+			Phase  string  `json:"phase"`
+			N      int64   `json:"n"`
+			P50Ms  float64 `json:"p50Ms"`
+			P99Ms  float64 `json:"p99Ms"`
+			MaxMs  float64 `json:"maxMs"`
+			MeanMs float64 `json:"meanMs"`
+		}
 		out := struct {
-			DC        string           `json:"dc"`
-			RingEpoch uint64           `json:"ringEpoch"`
-			Shards    []shard          `json:"shards"`
-			Transport transport.Stats  `json:"transport"`
-			Gateway   *gateway.Metrics `json:"gateway,omitempty"`
+			DC            string           `json:"dc"`
+			RingEpoch     uint64           `json:"ringEpoch"`
+			Shards        []shard          `json:"shards"`
+			Transport     transport.Stats  `json:"transport"`
+			Gateway       *gateway.Metrics `json:"gateway,omitempty"`
+			Phases        []phaseOut       `json:"phases,omitempty"`
+			TraceEvents   uint64           `json:"traceEvents,omitempty"`
+			TraceRetained int              `json:"traceRetained,omitempty"`
 		}{DC: dc.String(), RingEpoch: uint64(cl.Ring().Epoch()), Transport: net.Stats()}
 		for i, n := range nodes {
 			out.Shards = append(out.Shards, shard{
@@ -141,13 +219,74 @@ func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.
 			m := gw.Metrics()
 			out.Gateway = &m
 		}
+		if rec != nil {
+			ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+			for _, p := range rec.Phases() {
+				out.Phases = append(out.Phases, phaseOut{
+					Phase:  p.Key.String(),
+					N:      p.Hist.N,
+					P50Ms:  ms(p.Hist.Quantile(0.50)),
+					P99Ms:  ms(p.Hist.Quantile(0.99)),
+					MaxMs:  ms(p.Hist.Max),
+					MeanMs: p.Hist.Mean() / float64(time.Millisecond),
+				})
+			}
+			out.TraceEvents = rec.Events()
+			out.TraceRetained = len(rec.Retained()) + len(rec.Slowest())
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
-	})
-	log.Printf("http endpoints on %s (/healthz, /metrics)", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("http: %v", err)
+	}))
+	mux.HandleFunc("/trace", state.guard(func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "flight recorder off (start mdcc-server with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		full := r.URL.Query().Get("full") != ""
+		seen := make(map[string]bool)
+		emit := func(t *trace.Trace) {
+			if t == nil || (t.Tx != "" && t.Tx != "?" && seen[t.Tx]) {
+				return
+			}
+			seen[t.Tx] = true
+			if full {
+				fmt.Fprintln(w, t.Timeline())
+			} else {
+				fmt.Fprintln(w, t.Compact())
+			}
+		}
+		// Slowest-N first (always populated), then the interesting set:
+		// aborted, outcome-unknown, recovered, wrong-shard-retried, slow.
+		for _, t := range rec.Slowest() {
+			emit(t)
+		}
+		for _, t := range rec.Retained() {
+			emit(t)
+		}
+		if len(seen) == 0 {
+			fmt.Fprintln(w, "(no traces retained yet)")
+		}
+	}))
+	endpoints := "/healthz, /metrics, /trace"
+	if profile {
+		// The standard pprof handlers, mounted explicitly because this
+		// mux is not http.DefaultServeMux. Index serves the named
+		// profiles (heap, goroutine, block, mutex, threadcreate, ...).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		endpoints += ", /debug/pprof/*"
 	}
+	go func() {
+		log.Printf("http endpoints on %s (%s)", addr, endpoints)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("http: %v", err)
+		}
+	}()
+	return state
 }

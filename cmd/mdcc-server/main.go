@@ -21,13 +21,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
+	"time"
 
 	"mdcc"
 	"mdcc/internal/core"
 	"mdcc/internal/gateway"
 	"mdcc/internal/kv"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -45,6 +48,11 @@ var (
 	gwInflight = flag.Int("gateway-max-inflight", 0, "admission: max in-flight transactions (0 = default)")
 	gwReadTier = flag.Bool("gateway-read-tier", true, "serve gateway reads from the DC-local learned replica (visibility-feed materialized memory); false = one RPC per read")
 	gwFeedTTL  = flag.Duration("gateway-feed-ttl", 0, "read tier: max visibility-feed silence before memory reads fall back to RPC (0 = default 2s)")
+
+	profile      = flag.Bool("profile", false, "serve Go pprof endpoints under /debug/pprof/ on -http and enable block/mutex profiling")
+	traceOn      = flag.Bool("trace", false, "run the transaction flight recorder; retained timelines serve on /trace")
+	traceSlow    = flag.Duration("trace-slow", 0, "flight recorder: retain transactions slower than this (0 = default 1s)")
+	traceSlowest = flag.Int("trace-slowest", 0, "flight recorder: always keep the N slowest transactions (0 = default 5)")
 )
 
 func main() {
@@ -103,8 +111,29 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *profile {
+		// Sample every mutex contention event and block events >= 1ms
+		// so /debug/pprof/{mutex,block} have data without a rebuild.
+		runtime.SetMutexProfileFraction(1)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+		log.Printf("profiling on (mutex fraction 1, block rate 1ms)")
+	}
+
 	cfg := core.Defaults(mode)
 	cfg.Constraints = topo.ConstraintList()
+	var rec *trace.Recorder
+	if *traceOn {
+		rec = trace.New(trace.Config{SlowThreshold: *traceSlow, SlowestN: *traceSlowest})
+		cfg.Tracer = rec
+		// Stamp outbound envelopes and merge inbound stamps so the
+		// Lamport order spans servers, not just this process.
+		net.SetTracer(rec)
+		if !trace.Built {
+			log.Printf("flight recorder requested but compiled out (notrace build tag); /trace will be empty")
+		} else {
+			log.Printf("flight recorder on (slow threshold %s)", rec.SlowThreshold())
+		}
+	}
 	cl := topology.NewCluster(topology.Layout{NodesPerDC: topo.NodesPerDC, Clients: 0, ClientDC: -1})
 
 	var stores []*kv.Store
@@ -149,14 +178,18 @@ func main() {
 	}
 	log.Printf("%s serving on %s (shard ring epoch %d, %d active groups)",
 		dc, bound, cl.Ring().Epoch(), len(cl.Ring().Current().Groups()))
+	var ops *opsState
 	if *httpAddr != "" {
-		go serveHTTP(*httpAddr, dc, cl, nodes, stores, net, gw)
+		ops = serveHTTP(*httpAddr, dc, cl, nodes, stores, net, gw, rec, *profile)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	// Gate the HTTP endpoints first: Close waits out in-flight handlers
+	// and flips them to 503, so nothing below races a /metrics scrape.
+	ops.Close()
 	if gw != nil {
 		gw.Close()
 	}

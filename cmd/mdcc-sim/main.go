@@ -8,7 +8,14 @@
 //
 //	mdcc-sim -scenario dc-outage -seed 1
 //	mdcc-sim -scenario all -clients 200 -duration 2m
+//	mdcc-sim -scenario gateway-partition -scenario.trace
 //	mdcc-sim -list
+//
+// -scenario.trace additionally runs the transaction flight recorder
+// and prints assembled cross-node timelines for the N slowest
+// transactions, every retained abort/outcome-unknown, and — on a
+// failed run — the transactions touching each violated invariant's
+// keys.
 //
 // Runs are reproducible: the same scenario, seed and sizing always
 // produce the same commits, aborts and verdict, so any failure can be
@@ -35,6 +42,10 @@ var (
 	noFaults = flag.Bool("no-faults", false, "skip the nemesis schedule (happy-path run)")
 	list     = flag.Bool("list", false, "list scenarios and exit")
 	verbose  = flag.Bool("v", false, "log nemesis events as they fire")
+
+	traceOn      = flag.Bool("scenario.trace", false, "run the transaction flight recorder and print assembled cross-node timelines (slowest-N, every retained abort/unknown, and the transactions behind each invariant violation)")
+	traceSlowest = flag.Int("scenario.trace-slowest", 0, "flight recorder: always keep the N slowest transactions (0 = default 5)")
+	traceSlow    = flag.Duration("scenario.trace-slow", 0, "flight recorder: retain transactions slower than this (0 = default 1s)")
 )
 
 func main() {
@@ -64,12 +75,15 @@ func main() {
 	}
 
 	opts := scenario.Options{
-		Seed:       *seed,
-		Clients:    *clients,
-		NodesPerDC: *nodes,
-		Duration:   *duration,
-		Faults:     !*noFaults,
-		DropProb:   *scnDrop,
+		Seed:         *seed,
+		Clients:      *clients,
+		NodesPerDC:   *nodes,
+		Duration:     *duration,
+		Faults:       !*noFaults,
+		DropProb:     *scnDrop,
+		Trace:        *traceOn,
+		TraceSlowest: *traceSlowest,
+		TraceSlow:    *traceSlow,
 	}
 	if *scnNodes > 0 {
 		opts.NodesPerDC = *scnNodes
@@ -91,6 +105,16 @@ func main() {
 		}
 		fmt.Print(res.Report())
 		fmt.Printf("  wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
+		// With tracing on, print the diagnosis bundle: one assembled
+		// cross-node timeline per retained transaction, plus the
+		// transactions behind each invariant violation.
+		if len(res.Timelines) > 0 {
+			fmt.Printf("--- flight recorder: %d timelines ---\n", len(res.Timelines))
+			for _, tl := range res.Timelines {
+				fmt.Println(tl)
+			}
+			fmt.Println()
+		}
 		if !res.Passed() {
 			failed++
 		}

@@ -10,6 +10,7 @@ import (
 	"mdcc/internal/record"
 	"mdcc/internal/simnet"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -89,18 +90,18 @@ type GatewayScale struct {
 // GatewayPaperScale is the full saturation setting: 1000 sessions.
 func GatewayPaperScale() GatewayScale {
 	return GatewayScale{
-		Sessions:        1000,
-		HotKeys:         4,
-		InitialStock:    50_000_000,
-		NodesPerDC:      2,
-		ServiceTime:     time.Millisecond,
-		Warmup:          10 * time.Second,
-		Measure:         60 * time.Second,
-		ScarceStock:     12_000,
-		ScarceMeasure:   20 * time.Second,
-		ReadFrac:        0.9,
-		ReadWarmup:      5 * time.Second,
-		ReadMeasure:     30 * time.Second,
+		Sessions:      1000,
+		HotKeys:       4,
+		InitialStock:  50_000_000,
+		NodesPerDC:    2,
+		ServiceTime:   time.Millisecond,
+		Warmup:        10 * time.Second,
+		Measure:       60 * time.Second,
+		ScarceStock:   12_000,
+		ScarceMeasure: 20 * time.Second,
+		ReadFrac:      0.9,
+		ReadWarmup:    5 * time.Second,
+		ReadMeasure:   30 * time.Second,
 		// Modest sizing on purpose: the metric is bytes per message
 		// (independent of throughput), and the baseline arm's legacy
 		// lists grow to ~1MB/message — gob-metering them at stampede
@@ -198,7 +199,10 @@ type GatewayComparison struct {
 	// group count at fixed per-group offered load (the one-replica-
 	// group capacity ceiling, broken).
 	MultiGroup *MultiGroupResult `json:"multiGroup,omitempty"`
-	Quick      bool              `json:"quick,omitempty"`
+	// Recorder is the flight-recorder overhead ablation on the
+	// headline gateway arm (tracing must cost <1% committed tx/s).
+	Recorder *RecorderAblation `json:"recorder,omitempty"`
+	Quick    bool              `json:"quick,omitempty"`
 }
 
 // MultiGroupResult is the capacity-scaling arm's harvest: the same
@@ -214,11 +218,30 @@ type MultiGroupResult struct {
 	ScalingTPS float64 `json:"scalingTPS"`
 }
 
+// RecorderAblation proves the flight recorder's overhead bound on the
+// headline gateway arm: the identical seed and sizing run with the
+// recorder off and on. The recorder performs no virtual-time
+// operations and never touches the RNG stream, so virtual committed
+// tx/s must match exactly — TPSDeltaPct is the deterministic CI gate.
+// The recorder's real cost is host CPU, reported as the wall-clock
+// delta (noisy on shared runners; informational).
+type RecorderAblation struct {
+	Off             GatewayRun `json:"off"`
+	On              GatewayRun `json:"on"`
+	TPSDeltaPct     float64    `json:"tpsDeltaPct"` // (on−off)/off × 100, virtual time
+	WallOff         string     `json:"wallOff"`
+	WallOn          string     `json:"wallOn"`
+	WallOverheadPct float64    `json:"wallOverheadPct"`
+	RecorderEvents  uint64     `json:"recorderEvents"`
+}
+
 // GatewaySaturation runs both arms (plus the scarce-stock gateway
-// arm) and compares.
+// arm and the flight-recorder ablation) and compares.
 func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
-	base := runGatewayArm(seed, sc, false)
-	gw := runGatewayArm(seed, sc, true)
+	base := runGatewayArm(seed, sc, false, nil)
+	wall0 := time.Now()
+	gw := runGatewayArm(seed, sc, true, nil)
+	gwWall := time.Since(wall0)
 	cmp := &GatewayComparison{
 		Seed:     seed,
 		Sessions: sc.Sessions,
@@ -233,6 +256,31 @@ func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 	if gw.AcceptorMsgsPerCommit > 0 {
 		cmp.MsgDrop = base.AcceptorMsgsPerCommit / gw.AcceptorMsgsPerCommit
 	}
+	// Flight-recorder ablation: re-run the headline gateway arm with
+	// the recorder wired through the full stack. Virtual TPS must be
+	// bit-identical (the recorder never touches simulated time or the
+	// RNG); wall-clock captures the real CPU cost.
+	{
+		rec := trace.New(trace.Config{})
+		wall1 := time.Now()
+		traced := runGatewayArm(seed, sc, true, rec)
+		tracedWall := time.Since(wall1)
+		traced.Mode = "gateway-traced"
+		abl := &RecorderAblation{
+			Off:            gw,
+			On:             traced,
+			WallOff:        gwWall.Round(time.Millisecond).String(),
+			WallOn:         tracedWall.Round(time.Millisecond).String(),
+			RecorderEvents: rec.Events(),
+		}
+		if gw.TPS > 0 {
+			abl.TPSDeltaPct = (traced.TPS - gw.TPS) / gw.TPS * 100
+		}
+		if gwWall > 0 {
+			abl.WallOverheadPct = (tracedWall.Seconds() - gwWall.Seconds()) / gwWall.Seconds() * 100
+		}
+		cmp.Recorder = abl
+	}
 	if sc.ScarceStock > 0 {
 		scarce := sc
 		scarce.InitialStock = sc.ScarceStock
@@ -240,7 +288,7 @@ func GatewaySaturation(seed int64, sc GatewayScale) *GatewayComparison {
 		if sc.ScarceMeasure > 0 {
 			scarce.Measure = sc.ScarceMeasure
 		}
-		run := runGatewayArm(seed, scarce, true)
+		run := runGatewayArm(seed, scarce, true, nil)
 		run.Mode = "gateway-scarce"
 		cmp.Scarce = &run
 	}
@@ -276,7 +324,7 @@ func multiGroupCapacity(seed int64, sc GatewayScale) *MultiGroupResult {
 		arm.balancePerGroup = sc.MultiHotKeys
 		arm.Warmup = sc.MultiWarmup
 		arm.Measure = sc.MultiMeasure
-		r := runGatewayArm(seed, arm, true)
+		r := runGatewayArm(seed, arm, true, nil)
 		r.Mode = fmt.Sprintf("gateway-%dgroups", groups)
 		return r
 	}
@@ -319,7 +367,10 @@ func balancedHotKeys(cl *topology.Cluster, perGroup int) []record.Key {
 	return keys
 }
 
-func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
+// runGatewayArm drives one closed-loop arm. rec, when non-nil, wires
+// the flight recorder through the whole stack (the recorder-overhead
+// ablation); all production arms pass nil.
+func runGatewayArm(seed int64, sc GatewayScale, useGateway bool, rec *trace.Recorder) GatewayRun {
 	cl := topology.NewCluster(topology.Layout{
 		NodesPerDC: sc.NodesPerDC,
 		Clients:    sc.Sessions,
@@ -341,6 +392,7 @@ func runGatewayArm(seed int64, sc GatewayScale, useGateway bool) GatewayRun {
 		Seed:        seed,
 	})
 	cfg := core.Defaults(core.ModeMDCC)
+	cfg.Tracer = rec
 	cfg.Constraints = []record.Constraint{record.MinBound("units", 0)}
 	// Saturation pushes commit latency past the WAN-tuned defaults;
 	// widen the recovery timeouts (identically for both arms) so the

@@ -10,6 +10,7 @@ package check
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"mdcc/internal/mtx"
@@ -444,4 +445,26 @@ func (h *History) Summary() (commits, aborts int) {
 		}
 	}
 	return commits, aborts
+}
+
+// KeysMentioned returns the subset of known keys that appear verbatim
+// in a violation message, longest match first. Violation strings embed
+// the keys they are about ("check: key stock/03 ..."), so this is how
+// the flight recorder turns a failed invariant into candidate
+// transaction timelines without the checker having to grow a
+// structured error type.
+func KeysMentioned(msg string, known []record.Key) []record.Key {
+	var out []record.Key
+	for _, k := range known {
+		if k != "" && strings.Contains(msg, string(k)) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
 }

@@ -332,3 +332,29 @@ func TestMDCCMixedWorkloadValidates(t *testing.T) {
 		}
 	}
 }
+
+func TestKeysMentioned(t *testing.T) {
+	known := []record.Key{"stock/1", "stock/12", "item/a", ""}
+	cases := []struct {
+		msg  string
+		want []record.Key
+	}{
+		{"check: key stock/12 lost 3 units", []record.Key{"stock/12", "stock/1"}},
+		{"check: key stock/1 version regressed", []record.Key{"stock/1"}},
+		{"delta conservation broke on item/a and stock/1", []record.Key{"stock/1", "item/a"}},
+		{"no keys here", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := KeysMentioned(c.msg, known)
+		if len(got) != len(c.want) {
+			t.Errorf("KeysMentioned(%q) = %v, want %v", c.msg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("KeysMentioned(%q)[%d] = %q, want %q", c.msg, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mdcc/internal/paxos"
 	"mdcc/internal/record"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 	"mdcc/internal/wal"
 )
@@ -27,6 +28,7 @@ type StorageNode struct {
 	store *kv.Store
 	recs  map[record.Key]*recState
 	ldrs  map[record.Key]*leaderRec
+	tr    *trace.Ring // flight-recorder ring, nil when tracing is off
 
 	reqSeq     uint64
 	recoveries map[uint64]*txRecovery
@@ -137,6 +139,7 @@ func NewStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 		cl:           cl,
 		cfg:          cfg,
 		q:            paxos.NewQuorum(cl.ReplicationFactor()),
+		tr:           cfg.Tracer.Ring(string(id), int(dc)),
 		store:        store,
 		recs:         make(map[record.Key]*recState),
 		ldrs:         make(map[record.Key]*leaderRec),
@@ -213,6 +216,7 @@ func (n *StorageNode) dispatch(env transport.Envelope) {
 		n.nBatchEnvelopes++
 		n.nBatchItems += int64(len(m.Items))
 		for _, item := range m.Items {
+			n.cfg.Tracer.ObserveRecv(item.TraceClk)
 			n.handle(item)
 		}
 	case MsgRead:
@@ -406,6 +410,10 @@ func (n *StorageNode) leaderFor(key record.Key) transport.NodeID {
 func (n *StorageNode) onRead(from transport.NodeID, m MsgRead) {
 	val, ver, ok := n.store.Get(m.Key)
 	exists := ok && !val.Tombstone
+	if n.tr != nil {
+		n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Key: string(m.Key),
+			Stage: trace.StageRead, Arg: int64(ver)})
+	}
 	n.net.Send(n.id, from, MsgReadReply{
 		ReqID: m.ReqID, Key: m.Key, Value: val, Version: ver, Exists: exists,
 		Escrow: n.escrowSnap(m.Key, val, ver, from),
@@ -586,6 +594,10 @@ func (n *StorageNode) voteFor(opt Option) MsgVote {
 	// longer owns.
 	if !n.owns(key) {
 		n.nWrongGroupRefusals++
+		if n.tr != nil {
+			n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Tx: string(opt.Tx),
+				Key: string(key), Stage: trace.StageWrongShard})
+		}
 		return MsgVote{OptID: id, Ballot: r.promised, WrongGroup: true}
 	}
 
@@ -599,12 +611,33 @@ func (n *StorageNode) voteFor(opt Option) MsgVote {
 			leader = n.leaderFor(key)
 		}
 		n.nForwarded++
+		if n.tr != nil {
+			n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Tx: string(opt.Tx),
+				Key: string(key), Stage: trace.StageForward})
+		}
 		n.net.Send(n.id, leader, MsgProposeLeader{Opt: opt})
 		return MsgVote{OptID: id, Ballot: r.promised, Forwarded: true, Leader: leader}
 	}
 
+	demBefore := n.nDemarcationRejects
 	dec, reason := n.evalOption(r.votes, opt, true)
 	n.castVote(r, opt, dec, reason)
+	if n.tr != nil {
+		fl := uint8(trace.FlagFast)
+		if dec == DecAccept {
+			fl |= trace.FlagAccept
+		} else {
+			fl |= trace.FlagReject
+		}
+		if n.nDemarcationRejects > demBefore {
+			fl |= trace.FlagDemarcation
+		}
+		if n.dispatchDepth > 0 && !n.cfg.DisableBatching {
+			fl |= trace.FlagBatched // reply rides the vote-batch buffer
+		}
+		n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Tx: string(opt.Tx),
+			Key: string(key), Stage: trace.StageVote, Flags: fl})
+	}
 	return MsgVote{OptID: id, Ballot: r.promised, Decision: dec, Reason: reason}
 }
 
@@ -845,6 +878,20 @@ func (n *StorageNode) onVisibility(m MsgVisibility) {
 	if traceOn(key) {
 		_, ver, _ := n.store.Get(key)
 		tracef("%v %s visibility tx=%s commit=%v ver=%d up=%s", n.net.Now().Unix(), n.id, m.Opt.Tx, m.Commit, ver, m.Opt.Update)
+	}
+	if n.tr != nil {
+		now := n.net.Now()
+		fl := uint8(trace.FlagCommit)
+		if !m.Commit {
+			fl = trace.FlagAbort
+		}
+		n.tr.Add(trace.Event{At: now.UnixNano(), Tx: string(m.Opt.Tx),
+			Key: string(key), Stage: trace.StageVisibility, Flags: fl})
+		// Vote → execution lag: how long the learned option waited
+		// before its side effects became readable here.
+		if at, ok := r.votedAt[id]; ok {
+			n.cfg.Tracer.ObservePhase(trace.PhaseVisibility, int(n.dc), now.Sub(at))
+		}
 	}
 	if m.Commit {
 		n.settleOption(key, r, id, DecAccept, m.Opt, true)

@@ -5,6 +5,7 @@ import (
 
 	"mdcc/internal/record"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 )
 
 // Mode selects which protocol variant runs — the configurations
@@ -118,6 +119,12 @@ type Config struct {
 	// so the lineage-bytes benchmark can measure the old wire format
 	// against the summary one on identical runs.
 	ShipFullLineage bool
+
+	// Tracer, when non-nil, is the transaction flight recorder every
+	// coordinator and storage node appends span events to (see
+	// internal/trace). Nil disables recording at the cost of one nil
+	// check per instrumentation point.
+	Tracer *trace.Recorder
 }
 
 // feedKeepAlive resolves the keepalive interval.

@@ -9,6 +9,7 @@ import (
 	"mdcc/internal/paxos"
 	"mdcc/internal/record"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -26,6 +27,12 @@ type CommitResult struct {
 	Tx        TxID
 	Committed bool
 	Err       error
+	// Recovered reports that at least one option took a recovery hop
+	// (timeout/collision re-propose); Rerouted that at least one was
+	// re-dispatched after a wrong-group refusal. The gateway's flight
+	// recorder folds both into its completion record.
+	Recovered bool
+	Rerouted  bool
 }
 
 // Coordinator is the stateless DB-library side of MDCC: it executes
@@ -42,6 +49,7 @@ type Coordinator struct {
 	cl  *topology.Cluster
 	cfg Config
 	q   paxos.Quorum
+	tr  *trace.Ring // flight-recorder ring, nil when tracing is off
 
 	gen    uint64 // incarnation generation (see NewCoordinatorGen)
 	era    uint64 // lane era (see rotateLane)
@@ -100,6 +108,7 @@ type txCtx struct {
 	remaining int
 	done      func(CommitResult)
 	rejErr    error // typed rejection cause, if any option reported one
+	startAt   int64 // propose time (UnixNano), for the flight recorder
 }
 
 type optCtx struct {
@@ -131,13 +140,14 @@ func NewCoordinator(id transport.NodeID, dc topology.DC, net transport.Network,
 func NewCoordinatorGen(id transport.NodeID, dc topology.DC, net transport.Network,
 	cl *topology.Cluster, cfg Config, gen uint64) *Coordinator {
 	c := &Coordinator{
-		id:    id,
-		dc:    dc,
-		net:   net,
-		cl:    cl,
-		cfg:   cfg,
-		q:     paxos.NewQuorum(cl.ReplicationFactor()),
-		gen:   gen,
+		id:      id,
+		dc:      dc,
+		net:     net,
+		cl:      cl,
+		cfg:     cfg,
+		q:       paxos.NewQuorum(cl.ReplicationFactor()),
+		tr:      cfg.Tracer.Ring(string(id), int(dc)),
+		gen:     gen,
 		reads:   make(map[uint64]*readCtx),
 		txs:     make(map[TxID]*txCtx),
 		hints:   make(map[record.Key]leaderHint),
@@ -211,6 +221,7 @@ func (c *Coordinator) handle(env transport.Envelope) {
 	switch m := env.Msg.(type) {
 	case transport.Batch:
 		for _, item := range m.Items {
+			c.cfg.Tracer.ObserveRecv(item.TraceClk)
 			c.handle(item)
 		}
 	case MsgReadReply:
@@ -352,6 +363,9 @@ func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
 		remaining: len(updates),
 		done:      done,
 	}
+	if c.tr != nil {
+		t.startAt = c.net.Now().UnixNano()
+	}
 	c.txs[tx] = t
 	// Fast-path proposals for the whole write-set are grouped per
 	// destination node (§7's batching optimization) unless disabled.
@@ -361,6 +375,18 @@ func (c *Coordinator) Commit(updates []record.Update, done func(CommitResult)) {
 			KeySeq: writeSeqs[i], WriteSeqs: writeSeqs}
 		oc := &optCtx{opt: opt, votes: make(map[transport.NodeID]Decision)}
 		t.opts[opt.ID()] = oc
+		if c.tr != nil {
+			var fl uint8
+			if dest, viaLeader := c.route(opt.Update.Key); !viaLeader {
+				fl = trace.FlagFast
+				_ = dest
+				if !c.cfg.DisableBatching {
+					fl |= trace.FlagBatched
+				}
+			}
+			c.tr.Add(trace.Event{At: t.startAt, Tx: string(tx), Key: string(up.Key),
+				Stage: trace.StagePropose, Flags: fl, Arg: int64(c.q.N)})
+		}
 		if dest, viaLeader := c.route(opt.Update.Key); viaLeader {
 			c.net.Send(c.id, dest, MsgProposeLeader{Opt: opt})
 		} else if c.cfg.DisableBatching {
@@ -428,6 +454,10 @@ func (c *Coordinator) startRecovery(t *txCtx, oc *optCtx) {
 	dc := topology.DC((int(masterDC) + oc.attempts) % topology.NumDCs)
 	oc.attempts++
 	c.nRecoveries++
+	if c.tr != nil {
+		c.tr.Add(trace.Event{At: c.net.Now().UnixNano(), Tx: string(t.id), Key: string(key),
+			Stage: trace.StageRecovery, Arg: int64(oc.attempts)})
+	}
 	c.net.Send(c.id, c.cl.ReplicaIn(key, dc), MsgStartRecovery{Key: key, Opt: oc.opt, HasOpt: true})
 	c.armOptionTimer(t, oc)
 }
@@ -454,6 +484,10 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 		// the option under the current ring — once; if the refusal
 		// recurs the option timer's recovery path takes over.
 		key := m.OptID.Key
+		if c.tr != nil {
+			c.tr.Add(trace.Event{At: c.net.Now().UnixNano(), Tx: string(t.id), Key: string(key),
+				Stage: trace.StageWrongShard})
+		}
 		delete(c.hints, key)
 		if !oc.rerouted {
 			oc.rerouted = true
@@ -478,6 +512,13 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 		return
 	}
 	oc.votes[from] = m.Decision
+	if c.tr != nil {
+		// Per-DC vote round trip: propose time → this voter's reply.
+		if vdc, ok := c.cl.NodeDC(from); ok {
+			c.cfg.Tracer.ObservePhase(trace.PhaseVote, int(vdc),
+				time.Duration(c.net.Now().UnixNano()-t.startAt))
+		}
+	}
 	if m.Decision == DecAccept {
 		oc.accepts++
 	} else {
@@ -489,6 +530,7 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 	switch {
 	case c.q.FastLearned(oc.accepts):
 		c.nFastLearns++
+		c.learnEvent(t, oc, DecAccept, true)
 		c.learn(t, oc, DecAccept)
 	case c.q.FastLearned(oc.rejects):
 		c.nFastLearns++
@@ -501,6 +543,7 @@ func (c *Coordinator) onVote(from transport.NodeID, m MsgVote) {
 			key := oc.opt.Update.Key
 			c.net.Send(c.id, c.leaderFor(key), MsgStartRecovery{Key: key})
 		}
+		c.learnEvent(t, oc, DecReject, true)
 		c.learn(t, oc, DecReject)
 	case len(oc.votes) == c.q.N:
 		// Collision: no fast quorum is possible in this ballot.
@@ -526,7 +569,29 @@ func (c *Coordinator) onLearned(m MsgLearned) {
 		oc.reason = m.Reason
 	}
 	c.nLeaderLearns++
+	c.learnEvent(t, oc, m.Decision, false)
 	c.learn(t, oc, m.Decision)
+}
+
+// learnEvent records an option's learned decision in the flight
+// recorder, labeled fast (quorum of identical votes) or classic
+// (leader's authoritative MsgLearned).
+func (c *Coordinator) learnEvent(t *txCtx, oc *optCtx, d Decision, fast bool) {
+	if c.tr == nil {
+		return
+	}
+	var fl uint8
+	if fast {
+		fl = trace.FlagFast
+	}
+	if d == DecAccept {
+		fl |= trace.FlagAccept
+	} else {
+		fl |= trace.FlagReject
+	}
+	c.tr.Add(trace.Event{At: c.net.Now().UnixNano(), Tx: string(t.id),
+		Key: string(oc.opt.Update.Key), Stage: trace.StageLearn, Flags: fl,
+		Arg: int64(len(oc.votes))})
 }
 
 // learn finalizes one option and, once the outcome is determined,
@@ -604,6 +669,30 @@ func (c *Coordinator) finish(t *txCtx, commit bool) {
 	res := CommitResult{Tx: t.id, Committed: commit}
 	if !commit {
 		res.Err = t.rejErr
+	}
+	for _, id := range ids {
+		oc := t.opts[id]
+		if oc.attempts > 0 {
+			res.Recovered = true
+		}
+		if oc.rerouted {
+			res.Rerouted = true
+		}
+	}
+	if c.tr != nil {
+		now := c.net.Now().UnixNano()
+		outcome, fl := uint8(trace.FlagCommit), uint8(trace.FlagCommit)
+		if !commit {
+			outcome, fl = trace.FlagAbort, trace.FlagAbort
+		}
+		keys := make([]string, 0, len(ids))
+		for _, id := range ids {
+			keys = append(keys, string(id.Key))
+		}
+		c.tr.Add(trace.Event{At: now, Tx: string(t.id), Stage: trace.StageCommit,
+			Flags: fl, Arg: int64(len(ids))})
+		c.cfg.Tracer.ObservePhase(trace.PhaseQuorum, -1, time.Duration(now-t.startAt))
+		c.cfg.Tracer.Complete(string(t.id), keys, t.startAt, now, outcome, res.Recovered, res.Rerouted, false)
 	}
 	t.done(res)
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mdcc/internal/record"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -279,6 +280,14 @@ func (n *StorageNode) sendFeed(to transport.NodeID, sub *feedSub, items []FeedIt
 	sub.lastSent = n.net.Now()
 	n.nFeedMsgs++
 	n.nFeedItems += int64(len(items))
+	if n.tr != nil && len(items) > 0 {
+		// Tx-less: feed items carry keys, not transactions; timelines
+		// adopt them through their key sets.
+		at := n.net.Now().UnixNano()
+		for _, it := range items {
+			n.tr.Add(trace.Event{At: at, Key: string(it.Key), Stage: trace.StageFeedPub})
+		}
+	}
 	n.net.Send(n.id, to, MsgVisibilityFeed{Epoch: sub.epoch, Seq: sub.seq, Boot: n.feedBoot, Items: items})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mdcc/internal/paxos"
 	"mdcc/internal/record"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -196,6 +197,12 @@ func (n *StorageNode) startPhase1(key record.Key, l *leaderRec) {
 	}
 	ballot := base.Next(string(n.id))
 	l.phase1 = &phase1Ctx{ballot: ballot, replies: make(map[transport.NodeID]MsgPhase1b)}
+	if n.tr != nil {
+		// Node-scoped (tx-less) event: the ballot takeover serves every
+		// queued option on the record; timelines pick it up by key.
+		n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Key: string(key),
+			Stage: trace.StagePhase1, Arg: int64(len(l.queue))})
+	}
 	for _, rep := range n.cl.Replicas(key) {
 		n.net.Send(n.id, rep, MsgPhase1a{Key: key, Ballot: ballot})
 	}
@@ -584,6 +591,15 @@ func (n *StorageNode) sendPhase2a(key record.Key, l *leaderRec) {
 	}
 	if n.cfg.ShipFullLineage {
 		msg.LegacyDecided = decidedList(r.decided)
+	}
+	if n.tr != nil {
+		// One event per option in the broadcast cstruct, so each
+		// transaction's timeline shows its classic-ordering hop.
+		at := n.net.Now().UnixNano()
+		for _, v := range snap {
+			n.tr.Add(trace.Event{At: at, Tx: string(v.Opt.Tx), Key: string(key),
+				Stage: trace.StagePhase2a, Arg: int64(len(snap))})
+		}
 	}
 	for _, rep := range n.cl.Replicas(key) {
 		n.net.Send(n.id, rep, msg)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mdcc/internal/record"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -123,6 +124,10 @@ func (n *StorageNode) startTxRecovery(opt Option) {
 		deadline:  n.net.Now().Add(n.cfg.OptionTimeout),
 	}
 	n.recoveries[reqID] = rec
+	if n.tr != nil {
+		n.tr.Add(trace.Event{At: n.net.Now().UnixNano(), Tx: string(opt.Tx),
+			Key: string(opt.Update.Key), Stage: trace.StageTxRecover, Arg: int64(len(keys))})
+	}
 	for i, k := range keys {
 		m := MsgRecoverOpt{ReqID: reqID, Tx: opt.Tx, Key: k}
 		// The stuck option carries its siblings' lineage identities

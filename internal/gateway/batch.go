@@ -25,6 +25,11 @@ type batcher struct {
 	on     transport.NodeID // timer anchor (the gateway's node)
 	window time.Duration
 	max    int
+	// tracer, when set, stamps each buffered item's Lamport clock at
+	// buffering time: a Batch envelope's outer stamp is applied at
+	// flush, which would otherwise order all inner items after sends
+	// that happened between buffering and flush.
+	tracer transport.WireTracer
 
 	mu  sync.Mutex
 	buf map[transport.NodeID][]transport.Envelope
@@ -62,8 +67,12 @@ func (b *batcher) Send(from, to transport.NodeID, msg transport.Message) {
 		b.inner.Send(from, to, msg)
 		return
 	}
+	e := transport.Envelope{From: from, To: to, Msg: msg}
+	if b.tracer != nil {
+		e.TraceClk = b.tracer.StampSend()
+	}
 	b.mu.Lock()
-	q := append(b.buf[to], transport.Envelope{From: from, To: to, Msg: msg})
+	q := append(b.buf[to], e)
 	b.buf[to] = q
 	if len(q) >= b.max {
 		b.flushLocked(to)

@@ -59,6 +59,7 @@ import (
 	"mdcc/internal/record"
 	"mdcc/internal/ring"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -352,6 +353,7 @@ type waiter struct {
 	up    record.Update
 	track []outTrack
 	done  func(committed bool, err error)
+	span  *gwSpan
 }
 
 // mergeWindow accumulates commutative deltas for one hot key.
@@ -419,6 +421,16 @@ type keyState struct {
 type queuedTx struct {
 	updates []record.Update
 	done    func(bool, error)
+	span    *gwSpan
+}
+
+// gwSpan carries one admitted transaction's flight-recorder context
+// from submission to settlement. nil whenever tracing is off, so every
+// site pays one nil check.
+type gwSpan struct {
+	subAt int64    // submit wall time (transport clock, UnixNano)
+	loSeq uint64   // Lamport seq of the first gateway event for this tx
+	keys  []string // write-set keys
 }
 
 // Gateway is one data center's transaction gateway. Entry points
@@ -434,6 +446,7 @@ type Gateway struct {
 	cfg  core.Config
 	tun  Tuning
 	q    paxos.Quorum
+	tr   *trace.Ring // flight-recorder ring (nil when tracing is off)
 
 	mu       sync.Mutex
 	coords   []*core.Coordinator
@@ -484,17 +497,28 @@ func New(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg co
 func NewGen(dc topology.DC, net transport.Network, cl *topology.Cluster, coreCfg core.Config, tun Tuning, gen uint64) *Gateway {
 	tun = tun.withDefaults()
 	g := &Gateway{
-		id:   GatewayID(dc),
-		dc:   dc,
-		net:  net,
-		cl:   cl,
-		cfg:  coreCfg,
+		id:      GatewayID(dc),
+		dc:      dc,
+		net:     net,
+		cl:      cl,
+		cfg:     coreCfg,
 		tun:     tun,
 		q:       paxos.NewQuorum(cl.ReplicationFactor()),
 		keys:    make(map[record.Key]*keyState),
 		pending: make(map[uint64]pendingTx),
 	}
 	g.bnet = newBatcher(net, g.id, tun.BatchWindow, tun.BatchMax)
+	if coreCfg.Tracer != nil {
+		g.tr = coreCfg.Tracer.Ring(string(g.id), int(dc))
+		// The gateway sees the whole admit→ack life of a transaction
+		// (queueing and coalescing included), so it — not the pooled
+		// coordinators — owns flight-recorder completion.
+		coreCfg.Tracer.ClaimTop()
+		// Stamp batched envelope items at buffering time so the Lamport
+		// order survives the wire even when inner items are re-dispatched
+		// out of the outer envelope by a remote process.
+		g.bnet.tracer = coreCfg.Tracer
+	}
 	for i := 0; i < tun.Pool; i++ {
 		co := core.NewCoordinatorGen(coordID(dc, i), dc, g.bnet, cl, coreCfg, gen)
 		// Every pooled coordinator feeds the piggybacked escrow
@@ -587,9 +611,17 @@ func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err 
 	if g.frozen != nil && g.touchesFrozenLocked(updates) {
 		g.m.WrongShardRetries++
 		next := g.frozenNext
+		if g.tr != nil {
+			g.tr.Add(trace.Event{At: g.net.Now().UnixNano(), Key: firstKey(updates),
+				Stage: trace.StageWrongShard, Arg: int64(next)})
+		}
 		g.mu.Unlock()
 		done(false, ring.ErrWrongShard{Epoch: next})
 		return
+	}
+	var span *gwSpan
+	if g.tr != nil {
+		span = &gwSpan{subAt: g.net.Now().UnixNano()}
 	}
 	if g.inflight >= g.tun.MaxInflight {
 		if len(g.queue) >= g.tun.MaxQueue {
@@ -599,36 +631,61 @@ func (g *Gateway) Commit(updates []record.Update, done func(committed bool, err 
 			done(false, ErrOverloaded)
 			return
 		}
-		g.queue = append(g.queue, queuedTx{updates: updates, done: done})
+		if span != nil {
+			span.loSeq = g.tr.Add(trace.Event{At: span.subAt, Key: firstKey(updates),
+				Stage: trace.StageQueue, Arg: int64(len(g.queue) + 1)})
+		}
+		g.queue = append(g.queue, queuedTx{updates: updates, done: done, span: span})
 		if d := int64(len(g.queue)); d > g.m.QueuePeak {
 			g.m.QueuePeak = d
 		}
 		g.mu.Unlock()
 		return
 	}
-	g.startLocked(updates, done)
+	g.startLocked(updates, done, span)
 	g.mu.Unlock()
+}
+
+// firstKey is the representative key for tx-less gateway trace events
+// (multi-key write-sets get their full key list on the completion
+// record instead).
+func firstKey(updates []record.Update) string {
+	if len(updates) == 0 {
+		return ""
+	}
+	return string(updates[0].Key)
 }
 
 // startLocked admits one transaction into the in-flight window and
 // routes it (coalescing or passthrough). The client callback is
 // registered in the pending map until it settles, so a Kill can fail
 // every in-flight transaction with ErrOutcomeUnknown.
-func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
+func (g *Gateway) startLocked(updates []record.Update, done func(bool, error), span *gwSpan) {
 	g.inflight++
-	done = g.registerPendingLocked(updates, done)
+	if span != nil {
+		seq := g.tr.Add(trace.Event{At: g.net.Now().UnixNano(), Key: firstKey(updates),
+			Stage: trace.StageAdmit, Arg: int64(len(updates))})
+		if span.loSeq == 0 {
+			span.loSeq = seq
+		}
+		for _, up := range updates {
+			span.keys = append(span.keys, string(up.Key))
+		}
+	}
+	done = g.registerPendingLocked(updates, done, span)
 	if g.coalescible(updates) {
-		g.coalesceLocked(updates[0], done)
+		g.coalesceLocked(updates[0], done, span)
 		return
 	}
 	g.m.Passthrough++
 	// Passthrough commutative deltas still consume escrow headroom:
 	// account them so window admission on the same keys stays exact.
 	tracks := g.trackOutLocked(updates)
-	g.dispatchLocked(updates, func(ok bool, rerr error) {
-		g.resolveTracks(tracks, ok)
-		g.settle(1, ok)
-		done(ok, rerr)
+	g.dispatchLocked(updates, span, func(r core.CommitResult) {
+		g.resolveTracks(tracks, r.Committed)
+		g.settle(1, r.Committed)
+		g.traceSettle(span, r, 1)
+		done(r.Committed, r.Err)
 	})
 }
 
@@ -638,19 +695,20 @@ func (g *Gateway) startLocked(updates []record.Update, done func(bool, error)) {
 type pendingTx struct {
 	keys []record.Key
 	done func(bool, error)
+	span *gwSpan
 }
 
 // registerPendingLocked wraps a client completion callback with
 // exactly-once semantics keyed by the pending map: whichever of
 // normal settlement and Kill claims the entry first delivers.
-func (g *Gateway) registerPendingLocked(updates []record.Update, done func(bool, error)) func(bool, error) {
+func (g *Gateway) registerPendingLocked(updates []record.Update, done func(bool, error), span *gwSpan) func(bool, error) {
 	g.pendSeq++
 	id := g.pendSeq
 	keys := make([]record.Key, len(updates))
 	for i, up := range updates {
 		keys[i] = up.Key
 	}
-	g.pending[id] = pendingTx{keys: keys, done: done}
+	g.pending[id] = pendingTx{keys: keys, done: done, span: span}
 	return func(ok bool, err error) {
 		g.mu.Lock()
 		p, live := g.pending[id]
@@ -723,11 +781,36 @@ func (g *Gateway) coalescible(updates []record.Update) bool {
 // goroutine without the gateway lock held (rerr is the protocol's
 // typed rejection cause, e.g. core.ErrMixedUpdateKinds, nil for
 // commits and plain aborts).
-func (g *Gateway) dispatchLocked(updates []record.Update, done func(ok bool, rerr error)) {
+func (g *Gateway) dispatchLocked(updates []record.Update, span *gwSpan, done func(r core.CommitResult)) {
 	co := g.nextCoordLocked()
-	g.net.After(co.ID(), 0, func() {
-		co.Commit(updates, func(r core.CommitResult) { done(r.Committed, r.Err) })
-	})
+	if span != nil {
+		now := g.net.Now().UnixNano()
+		g.tr.Add(trace.Event{At: now, Key: firstKey(updates),
+			Stage: trace.StageDispatch, Arg: int64(len(updates))})
+		g.cfg.Tracer.ObservePhase(trace.PhaseGatewayQueue, int(g.dc),
+			time.Duration(now-span.subAt))
+	}
+	g.net.After(co.ID(), 0, func() { co.Commit(updates, done) })
+}
+
+// traceSettle records the client-ack event, the end-to-end latency,
+// and closes the transaction's flight record (the gateway owns
+// completion — see ClaimTop in NewGen). n > 1 reports a merged window
+// settling n client transactions under one protocol transaction.
+func (g *Gateway) traceSettle(span *gwSpan, r core.CommitResult, n int) {
+	if span == nil {
+		return
+	}
+	now := g.net.Now().UnixNano()
+	outcome := uint8(trace.FlagCommit)
+	if !r.Committed {
+		outcome = trace.FlagAbort
+	}
+	g.tr.Add(trace.Event{At: now, Tx: string(r.Tx), Stage: trace.StageAck,
+		Flags: outcome, Arg: int64(n)})
+	g.cfg.Tracer.ObservePhase(trace.PhaseEndToEnd, int(g.dc), time.Duration(now-span.subAt))
+	g.cfg.Tracer.CompleteFrom(string(r.Tx), span.keys, span.loSeq,
+		span.subAt, now, outcome, r.Recovered, r.Rerouted)
 }
 
 // settle returns n in-flight slots, records outcomes, and drains the
@@ -754,7 +837,7 @@ func (g *Gateway) settle(n int, committed bool) {
 			refusedNext = g.frozenNext
 			continue
 		}
-		g.startLocked(next.updates, next.done)
+		g.startLocked(next.updates, next.done, next.span)
 	}
 	g.m.QueueDepth = int64(len(g.queue))
 	g.mu.Unlock()
@@ -849,7 +932,7 @@ func (g *Gateway) foldEscrowLocked(ks *keyState, snap core.EscrowSnap, now time.
 	}
 }
 
-func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
+func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error), span *gwSpan) {
 	key := up.Key
 	ks := g.ks(key)
 	if ks.win != nil && (len(ks.win.waiters) >= g.tun.CoalesceMax || !g.fitsLocked(ks, up)) {
@@ -866,10 +949,11 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 			g.m.CoalesceBypass++
 			g.m.Passthrough++
 			tracks := g.trackOutLocked([]record.Update{up})
-			g.dispatchLocked([]record.Update{up}, func(ok bool, rerr error) {
-				g.resolveTracks(tracks, ok)
-				g.settle(1, ok)
-				done(ok, rerr)
+			g.dispatchLocked([]record.Update{up}, span, func(r core.CommitResult) {
+				g.resolveTracks(tracks, r.Committed)
+				g.settle(1, r.Committed)
+				g.traceSettle(span, r, 1)
+				done(r.Committed, r.Err)
 			})
 			return
 		}
@@ -888,8 +972,12 @@ func (g *Gateway) coalesceLocked(up record.Update, done func(bool, error)) {
 	for attr, d := range up.Deltas {
 		ks.win.sum[attr] += d
 	}
+	if span != nil {
+		g.tr.Add(trace.Event{At: g.net.Now().UnixNano(), Key: string(key),
+			Stage: trace.StageCoalesceJoin, Arg: int64(len(ks.win.waiters) + 1)})
+	}
 	track := g.trackOutLocked([]record.Update{up})
-	ks.win.waiters = append(ks.win.waiters, waiter{up: up, track: track, done: done})
+	ks.win.waiters = append(ks.win.waiters, waiter{up: up, track: track, done: done, span: span})
 }
 
 // fitsLocked is the exact headroom admission: may this gateway hold
@@ -1043,19 +1131,28 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 	}
 	if len(win.waiters) == 1 {
 		w := win.waiters[0]
-		g.dispatchLocked([]record.Update{w.up}, func(ok bool, rerr error) {
-			g.resolveTracks(w.track, ok)
-			g.settle(1, ok)
-			w.done(ok, rerr)
+		g.dispatchLocked([]record.Update{w.up}, w.span, func(r core.CommitResult) {
+			g.resolveTracks(w.track, r.Committed)
+			g.settle(1, r.Committed)
+			g.traceSettle(w.span, r, 1)
+			w.done(r.Committed, r.Err)
 		})
 		return
 	}
 	waiters := win.waiters
 	g.m.MergedOptions++
 	g.m.MergedUpdates += int64(len(waiters))
+	// The merged option's flight record is anchored at the oldest
+	// waiter's submission — the worst client-perceived latency the
+	// window produced.
+	anchor := waiters[0].span
+	if anchor != nil {
+		g.tr.Add(trace.Event{At: g.net.Now().UnixNano(), Key: string(key),
+			Stage: trace.StageCoalesceFlush, Arg: int64(len(waiters))})
+	}
 	merged := record.MergedCommutative(key, win.sum, len(waiters))
-	g.dispatchLocked([]record.Update{merged}, func(ok bool, _ error) {
-		if ok {
+	g.dispatchLocked([]record.Update{merged}, anchor, func(r core.CommitResult) {
+		if r.Committed {
 			// Resolve per waiter, not by the window's net sum: the
 			// outstanding account is sign-split, and a mixed window
 			// (restock + purchase) nets to a sum that would leave
@@ -1064,6 +1161,19 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 				g.resolveTracks(w.track, true)
 			}
 			g.settle(len(waiters), true)
+			if anchor != nil {
+				// One completion for the merged protocol transaction;
+				// every rider still contributes its own end-to-end
+				// latency observation.
+				now := g.net.Now().UnixNano()
+				for _, w := range waiters[1:] {
+					if w.span != nil {
+						g.cfg.Tracer.ObservePhase(trace.PhaseEndToEnd, int(g.dc),
+							time.Duration(now-w.span.subAt))
+					}
+				}
+				g.traceSettle(anchor, r, len(waiters))
+			}
 			for _, w := range waiters {
 				w.done(true, nil)
 			}
@@ -1079,12 +1189,17 @@ func (g *Gateway) flushLocked(key record.Key, ks *keyState) {
 		// over-admitted has already been corrected.
 		g.mu.Lock()
 		g.m.MergeSplits++
+		if anchor != nil {
+			g.tr.Add(trace.Event{At: g.net.Now().UnixNano(), Key: string(key),
+				Stage: trace.StageCoalesceSplit, Arg: int64(len(waiters))})
+		}
 		for _, w := range waiters {
 			w := w
-			g.dispatchLocked([]record.Update{w.up}, func(ok bool, rerr error) {
-				g.resolveTracks(w.track, ok)
-				g.settle(1, ok)
-				w.done(ok, rerr)
+			g.dispatchLocked([]record.Update{w.up}, w.span, func(r core.CommitResult) {
+				g.resolveTracks(w.track, r.Committed)
+				g.settle(1, r.Committed)
+				g.traceSettle(w.span, r, 1)
+				w.done(r.Committed, r.Err)
 			})
 		}
 		g.mu.Unlock()
@@ -1374,19 +1489,41 @@ func (g *Gateway) Kill() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	dones := make([]func(bool, error), 0, len(ids))
+	var spans []*gwSpan
 	for _, id := range ids {
 		dones = append(dones, g.pending[id].done)
+		if sp := g.pending[id].span; sp != nil {
+			spans = append(spans, sp)
+		}
 		delete(g.pending, id)
 	}
 	g.inflight = 0
 	g.m.Aborts += int64(len(queued) + len(dones))
 	g.mu.Unlock()
+	// The killed incarnation's clients never learn these outcomes —
+	// exactly the traces worth keeping. The protocol TxID is unknown
+	// here (the option may or may not have been proposed), so the
+	// assembled timeline rides on the admit seq and the write-set keys.
+	for _, sp := range spans {
+		now := g.net.Now().UnixNano()
+		g.tr.Add(trace.Event{At: now, Key: orFirst(sp.keys), Stage: trace.StageAck,
+			Flags: trace.FlagUnknown})
+		g.cfg.Tracer.CompleteFrom("?", sp.keys, sp.loSeq, sp.subAt, now,
+			trace.FlagUnknown, false, false)
+	}
 	for _, q := range queued {
 		q.done(false, ErrClosed)
 	}
 	for _, d := range dones {
 		d(false, ErrOutcomeUnknown)
 	}
+}
+
+func orFirst(keys []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
 }
 
 // Close rejects the backlog and every parked window with ErrClosed

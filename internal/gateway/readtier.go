@@ -6,6 +6,7 @@ import (
 
 	"mdcc/internal/core"
 	"mdcc/internal/record"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -324,6 +325,12 @@ func (g *Gateway) ReadFloor(key record.Key, floor record.Version, cb func(val re
 		val, ver, exists := ks.val, ks.valVer, ks.valExists
 		ks.readAt = g.net.Now()
 		g.m.LocalReads++
+		if g.tr != nil {
+			// Floored reads trace too: a memory hit is one event, so a
+			// stale-read diagnosis can see which tier answered.
+			g.tr.Add(trace.Event{At: ks.readAt.UnixNano(), Key: string(key),
+				Stage: trace.StageRead, Arg: int64(ver)})
+		}
 		g.mu.Unlock()
 		cb(val, ver, exists)
 		return

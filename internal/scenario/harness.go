@@ -19,6 +19,7 @@ import (
 	"mdcc/internal/simnet"
 	"mdcc/internal/stats"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 	"mdcc/internal/transport"
 )
 
@@ -64,9 +65,9 @@ type Run struct {
 
 	// Live shard-move state (Scenario.Rebalance only); see rebalance.go.
 	mover      *ring.Mover
-	rebMoving  func(record.Key) bool // keys re-homed by the staged epoch
-	rebNext    ring.Epoch            // the staged epoch
-	rebFrozen  bool                  // freeze fence active (freeze..publish)
+	rebMoving  func(record.Key) bool     // keys re-homed by the staged epoch
+	rebNext    ring.Epoch                // the staged epoch
+	rebFrozen  bool                      // freeze fence active (freeze..publish)
 	rebIssued  map[int]*core.StorageNode // storage idx -> incarnation a pull chain was issued on
 	rebDone    map[int]bool              // storage idx -> bootstrap chain complete
 	rebAdopted map[int]int               // storage idx -> keys adopted by its chain
@@ -78,6 +79,12 @@ type Run struct {
 	// mirroring Session.EnableSessionGuarantees, and recomputed
 	// independently by check.ValidateSessionReads from the history.
 	floors []map[record.Key]record.Version
+
+	// rec is the run's flight recorder (Options.Trace only). The whole
+	// simulated cluster is one process, so a single shared Recorder
+	// gives every ring one Lamport clock — timelines assemble in true
+	// causal order without wire stamps.
+	rec *trace.Recorder
 
 	trafficEnd time.Time
 	inflight   int
@@ -156,6 +163,15 @@ func build(s *Scenario, o Options) (*Run, error) {
 	cfg.MasterDC = s.MasterDC
 	cfg.DecidedRetention = s.Retention
 
+	var rec *trace.Recorder
+	if o.Trace {
+		rec = trace.New(trace.Config{
+			SlowestN:      o.TraceSlowest,
+			SlowThreshold: o.TraceSlow,
+		})
+		cfg.Tracer = rec
+	}
+
 	r := &Run{
 		Opts:     o,
 		Net:      net,
@@ -170,6 +186,7 @@ func build(s *Scenario, o Options) (*Run, error) {
 		gwDown:   make(map[topology.DC]bool),
 		gwGen:    make(map[topology.DC]uint64),
 		gwTokens: make(map[uint64]*gwPendingOp),
+		rec:      rec,
 	}
 	if r.Opts.Dir == "" {
 		dir, err := os.MkdirTemp("", "mdcc-scenario-")
@@ -569,9 +586,62 @@ func (r *Run) run() (*Result, error) {
 		}
 	}
 	sort.Strings(res.Violations)
+	if r.rec != nil {
+		res.Phases = r.rec.Phases()
+		res.TraceEvents = r.rec.Events()
+		res.TraceDropped = r.rec.Dropped()
+		res.Timelines = r.assembleTimelines(res.Violations, keys)
+	}
 	r.Opts.Logf("[%s] done: %d commits, %d aborts, %d violations",
 		r.scn.Name, res.Commits, res.Aborts, len(res.Violations))
 	return res, nil
+}
+
+// assembleTimelines renders the run's diagnosis bundle in a fixed
+// order: the N slowest transactions, then every retained trace
+// (aborted / outcome-unknown / recovered / wrong-shard / slow), then —
+// per invariant violation — up to three transactions whose recorded
+// events touch the violation's keys. Deterministic for a fixed seed:
+// retention is count/Lamport-based and the rings are in their final,
+// quiesced state.
+func (r *Run) assembleTimelines(violations []string, touched []record.Key) []string {
+	var out []string
+	seen := make(map[string]bool)
+	emit := func(t *trace.Trace) {
+		if t.Tx != "" && t.Tx != "?" {
+			if seen[t.Tx] {
+				return
+			}
+			seen[t.Tx] = true
+		}
+		out = append(out, t.Timeline())
+	}
+	for _, t := range r.rec.Slowest() {
+		emit(t)
+	}
+	for _, t := range r.rec.Retained() {
+		emit(t)
+	}
+	for _, v := range violations {
+		vkeys := check.KeysMentioned(v, touched)
+		if len(vkeys) == 0 {
+			continue
+		}
+		ks := make([]string, len(vkeys))
+		for i, k := range vkeys {
+			ks[i] = string(k)
+		}
+		block := "violation: " + v + "\n"
+		txs := r.rec.TxsTouching(ks, 3)
+		if len(txs) == 0 {
+			block += "  (no transactions touching its keys remain in the rings)\n"
+		}
+		for _, tx := range txs {
+			block += r.rec.Assemble(tx, ks).Timeline()
+		}
+		out = append(out, block)
+	}
+	return out
 }
 
 // finalState reads the authoritative end-of-run state of a key: the

@@ -28,6 +28,7 @@ import (
 	"mdcc/internal/simnet"
 	"mdcc/internal/stats"
 	"mdcc/internal/topology"
+	"mdcc/internal/trace"
 )
 
 // Options sizes one scenario run. The zero value is filled with the
@@ -59,6 +60,19 @@ type Options struct {
 	Dir string
 	// Logf, when set, receives progress lines (the CLI's -v).
 	Logf func(format string, args ...interface{})
+	// Trace enables the transaction flight recorder for the run: the
+	// result then carries per-phase latency histograms plus assembled
+	// cross-node timelines for the N slowest transactions, every
+	// retained (aborted / outcome-unknown / recovered / wrong-shard /
+	// slow) transaction, and the transactions touching each invariant
+	// violation's keys.
+	Trace bool
+	// TraceSlowest is how many slowest-transaction timelines to keep
+	// (0 means 5).
+	TraceSlowest int
+	// TraceSlow overrides the slow-transaction retention threshold
+	// (0 means the recorder default, 1s of virtual time).
+	TraceSlow time.Duration
 }
 
 // Workload shapes the client traffic of a scenario. Key spaces are
@@ -199,6 +213,20 @@ type Result struct {
 	// Violations are the failed internal/check invariants (empty =
 	// all invariants hold).
 	Violations []string
+
+	// Phases holds the flight recorder's per-stage latency histograms
+	// (Options.Trace runs only; nanosecond values).
+	Phases []trace.PhaseSnapshot
+	// Timelines are the assembled flight-recorder timelines: the N
+	// slowest transactions, then every retained trace, then — per
+	// violation — the transactions touching its keys. Each entry is a
+	// ready-to-print multi-line block.
+	Timelines []string
+	// TraceEvents/TraceDropped report recorder volume: total events
+	// appended and retain-worthy completions lost to the deterministic
+	// assembly budget.
+	TraceEvents  uint64
+	TraceDropped int
 }
 
 // Passed reports whether every invariant held and every transaction
@@ -222,6 +250,17 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "  commit latency ms: p50=%.0f p95=%.0f p99=%.0f max=%.0f\n",
 			r.WriteLat.Percentile(50), r.WriteLat.Percentile(95),
 			r.WriteLat.Percentile(99), r.WriteLat.Max())
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "  phase latency (ms):       %8s %8s %8s %10s\n", "p50", "p99", "max", "n")
+		ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+		for _, p := range r.Phases {
+			h := p.Hist
+			fmt.Fprintf(&b, "    %-21s %8.2f %8.2f %8.2f %10d\n",
+				p.Key.String(), ms(h.Quantile(0.50)), ms(h.Quantile(0.99)), ms(h.Max), h.N)
+		}
+		fmt.Fprintf(&b, "  flight recorder: %d events, %d timelines retained, %d dropped to assembly budget\n",
+			r.TraceEvents, len(r.Timelines), r.TraceDropped)
 	}
 	fmt.Fprintf(&b, "  net: %d delivered, %d dropped (%d prob, %d endpoint, %d partition), %d dup, %d reordered\n",
 		r.Net.Delivered, r.Net.Dropped, r.Net.DroppedProb, r.Net.DroppedEndpoint,

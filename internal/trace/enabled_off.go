@@ -1,0 +1,7 @@
+//go:build notrace
+
+package trace
+
+// Built is false under `-tags notrace`: recording bodies compile to
+// nothing and the recorder becomes a pure pass-through.
+const Built = false

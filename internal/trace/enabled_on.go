@@ -1,0 +1,9 @@
+//go:build !notrace
+
+package trace
+
+// Built reports whether the recorder is compiled in. With the default
+// build it is true; `go build -tags notrace` flips it to false, which
+// makes every Ring.Add body dead code the compiler removes, leaving
+// only the constant test at each call site.
+const Built = true

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// annot renders an event's flag bits in stage context: votes come out
+// as "fast-accept" / "classic-reject+demarcation", outcomes as
+// "commit" / "abort" / "unknown".
+func (ev Event) annot() string {
+	var parts []string
+	switch {
+	case ev.Flags&FlagFast != 0:
+		parts = append(parts, "fast")
+	case ev.Stage == StageVote || ev.Stage == StageLearn || ev.Stage == StagePropose:
+		parts = append(parts, "classic")
+	}
+	if ev.Flags&FlagAccept != 0 {
+		parts = append(parts, "accept")
+	}
+	if ev.Flags&FlagReject != 0 {
+		parts = append(parts, "reject")
+	}
+	s := strings.Join(parts, "-")
+	if ev.Flags&FlagDemarcation != 0 {
+		s += "+demarcation"
+	}
+	if ev.Flags&FlagBatched != 0 {
+		s += "+batched"
+	}
+	if ev.Flags&FlagCommit != 0 {
+		s = joinAnnot(s, "commit")
+	}
+	if ev.Flags&FlagAbort != 0 {
+		s = joinAnnot(s, "abort")
+	}
+	if ev.Flags&FlagUnknown != 0 {
+		s = joinAnnot(s, "unknown")
+	}
+	return s
+}
+
+func joinAnnot(s, w string) string {
+	if s == "" {
+		return w
+	}
+	return s + "," + w
+}
+
+func outcomeName(o uint8) string {
+	switch {
+	case o&FlagCommit != 0:
+		return "commit"
+	case o&FlagAbort != 0:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+func dcName(dc int8) string {
+	if dc < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("dc%d", dc)
+}
+
+// Compact renders the whole timeline as one line — the /trace
+// endpoint's one-timeline-per-line format:
+//
+//	tx=gw0#42 commit 18.2ms [slow] admit@gw0 … vote@us-2(dc0,fast-accept) … ack@gw0
+func (t *Trace) Compact() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx=%s %s %s", orDash(t.Tx), outcomeName(t.Outcome), t.Dur.Round(time.Microsecond))
+	if len(t.Reasons) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(t.Reasons, ","))
+	}
+	for i, ev := range t.Events {
+		if i == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(" → ")
+		}
+		fmt.Fprintf(&b, "%s@%s", ev.Stage, ev.Node)
+		extra := ev.annot()
+		if ev.DC >= 0 || extra != "" {
+			b.WriteByte('(')
+			b.WriteString(dcName(ev.DC))
+			if extra != "" {
+				b.WriteByte(',')
+				b.WriteString(extra)
+			}
+			b.WriteByte(')')
+		}
+	}
+	return b.String()
+}
+
+// Timeline renders the trace as a multi-line causal story: a header
+// followed by one event per line, offset from the first event.
+//
+//	tx gw0#42: commit in 18.2ms, keys [x] — retained: slow
+//	  +0        gw0    dc0  admit          key=x
+//	  +310µs    us-2   dc0  vote           key=x fast-accept
+func (t *Trace) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tx %s: %s in %s", orDash(t.Tx), outcomeName(t.Outcome), t.Dur.Round(time.Microsecond))
+	if len(t.Keys) > 0 {
+		fmt.Fprintf(&b, ", keys [%s]", strings.Join(t.Keys, " "))
+	}
+	if len(t.Reasons) > 0 {
+		fmt.Fprintf(&b, " — retained: %s", strings.Join(t.Reasons, ","))
+	}
+	b.WriteByte('\n')
+	if len(t.Events) == 0 {
+		b.WriteString("  (no events in rings — aged out)\n")
+		return b.String()
+	}
+	base := t.Events[0].At
+	for _, ev := range t.Events {
+		off := time.Duration(ev.At - base).Round(time.Microsecond)
+		fmt.Fprintf(&b, "  +%-10s %-12s %-4s %-14s", off, ev.Node, dcName(ev.DC), ev.Stage)
+		if ev.Key != "" {
+			fmt.Fprintf(&b, " key=%s", ev.Key)
+		}
+		if extra := ev.annot(); extra != "" {
+			fmt.Fprintf(&b, " %s", extra)
+		}
+		if ev.Arg != 0 {
+			fmt.Fprintf(&b, " arg=%d", ev.Arg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

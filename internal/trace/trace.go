@@ -1,0 +1,352 @@
+// Package trace is the transaction flight recorder: a low-overhead
+// event log threaded through the whole MDCC stack (gateway admit →
+// coalesce → dispatch → acceptor votes per DC → leader/recovery hops →
+// quorum learn → visibility → client ack). Components append fixed-size
+// Events into per-node ring buffers; the hot path allocates nothing
+// (Event is a flat struct of small fields and string headers), appends
+// reserve their slot with one atomic fetch-add and serialize only on a
+// striped per-slot lock whose uncontended cost is a single CAS, and
+// every entry point is a no-op on a nil receiver — a run without a
+// Recorder pays one nil check per site. Building with `-tags notrace`
+// turns the package constant Built off and the compiler deletes the
+// recording bodies outright.
+//
+// Retention is tail-based: most transactions complete fast and their
+// events simply age out of the rings. Transactions that are slow
+// (> Config.SlowThreshold), aborted, recovered, wrong-shard-retried or
+// outcome-unknown are assembled — gathered from every ring into one
+// causally ordered Trace — at completion time and kept in a bounded
+// retained set, plus a separate always-kept list of the N slowest.
+// A per-Recorder Lamport clock (shared by all rings) gives events a
+// causal total order that is deterministic on the single-threaded
+// simulator, so the same seed always assembles the same timeline.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies where in the pipeline an event was recorded.
+type Stage uint8
+
+// Pipeline stages, in rough causal order.
+const (
+	StageAdmit         Stage = iota + 1 // gateway admitted the transaction
+	StageQueue                          // gateway queued it behind the inflight cap
+	StageCoalesceJoin                   // update joined a hot-key coalesce window
+	StageCoalesceFlush                  // merged window flushed as one option
+	StageCoalesceSplit                  // rejected merge split and re-run singly
+	StageDispatch                       // handed to a pooled coordinator
+	StagePropose                        // coordinator proposed the option
+	StageForward                        // acceptor forwarded to the record leader (classic window)
+	StageVote                           // acceptor cast a vote
+	StageLearn                          // coordinator learned the option's decision
+	StagePhase1                         // leader opened a classic ballot (takeover)
+	StagePhase2a                        // leader broadcast its cstruct
+	StageRecovery                       // coordinator recovery hop (option timeout/collision)
+	StageTxRecover                      // storage node reconstructed a dangling transaction
+	StageWrongShard                     // wrong-group refusal / reroute under a new ring
+	StageCommit                         // coordinator settled the transaction outcome
+	StageVisibility                     // acceptor executed/discarded the option
+	StageFeedPub                        // visibility feed published the key
+	StageRead                           // (floored) read served
+	StageAck                            // gateway acknowledged the client
+)
+
+var stageNames = [...]string{
+	StageAdmit:         "admit",
+	StageQueue:         "queue",
+	StageCoalesceJoin:  "coalesce-join",
+	StageCoalesceFlush: "coalesce-flush",
+	StageCoalesceSplit: "coalesce-split",
+	StageDispatch:      "dispatch",
+	StagePropose:       "propose",
+	StageForward:       "forward",
+	StageVote:          "vote",
+	StageLearn:         "learn",
+	StagePhase1:        "phase1",
+	StagePhase2a:       "phase2a",
+	StageRecovery:      "recovery",
+	StageTxRecover:     "tx-recover",
+	StageWrongShard:    "wrong-shard",
+	StageCommit:        "outcome",
+	StageVisibility:    "visibility",
+	StageFeedPub:       "feed-pub",
+	StageRead:          "read",
+	StageAck:           "ack",
+}
+
+// String names the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) && stageNames[s] != "" {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Event flag bits. Stages reuse bits where meanings cannot collide.
+const (
+	FlagFast        uint8 = 1 << iota // fast ballot (vs classic/leader path)
+	FlagAccept                        // accept vote / learned accept
+	FlagReject                        // reject vote / learned reject
+	FlagDemarcation                   // demarcation (escrow) verdict involved
+	FlagBatched                       // rode a batch envelope (vote-batch / propose-batch)
+	FlagCommit                        // transaction committed
+	FlagAbort                         // transaction aborted
+	FlagUnknown                       // outcome unknown (client-side process died)
+)
+
+// Event is one span record. All fields are fixed-size or string
+// headers, so appending one allocates nothing.
+type Event struct {
+	Seq   uint64 // per-Recorder Lamport order (causal total order in-process)
+	At    int64  // transport clock, nanoseconds since the Unix epoch
+	Node  string // emitting node
+	Tx    string // transaction id; "" for node-scoped events (feed, phase1)
+	Key   string // record key, when the event concerns one
+	Stage Stage
+	DC    int8 // emitting node's data center, -1 when unknown
+	Flags uint8
+	Arg   int64 // stage-specific detail (attempt count, fan-out, headroom, ...)
+}
+
+// ringStripes is the slot-lock stripe count (power of two).
+const ringStripes = 64
+
+// Ring is one node's event buffer. Appends from the owning node are
+// effectively single-writer (transport handlers are serialized per
+// node), but the ring stays race-free under arbitrary concurrent
+// appenders: slots are reserved with an atomic fetch-add and written
+// under a striped lock, so two appenders contend only if they lap onto
+// the same stripe.
+type Ring struct {
+	rec  *Recorder
+	node string
+	dc   int8
+	mask uint64
+	widx atomic.Uint64
+	lock [ringStripes]sync.Mutex
+	buf  []Event
+}
+
+// Add records one event, stamping its Lamport sequence, node and DC,
+// and returns the assigned sequence (0 when recording is disabled).
+// The gateway pins its admit event's sequence as the assembly lower
+// bound for tx-less events. Safe on a nil ring (disabled recording).
+func (r *Ring) Add(ev Event) uint64 {
+	if !Built || r == nil {
+		return 0
+	}
+	ev.Seq = r.rec.clk.Add(1)
+	ev.Node = r.node
+	ev.DC = r.dc
+	i := r.widx.Add(1) - 1
+	idx := i & r.mask
+	l := &r.lock[idx%ringStripes]
+	l.Lock()
+	r.buf[idx] = ev
+	l.Unlock()
+	if r.rec.watchN.Load() != 0 {
+		r.rec.observe(ev)
+	}
+	return ev.Seq
+}
+
+// Len reports how many events were ever appended (not the retained
+// window size).
+func (r *Ring) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.widx.Load()
+}
+
+// Snapshot copies the ring's currently retained events (oldest first
+// by append order; callers merge-sort by Seq across rings). Events
+// appended concurrently with the snapshot may or may not appear.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	n := r.widx.Load()
+	size := uint64(len(r.buf))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		idx := i & r.mask
+		l := &r.lock[idx%ringStripes]
+		l.Lock()
+		ev := r.buf[idx]
+		l.Unlock()
+		if ev.Seq != 0 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Config sizes a Recorder. The zero value is usable.
+type Config struct {
+	// RingSize is the per-node event capacity (rounded up to a power
+	// of two; 0 means 4096).
+	RingSize int
+	// SlowThreshold is the completion latency above which a committed,
+	// unremarkable transaction is still retained (0 means 1s).
+	SlowThreshold time.Duration
+	// RetainLimit bounds the retained-trace set (0 means 64).
+	RetainLimit int
+	// SlowestN is how many slowest transactions are always kept,
+	// independent of the retained set (0 means 5).
+	SlowestN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize <= 0 {
+		c.RingSize = 4096
+	}
+	// Round up to a power of two for mask indexing.
+	s := 1
+	for s < c.RingSize {
+		s <<= 1
+	}
+	c.RingSize = s
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = time.Second
+	}
+	if c.RetainLimit <= 0 {
+		c.RetainLimit = 64
+	}
+	if c.SlowestN <= 0 {
+		c.SlowestN = 5
+	}
+	return c
+}
+
+// Recorder is one deployment's (or one process's) flight recorder: it
+// owns the per-node rings, the shared Lamport clock, the tail-based
+// retained set and the phase-latency histograms. A nil *Recorder is a
+// valid, fully disabled recorder.
+type Recorder struct {
+	cfg Config
+
+	clk     atomic.Uint64 // Lamport clock, shared by all rings and the wire stamps
+	watchN  atomic.Int32  // live watch entries (hot-path guard)
+	slowBar atomic.Int64  // slowest-N admission bar in ns; -1 while the list isn't full
+	gwTop   atomic.Bool   // a gateway tier owns transaction completion
+
+	mu       sync.Mutex
+	rings    []*Ring
+	byNode   map[string]*Ring
+	watch    []watchEnt // retained traces still absorbing trailing events
+	retained []*Trace   // bounded, oldest first
+	slowest  []*Trace   // sorted by duration descending, ≤ SlowestN
+	budget   int        // remaining full assemblies (determinism-safe bound)
+	dropped  int        // retain-worthy completions lost to budget exhaustion
+
+	phases phaseSet
+}
+
+// New builds a recorder.
+func New(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	rec := &Recorder{
+		cfg:    cfg,
+		byNode: make(map[string]*Ring),
+		budget: 4 * cfg.RetainLimit,
+	}
+	if rec.budget < 256 {
+		rec.budget = 256
+	}
+	rec.slowBar.Store(-1)
+	return rec
+}
+
+// Ring returns (creating on first use) the event ring for a node in
+// data center dc (-1 when the node has none). Nil-safe: a nil recorder
+// returns a nil ring, and every Ring method is nil-safe in turn.
+func (rec *Recorder) Ring(node string, dc int) *Ring {
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if r, ok := rec.byNode[node]; ok {
+		return r
+	}
+	r := &Ring{
+		rec:  rec,
+		node: node,
+		dc:   int8(dc),
+		mask: uint64(rec.cfg.RingSize - 1),
+		buf:  make([]Event, rec.cfg.RingSize),
+	}
+	rec.byNode[node] = r
+	rec.rings = append(rec.rings, r)
+	return r
+}
+
+// Events reports the total events recorded across all rings.
+func (rec *Recorder) Events() uint64 {
+	if rec == nil {
+		return 0
+	}
+	rec.mu.Lock()
+	rings := append([]*Ring(nil), rec.rings...)
+	rec.mu.Unlock()
+	var n uint64
+	for _, r := range rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// SlowThreshold reports the configured slow-transaction bound.
+func (rec *Recorder) SlowThreshold() time.Duration {
+	if rec == nil {
+		return 0
+	}
+	return rec.cfg.SlowThreshold
+}
+
+// ClaimTop marks that a gateway tier sits above the coordinators:
+// coordinator-level completions then only feed histograms, and the
+// gateway's completion (which sees admit→ack, including queueing)
+// drives retention and the slowest-N list.
+func (rec *Recorder) ClaimTop() {
+	if rec == nil {
+		return
+	}
+	rec.gwTop.Store(true)
+}
+
+// StampSend implements the transport wire-tracer hook: it ticks the
+// Lamport clock and returns the stamp for an outgoing envelope.
+func (rec *Recorder) StampSend() uint64 {
+	if rec == nil {
+		return 0
+	}
+	return rec.clk.Add(1)
+}
+
+// ObserveRecv merges a received envelope's Lamport stamp into the
+// local clock (clock = max(clock, stamp)), keeping cross-process
+// event orders causally consistent.
+func (rec *Recorder) ObserveRecv(stamp uint64) {
+	if rec == nil || stamp == 0 {
+		return
+	}
+	for {
+		cur := rec.clk.Load()
+		if cur >= stamp {
+			return
+		}
+		if rec.clk.CompareAndSwap(cur, stamp) {
+			return
+		}
+	}
+}

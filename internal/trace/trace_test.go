@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// needBuilt skips tests that require the recorder to actually record
+// (a notrace build compiles every hook to a no-op — nothing to test
+// beyond that it still builds and is nil-safe).
+func needBuilt(t *testing.T) {
+	t.Helper()
+	if !Built {
+		t.Skip("recorder compiled out (notrace build tag)")
+	}
+}
+
+// TestRingWraparound fills a small ring past capacity and checks the
+// snapshot holds exactly the last RingSize events in append order.
+func TestRingWraparound(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{RingSize: 16})
+	r := rec.Ring("n1", 0)
+	for i := 0; i < 50; i++ {
+		r.Add(Event{Stage: StageVote, Arg: int64(i)})
+	}
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot holds %d events, want 16", len(snap))
+	}
+	for i, ev := range snap {
+		if want := int64(50 - 16 + i); ev.Arg != want {
+			t.Fatalf("snapshot[%d].Arg = %d, want %d (oldest-first order)", i, ev.Arg, want)
+		}
+		if ev.Node != "n1" || ev.Seq == 0 {
+			t.Fatalf("snapshot[%d] missing stamps: %+v", i, ev)
+		}
+		if i > 0 && ev.Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not in Lamport order at %d", i)
+		}
+	}
+}
+
+// TestRingConcurrentAppend hammers one deliberately tiny ring from
+// many goroutines so writers constantly lap each other; run under
+// -race this proves the striped slot locks make wraparound safe.
+func TestRingConcurrentAppend(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{RingSize: 32})
+	r := rec.Ring("n1", 0)
+	const writers, per = 8, 2000
+	var wg, rg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Add(Event{Stage: StageVote, Tx: "t", Arg: int64(w*per + i)})
+			}
+		}(w)
+	}
+	rg.Add(1)
+	go func() { // concurrent readers must also be clean
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if r.Len() != writers*per {
+		t.Fatalf("lost appends: Len = %d, want %d", r.Len(), writers*per)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 32 {
+		t.Fatalf("snapshot holds %d events, want 32", len(snap))
+	}
+}
+
+// TestTailRetention pins the retention predicate: fast commits are
+// dropped; slow, aborted, recovered, wrong-shard and unknown-outcome
+// transactions are kept with the right reasons.
+func TestTailRetention(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{SlowThreshold: time.Millisecond, RetainLimit: 8, SlowestN: 2})
+	r := rec.Ring("n1", 0)
+	at := int64(0)
+	run := func(tx string, dur time.Duration, outcome uint8, recovered, rerouted bool) {
+		start := at
+		r.Add(Event{At: start, Tx: tx, Key: "k", Stage: StagePropose})
+		at += int64(dur)
+		r.Add(Event{At: at, Tx: tx, Stage: StageCommit, Flags: outcome})
+		rec.Complete(tx, []string{"k"}, start, at, outcome, recovered, rerouted, false)
+	}
+	run("fast1", 100*time.Microsecond, FlagCommit, false, false)
+	run("slow1", 5*time.Millisecond, FlagCommit, false, false)
+	run("abort1", 200*time.Microsecond, FlagAbort, false, false)
+	run("rec1", 300*time.Microsecond, FlagCommit, true, false)
+	run("shard1", 250*time.Microsecond, FlagCommit, false, true)
+	run("unk1", 150*time.Microsecond, FlagUnknown, false, false)
+	run("fast2", 120*time.Microsecond, FlagCommit, false, false)
+
+	want := map[string]string{
+		"slow1":  "slow",
+		"abort1": "aborted",
+		"rec1":   "recovered",
+		"shard1": "wrong-shard",
+		"unk1":   "unknown",
+	}
+	got := map[string]*Trace{}
+	for _, tr := range rec.Retained() {
+		got[tr.Tx] = tr
+	}
+	if len(got) != len(want) {
+		t.Fatalf("retained %d traces, want %d: %v", len(got), len(want), got)
+	}
+	for tx, reason := range want {
+		tr := got[tx]
+		if tr == nil {
+			t.Fatalf("transaction %s not retained", tx)
+		}
+		if !tr.hasReason(reason) {
+			t.Fatalf("%s retained with reasons %v, want %q", tx, tr.Reasons, reason)
+		}
+		if len(tr.Events) != 2 {
+			t.Fatalf("%s assembled %d events, want 2", tx, len(tr.Events))
+		}
+	}
+	if _, ok := got["fast1"]; ok {
+		t.Fatalf("fast commit must not be retained")
+	}
+
+	// Slowest-N keeps the two largest durations regardless of retention.
+	slow := rec.Slowest()
+	if len(slow) != 2 || slow[0].Tx != "slow1" || slow[1].Tx != "rec1" {
+		ids := make([]string, len(slow))
+		for i, tr := range slow {
+			ids[i] = fmt.Sprintf("%s(%s)", tr.Tx, tr.Dur)
+		}
+		t.Fatalf("slowest = %v, want [slow1 rec1]", ids)
+	}
+}
+
+// TestTrailingEvents checks the watch mechanism: events recorded after
+// a trace is retained (visibility, feed publishes for its keys) are
+// appended to it, and the watch expires after its Lamport window.
+func TestTrailingEvents(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{SlowThreshold: time.Millisecond, RetainLimit: 4, SlowestN: 1})
+	r := rec.Ring("n1", 0)
+	r.Add(Event{Tx: "a1", Key: "k", Stage: StagePropose})
+	rec.Complete("a1", []string{"k"}, 0, int64(100*time.Microsecond), FlagAbort, false, false, false)
+
+	r.Add(Event{Tx: "a1", Key: "k", Stage: StageVisibility}) // by tx
+	r.Add(Event{Key: "k", Stage: StageFeedPub})              // tx-less, by key
+	r.Add(Event{Key: "other", Stage: StageFeedPub})          // unrelated key
+	r.Add(Event{Tx: "zz", Key: "k", Stage: StageVisibility}) // other tx (tx-bearing, no match)
+
+	tr := rec.Retained()[0]
+	var stages []string
+	for _, ev := range tr.Events {
+		stages = append(stages, ev.Stage.String())
+	}
+	if want := "propose visibility feed-pub"; strings.Join(stages, " ") != want {
+		t.Fatalf("trailing capture got %v, want %q", stages, want)
+	}
+
+	// Push the Lamport clock past the watch window; the watch must die
+	// and later matching events must not be appended.
+	for i := 0; i < watchWindow+1; i++ {
+		r.Add(Event{Stage: StageRead})
+	}
+	if n := rec.watchN.Load(); n != 0 {
+		t.Fatalf("watch still live after window: %d", n)
+	}
+	r.Add(Event{Tx: "a1", Stage: StageAck})
+	if got := len(rec.Retained()[0].Events); got != 3 {
+		t.Fatalf("expired watch still appending: %d events", got)
+	}
+}
+
+// TestGatewayOwnsCompletion: once a gateway claims the top of the
+// stack, coordinator-level completions are ignored so a transaction
+// is retained exactly once.
+func TestGatewayOwnsCompletion(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{SlowThreshold: time.Millisecond})
+	r := rec.Ring("gw", 0)
+	rec.ClaimTop()
+	r.Add(Event{Tx: "t1", Stage: StageAdmit})
+	rec.Complete("t1", nil, 0, int64(time.Microsecond), FlagAbort, false, false, false) // coordinator level
+	if n := len(rec.Retained()); n != 0 {
+		t.Fatalf("coordinator completion retained %d traces despite gateway claim", n)
+	}
+	rec.Complete("t1", nil, 0, int64(time.Microsecond), FlagAbort, false, false, true) // gateway level
+	if n := len(rec.Retained()); n != 1 {
+		t.Fatalf("gateway completion retained %d traces, want 1", n)
+	}
+}
+
+// TestNilRecorderSafe: every entry point must be a no-op on nil.
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	r := rec.Ring("n", 0)
+	r.Add(Event{Stage: StageVote})
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring must record nothing")
+	}
+	rec.Complete("t", nil, 0, 1, FlagCommit, false, false, false)
+	rec.ObservePhase(PhaseQuorum, -1, time.Millisecond)
+	if rec.Phases() != nil || rec.Retained() != nil || rec.Slowest() != nil {
+		t.Fatal("nil recorder must report nothing")
+	}
+	if rec.StampSend() != 0 {
+		t.Fatal("nil recorder must not stamp")
+	}
+	rec.ObserveRecv(7)
+}
+
+// TestRenderers sanity-checks Compact and Timeline output shape.
+func TestRenderers(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{SlowThreshold: time.Millisecond})
+	r := rec.Ring("us-1", 0)
+	r2 := rec.Ring("eu-1", 1)
+	r.Add(Event{At: 0, Tx: "t1", Key: "x", Stage: StageAdmit})
+	r2.Add(Event{At: int64(300 * time.Microsecond), Tx: "t1", Key: "x", Stage: StageVote, Flags: FlagFast | FlagAccept})
+	r.Add(Event{At: int64(900 * time.Microsecond), Tx: "t1", Stage: StageAck, Flags: FlagCommit})
+	rec.Complete("t1", []string{"x"}, 0, int64(2*time.Millisecond), FlagCommit, false, false, false)
+
+	tr := rec.Retained()[0]
+	c := tr.Compact()
+	for _, want := range []string{"tx=t1", "commit", "[slow]", "admit@us-1", "vote@eu-1(dc1,fast-accept)", "ack@us-1"} {
+		if !strings.Contains(c, want) {
+			t.Fatalf("Compact missing %q:\n%s", want, c)
+		}
+	}
+	tl := tr.Timeline()
+	for _, want := range []string{"tx t1: commit in 2ms", "keys [x]", "+300µs", "fast-accept", "dc1"} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("Timeline missing %q:\n%s", want, tl)
+		}
+	}
+}
+
+// TestPhaseHistograms checks DC splits and cross-DC merges.
+func TestPhaseHistograms(t *testing.T) {
+	needBuilt(t)
+	rec := New(Config{})
+	rec.ObservePhase(PhaseVote, 0, time.Millisecond)
+	rec.ObservePhase(PhaseVote, 1, 2*time.Millisecond)
+	rec.ObservePhase(PhaseVote, 1, 3*time.Millisecond)
+	rec.ObservePhase(PhaseQuorum, -1, 4*time.Millisecond)
+	if h := rec.PhaseHistogram(PhaseVote, 1); h == nil || h.N != 2 {
+		t.Fatalf("dc1 vote histogram wrong: %+v", h)
+	}
+	if h := rec.PhaseHistogram(PhaseVote, -1); h == nil || h.N != 3 {
+		t.Fatalf("merged vote histogram wrong: %+v", h)
+	}
+	snaps := rec.Phases()
+	if len(snaps) != 3 {
+		t.Fatalf("Phases() returned %d snapshots, want 3", len(snaps))
+	}
+	if snaps[0].Key.String() != "quorum" || snaps[1].Key.String() != "vote[dc0]" || snaps[2].Key.String() != "vote[dc1]" {
+		t.Fatalf("snapshot order/keys wrong: %v %v %v", snaps[0].Key, snaps[1].Key, snaps[2].Key)
+	}
+}

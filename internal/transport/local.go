@@ -23,7 +23,17 @@ type Local struct {
 	latency LatencyFunc
 	clk     clock.Clock
 	closed  bool
+	tracer  WireTracer
 	stats   statCounters
+}
+
+// SetTracer installs the flight-recorder wire hook. Call before
+// traffic starts; a nil tracer (the default) costs one nil check per
+// message.
+func (l *Local) SetTracer(tr WireTracer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tracer = tr
 }
 
 // mailbox serializes all work (message handling and timer callbacks)
@@ -99,18 +109,25 @@ func (l *Local) enqueue(to NodeID, f func(Handler)) {
 func (l *Local) Send(from, to NodeID, msg Message) {
 	l.mu.RLock()
 	fromFailed := l.failed[from]
+	tracer := l.tracer
 	l.mu.RUnlock()
 	if fromFailed {
 		return
 	}
 	l.stats.countSend(msg)
 	e := Envelope{From: from, To: to, Msg: msg}
+	if tracer != nil {
+		e.TraceClk = tracer.StampSend()
+	}
 	deliver := func() {
 		l.mu.RLock()
 		toFailed := l.failed[to]
 		l.mu.RUnlock()
 		if toFailed {
 			return
+		}
+		if tracer != nil {
+			tracer.ObserveRecv(e.TraceClk)
 		}
 		l.stats.countReceive(e.Msg)
 		l.enqueue(to, func(h Handler) { h(e) })

@@ -50,10 +50,21 @@ type TCP struct {
 	ln     net.Listener
 	clk    clock.Clock
 	closed bool
+	tracer WireTracer
 	stats  statCounters
 
 	// Logf, if set, receives connection diagnostics.
 	Logf func(format string, args ...interface{})
+}
+
+// SetTracer installs the flight-recorder wire hook: outgoing envelopes
+// are stamped with the local Lamport clock and incoming stamps are
+// folded back in, so timelines assembled across processes stay
+// causally ordered. Call before traffic starts.
+func (t *TCP) SetTracer(tr WireTracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracer = tr
 }
 
 // outboundDepth bounds each peer's send queue; overflow drops (WAN
@@ -174,7 +185,11 @@ func (t *TCP) deliverLocal(e Envelope) {
 	}
 	t.mu.RLock()
 	mb, ok := t.local[e.To]
+	tracer := t.tracer
 	t.mu.RUnlock()
+	if tracer != nil {
+		tracer.ObserveRecv(e.TraceClk)
+	}
 	if !ok {
 		t.logf("transport: no local node %s, dropping %T", e.To, e.Msg)
 		return
@@ -216,9 +231,13 @@ func (t *TCP) Send(from, to NodeID, msg Message) {
 	_, isLocal := t.local[to]
 	addr, hasRoute := t.routes[to]
 	closed := t.closed
+	tracer := t.tracer
 	t.mu.RUnlock()
 	if closed {
 		return
+	}
+	if tracer != nil {
+		e.TraceClk = tracer.StampSend()
 	}
 	t.stats.countSend(msg)
 	if isLocal {

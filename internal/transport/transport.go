@@ -30,6 +30,23 @@ type Envelope struct {
 	From NodeID
 	To   NodeID
 	Msg  Message
+	// TraceClk is the sender's flight-recorder Lamport stamp, taken at
+	// Send (or, for Batch items, when the item was buffered). Zero when
+	// tracing is off. Receivers merge it into their own recorder's
+	// clock so cross-process timelines stay causally ordered; gob
+	// ships it like any other field.
+	TraceClk uint64
+}
+
+// WireTracer is the hook a flight recorder (internal/trace.Recorder)
+// implements so transports can propagate causal clocks on the wire:
+// StampSend ticks the local Lamport clock and returns the stamp for an
+// outgoing envelope; ObserveRecv folds a received stamp back in
+// (clock = max(clock, stamp)). Implementations must be safe for
+// concurrent use and cheap enough for every message.
+type WireTracer interface {
+	StampSend() uint64
+	ObserveRecv(clk uint64)
 }
 
 // Handler consumes messages delivered to one node.
