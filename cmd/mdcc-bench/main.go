@@ -45,7 +45,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|live|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,6 +68,8 @@ func main() {
 		fig8()
 	case "gateway":
 		gatewayBench()
+	case "live":
+		liveBench()
 	case "all":
 		fig3()
 		fig4()

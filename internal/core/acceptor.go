@@ -505,7 +505,7 @@ func (n *StorageNode) sendVote(to transport.NodeID, msg transport.Message) {
 		n.net.Send(n.id, to, msg)
 		return
 	}
-	if _, ok := n.voteBuf[to]; !ok {
+	if len(n.voteBuf[to]) == 0 {
 		n.voteOrder = append(n.voteOrder, to)
 	}
 	n.voteBuf[to] = append(n.voteBuf[to], transport.Envelope{From: n.id, To: to, Msg: msg})
@@ -520,11 +520,19 @@ func (n *StorageNode) flushVotes() {
 	}
 	for _, to := range n.voteOrder {
 		items := n.voteBuf[to]
-		delete(n.voteBuf, to)
 		if len(items) == 1 {
-			n.net.Send(n.id, to, items[0].Msg)
+			// Keep the map entry and its backing array: the common
+			// one-vote dispatch then runs allocation-free (destinations
+			// are bounded by the topology, so retained entries are too).
+			msg := items[0].Msg
+			items[0] = transport.Envelope{}
+			n.voteBuf[to] = items[:0]
+			n.net.Send(n.id, to, msg)
 			continue
 		}
+		// The slice escapes into an asynchronously serialized Batch, so
+		// it cannot be reused; the next vote for this peer reallocates.
+		n.voteBuf[to] = nil
 		n.nVoteBatchEnvelopes++
 		n.nVoteBatchItems += int64(len(items))
 		n.net.Send(n.id, to, transport.Batch{Items: items})

@@ -1,0 +1,716 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+// Hand-rolled binary wire codecs for the hot protocol messages (see
+// internal/transport/codec.go for the framing and the versioning
+// rule). The traffic that dominates the wire — fast-path proposals
+// and votes, classic Phase2a/2b, visibility, and the gateway read
+// tier's feed — encodes by hand; cold messages (Phase1a/1b, recovery,
+// anti-entropy) stay on the gob fallback, which also keeps
+// RegisterMessage the only obligation for new message types.
+//
+// Field order is frozen per transport.WireVersion. Conditional fields
+// are guarded by the same booleans the consumers check (EscrowSnap
+// encodes its contents only when Valid; Phase2a's base only under
+// HasBase), so a zero guard with stray populated fields — which no
+// producer emits — would not round-trip.
+
+// Core's wire tag block (16..47; see codec.go for the space).
+const (
+	tagMsgRead uint8 = 16 + iota
+	tagMsgReadReply
+	tagMsgProposeFast
+	tagMsgProposeBatch
+	tagMsgVote
+	tagMsgVoteBatch
+	tagMsgLearned
+	tagMsgVisibility
+	tagMsgVisibilityBatch
+	tagMsgPhase2a
+	tagMsgPhase2b
+	tagMsgVisibilitySub
+	tagMsgVisibilityFeed
+)
+
+// ---- shared sub-encoders ----
+
+// appendSortedInt64Map encodes a string→int64 map sorted by key so
+// equal maps produce identical bytes (golden vectors and
+// cross-replica frame diffing depend on it). The name scratch stays
+// on the stack for the typical handful of attributes, keeping the
+// encode path allocation-free.
+func appendSortedInt64Map(b []byte, m map[string]int64) []byte {
+	b = transport.AppendUvarint(b, uint64(len(m)))
+	if len(m) == 0 {
+		return b
+	}
+	var arr [16]string
+	names := arr[:0]
+	if len(m) > len(arr) {
+		names = make([]string, 0, len(m))
+	}
+	for k := range m {
+		names = append(names, k)
+	}
+	slices.Sort(names)
+	for _, k := range names {
+		b = transport.AppendString(b, k)
+		b = transport.AppendVarint(b, m[k])
+	}
+	return b
+}
+
+// appendValue encodes a record.Value.
+func appendValue(b []byte, v record.Value) []byte {
+	b = appendSortedInt64Map(b, v.Attrs)
+	b = transport.AppendBytes(b, v.Blob)
+	return transport.AppendBool(b, v.Tombstone)
+}
+
+func readValue(r *transport.WireReader) record.Value {
+	var v record.Value
+	n := r.Uvarint()
+	if n > uint64(r.Len()) {
+		return v // reader is latched as corrupt by the next read
+	}
+	if n > 0 {
+		v.Attrs = make(map[string]int64, n)
+		for i := uint64(0); i < n; i++ {
+			k := r.String()
+			v.Attrs[k] = r.Varint()
+		}
+	}
+	v.Blob = r.Bytes()
+	v.Tombstone = r.Bool()
+	return v
+}
+
+// appendDeltas encodes a commutative update's delta map, sorted.
+func appendDeltas(b []byte, deltas map[string]int64) []byte {
+	return appendSortedInt64Map(b, deltas)
+}
+
+func readDeltas(r *transport.WireReader) map[string]int64 {
+	n := r.Uvarint()
+	if n == 0 || n > uint64(r.Len()) {
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		m[k] = r.Varint()
+	}
+	return m
+}
+
+// AppendValueWire encodes one record.Value (exported for the gateway
+// RPC codec, which ships read replies).
+func AppendValueWire(b []byte, v record.Value) []byte { return appendValue(b, v) }
+
+// ReadValueWire decodes one record.Value.
+func ReadValueWire(r *transport.WireReader) record.Value { return readValue(r) }
+
+// AppendUpdateWire encodes one record.Update (exported for the
+// gateway RPC codec, which ships client write-sets).
+func AppendUpdateWire(b []byte, u record.Update) []byte {
+	b = append(b, uint8(u.Kind))
+	b = transport.AppendString(b, string(u.Key))
+	switch u.Kind {
+	case record.KindPhysical:
+		b = transport.AppendUvarint(b, uint64(u.ReadVersion))
+		b = appendValue(b, u.NewValue)
+	case record.KindCommutative:
+		b = appendDeltas(b, u.Deltas)
+		b = transport.AppendUvarint(b, uint64(u.Merged))
+	case record.KindReadCheck:
+		b = transport.AppendUvarint(b, uint64(u.ReadVersion))
+	}
+	return b
+}
+
+// ReadUpdateWire decodes one record.Update.
+func ReadUpdateWire(r *transport.WireReader) record.Update {
+	var u record.Update
+	u.Kind = record.UpdateKind(r.Byte())
+	u.Key = record.Key(r.String())
+	switch u.Kind {
+	case record.KindPhysical:
+		u.ReadVersion = record.Version(r.Uvarint())
+		u.NewValue = readValue(r)
+	case record.KindCommutative:
+		u.Deltas = readDeltas(r)
+		u.Merged = int(r.Uvarint())
+	case record.KindReadCheck:
+		u.ReadVersion = record.Version(r.Uvarint())
+	}
+	return u
+}
+
+func appendOption(b []byte, o Option) []byte {
+	b = transport.AppendString(b, string(o.Tx))
+	b = transport.AppendString(b, string(o.Coord))
+	b = AppendUpdateWire(b, o.Update)
+	b = transport.AppendUvarint(b, uint64(len(o.WriteSet)))
+	for _, k := range o.WriteSet {
+		b = transport.AppendString(b, string(k))
+	}
+	b = transport.AppendUvarint(b, o.KeySeq)
+	b = transport.AppendUvarint(b, uint64(len(o.WriteSeqs)))
+	for _, s := range o.WriteSeqs {
+		b = transport.AppendUvarint(b, s)
+	}
+	return b
+}
+
+func readOption(r *transport.WireReader) Option {
+	var o Option
+	o.Tx = TxID(r.String())
+	o.Coord = transport.NodeID(r.String())
+	o.Update = ReadUpdateWire(r)
+	if n := r.Uvarint(); n > 0 && n <= uint64(r.Len()) {
+		o.WriteSet = make([]record.Key, 0, n)
+		for i := uint64(0); i < n; i++ {
+			o.WriteSet = append(o.WriteSet, record.Key(r.String()))
+		}
+	}
+	o.KeySeq = r.Uvarint()
+	if n := r.Uvarint(); n > 0 && n <= uint64(r.Len()) {
+		o.WriteSeqs = make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			o.WriteSeqs = append(o.WriteSeqs, r.Uvarint())
+		}
+	}
+	return o
+}
+
+func appendBallot(b []byte, bal paxos.Ballot) []byte {
+	b = transport.AppendUvarint(b, bal.N)
+	b = transport.AppendBool(b, bal.Fast)
+	return transport.AppendString(b, bal.Leader)
+}
+
+func readBallot(r *transport.WireReader) paxos.Ballot {
+	var bal paxos.Ballot
+	bal.N = r.Uvarint()
+	bal.Fast = r.Bool()
+	bal.Leader = r.String()
+	return bal
+}
+
+func appendEscrow(b []byte, e EscrowSnap) []byte {
+	b = transport.AppendBool(b, e.Valid)
+	if !e.Valid {
+		return b
+	}
+	b = transport.AppendUvarint(b, uint64(e.Version))
+	b = transport.AppendUvarint(b, uint64(e.Contenders))
+	b = transport.AppendUvarint(b, uint64(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		b = transport.AppendString(b, a.Attr)
+		b = transport.AppendVarint(b, a.Base)
+		b = transport.AppendVarint(b, a.PendDown)
+		b = transport.AppendVarint(b, a.PendUp)
+	}
+	return b
+}
+
+func readEscrow(r *transport.WireReader) EscrowSnap {
+	var e EscrowSnap
+	e.Valid = r.Bool()
+	if !e.Valid {
+		return e
+	}
+	e.Version = record.Version(r.Uvarint())
+	e.Contenders = int(r.Uvarint())
+	if n := r.Uvarint(); n > 0 && n <= uint64(r.Len()) {
+		e.Attrs = make([]AttrEscrow, 0, n)
+		for i := uint64(0); i < n; i++ {
+			e.Attrs = append(e.Attrs, AttrEscrow{
+				Attr: r.String(), Base: r.Varint(),
+				PendDown: r.Varint(), PendUp: r.Varint(),
+			})
+		}
+	}
+	return e
+}
+
+func appendRanges(b []byte, rs []SeqRange) []byte {
+	b = transport.AppendUvarint(b, uint64(len(rs)))
+	for _, sr := range rs {
+		b = transport.AppendUvarint(b, sr.Lo)
+		b = transport.AppendUvarint(b, sr.Hi)
+	}
+	return b
+}
+
+func readRanges(r *transport.WireReader) []SeqRange {
+	n := r.Uvarint()
+	if n == 0 || n > uint64(r.Len()) {
+		return nil
+	}
+	rs := make([]SeqRange, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rs = append(rs, SeqRange{Lo: r.Uvarint(), Hi: r.Uvarint()})
+	}
+	return rs
+}
+
+func appendLineage(b []byte, s LineageSummary) []byte {
+	b = transport.AppendUvarint(b, uint64(len(s.Lanes)))
+	for _, l := range s.Lanes {
+		b = transport.AppendString(b, l.Lane)
+		b = appendRanges(b, l.Done)
+		b = appendRanges(b, l.Rejected)
+	}
+	b = transport.AppendBool(b, s.Deltas)
+	return transport.AppendBool(b, s.Physical)
+}
+
+func readLineage(r *transport.WireReader) LineageSummary {
+	var s LineageSummary
+	if n := r.Uvarint(); n > 0 && n <= uint64(r.Len()) {
+		s.Lanes = make([]LaneLineage, 0, n)
+		for i := uint64(0); i < n; i++ {
+			s.Lanes = append(s.Lanes, LaneLineage{
+				Lane: r.String(), Done: readRanges(r), Rejected: readRanges(r),
+			})
+		}
+	}
+	s.Deltas = r.Bool()
+	s.Physical = r.Bool()
+	return s
+}
+
+// Vote flags byte.
+const (
+	voteFlagForwarded  = 1 << 0
+	voteFlagWrongGroup = 1 << 1
+)
+
+func appendVote(b []byte, v MsgVote) []byte {
+	b = transport.AppendString(b, string(v.OptID.Tx))
+	b = transport.AppendString(b, string(v.OptID.Key))
+	b = appendBallot(b, v.Ballot)
+	b = append(b, uint8(v.Decision), uint8(v.Reason))
+	var flags uint8
+	if v.Forwarded {
+		flags |= voteFlagForwarded
+	}
+	if v.WrongGroup {
+		flags |= voteFlagWrongGroup
+	}
+	b = append(b, flags)
+	b = transport.AppendString(b, string(v.Leader))
+	return appendEscrow(b, v.Escrow)
+}
+
+func readVote(r *transport.WireReader) MsgVote {
+	var v MsgVote
+	v.OptID.Tx = TxID(r.String())
+	v.OptID.Key = record.Key(r.String())
+	v.Ballot = readBallot(r)
+	v.Decision = Decision(r.Byte())
+	v.Reason = RejectReason(r.Byte())
+	flags := r.Byte()
+	v.Forwarded = flags&voteFlagForwarded != 0
+	v.WrongGroup = flags&voteFlagWrongGroup != 0
+	v.Leader = transport.NodeID(r.String())
+	v.Escrow = readEscrow(r)
+	return v
+}
+
+func appendVoted(b []byte, v VotedOption) []byte {
+	b = appendOption(b, v.Opt)
+	return append(b, uint8(v.Decision), uint8(v.Reason))
+}
+
+func readVoted(r *transport.WireReader) VotedOption {
+	var v VotedOption
+	v.Opt = readOption(r)
+	v.Decision = Decision(r.Byte())
+	v.Reason = RejectReason(r.Byte())
+	return v
+}
+
+func appendDecided(b []byte, d DecidedOption) []byte {
+	b = transport.AppendString(b, string(d.ID.Tx))
+	b = transport.AppendString(b, string(d.ID.Key))
+	b = append(b, uint8(d.Decision))
+	b = transport.AppendBool(b, d.HasOpt)
+	if d.HasOpt {
+		b = appendOption(b, d.Opt)
+	}
+	return b
+}
+
+func readDecided(r *transport.WireReader) DecidedOption {
+	var d DecidedOption
+	d.ID.Tx = TxID(r.String())
+	d.ID.Key = record.Key(r.String())
+	d.Decision = Decision(r.Byte())
+	d.HasOpt = r.Bool()
+	if d.HasOpt {
+		d.Opt = readOption(r)
+	}
+	return d
+}
+
+func appendFeedItem(b []byte, it FeedItem) []byte {
+	b = transport.AppendString(b, string(it.Key))
+	b = appendValue(b, it.Value)
+	b = transport.AppendUvarint(b, uint64(it.Version))
+	b = transport.AppendBool(b, it.Exists)
+	return appendEscrow(b, it.Escrow)
+}
+
+func readFeedItem(r *transport.WireReader) FeedItem {
+	var it FeedItem
+	it.Key = record.Key(r.String())
+	it.Value = readValue(r)
+	it.Version = record.Version(r.Uvarint())
+	it.Exists = r.Bool()
+	it.Escrow = readEscrow(r)
+	return it
+}
+
+// ---- per-message WireMessage implementations ----
+
+// WireTag implements transport.WireMessage.
+func (m MsgRead) WireTag() uint8 { return tagMsgRead }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgRead) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.ReqID)
+	return transport.AppendString(b, string(m.Key))
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgReadReply) WireTag() uint8 { return tagMsgReadReply }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgReadReply) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.ReqID)
+	b = transport.AppendString(b, string(m.Key))
+	b = appendValue(b, m.Value)
+	b = transport.AppendUvarint(b, uint64(m.Version))
+	b = transport.AppendBool(b, m.Exists)
+	return appendEscrow(b, m.Escrow)
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgProposeFast) WireTag() uint8 { return tagMsgProposeFast }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgProposeFast) AppendWire(b []byte) []byte { return appendOption(b, m.Opt) }
+
+// WireTag implements transport.WireMessage.
+func (m MsgProposeBatch) WireTag() uint8 { return tagMsgProposeBatch }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgProposeBatch) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, uint64(len(m.Opts)))
+	for _, o := range m.Opts {
+		b = appendOption(b, o)
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgVote) WireTag() uint8 { return tagMsgVote }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVote) AppendWire(b []byte) []byte { return appendVote(b, m) }
+
+// WireTag implements transport.WireMessage.
+func (m MsgVoteBatch) WireTag() uint8 { return tagMsgVoteBatch }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVoteBatch) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, uint64(len(m.Votes)))
+	for _, v := range m.Votes {
+		b = appendVote(b, v)
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgLearned) WireTag() uint8 { return tagMsgLearned }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgLearned) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, string(m.OptID.Tx))
+	b = transport.AppendString(b, string(m.OptID.Key))
+	b = append(b, uint8(m.Decision), uint8(m.Reason))
+	return appendEscrow(b, m.Escrow)
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgVisibility) WireTag() uint8 { return tagMsgVisibility }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVisibility) AppendWire(b []byte) []byte {
+	b = appendOption(b, m.Opt)
+	return transport.AppendBool(b, m.Commit)
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgVisibilityBatch) WireTag() uint8 { return tagMsgVisibilityBatch }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVisibilityBatch) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		b = appendOption(b, it.Opt)
+		b = transport.AppendBool(b, it.Commit)
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgPhase2a) WireTag() uint8 { return tagMsgPhase2a }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgPhase2a) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, string(m.Key))
+	b = appendBallot(b, m.Ballot)
+	b = transport.AppendUvarint(b, m.Seq)
+	b = transport.AppendUvarint(b, uint64(len(m.CStruct)))
+	for _, v := range m.CStruct {
+		b = appendVoted(b, v)
+	}
+	b = transport.AppendBool(b, m.HasBase)
+	if m.HasBase {
+		b = transport.AppendUvarint(b, uint64(m.BaseVersion))
+		b = appendValue(b, m.BaseValue)
+		b = transport.AppendBool(b, m.BaseExists)
+		b = appendLineage(b, m.BaseLineage)
+	}
+	b = transport.AppendUvarint(b, uint64(len(m.LegacyDecided)))
+	for _, d := range m.LegacyDecided {
+		b = appendDecided(b, d)
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgPhase2b) WireTag() uint8 { return tagMsgPhase2b }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgPhase2b) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, string(m.Key))
+	b = appendBallot(b, m.Ballot)
+	b = transport.AppendUvarint(b, m.Seq)
+	b = transport.AppendBool(b, m.OK)
+	if !m.OK {
+		b = appendBallot(b, m.Promised)
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgVisibilitySub) WireTag() uint8 { return tagMsgVisibilitySub }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVisibilitySub) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Epoch)
+	b = transport.AppendUvarint(b, uint64(len(m.CatchUp)))
+	for _, k := range m.CatchUp {
+		b = transport.AppendString(b, string(k))
+	}
+	return b
+}
+
+// WireTag implements transport.WireMessage.
+func (m MsgVisibilityFeed) WireTag() uint8 { return tagMsgVisibilityFeed }
+
+// AppendWire implements transport.WireMessage.
+func (m MsgVisibilityFeed) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Epoch)
+	b = transport.AppendUvarint(b, m.Seq)
+	b = transport.AppendUvarint(b, m.Boot)
+	b = transport.AppendUvarint(b, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		b = appendFeedItem(b, it)
+	}
+	return b
+}
+
+// countGuard rejects a wire count that cannot fit in the remaining
+// frame (each element costs at least one byte), so a corrupt length
+// cannot drive a huge allocation before the decode fails.
+func countGuard(r *transport.WireReader, n uint64, what string) error {
+	if n > uint64(r.Len()) {
+		return fmt.Errorf("core: wire %s count %d exceeds frame", what, n)
+	}
+	return nil
+}
+
+func init() {
+	transport.RegisterWire(tagMsgRead, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgRead
+		m.ReqID = r.Uvarint()
+		m.Key = record.Key(r.String())
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgReadReply, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgReadReply
+		m.ReqID = r.Uvarint()
+		m.Key = record.Key(r.String())
+		m.Value = readValue(r)
+		m.Version = record.Version(r.Uvarint())
+		m.Exists = r.Bool()
+		m.Escrow = readEscrow(r)
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgProposeFast, func(r *transport.WireReader) (transport.Message, error) {
+		return MsgProposeFast{Opt: readOption(r)}, r.Err()
+	})
+	transport.RegisterWire(tagMsgProposeBatch, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgProposeBatch
+		n := r.Uvarint()
+		if err := countGuard(r, n, "propose"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.Opts = make([]Option, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Opts = append(m.Opts, readOption(r))
+			}
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgVote, func(r *transport.WireReader) (transport.Message, error) {
+		return readVote(r), r.Err()
+	})
+	transport.RegisterWire(tagMsgVoteBatch, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgVoteBatch
+		n := r.Uvarint()
+		if err := countGuard(r, n, "vote"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.Votes = make([]MsgVote, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Votes = append(m.Votes, readVote(r))
+			}
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgLearned, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgLearned
+		m.OptID.Tx = TxID(r.String())
+		m.OptID.Key = record.Key(r.String())
+		m.Decision = Decision(r.Byte())
+		m.Reason = RejectReason(r.Byte())
+		m.Escrow = readEscrow(r)
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgVisibility, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgVisibility
+		m.Opt = readOption(r)
+		m.Commit = r.Bool()
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgVisibilityBatch, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgVisibilityBatch
+		n := r.Uvarint()
+		if err := countGuard(r, n, "visibility"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.Items = make([]MsgVisibility, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var it MsgVisibility
+				it.Opt = readOption(r)
+				it.Commit = r.Bool()
+				m.Items = append(m.Items, it)
+			}
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgPhase2a, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgPhase2a
+		m.Key = record.Key(r.String())
+		m.Ballot = readBallot(r)
+		m.Seq = r.Uvarint()
+		n := r.Uvarint()
+		if err := countGuard(r, n, "cstruct"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.CStruct = make([]VotedOption, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.CStruct = append(m.CStruct, readVoted(r))
+			}
+		}
+		m.HasBase = r.Bool()
+		if m.HasBase {
+			m.BaseVersion = record.Version(r.Uvarint())
+			m.BaseValue = readValue(r)
+			m.BaseExists = r.Bool()
+			m.BaseLineage = readLineage(r)
+		}
+		n = r.Uvarint()
+		if err := countGuard(r, n, "decided"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.LegacyDecided = make([]DecidedOption, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.LegacyDecided = append(m.LegacyDecided, readDecided(r))
+			}
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgPhase2b, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgPhase2b
+		m.Key = record.Key(r.String())
+		m.Ballot = readBallot(r)
+		m.Seq = r.Uvarint()
+		m.OK = r.Bool()
+		if !m.OK {
+			m.Promised = readBallot(r)
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgVisibilitySub, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgVisibilitySub
+		m.Epoch = r.Uvarint()
+		n := r.Uvarint()
+		if err := countGuard(r, n, "catchup"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.CatchUp = make([]record.Key, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.CatchUp = append(m.CatchUp, record.Key(r.String()))
+			}
+		}
+		return m, r.Err()
+	})
+	transport.RegisterWire(tagMsgVisibilityFeed, func(r *transport.WireReader) (transport.Message, error) {
+		var m MsgVisibilityFeed
+		m.Epoch = r.Uvarint()
+		m.Seq = r.Uvarint()
+		m.Boot = r.Uvarint()
+		n := r.Uvarint()
+		if err := countGuard(r, n, "feed"); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			m.Items = make([]FeedItem, 0, n)
+			for i := uint64(0); i < n; i++ {
+				m.Items = append(m.Items, readFeedItem(r))
+			}
+		}
+		return m, r.Err()
+	})
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"mdcc/internal/transport"
+)
+
+// Dispatch-path microbenchmarks: run with
+//
+//	go test ./internal/core/ -bench 'Wire' -benchmem
+//
+// CI gates the alloc columns via TestWireEncodeAllocFree below; the
+// benchmarks are the before/after evidence for the codec swap.
+
+func benchEncodeBinary(b *testing.B, msg transport.Message) {
+	b.Helper()
+	e := transport.Envelope{From: "dc1/store0", To: "dc2/app0", Msg: msg}
+	buf, err := transport.AppendEnvelope(nil, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = transport.AppendEnvelope(buf[:0], e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEncodeGob(b *testing.B, msg transport.Message) {
+	b.Helper()
+	e := transport.Envelope{From: "dc1/store0", To: "dc2/app0", Msg: msg}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf) // persistent stream, as tcp.go uses
+	if err := enc.Encode(&e); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.Encode(&e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecodeBinary(b *testing.B, msg transport.Message) {
+	b.Helper()
+	buf, err := transport.AppendEnvelope(nil, transport.Envelope{From: "dc1/store0", To: "dc2/app0", Msg: msg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.DecodeEnvelope(transport.NewWireReader(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodePhase2aBinary(b *testing.B) {
+	benchEncodeBinary(b, wireSamples()["MsgPhase2a"])
+}
+func BenchmarkWireEncodePhase2aGob(b *testing.B) { benchEncodeGob(b, wireSamples()["MsgPhase2a"]) }
+func BenchmarkWireDecodePhase2aBinary(b *testing.B) {
+	benchDecodeBinary(b, wireSamples()["MsgPhase2a"])
+}
+
+func BenchmarkWireEncodeVoteBatchBinary(b *testing.B) {
+	benchEncodeBinary(b, wireSamples()["MsgVoteBatch"])
+}
+func BenchmarkWireEncodeVoteBatchGob(b *testing.B) { benchEncodeGob(b, wireSamples()["MsgVoteBatch"]) }
+func BenchmarkWireDecodeVoteBatchBinary(b *testing.B) {
+	benchDecodeBinary(b, wireSamples()["MsgVoteBatch"])
+}
+
+func BenchmarkWireEncodeFeedBinary(b *testing.B) {
+	benchEncodeBinary(b, wireSamples()["MsgVisibilityFeed"])
+}
+func BenchmarkWireEncodeFeedGob(b *testing.B) { benchEncodeGob(b, wireSamples()["MsgVisibilityFeed"]) }
+
+// TestWireEncodeAllocFree is the allocation gate: encoding a hot
+// message into a reused frame buffer must not allocate. This is what
+// keeps the TCP write loop's steady state allocation-free, and it
+// runs under plain `go test` so CI catches regressions without
+// benchmark plumbing.
+func TestWireEncodeAllocFree(t *testing.T) {
+	samples := wireSamples()
+	for _, name := range []string{"MsgPhase2a", "MsgPhase2b_ok", "MsgVote", "MsgVoteBatch", "MsgVisibilityFeed", "MsgProposeBatch"} {
+		e := transport.Envelope{From: "dc1/store0", To: "dc2/app0", Msg: samples[name]}
+		buf, err := transport.AppendEnvelope(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = transport.AppendEnvelope(buf[:0], e)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s: encode allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mdcc/internal/paxos"
+	"mdcc/internal/record"
+	"mdcc/internal/transport"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire vectors")
+
+// Canonical samples, one per hot message. "Canonical" means the
+// encode-side conventions hold (nil for empty maps/slices, guarded
+// fields zero when their guard is false) so gob and the binary codec
+// agree byte-for-nothing and value-for-value.
+
+func sampleValue() record.Value {
+	return record.Value{
+		Attrs: map[string]int64{"bal": -3, "qty": 41},
+		Blob:  []byte{0xde, 0xad},
+	}
+}
+
+func sampleOption() Option {
+	return Option{
+		Tx:    "tx-7",
+		Coord: "dc1/app0",
+		Update: record.Update{
+			Kind:   record.KindCommutative,
+			Key:    "item#9",
+			Deltas: map[string]int64{"stock": -1},
+			Merged: 2,
+		},
+		WriteSet:  []record.Key{"item#9", "cart#3"},
+		KeySeq:    19,
+		WriteSeqs: []uint64{19, 4},
+	}
+}
+
+func samplePhysicalOption() Option {
+	return Option{
+		Tx:    "tx-8",
+		Coord: "dc2/app1",
+		Update: record.Update{
+			Kind:        record.KindPhysical,
+			Key:         "cust#2",
+			ReadVersion: 11,
+			NewValue:    sampleValue(),
+		},
+		WriteSet: []record.Key{"cust#2"},
+		KeySeq:   12,
+	}
+}
+
+func sampleEscrow() EscrowSnap {
+	return EscrowSnap{
+		Valid:   true,
+		Version: 30,
+		Attrs: []AttrEscrow{
+			{Attr: "stock", Base: 90, PendDown: -5, PendUp: 2},
+		},
+		Contenders: 3,
+	}
+}
+
+func sampleBallot() paxos.Ballot {
+	return paxos.Ballot{N: 6, Fast: true, Leader: "dc1/store0"}
+}
+
+func sampleWireVote() MsgVote {
+	return MsgVote{
+		OptID:     OptionID{Tx: "tx-7", Key: "item#9"},
+		Ballot:    sampleBallot(),
+		Decision:  DecAccept,
+		Forwarded: true,
+		Leader:    "dc1/store0",
+		Escrow:    sampleEscrow(),
+	}
+}
+
+func sampleLineage() LineageSummary {
+	return LineageSummary{
+		Lanes: []LaneLineage{
+			{Lane: "dc1/app0", Done: []SeqRange{{Lo: 1, Hi: 17}}, Rejected: []SeqRange{{Lo: 9, Hi: 9}}},
+			{Lane: "dc2/app1", Done: []SeqRange{{Lo: 1, Hi: 4}}},
+		},
+		Deltas: true,
+	}
+}
+
+// wireSamples lists every hand-serialized core message with a
+// representative value; golden vectors, round-trip and parity tests
+// all iterate it.
+func wireSamples() map[string]transport.Message {
+	return map[string]transport.Message{
+		"MsgRead":         MsgRead{ReqID: 99, Key: "cust#2"},
+		"MsgReadReply":    MsgReadReply{ReqID: 99, Key: "cust#2", Value: sampleValue(), Version: 11, Exists: true, Escrow: sampleEscrow()},
+		"MsgProposeFast":  MsgProposeFast{Opt: sampleOption()},
+		"MsgProposeBatch": MsgProposeBatch{Opts: []Option{sampleOption(), samplePhysicalOption()}},
+		"MsgVote":         sampleWireVote(),
+		"MsgVoteBatch":    MsgVoteBatch{Votes: []MsgVote{sampleWireVote(), {OptID: OptionID{Tx: "tx-8", Key: "cust#2"}, Ballot: paxos.Ballot{N: 7, Leader: "dc2/store1"}, Decision: DecReject, Reason: ReasonMixedKinds, WrongGroup: true}}},
+		"MsgLearned":      MsgLearned{OptID: OptionID{Tx: "tx-7", Key: "item#9"}, Decision: DecAccept, Escrow: sampleEscrow()},
+		"MsgVisibility":   MsgVisibility{Opt: sampleOption(), Commit: true},
+		"MsgVisibilityBatch": MsgVisibilityBatch{Items: []MsgVisibility{
+			{Opt: sampleOption(), Commit: true}, {Opt: samplePhysicalOption()},
+		}},
+		"MsgPhase2a": MsgPhase2a{
+			Key:    "item#9",
+			Ballot: paxos.Ballot{N: 8, Leader: "dc1/store0"},
+			Seq:    3,
+			CStruct: []VotedOption{
+				{Opt: sampleOption(), Decision: DecAccept},
+				{Opt: samplePhysicalOption(), Decision: DecReject, Reason: ReasonMixedKinds},
+			},
+			HasBase:     true,
+			BaseVersion: 17,
+			BaseValue:   sampleValue(),
+			BaseExists:  true,
+			BaseLineage: sampleLineage(),
+			LegacyDecided: []DecidedOption{
+				{ID: OptionID{Tx: "tx-5", Key: "item#9"}, Decision: DecAccept, Opt: sampleOption(), HasOpt: true},
+				{ID: OptionID{Tx: "tx-6", Key: "item#9"}, Decision: DecReject},
+			},
+		},
+		"MsgPhase2b_ok":     MsgPhase2b{Key: "item#9", Ballot: paxos.Ballot{N: 8, Leader: "dc1/store0"}, Seq: 3, OK: true},
+		"MsgPhase2b_nacked": MsgPhase2b{Key: "item#9", Ballot: paxos.Ballot{N: 8, Leader: "dc1/store0"}, Seq: 3, Promised: paxos.Ballot{N: 12, Leader: "dc3/store2"}},
+		"MsgVisibilitySub":  MsgVisibilitySub{Epoch: 2, CatchUp: []record.Key{"item#9", "cust#2"}},
+		"MsgVisibilityFeed": MsgVisibilityFeed{Epoch: 2, Seq: 44, Boot: 1, Items: []FeedItem{
+			{Key: "item#9", Value: sampleValue(), Version: 20, Exists: true, Escrow: sampleEscrow()},
+			{Key: "gone#1", Version: 5},
+		}},
+	}
+}
+
+// TestWireGolden pins every message's encoded bytes to a committed
+// vector, so an accidental field reorder or encoding change — which
+// would break mixed-version deployments without bumping
+// transport.WireVersion — fails loudly. Regenerate deliberately with
+// `go test -run Golden -update ./internal/core/`.
+func TestWireGolden(t *testing.T) {
+	for name, msg := range wireSamples() {
+		wm := msg.(transport.WireMessage)
+		got := hex.EncodeToString(wm.AppendWire(nil))
+		path := filepath.Join("testdata", "wire_golden", name+".hex")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if got != string(bytes.TrimSpace(want)) {
+			t.Errorf("%s: encoding changed\n got %s\nwant %s\nwire format changes require a WireVersion bump and -update", name, got, string(bytes.TrimSpace(want)))
+		}
+	}
+}
+
+// binaryRoundTrip encodes msg in an envelope with the binary codec
+// and decodes it back.
+func binaryRoundTrip(t *testing.T, msg transport.Message) transport.Message {
+	t.Helper()
+	in := transport.Envelope{From: "a", To: "b", TraceClk: 5, Msg: msg}
+	b, err := transport.AppendEnvelope(nil, in)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	out, err := transport.DecodeEnvelope(transport.NewWireReader(b))
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if out.From != in.From || out.To != in.To || out.TraceClk != in.TraceClk {
+		t.Fatalf("envelope header mangled: %+v", out)
+	}
+	return out.Msg
+}
+
+// gobRoundTrip pushes the same envelope through gob, the legacy codec.
+func gobRoundTrip(t *testing.T, msg transport.Message) transport.Message {
+	t.Helper()
+	var buf bytes.Buffer
+	in := transport.Envelope{From: "a", To: "b", Msg: msg}
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatalf("gob encode %T: %v", msg, err)
+	}
+	var out transport.Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode %T: %v", msg, err)
+	}
+	return out.Msg
+}
+
+// TestWireRoundTripParity is the deterministic arm of the parity
+// check: binary decode(encode(m)) == m, and == what gob produces for
+// the same message.
+func TestWireRoundTripParity(t *testing.T) {
+	for name, msg := range wireSamples() {
+		bin := binaryRoundTrip(t, msg)
+		if !reflect.DeepEqual(bin, msg) {
+			t.Errorf("%s: binary round trip mismatch\n got %#v\nwant %#v", name, bin, msg)
+		}
+		gb := gobRoundTrip(t, msg)
+		if !reflect.DeepEqual(bin, gb) {
+			t.Errorf("%s: binary and gob decode disagree\n bin %#v\n gob %#v", name, bin, gb)
+		}
+	}
+}
+
+// TestWireSmallerThanGob asserts the headline the live benchmark
+// reports: the hand-rolled encoding is strictly smaller than a fresh
+// gob stream for the hot messages named in the acceptance criteria.
+func TestWireSmallerThanGob(t *testing.T) {
+	samples := wireSamples()
+	must := []string{"MsgPhase2a", "MsgPhase2b_ok", "MsgVoteBatch", "MsgVisibilityFeed"}
+	for _, name := range must {
+		msg := samples[name]
+		binN, err := transport.EncodedSize(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gobN, err := transport.GobEncodedSize(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binN >= gobN {
+			t.Errorf("%s: binary %dB not smaller than gob %dB", name, binN, gobN)
+		}
+	}
+}
+
+// ---- randomized parity ----
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randAttrs(r *rand.Rand) map[string]int64 {
+	n := r.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("a%d%s", i, randString(r))] = r.Int63n(2001) - 1000
+	}
+	return m
+}
+
+func randWireValue(r *rand.Rand) record.Value {
+	v := record.Value{Attrs: randAttrs(r), Tombstone: r.Intn(4) == 0}
+	if n := r.Intn(6); n > 0 {
+		v.Blob = make([]byte, n)
+		r.Read(v.Blob)
+	}
+	return v
+}
+
+func randUpdate(r *rand.Rand) record.Update {
+	u := record.Update{Key: record.Key(randString(r))}
+	switch r.Intn(3) {
+	case 0:
+		u.Kind = record.KindPhysical
+		u.ReadVersion = record.Version(r.Uint64() >> 32)
+		u.NewValue = randWireValue(r)
+	case 1:
+		u.Kind = record.KindCommutative
+		u.Deltas = randAttrs(r)
+		u.Merged = r.Intn(5)
+	default:
+		u.Kind = record.KindReadCheck
+		u.ReadVersion = record.Version(r.Uint64() >> 32)
+	}
+	return u
+}
+
+func randWireOption(r *rand.Rand) Option {
+	o := Option{
+		Tx:     TxID(randString(r)),
+		Coord:  transport.NodeID(randString(r)),
+		Update: randUpdate(r),
+		KeySeq: r.Uint64() >> 40,
+	}
+	if n := r.Intn(3); n > 0 {
+		o.WriteSet = make([]record.Key, n)
+		o.WriteSeqs = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			o.WriteSet[i] = record.Key(randString(r))
+			o.WriteSeqs[i] = r.Uint64() >> 40
+		}
+	}
+	return o
+}
+
+func randWireEscrow(r *rand.Rand) EscrowSnap {
+	if r.Intn(3) == 0 {
+		return EscrowSnap{}
+	}
+	e := EscrowSnap{Valid: true, Version: record.Version(r.Uint64() >> 32), Contenders: r.Intn(9)}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		e.Attrs = append(e.Attrs, AttrEscrow{
+			Attr: randString(r), Base: r.Int63n(1000),
+			PendDown: -r.Int63n(100), PendUp: r.Int63n(100),
+		})
+	}
+	return e
+}
+
+func randWireBallot(r *rand.Rand) paxos.Ballot {
+	return paxos.Ballot{N: r.Uint64() >> 40, Fast: r.Intn(2) == 0, Leader: randString(r)}
+}
+
+func randWireVote(r *rand.Rand) MsgVote {
+	return MsgVote{
+		OptID:      OptionID{Tx: TxID(randString(r)), Key: record.Key(randString(r))},
+		Ballot:     randWireBallot(r),
+		Decision:   Decision(r.Intn(3)),
+		Reason:     RejectReason(r.Intn(2)),
+		Forwarded:  r.Intn(2) == 0,
+		WrongGroup: r.Intn(4) == 0,
+		Leader:     transport.NodeID(randString(r)),
+		Escrow:     randWireEscrow(r),
+	}
+}
+
+func randWireRanges(r *rand.Rand) []SeqRange {
+	n := r.Intn(3)
+	if n == 0 {
+		return nil
+	}
+	rs := make([]SeqRange, n)
+	for i := range rs {
+		lo := r.Uint64() >> 40
+		rs[i] = SeqRange{Lo: lo, Hi: lo + uint64(r.Intn(10))}
+	}
+	return rs
+}
+
+func randWireLineage(r *rand.Rand) LineageSummary {
+	s := LineageSummary{Deltas: r.Intn(2) == 0, Physical: r.Intn(2) == 0}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		s.Lanes = append(s.Lanes, LaneLineage{
+			Lane: randString(r), Done: randWireRanges(r), Rejected: randWireRanges(r),
+		})
+	}
+	return s
+}
+
+// randWireMessage generates a canonical random hot message; pick
+// selects the type so the fuzzer can steer coverage.
+func randWireMessage(r *rand.Rand, pick uint8) transport.Message {
+	switch pick % 13 {
+	case 0:
+		return MsgRead{ReqID: r.Uint64() >> 40, Key: record.Key(randString(r))}
+	case 1:
+		return MsgReadReply{
+			ReqID: r.Uint64() >> 40, Key: record.Key(randString(r)),
+			Value: randWireValue(r), Version: record.Version(r.Uint64() >> 32),
+			Exists: r.Intn(2) == 0, Escrow: randWireEscrow(r),
+		}
+	case 2:
+		return MsgProposeFast{Opt: randWireOption(r)}
+	case 3:
+		var m MsgProposeBatch
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			m.Opts = append(m.Opts, randWireOption(r))
+		}
+		return m
+	case 4:
+		return randWireVote(r)
+	case 5:
+		var m MsgVoteBatch
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			m.Votes = append(m.Votes, randWireVote(r))
+		}
+		return m
+	case 6:
+		return MsgLearned{
+			OptID:    OptionID{Tx: TxID(randString(r)), Key: record.Key(randString(r))},
+			Decision: Decision(r.Intn(3)), Reason: RejectReason(r.Intn(2)),
+			Escrow: randWireEscrow(r),
+		}
+	case 7:
+		return MsgVisibility{Opt: randWireOption(r), Commit: r.Intn(2) == 0}
+	case 8:
+		var m MsgVisibilityBatch
+		for i, n := 0, r.Intn(4); i < n; i++ {
+			m.Items = append(m.Items, MsgVisibility{Opt: randWireOption(r), Commit: r.Intn(2) == 0})
+		}
+		return m
+	case 9:
+		m := MsgPhase2a{
+			Key: record.Key(randString(r)), Ballot: randWireBallot(r), Seq: r.Uint64() >> 40,
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			m.CStruct = append(m.CStruct, VotedOption{
+				Opt: randWireOption(r), Decision: Decision(r.Intn(3)), Reason: RejectReason(r.Intn(2)),
+			})
+		}
+		if r.Intn(4) > 0 {
+			m.HasBase = true
+			m.BaseVersion = record.Version(r.Uint64() >> 32)
+			m.BaseValue = randWireValue(r)
+			m.BaseExists = r.Intn(2) == 0
+			m.BaseLineage = randWireLineage(r)
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			d := DecidedOption{
+				ID:       OptionID{Tx: TxID(randString(r)), Key: record.Key(randString(r))},
+				Decision: Decision(r.Intn(3)),
+			}
+			if r.Intn(2) == 0 {
+				d.Opt, d.HasOpt = randWireOption(r), true
+			}
+			m.LegacyDecided = append(m.LegacyDecided, d)
+		}
+		return m
+	case 10:
+		m := MsgPhase2b{
+			Key: record.Key(randString(r)), Ballot: randWireBallot(r),
+			Seq: r.Uint64() >> 40, OK: r.Intn(2) == 0,
+		}
+		if !m.OK {
+			m.Promised = randWireBallot(r)
+		}
+		return m
+	case 11:
+		m := MsgVisibilitySub{Epoch: r.Uint64() >> 40}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			m.CatchUp = append(m.CatchUp, record.Key(randString(r)))
+		}
+		return m
+	default:
+		m := MsgVisibilityFeed{Epoch: r.Uint64() >> 40, Seq: r.Uint64() >> 40, Boot: r.Uint64() >> 40}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			m.Items = append(m.Items, FeedItem{
+				Key: record.Key(randString(r)), Value: randWireValue(r),
+				Version: record.Version(r.Uint64() >> 32),
+				Exists:  r.Intn(2) == 0, Escrow: randWireEscrow(r),
+			})
+		}
+		return m
+	}
+}
+
+// FuzzWireParity drives random canonical messages through both codecs
+// and demands agreement: decode(encode(m)) == m and binary-decoded ==
+// gob-decoded. Runs its seed corpus under plain `go test`; `go test
+// -fuzz=FuzzWireParity ./internal/core/` explores further.
+func FuzzWireParity(f *testing.F) {
+	for pick := uint8(0); pick < 13; pick++ {
+		f.Add(int64(pick)*7919, pick)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, pick uint8) {
+		r := rand.New(rand.NewSource(seed))
+		msg := randWireMessage(r, pick)
+		in := transport.Envelope{From: "a", To: "b", Msg: msg}
+		b, err := transport.AppendEnvelope(nil, in)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		out, err := transport.DecodeEnvelope(transport.NewWireReader(b))
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(out.Msg, msg) {
+			t.Fatalf("binary round trip mismatch\n got %#v\nwant %#v", out.Msg, msg)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		var ge transport.Envelope
+		if err := gob.NewDecoder(&buf).Decode(&ge); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(out.Msg, ge.Msg) {
+			t.Fatalf("binary and gob decode disagree\n bin %#v\n gob %#v", out.Msg, ge.Msg)
+		}
+	})
+}
+
+// FuzzWireDecode throws raw bytes at the frame decoder: it must
+// return an error or a message, never panic or over-allocate.
+func FuzzWireDecode(f *testing.F) {
+	for _, msg := range wireSamples() {
+		b, err := transport.AppendEnvelope(nil, transport.Envelope{From: "a", To: "b", Msg: msg})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = transport.DecodeEnvelope(transport.NewWireReader(b))
+	})
+}

@@ -101,12 +101,20 @@ func (b *batcher) flushLocked(to transport.NodeID) {
 	if len(items) == 0 {
 		return
 	}
-	delete(b.buf, to)
 	if len(items) == 1 {
+		// Keep the map entry and its backing array so the common
+		// single-message window flushes allocation-free (destinations
+		// are bounded by the topology, so retained entries are too).
 		b.singles.Add(1)
-		b.inner.Send(items[0].From, to, items[0].Msg)
+		e := items[0]
+		items[0] = transport.Envelope{}
+		b.buf[to] = items[:0]
+		b.inner.Send(e.From, to, e.Msg)
 		return
 	}
+	// The slice escapes into an asynchronously serialized Batch and
+	// cannot be reused; the next window for this peer reallocates.
+	b.buf[to] = nil
 	b.envelopes.Add(1)
 	b.batched.Add(int64(len(items)))
 	// The envelope's outer From is the gateway node; receivers dispatch

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -11,6 +13,43 @@ import (
 
 	"mdcc/internal/clock"
 )
+
+// Codec selects the TCP transport's send-side wire encoding. The read
+// side always auto-detects from the connection preamble, so peers
+// configured differently still interoperate (the binary preamble
+// cannot be mistaken for a gob stream; see codec.go).
+type Codec uint8
+
+// Codecs.
+const (
+	// CodecBinary frames envelopes with the hand-rolled binary codec;
+	// message types without a registered wire codec ride gob inside
+	// the binary framing. The default.
+	CodecBinary Codec = iota
+	// CodecGob streams whole envelopes over one persistent gob
+	// encoder per connection (the pre-binary wire format).
+	CodecGob
+)
+
+// ParseCodec maps a flag/topology string to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	default:
+		return CodecBinary, fmt.Errorf("transport: unknown codec %q (want binary or gob)", s)
+	}
+}
+
+// String renders the codec name.
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
 
 // RegisterMessage registers a concrete message type for the gob wire
 // codec. Every protocol package registers its message types in init so
@@ -43,18 +82,42 @@ func init() {
 // one writer goroutine (batch envelopes additionally preserve the
 // order of their items).
 type TCP struct {
-	mu     sync.RWMutex
-	local  map[NodeID]*mailbox
-	routes map[NodeID]string // node → "host:port"
-	conns  map[string]*tcpConn
-	ln     net.Listener
-	clk    clock.Clock
-	closed bool
-	tracer WireTracer
-	stats  statCounters
+	mu       sync.RWMutex
+	local    map[NodeID]*mailbox
+	routes   map[NodeID]string // node → "host:port"
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]struct{} // inbound conns, closed with the transport
+	ln       net.Listener
+	clk      clock.Clock
+	closed   bool
+	tracer   WireTracer
+	codec    Codec
+	stats    statCounters
+
+	// hellos remembers each peer's announcements (self node → reply
+	// address) so every FRESH dial re-announces them at the head of the
+	// new connection: a restarted peer wiped its learned routes, and a
+	// reconnecting client whose hello only ever rode the first
+	// connection would find its replies silently unroutable.
+	hellos map[string][]helloMsg
 
 	// Logf, if set, receives connection diagnostics.
 	Logf func(format string, args ...interface{})
+}
+
+// SetCodec selects the send-side wire encoding. Call before traffic
+// starts; established connections keep the codec they opened with.
+func (t *TCP) SetCodec(c Codec) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.codec = c
+}
+
+// sendCodec reads the configured codec.
+func (t *TCP) sendCodec() Codec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.codec
 }
 
 // SetTracer installs the flight-recorder wire hook: outgoing envelopes
@@ -121,10 +184,12 @@ func (c countingReader) Read(p []byte) (int, error) {
 // extended later with AddRoute).
 func NewTCP(routes map[NodeID]string) *TCP {
 	t := &TCP{
-		local:  make(map[NodeID]*mailbox),
-		routes: make(map[NodeID]string),
-		conns:  make(map[string]*tcpConn),
-		clk:    clock.NewReal(),
+		local:    make(map[NodeID]*mailbox),
+		routes:   make(map[NodeID]string),
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		hellos:   make(map[string][]helloMsg),
+		clk:      clock.NewReal(),
 	}
 	for id, addr := range routes {
 		t.routes[id] = addr
@@ -159,19 +224,95 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
+// readLoop auto-detects the peer's codec from the connection
+// preamble: binary connections open with wireMagic + a version byte
+// (which no gob stream can start with), everything else is a legacy
+// persistent gob stream. Auto-detection is what keeps mixed-codec
+// deployments (a gob-configured sender, a binary receiver) working.
 func (t *TCP) readLoop(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(countingReader{r: conn, n: &t.stats})
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(countingReader{r: conn, n: &t.stats}, 32<<10)
+	head, err := br.Peek(len(wireMagic))
+	if err != nil {
+		if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			t.logf("transport: read preamble from %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if [4]byte(head) == wireMagic {
+		t.readBinary(br, conn)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	for {
 		var e Envelope
 		if err := dec.Decode(&e); err != nil {
-			if !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, net.ErrClosed) && err != io.EOF {
 				t.logf("transport: read from %s: %v", conn.RemoteAddr(), err)
 			}
+			return
+		}
+		t.deliverLocal(e)
+	}
+}
+
+// readBinary drains length-prefixed binary frames. The payload buffer
+// is reused across frames (decoders copy what they keep), so a
+// steady-state connection reads without per-frame allocation beyond
+// the decoded messages themselves.
+func (t *TCP) readBinary(br *bufio.Reader, conn net.Conn) {
+	var pre [5]byte // magic + version
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return
+	}
+	if pre[4] != WireVersion {
+		t.logf("transport: peer %s speaks wire version %d, want %d; dropping connection",
+			conn.RemoteAddr(), pre[4], WireVersion)
+		return
+	}
+	var lenb [4]byte
+	payload := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				t.logf("transport: read frame from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(lenb[:])
+		if n > maxFrame {
+			t.logf("transport: oversized frame (%d bytes) from %s; dropping connection", n, conn.RemoteAddr())
+			return
+		}
+		if int(n) > len(payload) {
+			payload = make([]byte, n)
+		}
+		if _, err := io.ReadFull(br, payload[:n]); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				t.logf("transport: read frame from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		e, err := DecodeEnvelope(NewWireReader(payload[:n]))
+		if err != nil {
+			t.logf("transport: decode frame from %s: %v; dropping connection", conn.RemoteAddr(), err)
 			return
 		}
 		t.deliverLocal(e)
@@ -239,21 +380,28 @@ func (t *TCP) Send(from, to NodeID, msg Message) {
 	if tracer != nil {
 		e.TraceClk = tracer.StampSend()
 	}
-	t.stats.countSend(msg)
 	if isLocal {
+		t.stats.countSend(msg)
 		t.deliverLocal(e)
 		return
 	}
 	if !hasRoute {
+		t.stats.droppedNoRoute.Add(1)
 		t.logf("transport: no route to %s, dropping %T", to, msg)
 		return
 	}
 	c := t.connTo(addr)
+	// Count only what is actually enqueued: a dropped message never
+	// reaches the wire, and counting it as sent inflates the /metrics
+	// send counters exactly when the transport is failing.
 	select {
 	case c.ch <- e:
+		t.stats.countSend(msg)
 	case <-c.done:
+		t.stats.droppedConnDown.Add(1)
 		t.logf("transport: conn to %s down, dropping %T", addr, msg)
 	default:
+		t.stats.droppedQueueFull.Add(1)
 		t.logf("transport: queue to %s full, dropping %T", addr, msg)
 	}
 }
@@ -288,6 +436,11 @@ func (t *TCP) connTo(addr string) *tcpConn {
 // writeLoop dials the peer and drains its queue in order. Any dial or
 // encode error tears the queue down; queued and future messages drop
 // until a new Send re-creates the connection.
+//
+// Writes are buffered: each envelope lands in a bufio.Writer, flushed
+// only when the outbound queue has drained empty — so a burst pays one
+// write(2) instead of one (or with gob, several) per message, while an
+// idle queue still gets every message onto the wire immediately.
 func (t *TCP) writeLoop(c *tcpConn) {
 	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
 	if err != nil {
@@ -316,16 +469,74 @@ func (t *TCP) writeLoop(c *tcpConn) {
 			}
 		}
 	}()
-	enc := gob.NewEncoder(countingWriter{w: conn, n: &t.stats})
+	bw := bufio.NewWriterSize(countingWriter{w: conn, n: &t.stats}, 64<<10)
+	var write func(e Envelope) error
+	if t.sendCodec() == CodecGob {
+		enc := gob.NewEncoder(bw)
+		write = func(e Envelope) error { return enc.Encode(&e) }
+	} else {
+		if _, err := bw.Write(append(wireMagic[:], WireVersion)); err != nil {
+			t.dropConn(c.addr, c)
+			return
+		}
+		// The frame buffer is reused across messages: encode after the
+		// 4-byte length slot, then back-fill the length.
+		buf := make([]byte, 4, 4096)
+		write = func(e Envelope) error {
+			var err error
+			buf, err = AppendEnvelope(buf[:4], e)
+			if err != nil {
+				t.logf("transport: encode %T for %s: %v (message dropped)", e.Msg, c.addr, err)
+				return nil
+			}
+			if len(buf)-4 > maxFrame {
+				t.logf("transport: %T for %s exceeds max frame (%d bytes), dropped", e.Msg, c.addr, len(buf)-4)
+				return nil
+			}
+			binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+			_, err = bw.Write(buf)
+			return err
+		}
+	}
+	// A fresh connection's head re-announces every hello registered for
+	// this peer: a restarted peer lost its learned routes, and replies
+	// to any locally hosted node would otherwise be unroutable until
+	// the process reconnected AND re-called Hello by hand.
+	t.mu.RLock()
+	hellos := t.hellos[c.addr]
+	t.mu.RUnlock()
+	for _, h := range hellos {
+		if err := write(Envelope{From: h.ID, Msg: h}); err != nil {
+			t.logf("transport: send hello to %s: %v", c.addr, err)
+			t.dropConn(c.addr, c)
+			return
+		}
+	}
+	// Flush the preamble and hellos even if the queue is empty: the
+	// peer must learn the reply routes before any request arrives on
+	// another connection.
+	if err := bw.Flush(); err != nil {
+		t.dropConn(c.addr, c)
+		return
+	}
 	for {
 		select {
 		case e := <-c.ch:
-			if err := enc.Encode(&e); err != nil {
+			if err := write(e); err != nil {
 				t.logf("transport: send to %s: %v", c.addr, err)
 				t.dropConn(c.addr, c)
 				return
 			}
+			if len(c.ch) > 0 {
+				continue // more queued: keep filling the buffer
+			}
+			if err := bw.Flush(); err != nil {
+				t.logf("transport: flush to %s: %v", c.addr, err)
+				t.dropConn(c.addr, c)
+				return
+			}
 		case <-c.done:
+			bw.Flush()
 			return
 		}
 	}
@@ -357,11 +568,28 @@ func (t *TCP) DropPeerConns() {
 
 // Hello announces a locally hosted node's listen address to a remote
 // peer so the peer can route replies back. Call after Listen, before
-// sending requests.
+// sending requests. The announcement is persistent: every FRESH
+// connection to the peer replays it at its head (see writeLoop), so a
+// peer that restarted — wiping its learned routes — re-learns the
+// reply route the moment this side reconnects.
 func (t *TCP) Hello(peerAddr string, self NodeID, selfAddr string) {
+	h := helloMsg{ID: self, Addr: selfAddr}
+	t.mu.Lock()
+	known := false
+	for i, old := range t.hellos[peerAddr] {
+		if old.ID == self {
+			t.hellos[peerAddr][i] = h
+			known = true
+			break
+		}
+	}
+	if !known {
+		t.hellos[peerAddr] = append(t.hellos[peerAddr], h)
+	}
+	t.mu.Unlock()
 	c := t.connTo(peerAddr)
 	select {
-	case c.ch <- Envelope{From: self, Msg: helloMsg{ID: self, Addr: selfAddr}}:
+	case c.ch <- Envelope{From: self, Msg: h}:
 	case <-c.done:
 	default:
 	}
@@ -403,11 +631,22 @@ func (t *TCP) Close() {
 	}
 	conns := t.conns
 	local := t.local
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
 	t.local = make(map[NodeID]*mailbox)
 	t.conns = make(map[string]*tcpConn)
+	t.accepted = make(map[net.Conn]struct{})
 	t.mu.Unlock()
 	for _, c := range conns {
 		c.close()
+	}
+	// Close inbound connections too: a transport that "restarts" (new
+	// TCP on the same address) must sever old peers so they redial —
+	// and replay their hellos — against the new instance.
+	for _, c := range accepted {
+		c.Close()
 	}
 	for _, mb := range local {
 		close(mb.done)

@@ -101,15 +101,25 @@ type Stats struct {
 	// BytesSent / BytesReceived count wire bytes (TCP only).
 	BytesSent     int64 `json:"bytesSent"`
 	BytesReceived int64 `json:"bytesReceived"`
+	// Dropped* count messages Send discarded instead of enqueueing
+	// (TCP only): no routing-table entry, the peer's outbound queue
+	// full, or its connection torn down. Dropped messages are NOT
+	// counted in MsgsSent — only what actually reached a queue or a
+	// local mailbox is.
+	DroppedNoRoute   int64 `json:"droppedNoRoute"`
+	DroppedQueueFull int64 `json:"droppedQueueFull"`
+	DroppedConnDown  int64 `json:"droppedConnDown"`
 }
 
 // statCounters is the internal atomic mirror of Stats shared by the
 // real-time transports.
 type statCounters struct {
-	msgsSent, msgsReceived       atomic.Int64
-	batchesSent, batchesReceived atomic.Int64
-	batchedSent, batchedReceived atomic.Int64
-	bytesSent, bytesReceived     atomic.Int64
+	msgsSent, msgsReceived           atomic.Int64
+	batchesSent, batchesReceived     atomic.Int64
+	batchedSent, batchedReceived     atomic.Int64
+	bytesSent, bytesReceived         atomic.Int64
+	droppedNoRoute, droppedQueueFull atomic.Int64
+	droppedConnDown                  atomic.Int64
 }
 
 func (c *statCounters) countSend(msg Message) {
@@ -130,13 +140,16 @@ func (c *statCounters) countReceive(msg Message) {
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		MsgsSent:        c.msgsSent.Load(),
-		MsgsReceived:    c.msgsReceived.Load(),
-		BatchesSent:     c.batchesSent.Load(),
-		BatchesReceived: c.batchesReceived.Load(),
-		BatchedSent:     c.batchedSent.Load(),
-		BatchedReceived: c.batchedReceived.Load(),
-		BytesSent:       c.bytesSent.Load(),
-		BytesReceived:   c.bytesReceived.Load(),
+		MsgsSent:         c.msgsSent.Load(),
+		MsgsReceived:     c.msgsReceived.Load(),
+		BatchesSent:      c.batchesSent.Load(),
+		BatchesReceived:  c.batchesReceived.Load(),
+		BatchedSent:      c.batchedSent.Load(),
+		BatchedReceived:  c.batchedReceived.Load(),
+		BytesSent:        c.bytesSent.Load(),
+		BytesReceived:    c.bytesReceived.Load(),
+		DroppedNoRoute:   c.droppedNoRoute.Load(),
+		DroppedQueueFull: c.droppedQueueFull.Load(),
+		DroppedConnDown:  c.droppedConnDown.Load(),
 	}
 }

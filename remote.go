@@ -31,7 +31,8 @@ import (
 //	}
 type RemoteTopology struct {
 	NodesPerDC  int               `json:"nodesPerDC"`
-	Mode        string            `json:"mode"` // "mdcc" | "fast" | "multi"
+	Mode        string            `json:"mode"`            // "mdcc" | "fast" | "multi"
+	Codec       string            `json:"codec,omitempty"` // send-side wire codec: "binary" (default) | "gob"
 	Addrs       map[string]string `json:"addrs"`
 	Constraints []struct {
 		Attr string `json:"attr"`
@@ -135,6 +136,11 @@ func Dial(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteSession,
 		return nil, err
 	}
 	net := transport.NewTCP(routes)
+	codec, err := transport.ParseCodec(topo.Codec)
+	if err != nil {
+		return nil, err
+	}
+	net.SetCodec(codec)
 	addr, err := net.Listen(listen)
 	if err != nil {
 		return nil, err
@@ -165,6 +171,11 @@ func DialGateway(topo *RemoteTopology, dc DC, clientID, listen string) (*RemoteS
 		return nil, fmt.Errorf("mdcc: no server address for %s in topology", dc)
 	}
 	net := transport.NewTCP(map[transport.NodeID]string{gateway.GatewayID(dc): addr})
+	codec, err := transport.ParseCodec(topo.Codec)
+	if err != nil {
+		return nil, err
+	}
+	net.SetCodec(codec)
 	selfAddr, err := net.Listen(listen)
 	if err != nil {
 		return nil, err
