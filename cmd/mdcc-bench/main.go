@@ -36,16 +36,17 @@ import (
 )
 
 var (
-	quick   = flag.Bool("quick", false, "run at reduced scale")
-	seed    = flag.Int64("seed", 1, "simulation seed")
-	csvDir  = flag.String("csv", "", "also write raw series as CSV files into this directory")
-	jsonOut = flag.String("out", "BENCH_gateway.json", "JSON output path for the gateway benchmark")
-	recGate = flag.Float64("recorder-gate", 0, "fail (exit 1) if the flight-recorder ablation's |tx/s delta| exceeds this percentage (0 = no gate)")
+	quick    = flag.Bool("quick", false, "run at reduced scale")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	csvDir   = flag.String("csv", "", "also write raw series as CSV files into this directory")
+	jsonOut  = flag.String("out", "BENCH_gateway.json", "JSON output path for the gateway benchmark")
+	recGate  = flag.Float64("recorder-gate", 0, "fail (exit 1) if the flight-recorder ablation's |tx/s delta| exceeds this percentage (0 = no gate)")
+	recvGate = flag.Float64("recovery-gate", 0, "fail (exit 1) if the checkpointed recovery arm's replay takes more than this many milliseconds (0 = no gate)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|live|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|durability|live|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -68,6 +69,8 @@ func main() {
 		fig8()
 	case "gateway":
 		gatewayBench()
+	case "durability":
+		durabilityBench()
 	case "live":
 		liveBench()
 	case "all":
@@ -78,6 +81,7 @@ func main() {
 		fig7()
 		fig8()
 		gatewayBench()
+		durabilityBench()
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -184,6 +188,58 @@ func gatewayBench() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *jsonOut)
+	if gateFailed {
+		os.Exit(1)
+	}
+}
+
+// durabilityBench measures what acknowledged durability costs (an
+// fsync per append vs group commit vs NoSync, concurrent committers
+// on real disk) and what checkpoints buy at recovery (full-log replay
+// vs snapshot + bounded tail on the same durable state). Writes
+// BENCH_durability.json; -recovery-gate bounds the checkpointed
+// reopen for CI.
+func durabilityBench() {
+	sc := bench.DurabilityPaperScale()
+	if *quick {
+		sc = bench.DurabilityQuickScale()
+	}
+	header(
+		fmt.Sprintf("Durability — %d committers x %d appends; recovery of %d ops (checkpoint every %d)",
+			sc.Workers, sc.AppendsPer, sc.RecoveryOps, sc.Checkpoint),
+		"group commit recovers most of the NoSync throughput; checkpointed recovery replays a bounded tail")
+	res, err := bench.DurabilityBench(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	res.Quick = *quick
+	for _, a := range res.Arms {
+		fmt.Printf("%-18s %10.0f appends/s  (%d appends, %d workers, %.1fms)  %6d fsyncs covering %d appends, mean batch %.1f, max %d\n",
+			a.Mode, a.AppendsPerSec, a.Appends, a.Workers, a.WallMs, a.Syncs, a.SyncedAppends, a.BatchMean, a.MaxBatch)
+	}
+	gateFailed := false
+	for _, rcv := range res.Recovery {
+		fmt.Printf("%-18s reopen %8.1fms  tail %7d records  (%d ops, %d checkpoints, snapshot=%v)\n",
+			rcv.Mode, rcv.ReplayMs, rcv.TailRecords, rcv.Ops, rcv.Checkpoints, rcv.UsedSnapshot)
+		if *recvGate > 0 && rcv.UsedSnapshot && rcv.ReplayMs > *recvGate {
+			fmt.Fprintf(os.Stderr, "mdcc-bench: recovery gate FAILED: %s replay %.1fms > %.1fms\n", rcv.Mode, rcv.ReplayMs, *recvGate)
+			gateFailed = true
+		}
+	}
+	if *recvGate > 0 && !gateFailed {
+		fmt.Printf("recovery gate passed: checkpointed reopen within %.0fms\n", *recvGate)
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_durability.json", append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_durability.json")
 	if gateFailed {
 		os.Exit(1)
 	}

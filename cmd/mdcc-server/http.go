@@ -38,6 +38,24 @@
 //	                                      // FeedMsgs/FeedItems (visibility
 //	                                      // feed published to the DC's
 //	                                      // gateway read tier)
+//	    "durability": {                   // present only with -data:
+//	      "degraded": false,              // durability failure latched —
+//	                                      // the node has stopped acking
+//	      "snapshotSeq": 3,               // newest on-disk checkpoint
+//	      "checkpoints": 2,               // taken by this incarnation
+//	      "appendsSinceCheckpoint": 120,  // snapshot age in WAL records:
+//	                                      // the tail a crash right now
+//	                                      // would replay
+//	      "walAppends": 456,              // store + oplog WAL records
+//	      "walSyncs": 40,                 // fsync batches issued
+//	      "syncBatchMean": 11.4,          // group-commit fan-in
+//	      "syncBatchMax": 32,
+//	      "walSegments": 3,               // on-disk footprint not yet
+//	      "walLiveBytes": 81920,          // reclaimed by checkpoints
+//	      "replayMs": 12.5,               // last recovery: wall time,
+//	      "replayUsedSnapshot": true,     // seeded from a snapshot,
+//	      "replayTail": 66                // records replayed past its cut
+//	    }
 //	  }],
 //	  "transport": {                      // transport.Stats, whole process
 //	    "msgsSent": 0, "msgsReceived": 0, // envelopes in/out (TCP+local)
@@ -175,7 +193,7 @@ func (s *opsState) guard(h http.HandlerFunc) http.HandlerFunc {
 // own goroutine and returns the shutdown gate.
 func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.StorageNode,
 	stores []*kv.Store, net *transport.TCP, gw *gateway.Gateway,
-	rec *trace.Recorder, profile bool) *opsState {
+	rec *trace.Recorder, profile, durable bool) *opsState {
 	state := &opsState{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -183,11 +201,27 @@ func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/metrics", state.guard(func(w http.ResponseWriter, r *http.Request) {
+		type durOut struct {
+			Degraded               bool    `json:"degraded"`
+			SnapshotSeq            int     `json:"snapshotSeq"`
+			Checkpoints            int64   `json:"checkpoints"`
+			AppendsSinceCheckpoint int64   `json:"appendsSinceCheckpoint"`
+			WalAppends             int64   `json:"walAppends"`
+			WalSyncs               int64   `json:"walSyncs"`
+			SyncBatchMean          float64 `json:"syncBatchMean"`
+			SyncBatchMax           int64   `json:"syncBatchMax"`
+			WalSegments            int     `json:"walSegments"`
+			WalLiveBytes           int64   `json:"walLiveBytes"`
+			ReplayMs               float64 `json:"replayMs"`
+			ReplayUsedSnapshot     bool    `json:"replayUsedSnapshot"`
+			ReplayTail             int64   `json:"replayTail"`
+		}
 		type shard struct {
-			Node    string       `json:"node"`
-			Keys    int          `json:"keys"`
-			Puts    int64        `json:"puts"`
-			Metrics core.Metrics `json:"protocol"`
+			Node       string       `json:"node"`
+			Keys       int          `json:"keys"`
+			Puts       int64        `json:"puts"`
+			Metrics    core.Metrics `json:"protocol"`
+			Durability *durOut      `json:"durability,omitempty"`
 		}
 		type phaseOut struct {
 			Phase  string  `json:"phase"`
@@ -208,12 +242,34 @@ func serveHTTP(addr string, dc topology.DC, cl *topology.Cluster, nodes []*core.
 			TraceRetained int              `json:"traceRetained,omitempty"`
 		}{DC: dc.String(), RingEpoch: uint64(cl.Ring().Epoch()), Transport: net.Stats()}
 		for i, n := range nodes {
-			out.Shards = append(out.Shards, shard{
+			sh := shard{
 				Node:    string(n.ID()),
 				Keys:    stores[i].Len(),
 				Puts:    stores[i].Puts(),
 				Metrics: n.Metrics(),
-			})
+			}
+			if durable {
+				d := n.Durability()
+				do := &durOut{
+					Degraded:               d.Degraded,
+					SnapshotSeq:            d.SnapshotSeq,
+					Checkpoints:            d.Checkpoints,
+					AppendsSinceCheckpoint: d.AppendsSinceCheckpoint,
+					WalAppends:             d.Store.Appends + d.Oplog.Appends,
+					WalSyncs:               d.Store.Syncs + d.Oplog.Syncs,
+					SyncBatchMax:           max(d.Store.MaxBatch, d.Oplog.MaxBatch),
+					WalSegments:            d.Store.Segments + d.Oplog.Segments,
+					WalLiveBytes:           d.Store.LiveBytes + d.Oplog.LiveBytes,
+					ReplayMs:               float64(d.Replay.Duration) / float64(time.Millisecond),
+					ReplayUsedSnapshot:     d.Replay.UsedSnapshot,
+					ReplayTail:             d.Replay.TailStore + d.Replay.TailOplog,
+				}
+				if synced := d.Store.SyncedAppends + d.Oplog.SyncedAppends; do.WalSyncs > 0 {
+					do.SyncBatchMean = float64(synced) / float64(do.WalSyncs)
+				}
+				sh.Durability = do
+			}
+			out.Shards = append(out.Shards, sh)
 		}
 		if gw != nil {
 			m := gw.Metrics()

@@ -41,6 +41,10 @@ var (
 	dataDir  = flag.String("data", "", "durable store directory (empty = in-memory)")
 	httpAddr = flag.String("http", "", "optional HTTP endpoint serving /metrics and /healthz")
 
+	walGroup  = flag.Bool("wal-group-commit", true, "coalesce concurrent WAL appends under one fsync (with -data)")
+	walStall  = flag.Duration("wal-max-stall", 0, "optional wait that grows group-commit batches (0 = sync immediately; with -data)")
+	ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "how often durable nodes snapshot full state and truncate the WAL; 0 disables and recovery replays the whole log (with -data)")
+
 	gwMode     = flag.Bool("gateway", false, "host this DC's transaction gateway tier (mdcc.DialGateway clients)")
 	gwPool     = flag.Int("gateway-pool", 0, "pooled coordinators in the gateway (0 = default)")
 	gwBatch    = flag.Duration("gateway-batch-window", 0, "outbound cross-transaction batching window (0 = default)")
@@ -147,26 +151,59 @@ func main() {
 	}
 	cl := topology.NewCluster(topology.Layout{NodesPerDC: topo.NodesPerDC, Clients: 0, ClientDC: -1})
 
+	if *dataDir != "" {
+		cfg.CheckpointInterval = *ckptEvery
+	}
 	var stores []*kv.Store
+	var durables []*core.DurableState
 	var nodes []*core.StorageNode
 	for i := 0; i < topo.NodesPerDC; i++ {
 		id := topology.StorageID(dc, i)
-		var store *kv.Store
 		if *dataDir != "" {
 			dir := filepath.Join(*dataDir, fmt.Sprintf("shard%d", i))
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				log.Fatal(err)
 			}
-			store, err = kv.Open(dir, false)
+			ds, err := core.OpenDurableOpts(dir, core.DurableOptions{
+				GroupCommit: *walGroup,
+				MaxStall:    *walStall,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
+			stores = append(stores, ds.Store)
+			durables = append(durables, ds)
+			nodes = append(nodes, core.NewDurableStorageNode(id, dc, net, cl, cfg, ds))
+			rs := ds.RecoveryStats()
+			from := "empty log"
+			switch {
+			case rs.UsedSnapshot:
+				from = fmt.Sprintf("snapshot %d + %d-record tail", rs.SnapshotSeq, rs.TailStore+rs.TailOplog)
+				if rs.FellBack {
+					from += " (fell back one snapshot)"
+				}
+			case rs.TailStore+rs.TailOplog > 0:
+				from = fmt.Sprintf("full replay of %d records", rs.TailStore+rs.TailOplog)
+			}
+			log.Printf("storage node %s up (shard %d/%d, mode %s, recovered from %s in %s)",
+				id, i+1, topo.NodesPerDC, mode, from, rs.Duration.Round(time.Millisecond))
 		} else {
-			store = kv.NewMemory()
+			store := kv.NewMemory()
+			stores = append(stores, store)
+			nodes = append(nodes, core.NewStorageNode(id, dc, net, cl, cfg, store))
+			log.Printf("storage node %s up (shard %d/%d, mode %s)", id, i+1, topo.NodesPerDC, mode)
 		}
-		stores = append(stores, store)
-		nodes = append(nodes, core.NewStorageNode(id, dc, net, cl, cfg, store))
-		log.Printf("storage node %s up (shard %d/%d, mode %s)", id, i+1, topo.NodesPerDC, mode)
+	}
+	if *dataDir != "" {
+		gc := "group-commit"
+		if !*walGroup {
+			gc = "fsync-per-append"
+		}
+		ckpt := "off (full-log recovery)"
+		if *ckptEvery > 0 {
+			ckpt = ckptEvery.String()
+		}
+		log.Printf("durable engine: %s, checkpoints every %s", gc, ckpt)
 	}
 	var gw *gateway.Gateway
 	if *gwMode {
@@ -191,7 +228,7 @@ func main() {
 		dc, bound, cl.Ring().Epoch(), len(cl.Ring().Current().Groups()))
 	var ops *opsState
 	if *httpAddr != "" {
-		ops = serveHTTP(*httpAddr, dc, cl, nodes, stores, net, gw, rec, *profile)
+		ops = serveHTTP(*httpAddr, dc, cl, nodes, stores, net, gw, rec, *profile, len(durables) > 0)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -205,7 +242,15 @@ func main() {
 		gw.Close()
 	}
 	net.Close()
-	for _, s := range stores {
-		_ = s.Close()
+	if len(durables) > 0 {
+		// Durable close flushes and releases both WALs per shard (the
+		// committed store's and the decision oplog's).
+		for _, ds := range durables {
+			_ = ds.Close()
+		}
+	} else {
+		for _, s := range stores {
+			_ = s.Close()
+		}
 	}
 }

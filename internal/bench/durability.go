@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mdcc/internal/core"
+	"mdcc/internal/record"
+	"mdcc/internal/wal"
+)
+
+// The durability benchmark: what acknowledged durability actually
+// costs, and what checkpoints buy at recovery.
+//
+// The write arms commit the same record stream through three sync
+// disciplines — an fsync per append (the naive durable baseline),
+// group commit (concurrent appends coalesced under one fsync), and
+// NoSync (the upper bound: what the log costs with durability turned
+// off). Real disk, real fsyncs, concurrent committers. The recovery
+// arms build the same durable state twice — once as a bare log, once
+// checkpointed — crash it (drop the handles), and measure the reopen:
+// full-log replay versus newest-snapshot-plus-bounded-tail.
+
+// DurabilityScale sizes the benchmark.
+type DurabilityScale struct {
+	Workers     int // concurrent committers per write arm
+	AppendsPer  int // appends per worker per write arm
+	Payload     int // bytes per record
+	RecoveryOps int // puts when building the recovery state
+	Checkpoint  int // puts between checkpoints in the checkpointed arm
+	Keys        int // distinct keys the recovery puts cycle over
+}
+
+// DurabilityPaperScale is the full-size run.
+func DurabilityPaperScale() DurabilityScale {
+	return DurabilityScale{Workers: 8, AppendsPer: 250, Payload: 160, RecoveryOps: 200000, Checkpoint: 20000, Keys: 512}
+}
+
+// DurabilityQuickScale is the CI smoke size.
+func DurabilityQuickScale() DurabilityScale {
+	return DurabilityScale{Workers: 8, AppendsPer: 50, Payload: 160, RecoveryOps: 20000, Checkpoint: 5000, Keys: 128}
+}
+
+// DurabilityArm is one write-arm measurement.
+type DurabilityArm struct {
+	Mode          string // fsync-per-append | group-commit | nosync
+	Workers       int
+	Appends       int64
+	WallMs        float64
+	AppendsPerSec float64
+	Syncs         int64   // fsyncs issued
+	SyncedAppends int64   // appends covered by those fsyncs
+	MaxBatch      int64   // largest group-commit batch under one fsync
+	BatchMean     float64 // SyncedAppends / Syncs
+}
+
+// RecoveryArm is one reopen measurement.
+type RecoveryArm struct {
+	Mode         string // full-log-replay | snapshot+tail
+	Ops          int
+	Checkpoints  int
+	UsedSnapshot bool
+	TailRecords  int64
+	ReplayMs     float64
+}
+
+// DurabilityResult is the JSON artifact (BENCH_durability.json).
+type DurabilityResult struct {
+	Quick    bool
+	Arms     []DurabilityArm
+	Recovery []RecoveryArm
+}
+
+// DurabilityBench runs every arm under a fresh temp dir and returns
+// the result.
+func DurabilityBench(sc DurabilityScale) (*DurabilityResult, error) {
+	root, err := os.MkdirTemp("", "mdcc-durability-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	res := &DurabilityResult{}
+	for _, mode := range []string{"fsync-per-append", "group-commit", "nosync"} {
+		arm, err := writeArm(root, mode, sc)
+		if err != nil {
+			return nil, err
+		}
+		res.Arms = append(res.Arms, arm)
+	}
+	for _, checkpointed := range []bool{false, true} {
+		arm, err := recoveryArm(root, sc, checkpointed)
+		if err != nil {
+			return nil, err
+		}
+		res.Recovery = append(res.Recovery, arm)
+	}
+	return res, nil
+}
+
+func writeArm(root, mode string, sc DurabilityScale) (DurabilityArm, error) {
+	opts := wal.Options{}
+	switch mode {
+	case "group-commit":
+		opts.GroupCommit = true
+	case "nosync":
+		opts.NoSync = true
+	}
+	dir, err := os.MkdirTemp(root, mode+"-")
+	if err != nil {
+		return DurabilityArm{}, err
+	}
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return DurabilityArm{}, err
+	}
+	payload := make([]byte, sc.Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for w := 0; w < sc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sc.AppendsPer; i++ {
+				if err := l.Append(payload); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := l.Stats()
+	if err := l.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return DurabilityArm{}, fmt.Errorf("bench: %s arm: %w", mode, firstErr)
+	}
+	arm := DurabilityArm{
+		Mode:          mode,
+		Workers:       sc.Workers,
+		Appends:       st.Appends,
+		WallMs:        float64(wall) / float64(time.Millisecond),
+		AppendsPerSec: float64(st.Appends) / wall.Seconds(),
+		Syncs:         st.Syncs,
+		SyncedAppends: st.SyncedAppends,
+		MaxBatch:      st.MaxBatch,
+	}
+	if st.Syncs > 0 {
+		arm.BatchMean = float64(st.SyncedAppends) / float64(st.Syncs)
+	}
+	return arm, nil
+}
+
+// recoveryArm builds a durable replica state of sc.RecoveryOps puts
+// (NoSync: the build is scaffolding, the reopen is the measurement),
+// optionally checkpointing every sc.Checkpoint puts, then drops the
+// handle as a crash would and times the reopen.
+func recoveryArm(root string, sc DurabilityScale, checkpointed bool) (RecoveryArm, error) {
+	name := "recovery-log-"
+	if checkpointed {
+		name = "recovery-ckpt-"
+	}
+	dir, err := os.MkdirTemp(root, name)
+	if err != nil {
+		return RecoveryArm{}, err
+	}
+	opts := core.DurableOptions{NoSync: true, SegmentSize: 1 << 20}
+	ds, err := core.OpenDurableOpts(dir, opts)
+	if err != nil {
+		return RecoveryArm{}, err
+	}
+	arm := RecoveryArm{Mode: "full-log-replay", Ops: sc.RecoveryOps}
+	if checkpointed {
+		arm.Mode = "snapshot+tail"
+	}
+	val := record.Value{Attrs: map[string]int64{"bal": 0}}
+	for i := 0; i < sc.RecoveryOps; i++ {
+		key := record.Key(fmt.Sprintf("acct/%05d", i%sc.Keys))
+		val.Attrs["bal"] = int64(i)
+		if err := ds.Store.Put(key, val, record.Version(i/sc.Keys+1)); err != nil {
+			return RecoveryArm{}, err
+		}
+		if checkpointed && (i+1)%sc.Checkpoint == 0 {
+			if err := ds.Checkpoint(nil); err != nil {
+				return RecoveryArm{}, err
+			}
+			arm.Checkpoints++
+		}
+	}
+	// Crash: drop the handle without a clean shutdown ritual (Close
+	// only flushes; the reopen path must not depend on it anyway).
+	if err := ds.Close(); err != nil {
+		return RecoveryArm{}, err
+	}
+	ds2, err := core.OpenDurableOpts(dir, opts)
+	if err != nil {
+		return RecoveryArm{}, err
+	}
+	defer ds2.Close()
+	rs := ds2.RecoveryStats()
+	arm.UsedSnapshot = rs.UsedSnapshot
+	arm.TailRecords = rs.TailStore + rs.TailOplog
+	arm.ReplayMs = float64(rs.Duration) / float64(time.Millisecond)
+	// Sanity: the rebuilt store must hold every key at its final value.
+	probe := record.Key(fmt.Sprintf("acct/%05d", 0))
+	if _, _, ok := ds2.Store.Get(probe); !ok {
+		return RecoveryArm{}, fmt.Errorf("bench: recovery arm lost %s", probe)
+	}
+	return arm, nil
+}

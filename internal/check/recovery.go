@@ -1,0 +1,64 @@
+package check
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecoveryRecord describes one replica restart's recovery, as the
+// harness observed it: what durable state existed before the crash and
+// what the reboot actually did. Protocol-agnostic — the storage engine
+// reports the numbers, this package judges them.
+type RecoveryRecord struct {
+	// Node names the restarted replica.
+	Node string
+	// HadSnapshot is true when at least one checkpoint snapshot existed
+	// on disk at crash time, so recovery had no business replaying the
+	// whole log.
+	HadSnapshot bool
+	// UsedSnapshot / FellBack mirror the engine's replay stats: seeded
+	// from a snapshot, and whether the newest one was corrupt and an
+	// older one was used.
+	UsedSnapshot bool
+	FellBack     bool
+	// Wiped is true when no snapshot was usable and the harness
+	// discarded the replica's state to rebuild it from its quorum; the
+	// remaining fields are then meaningless.
+	Wiped bool
+	// TailRecords is the log records replayed past the snapshot cut;
+	// ExpectedTail the pre-crash appends-since-checkpoint gauge
+	// (0 = not captured).
+	TailRecords  int64
+	ExpectedTail int64
+	// Wall is the real time the reopen+replay took.
+	Wall time.Duration
+}
+
+// ValidateRecovery checks the bounded-recovery contract over a run's
+// restarts: a replica with a checkpoint must recover from it (never a
+// full-log replay), the replayed tail must not exceed what had
+// accumulated since the last checkpoint (unless recovery legitimately
+// fell back a snapshot, whose older cut retains a longer tail), and
+// every recovery must complete within maxWall.
+func ValidateRecovery(recs []RecoveryRecord, maxWall time.Duration) []error {
+	var errs []error
+	for _, rr := range recs {
+		if rr.Wiped {
+			continue
+		}
+		if rr.HadSnapshot && !rr.UsedSnapshot {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: recovery ignored an existing checkpoint snapshot (full-log replay)", rr.Node))
+		}
+		if rr.UsedSnapshot && !rr.FellBack && rr.ExpectedTail > 0 && rr.TailRecords > rr.ExpectedTail {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: recovery tail %d records exceeds the %d that accumulated since the last checkpoint (replay not bounded)",
+				rr.Node, rr.TailRecords, rr.ExpectedTail))
+		}
+		if maxWall > 0 && rr.Wall > maxWall {
+			errs = append(errs, fmt.Errorf(
+				"check: %s: recovery took %s, beyond the %s bound", rr.Node, rr.Wall, maxWall))
+		}
+	}
+	return errs
+}

@@ -37,6 +37,15 @@ type StorageNode struct {
 	oplog      *wal.Log // non-nil for durable nodes (see restart.go)
 	halted     bool
 
+	// Durable-storage engine state (restart.go / checkpoint.go):
+	// durable is non-nil for nodes built via NewDurableStorageNode;
+	// degraded latches the first durability failure (the node halts and
+	// never acks unsynced writes — see degrade).
+	durable             *DurableState
+	degraded            error
+	nDurabilityFailures int64
+	nCheckpoints        int64
+
 	// Shard-move bootstrap (see AdoptShard): the in-flight directed
 	// pull, and the request ids it has issued so a late or duplicated
 	// pull reply can never leak into the background sync path and
@@ -515,7 +524,9 @@ func (n *StorageNode) sendVote(to transport.NodeID, msg transport.Message) {
 // the dispatch that just finished (FIFO per destination, so vote
 // order per (acceptor, coordinator) pair is preserved).
 func (n *StorageNode) flushVotes() {
-	if len(n.voteOrder) == 0 {
+	// A node that degraded mid-dispatch already cleared these buffers;
+	// the guard keeps any vote staged before the failure from leaving.
+	if n.halted || len(n.voteOrder) == 0 {
 		return
 	}
 	for _, to := range n.voteOrder {
@@ -1019,7 +1030,7 @@ func (n *StorageNode) adoptBase(key record.Key, base record.Value, baseVer recor
 		n.logLineage(key, r.summary)
 		return true
 	}
-	_ = n.store.Put(key, val, ver)
+	n.storePut(key, val, ver)
 	r.summary.Union(lineage)
 	r.noteKindFromSummary()
 	n.logLineage(key, r.summary)
@@ -1056,12 +1067,12 @@ func (n *StorageNode) applyUpdate(up record.Update) {
 		if newVer <= ver {
 			return // already superseded by a later committed write
 		}
-		_ = n.store.Put(up.Key, up.NewValue, newVer)
+		n.storePut(up.Key, up.NewValue, newVer)
 	case record.KindCommutative:
 		// Merged (gateway-coalesced) updates advance the version by the
 		// number of client updates they carry, keeping per-client-update
 		// version accounting exact.
-		_ = n.store.Put(up.Key, up.Apply(cur), ver+up.Span())
+		n.storePut(up.Key, up.Apply(cur), ver+up.Span())
 	}
 }
 

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"mdcc/internal/record"
+	"mdcc/internal/wal"
+)
+
+// Periodic checkpointing. A durable node with CheckpointInterval > 0
+// snapshots its full state — committed kv (escrow bases included),
+// every record's lineage summary, the decided-option cache — and
+// truncates WAL segments an older snapshot covers, so crash recovery
+// is the newest valid snapshot plus a bounded log tail rather than a
+// replay of every write the node ever took. Checkpoints run in the
+// node's single-threaded handler context via the same timer pattern as
+// the dangling-option sweep.
+
+// scheduleCheckpoint arms the periodic checkpoint timer, if this node
+// is durable and checkpointing is enabled.
+func (n *StorageNode) scheduleCheckpoint() {
+	if n.durable == nil || n.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	n.net.After(n.id, n.cfg.CheckpointInterval, func() {
+		if n.halted {
+			return
+		}
+		n.Checkpoint()
+		n.scheduleCheckpoint()
+	})
+}
+
+// Checkpoint writes a full-state snapshot now and truncates log
+// segments the previous snapshot covers. A refused snapshot write
+// degrades the node like any other durability failure: a node whose
+// disk cannot take a checkpoint is a node whose disk is failing.
+func (n *StorageNode) Checkpoint() {
+	if n.durable == nil || n.degraded != nil {
+		return
+	}
+	if err := n.durable.Checkpoint(n.snapshotOplog()); err != nil {
+		n.degrade(err)
+		return
+	}
+	n.nCheckpoints++
+}
+
+// snapshotOplog serializes every record's lineage summary and decided
+// cache in oplog-replay shape, so restoring a snapshot runs through
+// NewDurableStorageNode's seeding loop unchanged: one summary-snapshot
+// entry per record (unioned first), then the decided options in
+// settle order (recorded and noted idempotently). Keys are emitted in
+// sorted order so identical states checkpoint to identical bytes.
+func (n *StorageNode) snapshotOplog() []oplogEntry {
+	keys := make([]record.Key, 0, len(n.recs))
+	for k := range n.recs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []oplogEntry
+	for _, k := range keys {
+		r := n.recs[k]
+		if !r.summary.IsEmpty() {
+			snap := r.summary.Clone()
+			out = append(out, oplogEntry{Key: k, Snapshot: &snap})
+		}
+		for _, id := range r.decided.order {
+			e, ok := r.decided.entry(id)
+			if !ok {
+				continue
+			}
+			oe := oplogEntry{Key: k, Tx: id.Tx, Decision: e.Decision}
+			if e.HasOpt {
+				oe.Up, oe.HasUp = e.Opt.Update, true
+				oe.KeySeq = e.Opt.KeySeq
+			}
+			out = append(out, oe)
+		}
+	}
+	return out
+}
+
+// DurabilityInfo is a durable node's storage-engine gauge set, exposed
+// by /metrics and scenario reports.
+type DurabilityInfo struct {
+	// Store and Oplog are the two WALs' counters (appends, fsyncs,
+	// group-commit batch sizes, live bytes, poisoned state).
+	Store wal.Stats
+	Oplog wal.Stats
+	// SnapshotSeq is the newest checkpoint's sequence (0 = none);
+	// AppendsSinceCheckpoint the snapshot age in WAL records — the tail
+	// a crash right now would replay.
+	SnapshotSeq            int
+	AppendsSinceCheckpoint int64
+	// Checkpoints counts checkpoints taken by this incarnation.
+	Checkpoints int64
+	// Replay describes how the last recovery went.
+	Replay ReplayStats
+	// Degraded is true when the node latched a durability failure.
+	Degraded bool
+}
+
+// Durability reports the storage-engine gauges (zero value for
+// memory-only nodes).
+func (n *StorageNode) Durability() DurabilityInfo {
+	if n.durable == nil {
+		return DurabilityInfo{Degraded: n.degraded != nil}
+	}
+	return DurabilityInfo{
+		Store:                  n.durable.Store.Log().Stats(),
+		Oplog:                  n.durable.oplog.Stats(),
+		SnapshotSeq:            n.durable.snapSeq,
+		AppendsSinceCheckpoint: n.durable.AppendsSinceCheckpoint(),
+		Checkpoints:            n.nCheckpoints,
+		Replay:                 n.durable.replay,
+		Degraded:               n.degraded != nil,
+	}
+}

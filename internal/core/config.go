@@ -125,6 +125,14 @@ type Config struct {
 	// internal/trace). Nil disables recording at the cost of one nil
 	// check per instrumentation point.
 	Tracer *trace.Recorder
+
+	// CheckpointInterval is how often a durable storage node writes a
+	// full-state snapshot (kv + escrow bases + lineage summaries +
+	// decided cache) and truncates WAL segments an older snapshot
+	// covers, bounding crash-recovery replay to the tail since the last
+	// checkpoint (see checkpoint.go / DESIGN.md §12). Zero disables:
+	// recovery then replays the whole log. Memory-only nodes ignore it.
+	CheckpointInterval time.Duration
 }
 
 // feedKeepAlive resolves the keepalive interval.

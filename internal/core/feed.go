@@ -218,7 +218,9 @@ func (n *StorageNode) markFeedDirty(key record.Key) {
 // (which its coalesce-window and sweep timers share) melts under the
 // stream, taxing the very write path the feed is observing.
 func (n *StorageNode) flushFeeds() {
-	if len(n.feedDirty) == 0 || len(n.feedSubs) == 0 {
+	// Degraded nodes cleared feedDirty already (see degrade); the guard
+	// keeps keys dirtied before the failure from being fed as durable.
+	if n.halted || len(n.feedDirty) == 0 || len(n.feedSubs) == 0 {
 		return
 	}
 	now := n.net.Now()

@@ -320,6 +320,12 @@ type Metrics struct {
 	MovedKeys          int64
 	RingEpoch          int64
 	WrongGroupRefusals int64
+	// Durable-storage counters. DurabilityFailures counts refused disk
+	// writes that degraded the node (any nonzero value means the node
+	// halted rather than ack unsynced state); Checkpoints the full-state
+	// snapshots this incarnation wrote.
+	DurabilityFailures int64
+	Checkpoints        int64
 }
 
 // Metrics returns a snapshot of this node's counters.
@@ -350,5 +356,7 @@ func (n *StorageNode) Metrics() Metrics {
 		MovedKeys:          n.nMovedKeys,
 		RingEpoch:          int64(n.cl.Ring().Epoch()),
 		WrongGroupRefusals: n.nWrongGroupRefusals,
+		DurabilityFailures: n.nDurabilityFailures,
+		Checkpoints:        n.nCheckpoints,
 	}
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"mdcc/internal/kv"
 	"mdcc/internal/record"
@@ -14,18 +16,25 @@ import (
 )
 
 // Crash/restart support. A storage node's durable footprint is two
-// WALs under one directory: the committed record store (what BDB
-// persists in the paper's prototype) and the decision log — the final
+// WALs under one directory — the committed record store (what BDB
+// persists in the paper's prototype) and the decision log (the final
 // accept/reject outcome of every option whose effect entered the
-// store. Replaying both on restart makes the new incarnation
-// idempotent against late or duplicated visibility messages for
-// options it executed before the crash; without the decision log a
-// replayed commutative delta would be applied twice.
+// store) — plus periodic checkpoint snapshots of the full state (see
+// checkpoint.go), which bound recovery to the newest valid snapshot
+// and the log tail since its cut instead of a whole-log replay.
 //
 // Paxos promises and unresolved votes are deliberately volatile, as
 // in the rest of this codebase's durability model: a restarted
 // acceptor rejoins with an empty cstruct and catches up through
 // Phase 1, the dangling-option sweep, and anti-entropy.
+
+// ErrDurability is the typed error a storage node degrades with when
+// its disk refuses a write (WAL append, fsync, store put): the node
+// halts — it must never acknowledge state it could not persist — and
+// serves again only after its durable state is reopened (the operator
+// replaced the disk). Quorum replication carries the keyspace
+// meanwhile.
+var ErrDurability = errors.New("mdcc/core: durability failure, node degraded")
 
 // oplogEntry is one persisted oplog record: either one decision
 // (Up/HasUp carry the executed update's contents when known, so a
@@ -34,6 +43,9 @@ import (
 // every base adoption, whose wholesale summary union has no
 // per-decision records to replay). KeySeq preserves the option's
 // lineage identity so replay rebuilds the record's summary exactly.
+// Checkpoint snapshots serialize each record's decided cache in this
+// same shape, so restoring a snapshot reuses the replay machinery
+// unchanged.
 type oplogEntry struct {
 	Key      record.Key
 	Tx       TxID
@@ -46,6 +58,75 @@ type oplogEntry struct {
 	Snapshot *LineageSummary
 }
 
+// DurableOptions configures a node's durable state.
+type DurableOptions struct {
+	// NoSync skips fsync (harnesses that model durability). Injected
+	// faults still apply — see wal.Options.NoSync.
+	NoSync bool
+	// GroupCommit coalesces concurrent appends into one fsync;
+	// MaxStall optionally bounds a wait that grows the batches. See
+	// wal.Options.
+	GroupCommit bool
+	MaxStall    time.Duration
+	// SegmentSize overrides the WAL segment threshold (0 = default);
+	// scenarios shrink it to exercise many-segment recovery.
+	SegmentSize int64
+	// Faults, when non-nil, injects disk faults under both WALs and is
+	// the handle the scenario nemesis drives.
+	Faults *wal.Faults
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{
+		SegmentSize: o.SegmentSize,
+		NoSync:      o.NoSync,
+		GroupCommit: o.GroupCommit,
+		MaxStall:    o.MaxStall,
+		Faults:      o.Faults,
+	}
+}
+
+// ReplayStats describes one recovery: what it started from and how
+// much log it had to replay. The recovery bound rests on TailStore +
+// TailOplog staying O(writes since the last checkpoint), not O(writes
+// ever).
+type ReplayStats struct {
+	// UsedSnapshot is true when recovery seeded from a checkpoint;
+	// FullReplay when no snapshot existed and the whole log replayed.
+	UsedSnapshot bool
+	FullReplay   bool
+	// SnapshotSeq is the snapshot recovered from; FellBack is true
+	// when the newest snapshot was corrupt and an older one was used.
+	SnapshotSeq int
+	FellBack    bool
+	// SeededKeys / SeededDecisions are the snapshot's contents;
+	// TailStore / TailOplog the records replayed beyond its cut.
+	SeededKeys      int
+	SeededDecisions int
+	TailStore       int64
+	TailOplog       int64
+	// Duration is the wall-clock time OpenDurable spent.
+	Duration time.Duration
+}
+
+// cuts names the first live segment of each WAL as of one snapshot:
+// the snapshot covers everything below, the tail is everything from
+// the cut on.
+type cuts struct {
+	Store, Oplog int
+}
+
+// snapshotState is a checkpoint's serialized payload: the full kv
+// state (values, versions, escrow bases — tombstones included), every
+// record's lineage summary and decided cache in oplog-replay shape,
+// and the log cuts the snapshot covers.
+type snapshotState struct {
+	KV       []kv.Entry
+	Oplog    []oplogEntry
+	StoreCut int
+	OplogCut int
+}
+
 // DurableState is a storage node's on-disk state, opened before the
 // node (re)starts and handed to NewDurableStorageNode.
 type DurableState struct {
@@ -54,28 +135,109 @@ type DurableState struct {
 
 	oplog   *wal.Log
 	decided []oplogEntry
+	dir     string
+	opts    DurableOptions
+
+	snapSeq  int  // newest usable snapshot on disk (0 = none yet)
+	lastCuts cuts // its cuts: the truncation floor for the next checkpoint
+	replay   ReplayStats
+
+	// checkpointAppends is the combined append counter at the last
+	// checkpoint, so AppendsSinceCheckpoint is the snapshot-age gauge.
+	checkpointAppends int64
+	checkpoints       int64
 }
 
 // OpenDurable opens (creating on first boot, replaying after a crash)
 // the durable state rooted at dir. noSync skips fsync (simulation
 // harnesses model durability; they do not need it to be real).
 func OpenDurable(dir string, noSync bool) (*DurableState, error) {
-	store, err := kv.Open(filepath.Join(dir, "store"), noSync)
+	return OpenDurableOpts(dir, DurableOptions{NoSync: noSync})
+}
+
+// OpenDurableOpts opens the durable state rooted at dir with full
+// control of the WAL layer. Recovery seeds from the newest valid
+// checkpoint snapshot and replays only the log tail past its cut,
+// falling back to the previous snapshot if the newest is corrupt;
+// with no snapshot it replays the whole log (first boot, or
+// checkpointing disabled). If snapshots exist but none is usable the
+// node's state is gone — the error wraps wal.ErrCorrupt so the
+// operator (or harness) can rebuild the replica from its quorum.
+func OpenDurableOpts(dir string, o DurableOptions) (*DurableState, error) {
+	start := time.Now()
+	snapDir := filepath.Join(dir, "snap")
+	ds := &DurableState{dir: dir, opts: o}
+
+	seqs, err := wal.ListSnapshots(snapDir)
 	if err != nil {
 		return nil, err
 	}
-	oplog, err := wal.Open(filepath.Join(dir, "oplog"), wal.Options{NoSync: noSync})
+	var st *snapshotState
+	// Only the newest two snapshots are retained, so only they are
+	// candidates; anything older was pruned after its cut segments
+	// were truncated away.
+	tried := 0
+	for i := len(seqs) - 1; i >= 0 && tried < 2 && st == nil; i, tried = i-1, tried+1 {
+		payload, rerr := wal.ReadSnapshot(snapDir, seqs[i])
+		if rerr != nil {
+			ds.replay.FellBack = true
+			continue
+		}
+		var cand snapshotState
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cand); derr != nil {
+			ds.replay.FellBack = true
+			continue
+		}
+		st = &cand
+		ds.snapSeq = seqs[i]
+		// Snapshots newer than the one that validated are proven
+		// corrupt: remove them so pruning can never prefer them over
+		// good ones.
+		for j := i + 1; j < len(seqs); j++ {
+			if rmerr := wal.RemoveSnapshot(snapDir, seqs[j]); rmerr != nil {
+				return nil, rmerr
+			}
+		}
+	}
+	if len(seqs) > 0 && st == nil {
+		return nil, fmt.Errorf("core: no usable checkpoint snapshot in %s (newest seq %d): %w",
+			snapDir, seqs[len(seqs)-1], wal.ErrCorrupt)
+	}
+
+	var seed []kv.Entry
+	storeFrom, oplogFrom := 0, 0
+	if st != nil {
+		seed = st.KV
+		storeFrom, oplogFrom = st.StoreCut, st.OplogCut
+		ds.lastCuts = cuts{Store: st.StoreCut, Oplog: st.OplogCut}
+		ds.decided = append(ds.decided, st.Oplog...)
+		ds.replay.UsedSnapshot = true
+		ds.replay.SnapshotSeq = ds.snapSeq
+		ds.replay.SeededKeys = len(st.KV)
+		ds.replay.SeededDecisions = len(st.Oplog)
+	} else {
+		ds.replay.FullReplay = true
+		ds.replay.FellBack = false
+	}
+
+	store, err := kv.OpenWith(filepath.Join(dir, "store"), o.walOptions(), seed, storeFrom)
+	if err != nil {
+		return nil, err
+	}
+	ds.Store = store
+	oplog, err := wal.Open(filepath.Join(dir, "oplog"), o.walOptions())
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
-	ds := &DurableState{Store: store, oplog: oplog}
-	err = oplog.Replay(func(payload []byte) error {
+	ds.oplog = oplog
+	err = oplog.ReplayFrom(oplogFrom, func(payload []byte) error {
 		var e oplogEntry
 		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); derr != nil {
 			return fmt.Errorf("core: oplog replay: %w", derr)
 		}
 		ds.decided = append(ds.decided, e)
+		ds.replay.TailOplog++
 		return nil
 	})
 	if err != nil {
@@ -83,7 +245,78 @@ func OpenDurable(dir string, noSync bool) (*DurableState, error) {
 		store.Close()
 		return nil, err
 	}
+	ds.replay.TailStore = store.Replayed()
+	ds.replay.Duration = time.Since(start)
+	// The appends-since-checkpoint gauge must count the tail this open
+	// just replayed: those records sit past the snapshot cut on disk, so
+	// a crash right now would replay them again. Appends() restarts at
+	// zero per incarnation; backdating the baseline folds the tail in.
+	ds.checkpointAppends = -(ds.replay.TailStore + ds.replay.TailOplog)
 	return ds, nil
+}
+
+// Checkpoint writes a full-state snapshot (the caller serializes its
+// record state into oplogState; kv entries are read here) and
+// truncates WAL segments the previous snapshot covers. The last two
+// snapshots are kept: recovery may fall back one, and the logs retain
+// everything from the older one's cut, so the fallback always has its
+// tail. Crashing between any two steps is safe — replaying a tail
+// that overlaps a snapshot is idempotent (kv puts are last-write-wins
+// in log order, summary unions are monotone, decision records
+// deduplicate).
+func (ds *DurableState) Checkpoint(oplogState []oplogEntry) error {
+	storeCut, err := ds.Store.Log().Cut()
+	if err != nil {
+		return err
+	}
+	oplogCut, err := ds.oplog.Cut()
+	if err != nil {
+		return err
+	}
+	st := snapshotState{
+		KV:       ds.Store.Entries(),
+		Oplog:    oplogState,
+		StoreCut: storeCut,
+		OplogCut: oplogCut,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return fmt.Errorf("core: checkpoint encode: %w", err)
+	}
+	snapDir := filepath.Join(ds.dir, "snap")
+	seq := ds.snapSeq + 1
+	if err := wal.WriteSnapshot(snapDir, seq, buf.Bytes(), ds.opts.NoSync); err != nil {
+		return err
+	}
+	// Truncate below the *previous* snapshot's cuts, never this one's:
+	// if this snapshot later reads corrupt, recovery falls back to the
+	// previous and needs the log from its cut on.
+	floor := ds.lastCuts
+	ds.snapSeq = seq
+	ds.lastCuts = cuts{Store: storeCut, Oplog: oplogCut}
+	ds.checkpointAppends = ds.Store.Log().Appends() + ds.oplog.Appends()
+	ds.checkpoints++
+	if err := ds.Store.Log().TruncateBefore(floor.Store); err != nil {
+		return err
+	}
+	if err := ds.oplog.TruncateBefore(floor.Oplog); err != nil {
+		return err
+	}
+	return wal.PruneSnapshots(snapDir, 2)
+}
+
+// RecoveryStats reports how the last OpenDurable recovered.
+func (ds *DurableState) RecoveryStats() ReplayStats { return ds.replay }
+
+// SnapshotSeq is the newest on-disk checkpoint's sequence (0 = none).
+func (ds *DurableState) SnapshotSeq() int { return ds.snapSeq }
+
+// AppendsSinceCheckpoint is the snapshot-age gauge: WAL records
+// written since the last checkpoint (what a crash right now would
+// have to tail-replay). After a restart it counts from the recovery
+// point.
+func (ds *DurableState) AppendsSinceCheckpoint() int64 {
+	return ds.Store.Log().Appends() + ds.oplog.Appends() - ds.checkpointAppends
 }
 
 // Close releases both logs (call when the node crashes or shuts down).
@@ -97,12 +330,14 @@ func (ds *DurableState) Close() error {
 
 // NewDurableStorageNode builds a storage node whose committed store
 // and decision log live in ds, seeding the per-record decided logs
-// from the replayed decisions. Registering the handler replaces any
-// previous incarnation's registration on the network.
+// from the snapshot-plus-tail decisions recovery produced. Registering
+// the handler replaces any previous incarnation's registration on the
+// network.
 func NewDurableStorageNode(id transport.NodeID, dc topology.DC, net transport.Network,
 	cl *topology.Cluster, cfg Config, ds *DurableState) *StorageNode {
 	n := NewStorageNode(id, dc, net, cl, cfg, ds.Store)
 	n.oplog = ds.oplog
+	n.durable = ds
 	for _, e := range ds.decided {
 		r := n.rs(e.Key)
 		if e.Snapshot != nil {
@@ -125,6 +360,7 @@ func NewDurableStorageNode(id transport.NodeID, dc topology.DC, net transport.Ne
 			r.noteSettled(id, e.Decision, opt, hasOpt)
 		}
 	}
+	n.scheduleCheckpoint()
 	return n
 }
 
@@ -135,11 +371,38 @@ func NewDurableStorageNode(id transport.NodeID, dc topology.DC, net transport.Ne
 // transport-independent guarantee).
 func (n *StorageNode) Halt() { n.halted = true }
 
+// degrade latches the node's first durability failure: the node halts
+// (it must never acknowledge a write its disk refused) and everything
+// staged by the failing dispatch — buffered votes, dirty feed keys —
+// is dropped so nothing unsynced leaves the node. The failure is
+// surfaced typed via DurabilityError; the harness/operator crashes the
+// node, replaces the disk, and restarts it from its durable state.
+func (n *StorageNode) degrade(err error) {
+	if n.degraded != nil {
+		return
+	}
+	n.degraded = fmt.Errorf("%w: %v", ErrDurability, err)
+	n.nDurabilityFailures++
+	n.halted = true
+	for to := range n.voteBuf {
+		delete(n.voteBuf, to)
+	}
+	n.voteOrder = n.voteOrder[:0]
+	n.feedDirty = n.feedDirty[:0]
+	for k := range n.feedDirtySet {
+		delete(n.feedDirtySet, k)
+	}
+}
+
+// DurabilityError reports the typed failure a degraded node latched
+// (nil while healthy). A non-nil value means the node has halted and
+// needs its durable state reopened.
+func (n *StorageNode) DurabilityError() error { return n.degraded }
+
 // logDecision persists a settled option's outcome (with contents when
-// known), if this node is durable. Append errors are swallowed like
-// store-put errors: the simulation's durability is modeled, and a
-// lost decision record only costs idempotence after a crash, which
-// recovery tolerates.
+// known), if this node is durable. A refused append degrades the node
+// (see degrade) — the historical behavior of swallowing the error
+// silently lost durability while continuing to acknowledge writes.
 func (n *StorageNode) logDecision(id OptionID, d Decision, opt Option, hasOpt bool) {
 	if n.oplog == nil {
 		return
@@ -169,7 +432,19 @@ func (n *StorageNode) logLineage(key record.Key, s LineageSummary) {
 func (n *StorageNode) appendOplog(e *oplogEntry) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		n.degrade(err)
 		return
 	}
-	_ = n.oplog.Append(buf.Bytes())
+	if err := n.oplog.Append(buf.Bytes()); err != nil {
+		n.degrade(err)
+	}
+}
+
+// storePut writes committed state, degrading the node on a refused
+// put: committed state the disk did not take must not be served or
+// fed to subscribers as if durable.
+func (n *StorageNode) storePut(key record.Key, val record.Value, ver record.Version) {
+	if err := n.store.Put(key, val, ver); err != nil {
+		n.degrade(err)
+	}
 }

@@ -17,6 +17,13 @@ import (
 // anti-entropy) stay on the gob fallback, which also keeps
 // RegisterMessage the only obligation for new message types.
 //
+// Decode-side allocation discipline: every bounded-cardinality string
+// on the wire — record keys, node ids, ballot leaders, attribute and
+// lane names — decodes through transport's intern table, so in steady
+// state only genuinely new data allocates. Transaction ids are the
+// deliberate exception (unbounded cardinality, would churn the table).
+// The gate is TestWireDecodeSteadyStateAllocs.
+//
 // Field order is frozen per transport.WireVersion. Conditional fields
 // are guarded by the same booleans the consumers check (EscrowSnap
 // encodes its contents only when Valid; Phase2a's base only under
@@ -84,7 +91,7 @@ func readValue(r *transport.WireReader) record.Value {
 	if n > 0 {
 		v.Attrs = make(map[string]int64, n)
 		for i := uint64(0); i < n; i++ {
-			k := r.String()
+			k := r.InternString()
 			v.Attrs[k] = r.Varint()
 		}
 	}
@@ -105,7 +112,7 @@ func readDeltas(r *transport.WireReader) map[string]int64 {
 	}
 	m := make(map[string]int64, n)
 	for i := uint64(0); i < n; i++ {
-		k := r.String()
+		k := r.InternString()
 		m[k] = r.Varint()
 	}
 	return m
@@ -140,7 +147,7 @@ func AppendUpdateWire(b []byte, u record.Update) []byte {
 func ReadUpdateWire(r *transport.WireReader) record.Update {
 	var u record.Update
 	u.Kind = record.UpdateKind(r.Byte())
-	u.Key = record.Key(r.String())
+	u.Key = record.Key(r.InternString())
 	switch u.Kind {
 	case record.KindPhysical:
 		u.ReadVersion = record.Version(r.Uvarint())
@@ -173,12 +180,12 @@ func appendOption(b []byte, o Option) []byte {
 func readOption(r *transport.WireReader) Option {
 	var o Option
 	o.Tx = TxID(r.String())
-	o.Coord = transport.NodeID(r.String())
+	o.Coord = transport.NodeID(r.InternString())
 	o.Update = ReadUpdateWire(r)
 	if n := r.Uvarint(); n > 0 && n <= uint64(r.Len()) {
 		o.WriteSet = make([]record.Key, 0, n)
 		for i := uint64(0); i < n; i++ {
-			o.WriteSet = append(o.WriteSet, record.Key(r.String()))
+			o.WriteSet = append(o.WriteSet, record.Key(r.InternString()))
 		}
 	}
 	o.KeySeq = r.Uvarint()
@@ -201,7 +208,7 @@ func readBallot(r *transport.WireReader) paxos.Ballot {
 	var bal paxos.Ballot
 	bal.N = r.Uvarint()
 	bal.Fast = r.Bool()
-	bal.Leader = r.String()
+	bal.Leader = r.InternString()
 	return bal
 }
 
@@ -234,7 +241,7 @@ func readEscrow(r *transport.WireReader) EscrowSnap {
 		e.Attrs = make([]AttrEscrow, 0, n)
 		for i := uint64(0); i < n; i++ {
 			e.Attrs = append(e.Attrs, AttrEscrow{
-				Attr: r.String(), Base: r.Varint(),
+				Attr: r.InternString(), Base: r.Varint(),
 				PendDown: r.Varint(), PendUp: r.Varint(),
 			})
 		}
@@ -280,7 +287,7 @@ func readLineage(r *transport.WireReader) LineageSummary {
 		s.Lanes = make([]LaneLineage, 0, n)
 		for i := uint64(0); i < n; i++ {
 			s.Lanes = append(s.Lanes, LaneLineage{
-				Lane: r.String(), Done: readRanges(r), Rejected: readRanges(r),
+				Lane: r.InternString(), Done: readRanges(r), Rejected: readRanges(r),
 			})
 		}
 	}
@@ -315,14 +322,14 @@ func appendVote(b []byte, v MsgVote) []byte {
 func readVote(r *transport.WireReader) MsgVote {
 	var v MsgVote
 	v.OptID.Tx = TxID(r.String())
-	v.OptID.Key = record.Key(r.String())
+	v.OptID.Key = record.Key(r.InternString())
 	v.Ballot = readBallot(r)
 	v.Decision = Decision(r.Byte())
 	v.Reason = RejectReason(r.Byte())
 	flags := r.Byte()
 	v.Forwarded = flags&voteFlagForwarded != 0
 	v.WrongGroup = flags&voteFlagWrongGroup != 0
-	v.Leader = transport.NodeID(r.String())
+	v.Leader = transport.NodeID(r.InternString())
 	v.Escrow = readEscrow(r)
 	return v
 }
@@ -354,7 +361,7 @@ func appendDecided(b []byte, d DecidedOption) []byte {
 func readDecided(r *transport.WireReader) DecidedOption {
 	var d DecidedOption
 	d.ID.Tx = TxID(r.String())
-	d.ID.Key = record.Key(r.String())
+	d.ID.Key = record.Key(r.InternString())
 	d.Decision = Decision(r.Byte())
 	d.HasOpt = r.Bool()
 	if d.HasOpt {
@@ -373,7 +380,7 @@ func appendFeedItem(b []byte, it FeedItem) []byte {
 
 func readFeedItem(r *transport.WireReader) FeedItem {
 	var it FeedItem
-	it.Key = record.Key(r.String())
+	it.Key = record.Key(r.InternString())
 	it.Value = readValue(r)
 	it.Version = record.Version(r.Uvarint())
 	it.Exists = r.Bool()
@@ -557,13 +564,13 @@ func init() {
 	transport.RegisterWire(tagMsgRead, func(r *transport.WireReader) (transport.Message, error) {
 		var m MsgRead
 		m.ReqID = r.Uvarint()
-		m.Key = record.Key(r.String())
+		m.Key = record.Key(r.InternString())
 		return m, r.Err()
 	})
 	transport.RegisterWire(tagMsgReadReply, func(r *transport.WireReader) (transport.Message, error) {
 		var m MsgReadReply
 		m.ReqID = r.Uvarint()
-		m.Key = record.Key(r.String())
+		m.Key = record.Key(r.InternString())
 		m.Value = readValue(r)
 		m.Version = record.Version(r.Uvarint())
 		m.Exists = r.Bool()
@@ -607,7 +614,7 @@ func init() {
 	transport.RegisterWire(tagMsgLearned, func(r *transport.WireReader) (transport.Message, error) {
 		var m MsgLearned
 		m.OptID.Tx = TxID(r.String())
-		m.OptID.Key = record.Key(r.String())
+		m.OptID.Key = record.Key(r.InternString())
 		m.Decision = Decision(r.Byte())
 		m.Reason = RejectReason(r.Byte())
 		m.Escrow = readEscrow(r)
@@ -638,7 +645,7 @@ func init() {
 	})
 	transport.RegisterWire(tagMsgPhase2a, func(r *transport.WireReader) (transport.Message, error) {
 		var m MsgPhase2a
-		m.Key = record.Key(r.String())
+		m.Key = record.Key(r.InternString())
 		m.Ballot = readBallot(r)
 		m.Seq = r.Uvarint()
 		n := r.Uvarint()
@@ -672,7 +679,7 @@ func init() {
 	})
 	transport.RegisterWire(tagMsgPhase2b, func(r *transport.WireReader) (transport.Message, error) {
 		var m MsgPhase2b
-		m.Key = record.Key(r.String())
+		m.Key = record.Key(r.InternString())
 		m.Ballot = readBallot(r)
 		m.Seq = r.Uvarint()
 		m.OK = r.Bool()
@@ -691,7 +698,7 @@ func init() {
 		if n > 0 {
 			m.CatchUp = make([]record.Key, 0, n)
 			for i := uint64(0); i < n; i++ {
-				m.CatchUp = append(m.CatchUp, record.Key(r.String()))
+				m.CatchUp = append(m.CatchUp, record.Key(r.InternString()))
 			}
 		}
 		return m, r.Err()

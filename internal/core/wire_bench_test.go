@@ -114,3 +114,44 @@ func TestWireEncodeAllocFree(t *testing.T) {
 		}
 	}
 }
+
+// TestWireDecodeSteadyStateAllocs is the decode-side allocation gate:
+// with the intern table warm, decoding a hot message allocates only
+// the message's own structure — interface boxing, slices, maps, and
+// transaction ids (the deliberate non-interned exception). Record
+// keys, node ids, ballot leaders, attribute and lane names decode
+// through transport's intern table and must NOT cost one string copy
+// per occurrence; a regression that reintroduces per-string copies
+// blows well past these pinned budgets.
+func TestWireDecodeSteadyStateAllocs(t *testing.T) {
+	samples := wireSamples()
+	budgets := map[string]float64{
+		"MsgRead":           2,
+		"MsgReadReply":      6,
+		"MsgVote":           4,
+		"MsgVoteBatch":      6,
+		"MsgLearned":        4,
+		"MsgPhase2a":        28,
+		"MsgPhase2b_ok":     2,
+		"MsgProposeBatch":   13,
+		"MsgVisibilityFeed": 7,
+	}
+	for name, budget := range budgets {
+		buf, err := transport.AppendEnvelope(nil, transport.Envelope{From: "dc1/store0", To: "dc2/app0", Msg: samples[name]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm pass: admit this sample's strings to the intern table.
+		if _, err := transport.DecodeEnvelope(transport.NewWireReader(buf)); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := transport.DecodeEnvelope(transport.NewWireReader(buf)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("%s: decode allocates %.1f objects/op, budget %.0f", name, allocs, budget)
+		}
+	}
+}

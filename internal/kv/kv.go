@@ -26,10 +26,11 @@ type Entry struct {
 
 // Store is a versioned key/value store. Safe for concurrent use.
 type Store struct {
-	mu   sync.RWMutex
-	tree *btree.Tree
-	log  *wal.Log // nil for memory-only stores
-	puts int64
+	mu       sync.RWMutex
+	tree     *btree.Tree
+	log      *wal.Log // nil for memory-only stores
+	puts     int64
+	replayed int64
 }
 
 // NewMemory returns a store without durability (the simulator's
@@ -41,17 +42,32 @@ func NewMemory() *Store {
 // Open returns a durable store backed by a WAL in dir, replaying any
 // existing log into memory.
 func Open(dir string, noSync bool) (*Store, error) {
-	log, err := wal.Open(dir, wal.Options{NoSync: noSync})
+	return OpenWith(dir, wal.Options{NoSync: noSync}, nil, 0)
+}
+
+// OpenWith returns a durable store backed by a WAL in dir with full
+// control of the log options (group commit, fault injection). seed
+// entries — recovered from a checkpoint snapshot — enter the tree
+// without being re-logged, and replay starts at segment fromSeg (the
+// snapshot's cut), so recovery is the bounded tail, not the whole log.
+// Replaying a tail that overlaps the seed is sound: puts are
+// last-write-wins in log order.
+func OpenWith(dir string, opts wal.Options, seed []Entry, fromSeg int) (*Store, error) {
+	log, err := wal.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{tree: btree.New(), log: log}
-	err = log.Replay(func(payload []byte) error {
+	for _, e := range seed {
+		s.tree.Put(string(e.Key), Entry{Key: e.Key, Value: e.Value.Clone(), Version: e.Version})
+	}
+	err = log.ReplayFrom(fromSeg, func(payload []byte) error {
 		var e Entry
 		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); derr != nil {
 			return fmt.Errorf("kv: replay: %w", derr)
 		}
 		s.tree.Put(string(e.Key), e)
+		s.replayed++
 		return nil
 	})
 	if err != nil {
@@ -118,6 +134,36 @@ func (s *Store) Scan(from, to record.Key, fn func(Entry) bool) {
 		}
 		return fn(Entry{Key: e.Key, Value: e.Value.Clone(), Version: e.Version})
 	})
+}
+
+// Entries returns every entry — tombstones included, a checkpoint must
+// preserve them — in key order, with cloned values.
+func (s *Store) Entries() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Entry, 0, s.tree.Len())
+	s.tree.AscendRange("", "", func(k string, v interface{}) bool {
+		e := v.(Entry)
+		out = append(out, Entry{Key: e.Key, Value: e.Value.Clone(), Version: e.Version})
+		return true
+	})
+	return out
+}
+
+// Log exposes the backing WAL (nil for memory stores) for checkpoint
+// cuts, truncation, and durability stats.
+func (s *Store) Log() *wal.Log {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.log
+}
+
+// Replayed returns how many WAL records were replayed at open — the
+// recovery tail length when opened from a snapshot.
+func (s *Store) Replayed() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replayed
 }
 
 // Len returns the number of keys ever written (including tombstones).

@@ -21,6 +21,7 @@ import (
 	"mdcc/internal/topology"
 	"mdcc/internal/trace"
 	"mdcc/internal/transport"
+	"mdcc/internal/wal"
 )
 
 // Epilogue pacing: after the traffic window the harness heals every
@@ -32,6 +33,13 @@ const (
 	convergeAfter = 30 * time.Second
 	sweepTimeout  = 3 * time.Second
 	syncInterval  = 750 * time.Millisecond
+	// recoveryWallBound is the documented crash-recovery bound: real
+	// (wall-clock) time a storage restart may spend reopening its
+	// durable state — snapshot load plus bounded tail replay. Checked
+	// on every restart by check.ValidateRecovery; generous against CI
+	// scheduling noise, far below an unbounded full-log replay at
+	// scale.
+	recoveryWallBound = 5 * time.Second
 )
 
 // Run is one scenario execution. Nemesis functions receive it to
@@ -46,14 +54,29 @@ type Run struct {
 	nodes    []*core.StorageNode // parallel to Cluster.Storage
 	durables []*core.DurableState
 	dirs     []string
+	faults   []*wal.Faults        // per-node disk fault handles (parallel to nodes)
 	downDC   map[topology.DC]bool // Fail-style outages to undo at heal
 	crashed  map[int]bool         // storage index -> awaiting restart
-	coords   []*core.Coordinator
-	gws      map[topology.DC]*gateway.Gateway // gateway scenarios only
-	clients  []mtx.Client
-	hist     *check.History
-	initial  map[record.Key]record.Value
-	cons     []record.Constraint
+
+	// Durable-storage observations: the durability gauges captured at
+	// each crash (so the restart's replay can be judged against what
+	// had actually accumulated), every restart's recovery record, and
+	// the injected-fault / wiped-rebuild tallies for the report.
+	crashInfo  map[int]core.DurabilityInfo
+	recoveries []check.RecoveryRecord
+	diskFaults int
+	wiped      int
+	// Counters of dead storage incarnations (accumulated at crash so a
+	// replaced node's checkpoints and degrade latches still show in the
+	// report; live incarnations are read at run end).
+	deadCheckpoints int64
+	deadDegrades    int64
+	coords          []*core.Coordinator
+	gws             map[topology.DC]*gateway.Gateway // gateway scenarios only
+	clients         []mtx.Client
+	hist            *check.History
+	initial         map[record.Key]record.Value
+	cons            []record.Constraint
 
 	// Gateway fault-injection state (gateway scenarios only).
 	gwDown         map[topology.DC]bool    // crashed, awaiting restart
@@ -162,6 +185,7 @@ func build(s *Scenario, o Options) (*Run, error) {
 	}
 	cfg.MasterDC = s.MasterDC
 	cfg.DecidedRetention = s.Retention
+	cfg.CheckpointInterval = s.Checkpoint
 
 	var rec *trace.Recorder
 	if o.Trace {
@@ -173,20 +197,21 @@ func build(s *Scenario, o Options) (*Run, error) {
 	}
 
 	r := &Run{
-		Opts:     o,
-		Net:      net,
-		Cluster:  cl,
-		Cfg:      cfg,
-		scn:      s,
-		downDC:   make(map[topology.DC]bool),
-		crashed:  make(map[int]bool),
-		hist:     check.New(),
-		cons:     cons,
-		lat:      stats.NewSample(4096),
-		gwDown:   make(map[topology.DC]bool),
-		gwGen:    make(map[topology.DC]uint64),
-		gwTokens: make(map[uint64]*gwPendingOp),
-		rec:      rec,
+		Opts:      o,
+		Net:       net,
+		Cluster:   cl,
+		Cfg:       cfg,
+		scn:       s,
+		downDC:    make(map[topology.DC]bool),
+		crashed:   make(map[int]bool),
+		crashInfo: make(map[int]core.DurabilityInfo),
+		hist:      check.New(),
+		cons:      cons,
+		lat:       stats.NewSample(4096),
+		gwDown:    make(map[topology.DC]bool),
+		gwGen:     make(map[topology.DC]uint64),
+		gwTokens:  make(map[uint64]*gwPendingOp),
+		rec:       rec,
 	}
 	if r.Opts.Dir == "" {
 		dir, err := os.MkdirTemp("", "mdcc-scenario-")
@@ -198,7 +223,8 @@ func build(s *Scenario, o Options) (*Run, error) {
 	}
 	for i, n := range cl.Storage {
 		dir := filepath.Join(r.Opts.Dir, string(n.ID))
-		ds, err := core.OpenDurable(dir, true)
+		r.faults = append(r.faults, wal.NewFaults())
+		ds, err := core.OpenDurableOpts(dir, r.durOpts(i))
 		if err != nil {
 			r.close()
 			return nil, err
@@ -206,7 +232,6 @@ func build(s *Scenario, o Options) (*Run, error) {
 		r.dirs = append(r.dirs, dir)
 		r.durables = append(r.durables, ds)
 		r.nodes = append(r.nodes, core.NewDurableStorageNode(n.ID, n.DC, net, cl, cfg, ds))
-		_ = i
 	}
 	if s.Gateway {
 		// Clients attach to their DC's shared gateway instead of
@@ -518,9 +543,23 @@ func (r *Run) run() (*Result, error) {
 		res.Nodes.MixedKindRejects += m.MixedKindRejects
 		res.Nodes.ShardMoves += m.ShardMoves
 		res.Nodes.MovedKeys += m.MovedKeys
+		res.Nodes.DurabilityFailures += m.DurabilityFailures
+		res.Nodes.Checkpoints += m.Checkpoints
 		if m.RingEpoch > res.Nodes.RingEpoch { // gauge: aggregate with max
 			res.Nodes.RingEpoch = m.RingEpoch
 		}
+	}
+	res.Nodes.Checkpoints += r.deadCheckpoints
+	res.Nodes.DurabilityFailures += r.deadDegrades
+	res.Recoveries = r.recoveries
+	res.DiskFaults = r.diskFaults
+	res.WipedRebuilds = r.wiped
+	// The bounded-recovery contract over every restart the run
+	// performed: snapshot-seeded when a checkpoint existed, tail no
+	// longer than what accumulated since it, wall time under the
+	// documented bound.
+	for _, err := range check.ValidateRecovery(r.recoveries, recoveryWallBound) {
+		res.Violations = append(res.Violations, err.Error())
 	}
 	res.RingEpoch = uint64(r.Cluster.Ring().Epoch())
 	for _, err := range r.hist.Validate(r.initial, r.finalState, r.cons) {
@@ -891,11 +930,29 @@ func (r *Run) RecoverDC(dc topology.DC) {
 	delete(r.downDC, dc)
 }
 
+// durOpts is storage node i's durable-engine configuration: NoSync
+// (the simulator models durability; injected faults still fire), a
+// small segment size so checkpoint truncation spans real segment
+// boundaries at scenario scale, and the node's fault handle.
+func (r *Run) durOpts(i int) core.DurableOptions {
+	return core.DurableOptions{
+		NoSync:      true,
+		SegmentSize: 64 << 10,
+		Faults:      r.faults[i],
+	}
+}
+
 // CrashStorage kills storage node i (index into Cluster.Storage): its
 // queued events die, its volatile Paxos state is lost, and its WALs
-// are closed as a crashed process would leave them.
+// are closed as a crashed process would leave them. The durability
+// gauges are captured first so the restart's replay can be validated
+// against what had actually accumulated since the last checkpoint.
 func (r *Run) CrashStorage(i int) {
 	id := r.Cluster.Storage[i].ID
+	r.crashInfo[i] = r.nodes[i].Durability()
+	m := r.nodes[i].Metrics()
+	r.deadCheckpoints += m.Checkpoints
+	r.deadDegrades += m.DurabilityFailures
 	r.Net.Crash(id)
 	r.nodes[i].Halt()
 	_ = r.durables[i].Close()
@@ -903,24 +960,141 @@ func (r *Run) CrashStorage(i int) {
 }
 
 // RestartStorage reboots a crashed storage node: reopen its WALs,
-// replay committed state and decisions, and register the fresh
-// incarnation.
+// recover from the newest valid checkpoint snapshot plus the log tail
+// (full replay when no checkpoint exists), and register the fresh
+// incarnation. If no snapshot is usable (every one corrupt), the
+// replica's durable state is discarded and it restarts empty — the
+// modeled operator response — to be rebuilt from its quorum by
+// anti-entropy; the generic convergence checks then demand the
+// rebuild completed.
 func (r *Run) RestartStorage(i int) {
 	if !r.crashed[i] {
 		return
 	}
-	ds, err := core.OpenDurable(r.dirs[i], true)
+	n := r.Cluster.Storage[i]
+	pre := r.crashInfo[i]
+	rec := check.RecoveryRecord{
+		Node:         string(n.ID),
+		HadSnapshot:  pre.SnapshotSeq > 0,
+		ExpectedTail: pre.AppendsSinceCheckpoint,
+	}
+	ds, err := core.OpenDurableOpts(r.dirs[i], r.durOpts(i))
+	if errors.Is(err, wal.ErrCorrupt) {
+		r.events = append(r.events, fmt.Sprintf("restart %s: state unrecoverable (%v); wiped for quorum rebuild", n.ID, err))
+		r.wiped++
+		rec.Wiped = true
+		if rmErr := os.RemoveAll(r.dirs[i]); rmErr != nil {
+			r.events = append(r.events, fmt.Sprintf("restart %s: wipe failed: %v", n.ID, rmErr))
+			return
+		}
+		ds, err = core.OpenDurableOpts(r.dirs[i], r.durOpts(i))
+	}
 	if err != nil {
-		// Surfaced as a validation failure: the replica's state is
-		// simply gone, so version accounting will flag it.
-		r.events = append(r.events, fmt.Sprintf("restart %s failed: %v", r.Cluster.Storage[i].ID, err))
+		r.events = append(r.events, fmt.Sprintf("restart %s failed: %v", n.ID, err))
 		return
 	}
-	n := r.Cluster.Storage[i]
+	rs := ds.RecoveryStats()
+	rec.UsedSnapshot = rs.UsedSnapshot
+	rec.FellBack = rs.FellBack
+	rec.TailRecords = rs.TailStore + rs.TailOplog
+	rec.Wall = rs.Duration
+	r.recoveries = append(r.recoveries, rec)
 	r.durables[i] = ds
 	r.Net.Recover(n.ID)
 	r.nodes[i] = core.NewDurableStorageNode(n.ID, n.DC, r.Net, r.Cluster, r.Cfg, ds)
 	delete(r.crashed, i)
+}
+
+// --- disk-fault nemesis -----------------------------------------------
+
+// FailDisk makes storage node i's fsyncs fail persistently: the next
+// durable write degrades the node (typed core.ErrDurability latched,
+// no further acks) until ReplaceDisk. Modeled fsync failures fire even
+// under the harness's NoSync logs.
+func (r *Run) FailDisk(i int) {
+	r.diskFaults++
+	r.faults[i].FailSync(true)
+}
+
+// TearDisk makes storage node i's next WAL append tear mid-frame (a
+// partial write followed by the poisoned-log latch): the node degrades
+// and, after ReplaceDisk, replay must drop the torn tail exactly.
+func (r *Run) TearDisk(i int) {
+	r.diskFaults++
+	r.faults[i].TornWrite(0)
+}
+
+// FlipDiskBit silently corrupts the payload of storage node i's next
+// WAL append (the write and its ack succeed — bit rot): the damage
+// must surface as typed corruption at the next replay, never as
+// silently wrong state.
+func (r *Run) FlipDiskBit(i int) {
+	r.diskFaults++
+	r.faults[i].BitFlip()
+}
+
+// RotWALRecord flips a byte inside the first record of crashed node
+// i's newest store-log segment: bit rot guaranteed to land in the
+// replay tail. (FlipDiskBit's runtime injection can land in a segment
+// a later checkpoint truncates away — harmless by design; this helper
+// pins the other outcome.) The restart must surface it as typed
+// wal.ErrCorrupt — never silently truncate the valid records behind
+// it — driving the wipe + quorum-rebuild path.
+func (r *Run) RotWALRecord(i int) {
+	id := r.Cluster.Storage[i].ID
+	dir := filepath.Join(r.dirs[i], "store")
+	segs, err := wal.Segments(dir)
+	if err != nil || len(segs) == 0 {
+		r.events = append(r.events, fmt.Sprintf("rot WAL on %s: no segments", id))
+		return
+	}
+	path := wal.SegmentPath(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) < 12 {
+		r.events = append(r.events, fmt.Sprintf("rot WAL on %s: segment too small (%v)", id, err))
+		return
+	}
+	r.diskFaults++
+	data[10] ^= 0x10 // a payload byte of the segment's first record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		r.events = append(r.events, fmt.Sprintf("rot WAL on %s: %v", id, err))
+	}
+}
+
+// ReplaceDisk is the operator response to a degraded replica: clear
+// the injected fault (the new disk works), then crash and restart the
+// node so it recovers from its durable state. Also valid on a healthy
+// node (a precautionary swap).
+func (r *Run) ReplaceDisk(i int) {
+	r.faults[i].FailSync(false)
+	if !r.crashed[i] {
+		r.CrashStorage(i)
+	}
+	r.RestartStorage(i)
+}
+
+// CorruptNewestSnapshot flips a byte in the middle of crashed node i's
+// newest checkpoint snapshot, so its restart must detect the
+// corruption and fall back to the previous snapshot (whose log tail
+// the truncation floor retains).
+func (r *Run) CorruptNewestSnapshot(i int) {
+	snapDir := filepath.Join(r.dirs[i], "snap")
+	seqs, err := wal.ListSnapshots(snapDir)
+	if err != nil || len(seqs) == 0 {
+		r.events = append(r.events, fmt.Sprintf("corrupt snapshot on %s: none found", r.Cluster.Storage[i].ID))
+		return
+	}
+	r.diskFaults++
+	path := wal.SnapshotPath(snapDir, seqs[len(seqs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		r.events = append(r.events, fmt.Sprintf("corrupt snapshot on %s: %v", r.Cluster.Storage[i].ID, err))
+		return
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		r.events = append(r.events, fmt.Sprintf("corrupt snapshot on %s: %v", r.Cluster.Storage[i].ID, err))
+	}
 }
 
 // CrashDC crashes every storage node of a data center.
@@ -1037,6 +1211,17 @@ func (r *Run) heal() {
 	sort.Ints(idxs)
 	for _, i := range idxs {
 		r.RestartStorage(i)
+	}
+	// Disks the nemesis degraded get replaced: disarm the fault and
+	// reboot the node from its durable state. A node that latched a
+	// durability failure stopped acking the moment its disk refused a
+	// write, so nothing it served is unsynced.
+	for i, n := range r.nodes {
+		r.faults[i].FailSync(false)
+		if n.DurabilityError() != nil && !r.crashed[i] {
+			r.Opts.Logf("[%s] replacing degraded disk on %s", r.scn.Name, r.Cluster.Storage[i].ID)
+			r.ReplaceDisk(i)
+		}
 	}
 	for _, dc := range topology.AllDCs() {
 		if r.gwDown[dc] {

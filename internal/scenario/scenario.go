@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"mdcc/internal/check"
 	"mdcc/internal/core"
 	"mdcc/internal/gateway"
 	"mdcc/internal/record"
@@ -141,6 +142,12 @@ type Scenario struct {
 	// shard ring (0 = all NodesPerDC). A scenario that provisions more
 	// storage nodes than active groups can grow live via Rebalance.
 	Groups int
+	// Checkpoint enables periodic full-state checkpoints on every
+	// storage node (core.Config.CheckpointInterval): recovery after a
+	// crash is then the newest valid snapshot plus a bounded WAL tail,
+	// and the harness validates that bound on every restart
+	// (check.ValidateRecovery). Zero = no checkpoints, full-log replay.
+	Checkpoint time.Duration
 	// Rebalance schedules a live shard move during the traffic window
 	// (gateway scenarios only): freeze-drain the moving slice,
 	// bootstrap the destination group over anti-entropy, publish the
@@ -207,6 +214,16 @@ type Result struct {
 	// move ever ran); ShardMoves/MovedKeys aggregate the storage-node
 	// shard-bootstrap counters (see core.Metrics).
 	RingEpoch uint64
+
+	// Recoveries records every storage restart's replay (snapshot used,
+	// tail length, wall time), each validated against the bounded-
+	// recovery contract by check.ValidateRecovery. DiskFaults counts
+	// injected disk faults (fsync failures, torn writes, bit flips);
+	// WipedRebuilds replicas whose durable state was unrecoverable
+	// (every snapshot corrupt) and was discarded for a quorum rebuild.
+	Recoveries    []check.RecoveryRecord
+	DiskFaults    int
+	WipedRebuilds int
 
 	// Events is the human-readable nemesis timeline that actually ran.
 	Events []string
@@ -278,6 +295,22 @@ func (r *Result) Report() string {
 			fmt.Fprintf(&b, "  read tier: %d reads consumed (%d local, %d rpc, %d shared, %d quorum; local frac %.2f), feed %d msgs/%d items, %d gaps, %d resubs\n",
 				r.Reads, g.LocalReads, g.ReadRPCs, g.ReadCoalesced, g.ReadQuorums,
 				g.LocalReadFrac, g.FeedMsgs, g.FeedItems, g.FeedGaps, g.FeedResubs)
+		}
+	}
+	if r.Nodes.Checkpoints > 0 || r.Nodes.DurabilityFailures > 0 || len(r.Recoveries) > 0 {
+		fmt.Fprintf(&b, "  durability: %d checkpoints, %d disk faults injected, %d degrade latches, %d restarts recovered, %d wiped+rebuilt\n",
+			r.Nodes.Checkpoints, r.DiskFaults, r.Nodes.DurabilityFailures, len(r.Recoveries), r.WipedRebuilds)
+		for _, rec := range r.Recoveries {
+			mode := "full-log replay"
+			if rec.Wiped {
+				mode = "state unrecoverable, wiped for quorum rebuild"
+			} else if rec.FellBack {
+				mode = "fell back to previous snapshot"
+			} else if rec.UsedSnapshot {
+				mode = "snapshot + tail"
+			}
+			fmt.Fprintf(&b, "    recovery %-14s %-40s tail=%-6d wall=%s\n",
+				rec.Node, mode, rec.TailRecords, rec.Wall.Round(time.Microsecond))
 		}
 	}
 	if r.Nodes.ShardMoves > 0 || r.RingEpoch > 1 {

@@ -332,6 +332,81 @@ var registry = []*Scenario{
 		},
 	},
 	{
+		// The durable-storage-engine gauntlet. Storage nodes run with
+		// periodic full-state checkpoints (snapshot + WAL truncation)
+		// while the nemesis attacks the disks themselves: persistent
+		// fsync failures (the node must latch typed core.ErrDurability
+		// and fall silent — degraded disks shed errors, they never ack
+		// unsynced writes), a torn mid-frame write (replay must drop the
+		// torn tail exactly), silent bit rot in a logged record (must
+		// surface as typed corruption at the next replay — the replica
+		// is wiped and rebuilt from its quorum, never silently wrong),
+		// a heavy-load crash whose restart must recover from the newest
+		// snapshot plus a bounded log tail inside the documented wall
+		// bound, and a crash whose newest snapshot is corrupted on disk
+		// so recovery must fall back to the previous snapshot. Beyond
+		// the standard invariants, check.ValidateRecovery judges every
+		// restart: snapshot-seeded when one existed, tail no longer
+		// than what accumulated since the last checkpoint, wall time
+		// bounded.
+		Name:        "recovery-bound",
+		Description: "checkpointed WAL recovery under disk faults: fsync failure, torn write, bit rot, snapshot corruption; replay stays snapshot+bounded-tail",
+		Workload:    mixedWorkload,
+		Clients:     100,
+		Duration:    90 * time.Second,
+		Checkpoint:  3 * time.Second,
+		Nemesis: func(r *Run) {
+			byDC := func(dc topology.DC) int {
+				for i, n := range r.Cluster.Storage {
+					if n.DC == dc {
+						return i
+					}
+				}
+				return -1
+			}
+			r.At(frac(r, 0.15), "arm bit rot on us-west (next WAL append silently corrupted)", func() {
+				// This early rot usually lands in a segment a later
+				// checkpoint truncates away — which must stay harmless.
+				// The rot that must SURFACE is planted at the crash below.
+				r.FlipDiskBit(byDC(topology.USWest))
+			})
+			r.At(frac(r, 0.20), "fsync failures on eu-ie (node must degrade, not ack)", func() {
+				r.FailDisk(byDC(topology.EUIreland))
+			})
+			r.At(frac(r, 0.30), "torn WAL write on ap-tk (partial frame, then degrade)", func() {
+				r.TearDisk(byDC(topology.APTokyo))
+			})
+			r.At(frac(r, 0.35), "replace eu-ie disk (reboot from snapshot + tail)", func() {
+				r.ReplaceDisk(byDC(topology.EUIreland))
+			})
+			r.At(frac(r, 0.42), "replace ap-tk disk (torn tail dropped at replay)", func() {
+				r.ReplaceDisk(byDC(topology.APTokyo))
+			})
+			r.At(frac(r, 0.45), "crash us-east under sustained load", func() {
+				r.CrashStorage(byDC(topology.USEast))
+			})
+			r.At(frac(r, 0.55), "crash us-west, rot a record in its replay tail", func() {
+				i := byDC(topology.USWest)
+				r.CrashStorage(i)
+				r.RotWALRecord(i)
+			})
+			r.At(frac(r, 0.60), "restart us-east (snapshot + bounded tail)", func() {
+				r.RestartStorage(byDC(topology.USEast))
+			})
+			r.At(frac(r, 0.65), "restart us-west (typed corruption; wiped, quorum rebuild)", func() {
+				r.RestartStorage(byDC(topology.USWest))
+			})
+			r.At(frac(r, 0.68), "crash ap-sg and corrupt its newest snapshot", func() {
+				i := byDC(topology.APSingapore)
+				r.CrashStorage(i)
+				r.CorruptNewestSnapshot(i)
+			})
+			r.At(frac(r, 0.78), "restart ap-sg (falls back to previous snapshot)", func() {
+				r.RestartStorage(byDC(topology.APSingapore))
+			})
+		},
+	},
+	{
 		// The retention-is-not-a-correctness-input proof. The
 		// decided-log content cache is shrunk to 4s while a full data
 		// center sits partitioned for ~55% of the run — many multiples

@@ -221,6 +221,48 @@ func (r *WireReader) String() string {
 	return string(p)
 }
 
+// InternString reads a length-prefixed string through the bounded
+// intern table: for hot low-cardinality wire strings (node ids, record
+// keys, attribute and lane names) the steady-state decode path stops
+// allocating one string copy per occurrence. Do NOT use it for
+// unbounded-cardinality strings (transaction ids): they would only
+// churn the table until it pins at capacity full of dead entries.
+func (r *WireReader) InternString() string {
+	return internBytes(r.take("string"))
+}
+
+// The intern table. Lookup keyed by string(p) compiles to a
+// no-allocation map access; a miss copies once and remembers the copy.
+// The table is append-only and capped — under a hostile or pathological
+// stream it stops admitting new entries rather than growing without
+// bound, and decoding stays correct either way (a full table just
+// means misses allocate, as they did before interning).
+const internCap = 8192
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 256)
+)
+
+func internBytes(p []byte) string {
+	if len(p) == 0 || len(p) > 128 {
+		return string(p) // oversized strings are not worth pinning
+	}
+	internMu.RLock()
+	s, ok := internTab[string(p)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(p)
+	internMu.Lock()
+	if len(internTab) < internCap {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
 // Bytes reads a length-prefixed byte slice, copied out of the buffer
 // (nil for length 0, matching the common nil-slice encode side).
 func (r *WireReader) Bytes() []byte {
@@ -277,8 +319,8 @@ func AppendEnvelope(b []byte, e Envelope) ([]byte, error) {
 // DecodeEnvelope parses one envelope from r.
 func DecodeEnvelope(r *WireReader) (Envelope, error) {
 	var e Envelope
-	e.From = NodeID(r.String())
-	e.To = NodeID(r.String())
+	e.From = NodeID(r.InternString())
+	e.To = NodeID(r.InternString())
 	e.TraceClk = r.Uvarint()
 	tag := r.Byte()
 	if err := r.Err(); err != nil {
@@ -362,7 +404,7 @@ func (bt Batch) AppendWire(b []byte) []byte {
 func init() {
 	RegisterWire(TagHello, func(r *WireReader) (Message, error) {
 		var h helloMsg
-		h.ID = NodeID(r.String())
+		h.ID = NodeID(r.InternString())
 		h.Addr = r.String()
 		return h, r.Err()
 	})

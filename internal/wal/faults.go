@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults is a nemesis-drivable fault plan for the file layer under one
+// or more Logs (share one Faults between a node's store and oplog to
+// model a single failing disk). All methods are safe for concurrent
+// use and safe on a nil receiver (no faults).
+//
+// The fault model, mirroring how real disks fail:
+//
+//   - FailSync: every sync fails with ErrDiskFault until disarmed.
+//     Under NoSync the *modeled* sync fails, so harnesses that never
+//     pay for fsync still see the disk refuse durability. The log is
+//     poisoned on the first failure (fsyncgate semantics).
+//   - TornWrite: one-shot — the next append writes only a prefix of
+//     its frame and fails, as if the disk died mid-write. Recovery
+//     must truncate the tear (tail) or report it typed (mid-segment).
+//   - BitFlip: one-shot — the next append's payload is silently
+//     corrupted on its way to the file. The append succeeds; replay
+//     must surface ErrCorrupt, never the flipped bytes.
+//   - SyncDelay: every sync (or NoSync append) stalls this long —
+//     a stuck disk, for latency experiments on the real-clock paths.
+type Faults struct {
+	mu        sync.Mutex
+	failSync  bool
+	torn      int // -1 unarmed; else one-shot byte budget for the next frame
+	bitFlip   bool
+	syncDelay time.Duration
+
+	nSyncFails int64
+	nTorn      int64
+	nFlips     int64
+}
+
+// NewFaults returns an empty fault plan.
+func NewFaults() *Faults { return &Faults{torn: -1} }
+
+// FailSync arms (on=true) or disarms persistent sync failure.
+func (f *Faults) FailSync(on bool) {
+	f.mu.Lock()
+	f.failSync = on
+	f.mu.Unlock()
+}
+
+// TornWrite arms a one-shot torn write: the next appended frame is cut
+// to at most n bytes and the append fails.
+func (f *Faults) TornWrite(n int) {
+	f.mu.Lock()
+	f.torn = n
+	f.mu.Unlock()
+}
+
+// BitFlip arms a one-shot silent payload corruption on the next append.
+func (f *Faults) BitFlip() {
+	f.mu.Lock()
+	f.bitFlip = true
+	f.mu.Unlock()
+}
+
+// SyncDelay sets a per-sync stall (0 disarms).
+func (f *Faults) SyncDelay(d time.Duration) {
+	f.mu.Lock()
+	f.syncDelay = d
+	f.mu.Unlock()
+}
+
+// Counters reports how many faults actually fired.
+func (f *Faults) Counters() (syncFails, tornWrites, bitFlips int64) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nSyncFails, f.nTorn, f.nFlips
+}
+
+// failSyncNow reports (and counts) whether the current sync must fail.
+func (f *Faults) failSyncNow() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failSync {
+		f.nSyncFails++
+		return true
+	}
+	return false
+}
+
+// takeTorn consumes a one-shot torn write, returning its byte budget.
+func (f *Faults) takeTorn() (int, bool) {
+	if f == nil {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.torn < 0 {
+		return 0, false
+	}
+	n := f.torn
+	f.torn = -1
+	f.nTorn++
+	return n, true
+}
+
+// takeFlip consumes a one-shot bit flip.
+func (f *Faults) takeFlip() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.bitFlip {
+		return false
+	}
+	f.bitFlip = false
+	f.nFlips++
+	return true
+}
+
+// delay returns the armed stuck-disk stall.
+func (f *Faults) delay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncDelay
+}

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint snapshots. A snapshot is one opaque payload (the caller's
+// serialized full state plus the log cuts it covers) written as a
+// single CRC-framed record in its own file, snap-%08d.snap, numbered
+// by a monotone sequence. Writes are atomic — tmp file, fsync, rename,
+// directory fsync — so a crash mid-checkpoint can never leave a torn
+// file under the final name; a snapshot that fails its CRC anyway
+// (bit rot, injected corruption) is reported as ErrCorrupt and callers
+// fall back to the previous sequence number. Keeping the last two
+// snapshots plus the log tail since the older one is what makes that
+// fallback always sound.
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func snapName(seq int) string {
+	return fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix)
+}
+
+// SnapshotPath returns the file path of snapshot seq in dir (for
+// harnesses that corrupt snapshots on purpose).
+func SnapshotPath(dir string, seq int) string {
+	return filepath.Join(dir, snapName(seq))
+}
+
+// ListSnapshots returns the snapshot sequence numbers in dir,
+// ascending. A missing dir is an empty list.
+func ListSnapshots(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix))
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// WriteSnapshot atomically writes payload as snapshot seq in dir.
+// noSync skips the fsyncs (harnesses that model durability).
+func WriteSnapshot(dir string, seq int, payload []byte, noSync bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(hdr[0:4], payload))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: snapshot sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(seq))); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if !noSync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot reads and CRC-verifies snapshot seq, returning
+// ErrCorrupt (wrapped) on any frame or checksum mismatch.
+func ReadSnapshot(dir string, seq int) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapName(seq)))
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: snapshot %d truncated header", ErrCorrupt, seq)
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	want := binary.LittleEndian.Uint32(data[4:8])
+	if int(length) != len(data)-headerSize {
+		return nil, fmt.Errorf("%w: snapshot %d length mismatch", ErrCorrupt, seq)
+	}
+	payload := data[headerSize:]
+	if frameCRC(data[0:4], payload) != want {
+		return nil, fmt.Errorf("%w: snapshot %d bad crc", ErrCorrupt, seq)
+	}
+	return payload, nil
+}
+
+// RemoveSnapshot deletes snapshot seq (used to discard a snapshot
+// proven corrupt, so pruning never preserves it over good ones).
+func RemoveSnapshot(dir string, seq int) error {
+	err := os.Remove(filepath.Join(dir, snapName(seq)))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: snapshot remove: %w", err)
+	}
+	return nil
+}
+
+// PruneSnapshots deletes all but the newest keep snapshots.
+func PruneSnapshots(dir string, keep int) error {
+	seqs, err := ListSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for len(seqs) > keep {
+		if err := RemoveSnapshot(dir, seqs[0]); err != nil {
+			return err
+		}
+		seqs = seqs[1:]
+	}
+	return nil
+}

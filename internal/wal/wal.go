@@ -6,10 +6,31 @@
 //
 // Record framing:
 //
-//	uint32 length | uint32 crc32(payload) | payload bytes
+//	uint32 length | uint32 crc32(length‖payload) | payload bytes
 //
+// The CRC covers the length prefix so an all-zero frame (zeroed
+// garbage after a crash) can never parse as a valid empty record.
 // Torn tails (partial final record after a crash) are detected by
 // length/CRC mismatch and truncated on open.
+//
+// Durability modes: by default every Append fsyncs before returning.
+// With Options.GroupCommit concurrent appenders coalesce into one
+// fsync (leader/follower batching: the first appender of a batch runs
+// the sync, everyone who wrote while it was in flight rides the next
+// one), each Append still returning only once its record is durable.
+// Options.NoSync drops fsync entirely for harnesses that model
+// durability instead of paying for it. A failed fsync poisons the log
+// (fsyncgate semantics): the kernel may have dropped the dirty pages,
+// so no later sync can retroactively make the lost writes durable —
+// every subsequent Append fails with the original error until the log
+// is reopened.
+//
+// Checkpoint support: Cut() seals the active segment so a snapshot can
+// name "everything below segment N", TruncateBefore(n) deletes sealed
+// segments once a snapshot covers them, and ReplayFrom(n) replays only
+// the tail a snapshot does not cover. Options.Faults injects disk
+// faults (sync failure, torn write, bit flip, stuck-disk latency)
+// under all of it for crash-recovery testing.
 package wal
 
 import (
@@ -24,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -39,6 +61,17 @@ var ErrClosed = errors.New("wal: log closed")
 // a segment (a torn tail is silently truncated instead).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrDiskFault marks an injected disk failure (see Faults). Callers
+// must treat it exactly like a real I/O error: the append was not made
+// durable and must not be acknowledged.
+var ErrDiskFault = errors.New("wal: disk fault")
+
+// frameCRC checksums the length prefix together with the payload, so
+// zeroed garbage (length 0, crc 0) never validates as an empty record.
+func frameCRC(lengthLE []byte, payload []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(lengthLE[:4]), crc32.IEEETable, payload)
+}
+
 // Options configures a Log.
 type Options struct {
 	// SegmentSize is the byte threshold after which appends roll over
@@ -47,22 +80,51 @@ type Options struct {
 	// NoSync disables fsync after append (used by tests and by the
 	// simulator harness where durability is modeled, not real).
 	NoSync bool
+	// GroupCommit coalesces concurrent appends into one fsync: the
+	// first appender of a batch becomes the sync leader, appenders that
+	// write while its fsync is in flight are acknowledged by the next
+	// one. Each Append still returns only after a sync covering its
+	// record. No effect under NoSync.
+	GroupCommit bool
+	// MaxStall is an optional bounded wait the group-commit leader adds
+	// before syncing, trading that much commit latency for larger
+	// batches under light concurrency. Zero means sync immediately
+	// (batches then form only from appends that arrive while a sync is
+	// already in flight, which is the right default under load).
+	MaxStall time.Duration
+	// Faults, when non-nil, injects disk faults under this log (shared
+	// between several logs to model one failing disk). See Faults.
+	Faults *Faults
 }
 
 // Log is an append-only segmented log. Safe for concurrent use.
 type Log struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when a group-commit sync batch drains
 	dir     string
 	opts    Options
 	seg     *os.File
 	segIdx  int
 	segSize int64
 	closed  bool
+	failed  error // sticky first durability failure; cleared only by reopening
 	appends int64
+	frame   []byte // reused frame build buffer
+
+	// Group-commit state: appenders queue an ack channel in pending;
+	// syncing is true while a leader goroutine owns the fsync.
+	pending        []chan error
+	syncing        bool
+	nSyncs         int64
+	nSyncedAppends int64
+	maxBatch       int64
 }
 
 // Open opens (creating if necessary) a log in dir and truncates any
-// torn tail in the newest segment.
+// torn tail in the newest segment. Only an invalid region that runs to
+// end-of-file is a torn tail: a checksum-failing record with data
+// after it is bit rot mid-segment and reported as ErrCorrupt —
+// truncating there would silently drop the valid records behind it.
 func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = 4 << 20
@@ -75,6 +137,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.cond = sync.NewCond(&l.mu)
 	if len(segs) == 0 {
 		if err := l.rollLocked(0); err != nil {
 			return nil, err
@@ -104,35 +167,186 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// Append writes one record and (unless NoSync) syncs it to disk.
+// Append writes one record and (unless NoSync) returns only once a
+// sync covering it has completed. After any durability failure the log
+// is poisoned: every later Append returns the original error until the
+// log is reopened.
 func (l *Log) Append(payload []byte) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if l.segSize >= l.opts.SegmentSize {
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	// Roll only while no sync is in flight: the leader fsyncs l.seg
+	// outside the lock, so the file must not be swapped under it
+	// (segments may overshoot SegmentSize by one in-flight batch).
+	if l.segSize >= l.opts.SegmentSize && !l.syncing && len(l.pending) == 0 {
 		if err := l.rollLocked(l.segIdx + 1); err != nil {
+			l.mu.Unlock()
 			return err
 		}
 	}
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := l.seg.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append header: %w", err)
+	// Build the whole frame in one reused buffer: one write syscall,
+	// and fault injection needs byte-level control over what reaches
+	// the file.
+	f := l.opts.Faults
+	need := headerSize + len(payload)
+	if cap(l.frame) < need {
+		l.frame = make([]byte, need)
 	}
-	if _, err := l.seg.Write(payload); err != nil {
-		return fmt.Errorf("wal: append payload: %w", err)
+	frame := l.frame[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], frameCRC(frame[0:4], payload))
+	copy(frame[headerSize:], payload)
+	if f.takeFlip() && len(payload) > 0 {
+		// The CRC above was computed on the clean payload, so the flip
+		// is silent now and a typed ErrCorrupt on replay.
+		frame[headerSize+len(payload)/2] ^= 0x10
 	}
-	l.segSize += int64(headerSize + len(payload))
+	if n, ok := f.takeTorn(); ok {
+		// A torn write models the disk dying mid-frame: part of the
+		// record reaches the file, the append fails, and the log is
+		// poisoned exactly like a failed sync.
+		if n > len(frame) {
+			n = len(frame)
+		}
+		l.seg.Write(frame[:n])
+		l.segSize += int64(n)
+		l.failed = fmt.Errorf("wal: torn write (%d of %d bytes): %w", n, len(frame), ErrDiskFault)
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	if _, err := l.seg.Write(frame); err != nil {
+		l.failed = fmt.Errorf("wal: append: %w", err)
+		err = l.failed
+		l.mu.Unlock()
+		return err
+	}
+	l.segSize += int64(need)
 	l.appends++
-	if !l.opts.NoSync {
-		if err := l.seg.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+	switch {
+	case l.opts.NoSync:
+		// Durability is modeled, but faults still apply: a disk whose
+		// syncs fail must refuse the append loudly even when the
+		// harness never pays for real fsync.
+		if f.failSyncNow() {
+			l.failed = fmt.Errorf("wal: sync: %w", ErrDiskFault)
+			err := l.failed
+			l.mu.Unlock()
+			return err
+		}
+		d := f.delay()
+		l.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	case l.opts.GroupCommit:
+		ch := make(chan error, 1)
+		l.pending = append(l.pending, ch)
+		if !l.syncing {
+			l.syncing = true
+			go l.syncLeader()
+		}
+		l.mu.Unlock()
+		return <-ch
+	default:
+		err := l.syncLocked()
+		l.mu.Unlock()
+		return err
+	}
+}
+
+// syncLocked runs the unbatched fsync path (mu held). The fault
+// delay sleeps with mu held — exactly what a stuck disk does to a
+// log whose committers all funnel through one fsync.
+func (l *Log) syncLocked() error {
+	f := l.opts.Faults
+	if d := f.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	var err error
+	if f.failSyncNow() {
+		err = fmt.Errorf("wal: sync: %w", ErrDiskFault)
+	} else if serr := l.seg.Sync(); serr != nil {
+		err = fmt.Errorf("wal: sync: %w", serr)
+	}
+	l.nSyncs++
+	l.nSyncedAppends++
+	if l.maxBatch < 1 {
+		l.maxBatch = 1
+	}
+	if err != nil {
+		l.failed = err
+	}
+	return err
+}
+
+// syncLeader is the group-commit leader: it snapshots the waiters that
+// queued so far, fsyncs once for all of them, and hands the baton to a
+// new leader if more appends arrived while its fsync was in flight.
+func (l *Log) syncLeader() {
+	if l.opts.MaxStall > 0 {
+		time.Sleep(l.opts.MaxStall)
+	}
+	l.mu.Lock()
+	waiters := l.pending
+	l.pending = nil
+	seg := l.seg
+	f := l.opts.Faults
+	l.mu.Unlock()
+
+	var err error
+	if f.failSyncNow() {
+		err = fmt.Errorf("wal: sync: %w", ErrDiskFault)
+	} else {
+		if d := f.delay(); d > 0 {
+			time.Sleep(d)
+		}
+		if serr := seg.Sync(); serr != nil {
+			err = fmt.Errorf("wal: sync: %w", serr)
 		}
 	}
-	return nil
+
+	l.mu.Lock()
+	l.nSyncs++
+	l.nSyncedAppends += int64(len(waiters))
+	if int64(len(waiters)) > l.maxBatch {
+		l.maxBatch = int64(len(waiters))
+	}
+	if err != nil {
+		l.failed = err
+		// Poisoned: records queued behind the failed sync were never
+		// made durable either; fail them all rather than pretend a
+		// later fsync could cover them.
+		waiters = append(waiters, l.pending...)
+		l.pending = nil
+	}
+	if len(l.pending) > 0 {
+		go l.syncLeader()
+	} else {
+		l.syncing = false
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// drainSyncLocked blocks (mu held, via cond) until no group-commit
+// sync is in flight.
+func (l *Log) drainSyncLocked() {
+	for l.syncing {
+		l.cond.Wait()
+	}
 }
 
 // Appends returns the number of records appended through this handle.
@@ -142,10 +356,63 @@ func (l *Log) Appends() int64 {
 	return l.appends
 }
 
+// Stats is a point-in-time snapshot of the log's durability counters
+// and on-disk footprint.
+type Stats struct {
+	Appends int64
+	// Syncs counts fsync batches; SyncedAppends the appends they
+	// covered (SyncedAppends/Syncs is the group-commit fan-in);
+	// MaxBatch the largest single batch.
+	Syncs         int64
+	SyncedAppends int64
+	MaxBatch      int64
+	// ActiveSegment is the index appends currently go to; Segments and
+	// LiveBytes the on-disk footprint (what TruncateBefore has not yet
+	// reclaimed).
+	ActiveSegment int
+	Segments      int
+	LiveBytes     int64
+	// Failed reports the poisoned state (a durability failure latched
+	// until reopen).
+	Failed bool
+}
+
+// Stats reports the log's counters and on-disk footprint.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	s := Stats{
+		Appends:       l.appends,
+		Syncs:         l.nSyncs,
+		SyncedAppends: l.nSyncedAppends,
+		MaxBatch:      l.maxBatch,
+		ActiveSegment: l.segIdx,
+		Failed:        l.failed != nil,
+	}
+	dir := l.dir
+	l.mu.Unlock()
+	if segs, err := listSegments(dir); err == nil {
+		s.Segments = len(segs)
+		for _, idx := range segs {
+			if fi, err := os.Stat(filepath.Join(dir, segName(idx))); err == nil {
+				s.LiveBytes += fi.Size()
+			}
+		}
+	}
+	return s
+}
+
 // Replay calls fn for every record in log order. It must not be
 // called concurrently with Append.
 func (l *Log) Replay(fn func(payload []byte) error) error {
+	return l.ReplayFrom(0, fn)
+}
+
+// ReplayFrom calls fn for every record in segments >= from, in log
+// order — the bounded tail replay after recovering from a snapshot
+// whose cut is from. It must not be called concurrently with Append.
+func (l *Log) ReplayFrom(from int, fn func(payload []byte) error) error {
 	l.mu.Lock()
+	l.drainSyncLocked()
 	dir := l.dir
 	l.mu.Unlock()
 	segs, err := listSegments(dir)
@@ -153,8 +420,58 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 		return err
 	}
 	for _, idx := range segs {
+		if idx < from {
+			continue
+		}
 		if err := replaySegment(filepath.Join(dir, segName(idx)), idx == segs[len(segs)-1], fn); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// Cut seals the active segment and starts a new one, returning the new
+// active segment index: every record appended so far lives in segments
+// below it. A snapshot taken after Cut covers exactly those segments,
+// making TruncateBefore(cut-of-an-older-snapshot) safe. An empty
+// active segment is reused as the cut.
+func (l *Log) Cut() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.drainSyncLocked()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.segSize == 0 {
+		return l.segIdx, nil
+	}
+	if err := l.rollLocked(l.segIdx + 1); err != nil {
+		return 0, err
+	}
+	return l.segIdx, nil
+}
+
+// TruncateBefore deletes sealed segments with index < seg (never the
+// active one). Call it only once a durable snapshot covers them.
+func (l *Log) TruncateBefore(seg int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if idx >= seg || idx == l.segIdx {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(idx))); err != nil {
+			return fmt.Errorf("wal: truncate-before: %w", err)
 		}
 	}
 	return nil
@@ -167,6 +484,7 @@ func (l *Log) Truncate() error {
 	if l.closed {
 		return ErrClosed
 	}
+	l.drainSyncLocked()
 	if l.seg != nil {
 		l.seg.Close()
 	}
@@ -190,10 +508,11 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.drainSyncLocked()
 	if l.seg == nil {
 		return nil
 	}
-	if !l.opts.NoSync {
+	if !l.opts.NoSync && l.failed == nil {
 		if err := l.seg.Sync(); err != nil {
 			l.seg.Close()
 			return err
@@ -204,7 +523,7 @@ func (l *Log) Close() error {
 
 func (l *Log) rollLocked(idx int) error {
 	if l.seg != nil {
-		if !l.opts.NoSync {
+		if !l.opts.NoSync && l.failed == nil {
 			if err := l.seg.Sync(); err != nil {
 				return fmt.Errorf("wal: roll sync: %w", err)
 			}
@@ -223,6 +542,17 @@ func (l *Log) rollLocked(idx int) error {
 
 func segName(idx int) string {
 	return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix)
+}
+
+// Segments returns the segment indexes present in dir, ascending
+// (exported for harnesses that corrupt segments on purpose).
+func Segments(dir string) ([]int, error) {
+	return listSegments(dir)
+}
+
+// SegmentPath returns the file path of segment idx in dir.
+func SegmentPath(dir string, idx int) string {
+	return filepath.Join(dir, segName(idx))
 }
 
 func listSegments(dir string) ([]int, error) {
@@ -255,6 +585,11 @@ func validPrefixLen(path string) (int64, error) {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
 	var off int64
 	var hdr [headerSize]byte
 	for {
@@ -263,12 +598,25 @@ func validPrefixLen(path string) (int64, error) {
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
+		// A length beyond the file is a torn or garbage header — never
+		// allocate on its say-so.
+		if off+headerSize+int64(length) > size {
+			return off, nil
+		}
 		buf := make([]byte, length)
 		if _, err := io.ReadFull(f, buf); err != nil {
 			return off, nil // torn payload
 		}
-		if crc32.ChecksumIEEE(buf) != want {
-			return off, nil // corrupt tail
+		if frameCRC(hdr[0:4], buf) != want {
+			// A complete frame with a bad checksum and data after it
+			// cannot be a torn append (a tear only ever shortens the
+			// file): it is bit rot mid-segment. Truncating here would
+			// silently drop the valid records behind it, so surface the
+			// typed corruption instead.
+			if off+headerSize+int64(length) < size {
+				return 0, fmt.Errorf("%w: bad crc mid-segment in %s", ErrCorrupt, path)
+			}
+			return off, nil // corrupt final record: torn tail
 		}
 		off += int64(headerSize) + int64(length)
 	}
@@ -283,6 +631,12 @@ func replaySegment(path string, tolerateTail bool, fn func([]byte) error) error 
 		return fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	var off int64
 	var hdr [headerSize]byte
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -296,6 +650,12 @@ func replaySegment(path string, tolerateTail bool, fn func([]byte) error) error 
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if off+headerSize+int64(length) > size {
+			if tolerateTail {
+				return nil
+			}
+			return fmt.Errorf("%w: oversized record length in %s", ErrCorrupt, path)
+		}
 		buf := make([]byte, length)
 		if _, err := io.ReadFull(f, buf); err != nil {
 			if tolerateTail {
@@ -303,12 +663,16 @@ func replaySegment(path string, tolerateTail bool, fn func([]byte) error) error 
 			}
 			return fmt.Errorf("%w: torn payload in %s", ErrCorrupt, path)
 		}
-		if crc32.ChecksumIEEE(buf) != want {
-			if tolerateTail {
+		if frameCRC(hdr[0:4], buf) != want {
+			// Same rule as validPrefixLen: in the active segment only a
+			// corrupt FINAL record is a tolerable torn tail; a bad
+			// checksum with records behind it is mid-segment bit rot.
+			if tolerateTail && off+headerSize+int64(length) == size {
 				return nil
 			}
 			return fmt.Errorf("%w: bad crc in %s", ErrCorrupt, path)
 		}
+		off += headerSize + int64(length)
 		if err := fn(buf); err != nil {
 			return err
 		}
