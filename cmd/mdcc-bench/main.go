@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mdcc-bench [flags] fig3|fig4|fig5|fig6|fig7|fig8|gateway|all
+//	mdcc-bench [flags] fig3|fig4|fig5|fig6|fig7|fig8|gateway|durability|live|scale|all
 //
 // Flags:
 //
@@ -46,7 +46,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|durability|live|all\n")
+		fmt.Fprintf(os.Stderr, "usage: mdcc-bench [-quick] [-seed N] fig3|fig4|fig5|fig6|fig7|fig8|gateway|durability|live|scale|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,6 +73,8 @@ func main() {
 		durabilityBench()
 	case "live":
 		liveBench()
+	case "scale":
+		scaleBench()
 	case "all":
 		fig3()
 		fig4()
@@ -82,6 +84,7 @@ func main() {
 		fig8()
 		gatewayBench()
 		durabilityBench()
+		scaleBench()
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mdcc/internal/scenario"
@@ -46,6 +48,11 @@ var (
 	traceOn      = flag.Bool("scenario.trace", false, "run the transaction flight recorder and print assembled cross-node timelines (slowest-N, every retained abort/unknown, and the transactions behind each invariant violation)")
 	traceSlowest = flag.Int("scenario.trace-slowest", 0, "flight recorder: always keep the N slowest transactions (0 = default 5)")
 	traceSlow    = flag.Duration("scenario.trace-slow", 0, "flight recorder: retain transactions slower than this (0 = default 1s)")
+
+	sweepOn    = flag.Bool("scenario.sweep", false, "run the scaling-curve sweep (node count x drop%) instead of single scenario runs; -scenario picks the swept scenario (\"all\" means the sweep default)")
+	sweepNodes = flag.String("sweep.nodes", "", "comma-separated nodes-per-DC axis for -scenario.sweep (default 1,40,188 = 65/260/1000 processes at 60 clients)")
+	sweepDrop  = flag.String("sweep.drop", "", "comma-separated ambient drop%% axis for -scenario.sweep (default 0,2)")
+	sweepFault = flag.Bool("sweep.faults", false, "also run the scenario's nemesis schedule at every sweep point (default: drop%% is the only fault, isolating scale)")
 )
 
 func main() {
@@ -59,6 +66,11 @@ func main() {
 		for _, s := range scenario.All() {
 			fmt.Printf("%-24s %s\n", s.Name, s.Description)
 		}
+		return
+	}
+
+	if *sweepOn {
+		runSweep()
 		return
 	}
 
@@ -124,4 +136,82 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d scenarios passed\n", len(torun))
+}
+
+// runSweep is the -scenario.sweep mode: the scaling curve (cluster
+// size x ambient drop%) printed as one table row per grid point.
+func runSweep() {
+	cfg := scenario.SweepConfig{
+		Seed:     *seed,
+		Clients:  *clients,
+		Duration: *duration,
+		Faults:   *sweepFault,
+	}
+	if *name != "all" {
+		cfg.Scenario = *name
+	}
+	var err error
+	if cfg.NodesPerDC, err = parseInts(*sweepNodes); err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-sim: -sweep.nodes: %v\n", err)
+		os.Exit(2)
+	}
+	if cfg.DropPcts, err = parseFloats(*sweepDrop); err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-sim: -sweep.drop: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) }
+	}
+	pts, err := scenario.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcc-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%7s %8s %6s %9s %9s %12s %11s %10s %9s  %s\n",
+		"nodes", "nodes/DC", "drop%", "commits", "tx/s", "converge-ms", "wall-ms", "sim/wall", "events/s", "verdict")
+	failed := 0
+	for _, p := range pts {
+		verdict := "PASS"
+		if !p.Passed {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%7d %8d %6.1f %9d %9.1f %12.0f %11.0f %9.0fx %9.0f  %s\n",
+			p.ClusterNodes, p.NodesPerDC, p.DropPct, p.Commits, p.TPS,
+			p.ConvergeMS, p.WallMS, p.SimWallRatio, p.EventsPerSec, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mdcc-sim: %d of %d sweep points FAILED\n", failed, len(pts))
+		os.Exit(1)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

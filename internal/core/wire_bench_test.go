@@ -153,5 +153,16 @@ func TestWireDecodeSteadyStateAllocs(t *testing.T) {
 		if allocs > budget {
 			t.Errorf("%s: decode allocates %.1f objects/op, budget %.0f", name, allocs, budget)
 		}
+		// Pooled-frame pass: DecodeFrame — the TCP read loop's actual
+		// entry point — recycles the reader struct itself, so it must
+		// beat the fresh-reader budget by at least that one allocation.
+		pooled := testing.AllocsPerRun(200, func() {
+			if _, err := transport.DecodeFrame(buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if pooled > budget-1 {
+			t.Errorf("%s: pooled DecodeFrame allocates %.1f objects/op, budget %.0f (reader must come from the pool)", name, pooled, budget-1)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mdcc/internal/core"
+	"mdcc/internal/kv"
 	"mdcc/internal/record"
 	"mdcc/internal/topology"
 	"mdcc/internal/transport"
@@ -319,5 +320,86 @@ func TestReadTierSurvivesDupReorder(t *testing.T) {
 	}
 	if m.FeedsLive == 0 {
 		t.Fatalf("stream wedged after chaos: %+v", m)
+	}
+}
+
+// TestReadTierPublisherChurnedOut pins feed recovery under node
+// churn: the gateway's feed publisher (its DC's shard replica) is not
+// restarted but *replaced* — a brand-new machine at the same slot
+// with empty disks, a fresh subscriber table and a fresh boot id. The
+// gateway must notice the publisher's death and resubscribe to the
+// replacement; the replacement must rebuild the committed state it
+// never had from its quorum over anti-entropy; and a post-churn
+// commit must reach memory readers through the NEW feed alone.
+func TestReadTierPublisherChurnedOut(t *testing.T) {
+	key := record.Key("stock/churned")
+	w := newTestWorld(t, Tuning{}, nil)
+	w.preload(key, record.Value{Attrs: map[string]int64{"units": 500}})
+	w.net.RunFor(3 * time.Second)
+	readOnce(w, key, 0) // materialize; feed live, boot pinned
+
+	shard := w.cl.ReplicaIn(key, topology.USWest)
+	idx := -1
+	for i, n := range w.cl.Storage {
+		if n.ID == shard {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no us-west replica for the key")
+	}
+	resubs := w.gw.Metrics().FeedResubs
+
+	// Churn the publisher out: crash it, then boot the replacement on
+	// wiped disks. The replacement syncs so its quorum can rebuild the
+	// state the new machine never held.
+	w.net.Crash(shard)
+	w.nodes[idx].Halt()
+	w.net.RunFor(time.Second)
+	w.stores[idx] = kv.NewMemory()
+	cfg := w.cfg
+	cfg.SyncInterval = 750 * time.Millisecond
+	w.net.Recover(shard)
+	w.nodes[idx] = core.NewStorageNode(shard, topology.USWest, w.net, w.cl, cfg, w.stores[idx])
+	// The silence passes FeedTTL, the gateway resubscribes to the
+	// fresh incarnation, and anti-entropy pulls the key back.
+	w.net.RunFor(8 * time.Second)
+
+	m := w.gw.Metrics()
+	if m.FeedResubs == resubs {
+		t.Fatalf("no resubscription after the publisher was churned out: %+v", m)
+	}
+	if m.FeedsLive == 0 {
+		t.Fatalf("feed not live on the replacement publisher: %+v", m)
+	}
+	if _, ver, ok := w.stores[idx].Get(key); !ok || ver != 1 {
+		t.Fatalf("replacement did not rebuild %s from its quorum: ok=%v ver=%d", key, ok, ver)
+	}
+
+	// The resubscription's catch-up asked an empty machine, so the old
+	// memory copy is rightly unconfirmed: the first post-churn read is
+	// a single RPC refill that re-registers the key with the new feed.
+	if _, ver, exists, served := readOnce(w, key, 0); !served || !exists || ver != 1 {
+		t.Fatalf("post-churn refill read: served=%v exists=%v ver=%d", served, exists, ver)
+	}
+
+	// From here the replacement's feed owns visibility: a commit must
+	// reach memory readers through it alone — no further RPCs.
+	w.net.At(0, func() {
+		w.gw.Commit([]record.Update{record.Commutative(key, map[string]int64{"units": -5})},
+			func(ok bool, err error) {
+				if !ok || err != nil {
+					t.Errorf("post-churn commit: ok=%v err=%v", ok, err)
+				}
+			})
+	})
+	w.net.RunFor(5 * time.Second)
+	rpcs := w.gw.Metrics().ReadRPCs
+	val, ver, exists, served := readOnce(w, key, 0)
+	if !served || !exists || ver != 2 || val.Attr("units") != 495 {
+		t.Fatalf("post-churn read: served=%v exists=%v ver=%d units=%d", served, exists, ver, val.Attr("units"))
+	}
+	if got := w.gw.Metrics().ReadRPCs; got != rpcs {
+		t.Fatalf("post-churn read paid an RPC (%d -> %d): the replacement's feed is not feeding memory", rpcs, got)
 	}
 }

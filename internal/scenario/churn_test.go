@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"mdcc/internal/ring"
+	"mdcc/internal/topology"
+)
+
+// TestChurnDestinationReplacedMidMove pins the hardest churn × move
+// interleaving: a replica of the move's DESTINATION group is replaced
+// — crashed, disks wiped, fresh machine — while the bootstrap that is
+// populating it is in flight. The epoch fence must hold (no
+// transaction admitted onto the moving slice lands on a half-built
+// owner), the pull chain must re-issue from scratch on the empty
+// incarnation, and the move must still publish with exact lineage
+// convergence on the new owners. A second replace after publish
+// covers the post-move rebuild path in the same run.
+func TestChurnDestinationReplacedMidMove(t *testing.T) {
+	s := &Scenario{
+		Name:        "churn-dest-replace",
+		Description: "test-local: replace bootstrap-destination replicas mid-move and post-publish",
+		Gateway:     true,
+		Groups:      1,
+		NodesPerDC:  2,
+		Workload: Workload{
+			Accounts:       20,
+			InitialBalance: 1000,
+			StockKeys:      3,
+			InitialStock:   50000,
+			Items:          6,
+			ReadFrac:       0.15,
+			TransferFrac:   0.35,
+			StockFrac:      0.25,
+		},
+		Clients:  12,
+		Duration: 15 * time.Second,
+		Nemesis: func(r *Run) {
+			r.At(frac(r, 0.20), "group 1 joins the ring", func() {
+				r.QueueMove("join group 1", func(cur ring.Map) ring.Map { return cur.WithGroup(1) })
+			})
+			// 300ms after the move starts: the freeze is draining or the
+			// bootstrap chains have just been issued — either way the
+			// us-east destination's chain must re-issue on the wiped
+			// replacement before the move can publish.
+			r.At(frac(r, 0.22), "replace us-east destination replica mid-bootstrap", func() {
+				if i := r.StorageIdx(topology.USEast, 1); i >= 0 {
+					r.ReplaceStorage(i)
+				}
+			})
+			r.At(frac(r, 0.60), "replace ap-tk destination replica after publish", func() {
+				if i := r.StorageIdx(topology.APTokyo, 1); i >= 0 {
+					r.ReplaceStorage(i)
+				}
+			})
+		},
+	}
+	res, err := s.Run(Options{Seed: 1, Faults: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("violations: %v (unresolved %d)", res.Violations, res.Unresolved)
+	}
+	if res.RingEpoch != 2 {
+		t.Fatalf("ring epoch %d, want 2: the move did not publish through the destination replace", res.RingEpoch)
+	}
+	if res.WipedRebuilds < 2 {
+		t.Fatalf("wiped rebuilds %d, want 2 (both replaces must boot empty)", res.WipedRebuilds)
+	}
+	if res.Nodes.ShardMoves == 0 || res.Nodes.MovedKeys == 0 {
+		t.Fatalf("no shard adoptions recorded: moves %d keys %d", res.Nodes.ShardMoves, res.Nodes.MovedKeys)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits through the churned move")
+	}
+}

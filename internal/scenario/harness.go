@@ -86,8 +86,11 @@ type Run struct {
 	gwTokens       map[uint64]*gwPendingOp // ops the gateway tier holds
 	gwUnknownTyped int                     // typed in-process ErrOutcomeUnknown observations
 
-	// Live shard-move state (Scenario.Rebalance only); see rebalance.go.
+	// Live shard-move state (Scenario.Rebalance and churn QueueMove);
+	// see rebalance.go.
 	mover      *ring.Mover
+	moveQueue  []queuedMove              // pending membership changes, FIFO
+	moves      int                       // published moves this run
 	rebMoving  func(record.Key) bool     // keys re-homed by the staged epoch
 	rebNext    ring.Epoch                // the staged epoch
 	rebFrozen  bool                      // freeze fence active (freeze..publish)
@@ -449,6 +452,7 @@ func stockKey(i int) record.Key { return record.Key(fmt.Sprintf("stock/%02d", i)
 func itemKey(i int) record.Key  { return record.Key(fmt.Sprintf("item/%03d", i)) }
 
 func (r *Run) run() (*Result, error) {
+	wallStart := time.Now()
 	start := r.Net.Now()
 	r.trafficEnd = start.Add(r.Opts.Duration)
 	if r.Opts.Faults && r.scn.Nemesis != nil {
@@ -477,7 +481,9 @@ func (r *Run) run() (*Result, error) {
 	// network is whole — coordinators keep re-running recovery, so a
 	// transaction that cannot settle inside the budget is a liveness
 	// violation.
+	healedAt := r.Net.Now()
 	drained := r.Net.RunUntil(func() bool { return r.inflight == 0 }, drainBudget)
+	drainedAt := r.Net.Now()
 	// Epilogue 3: converge. Visibility stragglers, the dangling-option
 	// sweep and anti-entropy bring all replicas to the same committed
 	// state before validation reads it.
@@ -493,10 +499,20 @@ func (r *Run) run() (*Result, error) {
 		Net:       r.Net.Stats(),
 		Events:    r.events,
 	}
+	res.ClusterNodes = len(r.Cluster.Storage) + len(r.Cluster.Clients)
+	for _, dc := range topology.AllDCs() {
+		res.ClusterNodes += len(r.GatewayIDs(dc))
+	}
+	res.Converge = drainedAt.Sub(healedAt)
+	res.Wall = time.Since(wallStart)
+	if res.Wall > 0 {
+		res.SimWallRatio = float64(r.Net.Now().Sub(start)) / float64(res.Wall)
+	}
 	if !drained {
 		res.Unresolved = r.inflight
 	}
 	res.Commits, res.Aborts = r.hist.Summary()
+	res.TPS = float64(res.Commits) / r.Opts.Duration.Seconds()
 	res.Unknown = r.hist.Unknowns()
 	res.UnknownTyped = r.gwUnknownTyped
 	for _, c := range r.coords {
@@ -1003,6 +1019,52 @@ func (r *Run) RestartStorage(i int) {
 	r.Net.Recover(n.ID)
 	r.nodes[i] = core.NewDurableStorageNode(n.ID, n.DC, r.Net, r.Cluster, r.Cfg, ds)
 	delete(r.crashed, i)
+}
+
+// ReplaceStorage swaps storage node i for a brand-new machine at the
+// same slot: the old process is crashed (if it isn't already), its
+// disks are discarded, and a fresh incarnation boots empty — to be
+// rebuilt from its replica quorum by anti-entropy (and, mid-move, by a
+// re-issued bootstrap pull chain). This is churn's "replace", distinct
+// from RestartStorage (same machine, durable state survives): no WAL
+// replay happens, so the recovery record is marked Wiped and exempt
+// from the bounded-replay contract.
+func (r *Run) ReplaceStorage(i int) {
+	if !r.crashed[i] {
+		r.CrashStorage(i)
+	}
+	n := r.Cluster.Storage[i]
+	if err := os.RemoveAll(r.dirs[i]); err != nil {
+		r.events = append(r.events, fmt.Sprintf("replace %s: wipe failed: %v", n.ID, err))
+		return
+	}
+	r.wiped++
+	ds, err := core.OpenDurableOpts(r.dirs[i], r.durOpts(i))
+	if err != nil {
+		r.events = append(r.events, fmt.Sprintf("replace %s failed: %v", n.ID, err))
+		return
+	}
+	r.recoveries = append(r.recoveries, check.RecoveryRecord{
+		Node:  string(n.ID),
+		Wiped: true,
+		Wall:  ds.RecoveryStats().Duration,
+	})
+	r.durables[i] = ds
+	r.Net.Recover(n.ID)
+	r.nodes[i] = core.NewDurableStorageNode(n.ID, n.DC, r.Net, r.Cluster, r.Cfg, ds)
+	delete(r.crashed, i)
+}
+
+// StorageIdx locates the storage node of a DC and replica group
+// (Cluster.Storage index), -1 when absent — the churn nemesis's
+// victim picker.
+func (r *Run) StorageIdx(dc topology.DC, group int) int {
+	for i, n := range r.Cluster.Storage {
+		if n.DC == dc && n.Index == group {
+			return i
+		}
+	}
+	return -1
 }
 
 // --- disk-fault nemesis -----------------------------------------------

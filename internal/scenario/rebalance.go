@@ -11,7 +11,7 @@ import (
 	"mdcc/internal/transport"
 )
 
-// Live shard move: the harness is the move's control plane. It drives
+// Live shard moves: the harness is the move's control plane. It drives
 // a ring.Mover through freeze → bootstrap → publish with poll loops
 // that survive every fault the nemesis throws at the window — crashed
 // and restarted storage nodes (pull chains re-issue per incarnation),
@@ -21,53 +21,108 @@ import (
 // Control decisions run in-process — an out-of-band operator — but
 // every byte of shard data moves over the simulated network through
 // the same anti-entropy path background sync uses.
+//
+// Moves are queued and run strictly one at a time (the Mover enforces
+// single-flight; the queue is what lets a churn nemesis script joins
+// and leaves back to back). A move may add groups (capacity growth:
+// keys re-home onto the newcomers) or remove them (a leave: the
+// departing group's slice scatters across every survivor, each pulling
+// its share — including from the leaver — before the epoch publishes).
 const (
 	rebFreezePoll    = 250 * time.Millisecond
 	rebBootstrapPoll = 500 * time.Millisecond
 )
+
+// queuedMove is one pending ring-membership change; target derives the
+// next map from whatever the current map is when the move starts (so
+// queued churn composes: a leave queued behind a join sees the joined
+// ring).
+type queuedMove struct {
+	label  string
+	target func(cur ring.Map) ring.Map
+}
 
 // ctrl is the node whose event queue carries the mover's poll timers.
 // Clients are never crashed by the nemesis, so the control loop cannot
 // die mid-move.
 func (r *Run) ctrl() transport.NodeID { return r.Cluster.Clients[0].ID }
 
-// startRebalance stages the scenario's move and kicks off the mover.
-// Only add-group moves are supported here — that is the capacity-growth
-// operation the scenario exercises (the ring package itself handles
-// arbitrary remaps).
+// startRebalance stages the scenario's declarative move (the
+// capacity-growth operation Scenario.Rebalance describes).
 func (r *Run) startRebalance() {
 	rb := r.scn.Rebalance
-	if r.gws == nil {
-		r.events = append(r.events, "shard move skipped: rebalance requires the gateway tier")
-		return
-	}
 	if rb.AddGroup <= 0 || rb.AddGroup >= r.Opts.NodesPerDC {
 		r.events = append(r.events, fmt.Sprintf(
 			"shard move skipped: group %d not provisioned (nodes per DC: %d)", rb.AddGroup, r.Opts.NodesPerDC))
 		return
 	}
-	tbl := r.Cluster.Ring()
-	if tbl.Current().Map().Has(rb.AddGroup) {
-		r.events = append(r.events, fmt.Sprintf("shard move skipped: group %d already active", rb.AddGroup))
+	r.QueueMove(fmt.Sprintf("activate group %d", rb.AddGroup),
+		func(cur ring.Map) ring.Map { return cur.WithGroup(rb.AddGroup) })
+}
+
+// QueueMove enqueues a ring membership change (a churn join or leave).
+// Moves run FIFO, one at a time; each target sees the map the previous
+// move published. Gateway runs only — the freeze fence lives there.
+func (r *Run) QueueMove(label string, target func(cur ring.Map) ring.Map) {
+	if r.gws == nil {
+		r.events = append(r.events, "shard move skipped: moves require the gateway tier")
 		return
 	}
-	next := tbl.Current().Map().WithGroup(rb.AddGroup)
+	r.moveQueue = append(r.moveQueue, queuedMove{label: label, target: target})
+	r.maybeStartMove()
+}
+
+// maybeStartMove starts the next queued move unless one is in flight.
+// Called at queue time and from each move's completion callback.
+func (r *Run) maybeStartMove() {
+	if len(r.moveQueue) == 0 {
+		return
+	}
+	if r.mover != nil {
+		if ph := r.mover.Phase(); ph != ring.PhaseIdle && ph != ring.PhaseDone {
+			return
+		}
+	}
+	mv := r.moveQueue[0]
+	r.moveQueue = r.moveQueue[1:]
+	tbl := r.Cluster.Ring()
+	cur := tbl.Current().Map()
+	next := mv.target(cur)
+	if len(next.Groups) == 0 {
+		r.events = append(r.events, fmt.Sprintf("shard move %q skipped: would empty the ring", mv.label))
+		r.maybeStartMove()
+		return
+	}
+	for _, g := range next.Groups {
+		if g < 0 || g >= r.Opts.NodesPerDC {
+			r.events = append(r.events, fmt.Sprintf(
+				"shard move %q skipped: group %d not provisioned (nodes per DC: %d)", mv.label, g, r.Opts.NodesPerDC))
+			r.maybeStartMove()
+			return
+		}
+	}
+	if r.mover == nil {
+		r.mover = ring.NewMover(tbl, ring.Hooks{
+			Freeze:    r.rebFreeze,
+			Bootstrap: r.rebBootstrap,
+			Publish:   r.rebPublish,
+		})
+	}
 	r.rebIssued = make(map[int]*core.StorageNode)
 	r.rebDone = make(map[int]bool)
 	r.rebAdopted = make(map[int]int)
-	r.mover = ring.NewMover(tbl, ring.Hooks{
-		Freeze:    r.rebFreeze,
-		Bootstrap: r.rebBootstrap,
-		Publish:   r.rebPublish,
-	})
+	label := mv.label
 	err := r.mover.Move(next, func(st ring.MoveStats) {
+		r.moves++
 		r.events = append(r.events, fmt.Sprintf(
-			"shard move published: epoch %d, group %d bootstrapped %d keys, %d wrong-shard refusals retried",
-			st.Epoch, rb.AddGroup, st.MovedKeys, r.wrongShard))
-		r.Opts.Logf("[%s] shard move published: epoch %d, %d keys", r.scn.Name, st.Epoch, st.MovedKeys)
+			"shard move %q published: epoch %d, %d keys re-homed, %d wrong-shard refusals retried so far",
+			label, st.Epoch, st.MovedKeys, r.wrongShard))
+		r.Opts.Logf("[%s] shard move %q published: epoch %d, %d keys", r.scn.Name, label, st.Epoch, st.MovedKeys)
+		r.maybeStartMove()
 	})
 	if err != nil {
-		r.events = append(r.events, fmt.Sprintf("shard move failed to start: %v", err))
+		r.events = append(r.events, fmt.Sprintf("shard move %q failed to start: %v", label, err))
+		r.maybeStartMove()
 	}
 }
 
@@ -128,32 +183,56 @@ func (r *Run) rebDrained() bool {
 	return true
 }
 
-// rebBootstrap brings every destination replica (the added group's
-// node in each DC) to the moving shards' settled state by pulling a
-// full directed anti-entropy walk — filtered to re-homing keys — from
-// EVERY replica of every source group, across all five DCs. The union
-// matters for soundness: the drain gate proves every live source
-// settled its votes, but a write decided by a 3-of-5 classic quorum
-// leaves up to two non-voting sources stale with no votes to gate on,
-// and partitions/crashes can widen that set. Any committed write is
+// rebBootstrap brings every destination replica of the move to the
+// moving shards' settled state by pulling a full directed anti-entropy
+// walk — filtered to the keys its group gains — from EVERY replica of
+// every other current group, across all five DCs. Destinations: for a
+// join, keys re-home only onto the added groups (consistent hashing
+// moves nothing between survivors); for a leave, the departing group's
+// slice scatters, so every surviving group is a destination and the
+// leaver is among the sources pulled from. The union of walks matters
+// for soundness: the drain gate proves every live source settled its
+// votes, but a write decided by a 3-of-5 classic quorum leaves up to
+// two non-voting sources stale with no votes to gate on, and
+// partitions/crashes can widen that set. Any committed write is
 // applied on at least a quorum of sources, so the union of all five
-// walks always contains it (adoption takes the max version per key and
-// grafts lineage, so stale walks can never roll a fresher one back).
-// Chains are re-issued from scratch whenever a destination node
-// restarts as a fresh incarnation (adoption is WAL-durable, so a
-// completed chain survives later crashes); pulls to a crashed source
-// simply retry until it returns.
+// DCs' walks always contains it (adoption takes the max version per
+// key and grafts lineage, so stale walks can never roll a fresher one
+// back). Chains are re-issued from scratch whenever a destination node
+// restarts as a fresh incarnation — including a churn replace that
+// wiped its disks (adoption is WAL-durable, so a completed chain
+// survives ordinary crashes; a wiped replacement re-pulls everything);
+// pulls to a crashed source simply retry until it returns.
 func (r *Run) rebBootstrap(next *ring.Ring, ready func(moved int)) {
-	add := r.scn.Rebalance.AddGroup
 	cur := r.Cluster.Ring().Current() // still the pre-move ring: Install runs at publish
-	accept := func(k record.Key) bool {
-		return next.Owner(string(k)) == add && cur.Owner(string(k)) != add
-	}
-	var srcGroups []int
+	curHas := make(map[int]bool)
 	for _, g := range cur.Groups() {
-		if g != add {
-			srcGroups = append(srcGroups, g)
+		curHas[g] = true
+	}
+	dests := make(map[int]bool)
+	for _, g := range next.Groups() {
+		if !curHas[g] {
+			dests[g] = true
 		}
+	}
+	if len(dests) == 0 { // pure leave: every survivor gains a share
+		for _, g := range next.Groups() {
+			dests[g] = true
+		}
+	}
+	acceptFor := func(g int) func(record.Key) bool {
+		return func(k record.Key) bool {
+			return next.Owner(string(k)) == g && cur.Owner(string(k)) != g
+		}
+	}
+	srcFor := func(g int) []int {
+		var out []int
+		for _, s := range cur.Groups() {
+			if s != g {
+				out = append(out, s)
+			}
+		}
+		return out
 	}
 	var poll func()
 	poll = func() {
@@ -163,7 +242,7 @@ func (r *Run) rebBootstrap(next *ring.Ring, ready func(moved int)) {
 		r.rebApplyFreeze() // keep restarted gateways fenced through bootstrap
 		allDone := true
 		for i, sn := range r.Cluster.Storage {
-			if sn.Index != add {
+			if !dests[sn.Index] {
 				continue
 			}
 			if r.rebDone[i] {
@@ -174,7 +253,7 @@ func (r *Run) rebBootstrap(next *ring.Ring, ready func(moved int)) {
 				continue
 			}
 			r.rebIssued[i] = r.nodes[i]
-			r.rebIssueChain(i, srcGroups, accept)
+			r.rebIssueChain(i, srcFor(sn.Index), acceptFor(sn.Index))
 		}
 		if allDone {
 			total := 0

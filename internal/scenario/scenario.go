@@ -225,6 +225,22 @@ type Result struct {
 	DiskFaults    int
 	WipedRebuilds int
 
+	// Scaling-curve instrumentation (the mdcc-bench scale arm and
+	// -scenario.sweep plot these against cluster size). ClusterNodes is
+	// the number of simulated processes (storage + gateway tiers +
+	// clients); TPS is committed transactions per virtual second of the
+	// traffic window; Converge is the virtual time the epilogue needed
+	// to drain every in-flight transaction after heal; Wall is the real
+	// time the whole run took and SimWallRatio how much faster than
+	// real time the simulation ran (virtual elapsed / wall). Wall and
+	// the ratio are measurements of the simulator, not of the simulated
+	// system — they are the only nondeterministic fields in a Result.
+	ClusterNodes int
+	TPS          float64
+	Converge     time.Duration
+	Wall         time.Duration
+	SimWallRatio float64
+
 	// Events is the human-readable nemesis timeline that actually ran.
 	Events []string
 	// Violations are the failed internal/check invariants (empty =

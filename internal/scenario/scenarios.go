@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mdcc/internal/record"
+	"mdcc/internal/ring"
 	"mdcc/internal/topology"
 )
 
@@ -329,6 +330,67 @@ var registry = []*Scenario{
 			r.At(frac(r, 0.60), "heal partition", func() { r.Net.HealAll() })
 			r.At(frac(r, 0.62), "restart gateway us-east", func() { r.RestartGateway(topology.USEast) })
 			r.At(frac(r, 0.70), "packet loss off", func() { r.Net.SetDropProb(0) })
+		},
+	},
+	{
+		// Continuous membership churn — the cluster's cast is never
+		// fixed. Storage replicas are *replaced* (crash + disk wipe + a
+		// fresh machine rebuilt from its quorum), gateways leave and are
+		// replaced by new incarnations, and the shard ring itself churns:
+		// a spare replica group joins mid-traffic, an original group
+		// leaves (its keyspace slice scatters across the survivors, each
+		// bootstrapping its share — including from the leaver — before
+		// the epoch publishes), and the departed group later rejoins.
+		// Ring moves queue FIFO through the same freeze → bootstrap →
+		// publish control plane as shard-rebalance; replaces landing on
+		// in-flight bootstrap destinations force pull chains to re-issue
+		// on the fresh (empty) incarnation. Invariants: everything the
+		// other scenarios demand — zero lost acked writes, conservation,
+		// version accounting, session reads — plus exact lineage
+		// convergence on whatever replica set owns each key at the end.
+		Name:        "node-churn",
+		Description: "continuous join/leave/replace of storage replicas, gateways and ring groups under load",
+		Gateway:     true,
+		Groups:      2,
+		NodesPerDC:  3,
+		Workload: Workload{
+			Accounts:       30,
+			InitialBalance: 1000,
+			StockKeys:      4,
+			InitialStock:   50000,
+			Items:          8,
+			ReadFrac:       0.20,
+			TransferFrac:   0.35,
+			StockFrac:      0.25,
+		},
+		Clients:  60,
+		Duration: time.Minute,
+		Nemesis: func(r *Run) {
+			replace := func(dc topology.DC, group int) func() {
+				return func() {
+					if i := r.StorageIdx(dc, group); i >= 0 {
+						r.ReplaceStorage(i)
+					}
+				}
+			}
+			r.At(frac(r, 0.08), "replace us-east replica (group 0): new machine, quorum rebuild", replace(topology.USEast, 0))
+			r.At(frac(r, 0.12), "gateway us-west leaves (crash)", func() { r.CrashGateway(topology.USWest) })
+			r.At(frac(r, 0.18), "gateway us-west replacement joins", func() { r.RestartGateway(topology.USWest) })
+			r.At(frac(r, 0.20), "group 2 joins the ring", func() {
+				r.QueueMove("join group 2", func(cur ring.Map) ring.Map { return cur.WithGroup(2) })
+			})
+			r.At(frac(r, 0.30), "replace ap-tk replica (group 1)", replace(topology.APTokyo, 1))
+			r.At(frac(r, 0.38), "gateway ap-sg leaves (crash)", func() { r.CrashGateway(topology.APSingapore) })
+			r.At(frac(r, 0.45), "group 0 leaves the ring (slice scatters to survivors)", func() {
+				r.QueueMove("leave group 0", func(cur ring.Map) ring.Map { return cur.WithoutGroup(0) })
+			})
+			r.At(frac(r, 0.46), "gateway ap-sg replacement joins", func() { r.RestartGateway(topology.APSingapore) })
+			r.At(frac(r, 0.52), "replace eu-ie replica (group 2) mid-churn", replace(topology.EUIreland, 2))
+			r.At(frac(r, 0.62), "replace us-west replica (group 1)", replace(topology.USWest, 1))
+			r.At(frac(r, 0.70), "group 0 rejoins the ring", func() {
+				r.QueueMove("rejoin group 0", func(cur ring.Map) ring.Map { return cur.WithGroup(0) })
+			})
+			r.At(frac(r, 0.80), "replace ap-sg replica (group 0) during its rejoin", replace(topology.APSingapore, 0))
 		},
 	},
 	{

@@ -1,0 +1,434 @@
+package simnet
+
+import "container/heap"
+
+// engine is the event queue behind the simulator.
+//
+// The contract that keeps engines interchangeable per seed: peek
+// returns the queued event whose *effective* key — (run time, seq),
+// where a busy node's ready events run at the node's free instant —
+// is smallest. Seqs are globally unique, so the order is total, and
+// for a busy node the effective order among ready events reduces to
+// seq order (they all share the node's free instant as run time).
+// popHead removes the peeked event. rekeyHead restores order after
+// the caller raised the peeked event's atN in place — the legacy
+// engine's physical busy-node clamp; the sharded engine instead
+// normalizes run times at peek and never needs it. nodeRan tells the
+// engine a node's service slot advanced (events earlier than the new
+// free instant become "ready"). Any engine honoring this replays the
+// exact same schedule — pinned by TestEngineEquivalence.
+type engine interface {
+	insert(e *event)
+	peek() *event
+	popHead()
+	rekeyHead(e *event)
+	nodeRan(nd *simNode)
+	len() int
+}
+
+// ---- legacy global heap engine ----
+
+// heapEngine is the original single container/heap over every queued
+// event. Each push/pop is O(log E_total) with interface boxing and a
+// pointer dereference per comparison, and a busy node's backlog is
+// re-keyed through the global heap once per service slot — at 1000
+// nodes the one shared heap is the simulator's bottleneck. Kept as
+// the differential oracle for the determinism tests and the baseline
+// for BenchmarkSimnet*.
+type heapEngine struct {
+	h eventHeap
+}
+
+func newHeapEngine() *heapEngine { return &heapEngine{} }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].atN != h[j].atN {
+		return h[i].atN < h[j].atN
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (g *heapEngine) insert(e *event) { heap.Push(&g.h, e) }
+
+func (g *heapEngine) peek() *event {
+	if len(g.h) == 0 {
+		return nil
+	}
+	return g.h[0]
+}
+
+func (g *heapEngine) popHead() { heap.Pop(&g.h) }
+
+// rekeyHead is the legacy clamp: the head event's atN was raised to
+// the node's free instant; one Fix restores heap order. Equivalent to
+// the original pop+push because unique keys make heap layout
+// unobservable.
+func (g *heapEngine) rekeyHead(e *event) { heap.Fix(&g.h, 0) }
+
+func (g *heapEngine) nodeRan(nd *simNode) {}
+
+func (g *heapEngine) len() int { return len(g.h) }
+
+// ---- sharded engine ----
+
+// nodeEvent is one entry in a node-local queue (or the scheduler
+// queue): the ordering key inlined next to the event pointer, so heap
+// comparisons touch only the slice being sifted — no pointer chase
+// per comparison, no interface boxing.
+type nodeEvent struct {
+	atN int64
+	seq int64
+	e   *event
+}
+
+// topEntry is a node's presence in the top-level heap: the effective
+// key of the node's earliest event, inlined. nd.ready tracks the
+// entry's index so key updates are O(log N_nodes) sift-fixes, not
+// searches.
+type topEntry struct {
+	atN int64
+	seq int64
+	nd  *simNode
+}
+
+// shardedEngine shards the event queue per node. Each node keeps a
+// future-heap of not-yet-due events keyed (atN, seq) plus a run
+// queue of ready events keyed seq alone — events that already waited
+// behind the node's service slot and run back-to-back at the node's
+// free instant. A small top-level heap orders nodes by the effective
+// key of their earliest event. The payoff over the global heap is
+// twofold: pushes/pops touch one node-local heap plus the O(nodes)
+// top heap instead of one O(E_total) ordering, and a busy node's
+// backlog never re-enters any ordering structure — an event migrates
+// future→ready once, instead of being re-keyed through the global
+// heap on every service slot (the legacy engine's O(backlog) clamp
+// round per delivery). Scheduler-level events (At) have no node and
+// sit in their own heap; the global head is min(sched, top).
+type shardedEngine struct {
+	top      []topEntry
+	sched    []nodeEvent
+	serviceN int64
+	count    int
+}
+
+func newShardedEngine(serviceN int64) *shardedEngine {
+	return &shardedEngine{serviceN: serviceN}
+}
+
+func keyLess(a1, s1, a2, s2 int64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return s1 < s2
+}
+
+// busyAt reports whether an event landing at atN on nd would wait
+// behind the node's service slot — the same strict comparison as the
+// legacy clamp.
+func (s *shardedEngine) busyAt(nd *simNode, e *event) bool {
+	return e.serialize && s.serviceN > 0 && nd.hasFree && nd.freeAtN > e.atN
+}
+
+func (s *shardedEngine) insert(e *event) {
+	s.count++
+	if e.node == nil {
+		s.sched = qPush(s.sched, nodeEvent{e.atN, e.seq, e})
+		return
+	}
+	nd := e.node
+	if s.busyAt(nd, e) {
+		nd.run = rPush(nd.run, nodeEvent{e.atN, e.seq, e})
+	} else {
+		nd.q = qPush(nd.q, nodeEvent{e.atN, e.seq, e})
+	}
+	s.syncTop(nd)
+}
+
+// nodeKey computes a node's effective head key: ready events run at
+// the node's free instant in seq order; future events at their own
+// (atN, seq).
+func (s *shardedEngine) nodeKey(nd *simNode) (int64, int64, bool) {
+	hasRun, hasQ := len(nd.run) > 0, len(nd.q) > 0
+	switch {
+	case !hasRun && !hasQ:
+		return 0, 0, false
+	case !hasRun:
+		return nd.q[0].atN, nd.q[0].seq, true
+	case !hasQ:
+		return nd.freeAtN, nd.run[0].seq, true
+	}
+	if keyLess(nd.q[0].atN, nd.q[0].seq, nd.freeAtN, nd.run[0].seq) {
+		return nd.q[0].atN, nd.q[0].seq, true
+	}
+	return nd.freeAtN, nd.run[0].seq, true
+}
+
+// headIsReady reports whether the node's effective head is its run
+// queue (vs future heap). Only valid when the node has events.
+func (s *shardedEngine) headIsReady(nd *simNode) bool {
+	if len(nd.run) == 0 {
+		return false
+	}
+	if len(nd.q) == 0 {
+		return true
+	}
+	return !keyLess(nd.q[0].atN, nd.q[0].seq, nd.freeAtN, nd.run[0].seq)
+}
+
+// schedFirst reports whether the scheduler queue holds the global
+// minimum (vs the top-level node heap).
+func (s *shardedEngine) schedFirst() bool {
+	if len(s.sched) == 0 {
+		return false
+	}
+	if len(s.top) == 0 {
+		return true
+	}
+	return keyLess(s.sched[0].atN, s.sched[0].seq, s.top[0].atN, s.top[0].seq)
+}
+
+func (s *shardedEngine) peek() *event {
+	if s.schedFirst() {
+		return s.sched[0].e
+	}
+	if len(s.top) == 0 {
+		return nil
+	}
+	nd := s.top[0].nd
+	if s.headIsReady(nd) {
+		// A ready event's run time IS the node's free instant:
+		// normalize atN so the generic step loop sees the effective
+		// key and never needs to clamp.
+		e := nd.run[0].e
+		e.atN = nd.freeAtN
+		return e
+	}
+	return nd.q[0].e
+}
+
+func (s *shardedEngine) popHead() {
+	s.count--
+	if s.schedFirst() {
+		s.sched, _ = qPop(s.sched)
+		return
+	}
+	nd := s.top[0].nd
+	if s.headIsReady(nd) {
+		nd.run, _ = rPop(nd.run)
+	} else {
+		nd.q, _ = qPop(nd.q)
+	}
+	s.syncTop(nd)
+}
+
+// rekeyHead never fires on the sharded engine: peek normalizes ready
+// events' run times, so the generic busy-clamp branch cannot trigger.
+func (s *shardedEngine) rekeyHead(e *event) {
+	panic("simnet: sharded engine saw a busy-node clamp (ready-queue invariant broken)")
+}
+
+// nodeRan migrates events the advanced service slot now blocks:
+// future events earlier than the new free instant move to the run
+// queue — once per event, ever.
+func (s *shardedEngine) nodeRan(nd *simNode) {
+	moved := false
+	for len(nd.q) > 0 && nd.q[0].atN < nd.freeAtN {
+		var e *event
+		nd.q, e = qPop(nd.q)
+		nd.run = rPush(nd.run, nodeEvent{e.atN, e.seq, e})
+		moved = true
+	}
+	if moved || len(nd.run) > 0 {
+		// The run queue's effective key tracks freeAtN, which just
+		// advanced — republish even when nothing migrated.
+		s.syncTop(nd)
+	}
+}
+
+func (s *shardedEngine) len() int { return s.count }
+
+// syncTop reconciles a node's top-level entry with its effective head
+// key after the node's queues (or free instant) changed.
+func (s *shardedEngine) syncTop(nd *simNode) {
+	atN, seq, ok := s.nodeKey(nd)
+	if !ok {
+		if nd.ready >= 0 {
+			s.topRemove(nd.ready)
+		}
+		return
+	}
+	if nd.ready < 0 {
+		s.topPush(topEntry{atN, seq, nd})
+		return
+	}
+	en := &s.top[nd.ready]
+	if en.atN == atN && en.seq == seq {
+		return
+	}
+	en.atN, en.seq = atN, seq
+	s.topFix(nd.ready)
+}
+
+// qPush / qPop are the (atN, seq)-ordered heap primitives —
+// hand-rolled binary heaps over inline keys.
+func qPush(q []nodeEvent, ev nodeEvent) []nodeEvent {
+	q = append(q, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !keyLess(q[i].atN, q[i].seq, q[p].atN, q[p].seq) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	return q
+}
+
+func qPop(q []nodeEvent) ([]nodeEvent, *event) {
+	e := q[0].e
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nodeEvent{} // drop the *event reference
+	q = q[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(q) && keyLess(q[l].atN, q[l].seq, q[m].atN, q[m].seq) {
+			m = l
+		}
+		if r < len(q) && keyLess(q[r].atN, q[r].seq, q[m].atN, q[m].seq) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return q, e
+}
+
+// rPush / rPop are the run-queue primitives: a heap ordered by seq
+// alone (ready events share one run time, so send order decides).
+func rPush(q []nodeEvent, ev nodeEvent) []nodeEvent {
+	q = append(q, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[i].seq >= q[p].seq {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	return q
+}
+
+func rPop(q []nodeEvent) ([]nodeEvent, *event) {
+	e := q[0].e
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nodeEvent{}
+	q = q[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(q) && q[l].seq < q[m].seq {
+			m = l
+		}
+		if r < len(q) && q[r].seq < q[m].seq {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return q, e
+}
+
+// Top-level heap primitives: an indexed heap, every swap maintaining
+// nd.ready back-pointers.
+func (s *shardedEngine) topLess(i, j int) bool {
+	return keyLess(s.top[i].atN, s.top[i].seq, s.top[j].atN, s.top[j].seq)
+}
+
+func (s *shardedEngine) topSwap(i, j int) {
+	s.top[i], s.top[j] = s.top[j], s.top[i]
+	s.top[i].nd.ready = i
+	s.top[j].nd.ready = j
+}
+
+func (s *shardedEngine) topUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.topLess(i, p) {
+			return
+		}
+		s.topSwap(i, p)
+		i = p
+	}
+}
+
+// topDown reports whether the entry moved (mirrors container/heap's
+// down, whose callers sift up only when down didn't move).
+func (s *shardedEngine) topDown(i int) bool {
+	start := i
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(s.top) && s.topLess(l, m) {
+			m = l
+		}
+		if r < len(s.top) && s.topLess(r, m) {
+			m = r
+		}
+		if m == i {
+			return i > start
+		}
+		s.topSwap(i, m)
+		i = m
+	}
+}
+
+func (s *shardedEngine) topFix(i int) {
+	if !s.topDown(i) {
+		s.topUp(i)
+	}
+}
+
+func (s *shardedEngine) topPush(en topEntry) {
+	s.top = append(s.top, en)
+	en.nd.ready = len(s.top) - 1
+	s.topUp(len(s.top) - 1)
+}
+
+func (s *shardedEngine) topRemove(i int) {
+	last := len(s.top) - 1
+	s.top[i].nd.ready = -1
+	if i != last {
+		s.top[i] = s.top[last]
+		s.top[i].nd.ready = i
+	}
+	s.top[last] = topEntry{}
+	s.top = s.top[:last]
+	if i < last {
+		s.topFix(i)
+	}
+}

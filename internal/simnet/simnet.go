@@ -12,10 +12,17 @@
 // loop via Run*/Step. Calling Send/After from inside handlers is the
 // intended usage; calling them from other goroutines while the loop
 // runs is a data race.
+//
+// Scale: the event queue is sharded per node (see engine.go) so a
+// thousand-node cluster pays O(log N_nodes) per push/pop instead of
+// O(log E_total) on one global heap, and per-node state (service
+// slot, drift, incarnation epoch) lives on a node struct instead of
+// global maps. Both engines replay the exact same event order for a
+// seed — Options.Engine selects the legacy global heap for
+// differential tests and benchmarks.
 package simnet
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -56,6 +63,12 @@ type Options struct {
 	// sizes per message type); it must not mutate the envelope or
 	// touch the simulator.
 	OnDeliver func(e transport.Envelope)
+	// Engine selects the event-queue implementation: "sharded" (the
+	// default — per-node queues under a small top-level heap) or
+	// "heap" (the legacy single global heap). Both produce bit-exact
+	// identical schedules for a seed; "heap" exists as the
+	// differential-testing oracle and the benchmark baseline.
+	Engine string
 }
 
 // Stats counts network-level events.
@@ -77,32 +90,110 @@ type Stats struct {
 // linkKey identifies one directed link.
 type linkKey struct{ from, to transport.NodeID }
 
-// Net is the simulated network.
-type Net struct {
-	opts     Options
-	now      time.Time
-	events   eventHeap
-	seq      int64
-	handlers map[transport.NodeID]transport.Handler
-	freeAt   map[transport.NodeID]time.Time
-	failed   map[transport.NodeID]bool
-	epoch    map[transport.NodeID]int64
-	blocked  map[linkKey]int // refcount: overlapping cuts may share links
-	linkLat  map[linkKey]time.Duration
-	latScale float64
-	drift    map[transport.NodeID]float64
-	rng      *rand.Rand
-	stats    Stats
-	perNode  map[transport.NodeID]int64 // messages delivered per node
-	stopped  bool
+// simNode is the per-node simulator state: incarnation epoch, failure
+// flags, the service-time slot, clock drift, delivery counters, and
+// (under the sharded engine) the node's own event queue. One struct
+// replaces what used to be six global maps, and churned-out nodes are
+// reaped wholesale once nothing references them (see maybeReap).
+type simNode struct {
+	id      transport.NodeID
+	handler transport.Handler
+	// epoch pins queued events to an incarnation; Crash bumps it.
+	epoch  int64
+	failed bool
+	// crashed marks a dead incarnation whose state may be reaped once
+	// its queue drains; Register (a restart) clears it.
+	crashed bool
+	// Service-time slot: the node is busy until freeAtN.
+	hasFree bool
+	freeAtN int64
+	// Clock drift (SetDrift); a drifting node is never reaped so the
+	// skew survives crash/restart cycles like the old global map did.
+	hasDrift bool
+	drift    float64
+	// delivered counts envelopes handled by this incarnation chain
+	// (folded into deadDelivered on reap).
+	delivered int64
+	// pending counts events queued for this node across the whole
+	// engine — including cancelled timers not yet popped. The struct
+	// may only be reaped at zero: queued events hold closures over it.
+	pending int
+	// q / run / ready belong to the sharded engine: q is the node's
+	// future-heap ordered by (atN, seq); run is the ready queue —
+	// events already blocked behind the service slot, ordered by seq
+	// alone because they all run at freeAtN; ready is the index of the
+	// node's entry in the engine's top-level heap (-1 when both are
+	// empty).
+	q     []nodeEvent
+	run   []nodeEvent
+	ready int
 }
 
+// Net is the simulated network.
+type Net struct {
+	opts Options
+	// Virtual time is kept as nanoseconds since opts.Start (nowN);
+	// now caches the equivalent time.Time for Now() callers.
+	nowN     int64
+	now      time.Time
+	serviceN int64
+	eng      engine
+	seq      int64
+	nodes    map[transport.NodeID]*simNode
+	// deadFailed / deadDelivered preserve the only observable bits of
+	// a reaped node (Failed() and DeliveredTo()) so reaping is
+	// invisible to the schedule. Both are bounded by the id catalogue,
+	// not by churn count.
+	deadFailed    map[transport.NodeID]bool
+	deadDelivered map[transport.NodeID]int64
+	blocked       map[linkKey]int // refcount: overlapping cuts may share links
+	linkLat       map[linkKey]time.Duration
+	latScale      float64
+	rng           *rand.Rand
+	stats         Stats
+	stopped       bool
+	// free is the event freelist: the steady-state message path
+	// recycles event structs instead of allocating per send.
+	free []*event
+}
+
+func (n *Net) newEvent() *event {
+	if k := len(n.free); k > 0 {
+		e := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return e
+	}
+	return &event{}
+}
+
+func (n *Net) recycle(e *event) {
+	*e = event{}
+	n.free = append(n.free, e)
+}
+
+// event is one queued occurrence. Events are pooled (Net.free): the
+// delivery path allocates nothing per message, which matters as much
+// as queue asymptotics at thousand-node scale. Exactly one of
+// run/timerF/env is meaningful, keyed off msg and timerF.
 type event struct {
-	at     time.Time
-	seq    int64
-	node   transport.NodeID
-	run    func()
-	cancel *bool // non-nil for timers
+	// atN is the scheduled virtual time in nanoseconds since
+	// opts.Start. For a ready event on a busy node atN is normalized
+	// to the node's free instant — by the legacy engine's physical
+	// clamp when the event pops early, by the sharded engine at peek —
+	// so by the time the step loop sees a peeked head, atN is always
+	// the event's run time.
+	atN  int64
+	seq  int64
+	node *simNode // nil for scheduler-level events (At)
+	// run is the scheduler-level callback (At events).
+	run func()
+	// timerF is the timer callback (After events).
+	timerF func()
+	// env is the message being delivered (msg events).
+	env transport.Envelope
+	// cancel is non-nil for timers.
+	cancel *bool
 	// serialize: message/timer events occupy the node's service
 	// slot; pure scheduler events (failures) do not.
 	serialize bool
@@ -113,28 +204,6 @@ type event struct {
 	// msg marks message deliveries (for drop accounting when an
 	// incarnation dies with deliveries queued).
 	msg bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) {
-	*h = append(*h, x.(*event))
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // New builds a simulated network.
@@ -148,25 +217,76 @@ func New(opts Options) *Net {
 	if opts.ReorderWindow <= 0 {
 		opts.ReorderWindow = 50 * time.Millisecond
 	}
-	return &Net{
-		opts:     opts,
-		now:      opts.Start,
-		handlers: make(map[transport.NodeID]transport.Handler),
-		freeAt:   make(map[transport.NodeID]time.Time),
-		failed:   make(map[transport.NodeID]bool),
-		epoch:    make(map[transport.NodeID]int64),
-		blocked:  make(map[linkKey]int),
-		linkLat:  make(map[linkKey]time.Duration),
-		latScale: 1,
-		drift:    make(map[transport.NodeID]float64),
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		perNode:  make(map[transport.NodeID]int64),
+	n := &Net{
+		opts:          opts,
+		now:           opts.Start,
+		serviceN:      int64(opts.ServiceTime),
+		nodes:         make(map[transport.NodeID]*simNode),
+		deadFailed:    make(map[transport.NodeID]bool),
+		deadDelivered: make(map[transport.NodeID]int64),
+		blocked:       make(map[linkKey]int),
+		linkLat:       make(map[linkKey]time.Duration),
+		latScale:      1,
+		rng:           rand.New(rand.NewSource(opts.Seed)),
 	}
+	switch opts.Engine {
+	case "", "sharded":
+		n.eng = newShardedEngine(n.serviceN)
+	case "heap":
+		n.eng = newHeapEngine()
+	default:
+		panic("simnet: unknown engine " + opts.Engine)
+	}
+	return n
 }
 
-// Register installs a node handler.
+// nodeFor returns the state struct for id, creating it on first
+// reference. Recreation after a reap restores the preserved failed
+// bit so the reap is invisible.
+func (n *Net) nodeFor(id transport.NodeID) *simNode {
+	nd := n.nodes[id]
+	if nd == nil {
+		nd = &simNode{id: id, ready: -1}
+		if n.deadFailed[id] {
+			nd.failed = true
+			delete(n.deadFailed, id)
+		}
+		n.nodes[id] = nd
+	}
+	return nd
+}
+
+// maybeReap frees a dead incarnation's state once nothing can touch
+// it again: the node crashed, its queue fully drained (pending spans
+// in-flight deliveries, its timers, and cancelled-but-queued timers),
+// and no drift override pins it. The observable remnants — Failed()
+// and DeliveredTo() — move to bounded side maps; everything else
+// (epoch, handler, service slot) is unreachable once the queue is
+// empty, because only queued events compare epochs or occupy the
+// slot. A restart (Register) simply recreates the struct.
+func (n *Net) maybeReap(nd *simNode) {
+	if nd == nil || !nd.crashed || nd.pending != 0 || nd.hasDrift {
+		return
+	}
+	if nd.failed {
+		n.deadFailed[nd.id] = true
+	}
+	if nd.delivered != 0 {
+		n.deadDelivered[nd.id] += nd.delivered
+	}
+	delete(n.nodes, nd.id)
+}
+
+// NodeStates reports how many per-node state structs are live — the
+// churn scenarios assert this stays flat while nodes join and leave.
+func (n *Net) NodeStates() int { return len(n.nodes) }
+
+// Register installs a node handler. Registering is also how a
+// restarted incarnation comes back after Crash.
 func (n *Net) Register(id transport.NodeID, h transport.Handler) {
-	n.handlers[id] = h
+	nd := n.nodeFor(id)
+	nd.handler = h
+	nd.crashed = false
 }
 
 // Rand exposes the simulator's seeded RNG so workloads share the
@@ -176,24 +296,41 @@ func (n *Net) Rand() *rand.Rand { return n.rng }
 // Now returns current virtual time.
 func (n *Net) Now() time.Time { return n.now }
 
+func (n *Net) setNow(atN int64) {
+	n.nowN = atN
+	n.now = n.opts.Start.Add(time.Duration(atN))
+}
+
 // Stats returns delivery counters.
 func (n *Net) Stats() Stats { return n.stats }
+
+func (n *Net) isFailed(id transport.NodeID) bool {
+	if nd := n.nodes[id]; nd != nil {
+		return nd.failed
+	}
+	return n.deadFailed[id]
+}
 
 // Send schedules delivery of msg after matrix latency + jitter.
 // Messages from or to failed nodes are dropped; so are random drops,
 // and messages crossing a partitioned link.
 func (n *Net) Send(from, to transport.NodeID, msg transport.Message) {
-	if n.failed[from] {
+	if n.isFailed(from) {
 		n.dropEndpoint()
 		return
 	}
-	if n.blocked[linkKey{from, to}] > 0 {
+	if len(n.blocked) > 0 && n.blocked[linkKey{from, to}] > 0 {
 		n.stats.Dropped++
 		n.stats.DroppedPartition++
 		return
 	}
-	d, ok := n.linkLat[linkKey{from, to}]
-	if !ok {
+	var d time.Duration
+	if len(n.linkLat) > 0 {
+		var ok bool
+		if d, ok = n.linkLat[linkKey{from, to}]; !ok {
+			d = n.opts.Latency(from, to)
+		}
+	} else {
 		d = n.opts.Latency(from, to)
 	}
 	if n.latScale != 1 {
@@ -225,37 +362,47 @@ func (n *Net) dropEndpoint() {
 }
 
 func (n *Net) deliverAfter(from, to transport.NodeID, msg transport.Message, d time.Duration) {
-	e := transport.Envelope{From: from, To: to, Msg: msg}
-	n.push(&event{
-		at:        n.now.Add(d),
-		node:      to,
-		serialize: true,
-		epoch:     n.epoch[to],
-		msg:       true,
-		run: func() {
-			if n.failed[to] {
-				n.dropEndpoint()
-				return
-			}
-			h, ok := n.handlers[to]
-			if !ok {
-				n.dropEndpoint()
-				return
-			}
-			n.stats.Delivered++
-			n.perNode[to]++
-			if n.opts.OnDeliver != nil {
-				n.opts.OnDeliver(e)
-			}
-			h(e)
-		},
-	})
+	nd := n.nodeFor(to)
+	e := n.newEvent()
+	e.atN = n.nowN + int64(d)
+	e.node = nd
+	e.serialize = true
+	e.epoch = nd.epoch
+	e.msg = true
+	e.env = transport.Envelope{From: from, To: to, Msg: msg}
+	n.push(e)
+}
+
+// deliver runs a message event: the delivery-time endpoint checks,
+// counters, and the handler call.
+func (n *Net) deliver(e *event) {
+	nd := e.node
+	if nd.failed {
+		n.dropEndpoint()
+		return
+	}
+	if nd.handler == nil {
+		n.dropEndpoint()
+		return
+	}
+	n.stats.Delivered++
+	nd.delivered++
+	if n.opts.OnDeliver != nil {
+		n.opts.OnDeliver(e.env)
+	}
+	nd.handler(e.env)
 }
 
 // DeliveredTo returns how many messages were delivered to one node —
 // the physical envelope count, so a batch envelope counts once
 // (benchmarks use this to measure per-acceptor message load).
-func (n *Net) DeliveredTo(id transport.NodeID) int64 { return n.perNode[id] }
+func (n *Net) DeliveredTo(id transport.NodeID) int64 {
+	total := n.deadDelivered[id]
+	if nd := n.nodes[id]; nd != nil {
+		total += nd.delivered
+	}
+	return total
+}
 
 // After schedules f on node `on` after d of virtual time, serialized
 // with its handler. Timers keep firing on failed nodes: Fail models a
@@ -266,25 +413,22 @@ func (n *Net) After(on transport.NodeID, d time.Duration, f func()) clock.Timer 
 	if d < 0 {
 		d = 0
 	}
-	if drift, ok := n.drift[on]; ok {
-		d = time.Duration(float64(d) * (1 + drift))
+	nd := n.nodeFor(on)
+	if nd.hasDrift {
+		d = time.Duration(float64(d) * (1 + nd.drift))
 		if d < 0 {
 			d = 0
 		}
 	}
 	cancelled := false
-	ev := &event{
-		at:        n.now.Add(d),
-		node:      on,
-		cancel:    &cancelled,
-		serialize: true,
-		epoch:     n.epoch[on],
-		run: func() {
-			n.stats.Timers++
-			f()
-		},
-	}
-	n.push(ev)
+	e := n.newEvent()
+	e.atN = n.nowN + int64(d)
+	e.node = nd
+	e.cancel = &cancelled
+	e.serialize = true
+	e.epoch = nd.epoch
+	e.timerF = f
+	n.push(e)
 	return simTimer{&cancelled}
 }
 
@@ -302,23 +446,31 @@ func (t simTimer) Stop() bool {
 // phase changes) at an absolute offset from the epoch, not serialized
 // with any node.
 func (n *Net) At(offset time.Duration, f func()) {
-	at := n.opts.Start.Add(offset)
-	if at.Before(n.now) {
-		at = n.now
+	atN := int64(offset)
+	if atN < n.nowN {
+		atN = n.nowN
 	}
-	n.push(&event{at: at, run: f})
+	e := n.newEvent()
+	e.atN = atN
+	e.run = f
+	n.push(e)
 }
 
 // Fail makes a node unreachable: messages from and to it are dropped
 // and its timers are suppressed until Recover.
-func (n *Net) Fail(id transport.NodeID) { n.failed[id] = true }
+func (n *Net) Fail(id transport.NodeID) { n.nodeFor(id).failed = true }
 
 // Recover brings a failed node back (its state is whatever it was;
 // storage recovery is the protocol's job).
-func (n *Net) Recover(id transport.NodeID) { delete(n.failed, id) }
+func (n *Net) Recover(id transport.NodeID) {
+	if nd := n.nodes[id]; nd != nil {
+		nd.failed = false
+	}
+	delete(n.deadFailed, id)
+}
 
 // Failed reports whether a node is currently failed.
-func (n *Net) Failed(id transport.NodeID) bool { return n.failed[id] }
+func (n *Net) Failed(id transport.NodeID) bool { return n.isFailed(id) }
 
 // Crash kills a node's process: unlike Fail (a partition — the node
 // keeps computing), Crash discards every queued event bound to the
@@ -327,8 +479,11 @@ func (n *Net) Failed(id transport.NodeID) bool { return n.failed[id] }
 // restarted incarnation must Register a fresh handler and re-arm its
 // own timers (internal/core's restart hooks do both).
 func (n *Net) Crash(id transport.NodeID) {
-	n.epoch[id]++
-	n.failed[id] = true
+	nd := n.nodeFor(id)
+	nd.epoch++
+	nd.failed = true
+	nd.crashed = true
+	n.maybeReap(nd)
 }
 
 // Partition cuts every link between the two node sets, both
@@ -392,10 +547,16 @@ func (n *Net) ScaleLatency(f float64) {
 // them). Only timers armed after the call are affected.
 func (n *Net) SetDrift(id transport.NodeID, frac float64) {
 	if frac == 0 {
-		delete(n.drift, id)
+		if nd := n.nodes[id]; nd != nil {
+			nd.hasDrift = false
+			nd.drift = 0
+			n.maybeReap(nd)
+		}
 		return
 	}
-	n.drift[id] = frac
+	nd := n.nodeFor(id)
+	nd.hasDrift = true
+	nd.drift = frac
 }
 
 // SetDropProb replaces the uniform drop probability at runtime
@@ -420,58 +581,108 @@ func (n *Net) Stop() { n.stopped = true }
 func (n *Net) push(e *event) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.events, e)
+	if e.node != nil {
+		e.node.pending++
+	}
+	n.eng.insert(e)
 }
 
-// Step executes the next event; it reports false when no events
-// remain. Service-time serialization: if the event's node is still
-// busy, the event is re-queued for when the node frees up.
-func (n *Net) Step() bool {
-	for n.events.Len() > 0 {
-		e := heap.Pop(&n.events).(*event)
+// step outcomes: ran one event, next runnable lies past the limit, or
+// the queue is empty.
+const (
+	stepRan = iota
+	stepBlocked
+	stepEmpty
+)
+
+// step executes the next event whose run time is ≤ limitN. Cancelled
+// timers and events addressed to crashed incarnations are discarded
+// as they surface regardless of the limit — discards are invisible to
+// the schedule. Service-time serialization: a busy node's events run
+// at the node's free instant, in seq order among those that were due
+// — the legacy engine realizes that by physically re-keying the
+// popped head (rekeyHead), the sharded engine by parking them in a
+// per-node run queue that never re-enters the global ordering. Both
+// produce the identical executed schedule (TestEngineEquivalence).
+func (n *Net) step(limitN int64) int {
+	for {
+		e := n.eng.peek()
+		if e == nil {
+			return stepEmpty
+		}
+		nd := e.node
 		if e.cancel != nil && *e.cancel {
+			n.eng.popHead()
+			nd.pending--
+			n.recycle(e)
+			n.maybeReap(nd)
 			continue
 		}
-		if e.node != "" && e.epoch != n.epoch[e.node] {
+		if nd != nil && e.epoch != nd.epoch {
 			// Addressed to a crashed incarnation.
+			n.eng.popHead()
+			nd.pending--
 			if e.msg {
 				n.dropEndpoint()
 			}
+			n.recycle(e)
+			n.maybeReap(nd)
 			continue
 		}
-		if e.serialize && n.opts.ServiceTime > 0 {
-			if free, ok := n.freeAt[e.node]; ok && free.After(e.at) {
-				e.at = free
-				heap.Push(&n.events, e)
-				continue
-			}
+		if e.serialize && n.serviceN > 0 && nd.hasFree && nd.freeAtN > e.atN {
+			// Legacy-engine busy clamp (the sharded engine normalizes
+			// run times at peek, so this branch never fires for it).
+			e.atN = nd.freeAtN
+			n.eng.rekeyHead(e)
+			continue
 		}
-		if e.at.After(n.now) {
-			n.now = e.at
+		if e.atN > limitN {
+			return stepBlocked
 		}
-		if e.serialize && n.opts.ServiceTime > 0 {
-			n.freeAt[e.node] = n.now.Add(n.opts.ServiceTime)
+		n.eng.popHead()
+		if nd != nil {
+			nd.pending--
 		}
-		e.run()
-		return true
+		if e.atN > n.nowN {
+			n.setNow(e.atN)
+		}
+		if e.serialize && n.serviceN > 0 {
+			nd.hasFree = true
+			nd.freeAtN = n.nowN + n.serviceN
+			n.eng.nodeRan(nd)
+		}
+		switch {
+		case e.msg:
+			n.deliver(e)
+		case e.timerF != nil:
+			n.stats.Timers++
+			e.timerF()
+		default:
+			e.run()
+		}
+		n.recycle(e)
+		n.maybeReap(nd)
+		return stepRan
 	}
-	return false
+}
+
+// Step executes the next event; it reports false when no events
+// remain.
+func (n *Net) Step() bool {
+	return n.step(1<<63-1) == stepRan
 }
 
 // RunFor processes events until `d` of virtual time has elapsed from
 // the current instant (or the event queue drains, or Stop is called).
+// An event is executed iff its run time is within the window: a
+// deadline never truncates the schedule, it only slices it.
 func (n *Net) RunFor(d time.Duration) {
-	deadline := n.now.Add(d)
+	deadlineN := n.nowN + int64(d)
 	n.stopped = false
-	for !n.stopped && n.events.Len() > 0 {
-		next := n.events[0]
-		if next.at.After(deadline) {
-			break
-		}
-		n.Step()
+	for !n.stopped && n.step(deadlineN) == stepRan {
 	}
-	if n.now.Before(deadline) {
-		n.now = deadline
+	if n.nowN < deadlineN {
+		n.setNow(deadlineN)
 	}
 }
 
@@ -485,19 +696,18 @@ func (n *Net) Run() {
 // RunUntil steps until cond() is true, giving up after maxVirtual.
 // It reports whether the condition was met.
 func (n *Net) RunUntil(cond func() bool, maxVirtual time.Duration) bool {
-	deadline := n.now.Add(maxVirtual)
+	deadlineN := n.nowN + int64(maxVirtual)
 	n.stopped = false
 	for !n.stopped {
 		if cond() {
 			return true
 		}
-		if n.events.Len() == 0 {
+		switch n.step(deadlineN) {
+		case stepBlocked:
+			return false
+		case stepEmpty:
 			return cond()
 		}
-		if n.events[0].at.After(deadline) {
-			return false
-		}
-		n.Step()
 	}
 	return cond()
 }

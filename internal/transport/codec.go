@@ -353,6 +353,26 @@ func DecodeEnvelope(r *WireReader) (Envelope, error) {
 	return e, nil
 }
 
+// wireReaderPool recycles WireReaders across frames. The TCP read
+// loop decodes exactly one frame per reader, and with the payload
+// buffer already reused the reader struct itself was the last
+// per-frame allocation on the steady-state read path.
+var wireReaderPool = sync.Pool{New: func() interface{} { return new(WireReader) }}
+
+// DecodeFrame parses one framed envelope payload using a pooled
+// reader — the TCP read path's per-frame entry point. The payload
+// buffer may be reused by the caller as soon as DecodeFrame returns
+// (decoders copy what they keep, and the pooled reader drops its
+// reference before going back to the pool).
+func DecodeFrame(payload []byte) (Envelope, error) {
+	r := wireReaderPool.Get().(*WireReader)
+	r.b, r.off, r.err = payload, 0, nil
+	e, err := DecodeEnvelope(r)
+	r.b = nil // don't pin the caller's buffer from the pool
+	wireReaderPool.Put(r)
+	return e, err
+}
+
 // EncodedSize returns the binary wire size of one envelope carrying
 // msg (frame length prefix included) — the per-type bytes/msg the
 // live benchmark reports for the gob-vs-binary comparison.

@@ -310,7 +310,7 @@ func (t *TCP) readBinary(br *bufio.Reader, conn net.Conn) {
 			}
 			return
 		}
-		e, err := DecodeEnvelope(NewWireReader(payload[:n]))
+		e, err := DecodeFrame(payload[:n])
 		if err != nil {
 			t.logf("transport: decode frame from %s: %v; dropping connection", conn.RemoteAddr(), err)
 			return
